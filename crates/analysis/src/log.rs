@@ -1,0 +1,279 @@
+//! Anonymized greylist-log analysis (the Fig. 5 methodology).
+//!
+//! The university dataset gives, per greylisted message, only the
+//! timestamps of its delivery attempts and an opaque identity. This module
+//! reconstructs what the paper plots from exactly that information:
+//!
+//! * the *delivery delay* of each eventually-accepted message — time from
+//!   its first (deferred) attempt to its accepting attempt;
+//! * per-message attempt counts and inter-attempt gaps;
+//! * the set of messages that were never delivered (sender gave up).
+//!
+//! The entry format is the one `spamward-mta` emits
+//! (`"<secs>.<micros> <event> key=<hex>"`); parsing is replicated here so
+//! a log written to disk can be analyzed with no dependency on the MTA
+//! crate.
+
+use crate::cdf::Cdf;
+use serde::{Deserialize, Serialize};
+use spamward_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One parsed log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Event timestamp.
+    pub at: SimTime,
+    /// Event kind (the subset analysis needs).
+    pub kind: LogKind,
+    /// Opaque message/triplet identity.
+    pub key: u64,
+}
+
+/// The log event kinds the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogKind {
+    /// The attempt was deferred (greylisted).
+    Deferred,
+    /// The attempt passed greylisting.
+    Passed,
+    /// The message was accepted and stored.
+    Accepted,
+    /// Any other event (whitelisted, unknown recipient, ...).
+    Other,
+}
+
+/// Parses one log line in the shared text format.
+///
+/// Unknown event strings parse as [`LogKind::Other`]; structurally broken
+/// lines return `None`.
+pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+    let mut parts = line.split_whitespace();
+    let ts = parts.next()?;
+    let event = parts.next()?;
+    let key = parts.next()?.strip_prefix("key=")?;
+    let (secs, micros) = ts.split_once('.')?;
+    let at =
+        SimTime::from_micros(secs.parse::<u64>().ok()? * 1_000_000 + micros.parse::<u64>().ok()?);
+    let key = u64::from_str_radix(key, 16).ok()?;
+    let kind = match event {
+        "greylisted" => LogKind::Deferred,
+        "passed" => LogKind::Passed,
+        "accepted" => LogKind::Accepted,
+        _ => LogKind::Other,
+    };
+    Some(LogRecord { at, kind, key })
+}
+
+/// Per-message reconstruction from the anonymized log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageTimeline {
+    /// The opaque identity.
+    pub key: u64,
+    /// Timestamps of every observed attempt, in order.
+    pub attempts: Vec<SimTime>,
+    /// When the message was finally accepted, if ever.
+    pub accepted_at: Option<SimTime>,
+}
+
+impl MessageTimeline {
+    /// Delay from first attempt to acceptance (the Fig. 5 quantity).
+    pub fn delivery_delay(&self) -> Option<SimDuration> {
+        let first = *self.attempts.first()?;
+        Some(self.accepted_at?.elapsed_since(first))
+    }
+
+    /// Gaps between consecutive attempts (retry intervals of the sender).
+    pub fn retry_gaps(&self) -> Vec<SimDuration> {
+        self.attempts.windows(2).map(|w| w[1].elapsed_since(w[0])).collect()
+    }
+}
+
+/// The Fig. 5 analyzer: feeds on log records, produces delay CDFs.
+///
+/// # Example
+///
+/// ```
+/// use spamward_analysis::log::{GreylistLogAnalysis, parse_log_line};
+///
+/// let log = "\
+/// 100.000000 greylisted key=00000000000000aa
+/// 500.000000 passed key=00000000000000aa
+/// 500.000000 accepted key=00000000000000aa
+/// ";
+/// let analysis = GreylistLogAnalysis::from_lines(log.lines());
+/// assert_eq!(analysis.delivered().count(), 1);
+/// let delays = analysis.delivery_delays();
+/// assert_eq!(delays[0].as_secs(), 400);
+/// # let _ = parse_log_line("1.0 accepted key=00");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GreylistLogAnalysis {
+    timelines: HashMap<u64, MessageTimeline>,
+    malformed: usize,
+}
+
+impl GreylistLogAnalysis {
+    /// Builds the analysis from parsed records.
+    pub fn from_records(records: impl IntoIterator<Item = LogRecord>) -> Self {
+        let mut timelines: HashMap<u64, MessageTimeline> = HashMap::new();
+        for r in records {
+            let tl = timelines.entry(r.key).or_insert_with(|| MessageTimeline {
+                key: r.key,
+                attempts: Vec::new(),
+                accepted_at: None,
+            });
+            match r.kind {
+                LogKind::Deferred | LogKind::Passed => tl.attempts.push(r.at),
+                LogKind::Accepted => {
+                    if tl.accepted_at.is_none() {
+                        tl.accepted_at = Some(r.at);
+                    }
+                }
+                LogKind::Other => {}
+            }
+        }
+        GreylistLogAnalysis { timelines, malformed: 0 }
+    }
+
+    /// Builds the analysis from raw text lines, counting malformed ones.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut records = Vec::new();
+        let mut malformed = 0;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_log_line(line) {
+                Some(r) => records.push(r),
+                None => malformed += 1,
+            }
+        }
+        let mut out = Self::from_records(records);
+        out.malformed = malformed;
+        out
+    }
+
+    /// Lines that failed to parse.
+    pub fn malformed(&self) -> usize {
+        self.malformed
+    }
+
+    /// Number of distinct message identities seen.
+    pub fn len(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Whether the log was empty.
+    pub fn is_empty(&self) -> bool {
+        self.timelines.is_empty()
+    }
+
+    /// Timelines that ended in acceptance.
+    pub fn delivered(&self) -> impl Iterator<Item = &MessageTimeline> {
+        self.timelines.values().filter(|t| t.accepted_at.is_some())
+    }
+
+    /// Timelines whose sender gave up (greylisted, never accepted).
+    pub fn abandoned(&self) -> impl Iterator<Item = &MessageTimeline> {
+        self.timelines.values().filter(|t| t.accepted_at.is_none() && !t.attempts.is_empty())
+    }
+
+    /// Delivery delays of all delivered messages (unordered).
+    pub fn delivery_delays(&self) -> Vec<SimDuration> {
+        self.delivered().filter_map(MessageTimeline::delivery_delay).collect()
+    }
+
+    /// The delivery-delay CDF — Fig. 5 (or Fig. 3, fed with bot logs).
+    pub fn delay_cdf(&self) -> Cdf {
+        Cdf::from_durations(self.delivery_delays())
+    }
+
+    /// Fraction of messages whose senders gave up before delivery.
+    pub fn abandonment_rate(&self) -> f64 {
+        if self.timelines.is_empty() {
+            return 0.0;
+        }
+        self.abandoned().count() as f64 / self.timelines.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_secs: u64, kind: LogKind, key: u64) -> LogRecord {
+        LogRecord { at: SimTime::from_secs(at_secs), kind, key }
+    }
+
+    #[test]
+    fn parse_matches_mta_format() {
+        let r = parse_log_line("1234.567890 greylisted key=00000000000000ff").unwrap();
+        assert_eq!(r.at, SimTime::from_micros(1_234_567_890));
+        assert_eq!(r.kind, LogKind::Deferred);
+        assert_eq!(r.key, 0xff);
+        assert_eq!(
+            parse_log_line("1.000000 whitelisted key=01").unwrap().kind,
+            LogKind::Other
+        );
+        assert_eq!(parse_log_line("garbage"), None);
+    }
+
+    #[test]
+    fn reconstructs_delivery_delay() {
+        let a = GreylistLogAnalysis::from_records(vec![
+            rec(100, LogKind::Deferred, 1),
+            rec(250, LogKind::Deferred, 1),
+            rec(500, LogKind::Passed, 1),
+            rec(500, LogKind::Accepted, 1),
+        ]);
+        let tl = a.delivered().next().unwrap();
+        assert_eq!(tl.attempts.len(), 3);
+        assert_eq!(tl.delivery_delay(), Some(SimDuration::from_secs(400)));
+        assert_eq!(tl.retry_gaps(), vec![SimDuration::from_secs(150), SimDuration::from_secs(250)]);
+    }
+
+    #[test]
+    fn distinguishes_abandoned() {
+        let a = GreylistLogAnalysis::from_records(vec![
+            rec(100, LogKind::Deferred, 1),
+            rec(500, LogKind::Passed, 1),
+            rec(500, LogKind::Accepted, 1),
+            rec(200, LogKind::Deferred, 2), // never retried
+        ]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.delivered().count(), 1);
+        assert_eq!(a.abandoned().count(), 1);
+        assert_eq!(a.abandonment_rate(), 0.5);
+    }
+
+    #[test]
+    fn cdf_over_delays() {
+        let a = GreylistLogAnalysis::from_records(vec![
+            rec(0, LogKind::Deferred, 1),
+            rec(300, LogKind::Accepted, 1),
+            rec(0, LogKind::Deferred, 2),
+            rec(600, LogKind::Accepted, 2),
+        ]);
+        let cdf = a.delay_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.fraction_at_or_below(300.0), 0.5);
+    }
+
+    #[test]
+    fn from_lines_counts_malformed() {
+        let text = "0.000000 greylisted key=01\nnot a line\n\n1.000000 accepted key=01\n";
+        let a = GreylistLogAnalysis::from_lines(text.lines());
+        assert_eq!(a.malformed(), 1);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn accepted_without_attempts_has_no_delay() {
+        // Whitelisted mail is accepted with no greylist attempt records.
+        let a = GreylistLogAnalysis::from_records(vec![rec(50, LogKind::Accepted, 9)]);
+        assert_eq!(a.delivered().count(), 1);
+        assert!(a.delivery_delays().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Terminal rendering of the paper's figures.
+//!
+//! The `repro` harness prints into a terminal, so the figures need an
+//! honest text form: a CDF as a step-curve grid (Figs. 3 and 5) and a
+//! histogram as horizontal bars (the peak structure of Fig. 4).
+
+use crate::cdf::Cdf;
+use crate::hist::Histogram;
+
+/// Renders a CDF as an ASCII curve of `width`×`height` characters plus
+/// axis labels. Empty CDFs render a placeholder line.
+///
+/// # Example
+///
+/// ```
+/// use spamward_analysis::{Cdf, plot};
+/// let cdf = Cdf::from_samples((1..=100).map(f64::from).collect());
+/// let art = plot::ascii_cdf(&cdf, 40, 10);
+/// assert!(art.contains('#'));
+/// assert!(art.contains("100%"));
+/// ```
+pub fn ascii_cdf(cdf: &Cdf, width: usize, height: usize) -> String {
+    let width = width.max(8);
+    let height = height.max(4);
+    if cdf.is_empty() {
+        return "(no samples)\n".to_owned();
+    }
+    let lo = cdf.min();
+    let hi = cdf.max();
+    let span = (hi - lo).max(f64::EPSILON);
+
+    // One column per x position, holding F(x) ∈ [0,1].
+    let columns: Vec<f64> = (0..width)
+        .map(|i| cdf.fraction_at_or_below(lo + span * i as f64 / (width - 1) as f64))
+        .collect();
+
+    let mut out = String::new();
+    for row in 0..height {
+        // Row 0 is the top (F = 1.0).
+        let upper = 1.0 - row as f64 / height as f64;
+        let lower = 1.0 - (row as f64 + 1.0) / height as f64;
+        let label = if row == 0 {
+            "100% |"
+        } else if row == height / 2 {
+            " 50% |"
+        } else {
+            "     |"
+        };
+        out.push_str(label);
+        for &f in &columns {
+            out.push(if f >= upper {
+                '#'
+            } else if f > lower {
+                ':'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("      {:<w$.0}{:>8.0}\n", lo, hi, w = width.saturating_sub(8)));
+    out
+}
+
+/// Renders a histogram as horizontal bars, one row per bin, bar length
+/// proportional to the bin count. Bins outside the range are summarized.
+pub fn ascii_histogram(hist: &Histogram, bar_width: usize) -> String {
+    let bar_width = bar_width.max(8);
+    let max_count = (0..hist.bins()).map(|i| hist.count(i)).max().unwrap_or(0);
+    let mut out = String::new();
+    if max_count == 0 {
+        return "(no samples in range)\n".to_owned();
+    }
+    for i in 0..hist.bins() {
+        let count = hist.count(i);
+        let (lo, hi) = hist.bin_edges(i);
+        let len = ((count as f64 / max_count as f64) * bar_width as f64).round() as usize;
+        out.push_str(&format!(
+            "[{lo:>9.0}, {hi:>9.0})  {:<w$} {count}\n",
+            "#".repeat(len),
+            w = bar_width
+        ));
+    }
+    if hist.underflow() > 0 || hist.overflow() > 0 {
+        out.push_str(&format!(
+            "(out of range: {} below, {} above)\n",
+            hist.underflow(),
+            hist.overflow()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_curve_is_monotone_left_to_right() {
+        let cdf = Cdf::from_samples((0..1000).map(f64::from).collect());
+        let art = ascii_cdf(&cdf, 30, 8);
+        let rows: Vec<&str> = art.lines().collect();
+        // Top row ends full, bottom data row starts sparse.
+        assert!(rows[0].starts_with("100% |"));
+        assert!(rows[0].ends_with('#'));
+        assert!(art.contains(" 50% |"));
+        // Axis present.
+        assert!(rows[8].contains('+'));
+    }
+
+    #[test]
+    fn empty_cdf_renders_placeholder() {
+        assert_eq!(ascii_cdf(&Cdf::from_samples(vec![]), 20, 5), "(no samples)\n");
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let cdf = Cdf::from_samples(vec![42.0, 42.0]);
+        let art = ascii_cdf(&cdf, 12, 4);
+        // All mass at one point: the whole grid is filled at 100%.
+        assert!(art.lines().next().unwrap().ends_with(&"#".repeat(12)));
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let mut h = Histogram::linear(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 1.6, 1.7, 1.8, 3.5]);
+        let art = ascii_histogram(&h, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        // Bin 1 (4 samples) has the longest bar.
+        let count_hashes =
+            |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert!(count_hashes(lines[1]) > count_hashes(lines[0]));
+        assert!(count_hashes(lines[1]) == 10, "max bin fills the bar width");
+        assert!(lines[1].ends_with('4'));
+    }
+
+    #[test]
+    fn histogram_reports_out_of_range() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.extend([0.5, -4.0, 9.0]);
+        let art = ascii_histogram(&h, 8);
+        assert!(art.contains("1 below, 1 above"));
+    }
+
+    #[test]
+    fn empty_histogram_placeholder() {
+        let h = Histogram::linear(0.0, 1.0, 2);
+        assert_eq!(ascii_histogram(&h, 8), "(no samples in range)\n");
+    }
+}

@@ -1,0 +1,106 @@
+//! Named `(x, y)` series with CSV export.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` points — one curve of a figure.
+///
+/// # Example
+///
+/// ```
+/// use spamward_analysis::Series;
+/// let s = Series::new("cdf-300s", vec![(0.0, 0.0), (300.0, 0.5)]);
+/// let csv = Series::to_csv(&[s]);
+/// assert!(csv.starts_with("series,x,y\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label.
+    pub name: String,
+    /// The points, in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.to_owned(), points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders several series as long-format CSV
+    /// (`series,x,y` header then one line per point).
+    pub fn to_csv(series: &[Series]) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in series {
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{},{x},{y}\n", s.name));
+            }
+        }
+        out
+    }
+
+    /// Parses the long-format CSV produced by [`Series::to_csv`].
+    ///
+    /// Returns `None` on a malformed header or row.
+    pub fn from_csv(csv: &str) -> Option<Vec<Series>> {
+        let mut lines = csv.lines();
+        if lines.next()? != "series,x,y" {
+            return None;
+        }
+        let mut out: Vec<Series> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let name = parts.next()?;
+            let x: f64 = parts.next()?.parse().ok()?;
+            let y: f64 = parts.next()?.parse().ok()?;
+            match out.last_mut() {
+                Some(s) if s.name == name => s.points.push((x, y)),
+                _ => out.push(Series::new(name, vec![(x, y)])),
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let a = Series::new("a", vec![(1.0, 0.5), (2.0, 1.0)]);
+        let b = Series::new("b", vec![(3.0, 0.25)]);
+        let csv = Series::to_csv(&[a.clone(), b.clone()]);
+        let parsed = Series::from_csv(&csv).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn from_csv_rejects_bad_input() {
+        assert_eq!(Series::from_csv("wrong,header\n"), None);
+        assert_eq!(Series::from_csv("series,x,y\nname,notanumber,1\n"), None);
+        assert_eq!(Series::from_csv(""), None);
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let csv = Series::to_csv(&[]);
+        assert_eq!(csv, "series,x,y\n");
+        assert_eq!(Series::from_csv(&csv).unwrap(), vec![]);
+        let s = Series::new("x", vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Five-number summaries.
+
+use crate::cdf::Cdf;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`; `None` when empty (after dropping NaNs).
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let cdf = Cdf::from_samples(samples.to_vec());
+        if cdf.is_empty() {
+            return None;
+        }
+        let clean: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        let mean = clean.iter().sum::<f64>() / clean.len() as f64;
+        Some(Summary {
+            n: cdf.len(),
+            mean,
+            min: cdf.min(),
+            p10: cdf.quantile(0.10),
+            median: cdf.quantile(0.50),
+            p90: cdf.quantile(0.90),
+            max: cdf.max(),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.2} p10={:.2} median={:.2} p90={:.2} max={:.2}",
+            self.n, self.mean, self.min, self.p10, self.median, self.p90, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p10, 10.0);
+        assert_eq!(s.p90, 90.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_nan_only() {
+        assert_eq!(Summary::of(&[]), None);
+        assert_eq!(Summary::of(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn display_readable() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let out = s.to_string();
+        assert!(out.contains("n=3"));
+        assert!(out.contains("median=2.00"));
+    }
+}

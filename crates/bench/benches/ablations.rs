@@ -1,0 +1,53 @@
+//! Benches for the ablation experiments DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spamward_core::experiments::ablations;
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_threshold");
+    g.sample_size(10);
+    g.bench_function("six_threshold_sweep", |b| b.iter(|| ablations::threshold_sweep(1)));
+    g.finish();
+}
+
+fn bench_netmask(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_netmask");
+    g.sample_size(10);
+    g.bench_function("net24_vs_exact", |b| b.iter(|| ablations::netmask_ablation(1)));
+    g.finish();
+}
+
+fn bench_second_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_second_campaign");
+    g.sample_size(10);
+    g.bench_function("slip_through", |b| b.iter(|| ablations::second_campaign(1)));
+    g.finish();
+}
+
+fn bench_scan_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scan_rounds");
+    g.sample_size(10);
+    g.bench_function("rounds_1_to_3_on_2k_domains", |b| {
+        b.iter(|| ablations::scan_rounds_ablation(1, 2_000, 3))
+    });
+    g.finish();
+}
+
+fn bench_store_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_store_cap");
+    g.sample_size(10);
+    g.bench_function("capped_store_under_flood", |b| {
+        b.iter(|| ablations::store_cap_ablation(1, 100, 200))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_threshold_sweep,
+    bench_netmask,
+    bench_second_campaign,
+    bench_scan_rounds,
+    bench_store_cap
+);
+criterion_main!(ablation_benches);

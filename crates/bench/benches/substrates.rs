@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the substrates every experiment leans on: the SMTP
+//! engine, the greylist hot path, MX resolution, and population synthesis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use spamward_dns::{Authority, Resolver, Zone};
+use spamward_greylist::{Greylist, GreylistConfig};
+use spamward_scanner::{Population, PopulationSpec};
+use spamward_sim::{DetRng, SimTime};
+use spamward_smtp::{
+    exchange, AcceptAll, ClientSession, Dialect, Envelope, Message, ReversePath, ServerSession,
+};
+use std::net::Ipv4Addr;
+
+fn bench_smtp_exchange(c: &mut Criterion) {
+    let envelope = Envelope::builder()
+        .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+        .mail_from(ReversePath::Address("a@relay.example".parse().unwrap()))
+        .rcpt("u@foo.net".parse().unwrap())
+        .build();
+    let message = Message::builder()
+        .header("Subject", "bench")
+        .body(&"x".repeat(1_000))
+        .build();
+
+    let mut g = c.benchmark_group("smtp");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("full_exchange_1kb_body", |b| {
+        b.iter_batched(
+            || {
+                (
+                    ClientSession::new(
+                        Dialect::compliant_mta("relay.example"),
+                        envelope.clone(),
+                        message.clone(),
+                    ),
+                    ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9)),
+                )
+            },
+            |(mut client, mut server)| {
+                let mut policy = AcceptAll;
+                exchange(&mut client, &mut server, &mut policy, SimTime::ZERO)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_greylist_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greylist");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("check_cold_triplets", |b| {
+        let mut gl = Greylist::new(GreylistConfig::default().without_auto_whitelist());
+        let sender = ReversePath::Address("s@b.cc".parse().unwrap());
+        let rcpt = "u@foo.net".parse().unwrap();
+        let mut i: u32 = 0;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let ip = Ipv4Addr::from(0x0A00_0000 | i);
+            gl.check(SimTime::from_secs(u64::from(i)), ip, &sender, &rcpt)
+        })
+    });
+    g.bench_function("check_hot_triplet", |b| {
+        let mut gl = Greylist::new(GreylistConfig::default().without_auto_whitelist());
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        let sender = ReversePath::Address("s@b.cc".parse().unwrap());
+        let rcpt: spamward_smtp::EmailAddress = "u@foo.net".parse().unwrap();
+        gl.check(SimTime::ZERO, ip, &sender, &rcpt);
+        gl.check(SimTime::from_secs(301), ip, &sender, &rcpt);
+        b.iter(|| gl.check(SimTime::from_secs(302), ip, &sender, &rcpt))
+    });
+    g.finish();
+}
+
+fn bench_dns_resolution(c: &mut Criterion) {
+    let mut dns = Authority::new();
+    for i in 0..1_000u32 {
+        let name = format!("d{i}.example").parse().unwrap();
+        dns.publish(Zone::single_mx(name, Ipv4Addr::from(0x0B00_0001 + i)));
+    }
+    let mut g = c.benchmark_group("dns");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("resolve_mx_cold_cache", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1_000;
+            let mut resolver = Resolver::new();
+            let name = format!("d{i}.example").parse().unwrap();
+            resolver.resolve_mx(&mut dns, &name, SimTime::ZERO)
+        })
+    });
+    g.bench_function("resolve_mx_warm_cache", |b| {
+        let mut resolver = Resolver::new();
+        let name = "d0.example".parse().unwrap();
+        resolver.resolve_mx(&mut dns, &name, SimTime::ZERO).unwrap();
+        b.iter(|| resolver.resolve_mx(&mut dns, &name, SimTime::ZERO))
+    });
+    g.finish();
+}
+
+fn bench_population_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scanner");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("generate_5k_domain_population", |b| {
+        b.iter(|| Population::generate(&PopulationSpec::fig2(5_000), 1))
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("detrng_next_u64", |b| {
+        let mut rng = DetRng::seed(1);
+        b.iter(|| rng.below(1_000_000))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_smtp_exchange,
+    bench_greylist_check,
+    bench_dns_resolution,
+    bench_population_synthesis,
+    bench_rng
+);
+criterion_main!(substrates);

@@ -1,0 +1,175 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p spamward-bench --bin repro -- all
+//! cargo run --release -p spamward-bench --bin repro -- table3
+//! cargo run --release -p spamward-bench --bin repro -- fig3 --csv
+//! ```
+
+use spamward_analysis::Series;
+use spamward_core::experiments::{
+    ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
+    mta_schedules, nolisting_adoption, summary, variance, webmail,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact> [--csv] [--seed N]\n\
+         artifacts: table1 table2 table3 table4 fig2 fig3 fig4 fig5 summary ablations\n                    future dialects variance costs longterm all\n\
+         --csv     additionally print figure series as CSV\n\
+         --seed N  override the default seed of seedable artifacts"
+    );
+    std::process::exit(2);
+}
+
+/// Reads `--seed N` from the argument list, if present.
+fn seed_arg(args: &[String]) -> Option<u64> {
+    let pos = args.iter().position(|a| a == "--seed")?;
+    args.get(pos + 1)?.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(artifact) = args.first() else { usage() };
+    let csv = args.iter().any(|a| a == "--csv");
+    let seed = seed_arg(&args);
+
+    let run_one = |name: &str| match name {
+        "table1" => println!("{}", dataset::run()),
+        "table2" => {
+            let r = efficacy::run(&efficacy::EfficacyConfig::default());
+            println!("{r}");
+        }
+        "table3" => {
+            let r = webmail::run(&webmail::WebmailConfig::default());
+            println!("{r}");
+        }
+        "table4" => println!("{}", mta_schedules::run()),
+        "fig2" => {
+            let r = nolisting_adoption::run(&nolisting_adoption::AdoptionConfig::default());
+            println!("{r}");
+        }
+        "fig3" | "fig4" => {
+            let mut cfg = kelihos::KelihosConfig::default();
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let r = kelihos::run(&cfg);
+            println!("{r}");
+            if name == "fig3" {
+                println!("CDF of the 300 s run (x = seconds since first attempt):");
+                print!("{}", spamward_analysis::plot::ascii_cdf(&r.default.cdf, 60, 10));
+            } else {
+                let mut hist = spamward_analysis::Histogram::logarithmic(100.0, 100_000.0, 18);
+                hist.extend(
+                    r.extreme.attempts.iter().filter(|p| p.delay_secs > 0.0).map(|p| p.delay_secs),
+                );
+                println!("retransmission-delay histogram (seconds, log bins):");
+                print!("{}", spamward_analysis::plot::ascii_histogram(&hist, 40));
+            }
+            if csv {
+                let series = if name == "fig3" { r.fig3_series() } else { r.fig4_series() };
+                print!("{}", Series::to_csv(&series));
+            }
+        }
+        "fig5" => {
+            let mut cfg = deployment::DeploymentConfig::default();
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let r = deployment::run(&cfg);
+            println!("{r}");
+            println!("benign delivery-delay CDF (x = seconds):");
+            print!("{}", spamward_analysis::plot::ascii_cdf(&r.cdf, 60, 10));
+            if csv {
+                print!("{}", Series::to_csv(&[r.fig5_series()]));
+            }
+        }
+        "dialects" => println!("{}", dialects::run()),
+        "longterm" => {
+            let r = longterm::run(&longterm::LongTermConfig::default());
+            println!("{r}");
+        }
+        "costs" => {
+            let r = costs::run(&costs::CostsConfig::default());
+            println!("{r}");
+        }
+        "variance" => {
+            let r = variance::run(&variance::VarianceConfig::default());
+            println!("{r}");
+        }
+        "future" => {
+            let r = future_threats::run(&future_threats::FutureThreatsConfig::default());
+            println!("{r}");
+        }
+        "summary" => {
+            let r = summary::run(&efficacy::EfficacyConfig::default());
+            println!("{r}");
+        }
+        "ablations" => {
+            println!("== Ablation 1: greylisting threshold sweep ==");
+            for p in ablations::threshold_sweep(2015) {
+                println!(
+                    "  threshold {:>9}: spam blocked {:>6.2}%, benign delay {}",
+                    p.threshold.to_string(),
+                    p.spam_blocked_pct,
+                    p.benign_delay
+                );
+            }
+            println!("\n== Ablation 2: triplet keying granularity ==");
+            let n = ablations::netmask_ablation(7);
+            println!(
+                "  /24 keying: {} attempts; exact-IP keying: {} attempts",
+                n.attempts_with_net24, n.attempts_with_exact
+            );
+            println!("\n== Ablation 3: second spam campaign vs the triplet ==");
+            let s = ablations::second_campaign(11);
+            println!(
+                "  first campaign delivered: {}; second campaign (new message, {} later) delivered: {}",
+                s.first_delivered, s.gap, s.second_delivered
+            );
+            println!("\n== Ablation 4: scan rounds vs detector error ==");
+            for p in ablations::scan_rounds_ablation(3, 4_000, 3) {
+                println!(
+                    "  {} round(s): {} false positives, {} false negatives",
+                    p.rounds, p.false_positives, p.false_negatives
+                );
+            }
+            println!("\n== Ablation 5: triplet-store capacity under spam load ==");
+            for cap in [1_000_000, 500, 50] {
+                let r = ablations::store_cap_ablation(9, cap, 300);
+                println!(
+                    "  capacity {:>8}: {} evictions, benign mail delivered: {}",
+                    r.capacity, r.evictions, r.benign_delivered
+                );
+            }
+            println!("\n== Ablation 6: pregreet (early-talker) filtering alone ==");
+            for p in ablations::pregreet_ablation(13) {
+                println!(
+                    "  {:<15} delivered: {}",
+                    p.sender,
+                    if p.delivered { "yes" } else { "no (caught talking early)" }
+                );
+            }
+            println!();
+        }
+        other => {
+            eprintln!("unknown artifact {other:?}");
+            usage();
+        }
+    };
+
+    if artifact == "all" {
+        for name in
+            [
+            "table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "summary",
+            "ablations", "future", "dialects", "costs", "longterm", "variance",
+        ]
+        {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(artifact);
+    }
+}

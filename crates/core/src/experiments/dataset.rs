@@ -1,0 +1,82 @@
+//! Table I — the malware dataset inventory.
+
+use spamward_analysis::AsciiTable;
+use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
+use std::fmt;
+
+/// Table I as produced data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// One row per family: name, % of 2014 botnet spam, sample count.
+    pub rows: Vec<(String, f64, u32)>,
+    /// The families' combined share of botnet spam (paper: 93.02%).
+    pub total_botnet_pct: f64,
+    /// Their combined share of global spam (paper: 70.69%).
+    pub total_global_pct: f64,
+}
+
+/// Regenerates Table I from the family models.
+pub fn run() -> Table1 {
+    let rows = MalwareFamily::table_i()
+        .into_iter()
+        .map(|r| (r.family.name().to_owned(), r.botnet_spam_pct, r.samples))
+        .collect();
+    Table1 {
+        rows,
+        total_botnet_pct: MalwareFamily::total_botnet_pct(),
+        total_global_pct: MalwareFamily::total_global_pct(),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = AsciiTable::new(vec![
+            "Malware Family",
+            "% of Botnet Spam (2014)",
+            "Samples",
+        ])
+        .with_title("Table I: malware samples used in the experiments");
+        for (name, pct, samples) in &self.rows {
+            t.row(vec![name.clone(), format!("{pct:.2}%"), samples.to_string()]);
+        }
+        t.row(vec![
+            "Total Botnet Spam".into(),
+            format!("{:.2}%", self.total_botnet_pct),
+            self.rows.iter().map(|r| r.2).sum::<u32>().to_string(),
+        ]);
+        t.row(vec![
+            "Total Global Spam".into(),
+            format!("{:.2}%", self.total_global_pct),
+            String::new(),
+        ]);
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "(botnets account for {:.0}% of global spam)",
+            BOTNET_FRACTION_OF_GLOBAL_SPAM * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_totals() {
+        let t = run();
+        assert_eq!(t.rows.len(), 4);
+        assert!((t.total_botnet_pct - 93.02).abs() < 1e-9);
+        assert!((t.total_global_pct - 70.69).abs() < 0.01);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let out = run().to_string();
+        for name in ["Cutwail", "Kelihos", "Darkmailer", "Darkmailer(v3)", "Total Botnet Spam"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("46.90%"));
+        assert!(out.contains("93.02%"));
+    }
+}

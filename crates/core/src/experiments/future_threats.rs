@@ -1,0 +1,257 @@
+//! §VI forward-looking analysis: when do the defenses become obsolete?
+//!
+//! The paper ends on a warning — both techniques work only until malware
+//! adapts, and "it is important to know when they will become obsolete".
+//! This experiment runs the plausible adaptations (see
+//! [`spamward_botnet::AdaptiveBot`]) against each defense configuration
+//! and reports which combinations still hold.
+
+use crate::experiments::worlds::{self, VICTIM_DOMAIN};
+use spamward_analysis::AsciiTable;
+use spamward_botnet::{AdaptiveBot, Campaign};
+use spamward_dns::Zone;
+use spamward_greylist::{Greylist, GreylistConfig};
+use spamward_mta::{MailWorld, ReceivingMta};
+use spamward_net::{PortState, SMTP_PORT};
+use spamward_sim::{DetRng, SimDuration, SimTime};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Configuration of the future-threats matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FutureThreatsConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Victims per campaign.
+    pub recipients: usize,
+    /// Observation horizon.
+    pub horizon: SimDuration,
+}
+
+impl Default for FutureThreatsConfig {
+    fn default() -> Self {
+        FutureThreatsConfig { seed: 2030, recipients: 10, horizon: SimDuration::from_secs(200_000) }
+    }
+}
+
+/// Defense configurations tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseSetup {
+    /// Nolisting only.
+    Nolisting,
+    /// Greylisting at 300 s, /24 keying (Postgrey defaults).
+    GreylistNet24,
+    /// Greylisting at 300 s, exact-IP keying.
+    GreylistExact,
+    /// Nolisting + greylisting stacked.
+    Stack,
+}
+
+impl fmt::Display for DefenseSetup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefenseSetup::Nolisting => "nolisting",
+            DefenseSetup::GreylistNet24 => "greylist (/24 key)",
+            DefenseSetup::GreylistExact => "greylist (exact key)",
+            DefenseSetup::Stack => "nolisting + greylist",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DefenseSetup {
+    /// All tested setups.
+    pub const ALL: [DefenseSetup; 4] = [
+        DefenseSetup::Nolisting,
+        DefenseSetup::GreylistNet24,
+        DefenseSetup::GreylistExact,
+        DefenseSetup::Stack,
+    ];
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreatCell {
+    /// The attacking bot model.
+    pub bot: String,
+    /// The defense it ran against.
+    pub defense: DefenseSetup,
+    /// Fraction of the campaign delivered.
+    pub delivery_rate: f64,
+}
+
+/// The full matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FutureThreatsResult {
+    /// One cell per (bot, defense) pair.
+    pub cells: Vec<ThreatCell>,
+}
+
+impl FutureThreatsResult {
+    /// The delivery rate of a specific pair.
+    pub fn rate(&self, bot: &str, defense: DefenseSetup) -> Option<f64> {
+        self.cells.iter().find(|c| c.bot == bot && c.defense == defense).map(|c| c.delivery_rate)
+    }
+}
+
+fn build_world(seed: u64, setup: DefenseSetup) -> MailWorld {
+    let greylist = |netmask: u8| {
+        let mut cfg =
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
+        cfg.netmask = netmask;
+        Greylist::new(cfg)
+    };
+    match setup {
+        DefenseSetup::Nolisting => worlds::nolisting_world(seed),
+        DefenseSetup::GreylistNet24 | DefenseSetup::GreylistExact => {
+            let netmask = if setup == DefenseSetup::GreylistNet24 { 24 } else { 32 };
+            let mut w = MailWorld::new(seed);
+            w.install_server(
+                ReceivingMta::new("mail.victim.example", worlds::VICTIM_MX_IP)
+                    .with_greylist(greylist(netmask)),
+            );
+            w.dns.publish(Zone::single_mx(
+                VICTIM_DOMAIN.parse().expect("valid victim domain"),
+                worlds::VICTIM_MX_IP,
+            ));
+            w
+        }
+        DefenseSetup::Stack => {
+            let mut w = MailWorld::new(seed);
+            w.network
+                .host("smtp.victim.example")
+                .ip(worlds::VICTIM_DEAD_IP)
+                .port(SMTP_PORT, PortState::Closed)
+                .build();
+            w.install_server(
+                ReceivingMta::new("smtp1.victim.example", worlds::VICTIM_MX_IP)
+                    .with_greylist(greylist(24)),
+            );
+            w.dns.publish(Zone::nolisting(
+                VICTIM_DOMAIN.parse().expect("valid victim domain"),
+                worlds::VICTIM_DEAD_IP,
+                worlds::VICTIM_MX_IP,
+            ));
+            w
+        }
+    }
+}
+
+fn bots() -> Vec<AdaptiveBot> {
+    let cross_subnet: Vec<Ipv4Addr> =
+        (0..8u8).map(|i| Ipv4Addr::new(203, 0, 100 + i, 7)).collect();
+    vec![
+        AdaptiveBot::full_compliance(Ipv4Addr::new(203, 0, 113, 90)),
+        AdaptiveBot::distributed_retry(cross_subnet),
+        AdaptiveBot::subnet_botnet(Ipv4Addr::new(203, 0, 113, 10), 20),
+    ]
+}
+
+/// Runs the full (bot × defense) matrix.
+pub fn run(config: &FutureThreatsConfig) -> FutureThreatsResult {
+    let mut cells = Vec::new();
+    for template in bots() {
+        for defense in DefenseSetup::ALL {
+            let mut world = build_world(config.seed, defense);
+            let mut rng = DetRng::seed(config.seed).fork("future");
+            let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut rng);
+            let mut bot = template.clone();
+            let report = bot.run_campaign(
+                &mut world,
+                &campaign,
+                SimTime::ZERO,
+                SimTime::ZERO + config.horizon,
+            );
+            cells.push(ThreatCell {
+                bot: template.name.clone(),
+                defense,
+                delivery_rate: report.delivery_rate(),
+            });
+        }
+    }
+    FutureThreatsResult { cells }
+}
+
+impl fmt::Display for FutureThreatsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = AsciiTable::new(vec![
+            "Hypothetical bot",
+            "nolisting",
+            "greylist /24",
+            "greylist exact",
+            "stack",
+        ])
+        .with_title("Section VI outlook: spam delivered by adapted malware (100% = defense obsolete)");
+        let mut bots: Vec<&str> = self.cells.iter().map(|c| c.bot.as_str()).collect();
+        bots.dedup();
+        for bot in bots {
+            let cell = |d: DefenseSetup| {
+                self.rate(bot, d).map(|r| format!("{:.0}%", r * 100.0)).unwrap_or_default()
+            };
+            t.row(vec![
+                bot.to_owned(),
+                cell(DefenseSetup::Nolisting),
+                cell(DefenseSetup::GreylistNet24),
+                cell(DefenseSetup::GreylistExact),
+                cell(DefenseSetup::Stack),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "Reading: a fully RFC-compliant retrying bot ends the story for both\n\
+             defenses; distributed retry is self-defeating UNLESS the botnet owns a\n\
+             whole /24 — in which case only exact-IP keying holds."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> FutureThreatsResult {
+        run(&FutureThreatsConfig { recipients: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn full_compliance_defeats_everything() {
+        let r = result();
+        for defense in DefenseSetup::ALL {
+            assert_eq!(
+                r.rate("full-compliance", defense),
+                Some(1.0),
+                "full compliance must defeat {defense}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_retry_beaten_by_any_greylist() {
+        let r = result();
+        // It walks MXs, so nolisting alone doesn't stop it...
+        assert_eq!(r.rate("distributed-retry", DefenseSetup::Nolisting), Some(1.0));
+        // ...but every greylist variant does.
+        for d in [DefenseSetup::GreylistNet24, DefenseSetup::GreylistExact, DefenseSetup::Stack] {
+            assert_eq!(r.rate("distributed-retry", d), Some(0.0), "{d}");
+        }
+    }
+
+    #[test]
+    fn subnet_botnet_splits_on_keying() {
+        let r = result();
+        assert_eq!(r.rate("subnet-botnet", DefenseSetup::GreylistNet24), Some(1.0));
+        assert_eq!(r.rate("subnet-botnet", DefenseSetup::GreylistExact), Some(0.0));
+        // The stack uses /24 keying, and the bot walks MXs: it wins there
+        // too.
+        assert_eq!(r.rate("subnet-botnet", DefenseSetup::Stack), Some(1.0));
+    }
+
+    #[test]
+    fn renders_matrix() {
+        let out = result().to_string();
+        assert!(out.contains("full-compliance"));
+        assert!(out.contains("subnet-botnet"));
+        assert!(out.contains("obsolete"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper artifact. See the crate docs for the index.
+
+pub mod ablations;
+pub mod costs;
+pub mod dataset;
+pub mod deployment;
+pub mod dialects;
+pub mod efficacy;
+pub mod future_threats;
+pub mod kelihos;
+pub mod longterm;
+pub mod mta_schedules;
+pub mod nolisting_adoption;
+pub mod summary;
+pub mod variance;
+pub mod webmail;
+
+pub mod worlds;

@@ -1,0 +1,114 @@
+//! §VI headline numbers — what fraction of spam either defense stops.
+
+use crate::experiments::efficacy::{self, EfficacyConfig};
+use spamward_analysis::AsciiTable;
+use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
+use std::fmt;
+
+/// The §VI aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryResult {
+    /// Botnet-spam share blocked by nolisting alone.
+    pub nolisting_botnet_pct: f64,
+    /// Botnet-spam share blocked by greylisting alone.
+    pub greylisting_botnet_pct: f64,
+    /// Botnet-spam share blocked by either (union).
+    pub either_botnet_pct: f64,
+    /// Global-spam share blocked by either (the paper's "over 70%").
+    pub either_global_pct: f64,
+    /// Per-family rows: (name, botnet %, blocked-by-nolisting,
+    /// blocked-by-greylisting).
+    pub rows: Vec<(String, f64, bool, bool)>,
+}
+
+/// Computes the summary from a fresh Table II run.
+pub fn run(config: &EfficacyConfig) -> SummaryResult {
+    let matrix = efficacy::run(config);
+    let mut rows = Vec::new();
+    let mut either = 0.0;
+    for family in MalwareFamily::ALL {
+        let row = matrix
+            .rows
+            .iter()
+            .find(|r| r.family == family)
+            .expect("every family has at least one sample");
+        if row.nolisting_blocked || row.greylisting_blocked {
+            either += family.botnet_spam_pct();
+        }
+        rows.push((
+            family.name().to_owned(),
+            family.botnet_spam_pct(),
+            row.nolisting_blocked,
+            row.greylisting_blocked,
+        ));
+    }
+    SummaryResult {
+        nolisting_botnet_pct: matrix.botnet_spam_blocked_pct(true),
+        greylisting_botnet_pct: matrix.botnet_spam_blocked_pct(false),
+        either_botnet_pct: either,
+        either_global_pct: either * BOTNET_FRACTION_OF_GLOBAL_SPAM,
+        rows,
+    }
+}
+
+impl fmt::Display for SummaryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = AsciiTable::new(vec!["Family", "Botnet spam", "Nolisting", "Greylisting"])
+            .with_title("Section VI summary: spam blocked per defense");
+        for (name, pct, nl, gl) in &self.rows {
+            let mark = |b: &bool| if *b { "blocks".to_owned() } else { "-".to_owned() };
+            t.row(vec![name.clone(), format!("{pct:.2}%"), mark(nl), mark(gl)]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "nolisting alone blocks:   {:.2}% of botnet spam", self.nolisting_botnet_pct)?;
+        writeln!(f, "greylisting alone blocks: {:.2}% of botnet spam", self.greylisting_botnet_pct)?;
+        writeln!(f, "either defense blocks:    {:.2}% of botnet spam", self.either_botnet_pct)?;
+        writeln!(
+            f,
+            "                        = {:.2}% of ALL worldwide spam (paper: \"over 70%\")",
+            self.either_global_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SummaryResult {
+        run(&EfficacyConfig { recipients: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn headline_over_70_percent() {
+        let s = quick();
+        // All four families are blocked by at least one technique.
+        assert!((s.either_botnet_pct - 93.02).abs() < 1e-9);
+        assert!(s.either_global_pct > 70.0, "got {}", s.either_global_pct);
+        assert!(s.either_global_pct < 71.0);
+    }
+
+    #[test]
+    fn greylisting_beats_nolisting() {
+        // §VI: "Between the two, greylisting seems to be more effective".
+        let s = quick();
+        assert!(s.greylisting_botnet_pct > s.nolisting_botnet_pct);
+        assert!((s.greylisting_botnet_pct - 56.69).abs() < 1e-9);
+        assert!((s.nolisting_botnet_pct - 36.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_family_escapes_both() {
+        let s = quick();
+        for (name, _, nl, gl) in &s.rows {
+            assert!(nl | gl, "{name} escapes both defenses");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = quick().to_string();
+        assert!(out.contains("worldwide spam"));
+        assert!(out.contains("Kelihos"));
+    }
+}

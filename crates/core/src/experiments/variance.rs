@@ -1,0 +1,189 @@
+//! Seed-variance analysis: every headline number as mean ± 95% CI.
+//!
+//! The paper's numbers are single measurements of a live system; ours are
+//! draws from a seeded simulator, so we can quantify how much each
+//! reported quantity moves across worlds. Tight intervals mean the
+//! reproduction's conclusions don't hinge on a lucky seed.
+
+use crate::experiments::{deployment, nolisting_adoption};
+use crate::runner::run_seeds;
+use spamward_analysis::ci::ConfidenceInterval;
+use spamward_analysis::AsciiTable;
+use spamward_scanner::DomainClass;
+use std::fmt;
+
+/// Configuration of the variance sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceConfig {
+    /// Seeds to run (default: 12 consecutive seeds).
+    pub seeds: Vec<u64>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Fig. 2 population size per run.
+    pub fig2_domains: usize,
+    /// Fig. 5 messages per run.
+    pub fig5_messages: usize,
+}
+
+impl Default for VarianceConfig {
+    fn default() -> Self {
+        VarianceConfig { seeds: (100..112).collect(), workers: 4, fig2_domains: 4_000, fig5_messages: 400 }
+    }
+}
+
+/// One tracked quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceRow {
+    /// Quantity name.
+    pub quantity: String,
+    /// The paper's published value.
+    pub paper_value: f64,
+    /// Mean ± CI across seeds.
+    pub ci: ConfidenceInterval,
+}
+
+/// The variance report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceResult {
+    /// One row per tracked quantity.
+    pub rows: Vec<VarianceRow>,
+}
+
+impl VarianceResult {
+    /// Looks a row up by name.
+    pub fn row(&self, quantity: &str) -> Option<&VarianceRow> {
+        self.rows.iter().find(|r| r.quantity == quantity)
+    }
+}
+
+/// Runs the Fig. 2 and Fig. 5 headline quantities across seeds.
+pub fn run(config: &VarianceConfig) -> VarianceResult {
+    // Fig. 2 quantities per seed.
+    let fig2_domains = config.fig2_domains;
+    let fig2_runs = run_seeds(&config.seeds, config.workers, move |seed| {
+        let cfg = nolisting_adoption::AdoptionConfig {
+            domains: fig2_domains,
+            seed,
+            ..Default::default()
+        };
+        let r = nolisting_adoption::run(&cfg);
+        (
+            r.stats.pct(DomainClass::Nolisting),
+            r.stats.pct(DomainClass::OneMx),
+            r.accuracy.precision(),
+        )
+    });
+    // Fig. 5 quantities per seed.
+    let fig5_messages = config.fig5_messages;
+    let fig5_runs = run_seeds(&config.seeds, config.workers, move |seed| {
+        let cfg = deployment::DeploymentConfig {
+            messages: fig5_messages,
+            seed,
+            ..Default::default()
+        };
+        let r = deployment::run(&cfg);
+        (r.within_10min * 100.0, r.abandonment_rate * 100.0)
+    });
+
+    let collect = |f: &dyn Fn(usize) -> f64, n: usize| -> Vec<f64> { (0..n).map(f).collect() };
+    let n2 = fig2_runs.len();
+    let n5 = fig5_runs.len();
+    let rows = vec![
+        VarianceRow {
+            quantity: "fig2 nolisting share (%)".into(),
+            paper_value: 0.52,
+            ci: ConfidenceInterval::ci95(&collect(&|i| fig2_runs[i].output.0, n2))
+                .expect("enough seeds"),
+        },
+        VarianceRow {
+            quantity: "fig2 one-MX share (%)".into(),
+            paper_value: 47.73,
+            ci: ConfidenceInterval::ci95(&collect(&|i| fig2_runs[i].output.1, n2))
+                .expect("enough seeds"),
+        },
+        VarianceRow {
+            quantity: "fig2 detector precision".into(),
+            paper_value: f64::NAN, // the paper could not measure this
+            ci: ConfidenceInterval::ci95(&collect(&|i| fig2_runs[i].output.2, n2))
+                .expect("enough seeds"),
+        },
+        VarianceRow {
+            quantity: "fig5 delivered <10min (%)".into(),
+            paper_value: 50.0,
+            ci: ConfidenceInterval::ci95(&collect(&|i| fig5_runs[i].output.0, n5))
+                .expect("enough seeds"),
+        },
+        VarianceRow {
+            quantity: "fig5 abandonment (%)".into(),
+            paper_value: f64::NAN,
+            ci: ConfidenceInterval::ci95(&collect(&|i| fig5_runs[i].output.1, n5))
+                .expect("enough seeds"),
+        },
+    ];
+    VarianceResult { rows }
+}
+
+impl fmt::Display for VarianceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = AsciiTable::new(vec!["Quantity", "Paper", "Measured (mean ± 95% CI)"])
+            .with_title("Seed variance of the headline quantities");
+        for r in &self.rows {
+            let paper =
+                if r.paper_value.is_nan() { "n/a".to_owned() } else { format!("{:.2}", r.paper_value) };
+            t.row(vec![r.quantity.clone(), paper, r.ci.to_string()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> VarianceResult {
+        run(&VarianceConfig {
+            seeds: (100..106).collect(),
+            fig2_domains: 2_000,
+            fig5_messages: 150,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn paper_values_inside_or_near_intervals() {
+        let r = quick();
+        // The one-MX share is set by construction; its CI must cover the
+        // paper's value.
+        let one_mx = r.row("fig2 one-MX share (%)").unwrap();
+        assert!(
+            (one_mx.ci.mean - 47.73).abs() < 3.0,
+            "one-MX mean {} drifted from the generator mix",
+            one_mx.ci.mean
+        );
+        // Fig. 5's "about half in 10 minutes" lands in a sane band.
+        let ten = r.row("fig5 delivered <10min (%)").unwrap();
+        assert!((30.0..=80.0).contains(&ten.ci.mean), "{}", ten.ci.mean);
+    }
+
+    #[test]
+    fn intervals_are_tight_enough_to_be_meaningful() {
+        let r = quick();
+        for row in &r.rows {
+            assert!(row.ci.n >= 6);
+            assert!(
+                row.ci.half_width <= row.ci.mean.abs().max(1.0),
+                "{}: CI wider than the mean ({})",
+                row.quantity,
+                row.ci
+            );
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = quick().to_string();
+        assert!(out.contains("Seed variance"));
+        assert!(out.contains("±"));
+        assert!(out.contains("n/a"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared world builders: the lab setups of §III.
+//!
+//! Public so that integration tests and downstream users can reuse the
+//! paper's exact victim configurations.
+
+use spamward_dns::{DomainName, Zone};
+use spamward_greylist::{Greylist, GreylistConfig};
+use spamward_mta::{MailWorld, ReceivingMta};
+use spamward_net::{PortState, SMTP_PORT};
+use spamward_sim::SimDuration;
+use std::net::Ipv4Addr;
+
+/// The victim domain every lab experiment targets.
+pub const VICTIM_DOMAIN: &str = "victim.example";
+
+/// Address of the (live) victim mail server.
+pub const VICTIM_MX_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 10);
+
+/// Address of the nolisting dead primary.
+pub const VICTIM_DEAD_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 11);
+
+fn victim_domain() -> DomainName {
+    VICTIM_DOMAIN.parse().expect("victim domain is valid")
+}
+
+/// An unprotected victim server (baseline).
+pub fn plain_world(seed: u64) -> MailWorld {
+    let mut w = MailWorld::new(seed);
+    w.install_server(ReceivingMta::new("mail.victim.example", VICTIM_MX_IP));
+    w.dns.publish(Zone::single_mx(victim_domain(), VICTIM_MX_IP));
+    w
+}
+
+/// A victim protected by nolisting: dead primary (port 25 closed), working
+/// secondary — the paper's §IV DNS configuration.
+pub fn nolisting_world(seed: u64) -> MailWorld {
+    let mut w = MailWorld::new(seed);
+    w.network
+        .host("smtp.victim.example")
+        .ip(VICTIM_DEAD_IP)
+        .port(SMTP_PORT, PortState::Closed)
+        .build();
+    w.install_server(ReceivingMta::new("smtp1.victim.example", VICTIM_MX_IP));
+    w.dns.publish(Zone::nolisting(victim_domain(), VICTIM_DEAD_IP, VICTIM_MX_IP));
+    w
+}
+
+/// A victim protected by greylisting at `delay` (Postgrey-like defaults,
+/// auto-whitelist off so repeated experiments stay independent), with an
+/// unprotected `postmaster` control address as in §V-A.
+pub fn greylist_world(seed: u64, delay: SimDuration) -> MailWorld {
+    let mut cfg = GreylistConfig::with_delay(delay).without_auto_whitelist();
+    cfg.whitelist_recipients.add_local_part("postmaster");
+    let mut w = MailWorld::new(seed);
+    w.install_server(
+        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_greylist(Greylist::new(cfg)),
+    );
+    w.dns.publish(Zone::single_mx(victim_domain(), VICTIM_MX_IP));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_net::ProbeResult;
+
+    #[test]
+    fn worlds_have_expected_shape() {
+        let w = plain_world(1);
+        assert!(w.server(VICTIM_MX_IP).is_some());
+
+        let w = nolisting_world(1);
+        assert_eq!(w.network.probe(VICTIM_DEAD_IP, SMTP_PORT, 0), ProbeResult::Rst);
+        assert_eq!(w.network.probe(VICTIM_MX_IP, SMTP_PORT, 0), ProbeResult::SynAck);
+
+        let w = greylist_world(1, SimDuration::from_secs(300));
+        let gl = w.server(VICTIM_MX_IP).unwrap().greylist().unwrap();
+        assert_eq!(gl.config().delay, SimDuration::from_secs(300));
+        assert_eq!(gl.config().auto_whitelist_after, None);
+    }
+}

@@ -1,0 +1,45 @@
+//! The `spamward` study: every experiment of *"Measuring the Role of
+//! Greylisting and Nolisting in Fighting Spam"* (DSN 2016), re-runnable.
+//!
+//! Each paper artifact has one module under [`experiments`], exposing a
+//! `Config` (seeded, with the paper's parameters as defaults), a `run`
+//! function, and a `Result` type that renders the corresponding table or
+//! figure:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::dataset`] | Table I — malware families & samples |
+//! | [`experiments::nolisting_adoption`] | Fig. 2 — worldwide nolisting adoption |
+//! | [`experiments::efficacy`] | Table II — per-family ✓/✗ matrix |
+//! | [`experiments::kelihos`] | Fig. 3 (5 s / 300 s CDFs) and Fig. 4 (21 600 s long run) |
+//! | [`experiments::deployment`] | Fig. 5 — benign delivery delay at a real deployment |
+//! | [`experiments::webmail`] | Table III — webmail retries at a 6 h threshold |
+//! | [`experiments::mta_schedules`] | Table IV — MTA retransmission schedules |
+//! | [`experiments::summary`] | §VI headline — spam prevented by either technique |
+//! | [`experiments::ablations`] | design-choice sweeps DESIGN.md calls out |
+//!
+//! Extension experiments with no direct paper artifact:
+//!
+//! | Module | Question it answers |
+//! |---|---|
+//! | [`experiments::dialects`] | can transcripts alone tell bots from MTAs (B@bel, §II)? |
+//! | [`experiments::future_threats`] | which adaptations obsolete which defense (§VI outlook)? |
+//! | [`experiments::costs`] | what do the defenses charge the system and the Internet (§VI)? |
+//! | [`experiments::longterm`] | does effectiveness hold month over month (Sochor, §VII)? |
+//! | [`experiments::variance`] | how seed-robust is every headline number? |
+//!
+//! ```
+//! use spamward_core::experiments::efficacy;
+//!
+//! let result = efficacy::run(&efficacy::EfficacyConfig::default());
+//! // Nolisting stops Kelihos; greylisting stops everything else.
+//! assert!(result.family_row("Kelihos").unwrap().nolisting_blocked);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod runner;
+
+pub use runner::{run_seeds, SeedRun};

@@ -1,0 +1,91 @@
+//! Multi-seed experiment execution with a crossbeam worker pool.
+
+use crossbeam::channel;
+
+/// One seed's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedRun<T> {
+    /// The seed the run used.
+    pub seed: u64,
+    /// What the run produced.
+    pub output: T,
+}
+
+/// Runs `f(seed)` for every seed, fanning out across `workers` threads,
+/// and returns results ordered by seed.
+///
+/// Experiment functions are pure given their seed, so this is safe
+/// parallelism for sweeps (used by the threshold ablation and the
+/// benches).
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or a worker panics.
+pub fn run_seeds<T, F>(seeds: &[u64], workers: usize, f: F) -> Vec<SeedRun<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let (job_tx, job_rx) = channel::unbounded::<u64>();
+    let (res_tx, res_rx) = channel::unbounded::<SeedRun<T>>();
+    for &s in seeds {
+        job_tx.send(s).expect("queue seeds");
+    }
+    drop(job_tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(seeds.len().max(1)) {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok(seed) = job_rx.recv() {
+                    let output = f(seed);
+                    res_tx.send(SeedRun { seed, output }).expect("report result");
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("seed workers never panic");
+
+    let mut out: Vec<SeedRun<T>> = res_rx.iter().collect();
+    out.sort_by_key(|r| r.seed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_seeds_in_order() {
+        let seeds = [5u64, 1, 9, 3];
+        let results = run_seeds(&seeds, 2, |s| s * 10);
+        let pairs: Vec<(u64, u64)> = results.iter().map(|r| (r.seed, r.output)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50), (9, 90)]);
+    }
+
+    #[test]
+    fn single_worker_and_empty_seeds() {
+        let results = run_seeds(&[], 4, |s| s);
+        assert!(results.is_empty());
+        let results = run_seeds(&[7], 1, |s| s + 1);
+        assert_eq!(results[0].output, 8);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let seeds: Vec<u64> = (0..50).collect();
+        let serial = run_seeds(&seeds, 1, |s| s * s);
+        let parallel = run_seeds(&seeds, 8, |s| s * s);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = run_seeds(&[1], 0, |s| s);
+    }
+}

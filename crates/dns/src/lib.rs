@@ -1,0 +1,33 @@
+//! DNS substrate for the `spamward` suite.
+//!
+//! Nolisting is "actually applied at the DNS level, and therefore at the
+//! domain granularity" (paper §IV-A): a domain advertises a primary MX that
+//! resolves to a machine with port 25 closed, and a working secondary. This
+//! crate provides everything the experiments need from DNS:
+//!
+//! * [`DomainName`] — validated, lowercased domain names.
+//! * [`RecordData`]/[`ResourceRecord`] — A, MX, NS and TXT records.
+//! * [`Zone`] — a domain's record set, with builders for ordinary
+//!   configurations, for [nolisting](zone::Zone::nolisting) and for the
+//!   misconfiguration modes the Fig. 2 survey encounters (no MX at all,
+//!   dangling MX targets, lame servers).
+//! * [`Authority`] — the simulated global DNS answering typed queries.
+//! * [`Resolver`] — a caching stub resolver implementing the MX resolution
+//!   algorithm mail clients use (RFC 5321 §5.1), including the implicit-MX
+//!   fallback and the follow-up A lookups the paper's "parallel scanner"
+//!   had to perform for MX replies lacking glue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod authority;
+mod name;
+mod record;
+mod resolver;
+pub mod zone;
+
+pub use authority::{Authority, QueryOutcome, Rcode};
+pub use name::{DomainName, ParseNameError};
+pub use record::{RecordData, RecordType, ResourceRecord};
+pub use resolver::{MxHost, ResolveError, Resolver};
+pub use zone::Zone;

@@ -1,0 +1,210 @@
+//! Validated domain names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A validated, canonical (lowercase, no trailing dot) domain name.
+///
+/// # Example
+///
+/// ```
+/// use spamward_dns::DomainName;
+/// let d: DomainName = "SMTP.Foo.NET.".parse()?;
+/// assert_eq!(d.as_str(), "smtp.foo.net");
+/// assert_eq!(d.parent().unwrap().as_str(), "foo.net");
+/// # Ok::<(), spamward_dns::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainName(String);
+
+/// Error parsing a [`DomainName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The name was empty (or only a trailing dot).
+    Empty,
+    /// The name exceeded 253 characters.
+    TooLong,
+    /// A label was empty, longer than 63 characters, or had a bad edge char.
+    BadLabel(String),
+    /// A character outside `[a-z0-9-]` appeared.
+    BadChar(char),
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::Empty => write!(f, "empty domain name"),
+            ParseNameError::TooLong => write!(f, "domain name longer than 253 characters"),
+            ParseNameError::BadLabel(l) => write!(f, "invalid label {l:?}"),
+            ParseNameError::BadChar(c) => write!(f, "invalid character {c:?} in domain name"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl DomainName {
+    /// Parses and canonicalizes a name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] when the name violates the LDH
+    /// (letters-digits-hyphen) rule, has empty/oversized labels, or is
+    /// empty/too long overall.
+    pub fn parse(s: &str) -> Result<Self, ParseNameError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Err(ParseNameError::Empty);
+        }
+        if trimmed.len() > 253 {
+            return Err(ParseNameError::TooLong);
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        for label in lower.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(ParseNameError::BadLabel(label.to_owned()));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(ParseNameError::BadLabel(label.to_owned()));
+            }
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_') {
+                    return Err(ParseNameError::BadChar(c));
+                }
+            }
+        }
+        Ok(DomainName(lower))
+    }
+
+    /// The canonical textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// The name with the leftmost label removed, or `None` at a TLD.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_owned()))
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        self == other
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(&other.0)
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+
+    /// Prefixes a label, e.g. `"smtp"` + `foo.net` → `smtp.foo.net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the resulting name is invalid.
+    pub fn prefixed(&self, label: &str) -> Result<DomainName, ParseNameError> {
+        DomainName::parse(&format!("{label}.{}", self.0))
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = ParseNameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonicalizes_case_and_trailing_dot() {
+        let d = DomainName::parse("MAIL.Example.COM.").unwrap();
+        assert_eq!(d.as_str(), "mail.example.com");
+        assert_eq!(d, DomainName::parse("mail.example.com").unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(DomainName::parse(""), Err(ParseNameError::Empty));
+        assert_eq!(DomainName::parse("."), Err(ParseNameError::Empty));
+        assert!(matches!(DomainName::parse("a..b"), Err(ParseNameError::BadLabel(_))));
+        assert!(matches!(DomainName::parse("-bad.com"), Err(ParseNameError::BadLabel(_))));
+        assert!(matches!(DomainName::parse("bad-.com"), Err(ParseNameError::BadLabel(_))));
+        assert!(matches!(DomainName::parse("sp ace.com"), Err(ParseNameError::BadChar(' '))));
+        let long_label = "x".repeat(64);
+        assert!(matches!(
+            DomainName::parse(&format!("{long_label}.com")),
+            Err(ParseNameError::BadLabel(_))
+        ));
+        let long_name = format!("{}.com", "abcde.".repeat(50));
+        assert_eq!(DomainName::parse(&long_name), Err(ParseNameError::TooLong));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let d = DomainName::parse("a.b.c").unwrap();
+        let p = d.parent().unwrap();
+        assert_eq!(p.as_str(), "b.c");
+        assert_eq!(p.parent().unwrap().as_str(), "c");
+        assert_eq!(p.parent().unwrap().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let base = DomainName::parse("foo.net").unwrap();
+        let sub = DomainName::parse("smtp.foo.net").unwrap();
+        let other = DomainName::parse("notfoo.net").unwrap();
+        assert!(sub.is_subdomain_of(&base));
+        assert!(base.is_subdomain_of(&base));
+        assert!(!base.is_subdomain_of(&sub));
+        assert!(!other.is_subdomain_of(&base), "suffix match must respect label boundary");
+    }
+
+    #[test]
+    fn prefixed_builds_child() {
+        let base = DomainName::parse("foo.net").unwrap();
+        assert_eq!(base.prefixed("smtp").unwrap().as_str(), "smtp.foo.net");
+        assert!(base.prefixed("bad label").is_err());
+    }
+
+    #[test]
+    fn labels_iterate_left_to_right() {
+        let d = DomainName::parse("a.b.c").unwrap();
+        assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parse_is_idempotent(s in "[a-z0-9]{1,10}(\\.[a-z0-9]{1,10}){0,3}") {
+            let once = DomainName::parse(&s).unwrap();
+            let twice = DomainName::parse(once.as_str()).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn prop_case_insensitive(s in "[a-zA-Z]{1,12}\\.[a-zA-Z]{2,6}") {
+            let lower = DomainName::parse(&s.to_ascii_lowercase()).unwrap();
+            let mixed = DomainName::parse(&s).unwrap();
+            prop_assert_eq!(lower, mixed);
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The greylisting decision engine.
+
+use crate::stats::GreylistStats;
+use crate::store::{EntryState, TripletStore};
+use crate::triplet::TripletKey;
+use crate::whitelist::Whitelist;
+use serde::{Deserialize, Serialize};
+use spamward_sim::{SimDuration, SimTime};
+use spamward_smtp::{EmailAddress, ReversePath};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Why a check passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PassReason {
+    /// The client matched the static client whitelist.
+    ClientWhitelisted,
+    /// The recipient matched the recipient whitelist (e.g. `postmaster`).
+    RecipientWhitelisted,
+    /// The client earned the auto-whitelist.
+    AutoWhitelisted,
+    /// The triplet's delay elapsed and the retry arrived in time.
+    DelayElapsed,
+    /// The triplet had already passed before.
+    TripletKnown,
+}
+
+/// The outcome of one greylist check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Accept the RCPT.
+    Pass(PassReason),
+    /// Defer with a 450.
+    Greylisted {
+        /// How long until a retry would pass (hint only; clients retry on
+        /// their own schedule).
+        retry_after: SimDuration,
+    },
+}
+
+impl Decision {
+    /// Whether the check passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Decision::Pass(_))
+    }
+}
+
+/// Configuration mirroring Postgrey's command-line knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreylistConfig {
+    /// How long an unknown triplet must wait before a retry passes
+    /// (`--delay`, default 300 s — the paper's default threshold).
+    pub delay: SimDuration,
+    /// Client-address prefix length used in the triplet key
+    /// (Postgrey keys on /24 by default).
+    pub netmask: u8,
+    /// After this many *distinct successful* greylist passes, the client
+    /// network skips greylisting entirely (`--auto-whitelist-clients`,
+    /// default 5). `None` disables auto-whitelisting.
+    pub auto_whitelist_after: Option<u32>,
+    /// Static client whitelist.
+    pub whitelist_clients: Whitelist,
+    /// Static recipient whitelist.
+    pub whitelist_recipients: Whitelist,
+}
+
+impl Default for GreylistConfig {
+    fn default() -> Self {
+        GreylistConfig {
+            delay: SimDuration::from_secs(300),
+            netmask: 24,
+            auto_whitelist_after: Some(5),
+            whitelist_clients: Whitelist::new(),
+            whitelist_recipients: Whitelist::new(),
+        }
+    }
+}
+
+impl GreylistConfig {
+    /// A config with the given delay and everything else at defaults.
+    pub fn with_delay(delay: SimDuration) -> Self {
+        GreylistConfig { delay, ..Default::default() }
+    }
+
+    /// Disables the auto-whitelist (for ablation experiments).
+    pub fn without_auto_whitelist(mut self) -> Self {
+        self.auto_whitelist_after = None;
+        self
+    }
+}
+
+/// The greylisting engine: configuration + triplet store + counters.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_greylist::{Greylist, GreylistConfig};
+/// use spamward_sim::{SimDuration, SimTime};
+/// use spamward_smtp::ReversePath;
+///
+/// let mut gl = Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300)));
+/// let ip = Ipv4Addr::new(203, 0, 113, 9);
+/// let from = ReversePath::Address("sender@relay.example".parse()?);
+/// let rcpt = "user@foo.net".parse()?;
+///
+/// // First contact: deferred.
+/// let t0 = SimTime::ZERO;
+/// assert!(!gl.check(t0, ip, &from, &rcpt).is_pass());
+/// // Retry after the delay: passes.
+/// let t1 = t0 + SimDuration::from_secs(301);
+/// assert!(gl.check(t1, ip, &from, &rcpt).is_pass());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Greylist {
+    config: GreylistConfig,
+    store: TripletStore,
+    stats: GreylistStats,
+    /// Successful greylist passes per client network (for auto-whitelist).
+    awl_counts: HashMap<u32, u32>,
+}
+
+impl Greylist {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: GreylistConfig) -> Self {
+        Greylist { config, store: TripletStore::new(), stats: GreylistStats::default(), awl_counts: HashMap::new() }
+    }
+
+    /// Replaces the triplet store (e.g. one with a capacity bound).
+    pub fn with_store(mut self, store: TripletStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GreylistConfig {
+        &self.config
+    }
+
+    /// The triplet store (for snapshots and assertions).
+    pub fn store(&self) -> &TripletStore {
+        &self.store
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> GreylistStats {
+        self.stats
+    }
+
+    /// Runs periodic maintenance (expiry sweep); returns entries dropped.
+    pub fn maintain(&mut self, now: SimTime) -> usize {
+        self.store.purge_expired(now)
+    }
+
+    /// The auto-whitelist counters as `(client_net, passes)` pairs (for
+    /// snapshots).
+    pub(crate) fn awl_counts_snapshot(&self) -> Vec<(u32, u32)> {
+        self.awl_counts.iter().map(|(&n, &c)| (n, c)).collect()
+    }
+
+    /// Sets one auto-whitelist counter (snapshot restore).
+    pub(crate) fn set_awl_count(&mut self, net: u32, passes: u32) {
+        self.awl_counts.insert(net, passes);
+    }
+
+    /// Inserts a triplet entry verbatim (snapshot restore).
+    pub(crate) fn insert_restored(&mut self, key: crate::triplet::TripletKey, entry: crate::store::TripletEntry) {
+        self.store.insert_raw(key, entry);
+    }
+
+    fn client_net(&self, ip: Ipv4Addr) -> u32 {
+        let m = self.config.netmask;
+        let mask = if m == 0 { 0 } else { u32::MAX << (32 - u32::from(m)) };
+        u32::from(ip) & mask
+    }
+
+    /// Checks one RCPT against the greylist, updating state.
+    ///
+    /// Order of evaluation mirrors Postgrey: client whitelist, recipient
+    /// whitelist, auto-whitelist, then the triplet state machine.
+    pub fn check(
+        &mut self,
+        now: SimTime,
+        client_ip: Ipv4Addr,
+        sender: &ReversePath,
+        recipient: &EmailAddress,
+    ) -> Decision {
+        self.check_with_rdns(now, client_ip, None, sender, recipient)
+    }
+
+    /// Like [`Greylist::check`] but with the client's reverse-DNS name, so
+    /// name-based whitelist entries can match.
+    pub fn check_with_rdns(
+        &mut self,
+        now: SimTime,
+        client_ip: Ipv4Addr,
+        client_rdns: Option<&str>,
+        sender: &ReversePath,
+        recipient: &EmailAddress,
+    ) -> Decision {
+        if self.config.whitelist_clients.matches_client(client_ip, client_rdns) {
+            self.stats.passed_client_whitelist += 1;
+            return Decision::Pass(PassReason::ClientWhitelisted);
+        }
+        if self.config.whitelist_recipients.matches_recipient(&recipient.normalized()) {
+            self.stats.passed_recipient_whitelist += 1;
+            return Decision::Pass(PassReason::RecipientWhitelisted);
+        }
+        let net = self.client_net(client_ip);
+        if let Some(threshold) = self.config.auto_whitelist_after {
+            if self.awl_counts.get(&net).copied().unwrap_or(0) >= threshold {
+                self.stats.passed_auto_whitelist += 1;
+                return Decision::Pass(PassReason::AutoWhitelisted);
+            }
+        }
+
+        let key = TripletKey::new(client_ip, sender, recipient, self.config.netmask);
+        let delay = self.config.delay;
+        let existed = self.store.contains(&key);
+        match self.store.get_live_mut(&key, now) {
+            None => {
+                // Either genuinely unseen, or a stale entry that
+                // `get_live_mut` just removed — both restart the clock.
+                let entry = self.store.insert_pending(key, now);
+                entry.attempts += 1;
+                entry.last_seen = now;
+                debug_assert_eq!(entry.first_seen, now);
+                if existed {
+                    self.stats.greylisted_restarted += 1;
+                } else {
+                    self.stats.greylisted_new += 1;
+                }
+                Decision::Greylisted { retry_after: delay }
+            }
+            Some(entry) => {
+                entry.attempts += 1;
+                entry.last_seen = now;
+                match entry.state {
+                    EntryState::Passed => {
+                        self.stats.passed_known += 1;
+                        Decision::Pass(PassReason::TripletKnown)
+                    }
+                    EntryState::Pending => {
+                        // Sessions carry per-connection latency offsets, so
+                        // two logically-concurrent checks can arrive with
+                        // slightly out-of-order clocks; saturate to zero.
+                        let waited =
+                            now.checked_elapsed_since(entry.first_seen).unwrap_or(SimDuration::ZERO);
+                        if waited >= delay {
+                            entry.state = EntryState::Passed;
+                            self.stats.passed_after_delay += 1;
+                            *self.awl_counts.entry(net).or_insert(0) += 1;
+                            Decision::Pass(PassReason::DelayElapsed)
+                        } else {
+                            self.stats.greylisted_early += 1;
+                            Decision::Greylisted { retry_after: delay - waited }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, d)
+    }
+
+    fn from(s: &str) -> ReversePath {
+        ReversePath::Address(s.parse().unwrap())
+    }
+
+    fn rcpt(s: &str) -> EmailAddress {
+        s.parse().unwrap()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn gl(delay_secs: u64) -> Greylist {
+        Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(delay_secs)).without_auto_whitelist(),
+        )
+    }
+
+    #[test]
+    fn first_contact_deferred_retry_passes() {
+        let mut g = gl(300);
+        let d = g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Greylisted { retry_after: SimDuration::from_secs(300) });
+        let d = g.check(t(300), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Pass(PassReason::DelayElapsed));
+        // Third time: known triplet.
+        let d = g.check(t(400), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Pass(PassReason::TripletKnown));
+        assert_eq!(g.stats().total_greylisted(), 1);
+        assert_eq!(g.stats().total_passed(), 2);
+    }
+
+    #[test]
+    fn early_retry_redeferred_with_remaining_time() {
+        let mut g = gl(300);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        let d = g.check(t(100), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Greylisted { retry_after: SimDuration::from_secs(200) });
+        // The clock runs from first_seen, not last attempt: passing at
+        // t=300 still works even after the early retry.
+        assert!(g.check(t(300), ip(1), &from("a@b.cc"), &rcpt("u@foo.net")).is_pass());
+        assert_eq!(g.stats().greylisted_early, 1);
+    }
+
+    #[test]
+    fn different_triplets_are_independent() {
+        let mut g = gl(300);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        // Different sender → fresh greylisting.
+        let d = g.check(t(400), ip(1), &from("other@b.cc"), &rcpt("u@foo.net"));
+        assert!(!d.is_pass());
+        // Different recipient → fresh greylisting.
+        let d = g.check(t(400), ip(1), &from("a@b.cc"), &rcpt("v@foo.net"));
+        assert!(!d.is_pass());
+    }
+
+    #[test]
+    fn netmask_24_lets_neighbour_retry_pass() {
+        let mut g = gl(300);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        // Retry from another host in the same /24 (webmail pool behaviour).
+        let d = g.check(t(301), ip(77), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert!(d.is_pass(), "same /24 must share the triplet");
+    }
+
+    #[test]
+    fn exact_netmask_regreylists_pool_senders() {
+        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
+        cfg.netmask = 32;
+        let mut g = Greylist::new(cfg);
+        g.check(t(0), Ipv4Addr::new(10, 0, 0, 1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        let d = g.check(t(301), Ipv4Addr::new(10, 0, 1, 1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert!(!d.is_pass(), "different IP with /32 keying must be re-greylisted");
+    }
+
+    #[test]
+    fn client_whitelist_short_circuits() {
+        let mut cfg = GreylistConfig::default();
+        cfg.whitelist_clients.add_cidr(ip(0), 24);
+        let mut g = Greylist::new(cfg);
+        let d = g.check(t(0), ip(5), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Pass(PassReason::ClientWhitelisted));
+        assert_eq!(g.store().len(), 0, "whitelisted checks must not create triplets");
+    }
+
+    #[test]
+    fn recipient_whitelist_postmaster_control() {
+        let mut cfg = GreylistConfig::default();
+        cfg.whitelist_recipients.add_local_part("postmaster");
+        let mut g = Greylist::new(cfg);
+        let d = g.check(t(0), ip(5), &from("spam@bot.example"), &rcpt("postmaster@foo.net"));
+        assert_eq!(d, Decision::Pass(PassReason::RecipientWhitelisted));
+        let d = g.check(t(0), ip(5), &from("spam@bot.example"), &rcpt("alice@foo.net"));
+        assert!(!d.is_pass());
+    }
+
+    #[test]
+    fn auto_whitelist_after_n_passes() {
+        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(10));
+        cfg.auto_whitelist_after = Some(2);
+        let mut g = Greylist::new(cfg);
+        // Two distinct triplets pass the delay from the same client net.
+        for (i, sender) in ["s1@b.cc", "s2@b.cc"].iter().enumerate() {
+            let base = t(i as u64 * 1_000);
+            g.check(base, ip(9), &from(sender), &rcpt("u@foo.net"));
+            assert!(g
+                .check(base + SimDuration::from_secs(10), ip(9), &from(sender), &rcpt("u@foo.net"))
+                .is_pass());
+        }
+        // Third, unseen triplet: auto-whitelisted on first contact.
+        let d = g.check(t(5_000), ip(9), &from("s3@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Pass(PassReason::AutoWhitelisted));
+    }
+
+    #[test]
+    fn zero_delay_passes_on_second_attempt_same_instant() {
+        let mut g = gl(0);
+        assert!(!g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net")).is_pass());
+        assert!(g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net")).is_pass());
+    }
+
+    #[test]
+    fn null_sender_triplets_work() {
+        let mut g = gl(300);
+        assert!(!g.check(t(0), ip(1), &ReversePath::Null, &rcpt("u@foo.net")).is_pass());
+        assert!(g.check(t(300), ip(1), &ReversePath::Null, &rcpt("u@foo.net")).is_pass());
+    }
+
+    #[test]
+    fn pending_expiry_restarts_greylisting() {
+        let mut g = gl(300);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        // Wait far beyond the pending lifetime (2 days default).
+        let late = t(0) + SimDuration::from_days(3);
+        let d = g.check(late, ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert!(!d.is_pass(), "expired pending triplet must be re-greylisted");
+        assert_eq!(g.stats().greylisted_new, 1);
+        assert_eq!(g.stats().greylisted_restarted, 1, "restart must be accounted separately");
+    }
+
+    #[test]
+    fn maintain_sweeps() {
+        let mut g = gl(300);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(g.maintain(t(0) + SimDuration::from_days(3)), 1);
+        assert_eq!(g.store().len(), 0);
+    }
+
+    #[test]
+    fn attempts_counter_accumulates() {
+        let mut g = gl(300);
+        for i in 0..5 {
+            g.check(t(i * 10), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        }
+        let (_, entry) = g.store().iter().next().unwrap();
+        assert_eq!(entry.attempts, 5);
+    }
+}

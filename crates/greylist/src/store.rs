@@ -1,0 +1,281 @@
+//! The triplet store: state, expiry and (optional) capacity bounds.
+
+use crate::triplet::TripletKey;
+use serde::{Deserialize, Serialize};
+use spamward_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Lifecycle state of a triplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryState {
+    /// First seen; retries before the delay elapse keep it here.
+    Pending,
+    /// The delay elapsed and a retry arrived; mail flows freely.
+    Passed,
+}
+
+/// One tracked triplet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripletEntry {
+    /// When the triplet was first seen (the greylist clock starts here).
+    pub first_seen: SimTime,
+    /// Most recent activity (used for expiry and LRU eviction).
+    pub last_seen: SimTime,
+    /// Total connection attempts charged to this triplet.
+    pub attempts: u32,
+    /// Current lifecycle state.
+    pub state: EntryState,
+}
+
+/// The in-memory (serde-snapshottable) triplet database.
+///
+/// Expiry is lazy — [`TripletStore::get_live`] treats stale entries as
+/// absent — plus an explicit [`TripletStore::purge_expired`] sweep that a
+/// deployment would run periodically. An optional capacity bound evicts the
+/// least-recently-seen entries, the ablation knob for the "disk space and
+/// computation resources" cost the paper's §VI mentions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TripletStore {
+    entries: HashMap<TripletKey, TripletEntry>,
+    /// Maximum live entries; `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// Pending entries older than this are treated as new again.
+    pub pending_lifetime: SimDuration,
+    /// Passed entries idle longer than this are forgotten.
+    pub passed_lifetime: SimDuration,
+    evictions: u64,
+}
+
+impl TripletStore {
+    /// Postgrey-like defaults: pending entries live 2 days, passed entries
+    /// 35 days, unbounded capacity.
+    pub fn new() -> Self {
+        TripletStore {
+            entries: HashMap::new(),
+            capacity: None,
+            pending_lifetime: SimDuration::from_days(2),
+            passed_lifetime: SimDuration::from_days(35),
+            evictions: 0,
+        }
+    }
+
+    /// Caps the store at `capacity` live entries (LRU eviction).
+    pub fn with_capacity_bound(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Number of stored entries (including not-yet-swept stale ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn lifetime(&self, state: EntryState) -> SimDuration {
+        match state {
+            EntryState::Pending => self.pending_lifetime,
+            EntryState::Passed => self.passed_lifetime,
+        }
+    }
+
+    fn is_expired(&self, entry: &TripletEntry, now: SimTime) -> bool {
+        now.checked_elapsed_since(entry.last_seen)
+            .map(|idle| idle > self.lifetime(entry.state))
+            .unwrap_or(false)
+    }
+
+    /// Whether an entry (live or stale) exists for `key`.
+    pub fn contains(&self, key: &TripletKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The entry for `key` if present *and* not expired.
+    pub fn get_live(&self, key: &TripletKey, now: SimTime) -> Option<&TripletEntry> {
+        self.entries.get(key).filter(|e| !self.is_expired(e, now))
+    }
+
+    /// Mutable access; expired entries are removed and reported absent.
+    pub fn get_live_mut(&mut self, key: &TripletKey, now: SimTime) -> Option<&mut TripletEntry> {
+        if let Some(e) = self.entries.get(key) {
+            if self.is_expired(e, now) {
+                self.entries.remove(key);
+                return None;
+            }
+        }
+        self.entries.get_mut(key)
+    }
+
+    /// Inserts an entry verbatim (snapshot restore), bypassing the
+    /// capacity check — restores happen at startup before any load.
+    pub(crate) fn insert_raw(&mut self, key: TripletKey, entry: TripletEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Inserts a fresh pending entry for `key`, evicting under pressure.
+    pub fn insert_pending(&mut self, key: TripletKey, now: SimTime) -> &mut TripletEntry {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap && !self.entries.contains_key(&key) {
+                self.evict_oldest(self.entries.len() + 1 - cap);
+            }
+        }
+        self.entries.entry(key).or_insert(TripletEntry {
+            first_seen: now,
+            last_seen: now,
+            attempts: 0,
+            state: EntryState::Pending,
+        })
+    }
+
+    fn evict_oldest(&mut self, n: usize) {
+        let mut by_age: Vec<(TripletKey, SimTime)> =
+            self.entries.iter().map(|(k, e)| (k.clone(), e.last_seen)).collect();
+        by_age.sort_by_key(|&(_, t)| t);
+        for (key, _) in by_age.into_iter().take(n) {
+            self.entries.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
+    /// Removes every expired entry, returning how many were dropped.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        let pending = self.pending_lifetime;
+        let passed = self.passed_lifetime;
+        self.entries.retain(|_, e| {
+            let lifetime = match e.state {
+                EntryState::Pending => pending,
+                EntryState::Passed => passed,
+            };
+            now.checked_elapsed_since(e.last_seen).map(|idle| idle <= lifetime).unwrap_or(true)
+        });
+        before - self.entries.len()
+    }
+
+    /// Iterates over all (possibly stale) entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&TripletKey, &TripletEntry)> {
+        self.entries.iter()
+    }
+
+    /// Counts entries currently in `state`.
+    pub fn count_state(&self, state: EntryState) -> usize {
+        self.entries.values().filter(|e| e.state == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_smtp::ReversePath;
+    use std::net::Ipv4Addr;
+
+    fn key(d: u8) -> TripletKey {
+        TripletKey::new(
+            Ipv4Addr::new(10, 0, 0, d),
+            &ReversePath::Null,
+            &format!("u{d}@foo.net").parse().unwrap(),
+            32,
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = TripletStore::new();
+        s.insert_pending(key(1), t(100));
+        let e = s.get_live(&key(1), t(100)).unwrap();
+        assert_eq!(e.state, EntryState::Pending);
+        assert_eq!(e.first_seen, t(100));
+        assert!(s.get_live(&key(2), t(100)).is_none());
+    }
+
+    #[test]
+    fn pending_expiry_is_lazy_and_swept() {
+        let mut s = TripletStore::new();
+        s.insert_pending(key(1), t(0));
+        let idle_past = t(0) + s.pending_lifetime + SimDuration::from_secs(1);
+        assert!(s.get_live(&key(1), idle_past).is_none(), "stale entry must read as absent");
+        assert_eq!(s.len(), 1, "lazy expiry leaves the entry in place");
+        assert_eq!(s.purge_expired(idle_past), 1);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn passed_entries_live_longer() {
+        let mut s = TripletStore::new();
+        let e = s.insert_pending(key(1), t(0));
+        e.state = EntryState::Passed;
+        let after_pending_lifetime = t(0) + SimDuration::from_days(3);
+        assert!(s.get_live(&key(1), after_pending_lifetime).is_some());
+        let after_passed_lifetime = t(0) + SimDuration::from_days(36);
+        assert!(s.get_live(&key(1), after_passed_lifetime).is_none());
+    }
+
+    #[test]
+    fn get_live_mut_removes_expired() {
+        let mut s = TripletStore::new();
+        s.insert_pending(key(1), t(0));
+        let late = t(0) + SimDuration::from_days(30);
+        assert!(s.get_live_mut(&key(1), late).is_none());
+        assert_eq!(s.len(), 0, "get_live_mut must remove the stale entry");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let mut s = TripletStore::new().with_capacity_bound(3);
+        s.insert_pending(key(1), t(10));
+        s.insert_pending(key(2), t(20));
+        s.insert_pending(key(3), t(30));
+        s.insert_pending(key(4), t(40)); // evicts key(1)
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evictions(), 1);
+        assert!(s.get_live(&key(1), t(40)).is_none());
+        assert!(s.get_live(&key(4), t(40)).is_some());
+    }
+
+    #[test]
+    fn reinsert_existing_does_not_evict() {
+        let mut s = TripletStore::new().with_capacity_bound(2);
+        s.insert_pending(key(1), t(10));
+        s.insert_pending(key(2), t(20));
+        s.insert_pending(key(1), t(30)); // already present
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_pending_is_idempotent_on_state() {
+        let mut s = TripletStore::new();
+        {
+            let e = s.insert_pending(key(1), t(0));
+            e.state = EntryState::Passed;
+            e.attempts = 7;
+        }
+        let e = s.insert_pending(key(1), t(50));
+        assert_eq!(e.state, EntryState::Passed, "existing entry must not be reset");
+        assert_eq!(e.attempts, 7);
+        assert_eq!(e.first_seen, t(0));
+    }
+
+    #[test]
+    fn count_state_and_iter() {
+        let mut s = TripletStore::new();
+        s.insert_pending(key(1), t(0));
+        s.insert_pending(key(2), t(0)).state = EntryState::Passed;
+        assert_eq!(s.count_state(EntryState::Pending), 1);
+        assert_eq!(s.count_state(EntryState::Passed), 1);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+}

@@ -1,0 +1,159 @@
+//! The greylisting triplet key.
+
+use serde::{Deserialize, Serialize};
+use spamward_smtp::{EmailAddress, ReversePath};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The `(client, sender, recipient)` key a greylist tracks.
+///
+/// Following Postgrey, the client part is the address masked to a
+/// configurable prefix (default /24) so that retries from a neighbouring
+/// machine in the same provider pool still match, and the sender local part
+/// is lowercased with any `+extension` stripped (VERP-style bounce addresses
+/// would otherwise never match their retry).
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_greylist::TripletKey;
+/// use spamward_smtp::ReversePath;
+///
+/// let rcpt = "user@foo.net".parse()?;
+/// let s1 = ReversePath::Address("Bob+tag@Example.com".parse()?);
+/// let s2 = ReversePath::Address("bob@example.com".parse()?);
+/// let a = TripletKey::new(Ipv4Addr::new(198, 51, 100, 7), &s1, &rcpt, 24);
+/// let b = TripletKey::new(Ipv4Addr::new(198, 51, 100, 99), &s2, &rcpt, 24);
+/// assert_eq!(a, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TripletKey {
+    /// The masked client network (host bits zeroed).
+    pub client_net: u32,
+    /// Normalized sender (`""` for the null reverse path).
+    pub sender: String,
+    /// Normalized recipient.
+    pub recipient: String,
+}
+
+impl TripletKey {
+    /// Builds a key from raw envelope data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netmask > 32`.
+    pub fn new(client: Ipv4Addr, sender: &ReversePath, recipient: &EmailAddress, netmask: u8) -> Self {
+        assert!(netmask <= 32, "IPv4 netmask {netmask} out of range");
+        let mask: u32 = if netmask == 0 { 0 } else { u32::MAX << (32 - u32::from(netmask)) };
+        TripletKey {
+            client_net: u32::from(client) & mask,
+            sender: normalize_sender(sender),
+            recipient: recipient.normalized(),
+        }
+    }
+
+    /// The masked network as a dotted quad (for logs).
+    pub fn client_net_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.client_net)
+    }
+}
+
+/// Lowercases and strips a `+extension` from the sender local part.
+fn normalize_sender(sender: &ReversePath) -> String {
+    match sender.address() {
+        None => String::new(),
+        Some(addr) => {
+            let local = addr.local_part().to_ascii_lowercase();
+            let local = local.split('+').next().unwrap_or(&local).to_owned();
+            format!("{local}@{}", addr.domain())
+        }
+    }
+}
+
+impl fmt::Display for TripletKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.client_net_addr(), self.sender, self.recipient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rcpt() -> EmailAddress {
+        "user@foo.net".parse().unwrap()
+    }
+
+    fn sender(s: &str) -> ReversePath {
+        ReversePath::Address(s.parse().unwrap())
+    }
+
+    #[test]
+    fn netmask_24_groups_neighbours() {
+        let a = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 24);
+        let b = TripletKey::new(Ipv4Addr::new(10, 1, 2, 250), &sender("a@b.cc"), &rcpt(), 24);
+        let c = TripletKey::new(Ipv4Addr::new(10, 1, 3, 3), &sender("a@b.cc"), &rcpt(), 24);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn netmask_32_is_exact() {
+        let a = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 32);
+        let b = TripletKey::new(Ipv4Addr::new(10, 1, 2, 4), &sender("a@b.cc"), &rcpt(), 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn netmask_zero_matches_everyone() {
+        let a = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 0);
+        let b = TripletKey::new(Ipv4Addr::new(203, 9, 9, 9), &sender("a@b.cc"), &rcpt(), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_netmask_panics() {
+        let _ = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("a@b.cc"), &rcpt(), 33);
+    }
+
+    #[test]
+    fn sender_extension_stripped_and_lowercased() {
+        let a = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("Bounce+123@Lists.Example"), &rcpt(), 24);
+        let b = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("bounce@lists.example"), &rcpt(), 24);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_sender_has_empty_key_part() {
+        let k = TripletKey::new(Ipv4Addr::LOCALHOST, &ReversePath::Null, &rcpt(), 24);
+        assert_eq!(k.sender, "");
+    }
+
+    #[test]
+    fn different_recipients_differ() {
+        let r2: EmailAddress = "other@foo.net".parse().unwrap();
+        let a = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("a@b.cc"), &rcpt(), 24);
+        let b = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("a@b.cc"), &r2, 24);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 24);
+        assert_eq!(k.to_string(), "(10.1.2.0, a@b.cc, user@foo.net)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mask_idempotent(ip in any::<u32>(), mask in 0u8..=32) {
+            let addr = Ipv4Addr::from(ip);
+            let k1 = TripletKey::new(addr, &ReversePath::Null, &rcpt(), mask);
+            let k2 = TripletKey::new(k1.client_net_addr(), &ReversePath::Null, &rcpt(), mask);
+            prop_assert_eq!(k1, k2);
+        }
+    }
+}

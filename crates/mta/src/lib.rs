@@ -1,0 +1,33 @@
+//! Mail transfer agents for the `spamward` suite.
+//!
+//! Two sides of the measurement meet here:
+//!
+//! * **Receiving** — [`ReceivingMta`] is the victim server of the paper's
+//!   lab: a Postfix-like filter chain (recipient validation first, then
+//!   whitelists, then Postgrey-style greylisting) wired into the
+//!   [`spamward_smtp::ServerPolicy`] hooks, with a mailbox and an
+//!   anonymized log in the format the university dataset provides.
+//! * **Sending** — [`SendingMta`] is a queue-and-retry engine
+//!   parameterized by an [`MtaProfile`]: the Table IV retransmission
+//!   schedules of sendmail, exim, postfix, qmail, courier and exchange,
+//!   with their maximum queue lifetimes, plus outbound IP-pool selection
+//!   (the Table III "same IP" column is a consequence of this knob).
+//! * **Glue** — [`MailWorld`] owns the simulated network, DNS and the
+//!   receiving servers, and executes one complete delivery attempt
+//!   ([`MailWorld::attempt_delivery`]): resolve MXs, pick candidates per
+//!   [`MxStrategy`], connect, and run the SMTP exchange.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod log;
+mod receive;
+mod schedule;
+mod send;
+mod world;
+
+pub use log::{LogEvent, MtaLogEntry};
+pub use receive::{ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
+pub use schedule::{MtaProfile, RetrySchedule};
+pub use send::{AttemptRecord, BounceReason, BounceReport, IpSelection, OutboundStatus, QueuedMessage, SendingMta};
+pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};

@@ -1,0 +1,394 @@
+//! The receiving MTA: filter chain, mailbox and log.
+
+use crate::log::{anonymize, LogEvent, MtaLogEntry};
+use serde::{Deserialize, Serialize};
+use spamward_greylist::{Decision, Greylist, PassReason, TripletKey};
+use spamward_sim::SimTime;
+use spamward_smtp::{
+    EmailAddress, Envelope, Message, PolicyDecision, Reply, ServerPolicy, Transaction,
+};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Which RCPT addresses the server considers deliverable.
+///
+/// The paper relies on the fact that "email servers are typically configured
+/// to refuse messages for non-existing recipients *before* applying
+/// greylisting" — the ordering is load-bearing, and
+/// [`ReceivingMta`] enforces it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecipientPolicy {
+    /// Accept any recipient (catch-all / open lab server).
+    AcceptAll,
+    /// Accept any local part at the given domain.
+    Domain(String),
+    /// Accept exactly these normalized addresses.
+    List(HashSet<String>),
+}
+
+impl RecipientPolicy {
+    /// Whether `rcpt` is deliverable here.
+    pub fn accepts(&self, rcpt: &EmailAddress) -> bool {
+        match self {
+            RecipientPolicy::AcceptAll => true,
+            RecipientPolicy::Domain(d) => rcpt.domain() == d.to_ascii_lowercase(),
+            RecipientPolicy::List(set) => set.contains(&rcpt.normalized()),
+        }
+    }
+}
+
+/// Counters over everything the server saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceiveStats {
+    /// Completed transactions (messages stored).
+    pub messages_accepted: u64,
+    /// RCPTs refused for unknown users.
+    pub rcpt_unknown: u64,
+    /// RCPTs deferred by greylisting.
+    pub rcpt_greylisted: u64,
+    /// RCPTs that passed greylisting (any reason).
+    pub rcpt_passed: u64,
+    /// Sessions rejected for talking before the banner.
+    pub pregreet_rejected: u64,
+}
+
+/// A message sitting in the victim mailbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredMessage {
+    /// When the final dot was accepted.
+    pub received_at: SimTime,
+    /// The transaction envelope.
+    pub envelope: Envelope,
+    /// The message content.
+    pub message: Message,
+}
+
+/// A receiving mail server: Postfix-like policy chain + mailbox + log.
+///
+/// Implements [`ServerPolicy`], so it plugs directly into
+/// [`spamward_smtp::ServerSession`] / [`spamward_smtp::exchange`].
+///
+/// Filter order on RCPT: recipient validation → greylist (which itself
+/// checks client whitelist, recipient whitelist, auto-whitelist, triplet).
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_greylist::{Greylist, GreylistConfig};
+/// use spamward_mta::{ReceivingMta, RecipientPolicy};
+///
+/// let mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 10))
+///     .with_recipients(RecipientPolicy::Domain("foo.net".into()))
+///     .with_greylist(Greylist::new(GreylistConfig::default()));
+/// assert_eq!(mta.hostname(), "mx.foo.net");
+/// ```
+#[derive(Debug)]
+pub struct ReceivingMta {
+    hostname: String,
+    ip: Ipv4Addr,
+    recipients: RecipientPolicy,
+    reject_pregreeters: bool,
+    greylist: Option<Greylist>,
+    mailbox: Vec<StoredMessage>,
+    log: Vec<MtaLogEntry>,
+    stats: ReceiveStats,
+    log_salt: u64,
+}
+
+impl ReceivingMta {
+    /// Creates a catch-all server with no greylisting.
+    pub fn new(hostname: &str, ip: Ipv4Addr) -> Self {
+        // Salt the anonymized log by hostname so two servers' logs don't
+        // join.
+        let mut salt: u64 = 0x5bd1_e995;
+        for b in hostname.bytes() {
+            salt = salt.rotate_left(7) ^ u64::from(b);
+        }
+        ReceivingMta {
+            hostname: hostname.to_owned(),
+            ip,
+            recipients: RecipientPolicy::AcceptAll,
+            reject_pregreeters: false,
+            greylist: None,
+            mailbox: Vec::new(),
+            log: Vec::new(),
+            stats: ReceiveStats::default(),
+            log_salt: salt,
+        }
+    }
+
+    /// Sets the deliverable-recipient policy.
+    pub fn with_recipients(mut self, recipients: RecipientPolicy) -> Self {
+        self.recipients = recipients;
+        self
+    }
+
+    /// Enables greylisting.
+    pub fn with_greylist(mut self, greylist: Greylist) -> Self {
+        self.greylist = Some(greylist);
+        self
+    }
+
+    /// Rejects clients that talk before the banner (postscreen-style
+    /// early-talker filtering; a protocol-level sibling of greylisting
+    /// that also exploits bot non-compliance).
+    pub fn with_pregreet_rejection(mut self) -> Self {
+        self.reject_pregreeters = true;
+        self
+    }
+
+    /// The server's hostname.
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// The address the server listens on.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The stored messages.
+    pub fn mailbox(&self) -> &[StoredMessage] {
+        &self.mailbox
+    }
+
+    /// The anonymized event log.
+    pub fn log(&self) -> &[MtaLogEntry] {
+        &self.log
+    }
+
+    /// Renders the full anonymized log as text (one entry per line).
+    pub fn log_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.log {
+            out.push_str(&e.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ReceiveStats {
+        self.stats
+    }
+
+    /// The greylist engine, when enabled.
+    pub fn greylist(&self) -> Option<&Greylist> {
+        self.greylist.as_ref()
+    }
+
+    /// Mutable access to the greylist engine (e.g. to run maintenance).
+    pub fn greylist_mut(&mut self) -> Option<&mut Greylist> {
+        self.greylist.as_mut()
+    }
+
+    /// Drops stored messages (keeps stats/logs) — long experiments call
+    /// this to bound memory.
+    pub fn drain_mailbox(&mut self) -> Vec<StoredMessage> {
+        std::mem::take(&mut self.mailbox)
+    }
+
+    fn log_event(&mut self, at: SimTime, event: LogEvent, key: &TripletKey) {
+        let triplet_hash = anonymize(self.log_salt, key);
+        self.log.push(MtaLogEntry { at, event, triplet_hash });
+    }
+}
+
+impl ServerPolicy for ReceivingMta {
+    fn on_pregreet(&mut self, _now: SimTime, _client_ip: Ipv4Addr) -> PolicyDecision {
+        if self.reject_pregreeters {
+            self.stats.pregreet_rejected += 1;
+            PolicyDecision::Reject(Reply::single(554, "5.5.1 protocol error: talked too soon"))
+        } else {
+            PolicyDecision::Accept
+        }
+    }
+
+    fn on_rcpt(&mut self, now: SimTime, tx: &Transaction, rcpt: &EmailAddress) -> PolicyDecision {
+        // 1. Recipient validation happens before greylisting.
+        if !self.recipients.accepts(rcpt) {
+            self.stats.rcpt_unknown += 1;
+            return PolicyDecision::Reject(Reply::no_such_user());
+        }
+        // 2. Greylisting, when configured.
+        let Some(greylist) = self.greylist.as_mut() else {
+            self.stats.rcpt_passed += 1;
+            return PolicyDecision::Accept;
+        };
+        let sender = tx.mail_from.clone().unwrap_or(spamward_smtp::ReversePath::Null);
+        let key = TripletKey::new(tx.client_ip, &sender, rcpt, greylist.config().netmask);
+        match greylist.check_with_rdns(now, tx.client_ip, tx.client_rdns.as_deref(), &sender, rcpt)
+        {
+            Decision::Pass(reason) => {
+                self.stats.rcpt_passed += 1;
+                let event = match reason {
+                    PassReason::DelayElapsed => LogEvent::PassedGreylist,
+                    PassReason::TripletKnown => LogEvent::PassedGreylist,
+                    _ => LogEvent::Whitelisted,
+                };
+                self.log_event(now, event, &key);
+                PolicyDecision::Accept
+            }
+            Decision::Greylisted { retry_after } => {
+                self.stats.rcpt_greylisted += 1;
+                self.log_event(now, LogEvent::Greylisted, &key);
+                PolicyDecision::TempFail(Reply::greylisted(retry_after.as_secs()))
+            }
+        }
+    }
+
+    fn on_accepted(&mut self, now: SimTime, env: &Envelope, msg: &Message) {
+        self.stats.messages_accepted += 1;
+        // Log one accept entry per recipient so per-triplet delivery delays
+        // can be reconstructed from the anonymized log alone.
+        let netmask = self.greylist.as_ref().map(|g| g.config().netmask).unwrap_or(24);
+        for rcpt in env.recipients() {
+            let key = TripletKey::new(env.client_ip(), env.mail_from(), rcpt, netmask);
+            self.log_event(now, LogEvent::Accepted, &key);
+        }
+        self.mailbox.push(StoredMessage { received_at: now, envelope: env.clone(), message: msg.clone() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_greylist::GreylistConfig;
+    use spamward_sim::SimDuration;
+    use spamward_smtp::{exchange, ClientSession, Dialect, ServerSession};
+
+    fn envelope(rcpt: &str) -> Envelope {
+        Envelope::builder()
+            .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+            .helo("client.example")
+            .mail_from("sender@relay.example".parse::<EmailAddress>().unwrap())
+            .rcpt(rcpt.parse().unwrap())
+            .build()
+    }
+
+    fn msg() -> Message {
+        Message::builder().header("Subject", "t").body("b").build()
+    }
+
+    fn run_attempt(mta: &mut ReceivingMta, rcpt: &str, now: SimTime) -> spamward_smtp::DeliveryOutcome {
+        let mut client =
+            ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(rcpt), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let (outcome, _) = exchange(&mut client, &mut server, mta, now);
+        outcome
+    }
+
+    #[test]
+    fn recipient_policies() {
+        let any = RecipientPolicy::AcceptAll;
+        assert!(any.accepts(&"x@anything.example".parse().unwrap()));
+        let dom = RecipientPolicy::Domain("Foo.NET".into());
+        assert!(dom.accepts(&"x@foo.net".parse().unwrap()));
+        assert!(!dom.accepts(&"x@bar.net".parse().unwrap()));
+        let mut set = HashSet::new();
+        set.insert("alice@foo.net".to_owned());
+        let list = RecipientPolicy::List(set);
+        assert!(list.accepts(&"Alice@FOO.net".parse().unwrap()));
+        assert!(!list.accepts(&"bob@foo.net".parse().unwrap()));
+    }
+
+    #[test]
+    fn unknown_recipient_rejected_before_greylist() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_recipients(RecipientPolicy::Domain("foo.net".into()))
+            .with_greylist(Greylist::new(GreylistConfig::default()));
+        let out = run_attempt(&mut mta, "x@other.example", SimTime::ZERO);
+        assert!(matches!(out, spamward_smtp::DeliveryOutcome::PermFailed { .. }));
+        assert_eq!(mta.stats().rcpt_unknown, 1);
+        // The greylist must not have been consulted (no triplet created).
+        assert_eq!(mta.greylist().unwrap().store().len(), 0);
+    }
+
+    #[test]
+    fn greylist_defers_then_accepts() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))));
+        let t0 = SimTime::ZERO;
+        let out = run_attempt(&mut mta, "u@foo.net", t0);
+        assert!(out.is_retryable());
+        assert_eq!(mta.mailbox().len(), 0);
+        assert_eq!(mta.stats().rcpt_greylisted, 1);
+
+        let t1 = t0 + SimDuration::from_secs(301);
+        let out = run_attempt(&mut mta, "u@foo.net", t1);
+        assert!(out.is_delivered());
+        assert_eq!(mta.mailbox().len(), 1);
+        assert_eq!(mta.stats().messages_accepted, 1);
+        assert_eq!(mta.mailbox()[0].received_at, t1);
+    }
+
+    #[test]
+    fn no_greylist_accepts_immediately() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1));
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        assert!(out.is_delivered());
+        assert_eq!(mta.stats().rcpt_passed, 1);
+    }
+
+    #[test]
+    fn log_records_defer_and_accept_with_same_key() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))));
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(400));
+        let log = mta.log();
+        assert_eq!(log.len(), 3); // greylisted, passed, accepted
+        assert_eq!(log[0].event, LogEvent::Greylisted);
+        assert_eq!(log[1].event, LogEvent::PassedGreylist);
+        assert_eq!(log[2].event, LogEvent::Accepted);
+        assert_eq!(log[0].triplet_hash, log[1].triplet_hash);
+        assert_eq!(log[0].triplet_hash, log[2].triplet_hash);
+        // Text form parses back.
+        let text = mta.log_text();
+        for line in text.lines() {
+            assert!(MtaLogEntry::parse_line(line).is_some(), "unparseable line {line:?}");
+        }
+    }
+
+    #[test]
+    fn whitelisted_pass_logged_as_whitelisted() {
+        let mut cfg = GreylistConfig::default();
+        cfg.whitelist_recipients.add_local_part("postmaster");
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(cfg));
+        let out = run_attempt(&mut mta, "postmaster@foo.net", SimTime::ZERO);
+        assert!(out.is_delivered());
+        assert_eq!(mta.log()[0].event, LogEvent::Whitelisted);
+    }
+
+    #[test]
+    fn pregreet_rejection_stops_early_talker_bots() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_pregreet_rejection();
+        // A bot dialect talks before the banner...
+        let mut client =
+            ClientSession::new(Dialect::minimal_bot("bot"), envelope("u@foo.net"), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let (outcome, transcript) = exchange(&mut client, &mut server, &mut mta, SimTime::ZERO);
+        assert!(!outcome.is_delivered());
+        assert!(!outcome.is_retryable(), "pregreet rejection is permanent");
+        assert_eq!(mta.stats().pregreet_rejected, 1);
+        assert!(transcript.client_lines().any(|l| l.contains("before banner")));
+
+        // ...while a patient MTA sails through.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        assert!(out.is_delivered());
+        assert_eq!(mta.stats().pregreet_rejected, 1);
+    }
+
+    #[test]
+    fn drain_mailbox_keeps_stats() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1));
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        let drained = mta.drain_mailbox();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(mta.mailbox().len(), 0);
+        assert_eq!(mta.stats().messages_accepted, 1);
+    }
+}

@@ -1,0 +1,635 @@
+//! The sending MTA: queue, retry schedule, IP-pool selection.
+
+use crate::schedule::MtaProfile;
+use crate::world::{MailWorld, MxStrategy};
+use spamward_dns::DomainName;
+use spamward_sim::{DetRng, SimDuration, SimTime};
+use spamward_smtp::{Dialect, EmailAddress, Envelope, Message, ReversePath};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Why a non-delivery report was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BounceReason {
+    /// The message out-lived the queue (RFC 5321 §4.5.4.1 give-up).
+    Expired,
+    /// The receiver rejected it permanently.
+    Rejected,
+}
+
+impl fmt::Display for BounceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BounceReason::Expired => write!(f, "message expired in queue"),
+            BounceReason::Rejected => write!(f, "rejected by remote server"),
+        }
+    }
+}
+
+/// A non-delivery report (DSN) owed to the original sender.
+///
+/// Bounces carry the *null reverse path* `<>` so that they can never
+/// themselves bounce (the mail-loop protection of RFC 5321 §4.5.5) — which
+/// also means greylisting services see plenty of `<>` senders, a case the
+/// triplet key handles explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BounceReport {
+    /// Queue id of the failed message.
+    pub original_id: u64,
+    /// When the bounce was generated.
+    pub generated_at: SimTime,
+    /// Why.
+    pub reason: BounceReason,
+    /// The original sender, who receives the report.
+    pub recipient: EmailAddress,
+    /// The ready-to-send DSN message.
+    pub message: Message,
+}
+
+/// How an outbound pool picks the source address per attempt.
+///
+/// Greylisting keys on the client address, so a pool that hops addresses
+/// between retries keeps resetting its own greylist clock — exactly the
+/// pathology the paper observed for five of the ten webmail providers
+/// (Table III, "same IP" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpSelection {
+    /// Always the first pool address.
+    Fixed,
+    /// Rotate deterministically through the pool.
+    RoundRobin,
+    /// Pick uniformly at random per attempt.
+    RandomPerAttempt,
+}
+
+/// Lifecycle of a queued message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutboundStatus {
+    /// Still scheduled for (re)delivery.
+    Queued,
+    /// Delivered to at least one recipient.
+    Delivered,
+    /// Permanently rejected by the receiver.
+    Rejected,
+    /// Exceeded the queue lifetime (or the schedule gave up) and bounced.
+    Expired,
+}
+
+/// One message in the outbound queue.
+#[derive(Debug, Clone)]
+pub struct QueuedMessage {
+    /// Queue-local id.
+    pub id: u64,
+    /// Destination domain (MX lookup target).
+    pub domain: DomainName,
+    /// Envelope sender.
+    pub mail_from: ReversePath,
+    /// Recipients still owed delivery.
+    pub recipients: Vec<EmailAddress>,
+    /// Message content.
+    pub message: Message,
+    /// When the message entered the queue.
+    pub enqueued_at: SimTime,
+    /// Next scheduled attempt.
+    pub next_attempt_at: SimTime,
+    /// Completed attempts so far.
+    pub attempts: u32,
+    /// Current status.
+    pub status: OutboundStatus,
+}
+
+/// One delivery attempt as recorded by the sender (the raw material of
+/// Table III).
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// Which queued message.
+    pub message_id: u64,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// When the attempt ran.
+    pub at: SimTime,
+    /// Delay since the message was queued.
+    pub since_enqueue: SimDuration,
+    /// Source address used.
+    pub source_ip: Ipv4Addr,
+    /// Whether the attempt delivered the message.
+    pub delivered: bool,
+}
+
+/// A queue-and-retry sending MTA (or webmail outbound tier).
+///
+/// Drive it from a simulation: [`SendingMta::submit`] enqueues,
+/// [`SendingMta::next_due`] tells the experiment when to wake up, and
+/// [`SendingMta::run_due`] executes every attempt that is due.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_dns::Zone;
+/// use spamward_mta::{MailWorld, MtaProfile, ReceivingMta, SendingMta};
+/// use spamward_sim::SimTime;
+/// use spamward_smtp::{Message, ReversePath};
+///
+/// let mut world = MailWorld::new(7);
+/// let mx = Ipv4Addr::new(192, 0, 2, 10);
+/// world.install_server(ReceivingMta::new("mail.foo.net", mx));
+/// world.dns.publish(Zone::single_mx("foo.net".parse()?, mx));
+///
+/// let mut sender = SendingMta::new("relay.example", vec![Ipv4Addr::new(198, 51, 100, 1)], MtaProfile::postfix());
+/// sender.submit(
+///     "foo.net".parse()?,
+///     ReversePath::Address("a@relay.example".parse()?),
+///     vec!["u@foo.net".parse()?],
+///     Message::builder().body("hi").build(),
+///     SimTime::ZERO,
+/// );
+/// let records = sender.run_due(SimTime::ZERO, &mut world);
+/// assert!(records[0].delivered);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SendingMta {
+    fqdn: String,
+    ip_pool: Vec<Ipv4Addr>,
+    ip_selection: IpSelection,
+    profile: MtaProfile,
+    dialect: Dialect,
+    queue: Vec<QueuedMessage>,
+    records: Vec<AttemptRecord>,
+    bounces: Vec<BounceReport>,
+    next_id: u64,
+    rr_cursor: usize,
+    rng: DetRng,
+}
+
+impl SendingMta {
+    /// Creates a sender with the given outbound pool and retry profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip_pool` is empty.
+    pub fn new(fqdn: &str, ip_pool: Vec<Ipv4Addr>, profile: MtaProfile) -> Self {
+        assert!(!ip_pool.is_empty(), "sending MTA needs at least one source IP");
+        SendingMta {
+            fqdn: fqdn.to_owned(),
+            dialect: Dialect::compliant_mta(fqdn),
+            ip_pool,
+            ip_selection: IpSelection::Fixed,
+            profile,
+            queue: Vec::new(),
+            records: Vec::new(),
+            bounces: Vec::new(),
+            next_id: 0,
+            rr_cursor: 0,
+            rng: DetRng::seed(0xB0B).fork("sending-mta"),
+        }
+    }
+
+    /// Sets the source-address strategy.
+    pub fn with_ip_selection(mut self, selection: IpSelection) -> Self {
+        self.ip_selection = selection;
+        self
+    }
+
+    /// Overrides the SMTP dialect (defaults to a compliant MTA's).
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Reseeds the internal RNG (for deterministic experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = DetRng::seed(seed).fork("sending-mta");
+        self
+    }
+
+    /// The sender's name.
+    pub fn fqdn(&self) -> &str {
+        &self.fqdn
+    }
+
+    /// The retry profile in use.
+    pub fn profile(&self) -> &MtaProfile {
+        &self.profile
+    }
+
+    /// Every attempt made so far.
+    pub fn records(&self) -> &[AttemptRecord] {
+        &self.records
+    }
+
+    /// The queue contents (all statuses).
+    pub fn queue(&self) -> &[QueuedMessage] {
+        &self.queue
+    }
+
+    /// Non-delivery reports generated so far (expired/rejected messages
+    /// whose sender was not the null path).
+    pub fn bounces(&self) -> &[BounceReport] {
+        &self.bounces
+    }
+
+    /// Removes and returns the pending bounce reports (so an experiment
+    /// can route them back through the mail system).
+    pub fn take_bounces(&mut self) -> Vec<BounceReport> {
+        std::mem::take(&mut self.bounces)
+    }
+
+    fn generate_bounce(&mut self, idx: usize, now: SimTime, reason: BounceReason) {
+        let item = &self.queue[idx];
+        // Never bounce a bounce: null-path mail dies silently.
+        let ReversePath::Address(ref original_sender) = item.mail_from else {
+            return;
+        };
+        let rcpts: Vec<String> = item.recipients.iter().map(|r| r.to_string()).collect();
+        let message = Message::builder()
+            .header("From", &format!("MAILER-DAEMON@{}", self.fqdn))
+            .header("To", &original_sender.to_string())
+            .header("Subject", "Undelivered Mail Returned to Sender")
+            .header("Auto-Submitted", "auto-replied")
+            .body(&format!(
+                "This is the mail system at host {}.\n\n\
+                 I'm sorry to have to inform you that your message could not\n\
+                 be delivered to one or more recipients.\n\n\
+                 <{}>: {}\n\n\
+                 Attempts: {}\n",
+                self.fqdn,
+                rcpts.join(">, <"),
+                reason,
+                item.attempts,
+            ))
+            .build();
+        self.bounces.push(BounceReport {
+            original_id: item.id,
+            generated_at: now,
+            reason,
+            recipient: original_sender.clone(),
+            message,
+        });
+    }
+
+    /// Enqueues a message for delivery "now"; returns its id.
+    pub fn submit(
+        &mut self,
+        domain: DomainName,
+        mail_from: ReversePath,
+        recipients: Vec<EmailAddress>,
+        message: Message,
+        now: SimTime,
+    ) -> u64 {
+        assert!(!recipients.is_empty(), "a message needs at least one recipient");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(QueuedMessage {
+            id,
+            domain,
+            mail_from,
+            recipients,
+            message,
+            enqueued_at: now,
+            next_attempt_at: now,
+            attempts: 0,
+            status: OutboundStatus::Queued,
+        });
+        id
+    }
+
+    /// The earliest pending attempt, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue
+            .iter()
+            .filter(|m| m.status == OutboundStatus::Queued)
+            .map(|m| m.next_attempt_at)
+            .min()
+    }
+
+    fn pick_source(&mut self) -> Ipv4Addr {
+        match self.ip_selection {
+            IpSelection::Fixed => self.ip_pool[0],
+            IpSelection::RoundRobin => {
+                let ip = self.ip_pool[self.rr_cursor % self.ip_pool.len()];
+                self.rr_cursor += 1;
+                ip
+            }
+            IpSelection::RandomPerAttempt => *self.rng.pick(&self.ip_pool.clone()),
+        }
+    }
+
+    /// Runs every attempt due at or before `now`; returns the attempt
+    /// records produced in this call.
+    pub fn run_due(&mut self, now: SimTime, world: &mut MailWorld) -> Vec<AttemptRecord> {
+        let mut produced = Vec::new();
+        for idx in 0..self.queue.len() {
+            if self.queue[idx].status != OutboundStatus::Queued
+                || self.queue[idx].next_attempt_at > now
+            {
+                continue;
+            }
+            let source_ip = self.pick_source();
+            let item = &mut self.queue[idx];
+            item.attempts += 1;
+            let attempt_no = item.attempts;
+
+            let envelope = Envelope::builder()
+                .client_ip(source_ip)
+                .helo(&self.fqdn)
+                .mail_from(item.mail_from.clone())
+                .rcpts(item.recipients.iter().cloned())
+                .build();
+            let domain = item.domain.clone();
+            let message = item.message.clone();
+            let report = world.attempt_delivery(
+                now,
+                &self.dialect,
+                MxStrategy::RfcCompliant,
+                &domain,
+                envelope,
+                message,
+            );
+
+            let item = &mut self.queue[idx];
+            let delivered = report.outcome.is_delivered();
+            produced.push(AttemptRecord {
+                message_id: item.id,
+                attempt: attempt_no,
+                at: now,
+                since_enqueue: now.elapsed_since(item.enqueued_at),
+                source_ip,
+                delivered,
+            });
+
+            if delivered {
+                // Per-recipient requeue: keep only still-deferred rcpts.
+                let pending = report.outcome.pending_recipients().to_vec();
+                if pending.is_empty() {
+                    item.status = OutboundStatus::Delivered;
+                    continue;
+                }
+                item.recipients = pending;
+            } else if !report.outcome.is_retryable() {
+                item.status = OutboundStatus::Rejected;
+                self.generate_bounce(idx, now, BounceReason::Rejected);
+                continue;
+            }
+
+            // Schedule the next retry, or expire.
+            match self.profile.schedule.nth_retry_at(attempt_no) {
+                Some(offset) if offset <= self.profile.max_queue_time => {
+                    self.queue[idx].next_attempt_at = self.queue[idx].enqueued_at + offset;
+                }
+                _ => {
+                    self.queue[idx].status = OutboundStatus::Expired;
+                    self.generate_bounce(idx, now, BounceReason::Expired);
+                }
+            }
+        }
+        self.records.extend(produced.iter().cloned());
+        produced
+    }
+
+    /// Drives the queue to completion against `world`, jumping virtual
+    /// time from attempt to attempt (standalone use; inside a larger
+    /// simulation, schedule [`SendingMta::run_due`] from events instead).
+    /// Returns the time of the last attempt.
+    pub fn drain(&mut self, start: SimTime, world: &mut MailWorld) -> SimTime {
+        let mut now = start;
+        loop {
+            match self.next_due() {
+                None => return now,
+                Some(due) => {
+                    now = due.max(now);
+                    self.run_due(now, world);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receive::{ReceivingMta, RecipientPolicy};
+    use spamward_dns::Zone;
+    use spamward_greylist::{Greylist, GreylistConfig};
+
+    fn domain() -> DomainName {
+        "foo.net".parse().unwrap()
+    }
+
+    fn world_with_greylist(delay_secs: u64) -> (MailWorld, Ipv4Addr) {
+        let mut w = MailWorld::new(9);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        w.install_server(
+            ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(
+                GreylistConfig::with_delay(SimDuration::from_secs(delay_secs)).without_auto_whitelist(),
+            )),
+        );
+        w.dns.publish(Zone::single_mx(domain(), mx));
+        (w, mx)
+    }
+
+    fn sender(profile: MtaProfile) -> SendingMta {
+        SendingMta::new("relay.example", vec![Ipv4Addr::new(198, 51, 100, 1)], profile)
+    }
+
+    fn submit_one(s: &mut SendingMta, now: SimTime) -> u64 {
+        s.submit(
+            domain(),
+            ReversePath::Address("a@relay.example".parse().unwrap()),
+            vec!["u@foo.net".parse().unwrap()],
+            Message::builder().header("Subject", "x").body("b").build(),
+            now,
+        )
+    }
+
+    #[test]
+    fn delivers_through_greylist_via_schedule() {
+        let (mut w, mx) = world_with_greylist(300);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        let end = s.drain(SimTime::ZERO, &mut w);
+        // postfix first retry at 5 min = exactly the 300 s delay.
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        assert_eq!(s.records().len(), 2, "initial attempt + one retry");
+        assert!(s.records()[1].delivered);
+        assert_eq!(s.records()[1].since_enqueue, SimDuration::from_mins(5));
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 1);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn sendmail_needs_one_retry_at_10min() {
+        let (mut w, _) = world_with_greylist(300);
+        let mut s = sender(MtaProfile::sendmail());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.records().len(), 2);
+        assert_eq!(s.records()[1].since_enqueue, SimDuration::from_mins(10));
+    }
+
+    #[test]
+    fn six_hour_greylist_takes_many_retries() {
+        let (mut w, _) = world_with_greylist(21_600);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        let last = s.records().last().unwrap();
+        assert!(last.delivered);
+        assert!(last.since_enqueue >= SimDuration::from_hours(6));
+        assert!(s.records().len() > 10, "a 6 h greylist forces many postfix retries");
+    }
+
+    #[test]
+    fn exchange_two_day_queue_expires_against_impossible_greylist() {
+        // A greylist longer than exchange's queue life can never be passed.
+        let (mut w, mx) = world_with_greylist(3 * 86_400);
+        let mut s = sender(MtaProfile::exchange());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Expired);
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 0);
+        let last = s.records().last().unwrap();
+        assert!(last.since_enqueue <= SimDuration::from_days(2));
+    }
+
+    #[test]
+    fn permanent_rejection_stops_retrying() {
+        let mut w = MailWorld::new(11);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        w.install_server(
+            ReceivingMta::new("mail.foo.net", mx)
+                .with_recipients(RecipientPolicy::List(Default::default())),
+        );
+        w.dns.publish(Zone::single_mx(domain(), mx));
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Rejected);
+        assert_eq!(s.records().len(), 1, "5xx must not be retried");
+    }
+
+    #[test]
+    fn round_robin_pool_rotates_and_random_stays_in_pool() {
+        let pool: Vec<Ipv4Addr> = (1..=3).map(|d| Ipv4Addr::new(198, 51, 100, d)).collect();
+        let mut s = SendingMta::new("relay.example", pool.clone(), MtaProfile::postfix())
+            .with_ip_selection(IpSelection::RoundRobin);
+        let picks: Vec<Ipv4Addr> = (0..6).map(|_| s.pick_source()).collect();
+        assert_eq!(&picks[..3], &pool[..]);
+        assert_eq!(&picks[3..], &pool[..]);
+
+        let mut s = SendingMta::new("relay.example", pool.clone(), MtaProfile::postfix())
+            .with_ip_selection(IpSelection::RandomPerAttempt)
+            .with_seed(5);
+        for _ in 0..32 {
+            assert!(pool.contains(&s.pick_source()));
+        }
+    }
+
+    #[test]
+    fn hopping_ips_delays_delivery() {
+        // Two addresses in *different* /24s: each address starts its own
+        // greylist clock, so delivery needs an extra round trip through the
+        // pool — the paper's "this behavior increases the delivery time"
+        // observation (§V-C). Round-robin reuses the first address on
+        // attempt 3, whose clock started at t0.
+        let (mut w, mx) = world_with_greylist(300);
+        let pool = vec![Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(203, 0, 113, 1)];
+        let mut s = SendingMta::new("relay.example", pool, MtaProfile::exchange())
+            .with_ip_selection(IpSelection::RoundRobin);
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        assert_eq!(s.records().len(), 3, "IP hopping costs an extra attempt");
+        assert_eq!(s.records().last().unwrap().since_enqueue, SimDuration::from_mins(30));
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 1);
+    }
+
+    #[test]
+    fn same_subnet_pool_passes_greylist() {
+        // Two addresses in the *same* /24: Postgrey's netmask keying saves
+        // the day (why small pools still deliver in Table III).
+        let (mut w, mx) = world_with_greylist(300);
+        let pool = vec![Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(198, 51, 100, 2)];
+        let mut s = SendingMta::new("relay.example", pool, MtaProfile::postfix())
+            .with_ip_selection(IpSelection::RoundRobin);
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 1);
+    }
+
+    #[test]
+    fn expired_message_generates_bounce_to_sender() {
+        let (mut w, _) = world_with_greylist(3 * 86_400);
+        let mut s = sender(MtaProfile::exchange());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Expired);
+        let bounces = s.bounces();
+        assert_eq!(bounces.len(), 1);
+        let b = &bounces[0];
+        assert_eq!(b.reason, BounceReason::Expired);
+        assert_eq!(b.recipient.to_string(), "a@relay.example");
+        assert_eq!(b.message.header("Subject"), Some("Undelivered Mail Returned to Sender"));
+        assert!(b.message.body().contains("u@foo.net"));
+    }
+
+    #[test]
+    fn rejected_message_generates_bounce() {
+        let mut w = MailWorld::new(17);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        w.install_server(
+            ReceivingMta::new("mail.foo.net", mx)
+                .with_recipients(RecipientPolicy::List(Default::default())),
+        );
+        w.dns.publish(Zone::single_mx(domain(), mx));
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.bounces().len(), 1);
+        assert_eq!(s.bounces()[0].reason, BounceReason::Rejected);
+    }
+
+    #[test]
+    fn null_sender_failures_never_bounce() {
+        // Mail-loop protection: a failed DSN dies silently.
+        let (mut w, _) = world_with_greylist(3 * 86_400);
+        let mut s = sender(MtaProfile::exchange());
+        s.submit(
+            domain(),
+            ReversePath::Null,
+            vec!["u@foo.net".parse().unwrap()],
+            Message::builder().body("dsn").build(),
+            SimTime::ZERO,
+        );
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Expired);
+        assert!(s.bounces().is_empty(), "null-path mail must not bounce");
+    }
+
+    #[test]
+    fn delivered_messages_do_not_bounce_and_take_drains() {
+        let (mut w, _) = world_with_greylist(300);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert!(s.bounces().is_empty());
+        assert!(s.take_bounces().is_empty());
+    }
+
+    #[test]
+    fn next_due_reflects_queue() {
+        let mut s = sender(MtaProfile::postfix());
+        assert_eq!(s.next_due(), None);
+        submit_one(&mut s, SimTime::from_secs(50));
+        assert_eq!(s.next_due(), Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source IP")]
+    fn empty_pool_panics() {
+        let _ = SendingMta::new("x", vec![], MtaProfile::postfix());
+    }
+}

@@ -1,0 +1,572 @@
+//! The glue tying DNS, the network and receiving servers into one world.
+
+use crate::receive::ReceivingMta;
+use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
+use spamward_net::{Network, SMTP_PORT};
+use spamward_sim::trace::Tracer;
+use spamward_sim::{DetRng, SimDuration, SimTime};
+use spamward_smtp::{
+    exchange, ClientSession, DeliveryOutcome, Dialect, Envelope, Message, ServerSession,
+};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Which MX records a sender targets — the paper's four-way bot taxonomy
+/// (§IV-B), equally applicable to benign MTAs (always `RfcCompliant`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MxStrategy {
+    /// Try every exchanger in ascending preference order (RFC 5321).
+    RfcCompliant,
+    /// Only the highest-priority exchanger — nolisting's prey (Kelihos).
+    PrimaryOnly,
+    /// Only the lowest-priority exchanger, skipping the primary outright —
+    /// the anti-nolisting adaptation (Cutwail).
+    SecondaryOnly,
+    /// Every exchanger in random order.
+    AllRandom,
+}
+
+impl MxStrategy {
+    /// Orders resolved MX hosts into the candidate list this strategy
+    /// would try.
+    pub fn candidates(self, mxs: &[MxHost], rng: &mut DetRng) -> Vec<MxHost> {
+        if mxs.is_empty() {
+            return Vec::new();
+        }
+        // `resolve_mx` returns hosts sorted by ascending preference.
+        match self {
+            MxStrategy::RfcCompliant => mxs.to_vec(),
+            MxStrategy::PrimaryOnly => vec![mxs[0].clone()],
+            MxStrategy::SecondaryOnly => vec![mxs[mxs.len() - 1].clone()],
+            MxStrategy::AllRandom => {
+                let mut shuffled = mxs.to_vec();
+                rng.shuffle(&mut shuffled);
+                shuffled
+            }
+        }
+    }
+}
+
+/// One MX the sender tried, and how far it got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxAttempt {
+    /// The exchanger's name.
+    pub mx: DomainName,
+    /// Its resolved address (None = dangling MX, skipped).
+    pub ip: Option<Ipv4Addr>,
+    /// The connection error, or `None` if the SMTP session ran.
+    pub connect_error: Option<String>,
+}
+
+/// The full report of one delivery attempt.
+#[derive(Debug, Clone)]
+pub struct AttemptReport {
+    /// Final outcome of the attempt.
+    pub outcome: DeliveryOutcome,
+    /// Every exchanger tried, in order.
+    pub mx_trail: Vec<MxAttempt>,
+    /// Wall-clock the *sender* spent on the attempt (connect timeouts
+    /// dominate when the primary is filtered).
+    pub time_spent: SimDuration,
+}
+
+impl AttemptReport {
+    fn resolve_failed(err: ResolveError, recipients: &[spamward_smtp::EmailAddress]) -> Self {
+        let transient = matches!(err, ResolveError::ServFail);
+        AttemptReport {
+            outcome: DeliveryOutcome::connect_failed(recipients, transient),
+            mx_trail: Vec::new(),
+            time_spent: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The simulated mail internet: network + DNS + receiving servers.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_dns::Zone;
+/// use spamward_mta::{MailWorld, MxStrategy, ReceivingMta};
+/// use spamward_sim::SimTime;
+/// use spamward_smtp::{Dialect, Envelope, Message, EmailAddress};
+///
+/// let mut world = MailWorld::new(42);
+/// let mx_ip = Ipv4Addr::new(192, 0, 2, 10);
+/// world.install_server(ReceivingMta::new("mail.foo.net", mx_ip));
+/// world.dns.publish(Zone::single_mx("foo.net".parse()?, mx_ip));
+///
+/// let env = Envelope::builder()
+///     .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+///     .mail_from("a@relay.example".parse::<EmailAddress>()?)
+///     .rcpt("u@foo.net".parse()?)
+///     .build();
+/// let msg = Message::builder().header("Subject", "hi").body("x").build();
+/// let report = world.attempt_delivery(
+///     SimTime::ZERO,
+///     &Dialect::compliant_mta("relay.example"),
+///     MxStrategy::RfcCompliant,
+///     &"foo.net".parse()?,
+///     env,
+///     msg,
+/// );
+/// assert!(report.outcome.is_delivered());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MailWorld {
+    /// The simulated IPv4 internet.
+    pub network: Network,
+    /// The global DNS.
+    pub dns: Authority,
+    /// A shared caching resolver.
+    pub resolver: Resolver,
+    /// Scan/availability epoch (bump to re-roll flaky hosts).
+    pub epoch: u64,
+    /// Structured trace of delivery activity (disabled by default; enable
+    /// with [`MailWorld::with_tracing`] to explain *why* a run produced
+    /// its numbers).
+    pub trace: Tracer,
+    servers: HashMap<Ipv4Addr, ReceivingMta>,
+    rng: DetRng,
+}
+
+impl MailWorld {
+    /// Creates an empty world.
+    pub fn new(seed: u64) -> Self {
+        MailWorld {
+            network: Network::new(seed),
+            dns: Authority::new(),
+            resolver: Resolver::new(),
+            epoch: 0,
+            trace: Tracer::disabled(),
+            servers: HashMap::new(),
+            rng: DetRng::seed(seed).fork("mailworld"),
+        }
+    }
+
+    /// Enables delivery tracing (bounded recorder; see
+    /// [`spamward_sim::trace`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = Tracer::new();
+        self
+    }
+
+    /// Registers a receiving server: adds a host with port 25 open to the
+    /// network (if its IP is new) and routes SMTP sessions to the MTA.
+    pub fn install_server(&mut self, mta: ReceivingMta) {
+        if self.network.host_at(mta.ip()).is_none() {
+            self.network.host(mta.hostname()).ip(mta.ip()).smtp_open().build();
+        }
+        self.servers.insert(mta.ip(), mta);
+    }
+
+    /// The server listening at `ip`.
+    pub fn server(&self, ip: Ipv4Addr) -> Option<&ReceivingMta> {
+        self.servers.get(&ip)
+    }
+
+    /// Mutable access to the server at `ip`.
+    pub fn server_mut(&mut self, ip: Ipv4Addr) -> Option<&mut ReceivingMta> {
+        self.servers.get_mut(&ip)
+    }
+
+    /// Iterates over installed servers.
+    pub fn servers(&self) -> impl Iterator<Item = &ReceivingMta> {
+        self.servers.values()
+    }
+
+    /// Executes one complete delivery attempt for `envelope` to `domain`.
+    ///
+    /// Resolves the domain's MX set, orders candidates per `strategy`,
+    /// connects through the simulated network (charging timeouts for
+    /// filtered ports), and runs the full SMTP exchange against the
+    /// receiving server. RFC-compliant senders fall through to the next
+    /// exchanger on connection failure — the crux of nolisting.
+    pub fn attempt_delivery(
+        &mut self,
+        now: SimTime,
+        dialect: &Dialect,
+        strategy: MxStrategy,
+        domain: &DomainName,
+        envelope: Envelope,
+        message: Message,
+    ) -> AttemptReport {
+        let mxs = match self.resolver.resolve_mx(&mut self.dns, domain, now) {
+            Ok(mxs) => mxs,
+            Err(e) => {
+                self.trace.record(now, "dns.fail", format!("{domain}: {e}"));
+                return AttemptReport::resolve_failed(e, envelope.recipients());
+            }
+        };
+        self.trace.record(now, "dns.mx", format!("{domain}: {} exchanger(s)", mxs.len()));
+        // Receiving servers reverse-resolve the connecting client once per
+        // session; name-based whitelists depend on it.
+        let client_rdns: Option<String> =
+            self.dns.resolve_ptr(envelope.client_ip()).map(|n| n.to_string());
+        let candidates = strategy.candidates(&mxs, &mut self.rng);
+        let mut trail = Vec::new();
+        let mut time_spent = SimDuration::ZERO;
+
+        for cand in candidates {
+            let Some(ip) = cand.ip else {
+                trail.push(MxAttempt { mx: cand.name.clone(), ip: None, connect_error: Some("no A record".into()) });
+                continue;
+            };
+            match self.network.connect(ip, SMTP_PORT, self.epoch) {
+                Err(err) => {
+                    let rtt = SimDuration::from_millis(100);
+                    time_spent += err.client_cost(rtt);
+                    self.trace.record(now, "net.fail", format!("{} ({ip}): {err}", cand.name));
+                    trail.push(MxAttempt {
+                        mx: cand.name.clone(),
+                        ip: Some(ip),
+                        connect_error: Some(err.to_string()),
+                    });
+                    // Fail fast on RST, slow on filtered — either way, an
+                    // RFC-compliant sender moves to the next exchanger.
+                    continue;
+                }
+                Ok(conn) => {
+                    trail.push(MxAttempt { mx: cand.name.clone(), ip: Some(ip), connect_error: None });
+                    let Some(server_mta) = self.servers.get_mut(&ip) else {
+                        // Port open but nothing we manage behind it (e.g. a
+                        // population host): treat as transient.
+                        let outcome =
+                            DeliveryOutcome::connect_failed(envelope.recipients(), true);
+                        return AttemptReport { outcome, mx_trail: trail, time_spent };
+                    };
+                    let mut client =
+                        ClientSession::new(dialect.clone(), envelope.clone(), message.clone());
+                    let hostname = server_mta.hostname().to_owned();
+                    let rdns = client_rdns.clone();
+                    let mut session = ServerSession::new(&hostname, envelope.client_ip())
+                        .with_client_rdns(rdns);
+                    let (outcome, transcript) =
+                        exchange(&mut client, &mut session, server_mta, now + conn.rtt);
+                    // Rough time accounting: one RTT per protocol exchange.
+                    time_spent += conn.rtt * (transcript.entries().len() as u64);
+                    self.trace.record(
+                        now,
+                        "smtp.outcome",
+                        format!("{} via {}: {}", envelope, cand.name, outcome),
+                    );
+                    return AttemptReport { outcome, mx_trail: trail, time_spent };
+                }
+            }
+        }
+
+        // Exhausted every candidate without completing a session.
+        AttemptReport {
+            outcome: DeliveryOutcome::connect_failed(envelope.recipients(), true),
+            mx_trail: trail,
+            time_spent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_dns::Zone;
+    use spamward_greylist::{Greylist, GreylistConfig};
+    use spamward_net::PortState;
+    use spamward_smtp::EmailAddress;
+
+    fn env(rcpt: &str) -> Envelope {
+        Envelope::builder()
+            .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+            .helo("client.example")
+            .mail_from("a@relay.example".parse::<EmailAddress>().unwrap())
+            .rcpt(rcpt.parse().unwrap())
+            .build()
+    }
+
+    fn msg() -> Message {
+        Message::builder().header("Subject", "s").body("b").build()
+    }
+
+    fn domain(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    /// A world with foo.net protected by nolisting: primary MX dead
+    /// (port 25 closed), secondary working.
+    fn nolisting_world() -> (MailWorld, Ipv4Addr, Ipv4Addr) {
+        let mut w = MailWorld::new(1);
+        let dead = Ipv4Addr::new(192, 0, 2, 1);
+        let live = Ipv4Addr::new(192, 0, 2, 2);
+        // The dead primary: a real machine with port 25 closed.
+        w.network.host("smtp.foo.net").ip(dead).port(SMTP_PORT, PortState::Closed).build();
+        w.install_server(ReceivingMta::new("smtp1.foo.net", live));
+        w.dns.publish(Zone::nolisting(domain("foo.net"), dead, live));
+        (w, dead, live)
+    }
+
+    #[test]
+    fn rfc_compliant_sender_beats_nolisting() {
+        let (mut w, _, live) = nolisting_world();
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        assert!(report.outcome.is_delivered(), "compliant MTA must fall through to secondary");
+        assert_eq!(report.mx_trail.len(), 2);
+        assert!(report.mx_trail[0].connect_error.is_some());
+        assert_eq!(report.mx_trail[1].ip, Some(live));
+        assert!(report.mx_trail[1].connect_error.is_none());
+        assert_eq!(w.server(live).unwrap().mailbox().len(), 1);
+    }
+
+    #[test]
+    fn primary_only_bot_defeated_by_nolisting() {
+        let (mut w, _, live) = nolisting_world();
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::minimal_bot("kelihos"),
+            MxStrategy::PrimaryOnly,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        assert!(!report.outcome.is_delivered());
+        assert!(report.outcome.is_retryable(), "connection refusal is transient");
+        assert_eq!(report.mx_trail.len(), 1);
+        assert_eq!(w.server(live).unwrap().mailbox().len(), 0);
+    }
+
+    #[test]
+    fn secondary_only_bot_ignores_nolisting() {
+        let (mut w, _, live) = nolisting_world();
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::minimal_bot("cutwail"),
+            MxStrategy::SecondaryOnly,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        assert!(report.outcome.is_delivered(), "secondary-only bot lands on the live server");
+        assert_eq!(report.mx_trail.len(), 1);
+        assert_eq!(report.mx_trail[0].ip, Some(live));
+    }
+
+    #[test]
+    fn all_random_tries_everything() {
+        let (mut w, _, _) = nolisting_world();
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::minimal_bot("rand"),
+            MxStrategy::AllRandom,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        // Whatever the shuffle order, the live secondary is eventually hit.
+        assert!(report.outcome.is_delivered());
+    }
+
+    #[test]
+    fn greylisted_world_defers_then_delivers() {
+        let mut w = MailWorld::new(2);
+        let ip = Ipv4Addr::new(192, 0, 2, 9);
+        w.install_server(
+            ReceivingMta::new("mail.bar.org", ip)
+                .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300)))),
+        );
+        w.dns.publish(Zone::single_mx(domain("bar.org"), ip));
+
+        let d = Dialect::compliant_mta("relay.example");
+        let first = w.attempt_delivery(
+            SimTime::ZERO,
+            &d,
+            MxStrategy::RfcCompliant,
+            &domain("bar.org"),
+            env("u@bar.org"),
+            msg(),
+        );
+        assert!(!first.outcome.is_delivered());
+        assert!(first.outcome.is_retryable());
+
+        let second = w.attempt_delivery(
+            SimTime::from_secs(600),
+            &d,
+            MxStrategy::RfcCompliant,
+            &domain("bar.org"),
+            env("u@bar.org"),
+            msg(),
+        );
+        assert!(second.outcome.is_delivered());
+    }
+
+    #[test]
+    fn nxdomain_is_permanent_failure() {
+        let mut w = MailWorld::new(3);
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("ghost.example"),
+            env("u@ghost.example"),
+            msg(),
+        );
+        assert!(matches!(report.outcome, DeliveryOutcome::PermFailed { .. }));
+    }
+
+    #[test]
+    fn dangling_mx_skipped_by_compliant_sender() {
+        let mut w = MailWorld::new(4);
+        let live = Ipv4Addr::new(192, 0, 2, 30);
+        w.install_server(ReceivingMta::new("mx2.baz.io", live));
+        // Primary MX has no A record; secondary is fine.
+        w.dns.publish(
+            Zone::builder(domain("baz.io"))
+                .mx_to(0, domain("ghost.baz.io"))
+                .mx(10, "mx2", live)
+                .build(),
+        );
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("baz.io"),
+            env("u@baz.io"),
+            msg(),
+        );
+        assert!(report.outcome.is_delivered());
+        assert_eq!(report.mx_trail[0].connect_error.as_deref(), Some("no A record"));
+    }
+
+    #[test]
+    fn filtered_primary_charges_timeout() {
+        let mut w = MailWorld::new(5);
+        let filtered = Ipv4Addr::new(192, 0, 2, 40);
+        let live = Ipv4Addr::new(192, 0, 2, 41);
+        w.network.host("fw.qux.org").ip(filtered).port(SMTP_PORT, PortState::Filtered).build();
+        w.install_server(ReceivingMta::new("mx2.qux.org", live));
+        w.dns.publish(Zone::nolisting(domain("qux.org"), filtered, live));
+        // Overwrite: nolisting() gave the dead host its own A/host; we
+        // installed `filtered` manually, so remap DNS to our hosts.
+        w.dns.publish(
+            Zone::builder(domain("qux.org"))
+                .mx_to(0, domain("fw.qux.org"))
+                .a_at(domain("fw.qux.org"), filtered)
+                .mx_to(10, domain("mx2.qux.org"))
+                .a_at(domain("mx2.qux.org"), live)
+                .build(),
+        );
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("qux.org"),
+            env("u@qux.org"),
+            msg(),
+        );
+        assert!(report.outcome.is_delivered());
+        assert!(
+            report.time_spent >= w.network.syn_timeout,
+            "filtered primary must cost the SYN timeout, got {}",
+            report.time_spent
+        );
+    }
+
+    #[test]
+    fn tracing_records_the_delivery_story() {
+        let (mut w, _, _) = {
+            let mut w = MailWorld::new(1).with_tracing();
+            let dead = Ipv4Addr::new(192, 0, 2, 1);
+            let live = Ipv4Addr::new(192, 0, 2, 2);
+            w.network.host("smtp.foo.net").ip(dead).port(SMTP_PORT, PortState::Closed).build();
+            w.install_server(ReceivingMta::new("smtp1.foo.net", live));
+            w.dns.publish(Zone::nolisting(domain("foo.net"), dead, live));
+            (w, dead, live)
+        };
+        w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        assert_eq!(w.trace.count("dns.mx"), 1);
+        assert_eq!(w.trace.count("net.fail"), 1, "the dead primary must be traced");
+        assert_eq!(w.trace.count("smtp.outcome"), 1);
+        let story: Vec<String> = w.trace.events().map(|e| e.to_string()).collect();
+        assert!(story[1].contains("connection refused"), "{story:?}");
+
+        // Untraced worlds stay silent and cost nothing.
+        let mut quiet = MailWorld::new(2);
+        quiet.install_server(ReceivingMta::new("m.bar.org", Ipv4Addr::new(192, 0, 2, 9)));
+        quiet.dns.publish(Zone::single_mx(domain("bar.org"), Ipv4Addr::new(192, 0, 2, 9)));
+        quiet.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("bar.org"),
+            env("u@bar.org"),
+            msg(),
+        );
+        assert_eq!(quiet.trace.events().len(), 0);
+    }
+
+    #[test]
+    fn rdns_whitelist_exempts_named_provider() {
+        use spamward_greylist::GreylistConfig;
+        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
+        cfg.whitelist_clients.add_domain_suffix("bigmail.example");
+
+        let mut w = MailWorld::new(31);
+        let mx = Ipv4Addr::new(192, 0, 2, 60);
+        w.install_server(
+            ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(cfg)),
+        );
+        w.dns.publish(Zone::single_mx(domain("foo.net"), mx));
+        // The provider's outbound host has matching reverse DNS.
+        let provider_ip = Ipv4Addr::new(64, 233, 160, 5);
+        w.dns.publish_ptr(provider_ip, "out-1.bigmail.example".parse().unwrap());
+
+        let provider_env = Envelope::builder()
+            .client_ip(provider_ip)
+            .helo("out-1.bigmail.example")
+            .mail_from("a@bigmail.example".parse::<EmailAddress>().unwrap())
+            .rcpt("u@foo.net".parse().unwrap())
+            .build();
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("out-1.bigmail.example"),
+            MxStrategy::RfcCompliant,
+            &domain("foo.net"),
+            provider_env,
+            msg(),
+        );
+        assert!(report.outcome.is_delivered(), "rDNS-whitelisted client must skip greylisting");
+
+        // A client with no (or wrong) rDNS gets greylisted as usual.
+        let report = w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("foo.net"),
+            env("u@foo.net"),
+            msg(),
+        );
+        assert!(!report.outcome.is_delivered());
+    }
+
+    #[test]
+    fn install_server_reuses_existing_host() {
+        let mut w = MailWorld::new(6);
+        let ip = Ipv4Addr::new(192, 0, 2, 50);
+        w.network.host("pre.example").ip(ip).smtp_open().build();
+        w.install_server(ReceivingMta::new("pre.example", ip));
+        assert_eq!(w.network.len(), 1);
+        assert!(w.server(ip).is_some());
+    }
+}

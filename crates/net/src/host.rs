@@ -1,0 +1,232 @@
+//! Hosts: named machines owning IPs, ports, and an availability model.
+
+use serde::{Deserialize, Serialize};
+use spamward_sim::DetRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Opaque identifier of a host within a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub(crate) u64);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+impl HostId {
+    /// The raw index value (stable within one `Network`).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// TCP state of a port as seen from the outside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortState {
+    /// A listener answers: SYN → SYN-ACK.
+    Open,
+    /// No listener: SYN → RST. This is the recommended nolisting setup — a
+    /// real machine with port 25 *closed*, so clients fail fast.
+    Closed,
+    /// A firewall drops the packet: SYN → silence (client times out). The
+    /// "poor man's nolisting" variant; noticeably slower for RFC-compliant
+    /// clients.
+    Filtered,
+}
+
+/// Whether a host is reachable at all, possibly varying per scan epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Availability {
+    /// Always reachable.
+    Up,
+    /// Never reachable (unplugged, black-holed address).
+    Down,
+    /// Down with probability `down_prob`, re-drawn independently for every
+    /// epoch (an epoch is one scan round or one coarse time bucket). This is
+    /// what makes the detector's two-scans-two-months-apart cross-check
+    /// meaningful: a flaky-but-real primary MX will usually be up in at
+    /// least one of the scans, while a nolisting primary never is.
+    Flaky {
+        /// Probability the host is unreachable in a given epoch.
+        down_prob: f64,
+    },
+}
+
+impl Availability {
+    /// Whether the host is up in `epoch`, deterministically derived from the
+    /// host's stable seed.
+    pub fn is_up(&self, host_seed: u64, epoch: u64) -> bool {
+        match *self {
+            Availability::Up => true,
+            Availability::Down => false,
+            Availability::Flaky { down_prob } => {
+                let mut rng = DetRng::seed(host_seed).fork_idx("availability", epoch);
+                !rng.chance(down_prob)
+            }
+        }
+    }
+}
+
+/// A machine in the simulated internet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Host {
+    pub(crate) id: HostId,
+    pub(crate) name: String,
+    pub(crate) ips: Vec<Ipv4Addr>,
+    pub(crate) ports: BTreeMap<u16, PortState>,
+    pub(crate) availability: Availability,
+    pub(crate) seed: u64,
+}
+
+impl Host {
+    /// The host's identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// The host's mnemonic name (e.g. `"smtp1.foo.net"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The addresses this host answers on.
+    pub fn ips(&self) -> &[Ipv4Addr] {
+        &self.ips
+    }
+
+    /// The host's primary (first) address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host was somehow built without addresses (the builder
+    /// prevents this).
+    pub fn primary_ip(&self) -> Ipv4Addr {
+        *self.ips.first().expect("host has no IPs")
+    }
+
+    /// The state of `port`, defaulting to [`PortState::Closed`].
+    pub fn port(&self, port: u16) -> PortState {
+        self.ports.get(&port).copied().unwrap_or(PortState::Closed)
+    }
+
+    /// Whether the host is reachable in `epoch`.
+    pub fn is_up(&self, epoch: u64) -> bool {
+        self.availability.is_up(self.seed, epoch)
+    }
+
+    /// Reconfigures a port at runtime (e.g. an admin opening port 25).
+    pub fn set_port(&mut self, port: u16, state: PortState) {
+        self.ports.insert(port, state);
+    }
+
+    /// Reconfigures availability at runtime.
+    pub fn set_availability(&mut self, availability: Availability) {
+        self.availability = availability;
+    }
+}
+
+/// Builder for [`Host`]s; obtained from [`Network::host`](crate::Network::host).
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_net::{Network, PortState, SMTP_PORT};
+///
+/// let mut net = Network::new(1);
+/// let id = net
+///     .host("smtp.foo.net")
+///     .ip(Ipv4Addr::new(192, 0, 2, 10))
+///     .port(SMTP_PORT, PortState::Open)
+///     .build();
+/// assert_eq!(net.get(id).name(), "smtp.foo.net");
+/// ```
+#[derive(Debug)]
+pub struct HostBuilder<'a> {
+    pub(crate) network: &'a mut crate::Network,
+    pub(crate) name: String,
+    pub(crate) ips: Vec<Ipv4Addr>,
+    pub(crate) ports: BTreeMap<u16, PortState>,
+    pub(crate) availability: Availability,
+}
+
+impl HostBuilder<'_> {
+    /// Adds an address the host answers on.
+    pub fn ip(mut self, ip: Ipv4Addr) -> Self {
+        self.ips.push(ip);
+        self
+    }
+
+    /// Adds several addresses (e.g. a webmail provider's outbound pool).
+    pub fn ips(mut self, ips: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        self.ips.extend(ips);
+        self
+    }
+
+    /// Sets a port's externally visible state.
+    pub fn port(mut self, port: u16, state: PortState) -> Self {
+        self.ports.insert(port, state);
+        self
+    }
+
+    /// Convenience: opens TCP port 25.
+    pub fn smtp_open(self) -> Self {
+        self.port(crate::SMTP_PORT, PortState::Open)
+    }
+
+    /// Sets the availability model (defaults to [`Availability::Up`]).
+    pub fn availability(mut self, availability: Availability) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Registers the host with the network and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no address was supplied or an address is already owned by
+    /// another host.
+    pub fn build(self) -> HostId {
+        self.network.register(self.name, self.ips, self.ports, self.availability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_up_down() {
+        assert!(Availability::Up.is_up(1, 0));
+        assert!(!Availability::Down.is_up(1, 0));
+    }
+
+    #[test]
+    fn flaky_is_deterministic_per_epoch() {
+        let a = Availability::Flaky { down_prob: 0.5 };
+        for epoch in 0..16 {
+            assert_eq!(a.is_up(42, epoch), a.is_up(42, epoch));
+        }
+    }
+
+    #[test]
+    fn flaky_varies_across_epochs_and_hosts() {
+        let a = Availability::Flaky { down_prob: 0.5 };
+        let per_epoch: Vec<bool> = (0..64).map(|e| a.is_up(7, e)).collect();
+        assert!(per_epoch.iter().any(|&b| b), "never up across 64 epochs");
+        assert!(per_epoch.iter().any(|&b| !b), "never down across 64 epochs");
+        let other_host: Vec<bool> = (0..64).map(|e| a.is_up(8, e)).collect();
+        assert_ne!(per_epoch, other_host, "different hosts share flap pattern");
+    }
+
+    #[test]
+    fn flaky_probability_respected() {
+        let a = Availability::Flaky { down_prob: 0.1 };
+        let ups = (0..10_000).filter(|&e| a.is_up(3, e)).count();
+        let frac = ups as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "up fraction {frac} far from 0.9");
+    }
+}

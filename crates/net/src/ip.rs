@@ -1,0 +1,106 @@
+//! IPv4 address allocation helpers.
+
+use std::net::Ipv4Addr;
+
+/// The /24 network key of an address, as a `u32` with the low octet zeroed.
+///
+/// Postgrey's default greylisting key and several heuristics in the scanner
+/// aggregate senders at /24 granularity.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_net::net24;
+/// assert_eq!(
+///     net24(Ipv4Addr::new(192, 0, 2, 77)),
+///     net24(Ipv4Addr::new(192, 0, 2, 200)),
+/// );
+/// assert_ne!(
+///     net24(Ipv4Addr::new(192, 0, 2, 77)),
+///     net24(Ipv4Addr::new(192, 0, 3, 77)),
+/// );
+/// ```
+pub fn net24(ip: Ipv4Addr) -> u32 {
+    u32::from(ip) & 0xFF_FF_FF_00
+}
+
+/// A sequential IPv4 address allocator.
+///
+/// Synthetic populations need millions of distinct addresses; the pool hands
+/// them out in order from a starting address, skipping `.0` and `.255` host
+/// octets so every address looks like a plausible unicast host.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use spamward_net::IpPool;
+///
+/// let mut pool = IpPool::new(Ipv4Addr::new(10, 0, 0, 1));
+/// assert_eq!(pool.next_ip(), Ipv4Addr::new(10, 0, 0, 1));
+/// assert_eq!(pool.next_ip(), Ipv4Addr::new(10, 0, 0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpPool {
+    next: u32,
+}
+
+impl IpPool {
+    /// Creates a pool starting at `start`.
+    pub fn new(start: Ipv4Addr) -> Self {
+        IpPool { next: u32::from(start) }
+    }
+
+    /// Allocates the next address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IPv4 space is exhausted (practically unreachable).
+    pub fn next_ip(&mut self) -> Ipv4Addr {
+        loop {
+            let candidate = self.next;
+            self.next = self.next.checked_add(1).expect("IPv4 space exhausted");
+            let last_octet = candidate & 0xFF;
+            if last_octet != 0 && last_octet != 0xFF {
+                return Ipv4Addr::from(candidate);
+            }
+        }
+    }
+
+    /// Allocates `n` consecutive (valid) addresses.
+    pub fn take(&mut self, n: usize) -> Vec<Ipv4Addr> {
+        (0..n).map(|_| self.next_ip()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_network_and_broadcast_octets() {
+        let mut pool = IpPool::new(Ipv4Addr::new(10, 0, 0, 254));
+        assert_eq!(pool.next_ip(), Ipv4Addr::new(10, 0, 0, 254));
+        // .255 and .0 are skipped.
+        assert_eq!(pool.next_ip(), Ipv4Addr::new(10, 0, 1, 1));
+    }
+
+    #[test]
+    fn take_returns_distinct() {
+        let mut pool = IpPool::new(Ipv4Addr::new(198, 18, 0, 1));
+        let ips = pool.take(600);
+        let mut dedup = ips.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ips.len());
+    }
+
+    #[test]
+    fn net24_masks_low_octet() {
+        let a = Ipv4Addr::new(203, 0, 113, 5);
+        let b = Ipv4Addr::new(203, 0, 113, 254);
+        assert_eq!(net24(a), net24(b));
+        assert_eq!(net24(a) & 0xFF, 0);
+    }
+}

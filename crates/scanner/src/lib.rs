@@ -1,0 +1,31 @@
+//! Internet-wide scan simulation and the nolisting-detection pipeline.
+//!
+//! Fig. 2 of the paper comes from joining two `scans.io` datasets — a
+//! DNS-ANY dump of 135 M domains and a full-IPv4 SMTP banner grab — and
+//! classifying every domain's mail setup. The real datasets are gated; per
+//! the substitution rule this crate rebuilds the *pipeline* against a
+//! synthetic internet with known ground truth:
+//!
+//! * [`PopulationSpec`]/[`Population`] — generate domains with the Fig. 2
+//!   topology mix (one MX 47.73%, multi-MX 45.97%, DNS misconfiguration
+//!   5.78%, nolisting 0.52%), configurable host flakiness, and a Zipf-ish
+//!   popularity ranking for the Alexa cross-check.
+//! * [`DnsAnyScan`] — the DNS dataset, including MX records whose A
+//!   records are missing (the entries the paper re-resolved with a
+//!   parallel scanner — [`resolve_missing`] reproduces that step with a
+//!   crossbeam worker pool).
+//! * [`BannerGrab`] — the SYN-scan dataset of listening port-25 hosts.
+//! * [`NolistingDetector`] — the three-step classification plus the
+//!   two-scans-months-apart cross-check, emitting [`Fig2Stats`] and (a
+//!   luxury the paper didn't have) accuracy against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod pipeline;
+mod population;
+
+pub use dataset::{resolve_missing, BannerGrab, DnsAnyScan, MxRecordEntry};
+pub use pipeline::{DetectorAccuracy, DomainClass, Fig2Stats, NolistingDetector, ScanRound};
+pub use population::{DomainRecord, DomainTruth, Population, PopulationSpec};

@@ -1,0 +1,320 @@
+//! The three-step nolisting detector and the Fig. 2 classification.
+
+use crate::dataset::{BannerGrab, DnsAnyScan};
+use crate::population::{DomainTruth, Population};
+use serde::{Deserialize, Serialize};
+use spamward_dns::DomainName;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The detector's verdict for one domain (the four Fig. 2 slices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainClass {
+    /// Exactly one (resolvable) MX.
+    OneMx,
+    /// Multiple MXs, primary listening in at least one scan.
+    MultiMxNoNolisting,
+    /// Primary never listening, a lower-priority MX listening, in *every*
+    /// scan round.
+    Nolisting,
+    /// No usable MX data (unresolvable or lame).
+    DnsMisconfigured,
+}
+
+impl fmt::Display for DomainClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DomainClass::OneMx => "one MX record",
+            DomainClass::MultiMxNoNolisting => "not using nolisting",
+            DomainClass::Nolisting => "using nolisting",
+            DomainClass::DnsMisconfigured => "DNS misconfiguration",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One complete scan round: the (glue-patched) DNS dataset plus the banner
+/// grab taken in the same epoch.
+#[derive(Debug)]
+pub struct ScanRound {
+    /// The DNS dataset.
+    pub dns: DnsAnyScan,
+    /// The SYN-scan results.
+    pub banner: BannerGrab,
+}
+
+/// Fig. 2's aggregate: per-class counts and percentages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Stats {
+    /// Total domains classified.
+    pub total: usize,
+    /// Count per class.
+    pub counts: Vec<(DomainClass, usize)>,
+}
+
+impl Fig2Stats {
+    /// The percentage of a class.
+    pub fn pct(&self, class: DomainClass) -> f64 {
+        let count = self.counts.iter().find(|(c, _)| *c == class).map(|(_, n)| *n).unwrap_or(0);
+        100.0 * count as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Detection quality against ground truth (the synthetic population's
+/// advantage over the real study).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorAccuracy {
+    /// Nolisting domains correctly flagged.
+    pub true_positives: usize,
+    /// Non-nolisting domains wrongly flagged.
+    pub false_positives: usize,
+    /// Nolisting domains missed.
+    pub false_negatives: usize,
+}
+
+impl DetectorAccuracy {
+    /// TP / (TP + FP); 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / flagged as f64
+    }
+
+    /// TP / (TP + FN); 1.0 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / actual as f64
+    }
+}
+
+/// The paper's three-step nolisting detector with N-scan cross-checking.
+///
+/// Per scan round and domain: (1) take the domain's MX records and check
+/// their correctness, (2) use the resolved exchanger addresses in priority
+/// order, (3) join against the banner grab. A domain is a *candidate* when
+/// its primary is not listening but some lower-priority exchanger is; it
+/// is classified [`DomainClass::Nolisting`] only when it is a candidate in
+/// **every** round and the primary listened in none (the paper's two
+/// scans, two months apart).
+#[derive(Debug, Default)]
+pub struct NolistingDetector;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundVerdict {
+    OneMx,
+    PrimaryUp,
+    Candidate,
+    Misconfigured,
+    /// Multi-MX with nothing listening at all — indistinguishable from an
+    /// outage; treated as "not nolisting" (primary could be fine later).
+    AllDown,
+}
+
+impl NolistingDetector {
+    /// Classifies one domain within one round.
+    fn round_verdict(round: &ScanRound, domain: &DomainName) -> RoundVerdict {
+        let Some(entries) = round.dns.mx.get(domain) else {
+            return RoundVerdict::Misconfigured;
+        };
+        let resolved: Vec<_> = entries.iter().filter_map(|e| e.ip.map(|ip| (e.preference, ip))).collect();
+        if resolved.is_empty() {
+            return RoundVerdict::Misconfigured;
+        }
+        if resolved.len() == 1 {
+            return RoundVerdict::OneMx;
+        }
+        // Entries are preference-sorted at collection time.
+        let primary_listening = round.banner.is_listening(resolved[0].1);
+        if primary_listening {
+            return RoundVerdict::PrimaryUp;
+        }
+        if resolved[1..].iter().any(|&(_, ip)| round.banner.is_listening(ip)) {
+            RoundVerdict::Candidate
+        } else {
+            RoundVerdict::AllDown
+        }
+    }
+
+    /// Classifies `domain` across all rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty.
+    pub fn classify(rounds: &[ScanRound], domain: &DomainName) -> DomainClass {
+        assert!(!rounds.is_empty(), "need at least one scan round");
+        let verdicts: Vec<RoundVerdict> =
+            rounds.iter().map(|r| Self::round_verdict(r, domain)).collect();
+        // Misconfiguration and single-MX are structural; take them from
+        // the first round that produced MX data at all.
+        if verdicts.iter().all(|v| *v == RoundVerdict::Misconfigured) {
+            return DomainClass::DnsMisconfigured;
+        }
+        if verdicts.contains(&RoundVerdict::OneMx) {
+            return DomainClass::OneMx;
+        }
+        // "If one domain had the primary email server operational in at
+        // least one of the two datasets, we concluded that it was not
+        // using nolisting."
+        if verdicts.contains(&RoundVerdict::PrimaryUp) {
+            return DomainClass::MultiMxNoNolisting;
+        }
+        // "If the primary was not responding in both cases but the
+        // secondary did, we assumed the domain was protected by nolisting."
+        if verdicts.iter().all(|v| *v == RoundVerdict::Candidate) {
+            return DomainClass::Nolisting;
+        }
+        DomainClass::MultiMxNoNolisting
+    }
+
+    /// Classifies every domain and aggregates Fig. 2.
+    pub fn run<'a>(
+        rounds: &[ScanRound],
+        domains: impl IntoIterator<Item = &'a DomainName>,
+    ) -> (Fig2Stats, HashMap<DomainName, DomainClass>) {
+        let mut per_domain = HashMap::new();
+        let mut counts: HashMap<DomainClass, usize> = HashMap::new();
+        for d in domains {
+            let class = Self::classify(rounds, d);
+            *counts.entry(class).or_insert(0) += 1;
+            per_domain.insert(d.clone(), class);
+        }
+        let total = per_domain.len();
+        let ordered = [
+            DomainClass::OneMx,
+            DomainClass::MultiMxNoNolisting,
+            DomainClass::Nolisting,
+            DomainClass::DnsMisconfigured,
+        ]
+        .iter()
+        .map(|&c| (c, counts.get(&c).copied().unwrap_or(0)))
+        .collect();
+        (Fig2Stats { total, counts: ordered }, per_domain)
+    }
+
+    /// Scores a classification against the population's ground truth.
+    pub fn score(population: &Population, verdicts: &HashMap<DomainName, DomainClass>) -> DetectorAccuracy {
+        let mut acc = DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        for d in &population.domains {
+            let flagged = verdicts.get(&d.name) == Some(&DomainClass::Nolisting);
+            let actual = d.truth == DomainTruth::Nolisting;
+            match (flagged, actual) {
+                (true, true) => acc.true_positives += 1,
+                (true, false) => acc.false_positives += 1,
+                (false, true) => acc.false_negatives += 1,
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::resolve_missing;
+    use crate::population::PopulationSpec;
+
+    fn build_rounds(spec: &PopulationSpec, seed: u64, epochs: &[u64]) -> (Population, Vec<ScanRound>) {
+        let mut pop = Population::generate(spec, seed);
+        let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
+        let mut rounds = Vec::new();
+        for &epoch in epochs {
+            let mut dns_scan = DnsAnyScan::collect(&mut pop.dns, &names);
+            resolve_missing(&mut dns_scan, &pop.dns, 4);
+            let banner = BannerGrab::collect(&pop.network, epoch);
+            rounds.push(ScanRound { dns: dns_scan, banner });
+        }
+        (pop, rounds)
+    }
+
+    #[test]
+    fn fig2_shape_recovered() {
+        let (pop, rounds) = build_rounds(&PopulationSpec::fig2(4_000), 13, &[0, 1]);
+        let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
+        let (stats, verdicts) = NolistingDetector::run(&rounds, &names);
+        assert_eq!(stats.total, 4_000);
+        assert!((stats.pct(DomainClass::OneMx) - 47.73).abs() < 3.0);
+        assert!((stats.pct(DomainClass::MultiMxNoNolisting) - 45.97).abs() < 3.0);
+        assert!((stats.pct(DomainClass::DnsMisconfigured) - 5.78).abs() < 2.0);
+        let nolisting_pct = stats.pct(DomainClass::Nolisting);
+        assert!(nolisting_pct > 0.0 && nolisting_pct < 2.0, "got {nolisting_pct}");
+
+        let acc = NolistingDetector::score(&pop, &verdicts);
+        // A nolisting domain whose flaky *secondary* happens to be down in
+        // a scan epoch is undetectable by construction, so recall is high
+        // but not guaranteed perfect.
+        assert!(acc.recall() > 0.85, "recall {}", acc.recall());
+        assert!(acc.precision() > 0.5, "precision {}", acc.precision());
+    }
+
+    #[test]
+    fn double_scan_beats_single_scan_on_precision() {
+        let mut spec = PopulationSpec::fig2(6_000);
+        spec.flaky_hosts = 0.20; // plenty of flapping primaries
+        let (pop, rounds) = build_rounds(&spec, 17, &[0, 1]);
+        let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
+
+        let (_, single) = NolistingDetector::run(&rounds[..1], &names);
+        let (_, double) = NolistingDetector::run(&rounds, &names);
+        let acc_single = NolistingDetector::score(&pop, &single);
+        let acc_double = NolistingDetector::score(&pop, &double);
+        assert!(
+            acc_double.false_positives < acc_single.false_positives,
+            "double scan FP {} !< single scan FP {}",
+            acc_double.false_positives,
+            acc_single.false_positives
+        );
+        assert!(acc_double.precision() > acc_single.precision());
+        assert!(acc_double.recall() > 0.5, "recall {}", acc_double.recall());
+    }
+
+    #[test]
+    fn misconfigured_and_one_mx_classes() {
+        let (pop, rounds) = build_rounds(&PopulationSpec::fig2(1_500), 23, &[0, 1]);
+        let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
+        let (_, verdicts) = NolistingDetector::run(&rounds, &names);
+        for d in &pop.domains {
+            let v = verdicts[&d.name];
+            match d.truth {
+                DomainTruth::Misconfigured => assert_eq!(v, DomainClass::DnsMisconfigured, "{}", d.name),
+                DomainTruth::SingleMx => assert_eq!(v, DomainClass::OneMx, "{}", d.name),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stats_pct_of_absent_class_is_zero() {
+        let stats = Fig2Stats { total: 10, counts: vec![(DomainClass::OneMx, 10)] };
+        assert_eq!(stats.pct(DomainClass::Nolisting), 0.0);
+        assert_eq!(stats.pct(DomainClass::OneMx), 100.0);
+    }
+
+    #[test]
+    fn accuracy_edge_cases() {
+        let perfect = DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        assert_eq!(perfect.precision(), 1.0);
+        assert_eq!(perfect.recall(), 1.0);
+        let bad = DetectorAccuracy { true_positives: 1, false_positives: 3, false_negatives: 1 };
+        assert_eq!(bad.precision(), 0.25);
+        assert_eq!(bad.recall(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan round")]
+    fn classify_requires_rounds() {
+        let name: DomainName = "x.example".parse().unwrap();
+        let _ = NolistingDetector::classify(&[], &name);
+    }
+
+    #[test]
+    fn display_class_names() {
+        assert_eq!(DomainClass::Nolisting.to_string(), "using nolisting");
+        assert_eq!(DomainClass::DnsMisconfigured.to_string(), "DNS misconfiguration");
+    }
+}

@@ -1,0 +1,317 @@
+//! Synthetic internet population with ground truth.
+
+use serde::{Deserialize, Serialize};
+use spamward_dns::{Authority, DomainName, Zone};
+use spamward_net::{Availability, IpPool, Network, PortState, SMTP_PORT};
+use spamward_sim::DetRng;
+use std::net::Ipv4Addr;
+
+/// Ground-truth mail configuration of a generated domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainTruth {
+    /// Exactly one MX record (47.73% in Fig. 2).
+    SingleMx,
+    /// Two or more MX records, all servers real (45.97%).
+    MultiMx,
+    /// Deliberate nolisting: dead primary, live secondary (0.52%).
+    Nolisting,
+    /// DNS misconfiguration — no resolvable mail server (5.78%).
+    Misconfigured,
+}
+
+impl DomainTruth {
+    /// All four classes in Fig. 2 order.
+    pub const ALL: [DomainTruth; 4] = [
+        DomainTruth::SingleMx,
+        DomainTruth::MultiMx,
+        DomainTruth::Nolisting,
+        DomainTruth::Misconfigured,
+    ];
+}
+
+/// One generated domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainRecord {
+    /// The domain name.
+    pub name: DomainName,
+    /// What the domain really is.
+    pub truth: DomainTruth,
+    /// Synthetic popularity rank (1 = most popular), unique per domain.
+    pub alexa_rank: u32,
+}
+
+/// Parameters of population synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Number of domains to generate.
+    pub domains: usize,
+    /// Fraction with a single MX (Fig. 2: 0.4773).
+    pub single_mx: f64,
+    /// Fraction with multiple working MXs (Fig. 2: 0.4597).
+    pub multi_mx: f64,
+    /// Fraction using nolisting (Fig. 2: 0.0052).
+    pub nolisting: f64,
+    /// Fraction misconfigured (Fig. 2: 0.0578).
+    pub misconfigured: f64,
+    /// Fraction of *mail hosts* that flap (down in a random subset of scan
+    /// epochs) — the noise source the double-scan exists to cancel.
+    pub flaky_hosts: f64,
+    /// Probability a flaky host is down in any given epoch.
+    pub flaky_down_prob: f64,
+}
+
+impl PopulationSpec {
+    /// The Fig. 2 mix at the given scale, with mild (2%) host flakiness —
+    /// real mail servers are rarely down for a whole scan, which is what
+    /// makes the paper's two-scan cross-check so clean (0.01% drift).
+    pub fn fig2(domains: usize) -> Self {
+        PopulationSpec {
+            domains,
+            single_mx: 0.4773,
+            multi_mx: 0.4597,
+            nolisting: 0.0052,
+            misconfigured: 0.0578,
+            flaky_hosts: 0.02,
+            flaky_down_prob: 0.3,
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.single_mx + self.multi_mx + self.nolisting + self.misconfigured;
+        assert!((sum - 1.0).abs() < 1e-6, "class fractions must sum to 1, got {sum}");
+        assert!(self.domains > 0, "population needs at least one domain");
+    }
+}
+
+/// The generated internet: domains with ground truth, plus the network and
+/// DNS they live in.
+#[derive(Debug)]
+pub struct Population {
+    /// The generated domains, in generation order.
+    pub domains: Vec<DomainRecord>,
+    /// The simulated network hosting every mail server.
+    pub network: Network,
+    /// The DNS publishing every zone.
+    pub dns: Authority,
+}
+
+impl Population {
+    /// Generates a population per `spec`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's fractions don't sum to 1.
+    pub fn generate(spec: &PopulationSpec, seed: u64) -> Population {
+        spec.validate();
+        let root = DetRng::seed(seed);
+        let mut class_rng = root.fork("population.class");
+        let mut flake_rng = root.fork("population.flake");
+        let mut rank_rng = root.fork("population.rank");
+
+        let mut network = Network::new(seed);
+        let mut dns = Authority::new();
+        let mut pool = IpPool::new(Ipv4Addr::new(11, 0, 0, 1));
+        let mut domains = Vec::with_capacity(spec.domains);
+
+        // A random permutation of 1..=N as popularity ranks.
+        let mut ranks: Vec<u32> = (1..=spec.domains as u32).collect();
+        rank_rng.shuffle(&mut ranks);
+
+        for (i, &alexa_rank) in ranks.iter().enumerate().take(spec.domains) {
+            let name: DomainName =
+                format!("d{i}.example").parse().expect("generated name is valid");
+            let truth = {
+                let x = class_rng.unit_f64();
+                if x < spec.single_mx {
+                    DomainTruth::SingleMx
+                } else if x < spec.single_mx + spec.multi_mx {
+                    DomainTruth::MultiMx
+                } else if x < spec.single_mx + spec.multi_mx + spec.nolisting {
+                    DomainTruth::Nolisting
+                } else {
+                    DomainTruth::Misconfigured
+                }
+            };
+
+            let availability = |rng: &mut DetRng| {
+                if rng.chance(spec.flaky_hosts) {
+                    Availability::Flaky { down_prob: spec.flaky_down_prob }
+                } else {
+                    Availability::Up
+                }
+            };
+
+            match truth {
+                DomainTruth::SingleMx => {
+                    let ip = pool.next_ip();
+                    network
+                        .host(&format!("mail.{name}"))
+                        .ip(ip)
+                        .smtp_open()
+                        .availability(availability(&mut flake_rng))
+                        .build();
+                    dns.publish(Zone::single_mx(name.clone(), ip));
+                }
+                DomainTruth::MultiMx => {
+                    let primary = pool.next_ip();
+                    let secondary = pool.next_ip();
+                    network
+                        .host(&format!("mx1.{name}"))
+                        .ip(primary)
+                        .smtp_open()
+                        .availability(availability(&mut flake_rng))
+                        .build();
+                    network
+                        .host(&format!("mx2.{name}"))
+                        .ip(secondary)
+                        .smtp_open()
+                        .availability(availability(&mut flake_rng))
+                        .build();
+                    dns.publish(
+                        Zone::builder(name.clone())
+                            .mx(10, "mx1", primary)
+                            .mx(20, "mx2", secondary)
+                            .build(),
+                    );
+                }
+                DomainTruth::Nolisting => {
+                    let dead = pool.next_ip();
+                    let live = pool.next_ip();
+                    // The dead primary is a real machine that never opens
+                    // port 25 — reliably down for SMTP in *every* epoch.
+                    network
+                        .host(&format!("smtp.{name}"))
+                        .ip(dead)
+                        .port(SMTP_PORT, PortState::Closed)
+                        .build();
+                    network
+                        .host(&format!("smtp1.{name}"))
+                        .ip(live)
+                        .smtp_open()
+                        .availability(availability(&mut flake_rng))
+                        .build();
+                    dns.publish(Zone::nolisting(name.clone(), dead, live));
+                }
+                DomainTruth::Misconfigured => {
+                    // Half dangling MX (target has no A record), half lame.
+                    if flake_rng.chance(0.5) {
+                        dns.publish(Zone::dangling_mx(name.clone()));
+                    } else {
+                        dns.publish(Zone::builder(name.clone()).lame().build());
+                    }
+                }
+            }
+
+            domains.push(DomainRecord { name, truth, alexa_rank });
+        }
+
+        Population { domains, network, dns }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the population is empty (never true for generated ones).
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Counts domains per ground-truth class.
+    pub fn truth_counts(&self) -> [(DomainTruth, usize); 4] {
+        DomainTruth::ALL
+            .map(|t| (t, self.domains.iter().filter(|d| d.truth == t).count()))
+    }
+
+    /// Ground-truth nolisting domains within the `k` most popular.
+    pub fn nolisting_in_top_k(&self, k: u32) -> usize {
+        self.domains
+            .iter()
+            .filter(|d| d.truth == DomainTruth::Nolisting && d.alexa_rank <= k)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_approximates_fig2() {
+        let pop = Population::generate(&PopulationSpec::fig2(20_000), 1);
+        let counts = pop.truth_counts();
+        let frac = |t: DomainTruth| {
+            counts.iter().find(|(c, _)| *c == t).unwrap().1 as f64 / pop.len() as f64
+        };
+        assert!((frac(DomainTruth::SingleMx) - 0.4773).abs() < 0.02);
+        assert!((frac(DomainTruth::MultiMx) - 0.4597).abs() < 0.02);
+        assert!((frac(DomainTruth::Misconfigured) - 0.0578).abs() < 0.01);
+        assert!((frac(DomainTruth::Nolisting) - 0.0052).abs() < 0.005);
+        assert!(frac(DomainTruth::Nolisting) > 0.0, "some nolisting domains must exist");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(&PopulationSpec::fig2(500), 7);
+        let b = Population::generate(&PopulationSpec::fig2(500), 7);
+        assert_eq!(a.domains, b.domains);
+        let c = Population::generate(&PopulationSpec::fig2(500), 8);
+        assert_ne!(a.domains, c.domains);
+    }
+
+    #[test]
+    fn nolisting_domains_have_dead_primary_live_secondary() {
+        let pop = Population::generate(&PopulationSpec::fig2(2_000), 3);
+        let nolisting: Vec<_> =
+            pop.domains.iter().filter(|d| d.truth == DomainTruth::Nolisting).collect();
+        assert!(!nolisting.is_empty());
+        for d in nolisting {
+            let primary_name = format!("smtp.{}", d.name);
+            let host = pop
+                .network
+                .iter()
+                .find(|h| h.name() == primary_name)
+                .expect("nolisting primary host exists");
+            assert_eq!(host.port(SMTP_PORT), PortState::Closed);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let pop = Population::generate(&PopulationSpec::fig2(1_000), 5);
+        let mut ranks: Vec<u32> = pop.domains.iter().map(|d| d.alexa_rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=1_000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_fractions_rejected() {
+        let mut spec = PopulationSpec::fig2(10);
+        spec.single_mx = 0.9;
+        let _ = Population::generate(&spec, 1);
+    }
+
+    #[test]
+    fn misconfigured_domains_resolve_to_nothing() {
+        let pop = Population::generate(&PopulationSpec::fig2(2_000), 9);
+        let mut dns = pop.dns;
+        let mut resolver = spamward_dns::Resolver::new();
+        let misconf: Vec<_> = pop
+            .domains
+            .iter()
+            .filter(|d| d.truth == DomainTruth::Misconfigured)
+            .take(20)
+            .collect();
+        assert!(!misconf.is_empty());
+        for d in misconf {
+            let result = resolver.resolve_mx(&mut dns, &d.name, spamward_sim::SimTime::ZERO);
+            let unusable = match &result {
+                Err(_) => true,
+                Ok(mxs) => mxs.iter().all(|m| m.ip.is_none()),
+            };
+            assert!(unusable, "{}: misconfigured domain resolved {result:?}", d.name);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! SMTP replies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coarse class of a reply code (its first digit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyCategory {
+    /// 2yz — the requested action completed.
+    PositiveCompletion,
+    /// 3yz — more input expected (e.g. 354 after DATA).
+    PositiveIntermediate,
+    /// 4yz — transient failure; the client should retry later. Greylisting
+    /// lives entirely in this class.
+    TransientNegative,
+    /// 5yz — permanent failure; the client must not retry.
+    PermanentNegative,
+}
+
+/// A server reply: a three-digit code and one or more text lines.
+///
+/// # Example
+///
+/// ```
+/// use spamward_smtp::Reply;
+/// let r = Reply::greylisted(300);
+/// assert_eq!(r.code(), 450);
+/// assert!(r.is_transient());
+/// assert!(r.to_wire().starts_with("450 "));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reply {
+    code: u16,
+    lines: Vec<String>,
+}
+
+impl Reply {
+    /// Creates a reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is outside `200..=599` or `lines` is empty.
+    pub fn new(code: u16, lines: Vec<String>) -> Self {
+        assert!((200..=599).contains(&code), "SMTP reply code {code} out of range");
+        assert!(!lines.is_empty(), "a reply needs at least one text line");
+        Reply { code, lines }
+    }
+
+    /// Creates a single-line reply.
+    pub fn single(code: u16, text: impl Into<String>) -> Self {
+        Reply::new(code, vec![text.into()])
+    }
+
+    // --- Standard replies used across the suite ---
+
+    /// `220` service-ready banner.
+    pub fn banner(hostname: &str) -> Self {
+        Reply::single(220, format!("{hostname} ESMTP spamward"))
+    }
+
+    /// `250` greeting after HELO/EHLO.
+    pub fn hello(hostname: &str, peer: &str) -> Self {
+        Reply::single(250, format!("{hostname} Hello {peer}, I am glad to meet you"))
+    }
+
+    /// `250 OK`.
+    pub fn ok() -> Self {
+        Reply::single(250, "OK")
+    }
+
+    /// `354` start-mail-input.
+    pub fn start_mail_input() -> Self {
+        Reply::single(354, "End data with <CR><LF>.<CR><LF>")
+    }
+
+    /// `450` greylisting rejection, in Postgrey's wording.
+    pub fn greylisted(retry_after_secs: u64) -> Self {
+        Reply::single(
+            450,
+            format!("4.2.0 Greylisted, see http://postgrey.schweikert.ch/ (retry in {retry_after_secs}s)"),
+        )
+    }
+
+    /// `421` service-not-available (server shutting down the channel).
+    pub fn service_unavailable(hostname: &str) -> Self {
+        Reply::single(421, format!("{hostname} Service not available, closing transmission channel"))
+    }
+
+    /// `550` mailbox unavailable (unknown recipient).
+    pub fn no_such_user() -> Self {
+        Reply::single(550, "5.1.1 No such user here")
+    }
+
+    /// `550` policy rejection (e.g. DNSBL hit).
+    pub fn rejected_policy(reason: &str) -> Self {
+        Reply::single(550, format!("5.7.1 {reason}"))
+    }
+
+    /// `221` closing reply to QUIT.
+    pub fn bye(hostname: &str) -> Self {
+        Reply::single(221, format!("{hostname} Service closing transmission channel"))
+    }
+
+    /// `500` unrecognized command.
+    pub fn unrecognized() -> Self {
+        Reply::single(500, "5.5.2 Error: command not recognized")
+    }
+
+    /// `503` bad sequence of commands.
+    pub fn bad_sequence() -> Self {
+        Reply::single(503, "5.5.1 Error: bad sequence of commands")
+    }
+
+    /// `501` syntax error in parameters.
+    pub fn bad_syntax() -> Self {
+        Reply::single(501, "5.5.4 Error: syntax error in parameters")
+    }
+
+    /// `252` cannot-verify reply to VRFY.
+    pub fn cannot_verify() -> Self {
+        Reply::single(252, "2.1.5 Cannot VRFY user, but will accept message")
+    }
+
+    /// The numeric code.
+    pub fn code(&self) -> u16 {
+        self.code
+    }
+
+    /// The text lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The reply's class.
+    pub fn category(&self) -> ReplyCategory {
+        match self.code / 100 {
+            2 => ReplyCategory::PositiveCompletion,
+            3 => ReplyCategory::PositiveIntermediate,
+            4 => ReplyCategory::TransientNegative,
+            _ => ReplyCategory::PermanentNegative,
+        }
+    }
+
+    /// Whether the request succeeded (2yz).
+    pub fn is_positive(&self) -> bool {
+        self.category() == ReplyCategory::PositiveCompletion
+    }
+
+    /// Whether more input is expected (3yz).
+    pub fn is_intermediate(&self) -> bool {
+        self.category() == ReplyCategory::PositiveIntermediate
+    }
+
+    /// Whether the failure is transient (4yz) — the retry-later signal
+    /// greylisting relies on.
+    pub fn is_transient(&self) -> bool {
+        self.category() == ReplyCategory::TransientNegative
+    }
+
+    /// Whether the failure is permanent (5yz).
+    pub fn is_permanent(&self) -> bool {
+        self.category() == ReplyCategory::PermanentNegative
+    }
+
+    /// Serializes to wire form, `XYZ-text` continuation lines and a final
+    /// `XYZ text` line, CRLF-terminated.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
+            out.push_str(&format!("{}{}{}\r\n", self.code, sep, line));
+        }
+        out
+    }
+
+    /// Parses a (possibly multi-line) wire-form reply.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let mut code: Option<u16> = None;
+        let mut lines = Vec::new();
+        let mut terminated = false;
+        for raw in s.split("\r\n").filter(|l| !l.is_empty()) {
+            if terminated {
+                return None; // text after the final line
+            }
+            if raw.len() < 4 {
+                return None;
+            }
+            let (head, text) = raw.split_at(4);
+            let c: u16 = head[..3].parse().ok()?;
+            if !(200..=599).contains(&c) {
+                return None;
+            }
+            match code {
+                None => code = Some(c),
+                Some(prev) if prev != c => return None,
+                _ => {}
+            }
+            match head.as_bytes()[3] {
+                b' ' => terminated = true,
+                b'-' => {}
+                _ => return None,
+            }
+            lines.push(text.to_owned());
+        }
+        if !terminated || lines.is_empty() {
+            return None;
+        }
+        Some(Reply { code: code?, lines })
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.lines.join(" / "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn categories() {
+        assert!(Reply::ok().is_positive());
+        assert!(Reply::start_mail_input().is_intermediate());
+        assert!(Reply::greylisted(300).is_transient());
+        assert!(Reply::no_such_user().is_permanent());
+        assert_eq!(Reply::single(421, "x").category(), ReplyCategory::TransientNegative);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_code() {
+        let _ = Reply::single(199, "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_lines() {
+        let _ = Reply::new(250, vec![]);
+    }
+
+    #[test]
+    fn single_line_wire_roundtrip() {
+        let r = Reply::ok();
+        assert_eq!(r.to_wire(), "250 OK\r\n");
+        assert_eq!(Reply::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn multi_line_wire_roundtrip() {
+        let r = Reply::new(250, vec!["first".into(), "second".into(), "third".into()]);
+        let wire = r.to_wire();
+        assert!(wire.starts_with("250-first\r\n250-second\r\n250 third"));
+        assert_eq!(Reply::from_wire(&wire).unwrap(), r);
+    }
+
+    #[test]
+    fn from_wire_rejects_malformed() {
+        assert_eq!(Reply::from_wire(""), None);
+        assert_eq!(Reply::from_wire("abc hello\r\n"), None);
+        assert_eq!(Reply::from_wire("250-never terminated\r\n"), None);
+        assert_eq!(Reply::from_wire("250 ok\r\n251 mixed\r\n"), None);
+        assert_eq!(Reply::from_wire("999 out of range\r\n"), None);
+        assert_eq!(Reply::from_wire("250 ok\r\ntrailing\r\n"), None);
+    }
+
+    #[test]
+    fn greylist_reply_carries_retry_hint() {
+        let r = Reply::greylisted(300);
+        assert!(r.lines()[0].contains("300s"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(code in 200u16..=599, n in 1usize..4) {
+            let lines: Vec<String> = (0..n).map(|i| format!("line {i}")).collect();
+            let r = Reply::new(code, lines);
+            prop_assert_eq!(Reply::from_wire(&r.to_wire()).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Real-network transport: the same state machines over TCP.
+//!
+//! Everything else in the suite couples [`ClientSession`] and
+//! [`ServerSession`] directly for simulation speed; this module runs them
+//! over genuine sockets so the library doubles as a *working* SMTP
+//! implementation — a greylisting server you can point `swaks` or a real
+//! MTA at, and a client that can deliver to one.
+//!
+//! Time on the wire is real time: callers provide a clock mapping
+//! `Instant`s to [`SimTime`] so the greylist's virtual-time logic keeps
+//! working (the default clock counts from server start).
+
+use crate::client::{ClientAction, ClientSession, DeliveryOutcome};
+use crate::reply::Reply;
+use crate::server::{ServerPolicy, ServerSession};
+use crate::wire::{dot_stuff, dot_unstuff};
+use crate::Command;
+use spamward_sim::SimTime;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Instant;
+
+/// Maps wall-clock instants to the virtual [`SimTime`] the policy layer
+/// expects.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// A clock whose `t=0` is "now".
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    stream.write_all(reply.to_wire().as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one (possibly multi-line) reply from the server side of `reader`.
+fn read_reply(reader: &mut impl BufRead) -> io::Result<Reply> {
+    let mut wire = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let done = line.len() >= 4 && line.as_bytes()[3] == b' ';
+        wire.push_str(line.trim_end_matches(['\r', '\n']));
+        wire.push_str("\r\n");
+        if done {
+            break;
+        }
+    }
+    Reply::from_wire(&wire)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply {wire:?}")))
+}
+
+/// Serves exactly one SMTP connection on `stream` with the given policy.
+///
+/// Returns the finished [`ServerSession`] (mailbox of accepted messages
+/// included) when the client quits or disconnects.
+///
+/// # Errors
+///
+/// Propagates socket I/O errors; a client that just drops the connection
+/// mid-session is *not* an error (fire-and-forget bots do exactly that).
+pub fn serve_connection(
+    mut stream: TcpStream,
+    hostname: &str,
+    policy: &mut dyn ServerPolicy,
+    clock: &WallClock,
+) -> io::Result<ServerSession> {
+    let peer = match stream.peer_addr()? {
+        SocketAddr::V4(a) => *a.ip(),
+        SocketAddr::V6(_) => std::net::Ipv4Addr::LOCALHOST, // v6 loopback in tests
+    };
+    let mut session = ServerSession::new(hostname, peer);
+    let banner = session.open(clock.now(), policy);
+    write_reply(&mut stream, &banner)?;
+    if session.is_closed() {
+        return Ok(session);
+    }
+
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            // Peer hung up without QUIT.
+            return Ok(session);
+        }
+        let cmd = Command::parse(&line);
+        let reply = session.handle(clock.now(), &cmd, policy);
+        let wants_data = reply.is_intermediate();
+        write_reply(&mut stream, &reply)?;
+        if wants_data {
+            // Collect dot-stuffed body until the terminator line.
+            let mut body_wire = String::new();
+            loop {
+                let mut body_line = String::new();
+                if reader.read_line(&mut body_line)? == 0 {
+                    return Ok(session);
+                }
+                let trimmed = body_line.trim_end_matches(['\r', '\n']);
+                body_wire.push_str(trimmed);
+                body_wire.push_str("\r\n");
+                if trimmed == "." {
+                    break;
+                }
+            }
+            let unstuffed = dot_unstuff(&body_wire).unwrap_or_default();
+            let reply = session.handle_data_body(clock.now(), &unstuffed, policy);
+            write_reply(&mut stream, &reply)?;
+        }
+        if session.is_closed() {
+            return Ok(session);
+        }
+    }
+}
+
+/// Accepts and serves `connections` sessions on `listener`, sequentially.
+///
+/// A tiny single-threaded driver for tests and demos; production servers
+/// would thread per connection around [`serve_connection`].
+///
+/// # Errors
+///
+/// Propagates accept/IO errors.
+pub fn serve_count(
+    listener: &TcpListener,
+    hostname: &str,
+    policy: &mut dyn ServerPolicy,
+    clock: &WallClock,
+    connections: usize,
+) -> io::Result<Vec<ServerSession>> {
+    let mut sessions = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let (stream, _) = listener.accept()?;
+        sessions.push(serve_connection(stream, hostname, policy, clock)?);
+    }
+    Ok(sessions)
+}
+
+/// Runs one delivery attempt over TCP, driving `client` against the server
+/// at `addr`.
+///
+/// # Errors
+///
+/// Propagates connection and socket I/O errors; SMTP-level failures are
+/// reported through the returned [`DeliveryOutcome`] instead.
+pub fn deliver_tcp(addr: SocketAddr, mut client: ClientSession) -> io::Result<DeliveryOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reply = read_reply(&mut reader)?;
+    loop {
+        match client.on_reply(&reply) {
+            ClientAction::Send(cmd) => {
+                stream.write_all(cmd.to_wire().as_bytes())?;
+                stream.flush()?;
+                reply = read_reply(&mut reader)?;
+            }
+            ClientAction::SendBody(body) => {
+                stream.write_all(dot_stuff(&body).as_bytes())?;
+                stream.flush()?;
+                reply = read_reply(&mut reader)?;
+            }
+            ClientAction::Close(outcome) => return Ok(outcome),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::ReversePath;
+    use crate::dialect::Dialect;
+    use crate::envelope::Envelope;
+    use crate::message::Message;
+    use crate::server::AcceptAll;
+    use crate::server::{PolicyDecision, Transaction};
+    use std::net::Ipv4Addr;
+    use std::thread;
+
+    fn envelope(rcpt: &str) -> Envelope {
+        Envelope::builder()
+            .client_ip(Ipv4Addr::LOCALHOST)
+            .helo("client.local")
+            .mail_from(ReversePath::Address("alice@relay.example".parse().unwrap()))
+            .rcpt(rcpt.parse().unwrap())
+            .build()
+    }
+
+    fn message() -> Message {
+        Message::builder()
+            .header("Subject", "over tcp")
+            .body("real sockets\n.leading dot line")
+            .build()
+    }
+
+    #[test]
+    fn delivers_over_real_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut policy = AcceptAll;
+            let clock = WallClock::new();
+            serve_count(&listener, "mx.tcp.test", &mut policy, &clock, 1).expect("serve")
+        });
+
+        let client = ClientSession::new(
+            Dialect::compliant_mta("relay.example"),
+            envelope("user@tcp.test"),
+            message(),
+        );
+        let outcome = deliver_tcp(addr, client).expect("client io");
+        assert!(outcome.is_delivered(), "{outcome:?}");
+
+        let sessions = server.join().expect("server thread");
+        assert_eq!(sessions.len(), 1);
+        let accepted = sessions[0].accepted();
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(accepted[0].1.header("subject"), Some("over tcp"));
+        // Dot-stuffing survived the real wire.
+        assert!(accepted[0].1.body().contains(".leading dot line"));
+    }
+
+    struct GreylistOnce {
+        rejected: usize,
+    }
+    impl ServerPolicy for GreylistOnce {
+        fn on_rcpt(
+            &mut self,
+            _: SimTime,
+            _: &Transaction,
+            _: &crate::address::EmailAddress,
+        ) -> PolicyDecision {
+            if self.rejected == 0 {
+                self.rejected += 1;
+                PolicyDecision::TempFail(Reply::greylisted(1))
+            } else {
+                PolicyDecision::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn greylisting_works_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut policy = GreylistOnce { rejected: 0 };
+            let clock = WallClock::new();
+            serve_count(&listener, "mx.tcp.test", &mut policy, &clock, 2).expect("serve")
+        });
+
+        // First attempt: deferred.
+        let client = ClientSession::new(
+            Dialect::compliant_mta("relay.example"),
+            envelope("user@tcp.test"),
+            message(),
+        );
+        let first = deliver_tcp(addr, client).expect("client io");
+        assert!(!first.is_delivered());
+        assert!(first.is_retryable());
+
+        // Retry: accepted.
+        let client = ClientSession::new(
+            Dialect::compliant_mta("relay.example"),
+            envelope("user@tcp.test"),
+            message(),
+        );
+        let second = deliver_tcp(addr, client).expect("client io");
+        assert!(second.is_delivered());
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn bot_dropping_connection_is_not_a_server_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            struct RejectRcpt;
+            impl ServerPolicy for RejectRcpt {
+                fn on_rcpt(
+                    &mut self,
+                    _: SimTime,
+                    _: &Transaction,
+                    _: &crate::address::EmailAddress,
+                ) -> PolicyDecision {
+                    PolicyDecision::TempFail(Reply::greylisted(300))
+                }
+            }
+            let mut policy = RejectRcpt;
+            let clock = WallClock::new();
+            serve_count(&listener, "mx.tcp.test", &mut policy, &clock, 1).expect("serve")
+        });
+
+        // A fire-and-forget bot hangs up as soon as the RCPT is deferred.
+        let client = ClientSession::new(
+            Dialect::minimal_bot("bot"),
+            envelope("user@tcp.test"),
+            message(),
+        );
+        let outcome = deliver_tcp(addr, client).expect("client io");
+        assert!(!outcome.is_delivered());
+        let sessions = server.join().expect("server must survive the rude client");
+        assert!(sessions[0].accepted().is_empty());
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

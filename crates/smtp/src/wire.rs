@@ -1,0 +1,582 @@
+//! Wire helpers: dot-stuffing and the lock-step client/server driver.
+
+use crate::client::{ClientAction, ClientSession, DeliveryOutcome};
+use crate::dialect::DialectFingerprint;
+use crate::extensions::Capabilities;
+use crate::server::{ServerPolicy, ServerSession};
+use bytes::{BufMut, BytesMut};
+use spamward_sim::SimTime;
+use std::fmt;
+
+/// Applies RFC 5321 §4.5.2 dot-stuffing: any body line beginning with `.`
+/// gets one extra leading `.`, and the terminating `<CRLF>.<CRLF>` is
+/// appended.
+///
+/// # Example
+///
+/// ```
+/// use spamward_smtp::dot_stuff;
+/// let wire = dot_stuff("hi\r\n.hidden dot\r\n");
+/// assert!(wire.contains("..hidden dot"));
+/// assert!(wire.ends_with("\r\n.\r\n"));
+/// ```
+pub fn dot_stuff(body: &str) -> String {
+    let mut out = BytesMut::with_capacity(body.len() + 16);
+    for line in body.split("\r\n") {
+        if line.starts_with('.') {
+            out.put_u8(b'.');
+        }
+        out.put_slice(line.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    // split() yields a trailing empty element for CRLF-terminated input,
+    // which would add a spurious blank line; strip it.
+    if body.ends_with("\r\n") {
+        out.truncate(out.len() - 2);
+    }
+    out.put_slice(b".\r\n");
+    String::from_utf8(out.to_vec()).expect("stuffing preserves UTF-8")
+}
+
+/// Reverses [`dot_stuff`]: strips the terminating dot line and un-doubles
+/// leading dots. Returns `None` when the terminator is missing.
+///
+/// SMTP cannot distinguish a body with a trailing CRLF from one without
+/// (both serialize to the same wire form), so the result is normalized to
+/// have *no* trailing CRLF.
+pub fn dot_unstuff(wire: &str) -> Option<String> {
+    let stripped = match wire.strip_suffix("\r\n.\r\n") {
+        Some(s) => s,
+        None if wire == ".\r\n" => "",
+        None => return None,
+    };
+    let mut out = String::with_capacity(stripped.len());
+    for (i, line) in stripped.split("\r\n").enumerate() {
+        if i > 0 {
+            out.push_str("\r\n");
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            out.push_str(rest);
+        } else {
+            out.push_str(line);
+        }
+    }
+    Some(out)
+}
+
+/// Which side of the connection produced a transcript line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranscriptEntry {
+    /// Client → server.
+    ClientToServer,
+    /// Server → client.
+    ServerToClient,
+}
+
+/// A recorded SMTP conversation, one line per exchange.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    entries: Vec<(TranscriptEntry, String)>,
+}
+
+impl Transcript {
+    /// All entries in order.
+    pub fn entries(&self) -> &[(TranscriptEntry, String)] {
+        &self.entries
+    }
+
+    /// The client lines only.
+    pub fn client_lines(&self) -> impl Iterator<Item = &str> {
+        self.entries
+            .iter()
+            .filter(|(d, _)| *d == TranscriptEntry::ClientToServer)
+            .map(|(_, s)| s.as_str())
+    }
+
+    /// The server lines only.
+    pub fn server_lines(&self) -> impl Iterator<Item = &str> {
+        self.entries
+            .iter()
+            .filter(|(d, _)| *d == TranscriptEntry::ServerToClient)
+            .map(|(_, s)| s.as_str())
+    }
+
+    fn push(&mut self, dir: TranscriptEntry, line: impl Into<String>) {
+        self.entries.push((dir, line.into()));
+    }
+
+    /// Infers the sender's behavioural fingerprint from the observed
+    /// conversation alone — the B@bel idea (Stringhini et al., USENIX
+    /// Security 2012) the paper builds on.
+    ///
+    /// Works best on transcripts that contain a failure (a greylisted
+    /// RCPT): that is where polite MTAs and fire-and-forget bots diverge.
+    /// When the transcript carries no disambiguating signal, a feature
+    /// defaults to the compliant value.
+    pub fn fingerprint(&self) -> DialectFingerprint {
+        let mut greets_with_ehlo = false;
+        let mut helo_is_literal = false;
+        let mut early_talker = false;
+        let mut quits = false;
+        let mut saw_rcpt_failure = false;
+        let mut acted_after_rcpt_failure = false;
+        let mut greeting_seen = false;
+        let mut last_client_verb: Option<String> = None;
+
+        for (dir, line) in &self.entries {
+            match dir {
+                TranscriptEntry::ClientToServer => {
+                    if line == "<talks before banner>" {
+                        early_talker = true;
+                        continue;
+                    }
+                    let upper = line.to_ascii_uppercase();
+                    let verb = upper.split_whitespace().next().unwrap_or("").to_owned();
+                    if !greeting_seen && (verb == "EHLO" || verb == "HELO") {
+                        greeting_seen = true;
+                        greets_with_ehlo = verb == "EHLO";
+                        if line.split_whitespace().nth(1).is_some_and(|a| a.starts_with('[')) {
+                            helo_is_literal = true;
+                        }
+                    }
+                    if verb == "QUIT" {
+                        quits = true;
+                    }
+                    if saw_rcpt_failure && (verb == "RCPT" || verb == "DATA") {
+                        acted_after_rcpt_failure = true;
+                    }
+                    last_client_verb = Some(verb);
+                }
+                TranscriptEntry::ServerToClient => {
+                    let code: u16 =
+                        line.get(..3).and_then(|c| c.parse().ok()).unwrap_or(0);
+                    if (400..600).contains(&code)
+                        && last_client_verb.as_deref() == Some("RCPT")
+                    {
+                        saw_rcpt_failure = true;
+                    }
+                }
+            }
+        }
+
+        DialectFingerprint {
+            greets_with_ehlo,
+            helo_is_literal,
+            quits_politely: quits,
+            retries_remaining_rcpts: !saw_rcpt_failure || acted_after_rcpt_failure,
+            early_talker,
+        }
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (dir, line) in &self.entries {
+            let arrow = match dir {
+                TranscriptEntry::ClientToServer => "C>",
+                TranscriptEntry::ServerToClient => "S<",
+            };
+            writeln!(f, "{arrow} {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one delivery through the RFC 2920 PIPELINING fast path: the
+/// client batches `MAIL FROM`, every `RCPT TO` and `DATA` into a single
+/// send, then reads all the replies at once. Falls back to the lock-step
+/// [`exchange`] when the server does not advertise PIPELINING.
+///
+/// Returns the outcome plus the number of client→server *round trips* the
+/// conversation cost — the quantity pipelining exists to minimize (and a
+/// cost-accounting input: greylisting forces a second full conversation,
+/// pipelined or not).
+///
+/// # Panics
+///
+/// Panics on a conversation exceeding 10 000 steps, like [`exchange`].
+pub fn exchange_pipelined(
+    client: &mut ClientSession,
+    server: &mut ServerSession,
+    policy: &mut dyn ServerPolicy,
+    now: SimTime,
+) -> (DeliveryOutcome, usize) {
+    // Round trip 1: banner.
+    let mut round_trips = 1usize;
+    let banner = if client.dialect().waits_for_banner {
+        server.open(now, policy)
+    } else {
+        server.open_pregreeted(now, policy)
+    };
+
+    // Round trip 2: greeting (EHLO), which reveals whether the server
+    // pipelines.
+    let mut reply = banner;
+    let mut action = client.on_reply(&reply);
+    let ClientAction::Send(greeting) = action else {
+        // Banner was fatal; finish through the lock-step path.
+        loop {
+            match action {
+                ClientAction::Send(cmd) => {
+                    reply = if server.is_closed() {
+                        crate::reply::Reply::service_unavailable("closed")
+                    } else {
+                        server.handle(now, &cmd, policy)
+                    };
+                    round_trips += 1;
+                }
+                ClientAction::SendBody(_) => unreachable!("no body before greeting"),
+                ClientAction::Close(outcome) => return (outcome, round_trips),
+            }
+            action = client.on_reply(&reply);
+        }
+    };
+    reply = server.handle(now, &greeting, policy);
+    round_trips += 1;
+
+    if !client.dialect().uses_ehlo
+        || !Capabilities::from_ehlo_lines(reply.lines().iter().skip(1).map(String::as_str))
+            .pipelining
+    {
+        // No pipelining: drain the rest through the lock-step driver
+        // logic (replies one at a time).
+        loop {
+            match client.on_reply(&reply) {
+                ClientAction::Send(cmd) => {
+                    reply = if server.is_closed() {
+                        crate::reply::Reply::service_unavailable("closed")
+                    } else {
+                        server.handle(now, &cmd, policy)
+                    };
+                    round_trips += 1;
+                }
+                ClientAction::SendBody(body) => {
+                    let stuffed = dot_stuff(&body);
+                    let unstuffed = dot_unstuff(&stuffed).expect("terminated body");
+                    reply = server.handle_data_body(now, &unstuffed, policy);
+                    round_trips += 1;
+                }
+                ClientAction::Close(outcome) => return (outcome, round_trips),
+            }
+        }
+    }
+
+    // PIPELINED: the client state machine still produces commands one at a
+    // time, but the wire batches them. We emulate the batch by serving
+    // each queued command immediately (the server processes the batch in
+    // order) while charging only ONE round trip for the whole
+    // MAIL..RCPT..DATA group, and one more for the body.
+    let mut in_batch = true;
+    let mut batch_charged = false;
+    for _ in 0..10_000 {
+        match client.on_reply(&reply) {
+            ClientAction::Send(cmd) => {
+                let is_quit = matches!(cmd, crate::Command::Quit);
+                reply = if server.is_closed() {
+                    crate::reply::Reply::service_unavailable("closed")
+                } else {
+                    server.handle(now, &cmd, policy)
+                };
+                if in_batch {
+                    if !batch_charged {
+                        round_trips += 1; // the whole MAIL..DATA batch
+                        batch_charged = true;
+                    }
+                } else {
+                    round_trips += 1;
+                }
+                if is_quit {
+                    in_batch = false;
+                }
+            }
+            ClientAction::SendBody(body) => {
+                in_batch = false;
+                let stuffed = dot_stuff(&body);
+                let unstuffed = dot_unstuff(&stuffed).expect("terminated body");
+                reply = server.handle_data_body(now, &unstuffed, policy);
+                round_trips += 1;
+            }
+            ClientAction::Close(outcome) => return (outcome, round_trips),
+        }
+    }
+    panic!("pipelined SMTP exchange did not terminate within 10000 steps");
+}
+
+/// Runs a [`ClientSession`] against a [`ServerSession`] to completion,
+/// returning the delivery outcome and the full conversation transcript.
+///
+/// The driver is lock-step: every client command gets exactly one server
+/// reply. Transport-level failures (refused/timed-out connections) never
+/// reach this function — model those with
+/// [`DeliveryOutcome::connect_failed`].
+///
+/// # Panics
+///
+/// Panics if the conversation exceeds 10 000 exchanges (a state-machine
+/// bug, not a realistic session).
+pub fn exchange(
+    client: &mut ClientSession,
+    server: &mut ServerSession,
+    policy: &mut dyn ServerPolicy,
+    now: SimTime,
+) -> (DeliveryOutcome, Transcript) {
+    let mut transcript = Transcript::default();
+    let mut reply = if client.dialect().waits_for_banner {
+        server.open(now, policy)
+    } else {
+        // Early talker: the client's first bytes race the banner; the
+        // server's pregreet hook gets to veto before anything else.
+        transcript.push(TranscriptEntry::ClientToServer, "<talks before banner>".to_owned());
+        server.open_pregreeted(now, policy)
+    };
+    transcript.push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
+
+    for _ in 0..10_000 {
+        match client.on_reply(&reply) {
+            ClientAction::Send(cmd) => {
+                transcript.push(TranscriptEntry::ClientToServer, cmd.to_wire().trim_end().to_owned());
+                if server.is_closed() {
+                    // Server hung up (e.g. rejected at connect); treat any
+                    // further client talk as into-the-void and finish.
+                    reply = crate::reply::Reply::service_unavailable("closed");
+                } else {
+                    reply = server.handle(now, &cmd, policy);
+                }
+                transcript.push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
+            }
+            ClientAction::SendBody(body) => {
+                let stuffed = dot_stuff(&body);
+                transcript
+                    .push(TranscriptEntry::ClientToServer, format!("<{} bytes of data>", stuffed.len()));
+                let unstuffed = dot_unstuff(&stuffed).expect("stuffed body has terminator");
+                reply = server.handle_data_body(now, &unstuffed, policy);
+                transcript.push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
+            }
+            ClientAction::Close(outcome) => return (outcome, transcript),
+        }
+    }
+    panic!("SMTP exchange did not terminate within 10000 steps");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::ReversePath;
+    use crate::dialect::Dialect;
+    use crate::envelope::Envelope;
+    use crate::message::Message;
+    use crate::reply::Reply;
+    use crate::server::{AcceptAll, PolicyDecision, Transaction};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn dot_stuffing_roundtrip() {
+        let body = "line\r\n.starts with dot\r\n..two dots\r\nend";
+        let stuffed = dot_stuff(body);
+        assert!(stuffed.contains("\r\n..starts with dot\r\n"));
+        assert!(stuffed.contains("\r\n...two dots\r\n"));
+        assert!(stuffed.ends_with("\r\n.\r\n"));
+        assert_eq!(dot_unstuff(&stuffed).unwrap(), body);
+    }
+
+    #[test]
+    fn dot_stuff_handles_trailing_crlf() {
+        let body = "hello\r\n";
+        let stuffed = dot_stuff(body);
+        assert_eq!(stuffed, "hello\r\n.\r\n");
+    }
+
+    #[test]
+    fn dot_unstuff_requires_terminator() {
+        assert_eq!(dot_unstuff("no terminator"), None);
+    }
+
+    fn env(rcpts: &[&str]) -> Envelope {
+        let mut b = Envelope::builder()
+            .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+            .mail_from(ReversePath::Address("s@relay.example".parse().unwrap()));
+        for r in rcpts {
+            b = b.rcpt(r.parse().unwrap());
+        }
+        b.build()
+    }
+
+    fn msg() -> Message {
+        Message::builder().header("Subject", "x").body(".dotty\nplain").build()
+    }
+
+    #[test]
+    fn full_exchange_delivers() {
+        let mut client =
+            ClientSession::new(Dialect::compliant_mta("relay.example"), env(&["u@foo.net"]), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = AcceptAll;
+        let (outcome, transcript) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        assert!(outcome.is_delivered());
+        assert_eq!(server.accepted().len(), 1);
+        // The dot-stuffed line must arrive un-stuffed.
+        assert_eq!(server.accepted()[0].1.body(), ".dotty\nplain");
+        // Transcript captures both directions.
+        assert!(transcript.client_lines().any(|l| l.starts_with("EHLO")));
+        assert!(transcript.server_lines().any(|l| l.starts_with("220")));
+        let rendered = transcript.to_string();
+        assert!(rendered.contains("C> QUIT"));
+    }
+
+    struct GreylistFirstRcpt;
+    impl ServerPolicy for GreylistFirstRcpt {
+        fn on_rcpt(
+            &mut self,
+            _: SimTime,
+            _: &Transaction,
+            _: &crate::address::EmailAddress,
+        ) -> PolicyDecision {
+            PolicyDecision::TempFail(Reply::greylisted(300))
+        }
+    }
+
+    #[test]
+    fn greylisted_exchange_is_retryable() {
+        let mut client =
+            ClientSession::new(Dialect::minimal_bot("bot"), env(&["u@foo.net"]), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = GreylistFirstRcpt;
+        let (outcome, transcript) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        assert!(outcome.is_retryable());
+        assert!(!outcome.is_delivered());
+        // Fire-and-forget: no QUIT in the transcript.
+        assert!(!transcript.client_lines().any(|l| l.starts_with("QUIT")));
+    }
+
+    struct RejectBanner;
+    impl ServerPolicy for RejectBanner {
+        fn on_connect(&mut self, _: SimTime, _: Ipv4Addr) -> PolicyDecision {
+            PolicyDecision::Reject(Reply::single(554, "5.7.1 blocked"))
+        }
+    }
+
+    #[test]
+    fn rejected_banner_finishes_cleanly() {
+        let mut client =
+            ClientSession::new(Dialect::compliant_mta("relay.example"), env(&["u@foo.net"]), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = RejectBanner;
+        let (outcome, _) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        assert!(matches!(outcome, DeliveryOutcome::PermFailed { .. }));
+    }
+
+    #[test]
+    fn pipelined_exchange_same_outcome_fewer_round_trips() {
+        let make = || {
+            (
+                ClientSession::new(
+                    Dialect::compliant_mta("relay.example"),
+                    env(&["a@foo.net", "b@foo.net", "c@foo.net"]),
+                    msg(),
+                ),
+                ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9)),
+            )
+        };
+        let (mut c1, mut s1) = make();
+        let mut p1 = AcceptAll;
+        let (lockstep, transcript) = exchange(&mut c1, &mut s1, &mut p1, SimTime::ZERO);
+        let lockstep_round_trips =
+            transcript.server_lines().count();
+
+        let (mut c2, mut s2) = make();
+        let mut p2 = AcceptAll;
+        let (pipelined, round_trips) = exchange_pipelined(&mut c2, &mut s2, &mut p2, SimTime::ZERO);
+        assert_eq!(lockstep, pipelined, "outcome must not depend on pipelining");
+        assert_eq!(s1.accepted(), s2.accepted(), "server sees the same mail");
+        assert!(
+            round_trips < lockstep_round_trips,
+            "pipelining must reduce round trips: {round_trips} vs {lockstep_round_trips}"
+        );
+        // banner + EHLO + MAIL..DATA batch + body + QUIT = 5.
+        assert_eq!(round_trips, 5);
+    }
+
+    #[test]
+    fn pipelined_exchange_against_greylist_still_defers() {
+        let mut client = ClientSession::new(
+            Dialect::compliant_mta("relay.example"),
+            env(&["a@foo.net"]),
+            msg(),
+        );
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = GreylistFirstRcpt;
+        let (outcome, _) = exchange_pipelined(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        assert!(outcome.is_retryable());
+        assert!(!outcome.is_delivered());
+    }
+
+    #[test]
+    fn helo_only_client_gets_no_pipelining() {
+        // A HELO client cannot negotiate PIPELINING; the fast path must
+        // fall back without changing the outcome.
+        let mut client =
+            ClientSession::new(Dialect::minimal_bot("bot"), env(&["a@foo.net"]), msg());
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = AcceptAll;
+        let (outcome, round_trips) =
+            exchange_pipelined(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        assert!(outcome.is_delivered());
+        assert!(round_trips >= 6, "HELO path stays lock-step: {round_trips}");
+    }
+
+    #[test]
+    fn transcript_fingerprint_separates_bot_from_mta() {
+        // Run both dialects against a greylist-everything policy; the
+        // failure path is where the fingerprints diverge.
+        let run = |dialect: Dialect| {
+            let mut client = ClientSession::new(dialect, env(&["u@foo.net", "v@foo.net"]), msg());
+            let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+            let mut policy = GreylistFirstRcpt;
+            let (_, transcript) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);
+            transcript.fingerprint()
+        };
+        let mta = run(Dialect::compliant_mta("relay.example"));
+        assert!(mta.looks_like_mta(), "{mta:?}");
+        assert!(mta.greets_with_ehlo && mta.quits_politely && !mta.early_talker);
+        assert!(mta.retries_remaining_rcpts, "MTA tried the second RCPT after the 450");
+
+        let bot = run(Dialect::minimal_bot("bot"));
+        assert!(!bot.looks_like_mta(), "{bot:?}");
+        assert!(bot.early_talker && bot.helo_is_literal);
+        assert!(!bot.quits_politely && !bot.retries_remaining_rcpts);
+    }
+
+    #[test]
+    fn transcript_fingerprint_on_clean_success_defaults_compliant() {
+        let mut client = ClientSession::new(
+            Dialect::compliant_mta("relay.example"),
+            env(&["u@foo.net"]),
+            msg(),
+        );
+        let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+        let mut policy = AcceptAll;
+        let (_, transcript) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);
+        let fp = transcript.fingerprint();
+        assert!(fp.retries_remaining_rcpts, "no failure signal defaults to compliant");
+        assert!(fp.looks_like_mta());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_roundtrip(body in "[a-zA-Z0-9. ]{0,120}") {
+            let normalized = body.replace('\n', "");
+            let stuffed = dot_stuff(&normalized);
+            prop_assert_eq!(dot_unstuff(&stuffed).unwrap(), normalized);
+        }
+
+        #[test]
+        fn prop_stuffed_never_contains_bare_dot_line(body in "(\\.?[a-z ]{0,10}\r\n){0,5}") {
+            let stuffed = dot_stuff(&body);
+            let interior = &stuffed[..stuffed.len() - 3];
+            for line in interior.split("\r\n") {
+                prop_assert_ne!(line, ".");
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Retry-policy models of the ten webmail providers of Table III.
+//!
+//! The paper created accounts on the top ten webmail providers, sent mail
+//! to a server greylisting at an "excessively large" six-hour threshold,
+//! and recorded every delivery attempt: its timing, whether the same source
+//! IP was reused, and whether the message eventually got through. Table III
+//! *is* that measured policy; this crate transcribes each provider's
+//! observed ladder into an executable [`WebmailProvider`] so the experiment
+//! can be re-run (closing the loop: running the models against a 6-hour
+//! greylist must regenerate the table).
+//!
+//! Notable shapes the models preserve:
+//!
+//! * **gmail** backs off roughly ×2 and needs only 9 attempts in 6 hours,
+//!   from 7 distinct addresses.
+//! * **hotmail** hammers every 4 minutes — 94 attempts — from one address.
+//! * **aol** gives up after ~31 minutes, violating RFC 5321's 4–5 day
+//!   give-up guidance, and consequently *loses the message*.
+//! * five of ten providers rotate source addresses between attempts, the
+//!   behaviour that makes client whitelists "fundamental" (§VI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod provider;
+
+pub use provider::{WebmailProvider, GREYLIST_EXPERIMENT_THRESHOLD};

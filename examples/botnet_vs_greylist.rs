@@ -1,0 +1,36 @@
+//! The Kelihos long run (paper Figs. 3 and 4), narrated.
+//!
+//! Runs Kelihos against three greylisting thresholds and prints the retry
+//! timeline: the 300–600 s / ~5 ks / 80–90 ks attempt peaks, and at which
+//! threshold the spam finally dies.
+//!
+//! ```sh
+//! cargo run --example botnet_vs_greylist
+//! ```
+
+use spamward::core::experiments::kelihos::{run, KelihosConfig};
+use spamward::analysis::Series;
+
+fn main() {
+    let config = KelihosConfig { recipients: 100, ..Default::default() };
+    println!("running Kelihos against greylisting thresholds of 5 s, 300 s and 21600 s...");
+    println!("(virtual horizon {} — instantaneous in simulated time)\n", {
+        config.horizon
+    });
+
+    let result = run(&config);
+    print!("{result}");
+
+    println!("\nFig. 3 CDF points (CSV):");
+    let csv = Series::to_csv(&result.fig3_series());
+    for line in csv.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ... ({} lines total)", csv.lines().count());
+
+    println!("\nWhat to notice:");
+    println!(" * the 5 s and 300 s curves coincide — Kelihos never retries before ~300 s,");
+    println!("   so shortening the threshold below 300 s costs nothing;");
+    println!(" * at 21600 s the malware still wins, but only after ~23 hours — time enough");
+    println!("   for the sender to land on every DNS blacklist (the paper's consolation).");
+}

@@ -1,0 +1,30 @@
+//! The Fig. 5 deployment replay: what greylisting costs benign mail.
+//!
+//! Replays a campus-like inbound mix — the Table IV MTA fleet, the ten
+//! Table III webmail tiers, and the notification scripts that retry hourly
+//! or never — through a 300 s greylist, then analyzes the server's
+//! anonymized log exactly as the paper analyzed the University of Milan's.
+//!
+//! ```sh
+//! cargo run --release --example campus_deployment [messages]
+//! ```
+
+use spamward::core::experiments::deployment::{run, DeploymentConfig};
+
+fn main() {
+    let messages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    println!("replaying {messages} benign messages through a 300 s greylist...\n");
+    let result = run(&DeploymentConfig { messages, ..Default::default() });
+    print!("{result}");
+
+    println!("\nbenign delivery-delay CDF (x = seconds since first attempt):");
+    print!("{}", spamward::analysis::plot::ascii_cdf(&result.cdf, 60, 10));
+
+    println!("\nThe paper's reading: even at the default 5-minute threshold only about");
+    println!("half of greylisted legitimate mail arrives within 10 minutes, and a tail");
+    println!("drags past 50 — the cost side of the greylisting trade-off.");
+}

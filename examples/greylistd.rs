@@ -1,0 +1,59 @@
+//! `greylistd` — a working greylisting SMTP server on a real socket.
+//!
+//! The same engine the experiments drive in virtual time, bound to
+//! 127.0.0.1 and speaking genuine SMTP. Point any client at it:
+//!
+//! ```sh
+//! cargo run --release --example greylistd            # serve 2 sessions on an ephemeral port
+//! cargo run --release --example greylistd 2525 10    # port 2525, 10 sessions
+//! ```
+//!
+//! Then, e.g. with netcat:
+//!
+//! ```text
+//! $ nc 127.0.0.1 2525
+//! 220 greylistd.spamward.example ESMTP spamward
+//! EHLO me.example
+//! MAIL FROM:<a@me.example>
+//! RCPT TO:<user@spamward.example>
+//! 450 4.2.0 Greylisted, see http://postgrey.schweikert.ch/ (retry in 300s)
+//! ```
+
+use spamward::greylist::{Greylist, GreylistConfig};
+use spamward::mta::ReceivingMta;
+use spamward::smtp::tcp::{serve_count, WallClock};
+use std::net::{Ipv4Addr, TcpListener};
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let port: u16 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let sessions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    println!("greylistd listening on {addr} for {sessions} session(s)");
+    println!("config: delay 300 s, /24 triplet keying, postmaster whitelisted, pregreet filter on");
+
+    let mut cfg = GreylistConfig::default();
+    cfg.whitelist_recipients.add_local_part("postmaster");
+    let mut mta = ReceivingMta::new("greylistd.spamward.example", Ipv4Addr::LOCALHOST)
+        .with_greylist(Greylist::new(cfg))
+        .with_pregreet_rejection();
+
+    let clock = WallClock::new();
+    serve_count(&listener, "greylistd.spamward.example", &mut mta, &clock, sessions)?;
+
+    println!("\nserved {sessions} session(s); final state:");
+    println!("  {}", mta.greylist().expect("greylist enabled").stats());
+    println!("  messages accepted: {}", mta.stats().messages_accepted);
+    println!("  pregreet rejections: {}", mta.stats().pregreet_rejected);
+    println!("\nanonymized log:");
+    for line in mta.log_text().lines() {
+        println!("  {line}");
+    }
+    println!("\ngreylist snapshot (restorable with Greylist::restore):");
+    for line in mta.greylist().expect("greylist enabled").snapshot().lines().take(10) {
+        println!("  {line}");
+    }
+    Ok(())
+}

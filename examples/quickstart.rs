@@ -1,0 +1,74 @@
+//! Quickstart: greylisting and nolisting in thirty lines.
+//!
+//! Builds a victim mail server behind each defense, throws the four
+//! malware families of the paper at it, and prints who got through.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use spamward::prelude::*;
+use spamward::net::{PortState, SMTP_PORT};
+use std::net::Ipv4Addr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let victim_domain = "victim.example";
+    let live = Ipv4Addr::new(192, 0, 2, 10);
+    let dead = Ipv4Addr::new(192, 0, 2, 11);
+
+    println!("defense      family          spam delivered?");
+    println!("---------------------------------------------");
+
+    for family in MalwareFamily::ALL {
+        // --- Greylisting world: one MX, Postgrey defaults (300 s). ---
+        let mut world = MailWorld::new(1);
+        world.install_server(
+            ReceivingMta::new("mail.victim.example", live)
+                .with_greylist(Greylist::new(GreylistConfig::default())),
+        );
+        world.dns.publish(Zone::single_mx(victim_domain.parse()?, live));
+
+        let mut rng = DetRng::seed(42).fork("quickstart");
+        let campaign = Campaign::synthetic(victim_domain, 10, &mut rng);
+        let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 7));
+        let report = bot.run_campaign(
+            &mut world,
+            &campaign,
+            SimTime::ZERO,
+            SimTime::from_secs(30 * 60),
+        );
+        println!(
+            "greylisting  {:<15} {}",
+            family.to_string(),
+            if report.any_delivered() { "yes (defense failed)" } else { "no  (blocked)" }
+        );
+
+        // --- Nolisting world: dead primary MX, live secondary. ---
+        let mut world = MailWorld::new(2);
+        world
+            .network
+            .host("smtp.victim.example")
+            .ip(dead)
+            .port(SMTP_PORT, PortState::Closed)
+            .build();
+        world.install_server(ReceivingMta::new("smtp1.victim.example", live));
+        world.dns.publish(Zone::nolisting(victim_domain.parse()?, dead, live));
+
+        let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 7));
+        let report = bot.run_campaign(
+            &mut world,
+            &campaign,
+            SimTime::ZERO,
+            SimTime::from_secs(30 * 60),
+        );
+        println!(
+            "nolisting    {:<15} {}",
+            family.to_string(),
+            if report.any_delivered() { "yes (defense failed)" } else { "no  (blocked)" }
+        );
+    }
+
+    println!();
+    println!("Together the two defenses block all four families — over 70% of 2014's spam.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The §VI tuning question: which greylisting threshold should you run?
+//!
+//! Sweeps the threshold from 5 seconds to 30 hours and prints both sides
+//! of the trade-off — botnet spam blocked vs. delay inflicted on benign
+//! mail — ending at the paper's recommendation.
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use spamward::analysis::AsciiTable;
+use spamward::core::experiments::ablations::threshold_sweep;
+
+fn main() {
+    println!("sweeping greylisting thresholds (four malware families + a postfix sender)...\n");
+    let points = threshold_sweep(2015);
+
+    let mut t = AsciiTable::new(vec![
+        "Threshold",
+        "Botnet spam blocked",
+        "Benign delivery delay",
+    ])
+    .with_title("Greylisting threshold trade-off");
+    for p in &points {
+        t.row(vec![
+            p.threshold.to_string(),
+            format!("{:.2}%", p.spam_blocked_pct),
+            p.benign_delay.to_string(),
+        ]);
+    }
+    print!("{t}");
+
+    println!();
+    println!("Reading the table the paper's way (§VI):");
+    println!(" * blocking is FLAT from 5 s to 6 h — the bots that retry wait ≥300 s anyway,");
+    println!("   and the ones that don't never retry at all;");
+    println!(" * benign delay GROWS with the threshold — senders must out-wait it;");
+    println!(" * so \"the use of a very short threshold is probably the best way to");
+    println!("   maximize both aspects\". Only a >25 h threshold also stops Kelihos,");
+    println!("   at a delay no mail admin would accept.");
+}

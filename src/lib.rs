@@ -1,0 +1,81 @@
+//! # spamward
+//!
+//! A measurement toolkit for **greylisting** and **nolisting**, the two
+//! SMTP-level anti-spam defenses studied in *"Measuring the Role of
+//! Greylisting and Nolisting in Fighting Spam"* (Pagani, De Astis,
+//! Graziano, Lanzi, Balzarotti — DSN 2016). The workspace rebuilds the
+//! paper's entire apparatus — SMTP stack, DNS substrate, greylisting
+//! engine, MTA fleet, botnet behaviour models, webmail retry policies, and
+//! an internet-scale scan simulator — and re-runs every table and figure.
+//!
+//! This crate is the facade: it re-exports each subsystem under a short
+//! name. Start with [`experiments`](core::experiments) for the paper
+//! reproductions, or with the quickstart example:
+//!
+//! ```
+//! use spamward::prelude::*;
+//!
+//! // A victim server greylisting at the Postgrey default...
+//! let mut world = MailWorld::new(7);
+//! let mx = std::net::Ipv4Addr::new(192, 0, 2, 10);
+//! world.install_server(
+//!     ReceivingMta::new("mx.foo.net", mx)
+//!         .with_greylist(Greylist::new(GreylistConfig::default())),
+//! );
+//! world.dns.publish(Zone::single_mx("foo.net".parse()?, mx));
+//!
+//! // ...stops a fire-and-forget bot cold.
+//! let mut bot = BotSample::new(MalwareFamily::Cutwail, 0, std::net::Ipv4Addr::new(203, 0, 113, 5));
+//! let mut rng = DetRng::seed(1).fork("demo");
+//! let campaign = Campaign::synthetic("foo.net", 3, &mut rng);
+//! let report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::from_secs(1800));
+//! assert!(!report.any_delivered());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Discrete-event simulation engine (virtual time, deterministic RNG).
+pub use spamward_sim as sim;
+
+/// Simulated IPv4 internet (hosts, ports, probes, latency).
+pub use spamward_net as net;
+
+/// DNS substrate (zones, MX resolution, nolisting configurations).
+pub use spamward_dns as dns;
+
+/// SMTP protocol engine (commands, replies, client/server state machines).
+pub use spamward_smtp as smtp;
+
+/// Postgrey-compatible greylisting engine.
+pub use spamward_greylist as greylist;
+
+/// Mail transfer agents (receiving filter chain, sending retry queues).
+pub use spamward_mta as mta;
+
+/// Behavioral models of the spam malware families.
+pub use spamward_botnet as botnet;
+
+/// Webmail provider retry-policy models (Table III).
+pub use spamward_webmail as webmail;
+
+/// Internet-wide scan simulation and the nolisting detector (Fig. 2).
+pub use spamward_scanner as scanner;
+
+/// Metrics, CDFs, tables and log analysis.
+pub use spamward_analysis as analysis;
+
+/// The study itself: one module per paper table/figure.
+pub use spamward_core as core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use spamward_botnet::{BotSample, Campaign, MalwareFamily};
+    pub use spamward_dns::Zone;
+    pub use spamward_greylist::{Greylist, GreylistConfig};
+    pub use spamward_mta::{MailWorld, MtaProfile, ReceivingMta, SendingMta};
+    pub use spamward_sim::{DetRng, SimDuration, SimTime};
+    pub use spamward_smtp::{Dialect, Envelope, Message};
+    pub use spamward_webmail::WebmailProvider;
+}

@@ -1,0 +1,89 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+//!
+//! The whole point of replacing the paper's physical testbed with a
+//! simulator is that runs can be repeated bit-for-bit; these tests pin
+//! that property at the highest level, across crate boundaries.
+
+use spamward::core::experiments::{
+    costs, deployment, efficacy, future_threats, kelihos, nolisting_adoption, webmail,
+};
+use spamward::core::run_seeds;
+use spamward::scanner::DomainClass;
+
+#[test]
+fn efficacy_is_deterministic() {
+    let cfg = efficacy::EfficacyConfig { recipients: 4, ..Default::default() };
+    assert_eq!(efficacy::run(&cfg), efficacy::run(&cfg));
+}
+
+#[test]
+fn kelihos_runs_are_deterministic() {
+    let cfg = kelihos::KelihosConfig { recipients: 30, ..Default::default() };
+    let a = kelihos::run(&cfg);
+    let b = kelihos::run(&cfg);
+    assert_eq!(a.fast.cdf, b.fast.cdf);
+    assert_eq!(a.extreme.attempts.len(), b.extreme.attempts.len());
+    assert_eq!(a.fig3_ks_distance, b.fig3_ks_distance);
+    for (x, y) in a.extreme.attempts.iter().zip(b.extreme.attempts.iter()) {
+        assert_eq!(x.delay_secs, y.delay_secs);
+        assert_eq!(x.delivered, y.delivered);
+    }
+}
+
+#[test]
+fn adoption_survey_is_deterministic_and_seed_sensitive() {
+    let cfg = nolisting_adoption::AdoptionConfig { domains: 2_000, ..Default::default() };
+    let a = nolisting_adoption::run(&cfg);
+    let b = nolisting_adoption::run(&cfg);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.top_k, b.top_k);
+
+    let other_seed = nolisting_adoption::AdoptionConfig { seed: 999, ..cfg };
+    let c = nolisting_adoption::run(&other_seed);
+    // Different seed → different population → (almost surely) different
+    // counts somewhere.
+    assert_ne!(
+        (a.stats.counts.clone(), a.top_k.clone()),
+        (c.stats.counts.clone(), c.top_k.clone()),
+        "seed change had no observable effect"
+    );
+}
+
+#[test]
+fn webmail_table_is_deterministic() {
+    let cfg = webmail::WebmailConfig::default();
+    assert_eq!(webmail::run(&cfg), webmail::run(&cfg));
+}
+
+#[test]
+fn deployment_replay_is_deterministic() {
+    let cfg = deployment::DeploymentConfig { messages: 120, ..Default::default() };
+    let a = deployment::run(&cfg);
+    let b = deployment::run(&cfg);
+    assert_eq!(a.cdf, b.cdf);
+    assert_eq!(a.within_10min, b.within_10min);
+}
+
+#[test]
+fn extension_experiments_are_deterministic() {
+    let ft = future_threats::FutureThreatsConfig { recipients: 3, ..Default::default() };
+    assert_eq!(future_threats::run(&ft), future_threats::run(&ft));
+    let cc = costs::CostsConfig { messages: 40, ..Default::default() };
+    assert_eq!(costs::run(&cc), costs::run(&cc));
+}
+
+#[test]
+fn parallel_seed_runner_is_order_independent() {
+    // Running the same experiment under the crossbeam fan-out must give
+    // the same per-seed results as serial execution.
+    let seeds: Vec<u64> = (0..6).collect();
+    let serial = run_seeds(&seeds, 1, |seed| {
+        let cfg = nolisting_adoption::AdoptionConfig { domains: 800, seed, ..Default::default() };
+        nolisting_adoption::run(&cfg).stats.pct(DomainClass::Nolisting)
+    });
+    let parallel = run_seeds(&seeds, 4, |seed| {
+        let cfg = nolisting_adoption::AdoptionConfig { domains: 800, seed, ..Default::default() };
+        nolisting_adoption::run(&cfg).stats.pct(DomainClass::Nolisting)
+    });
+    assert_eq!(serial, parallel);
+}

@@ -1,0 +1,186 @@
+//! Property-based invariants spanning crate boundaries.
+
+use proptest::prelude::*;
+use spamward::core::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
+use spamward::prelude::*;
+use spamward::smtp::ReversePath;
+use spamward::sim::SimTime;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A compliant sender ALWAYS eventually delivers through any greylist
+    /// threshold its queue lifetime can out-wait, and never before the
+    /// threshold elapses.
+    #[test]
+    fn prop_compliant_sender_beats_any_outwaitable_threshold(
+        seed in 0u64..1_000,
+        threshold_mins in 1u64..300,
+    ) {
+        let threshold = SimDuration::from_mins(threshold_mins);
+        let mut world = worlds::greylist_world(seed, threshold);
+        let mut sender = SendingMta::new(
+            "relay.example",
+            vec![Ipv4Addr::new(198, 51, 100, 3)],
+            MtaProfile::postfix(), // 5-day queue life >> 300 min
+        );
+        sender.submit(
+            VICTIM_DOMAIN.parse().unwrap(),
+            ReversePath::Address("a@relay.example".parse().unwrap()),
+            vec![format!("u@{VICTIM_DOMAIN}").parse().unwrap()],
+            Message::builder().body("x").build(),
+            SimTime::ZERO,
+        );
+        sender.drain(SimTime::ZERO, &mut world);
+        let delivered = sender.records().iter().find(|r| r.delivered);
+        prop_assert!(delivered.is_some(), "postfix must out-wait {threshold}");
+        prop_assert!(delivered.unwrap().since_enqueue >= threshold);
+    }
+
+    /// Fire-and-forget families never deliver through ANY greylist, and
+    /// always deliver without one.
+    #[test]
+    fn prop_fire_and_forget_dichotomy(seed in 0u64..500, threshold_secs in 1u64..10_000) {
+        for family in [MalwareFamily::Cutwail, MalwareFamily::Darkmailer] {
+            let mut rng = DetRng::seed(seed).fork("prop");
+            let campaign = Campaign::synthetic(VICTIM_DOMAIN, 2, &mut rng);
+            let horizon = SimTime::from_secs(100_000);
+
+            let mut world = worlds::greylist_world(seed, SimDuration::from_secs(threshold_secs));
+            let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 8));
+            let blocked = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+            prop_assert!(!blocked.any_delivered(), "{family} through greylist@{threshold_secs}s");
+
+            let mut world = worlds::plain_world(seed);
+            let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 8));
+            let open = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+            prop_assert!(open.any_delivered(), "{family} blocked by nothing");
+        }
+    }
+
+    /// The victim's mailbox count always equals the count of `Accepted`
+    /// events in its anonymized log — the log never lies.
+    #[test]
+    fn prop_log_matches_mailbox(seed in 0u64..500, n_msgs in 1usize..6) {
+        let mut world = worlds::greylist_world(seed, SimDuration::from_secs(300));
+        for i in 0..n_msgs {
+            let mut sender = SendingMta::new(
+                "relay.example",
+                vec![Ipv4Addr::new(198, 51, 100, (10 + i) as u8)],
+                MtaProfile::sendmail(),
+            );
+            sender.submit(
+                VICTIM_DOMAIN.parse().unwrap(),
+                ReversePath::Address(format!("s{i}@relay.example").parse().unwrap()),
+                vec![format!("r{i}@{VICTIM_DOMAIN}").parse().unwrap()],
+                Message::builder().body("x").build(),
+                SimTime::from_secs(i as u64 * 7),
+            );
+            sender.drain(SimTime::from_secs(i as u64 * 7), &mut world);
+        }
+        let server = world.server(VICTIM_MX_IP).unwrap();
+        let accepted_in_log = server
+            .log()
+            .iter()
+            .filter(|e| matches!(e.event, spamward::mta::LogEvent::Accepted))
+            .count();
+        prop_assert_eq!(server.mailbox().len(), accepted_in_log);
+        prop_assert_eq!(server.mailbox().len(), n_msgs);
+    }
+
+    /// Nolisting never affects which MESSAGES a compliant sender delivers —
+    /// only bots notice it.
+    #[test]
+    fn prop_nolisting_transparent_to_compliant_senders(seed in 0u64..500) {
+        let run = |mut world: MailWorld| {
+            let mut sender = SendingMta::new(
+                "relay.example",
+                vec![Ipv4Addr::new(198, 51, 100, 21)],
+                MtaProfile::exim(),
+            );
+            sender.submit(
+                VICTIM_DOMAIN.parse().unwrap(),
+                ReversePath::Address("a@relay.example".parse().unwrap()),
+                vec![format!("u@{VICTIM_DOMAIN}").parse().unwrap()],
+                Message::builder().body("x").build(),
+                SimTime::ZERO,
+            );
+            sender.drain(SimTime::ZERO, &mut world);
+            sender.records().iter().filter(|r| r.delivered).count()
+        };
+        prop_assert_eq!(run(worlds::plain_world(seed)), 1);
+        prop_assert_eq!(run(worlds::nolisting_world(seed)), 1);
+    }
+
+    /// Protocol equivalence: the pipelined exchange and the lock-step
+    /// exchange agree on every outcome, for any recipient multiset and
+    /// either sender personality.
+    #[test]
+    fn prop_pipelining_never_changes_outcomes(
+        n_rcpts in 1usize..5,
+        bot in proptest::bool::ANY,
+        greylisted in proptest::bool::ANY,
+    ) {
+        use spamward::smtp::{
+            exchange, exchange_pipelined, AcceptAll, ClientSession, EmailAddress, Envelope,
+            Message, PolicyDecision, Reply, ServerPolicy, ServerSession, Transaction,
+        };
+        struct GreylistAll;
+        impl ServerPolicy for GreylistAll {
+            fn on_rcpt(&mut self, _: SimTime, _: &Transaction, _: &EmailAddress) -> PolicyDecision {
+                PolicyDecision::TempFail(Reply::greylisted(300))
+            }
+        }
+        let dialect = if bot {
+            Dialect::minimal_bot("bot")
+        } else {
+            Dialect::compliant_mta("relay.example")
+        };
+        let mut b = Envelope::builder()
+            .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+            .mail_from(ReversePath::Address("s@relay.example".parse().unwrap()));
+        for i in 0..n_rcpts {
+            b = b.rcpt(format!("u{i}@foo.net").parse().unwrap());
+        }
+        let env = b.build();
+        let msg = Message::builder().header("Subject", "p").body("x").build();
+
+        let run = |pipelined: bool| {
+            let mut client = ClientSession::new(dialect.clone(), env.clone(), msg.clone());
+            let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
+            let outcome = if greylisted {
+                let mut p = GreylistAll;
+                if pipelined {
+                    exchange_pipelined(&mut client, &mut server, &mut p, SimTime::ZERO).0
+                } else {
+                    exchange(&mut client, &mut server, &mut p, SimTime::ZERO).0
+                }
+            } else {
+                let mut p = AcceptAll;
+                if pipelined {
+                    exchange_pipelined(&mut client, &mut server, &mut p, SimTime::ZERO).0
+                } else {
+                    exchange(&mut client, &mut server, &mut p, SimTime::ZERO).0
+                }
+            };
+            (outcome, server.accepted().len())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Triplet accounting: after any bot campaign against a greylisted
+    /// victim, greylist stats add up (total = passed + greylisted).
+    #[test]
+    fn prop_greylist_stats_add_up(seed in 0u64..500, n in 1usize..8) {
+        let mut world = worlds::greylist_world(seed, SimDuration::from_secs(300));
+        let mut rng = DetRng::seed(seed).fork("stats");
+        let campaign = Campaign::synthetic(VICTIM_DOMAIN, n, &mut rng);
+        let mut bot = BotSample::new(MalwareFamily::Kelihos, 0, Ipv4Addr::new(203, 0, 113, 3));
+        bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::from_secs(100_000));
+        let gl = world.server(VICTIM_MX_IP).unwrap().greylist().unwrap();
+        let stats = gl.stats();
+        prop_assert_eq!(stats.total(), stats.total_passed() + stats.total_greylisted());
+        prop_assert!(stats.total() >= n as u64);
+    }
+}
