@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn durations_in_seconds() {
-        let cdf = Cdf::from_durations(vec![
-            SimDuration::from_mins(5),
-            SimDuration::from_mins(10),
-        ]);
+        let cdf = Cdf::from_durations(vec![SimDuration::from_mins(5), SimDuration::from_mins(10)]);
         assert_eq!(cdf.fraction_at_or_below(300.0), 0.5);
     }
 

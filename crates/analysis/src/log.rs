@@ -17,7 +17,7 @@
 use crate::cdf::Cdf;
 use serde::{Deserialize, Serialize};
 use spamward_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One parsed log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,14 +109,14 @@ impl MessageTimeline {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GreylistLogAnalysis {
-    timelines: HashMap<u64, MessageTimeline>,
+    timelines: BTreeMap<u64, MessageTimeline>,
     malformed: usize,
 }
 
 impl GreylistLogAnalysis {
     /// Builds the analysis from parsed records.
     pub fn from_records(records: impl IntoIterator<Item = LogRecord>) -> Self {
-        let mut timelines: HashMap<u64, MessageTimeline> = HashMap::new();
+        let mut timelines: BTreeMap<u64, MessageTimeline> = BTreeMap::new();
         for r in records {
             let tl = timelines.entry(r.key).or_insert_with(|| MessageTimeline {
                 key: r.key,
@@ -212,10 +212,7 @@ mod tests {
         assert_eq!(r.at, SimTime::from_micros(1_234_567_890));
         assert_eq!(r.kind, LogKind::Deferred);
         assert_eq!(r.key, 0xff);
-        assert_eq!(
-            parse_log_line("1.000000 whitelisted key=01").unwrap().kind,
-            LogKind::Other
-        );
+        assert_eq!(parse_log_line("1.000000 whitelisted key=01").unwrap().kind, LogKind::Other);
         assert_eq!(parse_log_line("garbage"), None);
     }
 

@@ -131,8 +131,7 @@ mod tests {
         let art = ascii_histogram(&h, 10);
         let lines: Vec<&str> = art.lines().collect();
         // Bin 1 (4 samples) has the longest bar.
-        let count_hashes =
-            |s: &str| s.chars().filter(|&c| c == '#').count();
+        let count_hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
         assert!(count_hashes(lines[1]) > count_hashes(lines[0]));
         assert!(count_hashes(lines[1]) == 10, "max bin fills the bar width");
         assert!(lines[1].ends_with('4'));

@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the substrates every experiment leans on: the SMTP
 //! engine, the greylist hot path, MX resolution, and population synthesis.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // not protocol-path code
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use spamward_dns::{Authority, Resolver, Zone};
 use spamward_greylist::{Greylist, GreylistConfig};
@@ -17,10 +18,7 @@ fn bench_smtp_exchange(c: &mut Criterion) {
         .mail_from(ReversePath::Address("a@relay.example".parse().unwrap()))
         .rcpt("u@foo.net".parse().unwrap())
         .build();
-    let message = Message::builder()
-        .header("Subject", "bench")
-        .body(&"x".repeat(1_000))
-        .build();
+    let message = Message::builder().header("Subject", "bench").body(&"x".repeat(1_000)).build();
 
     let mut g = c.benchmark_group("smtp");
     g.throughput(Throughput::Elements(1));

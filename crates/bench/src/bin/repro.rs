@@ -160,12 +160,23 @@ fn main() {
     };
 
     if artifact == "all" {
-        for name in
-            [
-            "table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "summary",
-            "ablations", "future", "dialects", "costs", "longterm", "variance",
-        ]
-        {
+        for name in [
+            "table1",
+            "fig2",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table3",
+            "table4",
+            "summary",
+            "ablations",
+            "future",
+            "dialects",
+            "costs",
+            "longterm",
+            "variance",
+        ] {
             run_one(name);
             println!();
         }

@@ -229,8 +229,7 @@ mod tests {
     #[test]
     fn distributed_retry_is_self_defeating_against_greylisting() {
         // Hosts in different /24s: each retry is a fresh triplet.
-        let hosts: Vec<Ipv4Addr> =
-            (0..8u8).map(|i| Ipv4Addr::new(203, 0, 100 + i, 7)).collect();
+        let hosts: Vec<Ipv4Addr> = (0..8u8).map(|i| Ipv4Addr::new(203, 0, 100 + i, 7)).collect();
         let (mut w, mx) = greylist_world(24);
         let mut bot = AdaptiveBot::distributed_retry(hosts);
         let report = bot.run_campaign(&mut w, &campaign(), SimTime::ZERO, HORIZON);

@@ -76,7 +76,8 @@ pub struct BotSample {
 impl BotSample {
     /// Creates sample `sample_idx` of `family`, sending from `ip`.
     pub fn new(family: MalwareFamily, sample_idx: u32, ip: Ipv4Addr) -> Self {
-        let rng = DetRng::seed(0x0B07).fork(family.name()).fork_idx("sample", u64::from(sample_idx));
+        let rng =
+            DetRng::seed(0x0B07).fork(family.name()).fork_idx("sample", u64::from(sample_idx));
         BotSample { family, sample_idx, ip, rng }
     }
 
@@ -140,7 +141,8 @@ impl BotSample {
                     break false;
                 }
                 attempt_no += 1;
-                let outcome = self.attempt_once(world, campaign, rcpt, &domain, &dialect, strategy, at);
+                let outcome =
+                    self.attempt_once(world, campaign, rcpt, &domain, &dialect, strategy, at);
                 report.attempts.push(BotAttempt {
                     recipient: rcpt.clone(),
                     attempt: attempt_no,
@@ -205,10 +207,10 @@ impl BotSample {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spamward_dns::Zone;
     use spamward_greylist::{Greylist, GreylistConfig};
     use spamward_mta::ReceivingMta;
     use spamward_net::{PortState, SMTP_PORT};
-    use spamward_dns::Zone;
 
     const VICTIM_DOMAIN: &str = "victim.example";
 
@@ -233,9 +235,12 @@ mod tests {
     fn greylist_world(delay_secs: u64) -> (MailWorld, Ipv4Addr) {
         let mut w = MailWorld::new(35);
         let mx = Ipv4Addr::new(192, 0, 2, 30);
-        w.install_server(ReceivingMta::new("mail.victim.example", mx).with_greylist(Greylist::new(
-            GreylistConfig::with_delay(SimDuration::from_secs(delay_secs)).without_auto_whitelist(),
-        )));
+        w.install_server(
+            ReceivingMta::new("mail.victim.example", mx).with_greylist(Greylist::new(
+                GreylistConfig::with_delay(SimDuration::from_secs(delay_secs))
+                    .without_auto_whitelist(),
+            )),
+        );
         w.dns.publish(Zone::single_mx(VICTIM_DOMAIN.parse().unwrap(), mx));
         (w, mx)
     }
@@ -295,9 +300,11 @@ mod tests {
         let (mut w, _) = greylist_world(300);
         let report = run(MalwareFamily::Kelihos, &mut w, 90_000);
         assert!(report.any_delivered());
-        for rcpt_attempts in report.delivered.iter().map(|r| {
-            report.attempts.iter().filter(|a| &a.recipient == r).collect::<Vec<_>>()
-        }) {
+        for rcpt_attempts in report
+            .delivered
+            .iter()
+            .map(|r| report.attempts.iter().filter(|a| &a.recipient == r).collect::<Vec<_>>())
+        {
             assert_eq!(rcpt_attempts.len(), 2, "greylisted once, then delivered on retry 1");
             let final_delay = rcpt_attempts.last().unwrap().since_first;
             assert!(final_delay >= SimDuration::from_secs(300));
@@ -311,8 +318,7 @@ mod tests {
         let (mut w, _) = greylist_world(21_600);
         let report = run(MalwareFamily::Kelihos, &mut w, 100_000);
         assert!(report.any_delivered(), "Kelihos eventually clears 6 h greylisting");
-        let delivered_attempts: Vec<_> =
-            report.attempts.iter().filter(|a| a.delivered).collect();
+        let delivered_attempts: Vec<_> = report.attempts.iter().filter(|a| a.delivered).collect();
         for a in &delivered_attempts {
             assert_eq!(a.attempt, 4, "initial + 3 retries");
             assert!(a.since_first >= SimDuration::from_secs(80_000));

@@ -256,8 +256,7 @@ pub struct StoreCapAblation {
 /// benign pending entry survived the LRU pressure.
 pub fn store_cap_ablation(seed: u64, capacity: usize, spam_triplets: usize) -> StoreCapAblation {
     let cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
-    let greylist =
-        Greylist::new(cfg).with_store(TripletStore::new().with_capacity_bound(capacity));
+    let greylist = Greylist::new(cfg).with_store(TripletStore::new().with_capacity_bound(capacity));
     let mut world = MailWorld::new(seed);
     world.install_server(
         ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_greylist(greylist),
@@ -289,9 +288,8 @@ pub fn store_cap_ablation(seed: u64, capacity: usize, spam_triplets: usize) -> S
     for i in 0..spam_triplets {
         let mut bot = BotSample::new(MalwareFamily::Cutwail, 0, bot_ip_pool.next_ip());
         let mut campaign = Campaign::synthetic(VICTIM_DOMAIN, 1, &mut rng);
-        campaign.recipients = vec![format!("victim{}@{VICTIM_DOMAIN}", i % 500)
-            .parse()
-            .expect("valid rcpt")];
+        campaign.recipients =
+            vec![format!("victim{}@{VICTIM_DOMAIN}", i % 500).parse().expect("valid rcpt")];
         let at = SimTime::from_secs(1 + (i as u64 * 290 / spam_triplets.max(1) as u64));
         bot.run_campaign(&mut world, &campaign, at, at + SimDuration::from_secs(1));
     }
@@ -300,8 +298,13 @@ pub fn store_cap_ablation(seed: u64, capacity: usize, spam_triplets: usize) -> S
     let end = sender.drain(SimTime::ZERO, &mut world);
     let _ = end;
     let benign_delivered = sender.queue()[0].status == OutboundStatus::Delivered;
-    let evictions =
-        world.server(VICTIM_MX_IP).expect("victim").greylist().expect("greylist").store().evictions();
+    let evictions = world
+        .server(VICTIM_MX_IP)
+        .expect("victim")
+        .greylist()
+        .expect("greylist")
+        .store()
+        .evictions();
     StoreCapAblation { capacity, evictions, benign_delivered }
 }
 

@@ -97,11 +97,8 @@ fn run_setup(config: &CostsConfig, setup: &str, mut world: MailWorld) -> CostRow
             total_delay += r.since_enqueue;
         }
     }
-    let store_entries = world
-        .server(VICTIM_MX_IP)
-        .and_then(|s| s.greylist())
-        .map(|g| g.store().len())
-        .unwrap_or(0);
+    let store_entries =
+        world.server(VICTIM_MX_IP).and_then(|s| s.greylist()).map(|g| g.store().len()).unwrap_or(0);
     CostRow {
         setup: setup.to_owned(),
         delivered,

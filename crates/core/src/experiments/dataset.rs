@@ -30,12 +30,8 @@ pub fn run() -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
-            "Malware Family",
-            "% of Botnet Spam (2014)",
-            "Samples",
-        ])
-        .with_title("Table I: malware samples used in the experiments");
+        let mut t = AsciiTable::new(vec!["Malware Family", "% of Botnet Spam (2014)", "Samples"])
+            .with_title("Table I: malware samples used in the experiments");
         for (name, pct, samples) in &self.rows {
             t.row(vec![name.clone(), format!("{pct:.2}%"), samples.to_string()]);
         }

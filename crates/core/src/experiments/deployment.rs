@@ -126,11 +126,9 @@ fn no_retry_profile() -> MtaProfile {
 fn build_world(config: &DeploymentConfig) -> MailWorld {
     let domain: DomainName = DEPLOYMENT_DOMAIN.parse().expect("valid deployment domain");
     let mut world = MailWorld::new(config.seed);
-    world.install_server(
-        ReceivingMta::new("mail.cs-dept.example", VICTIM_MX_IP).with_greylist(Greylist::new(
-            GreylistConfig::with_delay(config.threshold).without_auto_whitelist(),
-        )),
-    );
+    world.install_server(ReceivingMta::new("mail.cs-dept.example", VICTIM_MX_IP).with_greylist(
+        Greylist::new(GreylistConfig::with_delay(config.threshold).without_auto_whitelist()),
+    ));
     world.dns.publish(Zone::single_mx(domain, VICTIM_MX_IP));
     world
 }
@@ -152,9 +150,8 @@ fn build_traffic(config: &DeploymentConfig) -> Vec<(SimTime, SendingMta)> {
         let arrival =
             SimTime::ZERO + SimDuration::from_micros(rng.below(config.window.as_micros().max(1)));
         let source_ip = source_pool.next_ip();
-        let sender_addr: EmailAddress = format!("user{i}@relay{i}.example")
-            .parse()
-            .expect("synthetic sender is valid");
+        let sender_addr: EmailAddress =
+            format!("user{i}@relay{i}.example").parse().expect("synthetic sender is valid");
         let rcpt: EmailAddress =
             format!("staff{}@{DEPLOYMENT_DOMAIN}", i % 50).parse().expect("valid recipient");
         let message = Message::builder()
@@ -190,7 +187,13 @@ fn build_traffic(config: &DeploymentConfig) -> Vec<(SimTime, SendingMta)> {
             SendingMta::new(&format!("relay{i}.example"), vec![source_ip], no_retry_profile())
         };
 
-        sender.submit(domain.clone(), ReversePath::Address(sender_addr), vec![rcpt], message, arrival);
+        sender.submit(
+            domain.clone(),
+            ReversePath::Address(sender_addr),
+            vec![rcpt],
+            message,
+            arrival,
+        );
         traffic.push((arrival, sender));
     }
     traffic
@@ -318,10 +321,11 @@ mod tests {
         // The surprising Fig. 5 observation: the *benign* CDF rises more
         // slowly than the malware CDF of Fig. 3.
         let benign = quick();
-        let kelihos = crate::experiments::kelihos::run(&crate::experiments::kelihos::KelihosConfig {
-            recipients: 40,
-            ..Default::default()
-        });
+        let kelihos =
+            crate::experiments::kelihos::run(&crate::experiments::kelihos::KelihosConfig {
+                recipients: 40,
+                ..Default::default()
+            });
         let benign_median = benign.cdf.quantile(0.5);
         let kelihos_median = kelihos.default.cdf.quantile(0.5);
         assert!(

@@ -46,8 +46,7 @@ impl DialectsResult {
         if self.observations.is_empty() {
             return 1.0;
         }
-        let correct =
-            self.observations.iter().filter(|o| o.classified_bot == o.is_bot).count();
+        let correct = self.observations.iter().filter(|o| o.classified_bot == o.is_bot).count();
         correct as f64 / self.observations.len() as f64
     }
 }

@@ -80,7 +80,8 @@ impl EfficacyResult {
             .iter()
             .filter_map(|&family| {
                 let row = self.rows.iter().find(|r| r.family == family)?;
-                let blocked = if nolisting { row.nolisting_blocked } else { row.greylisting_blocked };
+                let blocked =
+                    if nolisting { row.nolisting_blocked } else { row.greylisting_blocked };
                 blocked.then_some(family.botnet_spam_pct())
             })
             .sum()
@@ -94,8 +95,9 @@ pub fn run(config: &EfficacyConfig) -> EfficacyResult {
     let mut rows = Vec::new();
 
     for sample in roster {
-        let mut campaign_rng =
-            DetRng::seed(config.seed).fork(sample.family().name()).fork_idx("c", u64::from(sample.sample_idx()));
+        let mut campaign_rng = DetRng::seed(config.seed)
+            .fork(sample.family().name())
+            .fork_idx("c", u64::from(sample.sample_idx()));
         let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut campaign_rng);
 
         // (a) nolisting victim.

@@ -138,8 +138,7 @@ fn build_world(seed: u64, setup: DefenseSetup) -> MailWorld {
 }
 
 fn bots() -> Vec<AdaptiveBot> {
-    let cross_subnet: Vec<Ipv4Addr> =
-        (0..8u8).map(|i| Ipv4Addr::new(203, 0, 100 + i, 7)).collect();
+    let cross_subnet: Vec<Ipv4Addr> = (0..8u8).map(|i| Ipv4Addr::new(203, 0, 100 + i, 7)).collect();
     vec![
         AdaptiveBot::full_compliance(Ipv4Addr::new(203, 0, 113, 90)),
         AdaptiveBot::distributed_retry(cross_subnet),
@@ -181,7 +180,9 @@ impl fmt::Display for FutureThreatsResult {
             "greylist exact",
             "stack",
         ])
-        .with_title("Section VI outlook: spam delivered by adapted malware (100% = defense obsolete)");
+        .with_title(
+            "Section VI outlook: spam delivered by adapted malware (100% = defense obsolete)",
+        );
         let mut bots: Vec<&str> = self.cells.iter().map(|c| c.bot.as_str()).collect();
         bots.dedup();
         for bot in bots {

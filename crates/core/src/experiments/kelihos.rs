@@ -78,12 +78,8 @@ fn run_threshold(config: &KelihosConfig, threshold: SimDuration) -> ThresholdRun
     let report =
         bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::ZERO + config.horizon);
 
-    let delays: Vec<SimDuration> = report
-        .attempts
-        .iter()
-        .filter(|a| a.delivered)
-        .map(|a| a.since_first)
-        .collect();
+    let delays: Vec<SimDuration> =
+        report.attempts.iter().filter(|a| a.delivered).map(|a| a.since_first).collect();
     let attempts = report
         .attempts
         .iter()
@@ -157,11 +153,7 @@ impl KelihosResult {
     pub fn fig4_peaks(&self) -> Vec<(f64, f64)> {
         let mut hist = Histogram::logarithmic(100.0, 100_000.0, 30);
         hist.extend(
-            self.extreme
-                .attempts
-                .iter()
-                .filter(|p| p.delay_secs > 0.0)
-                .map(|p| p.delay_secs),
+            self.extreme.attempts.iter().filter(|p| p.delay_secs > 0.0).map(|p| p.delay_secs),
         );
         hist.peaks(self.extreme.attempts.len() as u64 / 100)
             .into_iter()
@@ -183,7 +175,11 @@ impl fmt::Display for KelihosResult {
                 run.cdf.min(),
             )?;
         }
-        writeln!(f, "KS distance between curves: {:.3} (curves nearly coincide)", self.fig3_ks_distance)?;
+        writeln!(
+            f,
+            "KS distance between curves: {:.3} (curves nearly coincide)",
+            self.fig3_ks_distance
+        )?;
         writeln!(f)?;
         writeln!(f, "== Figure 4: retransmissions at a 21600 s threshold ==")?;
         writeln!(

@@ -99,9 +99,8 @@ pub fn run(config: &LongTermConfig) -> LongTermResult {
     let month = SimDuration::from_days(30);
     // One /24 per relay: the auto-whitelist keys on the client network, so
     // sharing a subnet would let one relay's reputation cover them all.
-    let relay_ips: Vec<Ipv4Addr> = (0..config.benign_relays)
-        .map(|i| Ipv4Addr::new(198, 51, 100 + i as u8, 1))
-        .collect();
+    let relay_ips: Vec<Ipv4Addr> =
+        (0..config.benign_relays).map(|i| Ipv4Addr::new(198, 51, 100 + i as u8, 1)).collect();
 
     let mut months = Vec::new();
     let mut bot_ip_pool = spamward_net::IpPool::new(Ipv4Addr::new(203, 0, 0, 1));
@@ -117,7 +116,8 @@ pub fn run(config: &LongTermConfig) -> LongTermResult {
             let mut bot = BotSample::new(family, c as u32, bot_ip_pool.next_ip());
             let campaign = Campaign::synthetic(VICTIM_DOMAIN, 3, &mut rng);
             let at = month_start + SimDuration::from_micros(rng.below(month.as_micros()));
-            let report = bot.run_campaign(&mut world, &campaign, at, at + SimDuration::from_mins(30));
+            let report =
+                bot.run_campaign(&mut world, &campaign, at, at + SimDuration::from_mins(30));
             spam_sent += campaign.len();
             spam_delivered += report.delivered.len();
         }
@@ -243,7 +243,11 @@ mod tests {
         );
         // Each relay must earn its own 5 passes in month 1 (distinct /24s).
         assert!(first.benign_awl_rate < 0.5, "month 1 too easy: {:.2}", first.benign_awl_rate);
-        assert!(last.benign_awl_rate > 0.9, "mature AWL should cover the pool: {:.2}", last.benign_awl_rate);
+        assert!(
+            last.benign_awl_rate > 0.9,
+            "mature AWL should cover the pool: {:.2}",
+            last.benign_awl_rate
+        );
     }
 
     #[test]

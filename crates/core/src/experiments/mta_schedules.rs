@@ -62,10 +62,12 @@ fn fmt_mins(m: f64) -> String {
 
 impl fmt::Display for SchedulesResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec!["MTA", "Retransmission time (min)", "Max queue time (days)"])
-            .with_title("Table IV: retransmission times of popular MTA servers (first 10 h)");
+        let mut t =
+            AsciiTable::new(vec!["MTA", "Retransmission time (min)", "Max queue time (days)"])
+                .with_title("Table IV: retransmission times of popular MTA servers (first 10 h)");
         for r in &self.rows {
-            let mut shown: Vec<String> = r.retransmission_mins.iter().take(10).map(|&m| fmt_mins(m)).collect();
+            let mut shown: Vec<String> =
+                r.retransmission_mins.iter().take(10).map(|&m| fmt_mins(m)).collect();
             if r.retransmission_mins.len() > 10 {
                 shown.push(format!("... ({} in 10h)", r.retransmission_mins.len()));
             }

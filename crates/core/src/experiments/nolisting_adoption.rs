@@ -33,7 +33,13 @@ pub struct AdoptionConfig {
 impl Default for AdoptionConfig {
     fn default() -> Self {
         let domains = 30_000;
-        AdoptionConfig { domains, seed: 2015, epochs: vec![0, 1], workers: 4, spec: PopulationSpec::fig2(domains) }
+        AdoptionConfig {
+            domains,
+            seed: 2015,
+            epochs: vec![0, 1],
+            workers: 4,
+            spec: PopulationSpec::fig2(domains),
+        }
     }
 }
 
@@ -80,8 +86,14 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
     let mut per_epoch_nolisting = Vec::new();
     for round in &rounds {
         let (stats, _) = NolistingDetector::run(std::slice::from_ref(round), &names);
-        per_epoch_nolisting
-            .push(stats.counts.iter().find(|(c, _)| *c == DomainClass::Nolisting).map(|(_, n)| *n).unwrap_or(0));
+        per_epoch_nolisting.push(
+            stats
+                .counts
+                .iter()
+                .find(|(c, _)| *c == DomainClass::Nolisting)
+                .map(|(_, n)| *n)
+                .unwrap_or(0),
+        );
     }
     let between_scan_change = if per_epoch_nolisting[0] == 0 {
         0.0
@@ -99,7 +111,9 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
             let count = pop
                 .domains
                 .iter()
-                .filter(|d| d.alexa_rank <= k && verdicts.get(&d.name) == Some(&DomainClass::Nolisting))
+                .filter(|d| {
+                    d.alexa_rank <= k && verdicts.get(&d.name) == Some(&DomainClass::Nolisting)
+                })
                 .count();
             (k, count)
         })
@@ -113,7 +127,11 @@ impl fmt::Display for AdoptionResult {
         let mut t = AsciiTable::new(vec!["Class", "Domains", "Share"])
             .with_title("Figure 2: nolisting mail server statistics");
         for (class, count) in &self.stats.counts {
-            t.row(vec![class.to_string(), count.to_string(), format!("{:.2}%", self.stats.pct(*class))]);
+            t.row(vec![
+                class.to_string(),
+                count.to_string(),
+                format!("{:.2}%", self.stats.pct(*class)),
+            ]);
         }
         write!(f, "{t}")?;
         writeln!(

@@ -61,7 +61,11 @@ impl fmt::Display for SummaryResult {
         }
         write!(f, "{t}")?;
         writeln!(f, "nolisting alone blocks:   {:.2}% of botnet spam", self.nolisting_botnet_pct)?;
-        writeln!(f, "greylisting alone blocks: {:.2}% of botnet spam", self.greylisting_botnet_pct)?;
+        writeln!(
+            f,
+            "greylisting alone blocks: {:.2}% of botnet spam",
+            self.greylisting_botnet_pct
+        )?;
         writeln!(f, "either defense blocks:    {:.2}% of botnet spam", self.either_botnet_pct)?;
         writeln!(
             f,

@@ -27,7 +27,12 @@ pub struct VarianceConfig {
 
 impl Default for VarianceConfig {
     fn default() -> Self {
-        VarianceConfig { seeds: (100..112).collect(), workers: 4, fig2_domains: 4_000, fig5_messages: 400 }
+        VarianceConfig {
+            seeds: (100..112).collect(),
+            workers: 4,
+            fig2_domains: 4_000,
+            fig5_messages: 400,
+        }
     }
 }
 
@@ -76,11 +81,8 @@ pub fn run(config: &VarianceConfig) -> VarianceResult {
     // Fig. 5 quantities per seed.
     let fig5_messages = config.fig5_messages;
     let fig5_runs = run_seeds(&config.seeds, config.workers, move |seed| {
-        let cfg = deployment::DeploymentConfig {
-            messages: fig5_messages,
-            seed,
-            ..Default::default()
-        };
+        let cfg =
+            deployment::DeploymentConfig { messages: fig5_messages, seed, ..Default::default() };
         let r = deployment::run(&cfg);
         (r.within_10min * 100.0, r.abandonment_rate * 100.0)
     });
@@ -128,8 +130,11 @@ impl fmt::Display for VarianceResult {
         let mut t = AsciiTable::new(vec!["Quantity", "Paper", "Measured (mean ± 95% CI)"])
             .with_title("Seed variance of the headline quantities");
         for r in &self.rows {
-            let paper =
-                if r.paper_value.is_nan() { "n/a".to_owned() } else { format!("{:.2}", r.paper_value) };
+            let paper = if r.paper_value.is_nan() {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2}", r.paper_value)
+            };
             t.row(vec![r.quantity.clone(), paper, r.ci.to_string()]);
         }
         write!(f, "{t}")

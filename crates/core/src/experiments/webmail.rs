@@ -126,16 +126,17 @@ impl WebmailResult {
 
 impl fmt::Display for WebmailResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
-            "Provider", "Same IP", "Attempts", "Deliver", "Delays (min:sec)",
-        ])
-        .with_title(&format!(
-            "Table III: webmail delivery attempts with a {} greylisting threshold",
-            self.threshold
-        ));
+        let mut t =
+            AsciiTable::new(vec!["Provider", "Same IP", "Attempts", "Deliver", "Delays (min:sec)"])
+                .with_title(&format!(
+                    "Table III: webmail delivery attempts with a {} greylisting threshold",
+                    self.threshold
+                ));
         for r in &self.rows {
-            let same_ip = if r.same_ip { "v".to_owned() } else { format!("x ({})", r.distinct_ips) };
-            let mut delays: Vec<String> = r.delays.iter().take(8).map(|&d| fmt_min_sec(d)).collect();
+            let same_ip =
+                if r.same_ip { "v".to_owned() } else { format!("x ({})", r.distinct_ips) };
+            let mut delays: Vec<String> =
+                r.delays.iter().take(8).map(|&d| fmt_min_sec(d)).collect();
             if r.delays.len() > 8 {
                 delays.push(format!("... ({} total)", r.delays.len()));
             }
@@ -193,10 +194,8 @@ mod tests {
     fn same_ip_column_matches_paper() {
         let r = result();
         for row in &r.rows {
-            let provider = WebmailProvider::table_iii()
-                .into_iter()
-                .find(|p| p.name == row.provider)
-                .unwrap();
+            let provider =
+                WebmailProvider::table_iii().into_iter().find(|p| p.name == row.provider).unwrap();
             assert_eq!(row.same_ip, provider.same_ip(), "{}", row.provider);
             assert_eq!(row.distinct_ips.min(7), provider.distinct_ips.min(7), "{}", row.provider);
         }

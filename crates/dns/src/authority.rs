@@ -178,7 +178,11 @@ mod tests {
 
     fn authority_with_foo() -> Authority {
         let mut a = Authority::new();
-        a.publish(Zone::nolisting(name("foo.net"), Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(1, 2, 3, 5)));
+        a.publish(Zone::nolisting(
+            name("foo.net"),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(1, 2, 3, 5),
+        ));
         a
     }
 

@@ -130,12 +130,7 @@ impl Resolver {
         self.stats.misses += 1;
         let out = authority.query(name, rtype);
         let ttl = match out.rcode {
-            Rcode::NoError => out
-                .answers
-                .iter()
-                .map(|r| r.ttl)
-                .min()
-                .unwrap_or(self.negative_ttl),
+            Rcode::NoError => out.answers.iter().map(|r| r.ttl).min().unwrap_or(self.negative_ttl),
             _ => self.negative_ttl,
         };
         self.cache.insert(
@@ -370,9 +365,11 @@ mod tests {
         let first = r.resolve_mx(&mut dns, &name("foo.net"), t0).unwrap();
         // The domain re-publishes with a different MX.
         dns.publish(Zone::single_mx(name("foo.net"), ip(9)));
-        let cached = r.resolve_mx(&mut dns, &name("foo.net"), t0 + SimDuration::from_mins(10)).unwrap();
+        let cached =
+            r.resolve_mx(&mut dns, &name("foo.net"), t0 + SimDuration::from_mins(10)).unwrap();
         assert_eq!(first, cached, "stale answer expected within TTL");
-        let fresh = r.resolve_mx(&mut dns, &name("foo.net"), t0 + SimDuration::from_hours(2)).unwrap();
+        let fresh =
+            r.resolve_mx(&mut dns, &name("foo.net"), t0 + SimDuration::from_hours(2)).unwrap();
         assert_eq!(fresh[0].ip, Some(ip(9)));
     }
 

@@ -52,10 +52,7 @@ impl Zone {
 
     /// Records answering `(name, rtype)` exactly.
     pub fn lookup(&self, name: &DomainName, rtype: RecordType) -> Vec<&ResourceRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.record_type() == rtype && &r.name == name)
-            .collect()
+        self.records.iter().filter(|r| r.record_type() == rtype && &r.name == name).collect()
     }
 
     /// Whether any record exists at `name` (for NXDOMAIN vs NODATA).
@@ -142,9 +139,7 @@ impl ZoneBuilder {
 
     /// Adds an A record at the zone origin.
     pub fn a(mut self, ip: Ipv4Addr) -> Self {
-        self.zone
-            .records
-            .push(ResourceRecord::new(self.zone.origin.clone(), RecordData::A(ip)));
+        self.zone.records.push(ResourceRecord::new(self.zone.origin.clone(), RecordData::A(ip)));
         self
     }
 
@@ -207,7 +202,9 @@ mod tests {
         let mut mxs: Vec<(u16, String)> = z
             .records_of(RecordType::Mx)
             .filter_map(|r| match &r.data {
-                RecordData::Mx { preference, exchange } => Some((*preference, exchange.to_string())),
+                RecordData::Mx { preference, exchange } => {
+                    Some((*preference, exchange.to_string()))
+                }
                 _ => None,
             })
             .collect();

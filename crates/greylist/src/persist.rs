@@ -102,11 +102,14 @@ impl Greylist {
             let bad = || SnapshotError::BadRecord(idx + 1);
             match tag {
                 "T" => {
-                    let client_net =
-                        u32::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+                    let client_net = u32::from_str_radix(parts.next().ok_or_else(bad)?, 16)
+                        .map_err(|_| bad())?;
                     let sender_raw = parts.next().ok_or_else(bad)?;
-                    let sender =
-                        if sender_raw == NULL_SENDER { String::new() } else { sender_raw.to_owned() };
+                    let sender = if sender_raw == NULL_SENDER {
+                        String::new()
+                    } else {
+                        sender_raw.to_owned()
+                    };
                     let recipient = parts.next().ok_or_else(bad)?.to_owned();
                     let first: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                     let last: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
@@ -129,8 +132,8 @@ impl Greylist {
                     self.insert_restored(key, entry);
                 }
                 "W" => {
-                    let net =
-                        u32::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+                    let net = u32::from_str_radix(parts.next().ok_or_else(bad)?, 16)
+                        .map_err(|_| bad())?;
                     let passes: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
                     self.set_awl_count(net, passes);
                 }

@@ -7,7 +7,7 @@ use crate::whitelist::Whitelist;
 use serde::{Deserialize, Serialize};
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, ReversePath};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Why a check passed.
@@ -118,13 +118,18 @@ pub struct Greylist {
     store: TripletStore,
     stats: GreylistStats,
     /// Successful greylist passes per client network (for auto-whitelist).
-    awl_counts: HashMap<u32, u32>,
+    awl_counts: BTreeMap<u32, u32>,
 }
 
 impl Greylist {
     /// Creates an engine with the given configuration.
     pub fn new(config: GreylistConfig) -> Self {
-        Greylist { config, store: TripletStore::new(), stats: GreylistStats::default(), awl_counts: HashMap::new() }
+        Greylist {
+            config,
+            store: TripletStore::new(),
+            stats: GreylistStats::default(),
+            awl_counts: BTreeMap::new(),
+        }
     }
 
     /// Replaces the triplet store (e.g. one with a capacity bound).
@@ -165,7 +170,11 @@ impl Greylist {
     }
 
     /// Inserts a triplet entry verbatim (snapshot restore).
-    pub(crate) fn insert_restored(&mut self, key: crate::triplet::TripletKey, entry: crate::store::TripletEntry) {
+    pub(crate) fn insert_restored(
+        &mut self,
+        key: crate::triplet::TripletKey,
+        entry: crate::store::TripletEntry,
+    ) {
         self.store.insert_raw(key, entry);
     }
 
@@ -245,8 +254,9 @@ impl Greylist {
                         // Sessions carry per-connection latency offsets, so
                         // two logically-concurrent checks can arrive with
                         // slightly out-of-order clocks; saturate to zero.
-                        let waited =
-                            now.checked_elapsed_since(entry.first_seen).unwrap_or(SimDuration::ZERO);
+                        let waited = now
+                            .checked_elapsed_since(entry.first_seen)
+                            .unwrap_or(SimDuration::ZERO);
                         if waited >= delay {
                             entry.state = EntryState::Passed;
                             self.stats.passed_after_delay += 1;
@@ -338,7 +348,8 @@ mod tests {
 
     #[test]
     fn exact_netmask_regreylists_pool_senders() {
-        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
+        let mut cfg =
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
         cfg.netmask = 32;
         let mut g = Greylist::new(cfg);
         g.check(t(0), Ipv4Addr::new(10, 0, 0, 1), &from("a@b.cc"), &rcpt("u@foo.net"));

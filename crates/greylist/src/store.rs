@@ -3,7 +3,7 @@
 use crate::triplet::TripletKey;
 use serde::{Deserialize, Serialize};
 use spamward_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lifecycle state of a triplet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,7 +36,7 @@ pub struct TripletEntry {
 /// computation resources" cost the paper's §VI mentions.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TripletStore {
-    entries: HashMap<TripletKey, TripletEntry>,
+    entries: BTreeMap<TripletKey, TripletEntry>,
     /// Maximum live entries; `None` = unbounded.
     pub capacity: Option<usize>,
     /// Pending entries older than this are treated as new again.
@@ -51,7 +51,7 @@ impl TripletStore {
     /// 35 days, unbounded capacity.
     pub fn new() -> Self {
         TripletStore {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity: None,
             pending_lifetime: SimDuration::from_days(2),
             passed_lifetime: SimDuration::from_days(35),
@@ -277,5 +277,4 @@ mod tests {
         assert_eq!(s.count_state(EntryState::Passed), 1);
         assert_eq!(s.iter().count(), 2);
     }
-
 }

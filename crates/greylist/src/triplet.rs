@@ -44,7 +44,12 @@ impl TripletKey {
     /// # Panics
     ///
     /// Panics if `netmask > 32`.
-    pub fn new(client: Ipv4Addr, sender: &ReversePath, recipient: &EmailAddress, netmask: u8) -> Self {
+    pub fn new(
+        client: Ipv4Addr,
+        sender: &ReversePath,
+        recipient: &EmailAddress,
+        netmask: u8,
+    ) -> Self {
         assert!(netmask <= 32, "IPv4 netmask {netmask} out of range");
         let mask: u32 = if netmask == 0 { 0 } else { u32::MAX << (32 - u32::from(netmask)) };
         TripletKey {
@@ -122,7 +127,8 @@ mod tests {
 
     #[test]
     fn sender_extension_stripped_and_lowercased() {
-        let a = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("Bounce+123@Lists.Example"), &rcpt(), 24);
+        let a =
+            TripletKey::new(Ipv4Addr::LOCALHOST, &sender("Bounce+123@Lists.Example"), &rcpt(), 24);
         let b = TripletKey::new(Ipv4Addr::LOCALHOST, &sender("bounce@lists.example"), &rcpt(), 24);
         assert_eq!(a, b);
     }

@@ -1,0 +1,252 @@
+//! The checked-in violation allowlist (`lint-allow.toml`).
+//!
+//! Existing debt is triaged *explicitly*: every suppressed diagnostic needs
+//! an entry naming the rule, the file, and a human justification. Entries
+//! without a justification are themselves errors, and entries that stop
+//! matching anything are reported so the list cannot rot.
+//!
+//! The file is parsed with a small built-in reader for the subset of TOML
+//! the allowlist uses (`[[allow]]` tables of string keys) — the offline
+//! build has no `toml` crate, and the format is frozen by tests.
+
+use std::fmt;
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `"P1"`.
+    pub rule: String,
+    /// Repo-relative `/`-separated path the suppression applies to.
+    pub path: String,
+    /// Optional substring that must appear in the flagged source line;
+    /// empty matches any line in the file.
+    pub contains: String,
+    /// Mandatory human-readable reason.
+    pub justification: String,
+    /// 1-based line in `lint-allow.toml`, for error reporting.
+    pub defined_at: usize,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.path)?;
+        if !self.contains.is_empty() {
+            write!(f, " (contains {:?})", self.contains)?;
+        }
+        Ok(())
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+impl Allowlist {
+    /// Loads `path`; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, AllowlistError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => {
+                Err(AllowlistError { line: 0, message: format!("cannot read allowlist: {e}") })
+            }
+        }
+    }
+
+    /// Parses the TOML-subset allowlist text.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    validate(&done)?;
+                    entries.push(done);
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: String::new(),
+                    justification: String::new(),
+                    defined_at: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got {line:?}"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: "key outside an [[allow]] table".into(),
+                });
+            };
+            let value = parse_string(value.trim()).ok_or_else(|| AllowlistError {
+                line: lineno,
+                message: format!("expected a double-quoted string value in {line:?}"),
+            })?;
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = value,
+                "justification" => entry.justification = value,
+                other => {
+                    return Err(AllowlistError {
+                        line: lineno,
+                        message: format!(
+                            "unknown key {other:?} (expected rule/path/contains/justification)"
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            validate(&done)?;
+            entries.push(done);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Indices of entries matching a diagnostic, or `None` if unsuppressed.
+    pub fn matches(&self, rule: &str, path: &str, line_text: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == rule
+                && e.path == path
+                && (e.contains.is_empty() || line_text.contains(&e.contains))
+        })
+    }
+}
+
+fn validate(entry: &AllowEntry) -> Result<(), AllowlistError> {
+    let missing = |what: &str| AllowlistError {
+        line: entry.defined_at,
+        message: format!("[[allow]] entry is missing a non-empty `{what}`"),
+    };
+    if entry.rule.is_empty() {
+        return Err(missing("rule"));
+    }
+    if entry.path.is_empty() {
+        return Err(missing("path"));
+    }
+    if entry.justification.trim().is_empty() {
+        return Err(missing("justification"));
+    }
+    if !crate::rules::RULE_IDS.contains(&entry.rule.as_str()) {
+        return Err(AllowlistError {
+            line: entry.defined_at,
+            message: format!(
+                "unknown rule {:?} (known: {})",
+                entry.rule,
+                crate::rules::RULE_IDS.join(", ")
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                // Only trailing comments may follow the closing quote.
+                let rest = chars.as_str().trim();
+                if rest.is_empty() || rest.starts_with('#') {
+                    return Some(out);
+                }
+                return None;
+            }
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let text = r#"
+# file-level comment
+[[allow]]
+rule = "P1"
+path = "crates/mta/src/send.rs"
+contains = "expect(\"queue\")" # trailing comment
+justification = "queue invariant: drained before shutdown"
+
+[[allow]]
+rule = "D3"
+path = "crates/dns/src/resolver.rs"
+justification = "lookup-only map, never iterated for output"
+"#;
+        let list = Allowlist::parse(text).expect("parse");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].contains, "expect(\"queue\")");
+        assert_eq!(list.entries[1].contains, "");
+        assert!(list.matches("P1", "crates/mta/src/send.rs", "x.expect(\"queue\")").is_some());
+        assert!(list.matches("P1", "crates/mta/src/send.rs", "x.unwrap()").is_none());
+        assert!(list.matches("D3", "crates/dns/src/resolver.rs", "anything").is_some());
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let text = "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\n";
+        let err = Allowlist::parse(text).expect_err("must fail");
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let text = "[[allow]]\nrule = \"Z9\"\npath = \"a.rs\"\njustification = \"x\"\n";
+        let err = Allowlist::parse(text).expect_err("must fail");
+        assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let list = Allowlist::load(Path::new("/nonexistent/lint-allow.toml")).expect("empty");
+        assert!(list.entries.is_empty());
+    }
+}

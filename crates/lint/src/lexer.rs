@@ -1,0 +1,360 @@
+//! A lightweight Rust source scanner.
+//!
+//! The rules in this crate match *token text*, so the scanner's job is to
+//! blank out everything that merely *looks* like code — comments (including
+//! doc comments, and therefore doctests) and string/char literal contents —
+//! while preserving byte offsets and line structure exactly. It also maps
+//! out `#[cfg(test)]` / `#[test]` regions so rules can exempt test code.
+//!
+//! This is deliberately not a full parser: the workspace pins the few
+//! constructs the heuristics cannot see (e.g. `Instant :: now` with interior
+//! whitespace) through rustfmt, which normalizes them away.
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// The source with comment and literal bytes replaced by spaces
+    /// (newlines kept), byte-for-byte aligned with the original.
+    pub masked: String,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl ScannedFile {
+    /// Scans `source`.
+    pub fn scan(source: &str) -> ScannedFile {
+        let masked = mask(source);
+        let line_starts = std::iter::once(0)
+            .chain(masked.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i + 1))
+            .collect();
+        let test_regions = find_test_regions(&masked);
+        ScannedFile { masked, line_starts, test_regions }
+    }
+
+    /// The 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The masked text of the (1-based) line — used for allowlist matching
+    /// against what the rule actually saw.
+    pub fn line_text<'a>(&self, original: &'a str, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end =
+            self.line_starts.get(line).map(|&e| e.saturating_sub(1)).unwrap_or(original.len());
+        original[start..end].trim_end_matches('\r')
+    }
+
+    /// Whether byte `offset` falls inside a test-only region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..=e).contains(&offset))
+    }
+}
+
+/// Replaces comment and string/char-literal bytes with spaces.
+fn mask(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"..", r#".."#, br".." etc.
+                let mut j = i;
+                while bytes[j] != b'#' && bytes[j] != b'"' {
+                    j += 1; // skip the r / br prefix
+                }
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert_eq!(bytes.get(j), Some(&b'"'));
+                j += 1;
+                // Find the closing quote followed by `hashes` hashes.
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some(&b'"')
+                            if bytes[j + 1..].iter().take(hashes).all(|&b| b == b'#')
+                                && bytes[j + 1..].len() >= hashes =>
+                        {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                for b in &mut out[i..j.min(bytes.len())] {
+                    if *b != b'\n' {
+                        *b = b' ';
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out[i] = b' ';
+                            i += 1;
+                            break;
+                        }
+                        b => {
+                            if b != b'\n' {
+                                out[i] = b' ';
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes with a
+                // quote within a few bytes; a lifetime never closes.
+                if let Some(len) = char_literal_len(bytes, i) {
+                    for b in &mut out[i..i + len] {
+                        *b = b' ';
+                    }
+                    i += len;
+                } else {
+                    i += 1; // lifetime tick; leave the identifier as code
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Masking only writes ASCII spaces over existing bytes and never splits
+    // multi-byte sequences mid-way (string/comment contents are fully
+    // blanked), so the result is still valid UTF-8.
+    match String::from_utf8(out) {
+        Ok(masked) => masked,
+        Err(e) => String::from_utf8_lossy(&e.into_bytes()).into_owned(),
+    }
+}
+
+/// Is `bytes[i..]` the start of a raw (or raw-byte) string literal, rather
+/// than an identifier like `r` or `broker`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let rest = &bytes[i..];
+    let after_prefix = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+        &rest[2..]
+    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+        &rest[1..]
+    } else {
+        return false;
+    };
+    // b"..." (non-raw byte string) is handled by the '"' arm; only claim
+    // raw strings here, which require r and optional hashes.
+    if rest[0] == b'b' && !rest.starts_with(b"br") {
+        return false;
+    }
+    let mut j = 0;
+    while after_prefix.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    after_prefix.get(j) == Some(&b'"')
+}
+
+/// If `bytes[i]` opens a char literal, its total byte length; `None` for
+/// lifetimes.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'\'');
+    let rest = &bytes[i + 1..];
+    match rest.first()? {
+        b'\\' => {
+            // Escaped char: find the closing quote (handles \n, \x41, \u{..}).
+            let close = rest.iter().skip(1).position(|&b| b == b'\'')?;
+            Some(2 + close + 2 - 1)
+        }
+        _ => {
+            // `'a'` is a char; `'a` (no closing quote right after one char,
+            // possibly multi-byte) is a lifetime.
+            let ch_len = utf8_len(rest[0]);
+            if rest.get(ch_len) == Some(&b'\'') {
+                Some(1 + ch_len + 1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Locates `#[cfg(test)]`- and `#[test]`-covered byte ranges in masked text.
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(marker) {
+            let start = from + pos;
+            let end = item_end(masked.as_bytes(), start + marker.len());
+            regions.push((start, end));
+            from = start + marker.len();
+        }
+    }
+    regions.sort_unstable();
+    regions
+}
+
+/// Byte offset of the end of the item starting after an attribute: the
+/// matching `}` of its first brace block, or the first top-level `;`.
+fn item_end(bytes: &[u8], mut i: usize) -> usize {
+    // Skip further attributes (e.g. `#[test]\n#[should_panic]`), tracking
+    // bracket depth so `)]` inside them doesn't confuse the item scan.
+    let mut depth: i32 = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' if depth == 0 => break,
+            b';' if depth == 0 => return i,
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    // Brace-match the body.
+    let mut braces = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => braces += 1,
+            b'}' => {
+                braces -= 1;
+                if braces == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"Instant::now()\"; // Instant::now()\nInstant::now();\n";
+        let s = ScannedFile::scan(src);
+        assert_eq!(s.masked.matches("Instant::now").count(), 1);
+        assert_eq!(s.line_of(s.masked.find("Instant").unwrap()), 2);
+    }
+
+    #[test]
+    fn masks_doc_comments_and_doctests() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let s = ScannedFile::scan(src);
+        assert!(!s.masked.contains("unwrap"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* a /* b */ panic!( */ ok();";
+        let s = ScannedFile::scan(src);
+        assert!(!s.masked.contains("panic!("));
+        assert!(s.masked.contains("ok()"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let src = r##"let p = r#"thread_rng()"#; call();"##;
+        let s = ScannedFile::scan(src);
+        assert!(!s.masked.contains("thread_rng"));
+        assert!(s.masked.contains("call()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let nl = '\\n';";
+        let s = ScannedFile::scan(src);
+        assert!(s.masked.contains("'a str"), "lifetimes survive masking");
+        assert!(!s.masked.contains("'x'"), "char literals are masked");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn prod2() {}\n";
+        let s = ScannedFile::scan(src);
+        let a = s.masked.find("a()").unwrap();
+        let b = s.masked.find("b()").unwrap();
+        let p2 = s.masked.find("prod2").unwrap();
+        assert!(!s.in_test_region(a));
+        assert!(s.in_test_region(b));
+        assert!(!s.in_test_region(p2));
+    }
+
+    #[test]
+    fn test_attr_region_covers_fn_only() {
+        let src = "#[test]\nfn t() { x(); }\nfn prod() { y(); }\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.in_test_region(s.masked.find("x()").unwrap()));
+        assert!(!s.in_test_region(s.masked.find("y()").unwrap()));
+    }
+
+    #[test]
+    fn line_numbers_are_stable() {
+        let src = "a\nbb\nccc\n";
+        let s = ScannedFile::scan(src);
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(5), 3);
+        assert_eq!(s.line_text(src, 3), "ccc");
+    }
+}

@@ -1,0 +1,142 @@
+//! # spamward-lint
+//!
+//! Workspace-wide determinism & panic-safety static analysis.
+//!
+//! The simulation's headline claim — same seed, same result — and the
+//! protocol stack's no-panic discipline are invariants the stock toolchain
+//! cannot check. This crate parses every workspace source (a masking
+//! scanner, not a full parser; see [`lexer`]) and enforces:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1   | no wall-clock reads outside `crates/sim/src/wall.rs` |
+//! | D2   | no unseeded randomness — everything flows through `spamward_sim::DetRng` |
+//! | D3   | no iteration over `HashMap`/`HashSet` in crates feeding the event loop or analysis output |
+//! | P1   | no `unwrap`/`expect`/`panic!` in protocol-path crates outside tests |
+//! | P2   | SMTP reply codes come from `spamward_smtp::reply::codes`, never inline literals |
+//!
+//! Known debt is suppressed via `lint-allow.toml` ([`allow`]); every entry
+//! carries a mandatory justification, and entries that stop matching are
+//! reported as stale so the list cannot rot.
+//!
+//! Run it with `cargo run -p spamward-lint`; exit status 0 means clean,
+//! 1 means violations (or stale allowlist entries), 2 means the lint
+//! itself failed (unreadable files, malformed allowlist).
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use allow::{AllowEntry, Allowlist, AllowlistError};
+pub use rules::Diagnostic;
+
+use std::fmt;
+use std::path::Path;
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint-allow.toml";
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by any allowlist entry, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by the allowlist, with the entry index used.
+    pub suppressed: Vec<(Diagnostic, usize)>,
+    /// Allowlist entries that matched nothing — stale debt records.
+    pub stale_entries: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when there is nothing to fix: no live violations and no stale
+    /// allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// A failure of the lint itself (not a finding).
+#[derive(Debug)]
+pub enum LintError {
+    /// A source file could not be read.
+    Io(String, std::io::Error),
+    /// `lint-allow.toml` is malformed.
+    Allowlist(AllowlistError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{path}: {e}"),
+            LintError::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<AllowlistError> for LintError {
+    fn from(e: AllowlistError) -> Self {
+        LintError::Allowlist(e)
+    }
+}
+
+/// Lints the workspace rooted at `root`: discovers in-scope sources, loads
+/// `lint-allow.toml`, and applies every rule.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    if !root.is_dir() {
+        return Err(LintError::Io(
+            root.display().to_string(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "lint root is not a directory"),
+        ));
+    }
+    let allowlist = Allowlist::load(&root.join(ALLOWLIST_FILE))?;
+    let files =
+        walk::workspace_files(root).map_err(|e| LintError::Io(root.display().to_string(), e))?;
+
+    let mut report = LintReport::default();
+    let mut used = vec![false; allowlist.entries.len()];
+
+    for rel in &files {
+        let abs = root.join(rel);
+        let source = std::fs::read_to_string(&abs)
+            .map_err(|e| LintError::Io(abs.display().to_string(), e))?;
+        let rel = walk::rel_str(rel);
+        for diag in rules::check_file(&rel, &source) {
+            match allowlist.matches(diag.rule, &diag.path, &diag.line_text) {
+                Some(idx) => {
+                    used[idx] = true;
+                    report.suppressed.push((diag, idx));
+                }
+                None => report.diagnostics.push(diag),
+            }
+        }
+        report.files_scanned += 1;
+    }
+
+    report.stale_entries =
+        allowlist.entries.iter().zip(&used).filter(|&(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_clean_requires_no_stale_entries() {
+        let mut r = LintReport::default();
+        assert!(r.is_clean());
+        r.stale_entries.push(AllowEntry {
+            rule: "P1".into(),
+            path: "x.rs".into(),
+            contains: String::new(),
+            justification: "gone".into(),
+            defined_at: 1,
+        });
+        assert!(!r.is_clean());
+    }
+}

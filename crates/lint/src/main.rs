@@ -1,0 +1,77 @@
+//! CLI driver: `cargo run -p spamward-lint [--quiet] [ROOT]`.
+//!
+//! Exit status: 0 clean, 1 violations or stale allowlist entries, 2 the
+//! lint itself failed (unreadable files, malformed `lint-allow.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: spamward-lint [--quiet] [ROOT]");
+                println!("Checks determinism (D1-D3) and panic-safety (P1-P2) rules.");
+                println!("See DESIGN.md \"Determinism & panic-safety rules\".");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root_arg = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("spamward-lint: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| spamward_lint::walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "spamward-lint: could not locate the workspace root (pass it as an argument)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match spamward_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spamward-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+        if !quiet {
+            println!("    {}", diag.line_text);
+        }
+    }
+    for entry in &report.stale_entries {
+        println!(
+            "lint-allow.toml:{}: stale entry {} — matches nothing; remove it",
+            entry.defined_at, entry
+        );
+    }
+
+    if !quiet {
+        eprintln!(
+            "spamward-lint: {} file(s), {} violation(s), {} suppressed, {} stale allow entr(ies)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed.len(),
+            report.stale_entries.len()
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,477 @@
+//! The rule catalog: determinism (D1–D3) and panic-safety (P1–P2).
+//!
+//! Every rule here encodes a workspace-specific invariant the stock
+//! toolchain cannot express. The catalog is documented for contributors in
+//! `DESIGN.md` ("Determinism & panic-safety rules"); keep the two in sync.
+
+use crate::lexer::ScannedFile;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// All rule identifiers, in report order.
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2"];
+
+/// The one module allowed to read the host clock: experiments must take
+/// time from the simulation scheduler, and the real-network transport
+/// injects this module's `WallClock` explicitly.
+const WALL_CLOCK_MODULE: &str = "crates/sim/src/wall.rs";
+
+/// Crates whose iteration order reaches the event loop or analysis output;
+/// rule D3 applies to their sources.
+const D3_SCOPE: &[&str] = &[
+    "crates/sim/",
+    "crates/net/",
+    "crates/dns/",
+    "crates/smtp/",
+    "crates/greylist/",
+    "crates/mta/",
+    "crates/botnet/",
+    "crates/scanner/",
+    "crates/analysis/",
+    "crates/core/",
+    "crates/webmail/",
+    "src/",
+];
+
+/// Protocol-path crates where a panic means a dropped SMTP conversation;
+/// rule P1 applies to their library sources.
+const P1_SCOPE: &[&str] =
+    &["crates/smtp/src/", "crates/mta/src/", "crates/greylist/src/", "crates/dns/src/"];
+
+/// The module that owns SMTP reply-code constants (exempt from P2).
+const REPLY_MODULE: &str = "crates/smtp/src/reply.rs";
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D1`..`P2`).
+    pub rule: &'static str,
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The offending source line (trimmed), as matched by the rule.
+    pub line_text: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let scanned = ScannedFile::scan(source);
+    let mut out = Vec::new();
+    check_d1(rel_path, source, &scanned, &mut out);
+    check_d2(rel_path, source, &scanned, &mut out);
+    check_d3(rel_path, source, &scanned, &mut out);
+    check_p1(rel_path, source, &scanned, &mut out);
+    check_p2(rel_path, source, &scanned, &mut out);
+    dedupe(out)
+}
+
+/// D1 — wall-clock reads. Simulation results must be a pure function of the
+/// seed; `Instant::now()` et al. silently couple them to the host.
+fn check_d1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if rel_path == WALL_CLOCK_MODULE {
+        return;
+    }
+    const PATTERNS: &[&str] = &[
+        "Instant::now",
+        "SystemTime::now",
+        "std::time::Instant",
+        "std::time::SystemTime",
+        "UNIX_EPOCH",
+        "chrono::",
+        "Utc::now",
+        "Local::now",
+    ];
+    for pat in PATTERNS {
+        for offset in find_token(&scanned.masked, pat) {
+            push(
+                out,
+                scanned,
+                source,
+                rel_path,
+                "D1",
+                offset,
+                format!(
+                    "wall-clock read `{pat}` — take time from the sim scheduler, or inject \
+                 `spamward_sim::wall::WallClock` (the only sanctioned host-clock source)"
+                ),
+            );
+        }
+    }
+    // `use std::time::{.., Instant, ..}` grouped imports.
+    for offset in find_token(&scanned.masked, "use std::time::") {
+        let rest = &scanned.masked[offset..];
+        if let Some(brace) = rest.find('{') {
+            let end = rest.find('}').unwrap_or(rest.len());
+            if brace < end {
+                let group = &rest[brace..end];
+                for name in ["Instant", "SystemTime"] {
+                    if let Some(pos) = group.find(name) {
+                        push(
+                            out,
+                            scanned,
+                            source,
+                            rel_path,
+                            "D1",
+                            offset + brace + pos,
+                            format!(
+                                "import of `std::time::{name}` — sim-reachable code must not \
+                             handle host-clock types; inject a `spamward_sim::Clock` instead"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// D2 — unseeded randomness. Every random draw must flow through
+/// `spamward_sim::DetRng`, which is seeded and fork-labelled.
+fn check_d2(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    const PATTERNS: &[&str] = &["thread_rng", "rand::random", "from_entropy", "OsRng", "getrandom"];
+    for pat in PATTERNS {
+        for offset in find_token(&scanned.masked, pat) {
+            push(
+                out,
+                scanned,
+                source,
+                rel_path,
+                "D2",
+                offset,
+                format!(
+                    "unseeded randomness `{pat}` — all randomness must flow through \
+                 `spamward_sim::DetRng` (seed + fork label)"
+                ),
+            );
+        }
+    }
+}
+
+/// D3 — iteration over hash collections in determinism-sensitive crates.
+/// `HashMap`/`HashSet` iteration order varies run to run; anything that
+/// feeds the event loop or analysis output must iterate in sorted order
+/// (`BTreeMap`/`BTreeSet`, or collect-and-sort).
+fn check_d3(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !D3_SCOPE.iter().any(|p| rel_path.starts_with(p)) {
+        return;
+    }
+    let masked = &scanned.masked;
+    let names = hash_collection_names(masked);
+    const ITER_SUFFIXES: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+        ".into_keys()",
+        ".into_values()",
+    ];
+    for name in &names {
+        for offset in find_token(masked, name) {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            let after = &masked[offset + name.len()..];
+            let iterated = ITER_SUFFIXES.iter().any(|s| after.starts_with(s))
+                || is_for_loop_target(masked, offset);
+            if iterated {
+                push(
+                    out,
+                    scanned,
+                    source,
+                    rel_path,
+                    "D3",
+                    offset,
+                    format!(
+                        "iteration over hash collection `{name}` — ordering is nondeterministic; \
+                     use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// P1 — panics in protocol-path crates. A panic mid-conversation tears down
+/// the session (and in the TCP transport, the connection); protocol code
+/// returns typed errors instead.
+fn check_p1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !P1_SCOPE.iter().any(|p| rel_path.starts_with(p)) {
+        return;
+    }
+    const PATTERNS: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+        ".unwrap_unchecked()",
+    ];
+    for pat in PATTERNS {
+        for offset in find_token(&scanned.masked, pat) {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            push(
+                out,
+                scanned,
+                source,
+                rel_path,
+                "P1",
+                offset,
+                format!(
+                    "`{}` in protocol-path code — return a typed error or use an infallible \
+                 constructor (allowlist with justification only for proven-unreachable cases)",
+                    pat.trim_start_matches('.').trim_end_matches('(')
+                ),
+            );
+        }
+    }
+}
+
+/// P2 — inline SMTP reply-code literals. Codes carry protocol semantics
+/// (4xx retry vs 5xx reject is the whole greylisting mechanism); they must
+/// come from `spamward_smtp::reply::codes` so grep and the type system see
+/// every use.
+fn check_p2(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if rel_path == REPLY_MODULE {
+        return;
+    }
+    for ctor in ["Reply::new(", "Reply::single("] {
+        for offset in find_token(&scanned.masked, ctor) {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            let args = &scanned.masked[offset + ctor.len()..];
+            let first = args.trim_start().chars().next().unwrap_or(' ');
+            if first.is_ascii_digit() {
+                push(
+                    out,
+                    scanned,
+                    source,
+                    rel_path,
+                    "P2",
+                    offset,
+                    format!(
+                        "inline SMTP reply code in `{}...)` — use a named constant from \
+                     `spamward_smtp::reply::codes` (or a dedicated constructor)",
+                        ctor
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects identifiers declared as `HashMap`/`HashSet` in `masked` — let
+/// bindings, struct fields, and fn params (`name: HashMap<..>`), plus
+/// `name = HashMap::new()` / `with_capacity` initializations.
+fn hash_collection_names(masked: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for ty in ["HashMap", "HashSet"] {
+        for offset in find_token(masked, ty) {
+            // Skip over reference sigils so `name: &HashSet<..>` and
+            // `name: &mut HashMap<..>` still yield `name`.
+            let before = masked[..offset].trim_end();
+            // Qualified forms (`name: std::collections::HashMap<..>`) still
+            // point back at `name:` once the path prefix is stripped.
+            let before = before.strip_suffix("std::collections::").unwrap_or(before).trim_end();
+            let before = before.strip_suffix("collections::").unwrap_or(before).trim_end();
+            let before = before.strip_suffix("&mut").unwrap_or(before);
+            let before = before.strip_suffix('&').unwrap_or(before);
+            let before = before.trim_end();
+            if let Some(prefix) = before.strip_suffix(':') {
+                // `name: HashMap<..>` (skip `::` paths like std::collections::HashMap
+                // by stripping a second colon and falling through to ident capture —
+                // `use std::collections::HashMap` yields no trailing ident).
+                let prefix = prefix.strip_suffix(':').unwrap_or(prefix);
+                if let Some(name) = trailing_ident(prefix) {
+                    if name != "collections" && name != "std" {
+                        names.insert(name);
+                    }
+                }
+            } else if let Some(prefix) = before.strip_suffix('=') {
+                // `name = HashMap::new()` / `+=`-style ops end with non-ident, fine.
+                if let Some(name) = trailing_ident(prefix.trim_end()) {
+                    if name != "mut" {
+                        names.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier ending at the end of `s`, if any.
+fn trailing_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start =
+        s.rfind(|c: char| !c.is_ascii_alphanumeric() && c != '_').map(|i| i + 1).unwrap_or(0);
+    if start == end {
+        return None;
+    }
+    let ident = &s[start..end];
+    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+/// Whether the token at `offset` is the sequence of a `for .. in` loop
+/// (`in name`, `in &name`, `in &mut name`).
+fn is_for_loop_target(masked: &str, offset: usize) -> bool {
+    let before = masked[..offset].trim_end();
+    let before = before.strip_suffix("&mut").unwrap_or(before.strip_suffix('&').unwrap_or(before));
+    let before = before.trim_end();
+    before.ends_with(" in") || before.ends_with("\nin") || before == "in"
+}
+
+/// Finds boundary-checked occurrences of `pat` in `masked`: the byte before
+/// must not be an identifier character (path separators `:` are allowed so
+/// qualified forms still match), and the byte after must not continue an
+/// identifier.
+fn find_token(masked: &str, pat: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let first = pat.as_bytes()[0];
+        let ok_before = !(first.is_ascii_alphanumeric() || first == b'_') || start == 0 || {
+            let b = bytes[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let last = pat.as_bytes()[pat.len() - 1];
+        let ok_after = !(last.is_ascii_alphanumeric() || last == b'_')
+            || end >= bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if ok_before && ok_after {
+            hits.push(start);
+        }
+        from = start + 1;
+    }
+    hits
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    scanned: &ScannedFile,
+    source: &str,
+    rel_path: &str,
+    rule: &'static str,
+    offset: usize,
+    message: String,
+) {
+    let line = scanned.line_of(offset);
+    out.push(Diagnostic {
+        rule,
+        path: rel_path.to_string(),
+        line,
+        line_text: scanned.line_text(source, line).trim().to_string(),
+        message,
+    });
+}
+
+/// One diagnostic per (rule, line), sorted by line then rule.
+fn dedupe(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        check_file(rel, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_instant_now_outside_wall_module() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(rules_hit("crates/smtp/src/x.rs", src).contains(&"D1"));
+        assert!(rules_hit("crates/sim/src/wall.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_flags_grouped_import() {
+        let src = "use std::time::{Duration, Instant};";
+        assert!(rules_hit("crates/mta/src/x.rs", src).contains(&"D1"));
+        let clean = "use std::time::Duration;";
+        assert!(rules_hit("crates/mta/src/x.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_thread_rng() {
+        let src = "fn f() { let r = rand::thread_rng(); }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["D2"]);
+    }
+
+    #[test]
+    fn d3_flags_hash_iteration_in_scope() {
+        let src = "fn f(m: HashMap<u32, u32>) { for (k, v) in &m { use_it(k, v); } }";
+        assert_eq!(rules_hit("crates/analysis/src/x.rs", src), vec!["D3"]);
+        // Same code outside D3 scope is fine.
+        assert!(rules_hit("crates/lint/src/x.rs", src).is_empty());
+        // Lookup-only use is fine.
+        let lookup = "fn f(m: HashMap<u32, u32>) { let _ = m.get(&1); }";
+        assert!(rules_hit("crates/analysis/src/x.rs", lookup).is_empty());
+    }
+
+    #[test]
+    fn d3_sees_through_qualified_paths() {
+        let src = "fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); \
+                   for (_, v) in m.iter() { use_it(v); } }";
+        assert_eq!(rules_hit("crates/mta/src/x.rs", src), vec!["D3"]);
+    }
+
+    #[test]
+    fn d3_flags_method_iteration() {
+        let src = "struct S { m: HashSet<u32> }\nimpl S { fn g(&self) -> Vec<u32> { self.m.iter().copied().collect() } }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["D3"]);
+    }
+
+    #[test]
+    fn p1_flags_unwrap_in_protocol_crates_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/smtp/src/x.rs", src), vec!["P1"]);
+        assert!(rules_hit("crates/analysis/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_ignores_tests_and_docs() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n#[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }";
+        assert!(rules_hit("crates/smtp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p2_flags_inline_reply_codes() {
+        let src = "fn f() -> Reply { Reply::single(554, \"no\") }";
+        assert_eq!(rules_hit("crates/mta/src/x.rs", src), vec!["P2"]);
+        let named = "fn f() -> Reply { Reply::single(codes::TRANSACTION_FAILED, \"no\") }";
+        assert!(rules_hit("crates/mta/src/x.rs", named).is_empty());
+        assert!(rules_hit("crates/smtp/src/reply.rs", src).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        // `MyInstant::nowhere` must not trip D1.
+        let src = "fn f() { MyInstant::nowhere(); }";
+        assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Workspace file discovery (std-only stand-in for `walkdir`).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories at the workspace root that are in scope for linting.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Path prefixes (relative, `/`-separated) excluded from the scan:
+/// `stubs/` shims third-party APIs (see `stubs/README.md`) and the lint's own
+/// fixtures contain deliberate violations used as test inputs.
+const EXCLUDED_PREFIXES: &[&str] = &["stubs/", "crates/lint/tests/fixtures/"];
+
+/// Collects every in-scope `.rs` file under `root`, sorted by relative path
+/// so diagnostics (and therefore CI output) are deterministic.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            collect(&abs, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|f| f.strip_prefix(root).ok().map(PathBuf::from))
+        .filter(|f| {
+            let s = rel_str(f);
+            !EXCLUDED_PREFIXES.iter().any(|p| s.starts_with(p))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// A path rendered relative with forward slashes, the form used in
+/// diagnostics and `lint-allow.toml` entries.
+pub fn rel_str(path: &Path) -> String {
+    let mut s = String::new();
+    for comp in path.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        assert!(root.join("crates/lint").is_dir());
+    }
+
+    #[test]
+    fn scan_excludes_stubs_and_fixtures() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        let files = workspace_files(&root).expect("walk");
+        assert!(!files.is_empty());
+        for f in &files {
+            let s = rel_str(f);
+            assert!(!s.starts_with("stubs/"), "{s} should be excluded");
+            assert!(!s.contains("tests/fixtures/"), "{s} should be excluded");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// D1 true negative: virtual time only; `Duration` (a span, not a clock
+// read) is fine, and clock reads in comments or strings don't count:
+// Instant::now() must not be flagged here.
+use std::time::Duration;
+
+pub fn virtual_deadline(now_micros: u64, timeout: Duration) -> u64 {
+    let msg = "calling Instant::now() would be a D1 violation";
+    let _ = msg;
+    now_micros + timeout.as_micros() as u64
+}

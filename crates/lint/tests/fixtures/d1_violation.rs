@@ -1,0 +1,14 @@
+// D1 true positive: reads the host clock outside the sanctioned module.
+use std::time::{Duration, Instant};
+
+pub fn elapsed_wall() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+pub fn wall_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

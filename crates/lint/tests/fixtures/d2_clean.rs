@@ -1,0 +1,7 @@
+// D2 true negative: all randomness flows through the seeded, fork-labelled
+// DetRng from spamward-sim.
+use spamward_sim::DetRng;
+
+pub fn jitter_ms(rng: &mut DetRng) -> u64 {
+    rng.next_u64() % 1000
+}

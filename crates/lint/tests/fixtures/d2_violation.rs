@@ -1,0 +1,6 @@
+// D2 true positive: ambient randomness instead of the seeded DetRng.
+pub fn jitter_ms() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    rand::random::<u64>() % 1000
+}

@@ -1,0 +1,11 @@
+// D3 true negative: BTree collections iterate in key order, and pure
+// lookups into hash collections are fine.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn drain_in_key_order(queue: BTreeMap<u32, String>) -> Vec<String> {
+    queue.into_values().collect()
+}
+
+pub fn lookup_only(index: &HashMap<u32, String>, key: u32) -> Option<&String> {
+    index.get(&key)
+}

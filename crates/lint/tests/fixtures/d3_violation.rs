@@ -1,0 +1,15 @@
+// D3 true positive: iterating a HashMap in a crate that feeds the event
+// loop makes run order depend on the hasher.
+use std::collections::{HashMap, HashSet};
+
+pub fn drain_in_hash_order(queue: HashMap<u32, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (_, v) in queue.into_iter() {
+        out.push(v);
+    }
+    out
+}
+
+pub fn first_peer(peers: &HashSet<u32>) -> Option<u32> {
+    peers.iter().copied().next()
+}

@@ -1,0 +1,17 @@
+// P1 true negative: typed errors in product code; unwrap/expect/panic are
+// fine inside #[cfg(test)] regions.
+pub fn parse_code(line: &str) -> Result<u16, String> {
+    let head = line.get(..3).ok_or_else(|| format!("short line {line:?}"))?;
+    head.parse().map_err(|e| format!("bad code: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse_code("250 OK").unwrap(), 250);
+        parse_code("x").expect_err("short line");
+    }
+}

@@ -1,0 +1,12 @@
+// P1 true positive: panicking operators in protocol-path (non-test) code.
+pub fn parse_code(line: &str) -> u16 {
+    let head = line.get(..3).unwrap();
+    head.parse().expect("three digits")
+}
+
+pub fn reject(kind: u8) -> &'static str {
+    match kind {
+        0 => "not handled",
+        _ => panic!("unknown rejection kind"),
+    }
+}

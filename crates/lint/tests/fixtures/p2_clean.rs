@@ -1,0 +1,22 @@
+// P2 true negative: codes come from the named constants (or a dedicated
+// constructor); literals inside #[cfg(test)] regions are fine.
+use spamward_smtp::reply::codes;
+use spamward_smtp::Reply;
+
+pub fn too_big() -> Reply {
+    Reply::single(codes::SIZE_EXCEEDED, "5.3.4 message too big")
+}
+
+pub fn queued() -> Reply {
+    Reply::ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match() {
+        assert_eq!(too_big(), Reply::single(552, "5.3.4 message too big"));
+    }
+}

@@ -1,0 +1,10 @@
+// P2 true positive: inline SMTP reply-code literals in product code.
+use spamward_smtp::Reply;
+
+pub fn too_big() -> Reply {
+    Reply::single(552, "5.3.4 message too big")
+}
+
+pub fn greeting(lines: Vec<String>) -> Reply {
+    Reply::new(250, lines)
+}

@@ -29,5 +29,8 @@ mod world;
 pub use log::{LogEvent, MtaLogEntry};
 pub use receive::{ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
 pub use schedule::{MtaProfile, RetrySchedule};
-pub use send::{AttemptRecord, BounceReason, BounceReport, IpSelection, OutboundStatus, QueuedMessage, SendingMta};
+pub use send::{
+    AttemptRecord, BounceReason, BounceReport, IpSelection, OutboundStatus, QueuedMessage,
+    SendingMta,
+};
 pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};

@@ -72,7 +72,13 @@ impl MtaLogEntry {
     /// `"<unix-ish seconds>.<micros> <event> key=<hex>"`.
     pub fn to_line(&self) -> String {
         let us = self.at.as_micros();
-        format!("{}.{:06} {} key={:016x}", us / 1_000_000, us % 1_000_000, self.event, self.triplet_hash)
+        format!(
+            "{}.{:06} {} key={:016x}",
+            us / 1_000_000,
+            us % 1_000_000,
+            self.event,
+            self.triplet_hash
+        )
     }
 
     /// Parses a line produced by [`MtaLogEntry::to_line`].
@@ -82,7 +88,9 @@ impl MtaLogEntry {
         let event = LogEvent::parse(parts.next()?)?;
         let key = parts.next()?.strip_prefix("key=")?;
         let (secs, micros) = ts.split_once('.')?;
-        let at = SimTime::from_micros(secs.parse::<u64>().ok()? * 1_000_000 + micros.parse::<u64>().ok()?);
+        let at = SimTime::from_micros(
+            secs.parse::<u64>().ok()? * 1_000_000 + micros.parse::<u64>().ok()?,
+        );
         let triplet_hash = u64::from_str_radix(key, 16).ok()?;
         Some(MtaLogEntry { at, event, triplet_hash })
     }

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use spamward_greylist::{Decision, Greylist, PassReason, TripletKey};
 use spamward_sim::SimTime;
 use spamward_smtp::{
-    EmailAddress, Envelope, Message, PolicyDecision, Reply, ServerPolicy, Transaction,
+    reply::codes, EmailAddress, Envelope, Message, PolicyDecision, Reply, ServerPolicy, Transaction,
 };
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -199,7 +199,10 @@ impl ServerPolicy for ReceivingMta {
     fn on_pregreet(&mut self, _now: SimTime, _client_ip: Ipv4Addr) -> PolicyDecision {
         if self.reject_pregreeters {
             self.stats.pregreet_rejected += 1;
-            PolicyDecision::Reject(Reply::single(554, "5.5.1 protocol error: talked too soon"))
+            PolicyDecision::Reject(Reply::single(
+                codes::TRANSACTION_FAILED,
+                "5.5.1 protocol error: talked too soon",
+            ))
         } else {
             PolicyDecision::Accept
         }
@@ -247,7 +250,11 @@ impl ServerPolicy for ReceivingMta {
             let key = TripletKey::new(env.client_ip(), env.mail_from(), rcpt, netmask);
             self.log_event(now, LogEvent::Accepted, &key);
         }
-        self.mailbox.push(StoredMessage { received_at: now, envelope: env.clone(), message: msg.clone() });
+        self.mailbox.push(StoredMessage {
+            received_at: now,
+            envelope: env.clone(),
+            message: msg.clone(),
+        });
     }
 }
 
@@ -271,7 +278,11 @@ mod tests {
         Message::builder().header("Subject", "t").body("b").build()
     }
 
-    fn run_attempt(mta: &mut ReceivingMta, rcpt: &str, now: SimTime) -> spamward_smtp::DeliveryOutcome {
+    fn run_attempt(
+        mta: &mut ReceivingMta,
+        rcpt: &str,
+        now: SimTime,
+    ) -> spamward_smtp::DeliveryOutcome {
         let mut client =
             ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(rcpt), msg());
         let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
@@ -364,8 +375,8 @@ mod tests {
 
     #[test]
     fn pregreet_rejection_stops_early_talker_bots() {
-        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
-            .with_pregreet_rejection();
+        let mut mta =
+            ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1)).with_pregreet_rejection();
         // A bot dialect talks before the banner...
         let mut client =
             ClientSession::new(Dialect::minimal_bot("bot"), envelope("u@foo.net"), msg());

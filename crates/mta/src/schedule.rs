@@ -83,11 +83,7 @@ impl RetrySchedule {
                 // `factor` per step, capped.
                 let mut prev = *times.last()?;
                 let len = times.len();
-                let mut interval = if len >= 2 {
-                    times[len - 1] - times[len - 2]
-                } else {
-                    prev
-                };
+                let mut interval = if len >= 2 { times[len - 1] - times[len - 2] } else { prev };
                 for _ in len..=idx {
                     interval = (interval * *factor).min(*cap);
                     prev += interval;
@@ -171,7 +167,8 @@ impl MtaProfile {
     /// postfix: 5-minute steps to 30 min, then 15-minute steps; 5-day
     /// queue life.
     pub fn postfix() -> Self {
-        let mut times: Vec<SimDuration> = vec![mins(5), mins(10), mins(15), mins(20), mins(25), mins(30)];
+        let mut times: Vec<SimDuration> =
+            vec![mins(5), mins(10), mins(15), mins(20), mins(25), mins(30)];
         let mut t = 45;
         while t <= 600 {
             times.push(mins(t));
@@ -264,7 +261,8 @@ mod tests {
     fn qmail_quadratic_matches_table_iv() {
         let s = MtaProfile::qmail().schedule;
         // Table IV row (minutes): 6.6, 26.6, 60, 106.6, 166.6, 240, ...
-        let expected_secs = [400u64, 1_600, 3_600, 6_400, 10_000, 14_400, 19_600, 25_600, 32_400, 40_000];
+        let expected_secs =
+            [400u64, 1_600, 3_600, 6_400, 10_000, 14_400, 19_600, 25_600, 32_400, 40_000];
         for (i, &exp) in expected_secs.iter().enumerate() {
             assert_eq!(s.nth_retry_at(i as u32 + 1), Some(SimDuration::from_secs(exp)));
         }
@@ -273,8 +271,11 @@ mod tests {
     #[test]
     fn postfix_ladder_matches_table_iv() {
         let s = MtaProfile::postfix().schedule;
-        let mins_seq: Vec<u64> =
-            s.retries_within(SimDuration::from_mins(120)).iter().map(|d| d.as_secs() / 60).collect();
+        let mins_seq: Vec<u64> = s
+            .retries_within(SimDuration::from_mins(120))
+            .iter()
+            .map(|d| d.as_secs() / 60)
+            .collect();
         assert_eq!(mins_seq, vec![5, 10, 15, 20, 25, 30, 45, 60, 75, 90, 105, 120]);
     }
 
@@ -302,10 +303,7 @@ mod tests {
 
     #[test]
     fn explicit_without_tail_gives_up() {
-        let s = RetrySchedule::Explicit {
-            times: vec![mins(5), mins(10)],
-            tail_interval: None,
-        };
+        let s = RetrySchedule::Explicit { times: vec![mins(5), mins(10)], tail_interval: None };
         assert_eq!(s.nth_retry_at(2), Some(mins(10)));
         assert_eq!(s.nth_retry_at(3), None);
         assert_eq!(s.retries_within(SimDuration::from_hours(10)).len(), 2);

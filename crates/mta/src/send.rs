@@ -420,11 +420,9 @@ mod tests {
     fn world_with_greylist(delay_secs: u64) -> (MailWorld, Ipv4Addr) {
         let mut w = MailWorld::new(9);
         let mx = Ipv4Addr::new(192, 0, 2, 10);
-        w.install_server(
-            ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(
-                GreylistConfig::with_delay(SimDuration::from_secs(delay_secs)).without_auto_whitelist(),
-            )),
-        );
+        w.install_server(ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(delay_secs)).without_auto_whitelist(),
+        )));
         w.dns.publish(Zone::single_mx(domain(), mx));
         (w, mx)
     }

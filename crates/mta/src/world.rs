@@ -8,7 +8,7 @@ use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{
     exchange, ClientSession, DeliveryOutcome, Dialect, Envelope, Message, ServerSession,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Which MX records a sender targets — the paper's four-way bot taxonomy
@@ -128,7 +128,7 @@ pub struct MailWorld {
     /// with [`MailWorld::with_tracing`] to explain *why* a run produced
     /// its numbers).
     pub trace: Tracer,
-    servers: HashMap<Ipv4Addr, ReceivingMta>,
+    servers: BTreeMap<Ipv4Addr, ReceivingMta>,
     rng: DetRng,
 }
 
@@ -141,7 +141,7 @@ impl MailWorld {
             resolver: Resolver::new(),
             epoch: 0,
             trace: Tracer::disabled(),
-            servers: HashMap::new(),
+            servers: BTreeMap::new(),
             rng: DetRng::seed(seed).fork("mailworld"),
         }
     }
@@ -211,7 +211,11 @@ impl MailWorld {
 
         for cand in candidates {
             let Some(ip) = cand.ip else {
-                trail.push(MxAttempt { mx: cand.name.clone(), ip: None, connect_error: Some("no A record".into()) });
+                trail.push(MxAttempt {
+                    mx: cand.name.clone(),
+                    ip: None,
+                    connect_error: Some("no A record".into()),
+                });
                 continue;
             };
             match self.network.connect(ip, SMTP_PORT, self.epoch) {
@@ -229,20 +233,23 @@ impl MailWorld {
                     continue;
                 }
                 Ok(conn) => {
-                    trail.push(MxAttempt { mx: cand.name.clone(), ip: Some(ip), connect_error: None });
+                    trail.push(MxAttempt {
+                        mx: cand.name.clone(),
+                        ip: Some(ip),
+                        connect_error: None,
+                    });
                     let Some(server_mta) = self.servers.get_mut(&ip) else {
                         // Port open but nothing we manage behind it (e.g. a
                         // population host): treat as transient.
-                        let outcome =
-                            DeliveryOutcome::connect_failed(envelope.recipients(), true);
+                        let outcome = DeliveryOutcome::connect_failed(envelope.recipients(), true);
                         return AttemptReport { outcome, mx_trail: trail, time_spent };
                     };
                     let mut client =
                         ClientSession::new(dialect.clone(), envelope.clone(), message.clone());
                     let hostname = server_mta.hostname().to_owned();
                     let rdns = client_rdns.clone();
-                    let mut session = ServerSession::new(&hostname, envelope.client_ip())
-                        .with_client_rdns(rdns);
+                    let mut session =
+                        ServerSession::new(&hostname, envelope.client_ip()).with_client_rdns(rdns);
                     let (outcome, transcript) =
                         exchange(&mut client, &mut session, server_mta, now + conn.rtt);
                     // Rough time accounting: one RTT per protocol exchange.
@@ -376,8 +383,9 @@ mod tests {
         let mut w = MailWorld::new(2);
         let ip = Ipv4Addr::new(192, 0, 2, 9);
         w.install_server(
-            ReceivingMta::new("mail.bar.org", ip)
-                .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300)))),
+            ReceivingMta::new("mail.bar.org", ip).with_greylist(Greylist::new(
+                GreylistConfig::with_delay(SimDuration::from_secs(300)),
+            )),
         );
         w.dns.publish(Zone::single_mx(domain("bar.org"), ip));
 
@@ -519,14 +527,13 @@ mod tests {
     #[test]
     fn rdns_whitelist_exempts_named_provider() {
         use spamward_greylist::GreylistConfig;
-        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
+        let mut cfg =
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
         cfg.whitelist_clients.add_domain_suffix("bigmail.example");
 
         let mut w = MailWorld::new(31);
         let mx = Ipv4Addr::new(192, 0, 2, 60);
-        w.install_server(
-            ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(cfg)),
-        );
+        w.install_server(ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(cfg)));
         w.dns.publish(Zone::single_mx(domain("foo.net"), mx));
         // The provider's outbound host has matching reverse DNS.
         let provider_ip = Ipv4Addr::new(64, 233, 160, 5);

@@ -236,7 +236,12 @@ impl Network {
     /// * [`ConnectError::ConnectionRefused`] — port closed (RST).
     /// * [`ConnectError::TimedOut`] — port filtered; the error carries the
     ///   client's SYN timeout so callers can charge the wasted wait.
-    pub fn connect(&mut self, ip: Ipv4Addr, port: u16, epoch: u64) -> Result<Connection, ConnectError> {
+    pub fn connect(
+        &mut self,
+        ip: Ipv4Addr,
+        port: u16,
+        epoch: u64,
+    ) -> Result<Connection, ConnectError> {
         self.connects_attempted += 1;
         let rtt = self.latency.sample(&mut self.rng);
         let Some(&id) = self.by_ip.get(&ip) else {
@@ -271,10 +276,7 @@ mod tests {
         let filtered = ip(192, 0, 2, 3);
         net.host("open.example").ip(open).smtp_open().build();
         net.host("closed.example").ip(closed).build();
-        net.host("filtered.example")
-            .ip(filtered)
-            .port(SMTP_PORT, PortState::Filtered)
-            .build();
+        net.host("filtered.example").ip(filtered).port(SMTP_PORT, PortState::Filtered).build();
         (net, open, closed, filtered)
     }
 
@@ -295,7 +297,9 @@ mod tests {
         assert!(net.connect(open, SMTP_PORT, 0).is_ok());
         assert_eq!(net.connect(closed, SMTP_PORT, 0), Err(ConnectError::ConnectionRefused));
         match net.connect(filtered, SMTP_PORT, 0) {
-            Err(ConnectError::TimedOut { waited }) => assert_eq!(waited, SimDuration::from_secs(30)),
+            Err(ConnectError::TimedOut { waited }) => {
+                assert_eq!(waited, SimDuration::from_secs(30))
+            }
             other => panic!("expected timeout, got {other:?}"),
         }
         assert_eq!(net.connect(ip(10, 0, 0, 1), SMTP_PORT, 0), Err(ConnectError::NoRoute));
@@ -305,12 +309,8 @@ mod tests {
     fn down_host_times_out() {
         let mut net = Network::new(1).with_latency(LatencyModel::Zero);
         let addr = ip(192, 0, 2, 9);
-        let id = net
-            .host("down.example")
-            .ip(addr)
-            .smtp_open()
-            .availability(Availability::Down)
-            .build();
+        let id =
+            net.host("down.example").ip(addr).smtp_open().availability(Availability::Down).build();
         assert!(matches!(net.connect(addr, SMTP_PORT, 0), Err(ConnectError::TimedOut { .. })));
         assert_eq!(net.probe(addr, SMTP_PORT, 0), ProbeResult::Timeout);
         // Bring it back up.

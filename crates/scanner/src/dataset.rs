@@ -4,7 +4,7 @@ use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spamward_dns::{Authority, DomainName, Rcode, RecordData, RecordType};
 use spamward_net::{Network, SMTP_PORT};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// One MX record as the DNS-ANY dataset carries it: the exchanger name,
@@ -25,7 +25,7 @@ pub struct MxRecordEntry {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DnsAnyScan {
     /// Per-domain MX entries (absent key = no MX data at all).
-    pub mx: HashMap<DomainName, Vec<MxRecordEntry>>,
+    pub mx: BTreeMap<DomainName, Vec<MxRecordEntry>>,
 }
 
 impl DnsAnyScan {
@@ -40,7 +40,7 @@ impl DnsAnyScan {
         dns: &mut Authority,
         domains: impl IntoIterator<Item = &'a DomainName>,
     ) -> DnsAnyScan {
-        let mut mx = HashMap::new();
+        let mut mx = BTreeMap::new();
         for domain in domains {
             let out = dns.query(domain, RecordType::Mx);
             if out.rcode != Rcode::NoError {
@@ -110,7 +110,7 @@ impl DnsAnyScan {
         if lines.next()?.trim() != "spamward-dnsscan-v1" {
             return None;
         }
-        let mut mx = HashMap::new();
+        let mut mx = BTreeMap::new();
         for line in lines {
             let line = line.trim();
             if line.is_empty() {
@@ -150,7 +150,7 @@ impl DnsAnyScan {
 pub fn resolve_missing(scan: &mut DnsAnyScan, dns: &Authority, workers: usize) -> usize {
     assert!(workers > 0, "need at least one worker");
     let names: Vec<DomainName> = {
-        let mut set: HashSet<DomainName> = HashSet::new();
+        let mut set: BTreeSet<DomainName> = BTreeSet::new();
         for e in scan.mx.values().flatten().filter(|e| e.ip.is_none()) {
             set.insert(e.exchange.clone());
         }
@@ -186,7 +186,7 @@ pub fn resolve_missing(scan: &mut DnsAnyScan, dns: &Authority, workers: usize) -
     })
     .expect("scanner threads never panic");
 
-    let resolved: HashMap<DomainName, Option<Ipv4Addr>> = res_rx.iter().collect();
+    let resolved: BTreeMap<DomainName, Option<Ipv4Addr>> = res_rx.iter().collect();
     let mut patched = 0;
     for e in scan.mx.values_mut().flatten() {
         if e.ip.is_none() {
@@ -205,13 +205,13 @@ pub fn resolve_missing(scan: &mut DnsAnyScan, dns: &Authority, workers: usize) -
 pub struct BannerGrab {
     /// The scan epoch this grab ran in.
     pub epoch: u64,
-    listening: HashSet<Ipv4Addr>,
+    listening: BTreeSet<Ipv4Addr>,
 }
 
 impl BannerGrab {
     /// Probes every host address in the network once.
     pub fn collect(network: &Network, epoch: u64) -> BannerGrab {
-        let mut listening = HashSet::new();
+        let mut listening = BTreeSet::new();
         for host in network.iter() {
             for &ip in host.ips() {
                 if network.probe(ip, SMTP_PORT, epoch).is_listening() {
@@ -255,7 +255,7 @@ impl BannerGrab {
         let mut lines = text.lines();
         let header = lines.next()?.trim();
         let epoch: u64 = header.strip_prefix("spamward-banner-v1 epoch=")?.parse().ok()?;
-        let mut listening = HashSet::new();
+        let mut listening = BTreeSet::new();
         for line in lines {
             let line = line.trim();
             if line.is_empty() {

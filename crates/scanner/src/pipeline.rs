@@ -4,11 +4,11 @@ use crate::dataset::{BannerGrab, DnsAnyScan};
 use crate::population::{DomainTruth, Population};
 use serde::{Deserialize, Serialize};
 use spamward_dns::DomainName;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The detector's verdict for one domain (the four Fig. 2 slices).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DomainClass {
     /// Exactly one (resolvable) MX.
     OneMx,
@@ -121,7 +121,8 @@ impl NolistingDetector {
         let Some(entries) = round.dns.mx.get(domain) else {
             return RoundVerdict::Misconfigured;
         };
-        let resolved: Vec<_> = entries.iter().filter_map(|e| e.ip.map(|ip| (e.preference, ip))).collect();
+        let resolved: Vec<_> =
+            entries.iter().filter_map(|e| e.ip.map(|ip| (e.preference, ip))).collect();
         if resolved.is_empty() {
             return RoundVerdict::Misconfigured;
         }
@@ -175,9 +176,9 @@ impl NolistingDetector {
     pub fn run<'a>(
         rounds: &[ScanRound],
         domains: impl IntoIterator<Item = &'a DomainName>,
-    ) -> (Fig2Stats, HashMap<DomainName, DomainClass>) {
-        let mut per_domain = HashMap::new();
-        let mut counts: HashMap<DomainClass, usize> = HashMap::new();
+    ) -> (Fig2Stats, BTreeMap<DomainName, DomainClass>) {
+        let mut per_domain = BTreeMap::new();
+        let mut counts: BTreeMap<DomainClass, usize> = BTreeMap::new();
         for d in domains {
             let class = Self::classify(rounds, d);
             *counts.entry(class).or_insert(0) += 1;
@@ -197,8 +198,12 @@ impl NolistingDetector {
     }
 
     /// Scores a classification against the population's ground truth.
-    pub fn score(population: &Population, verdicts: &HashMap<DomainName, DomainClass>) -> DetectorAccuracy {
-        let mut acc = DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
+    pub fn score(
+        population: &Population,
+        verdicts: &BTreeMap<DomainName, DomainClass>,
+    ) -> DetectorAccuracy {
+        let mut acc =
+            DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
         for d in &population.domains {
             let flagged = verdicts.get(&d.name) == Some(&DomainClass::Nolisting);
             let actual = d.truth == DomainTruth::Nolisting;
@@ -219,7 +224,11 @@ mod tests {
     use crate::dataset::resolve_missing;
     use crate::population::PopulationSpec;
 
-    fn build_rounds(spec: &PopulationSpec, seed: u64, epochs: &[u64]) -> (Population, Vec<ScanRound>) {
+    fn build_rounds(
+        spec: &PopulationSpec,
+        seed: u64,
+        epochs: &[u64],
+    ) -> (Population, Vec<ScanRound>) {
         let mut pop = Population::generate(spec, seed);
         let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
         let mut rounds = Vec::new();
@@ -281,7 +290,9 @@ mod tests {
         for d in &pop.domains {
             let v = verdicts[&d.name];
             match d.truth {
-                DomainTruth::Misconfigured => assert_eq!(v, DomainClass::DnsMisconfigured, "{}", d.name),
+                DomainTruth::Misconfigured => {
+                    assert_eq!(v, DomainClass::DnsMisconfigured, "{}", d.name)
+                }
                 DomainTruth::SingleMx => assert_eq!(v, DomainClass::OneMx, "{}", d.name),
                 _ => {}
             }
@@ -297,7 +308,8 @@ mod tests {
 
     #[test]
     fn accuracy_edge_cases() {
-        let perfect = DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        let perfect =
+            DetectorAccuracy { true_positives: 0, false_positives: 0, false_negatives: 0 };
         assert_eq!(perfect.precision(), 1.0);
         assert_eq!(perfect.recall(), 1.0);
         let bad = DetectorAccuracy { true_positives: 1, false_positives: 3, false_negatives: 1 };

@@ -220,8 +220,7 @@ impl Population {
 
     /// Counts domains per ground-truth class.
     pub fn truth_counts(&self) -> [(DomainTruth, usize); 4] {
-        DomainTruth::ALL
-            .map(|t| (t, self.domains.iter().filter(|d| d.truth == t).count()))
+        DomainTruth::ALL.map(|t| (t, self.domains.iter().filter(|d| d.truth == t).count()))
     }
 
     /// Ground-truth nolisting domains within the `k` most popular.
@@ -298,12 +297,8 @@ mod tests {
         let pop = Population::generate(&PopulationSpec::fig2(2_000), 9);
         let mut dns = pop.dns;
         let mut resolver = spamward_dns::Resolver::new();
-        let misconf: Vec<_> = pop
-            .domains
-            .iter()
-            .filter(|d| d.truth == DomainTruth::Misconfigured)
-            .take(20)
-            .collect();
+        let misconf: Vec<_> =
+            pop.domains.iter().filter(|d| d.truth == DomainTruth::Misconfigured).take(20).collect();
         assert!(!misconf.is_empty());
         for d in misconf {
             let result = resolver.resolve_mx(&mut dns, &d.name, spamward_sim::SimTime::ZERO);

@@ -94,7 +94,11 @@ impl<'a, S> Ctx<'a, S> {
     }
 
     /// Schedules `event` to run `delay` after the current instant.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Ctx<'_, S>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Ctx<'_, S>) + 'static,
+    ) {
         self.schedule_at(self.now + delay, event);
     }
 
@@ -232,7 +236,11 @@ impl<S> Simulation<S> {
     }
 
     /// Schedules `event` to run `delay` after the current clock.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Ctx<'_, S>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Ctx<'_, S>) + 'static,
+    ) {
         self.schedule_at(self.now + delay, event);
     }
 
@@ -258,7 +266,8 @@ impl<S> Simulation<S> {
             self.now = ev.at;
             self.processed += 1;
 
-            let mut ctx = Ctx { now: self.now, state: &mut self.state, pending: Vec::new(), stop: false };
+            let mut ctx =
+                Ctx { now: self.now, state: &mut self.state, pending: Vec::new(), stop: false };
             (ev.run)(&mut ctx);
             let Ctx { pending, stop, .. } = ctx;
             for (at, run) in pending {
@@ -291,7 +300,8 @@ impl<S> Simulation<S> {
             let ev = self.queue.pop().expect("peeked event vanished");
             self.now = ev.at;
             self.processed += 1;
-            let mut ctx = Ctx { now: self.now, state: &mut self.state, pending: Vec::new(), stop: false };
+            let mut ctx =
+                Ctx { now: self.now, state: &mut self.state, pending: Vec::new(), stop: false };
             (ev.run)(&mut ctx);
             let Ctx { pending, stop, .. } = ctx;
             for (at, run) in pending {

@@ -41,7 +41,9 @@ mod event;
 mod rng;
 mod time;
 pub mod trace;
+pub mod wall;
 
 pub use event::{repeat_every, Ctx, RunOutcome, Simulation};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use wall::{Clock, ManualClock, WallClock};

@@ -2,32 +2,30 @@
 //!
 //! Experiments need randomness (population synthesis, jittered retry delays,
 //! connection latencies) but results must be exactly reproducible from a
-//! single `u64` seed, across platforms and across versions of the `rand`
-//! crate. We therefore implement xoshiro256++ directly and expose it through
-//! [`rand::RngCore`] so the full `rand` distribution toolbox still applies.
+//! single `u64` seed, across platforms and toolchain versions. We therefore
+//! implement xoshiro256++ directly: no external RNG crate sits between a
+//! seed and the numbers an experiment sees, and `spamward-lint` rule D2
+//! enforces that every random draw in the workspace flows through this type.
 //!
 //! The key affordance is [`DetRng::fork`]: deriving an independent substream
 //! from a *label*. Consumers fork one stream per concern ("population",
 //! "latency", "kelihos-jitter", ...) so that adding a new consumer — or a new
 //! draw inside one consumer — never shifts the values seen by the others.
 
-use rand::RngCore;
-
 /// A deterministic xoshiro256++ random stream.
 ///
 /// # Example
 ///
 /// ```
-/// use rand::Rng;
 /// use spamward_sim::DetRng;
 ///
 /// let mut a = DetRng::seed(42).fork("latency");
 /// let mut b = DetRng::seed(42).fork("latency");
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 ///
 /// // Different labels give independent streams.
 /// let mut c = DetRng::seed(42).fork("jitter");
-/// assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+/// assert_ne!(a.next_u64(), c.next_u64());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetRng {
@@ -52,12 +50,7 @@ impl DetRng {
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
         DetRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 
@@ -101,10 +94,7 @@ impl DetRng {
 
     fn next(&mut self) -> u64 {
         // xoshiro256++ reference algorithm.
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -165,27 +155,23 @@ impl DetRng {
             items.swap(i, j);
         }
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// The next 32 uniform bits (the high half of one 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let v = self.next().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -193,7 +179,6 @@ impl RngCore for DetRng {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::RngCore; // explicit import disambiguates the two globs above
 
     #[test]
     fn same_seed_same_stream() {

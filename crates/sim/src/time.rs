@@ -251,10 +251,7 @@ impl SimTime {
     ///
     /// Panics if `earlier` is after `self`.
     pub fn elapsed_since(self, earlier: SimTime) -> SimDuration {
-        assert!(
-            earlier.0 <= self.0,
-            "elapsed_since: earlier instant {earlier} is after {self}"
-        );
+        assert!(earlier.0 <= self.0, "elapsed_since: earlier instant {earlier} is after {self}");
         SimDuration(self.0 - earlier.0)
     }
 

@@ -76,7 +76,12 @@ impl Tracer {
     /// Creates a tracer that records nothing (zero overhead beyond the
     /// branch).
     pub fn disabled() -> Self {
-        Tracer { events: std::collections::VecDeque::new(), capacity: 1, dropped: 0, enabled: false }
+        Tracer {
+            events: std::collections::VecDeque::new(),
+            capacity: 1,
+            dropped: 0,
+            enabled: false,
+        }
     }
 
     /// Whether recording is enabled.
@@ -93,7 +98,11 @@ impl Tracer {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent { at, category: category.to_owned(), detail: detail.into() });
+        self.events.push_back(TraceEvent {
+            at,
+            category: category.to_owned(),
+            detail: detail.into(),
+        });
     }
 
     /// The retained events, oldest first.

@@ -233,11 +233,8 @@ impl ClientSession {
     fn mail_command(&self) -> Command {
         // Declare SIZE when the server advertised the extension (RFC 1870
         // behaviour of full MTAs; bots use HELO and never negotiate).
-        let declared_size = self
-            .server_caps
-            .size_limit
-            .is_some()
-            .then(|| self.message.size() as u64);
+        let declared_size =
+            self.server_caps.size_limit.is_some().then(|| self.message.size() as u64);
         Command::MailFrom { path: self.envelope.mail_from().clone(), declared_size }
     }
 
@@ -361,9 +358,8 @@ impl ClientSession {
                     if self.dialect.aborts_on_first_rcpt_error {
                         // Fire-and-forget: don't bother with the rest.
                         let mut tempfailed = std::mem::take(&mut self.tempfailed);
-                        tempfailed.extend(
-                            self.envelope.recipients()[self.next_rcpt..].iter().cloned(),
-                        );
+                        tempfailed
+                            .extend(self.envelope.recipients()[self.next_rcpt..].iter().cloned());
                         return self.finish(DeliveryOutcome::TempFailed {
                             stage: FailStage::RcptTo,
                             code: reply.code(),
@@ -402,11 +398,17 @@ impl ClientSession {
                 ClientAction::Send(Command::Quit)
             }
             State::SentQuit => {
-                // Whatever the server says to QUIT, we are done.
+                // Whatever the server says to QUIT, we are done. The
+                // outcome is recorded whenever we enter SentQuit; should
+                // it ever be missing, a lost outcome is a failed delivery,
+                // not a crashed relay.
                 self.state = State::Done;
-                ClientAction::Close(
-                    self.outcome_after_quit.take().expect("outcome recorded before QUIT"),
-                )
+                let outcome =
+                    self.outcome_after_quit.take().unwrap_or(DeliveryOutcome::PermFailed {
+                        stage: FailStage::Connect,
+                        code: 521,
+                    });
+                ClientAction::Close(outcome)
             }
         }
     }

@@ -176,7 +176,10 @@ mod tests {
             Command::parse("HELO local.domain.name"),
             Command::Helo { domain: "local.domain.name".into() }
         );
-        assert_eq!(Command::parse("ehlo relay.example"), Command::Ehlo { domain: "relay.example".into() });
+        assert_eq!(
+            Command::parse("ehlo relay.example"),
+            Command::Ehlo { domain: "relay.example".into() }
+        );
         assert_eq!(Command::parse("HELO"), Command::Helo { domain: String::new() });
     }
 
@@ -214,7 +217,10 @@ mod tests {
         assert_eq!(Command::parse("Rset"), Command::Rset);
         assert_eq!(Command::parse("noop"), Command::Noop);
         assert_eq!(Command::parse("STARTTLS"), Command::StartTls);
-        assert_eq!(Command::parse("VRFY postmaster"), Command::Vrfy { target: "postmaster".into() });
+        assert_eq!(
+            Command::parse("VRFY postmaster"),
+            Command::Vrfy { target: "postmaster".into() }
+        );
     }
 
     #[test]

@@ -120,23 +120,55 @@ impl EnvelopeBuilder {
         self
     }
 
+    /// Finishes the envelope, reporting what is structurally missing.
+    ///
+    /// Protocol-path code (e.g. the server's DATA handler) uses this form
+    /// so a half-built transaction surfaces as an SMTP error, not a panic.
+    pub fn try_build(self) -> Result<Envelope, EnvelopeError> {
+        let client_ip = self.client_ip.ok_or(EnvelopeError::MissingClientIp)?;
+        let mail_from = self.mail_from.ok_or(EnvelopeError::MissingMailFrom)?;
+        if self.recipients.is_empty() {
+            return Err(EnvelopeError::NoRecipients);
+        }
+        Ok(Envelope { client_ip, helo: self.helo, mail_from, recipients: self.recipients })
+    }
+
     /// Finishes the envelope.
     ///
     /// # Panics
     ///
-    /// Panics if the client IP, sender, or all recipients are missing.
+    /// Panics if the client IP, sender, or all recipients are missing; use
+    /// [`EnvelopeBuilder::try_build`] where that must not happen.
     pub fn build(self) -> Envelope {
-        Envelope {
-            client_ip: self.client_ip.expect("envelope needs a client IP"),
-            helo: self.helo,
-            mail_from: self.mail_from.expect("envelope needs a MAIL FROM"),
-            recipients: {
-                assert!(!self.recipients.is_empty(), "envelope needs at least one recipient");
-                self.recipients
-            },
+        match self.try_build() {
+            Ok(envelope) => envelope,
+            Err(e) => panic!("invalid envelope: {e}"),
         }
     }
 }
+
+/// A structurally incomplete [`Envelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// No client IP was provided.
+    MissingClientIp,
+    /// No MAIL FROM reverse-path was provided.
+    MissingMailFrom,
+    /// No RCPT TO recipient was provided.
+    NoRecipients,
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::MissingClientIp => write!(f, "envelope needs a client IP"),
+            EnvelopeError::MissingMailFrom => write!(f, "envelope needs a MAIL FROM"),
+            EnvelopeError::NoRecipients => write!(f, "envelope needs at least one recipient"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
 
 #[cfg(test)]
 mod tests {
@@ -180,7 +212,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "recipient")]
     fn missing_rcpt_panics() {
-        let _ = Envelope::builder().client_ip(Ipv4Addr::LOCALHOST).mail_from(addr("a@b.cc")).build();
+        let _ =
+            Envelope::builder().client_ip(Ipv4Addr::LOCALHOST).mail_from(addr("a@b.cc")).build();
     }
 
     #[test]

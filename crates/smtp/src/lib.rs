@@ -31,7 +31,7 @@ mod dialect;
 mod envelope;
 mod extensions;
 mod message;
-mod reply;
+pub mod reply;
 mod server;
 pub mod tcp;
 mod wire;
@@ -40,9 +40,11 @@ pub use address::{EmailAddress, ParseAddressError, ReversePath};
 pub use client::{ClientAction, ClientSession, DeliveryOutcome, FailStage};
 pub use command::Command;
 pub use dialect::{Dialect, DialectFingerprint, HeloStyle};
-pub use envelope::Envelope;
+pub use envelope::{Envelope, EnvelopeError};
 pub use extensions::Capabilities;
 pub use message::Message;
 pub use reply::{Reply, ReplyCategory};
-pub use server::{AcceptAll, PolicyDecision, ServerPolicy, ServerSession, SessionState, Transaction};
+pub use server::{
+    AcceptAll, PolicyDecision, ServerPolicy, ServerSession, SessionState, Transaction,
+};
 pub use wire::{dot_stuff, dot_unstuff, exchange, exchange_pipelined, Transcript, TranscriptEntry};

@@ -3,6 +3,44 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Named SMTP reply codes (RFC 5321 §4.2.3).
+///
+/// Lint rule P2 requires every `Reply::new` / `Reply::single` call site
+/// outside this module to name its code through these constants, so a
+/// grep for a constant finds every protocol decision that emits it.
+pub mod codes {
+    /// `220` — service ready.
+    pub const SERVICE_READY: u16 = 220;
+    /// `221` — closing transmission channel.
+    pub const CLOSING: u16 = 221;
+    /// `250` — requested action completed.
+    pub const OK: u16 = 250;
+    /// `252` — cannot VRFY user, but will accept the message.
+    pub const CANNOT_VRFY: u16 = 252;
+    /// `354` — start mail input.
+    pub const START_MAIL_INPUT: u16 = 354;
+    /// `421` — service not available, closing channel.
+    pub const SERVICE_NOT_AVAILABLE: u16 = 421;
+    /// `450` — mailbox unavailable (transient); the greylisting reply.
+    pub const MAILBOX_UNAVAILABLE_TRANSIENT: u16 = 450;
+    /// `454` — TLS not available due to temporary reason.
+    pub const TLS_NOT_AVAILABLE: u16 = 454;
+    /// `500` — command unrecognized.
+    pub const UNRECOGNIZED: u16 = 500;
+    /// `501` — syntax error in parameters.
+    pub const BAD_SYNTAX: u16 = 501;
+    /// `502` — command not implemented.
+    pub const NOT_IMPLEMENTED: u16 = 502;
+    /// `503` — bad sequence of commands.
+    pub const BAD_SEQUENCE: u16 = 503;
+    /// `552` — exceeded storage allocation (message size limit).
+    pub const SIZE_EXCEEDED: u16 = 552;
+    /// `550` — mailbox unavailable (permanent).
+    pub const MAILBOX_UNAVAILABLE: u16 = 550;
+    /// `554` — transaction failed.
+    pub const TRANSACTION_FAILED: u16 = 554;
+}
+
 /// The coarse class of a reply code (its first digit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplyCategory {
@@ -83,7 +121,10 @@ impl Reply {
 
     /// `421` service-not-available (server shutting down the channel).
     pub fn service_unavailable(hostname: &str) -> Self {
-        Reply::single(421, format!("{hostname} Service not available, closing transmission channel"))
+        Reply::single(
+            421,
+            format!("{hostname} Service not available, closing transmission channel"),
+        )
     }
 
     /// `550` mailbox unavailable (unknown recipient).

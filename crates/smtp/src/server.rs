@@ -5,7 +5,7 @@ use crate::command::Command;
 use crate::envelope::Envelope;
 use crate::extensions::Capabilities;
 use crate::message::Message;
-use crate::reply::Reply;
+use crate::reply::{codes, Reply};
 use spamward_sim::SimTime;
 use std::net::Ipv4Addr;
 
@@ -111,7 +111,12 @@ pub trait ServerPolicy {
 
     /// Called for each RCPT TO — the stage where pre-acceptance filters
     /// (recipient validation, whitelists, greylisting) act.
-    fn on_rcpt(&mut self, _now: SimTime, _tx: &Transaction, _rcpt: &EmailAddress) -> PolicyDecision {
+    fn on_rcpt(
+        &mut self,
+        _now: SimTime,
+        _tx: &Transaction,
+        _rcpt: &EmailAddress,
+    ) -> PolicyDecision {
         PolicyDecision::Accept
     }
 
@@ -252,7 +257,10 @@ impl ServerSession {
     /// closed, or while a DATA body is expected.
     pub fn handle(&mut self, now: SimTime, cmd: &Command, policy: &mut dyn ServerPolicy) -> Reply {
         assert!(
-            !matches!(self.state, SessionState::Connected | SessionState::Closed | SessionState::ReadingData),
+            !matches!(
+                self.state,
+                SessionState::Connected | SessionState::Closed | SessionState::ReadingData
+            ),
             "handle() called in state {:?}",
             self.state
         );
@@ -266,10 +274,9 @@ impl ServerSession {
                     None => {
                         self.state = SessionState::Ready;
                         if self.esmtp {
-                            let mut lines =
-                                vec![format!("{} Hello {}", self.hostname, domain)];
+                            let mut lines = vec![format!("{} Hello {}", self.hostname, domain)];
                             lines.extend(self.capabilities.ehlo_lines());
-                            Reply::new(250, lines)
+                            Reply::new(codes::OK, lines)
                         } else {
                             Reply::hello(&self.hostname, domain)
                         }
@@ -284,7 +291,7 @@ impl ServerSession {
                 {
                     if *declared > limit {
                         return Reply::single(
-                            552,
+                            codes::SIZE_EXCEEDED,
                             "5.3.4 Message size exceeds fixed maximum message size",
                         );
                     }
@@ -338,9 +345,12 @@ impl ServerSession {
                 if self.capabilities.starttls {
                     // Negotiation is stubbed: the session continues in the
                     // clear, as the experiments don't model TLS.
-                    Reply::single(454, "4.7.0 TLS not available due to local problem")
+                    Reply::single(
+                        codes::TLS_NOT_AVAILABLE,
+                        "4.7.0 TLS not available due to local problem",
+                    )
                 } else {
-                    Reply::single(502, "5.5.1 STARTTLS not offered")
+                    Reply::single(codes::NOT_IMPLEMENTED, "5.5.1 STARTTLS not offered")
                 }
             }
             Command::Unknown { .. } => Reply::unrecognized(),
@@ -366,7 +376,7 @@ impl ServerSession {
                 self.state = SessionState::Ready;
                 self.tx.reset_mail();
                 return Reply::single(
-                    552,
+                    codes::SIZE_EXCEEDED,
                     "5.3.4 Message size exceeds fixed maximum message size",
                 );
             }
@@ -375,12 +385,23 @@ impl ServerSession {
             // Bots sometimes send header-less junk; store it as a bare body.
             Message::builder().body(body_wire).build()
         });
-        let envelope = Envelope::builder()
+        let mut builder = Envelope::builder()
             .client_ip(self.tx.client_ip)
             .helo(&self.tx.helo)
-            .mail_from(self.tx.mail_from.clone().expect("MAIL precedes DATA"))
-            .rcpts(self.tx.recipients.iter().cloned())
-            .build();
+            .rcpts(self.tx.recipients.iter().cloned());
+        if let Some(mail_from) = self.tx.mail_from.clone() {
+            builder = builder.mail_from(mail_from);
+        }
+        let envelope = match builder.try_build() {
+            Ok(envelope) => envelope,
+            // A 354 is only issued after MAIL and RCPT, so this transaction
+            // state is corrupt; fail the transaction, not the process.
+            Err(_) => {
+                self.state = SessionState::Ready;
+                self.tx.reset_mail();
+                return Reply::bad_sequence();
+            }
+        };
         self.state = SessionState::Ready;
         self.tx.reset_mail();
         match policy.on_message(now, &envelope, &message).into_reply() {
@@ -388,7 +409,7 @@ impl ServerSession {
             None => {
                 policy.on_accepted(now, &envelope, &message);
                 self.accepted.push((envelope, message));
-                Reply::single(250, "2.0.0 OK: queued")
+                Reply::single(codes::OK, "2.0.0 OK: queued")
             }
         }
     }

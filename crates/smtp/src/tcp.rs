@@ -6,44 +6,21 @@
 //! implementation — a greylisting server you can point `swaks` or a real
 //! MTA at, and a client that can deliver to one.
 //!
-//! Time on the wire is real time: callers provide a clock mapping
-//! `Instant`s to [`SimTime`] so the greylist's virtual-time logic keeps
-//! working (the default clock counts from server start).
+//! Time on the wire is real time: callers inject a [`Clock`] mapping it to
+//! the virtual [`SimTime`](spamward_sim::SimTime) the policy layer expects — [`WallClock`] (the
+//! workspace's one sanctioned host-clock reader, re-exported from
+//! `spamward_sim::wall`) for real deployments, `ManualClock` for
+//! deterministic tests.
 
 use crate::client::{ClientAction, ClientSession, DeliveryOutcome};
 use crate::reply::Reply;
 use crate::server::{ServerPolicy, ServerSession};
 use crate::wire::{dot_stuff, dot_unstuff};
 use crate::Command;
-use spamward_sim::SimTime;
+use spamward_sim::Clock;
+pub use spamward_sim::WallClock;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Instant;
-
-/// Maps wall-clock instants to the virtual [`SimTime`] the policy layer
-/// expects.
-#[derive(Debug, Clone, Copy)]
-pub struct WallClock {
-    epoch: Instant,
-}
-
-impl Default for WallClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl WallClock {
-    /// A clock whose `t=0` is "now".
-    pub fn new() -> Self {
-        WallClock { epoch: Instant::now() }
-    }
-
-    /// The current virtual time.
-    pub fn now(&self) -> SimTime {
-        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
-    }
-}
 
 fn write_reply(stream: &mut TcpStream, reply: &Reply) -> io::Result<()> {
     stream.write_all(reply.to_wire().as_bytes())?;
@@ -83,7 +60,7 @@ pub fn serve_connection(
     mut stream: TcpStream,
     hostname: &str,
     policy: &mut dyn ServerPolicy,
-    clock: &WallClock,
+    clock: &dyn Clock,
 ) -> io::Result<ServerSession> {
     let peer = match stream.peer_addr()? {
         SocketAddr::V4(a) => *a.ip(),
@@ -144,7 +121,7 @@ pub fn serve_count(
     listener: &TcpListener,
     hostname: &str,
     policy: &mut dyn ServerPolicy,
-    clock: &WallClock,
+    clock: &dyn Clock,
     connections: usize,
 ) -> io::Result<Vec<ServerSession>> {
     let mut sessions = Vec::with_capacity(connections);
@@ -192,6 +169,7 @@ mod tests {
     use crate::message::Message;
     use crate::server::AcceptAll;
     use crate::server::{PolicyDecision, Transaction};
+    use spamward_sim::SimTime;
     use std::net::Ipv4Addr;
     use std::thread;
 
@@ -310,11 +288,8 @@ mod tests {
         });
 
         // A fire-and-forget bot hangs up as soon as the RCPT is deferred.
-        let client = ClientSession::new(
-            Dialect::minimal_bot("bot"),
-            envelope("user@tcp.test"),
-            message(),
-        );
+        let client =
+            ClientSession::new(Dialect::minimal_bot("bot"), envelope("user@tcp.test"), message());
         let outcome = deliver_tcp(addr, client).expect("client io");
         assert!(!outcome.is_delivered());
         let sessions = server.join().expect("server must survive the rude client");

@@ -4,7 +4,6 @@ use crate::client::{ClientAction, ClientSession, DeliveryOutcome};
 use crate::dialect::DialectFingerprint;
 use crate::extensions::Capabilities;
 use crate::server::{ServerPolicy, ServerSession};
-use bytes::{BufMut, BytesMut};
 use spamward_sim::SimTime;
 use std::fmt;
 
@@ -21,21 +20,21 @@ use std::fmt;
 /// assert!(wire.ends_with("\r\n.\r\n"));
 /// ```
 pub fn dot_stuff(body: &str) -> String {
-    let mut out = BytesMut::with_capacity(body.len() + 16);
+    let mut out = String::with_capacity(body.len() + 16);
     for line in body.split("\r\n") {
         if line.starts_with('.') {
-            out.put_u8(b'.');
+            out.push('.');
         }
-        out.put_slice(line.as_bytes());
-        out.put_slice(b"\r\n");
+        out.push_str(line);
+        out.push_str("\r\n");
     }
     // split() yields a trailing empty element for CRLF-terminated input,
     // which would add a spurious blank line; strip it.
     if body.ends_with("\r\n") {
         out.truncate(out.len() - 2);
     }
-    out.put_slice(b".\r\n");
-    String::from_utf8(out.to_vec()).expect("stuffing preserves UTF-8")
+    out.push_str(".\r\n");
+    out
 }
 
 /// Reverses [`dot_stuff`]: strips the terminating dot line and un-doubles
@@ -62,6 +61,13 @@ pub fn dot_unstuff(wire: &str) -> Option<String> {
         }
     }
     Some(out)
+}
+
+/// Normalizes a body exactly the way a DATA round trip does: dot-stuffs
+/// and immediately unstuffs it. Infallible because [`dot_stuff`] always
+/// appends the terminator [`dot_unstuff`] requires.
+fn dot_roundtrip(body: &str) -> String {
+    dot_unstuff(&dot_stuff(body)).unwrap_or_default()
 }
 
 /// Which side of the connection produced a transcript line.
@@ -148,11 +154,8 @@ impl Transcript {
                     last_client_verb = Some(verb);
                 }
                 TranscriptEntry::ServerToClient => {
-                    let code: u16 =
-                        line.get(..3).and_then(|c| c.parse().ok()).unwrap_or(0);
-                    if (400..600).contains(&code)
-                        && last_client_verb.as_deref() == Some("RCPT")
-                    {
+                    let code: u16 = line.get(..3).and_then(|c| c.parse().ok()).unwrap_or(0);
+                    if (400..600).contains(&code) && last_client_verb.as_deref() == Some("RCPT") {
                         saw_rcpt_failure = true;
                     }
                 }
@@ -225,7 +228,13 @@ pub fn exchange_pipelined(
                     };
                     round_trips += 1;
                 }
-                ClientAction::SendBody(_) => unreachable!("no body before greeting"),
+                // The client state machine never emits a body before a
+                // 354, which cannot precede the greeting; if it somehow
+                // does, answer like a real server would.
+                ClientAction::SendBody(_) => {
+                    reply = crate::reply::Reply::bad_sequence();
+                    round_trips += 1;
+                }
                 ClientAction::Close(outcome) => return (outcome, round_trips),
             }
             action = client.on_reply(&reply);
@@ -251,8 +260,7 @@ pub fn exchange_pipelined(
                     round_trips += 1;
                 }
                 ClientAction::SendBody(body) => {
-                    let stuffed = dot_stuff(&body);
-                    let unstuffed = dot_unstuff(&stuffed).expect("terminated body");
+                    let unstuffed = dot_roundtrip(&body);
                     reply = server.handle_data_body(now, &unstuffed, policy);
                     round_trips += 1;
                 }
@@ -291,8 +299,7 @@ pub fn exchange_pipelined(
             }
             ClientAction::SendBody(body) => {
                 in_batch = false;
-                let stuffed = dot_stuff(&body);
-                let unstuffed = dot_unstuff(&stuffed).expect("terminated body");
+                let unstuffed = dot_roundtrip(&body);
                 reply = server.handle_data_body(now, &unstuffed, policy);
                 round_trips += 1;
             }
@@ -334,7 +341,8 @@ pub fn exchange(
     for _ in 0..10_000 {
         match client.on_reply(&reply) {
             ClientAction::Send(cmd) => {
-                transcript.push(TranscriptEntry::ClientToServer, cmd.to_wire().trim_end().to_owned());
+                transcript
+                    .push(TranscriptEntry::ClientToServer, cmd.to_wire().trim_end().to_owned());
                 if server.is_closed() {
                     // Server hung up (e.g. rejected at connect); treat any
                     // further client talk as into-the-void and finish.
@@ -342,15 +350,19 @@ pub fn exchange(
                 } else {
                     reply = server.handle(now, &cmd, policy);
                 }
-                transcript.push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
+                transcript
+                    .push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
             }
             ClientAction::SendBody(body) => {
                 let stuffed = dot_stuff(&body);
-                transcript
-                    .push(TranscriptEntry::ClientToServer, format!("<{} bytes of data>", stuffed.len()));
-                let unstuffed = dot_unstuff(&stuffed).expect("stuffed body has terminator");
+                transcript.push(
+                    TranscriptEntry::ClientToServer,
+                    format!("<{} bytes of data>", stuffed.len()),
+                );
+                let unstuffed = dot_roundtrip(&body);
                 reply = server.handle_data_body(now, &unstuffed, policy);
-                transcript.push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
+                transcript
+                    .push(TranscriptEntry::ServerToClient, reply.to_wire().trim_end().to_owned());
             }
             ClientAction::Close(outcome) => return (outcome, transcript),
         }
@@ -481,8 +493,7 @@ mod tests {
         let (mut c1, mut s1) = make();
         let mut p1 = AcceptAll;
         let (lockstep, transcript) = exchange(&mut c1, &mut s1, &mut p1, SimTime::ZERO);
-        let lockstep_round_trips =
-            transcript.server_lines().count();
+        let lockstep_round_trips = transcript.server_lines().count();
 
         let (mut c2, mut s2) = make();
         let mut p2 = AcceptAll;
@@ -499,11 +510,8 @@ mod tests {
 
     #[test]
     fn pipelined_exchange_against_greylist_still_defers() {
-        let mut client = ClientSession::new(
-            Dialect::compliant_mta("relay.example"),
-            env(&["a@foo.net"]),
-            msg(),
-        );
+        let mut client =
+            ClientSession::new(Dialect::compliant_mta("relay.example"), env(&["a@foo.net"]), msg());
         let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
         let mut policy = GreylistFirstRcpt;
         let (outcome, _) = exchange_pipelined(&mut client, &mut server, &mut policy, SimTime::ZERO);
@@ -549,11 +557,8 @@ mod tests {
 
     #[test]
     fn transcript_fingerprint_on_clean_success_defaults_compliant() {
-        let mut client = ClientSession::new(
-            Dialect::compliant_mta("relay.example"),
-            env(&["u@foo.net"]),
-            msg(),
-        );
+        let mut client =
+            ClientSession::new(Dialect::compliant_mta("relay.example"), env(&["u@foo.net"]), msg());
         let mut server = ServerSession::new("mx.foo.net", Ipv4Addr::new(203, 0, 113, 9));
         let mut policy = AcceptAll;
         let (_, transcript) = exchange(&mut client, &mut server, &mut policy, SimTime::ZERO);

@@ -372,9 +372,7 @@ mod tests {
     fn hotmail_attempt_count_matches() {
         // 1 initial + retries up to just past the 6 h threshold ⇒ 94.
         let hotmail = WebmailProvider::hotmail();
-        let retries = hotmail
-            .schedule
-            .retries_within(SimDuration::from_secs(362 * 60 + 11));
+        let retries = hotmail.schedule.retries_within(SimDuration::from_secs(362 * 60 + 11));
         assert_eq!(1 + retries.len() as u32, 94);
     }
 
@@ -420,16 +418,52 @@ mod tests {
         // Table III, parsed with the shared min:sec parser, must equal the
         // leading schedule entries.
         let published: &[(&str, &[&str])] = &[
-            ("gmail.com", &["6:02", "29:02", "56:36", "98:44", "162:03", "229:44", "309:05", "434:46"]),
-            ("yahoo.co.uk", &["2:07", "5:39", "12:58", "27:16", "55:13", "109:35", "216:47", "430:36"]),
+            (
+                "gmail.com",
+                &["6:02", "29:02", "56:36", "98:44", "162:03", "229:44", "309:05", "434:46"],
+            ),
+            (
+                "yahoo.co.uk",
+                &["2:07", "5:39", "12:58", "27:16", "55:13", "109:35", "216:47", "430:36"],
+            ),
             ("hotmail.com", &["1:01", "2:03", "3:04", "5:06", "8:07", "12:08", "16:10"]),
-            ("qq.com", &["5:05", "5:11", "5:17", "6:19", "8:22", "12:25", "20:29", "52:31", "84:35", "144:42", "204:56"]),
-            ("mail.ru", &["1:18", "19:15", "49:14", "79:49", "113:20", "154:18", "187:53", "235:20", "271:03", "305:50", "340:38", "373:45"]),
+            (
+                "qq.com",
+                &[
+                    "5:05", "5:11", "5:17", "6:19", "8:22", "12:25", "20:29", "52:31", "84:35",
+                    "144:42", "204:56",
+                ],
+            ),
+            (
+                "mail.ru",
+                &[
+                    "1:18", "19:15", "49:14", "79:49", "113:20", "154:18", "187:53", "235:20",
+                    "271:03", "305:50", "340:38", "373:45",
+                ],
+            ),
             ("yandex.com", &["1:05", "2:58", "6:53", "14:55", "30:28", "45:41", "61:01"]),
-            ("mail.com", &["5:02", "12:37", "23:59", "41:03", "66:38", "105:01", "162:35", "248:56", "378:28"]),
-            ("gmx.com", &["5:01", "12:33", "23:50", "40:46", "66:09", "104:14", "161:22", "247:04", "375:36"]),
+            (
+                "mail.com",
+                &[
+                    "5:02", "12:37", "23:59", "41:03", "66:38", "105:01", "162:35", "248:56",
+                    "378:28",
+                ],
+            ),
+            (
+                "gmx.com",
+                &[
+                    "5:01", "12:33", "23:50", "40:46", "66:09", "104:14", "161:22", "247:04",
+                    "375:36",
+                ],
+            ),
             ("aol.com", &["5:32", "11:32", "21:32", "31:32"]),
-            ("india.com", &["6:21", "16:21", "36:21", "76:21", "146:22", "216:21", "286:21", "356:21", "426:21"]),
+            (
+                "india.com",
+                &[
+                    "6:21", "16:21", "36:21", "76:21", "146:22", "216:21", "286:21", "356:21",
+                    "426:21",
+                ],
+            ),
         ];
         for (name, delays) in published {
             let provider =

@@ -8,15 +8,13 @@
 //! cargo run --example botnet_vs_greylist
 //! ```
 
-use spamward::core::experiments::kelihos::{run, KelihosConfig};
 use spamward::analysis::Series;
+use spamward::core::experiments::kelihos::{run, KelihosConfig};
 
 fn main() {
     let config = KelihosConfig { recipients: 100, ..Default::default() };
     println!("running Kelihos against greylisting thresholds of 5 s, 300 s and 21600 s...");
-    println!("(virtual horizon {} — instantaneous in simulated time)\n", {
-        config.horizon
-    });
+    println!("(virtual horizon {} — instantaneous in simulated time)\n", { config.horizon });
 
     let result = run(&config);
     print!("{result}");

@@ -12,10 +12,7 @@
 use spamward::core::experiments::deployment::{run, DeploymentConfig};
 
 fn main() {
-    let messages: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let messages: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
 
     println!("replaying {messages} benign messages through a 300 s greylist...\n");
     let result = run(&DeploymentConfig { messages, ..Default::default() });

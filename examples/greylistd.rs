@@ -19,6 +19,7 @@
 //! 450 4.2.0 Greylisted, see http://postgrey.schweikert.ch/ (retry in 300s)
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // not protocol-path code
 use spamward::greylist::{Greylist, GreylistConfig};
 use spamward::mta::ReceivingMta;
 use spamward::smtp::tcp::{serve_count, WallClock};

@@ -13,10 +13,7 @@
 use spamward::core::experiments::nolisting_adoption::{run, AdoptionConfig};
 
 fn main() {
-    let domains: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    let domains: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
 
     println!("surveying a synthetic internet of {domains} domains (two scans, cross-checked)...\n");
     let config = AdoptionConfig { domains, ..Default::default() };

@@ -7,8 +7,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use spamward::prelude::*;
 use spamward::net::{PortState, SMTP_PORT};
+use spamward::prelude::*;
 use std::net::Ipv4Addr;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,12 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = DetRng::seed(42).fork("quickstart");
         let campaign = Campaign::synthetic(victim_domain, 10, &mut rng);
         let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 7));
-        let report = bot.run_campaign(
-            &mut world,
-            &campaign,
-            SimTime::ZERO,
-            SimTime::from_secs(30 * 60),
-        );
+        let report =
+            bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::from_secs(30 * 60));
         println!(
             "greylisting  {:<15} {}",
             family.to_string(),
@@ -55,12 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         world.dns.publish(Zone::nolisting(victim_domain.parse()?, dead, live));
 
         let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 7));
-        let report = bot.run_campaign(
-            &mut world,
-            &campaign,
-            SimTime::ZERO,
-            SimTime::from_secs(30 * 60),
-        );
+        let report =
+            bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::from_secs(30 * 60));
         println!(
             "nolisting    {:<15} {}",
             family.to_string(),

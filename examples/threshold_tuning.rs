@@ -15,12 +15,8 @@ fn main() {
     println!("sweeping greylisting thresholds (four malware families + a postfix sender)...\n");
     let points = threshold_sweep(2015);
 
-    let mut t = AsciiTable::new(vec![
-        "Threshold",
-        "Botnet spam blocked",
-        "Benign delivery delay",
-    ])
-    .with_title("Greylisting threshold trade-off");
+    let mut t = AsciiTable::new(vec!["Threshold", "Botnet spam blocked", "Benign delivery delay"])
+        .with_title("Greylisting threshold trade-off");
     for p in &points {
         t.row(vec![
             p.threshold.to_string(),

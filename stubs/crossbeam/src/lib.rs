@@ -1,0 +1,216 @@
+//! Offline stand-in for `crossbeam`: multi-consumer channels and scoped
+//! threads over `std` primitives.
+//!
+//! The workspace uses exactly two crossbeam features — `channel::unbounded`
+//! work queues with cloneable receivers, and `crossbeam::scope` worker pools.
+//! Both map cleanly onto `std`: the channel is a `Mutex<VecDeque>` +
+//! `Condvar`, and scoped threads are `std::thread::scope` (stable since Rust
+//! 1.63). Semantics relevant to the callers are preserved: `recv` blocks
+//! until an item arrives or every sender is dropped, cloned receivers steal
+//! work from one shared queue, and a panicking worker propagates out of
+//! `scope`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel; clones share one queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    ///
+    /// The stub never reports disconnection on send (the queue lives as long
+    /// as any endpoint), matching how the workspace uses the API: sends are
+    /// `expect`ed to succeed while the scope holds receivers alive.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam, printable without requiring `T: Debug`.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Creates an unbounded multi-producer multi-consumer channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders += 1;
+            drop(state);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next item, blocking until one arrives or every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// A blocking iterator over received items, ending when the channel
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+/// Handle passed to closures spawned inside a [`scope`]; allows nested
+/// spawns, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread. The closure receives a scope handle it
+    /// can use for nested spawns (the workspace's workers ignore it).
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&Scope<'s, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before this
+/// returns. A panicking worker re-panics here (so callers' `.expect(..)` on
+/// the result still aborts the test), hence the `Ok` is unconditional.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (job_tx, job_rx) = channel::unbounded::<u32>();
+        let (res_tx, res_rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            job_tx.send(i).unwrap();
+        }
+        drop(job_tx);
+        scope(|s| {
+            for _ in 0..4 {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(job) = job_rx.recv() {
+                        res_tx.send(job * 2).unwrap();
+                    }
+                });
+            }
+            drop(res_tx);
+        })
+        .unwrap();
+        let mut out: Vec<u32> = res_rx.iter().collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,287 @@
+//! A regex-subset string generator.
+//!
+//! Supports the pattern language the workspace's property tests use:
+//! literals, escapes (`\.`, `\\`, `\r`, `\n`, `\t`), the Unicode-category
+//! negation `\PC` (sampled from printable ASCII), character classes with
+//! ranges (`[a-z0-9. ]`), groups, alternation, and the quantifiers `?`, `*`,
+//! `+`, `{n}`, `{m,n}`. Unsupported syntax panics loudly rather than
+//! generating the wrong distribution silently.
+
+use crate::test_runner::TestRng;
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let ast = parse_alternation(&chars, &mut pos);
+    assert!(pos == chars.len(), "unsupported regex tail in {pattern:?} at offset {pos}");
+    let mut out = String::new();
+    sample_alternation(&ast, rng, &mut out);
+    out
+}
+
+/// Unbounded quantifiers (`*`, `+`) cap their repetition here.
+const UNBOUNDED_CAP: u32 = 8;
+
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges to sample uniformly (by range, then point).
+    Class(Vec<(char, char)>),
+    Group(Alternation),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+type Sequence = Vec<Piece>;
+
+struct Alternation {
+    branches: Vec<Sequence>,
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Alternation {
+    let mut branches = vec![parse_sequence(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        branches.push(parse_sequence(chars, pos));
+    }
+    Alternation { branches }
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize) -> Sequence {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let atom = parse_atom(chars, pos);
+        let (min, max) = parse_quantifier(chars, pos);
+        seq.push(Piece { atom, min, max });
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let inner = parse_alternation(chars, pos);
+            assert!(*pos < chars.len() && chars[*pos] == ')', "unterminated group in pattern");
+            *pos += 1;
+            Atom::Group(inner)
+        }
+        '[' => parse_class(chars, pos),
+        '\\' => parse_escape(chars, pos),
+        // Any printable ASCII except newline, like `.` with unicode off.
+        '.' => Atom::Class(vec![(' ', '~')]),
+        _ => Atom::Literal(c),
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize) -> Atom {
+    let c = *chars.get(*pos).expect("dangling backslash in pattern");
+    *pos += 1;
+    match c {
+        'r' => Atom::Literal('\r'),
+        'n' => Atom::Literal('\n'),
+        't' => Atom::Literal('\t'),
+        'd' => Atom::Class(vec![('0', '9')]),
+        'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        'P' => {
+            // Only `\PC` ("not in category Other") is supported; sample it
+            // from printable ASCII, a faithful subset.
+            let cat = *chars.get(*pos).expect("\\P needs a category");
+            *pos += 1;
+            assert!(cat == 'C', "unsupported unicode category \\P{cat}");
+            Atom::Class(vec![(' ', '~')])
+        }
+        '.' | '\\' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+' | '-' | '^'
+        | '$' => Atom::Literal(c),
+        _ => panic!("unsupported escape \\{c} in pattern"),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Atom {
+    assert!(*pos < chars.len() && chars[*pos] != '^', "negated classes are not supported");
+    let mut ranges = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let mut lo = chars[*pos];
+        *pos += 1;
+        if lo == '\\' {
+            lo = *chars.get(*pos).expect("dangling backslash in class");
+            *pos += 1;
+            lo = match lo {
+                'r' => '\r',
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            };
+        }
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = chars[*pos];
+            *pos += 1;
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(*pos < chars.len(), "unterminated character class");
+    *pos += 1; // consume ']'
+    assert!(!ranges.is_empty(), "empty character class");
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unterminated quantifier");
+            *pos += 1;
+            assert!(min <= max, "inverted quantifier {{{min},{max}}}");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    assert!(*pos > start, "expected a number in quantifier");
+    chars[start..*pos].iter().collect::<String>().parse().expect("quantifier number")
+}
+
+fn sample_alternation(alt: &Alternation, rng: &mut TestRng, out: &mut String) {
+    let branch = &alt.branches[rng.below(alt.branches.len() as u64) as usize];
+    for piece in branch {
+        let span = u64::from(piece.max - piece.min + 1);
+        let n = piece.min + rng.below(span) as u32;
+        for _ in 0..n {
+            sample_atom(&piece.atom, rng, out);
+        }
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            let mut idx = rng.below(total);
+            for (lo, hi) in ranges {
+                let len = *hi as u64 - *lo as u64 + 1;
+                if idx < len {
+                    out.push(char::from_u32(*lo as u32 + idx as u32).expect("class range char"));
+                    return;
+                }
+                idx -= len;
+            }
+            unreachable!("class sampling index out of bounds");
+        }
+        Atom::Group(inner) => sample_alternation(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string::tests", 0)
+    }
+
+    #[test]
+    fn class_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn dotted_domain_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9]{1,10}(\\.[a-z0-9]{1,10}){0,3}", &mut r);
+            for label in s.split('.') {
+                assert!(!label.is_empty(), "{s:?}");
+                assert!(label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC{0,60}", &mut r);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_with_crlf_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("(\\.?[a-z ]{0,10}\r\n){0,5}", &mut r);
+            assert!(s.is_empty() || s.ends_with("\r\n"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,40}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_picks_both_branches() {
+        let mut r = rng();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            match generate("a|b", &mut r).as_str() {
+                "a" => seen[0] = true,
+                "b" => seen[1] = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

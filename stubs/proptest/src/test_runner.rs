@@ -1,0 +1,65 @@
+//! The deterministic random source behind every strategy.
+
+/// A SplitMix64 stream seeded from the test's module path and case number.
+///
+/// SplitMix64 passes BigCrush at this usage scale and needs no warm-up, so a
+/// short, fully deterministic derivation (FNV-1a of the test name, XORed with
+/// the case index) gives every property its own reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the stream for one `(test, case)` pair.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = TestRng::deterministic("x::y", 3);
+        let mut b = TestRng::deterministic("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn case_and_name_change_stream() {
+        let mut a = TestRng::deterministic("x::y", 3);
+        let mut b = TestRng::deterministic("x::y", 4);
+        let mut c = TestRng::deterministic("x::z", 3);
+        let first = a.next_u64();
+        assert_ne!(first, b.next_u64());
+        assert_ne!(first, c.next_u64());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace annotates data types with `#[derive(Serialize, Deserialize)]`
+//! so snapshots and experiment outputs *can* be serialized once a real format
+//! crate is wired up, but nothing in-tree calls serde's data-model methods.
+//! This stub provides the two marker traits plus the no-op derives from
+//! [`serde_derive`] so those annotations compile in the offline build.
+//!
+//! When network access (or a vendored registry) becomes available, deleting
+//! `stubs/` and restoring the crates.io versions in `[workspace.dependencies]`
+//! is the whole migration.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The real trait is parameterized over the deserializer lifetime; the
+/// workspace only ever names the trait in derives, so the stub drops the
+/// parameter.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

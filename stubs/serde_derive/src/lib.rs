@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as forward-looking
+//! annotations — nothing in-tree serializes through serde yet (there is no
+//! `serde_json` or similar). These derives therefore emit no code; they exist
+//! so the annotations keep compiling in the offline build. The `serde` helper
+//! attribute (e.g. `#[serde(transparent)]`) is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -87,3 +87,73 @@ fn parallel_seed_runner_is_order_independent() {
     });
     assert_eq!(serial, parallel);
 }
+
+/// Re-running the same traced scenario with the same seed must replay the
+/// *exact* same event trace — not just the same aggregate numbers. This
+/// pins the rendered trace (timestamps, categories, details) byte for
+/// byte, so any nondeterminism that sneaks into the event loop shows up
+/// as a diff here even when it does not move a statistic.
+#[test]
+fn event_trace_is_byte_identical_across_same_seed_runs() {
+    let a = traced_delivery_story(7);
+    let b = traced_delivery_story(7);
+    assert!(!a.is_empty(), "the scenario must actually produce events");
+    assert_eq!(a, b, "same seed must replay a byte-identical event trace");
+
+    let c = traced_delivery_story(8);
+    assert_ne!(a, c, "seed change had no observable effect on the trace");
+}
+
+/// A greylist + nolisting delivery story with tracing on: the primary MX
+/// is dead (port 25 closed), the secondary greylists, senders pick MX
+/// order at random and retry past the greylist delay at seed-derived
+/// times. Returns the whole trace rendered to one string.
+#[allow(clippy::unwrap_used)] // test helper; literals are known-good
+fn traced_delivery_story(seed: u64) -> String {
+    use spamward::mta::MxStrategy;
+    use spamward::net::{PortState, SMTP_PORT};
+    use spamward::prelude::*;
+    use spamward::smtp::EmailAddress;
+    use std::net::Ipv4Addr;
+
+    let mut world = MailWorld::new(seed).with_tracing();
+    let dead = Ipv4Addr::new(192, 0, 2, 1);
+    let live = Ipv4Addr::new(192, 0, 2, 2);
+    world.network.host("smtp.foo.net").ip(dead).port(SMTP_PORT, PortState::Closed).build();
+    world.install_server(
+        ReceivingMta::new("smtp1.foo.net", live)
+            .with_greylist(Greylist::new(GreylistConfig::default())),
+    );
+    world.dns.publish(Zone::nolisting("foo.net".parse().unwrap(), dead, live));
+
+    let envelope = Envelope::builder()
+        .client_ip(Ipv4Addr::new(203, 0, 113, 9))
+        .helo("client.example")
+        .mail_from("a@relay.example".parse::<EmailAddress>().unwrap())
+        .rcpt("u@foo.net".parse().unwrap())
+        .build();
+    let message = Message::builder().header("Subject", "s").body("b").build();
+    let dialect = Dialect::compliant_mta("relay.example");
+    let mut rng = DetRng::seed(seed).fork("trace-regression");
+
+    // First pass gets greylisted; the retries land past the 300 s delay.
+    let mut at = SimTime::from_secs(rng.below(60));
+    for _ in 0..4 {
+        world.attempt_delivery(
+            at,
+            &dialect,
+            MxStrategy::AllRandom,
+            &"foo.net".parse().unwrap(),
+            envelope.clone(),
+            message.clone(),
+        );
+        at += SimDuration::from_secs(300 + rng.below(120));
+    }
+
+    let mut story = String::new();
+    for event in world.trace.events() {
+        story.push_str(&event.to_string());
+        story.push('\n');
+    }
+    story
+}

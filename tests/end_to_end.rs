@@ -58,11 +58,7 @@ fn every_family_beats_an_unprotected_server_and_message_content_survives() {
         let mailbox = world.server(VICTIM_MX_IP).unwrap().mailbox();
         assert_eq!(mailbox.len(), 4, "{family}");
         for stored in mailbox {
-            assert_eq!(
-                stored.message.digest(),
-                digest,
-                "{family}: message mutated in transit"
-            );
+            assert_eq!(stored.message.digest(), digest, "{family}: message mutated in transit");
             assert_eq!(stored.envelope.client_ip(), Ipv4Addr::new(203, 0, 113, 44));
         }
     }
@@ -122,9 +118,8 @@ fn nolisting_and_greylisting_stack() {
     let mut world = MailWorld::new(11);
     world.network.host("smtp.victim.example").ip(dead).port(SMTP_PORT, PortState::Closed).build();
     world.install_server(
-        ReceivingMta::new("smtp1.victim.example", live).with_greylist(Greylist::new(
-            GreylistConfig::default(),
-        )),
+        ReceivingMta::new("smtp1.victim.example", live)
+            .with_greylist(Greylist::new(GreylistConfig::default())),
     );
     world.dns.publish(Zone::nolisting(VICTIM_DOMAIN.parse().unwrap(), dead, live));
 
@@ -149,10 +144,7 @@ fn nolisting_and_greylisting_stack() {
         let campaign = Campaign::synthetic(VICTIM_DOMAIN, 5, &mut rng);
         let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 66));
         let report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
-        assert!(
-            !report.any_delivered(),
-            "{family} got through the nolisting+greylisting stack"
-        );
+        assert!(!report.any_delivered(), "{family} got through the nolisting+greylisting stack");
     }
 
     // But a compliant benign sender still delivers.
@@ -205,9 +197,7 @@ fn greylist_survives_a_server_restart_over_real_tcp() {
         Envelope::builder()
             .client_ip(std::net::Ipv4Addr::LOCALHOST)
             .helo("client.local")
-            .mail_from(spamward::smtp::ReversePath::Address(
-                "alice@relay.example".parse().unwrap(),
-            ))
+            .mail_from(spamward::smtp::ReversePath::Address("alice@relay.example".parse().unwrap()))
             .rcpt("user@restart.test".parse().unwrap())
             .build()
     };
@@ -225,8 +215,7 @@ fn greylist_survives_a_server_restart_over_real_tcp() {
         serve_count(&listener, "mx.restart.test", &mut policy, &clock, 1).unwrap();
         policy.0.snapshot()
     });
-    let client =
-        ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(), message());
+    let client = ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(), message());
     let outcome = deliver_tcp(addr, client).unwrap();
     assert!(!outcome.is_delivered(), "first contact must be deferred");
     let snapshot = first.join().unwrap();
@@ -251,8 +240,7 @@ fn greylist_survives_a_server_restart_over_real_tcp() {
     // also starts at ~0 — so the triplet is still young and the retry is
     // re-deferred. That IS the correct behaviour for an instant restart;
     // assert it, then verify the aged path separately below.
-    let client =
-        ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(), message());
+    let client = ClientSession::new(Dialect::compliant_mta("relay.example"), envelope(), message());
     let outcome = deliver_tcp(addr, client).unwrap();
     assert!(!outcome.is_delivered(), "instant restart must not reset the clock to PASS");
     let stats = second.join().unwrap();

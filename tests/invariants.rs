@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use spamward::core::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
 use spamward::prelude::*;
-use spamward::smtp::ReversePath;
 use spamward::sim::SimTime;
+use spamward::smtp::ReversePath;
 use std::net::Ipv4Addr;
 
 proptest! {
