@@ -1,0 +1,98 @@
+//! Canonical JSON fragments for experiment reports.
+//!
+//! The harness pins report bytes in tests and CI golden files, so the JSON
+//! encoding must be *canonical*: fixed key order (callers emit keys
+//! explicitly), shortest-roundtrip float formatting, and deterministic
+//! string escaping. This module provides the two primitives every
+//! serializer shares; there is no parser — snapshots are compared as bytes.
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a canonical JSON number.
+///
+/// Uses Rust's shortest-roundtrip rendering (deterministic across
+/// platforms); non-finite values, which JSON cannot represent, become
+/// `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders an iterator of already-encoded JSON values as an array.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes one CSV field: fields containing a comma, quote or newline are
+/// quoted with internal quotes doubled (RFC 4180).
+pub fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_canonically() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("±µ"), "\"±µ\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_or_null() {
+        assert_eq!(json_f64(1.0), "1");
+        assert_eq!(json_f64(56.69), "56.69");
+        assert_eq!(json_f64(0.1 + 0.2), "0.30000000000000004");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn arrays_join_without_trailing_comma() {
+        assert_eq!(json_array(vec![]), "[]");
+        assert_eq!(json_array(vec!["1".into(), "2".into()]), "[1,2]");
+    }
+
+    #[test]
+    fn csv_fields_quote_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

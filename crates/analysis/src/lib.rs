@@ -7,8 +7,11 @@
 //! * [`Cdf`] — empirical CDFs (Figs. 3 and 5 are delivery-delay CDFs).
 //! * [`Histogram`] — linear- or log-binned counts (Fig. 4's peaks).
 //! * [`Summary`] — five-number summaries for report prose.
-//! * [`AsciiTable`] — the renderer every `repro` subcommand prints with.
-//! * [`Series`] — CSV series for external plotting.
+//! * [`Table`] — the typed table every `repro` subcommand prints, with
+//!   canonical CSV/JSON rendering for the experiment harness
+//!   ([`AsciiTable`] remains as an alias).
+//! * [`Series`] — CSV/JSON series for external plotting.
+//! * [`json`] — canonical JSON primitives shared by all report serializers.
 //! * [`log`] — the anonymized greylist-log analyzer that reconstructs
 //!   per-triplet delivery delays (the paper's university-deployment
 //!   methodology behind Fig. 5).
@@ -19,6 +22,7 @@
 mod cdf;
 pub mod ci;
 mod hist;
+pub mod json;
 pub mod log;
 pub mod plot;
 mod series;
@@ -29,7 +33,7 @@ pub use cdf::Cdf;
 pub use hist::Histogram;
 pub use series::Series;
 pub use stats::Summary;
-pub use table::AsciiTable;
+pub use table::{AsciiTable, Table};
 
 use spamward_sim::SimDuration;
 

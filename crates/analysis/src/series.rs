@@ -48,6 +48,18 @@ impl Series {
         out
     }
 
+    /// Renders the series as a canonical JSON object:
+    /// `{"name":...,"points":[[x,y],...]}`. Point coordinates use
+    /// shortest-roundtrip float formatting (non-finite values become
+    /// `null`), so bytes are deterministic across runs and platforms.
+    pub fn to_json(&self) -> String {
+        use crate::json::{json_array, json_f64, json_string};
+        let points = json_array(
+            self.points.iter().map(|&(x, y)| format!("[{},{}]", json_f64(x), json_f64(y))),
+        );
+        format!("{{\"name\":{},\"points\":{points}}}", json_string(&self.name))
+    }
+
     /// Parses the long-format CSV produced by [`Series::to_csv`].
     ///
     /// Returns `None` on a malformed header or row.
@@ -92,6 +104,14 @@ mod tests {
         assert_eq!(Series::from_csv("wrong,header\n"), None);
         assert_eq!(Series::from_csv("series,x,y\nname,notanumber,1\n"), None);
         assert_eq!(Series::from_csv(""), None);
+    }
+
+    #[test]
+    fn json_is_canonical() {
+        let s = Series::new("cdf-300s", vec![(0.0, 0.5), (300.0, 1.0)]);
+        assert_eq!(s.to_json(), "{\"name\":\"cdf-300s\",\"points\":[[0,0.5],[300,1]]}");
+        let nan = Series::new("n", vec![(f64::NAN, 1.0)]);
+        assert_eq!(nan.to_json(), "{\"name\":\"n\",\"points\":[[null,1]]}");
     }
 
     #[test]

@@ -1,27 +1,40 @@
-//! Plain-text table rendering.
+//! Typed tables with plain-text, CSV and canonical-JSON rendering.
 
 use std::fmt;
 
-/// A simple monospace table with a header row.
+use crate::json::{csv_field, json_array, json_string};
+
+/// A typed table with a header row — the unit every paper table (and the
+/// harness [`Report`](https://docs.rs) tables field) is built from.
+///
+/// Renders three ways: `Display` gives the aligned monospace form `repro`
+/// prints, [`Table::to_csv`] gives RFC-4180 rows for external tooling, and
+/// [`Table::to_json`] gives a canonical JSON object whose bytes are stable
+/// across runs and platforms (tests and CI pin them).
 ///
 /// # Example
 ///
 /// ```
-/// use spamward_analysis::AsciiTable;
-/// let mut t = AsciiTable::new(vec!["MTA", "max queue (days)"]);
+/// use spamward_analysis::Table;
+/// let mut t = Table::new(vec!["MTA", "max queue (days)"]);
 /// t.row(vec!["sendmail".into(), "5".into()]);
 /// t.row(vec!["exchange".into(), "2".into()]);
 /// let out = t.to_string();
 /// assert!(out.contains("sendmail"));
+/// assert!(t.to_csv().starts_with("MTA,max queue (days)\n"));
 /// ```
-#[derive(Debug, Clone)]
-pub struct AsciiTable {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
     title: Option<String>,
 }
 
-impl AsciiTable {
+/// Former name of [`Table`], kept so existing callers and docs keep
+/// compiling; the type has always rendered as ASCII via `Display`.
+pub type AsciiTable = Table;
+
+impl Table {
     /// Creates a table with the given column headers.
     ///
     /// # Panics
@@ -29,7 +42,7 @@ impl AsciiTable {
     /// Panics if `headers` is empty.
     pub fn new(headers: Vec<&str>) -> Self {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        AsciiTable {
+        Table {
             headers: headers.into_iter().map(str::to_owned).collect(),
             rows: Vec::new(),
             title: None,
@@ -53,6 +66,21 @@ impl AsciiTable {
         self
     }
 
+    /// The title, if one was set.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -62,9 +90,46 @@ impl AsciiTable {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Looks up the cell at `(row_label, column)` where `row_label` matches
+    /// the first cell of a row and `column` a header name.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        row.get(col).map(String::as_str)
+    }
+
+    /// Renders the table as RFC-4180 CSV: a header line then one line per
+    /// row, fields quoted only when they contain delimiters.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let line =
+            |cells: &[String]| cells.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a canonical JSON object:
+    /// `{"title":...,"headers":[...],"rows":[[...],...]}` with `null` for a
+    /// missing title. Key order is fixed; bytes are deterministic.
+    pub fn to_json(&self) -> String {
+        let title = match &self.title {
+            Some(t) => json_string(t),
+            None => "null".to_owned(),
+        };
+        let headers = json_array(self.headers.iter().map(|h| json_string(h)));
+        let rows =
+            json_array(self.rows.iter().map(|r| json_array(r.iter().map(|c| json_string(c)))));
+        format!("{{\"title\":{title},\"headers\":{headers},\"rows\":{rows}}}")
+    }
 }
 
-impl fmt::Display for AsciiTable {
+impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -101,7 +166,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let mut t = AsciiTable::new(vec!["name", "value"]).with_title("Demo");
+        let mut t = Table::new(vec!["name", "value"]).with_title("Demo");
         t.row(vec!["short".into(), "1".into()]);
         t.row(vec!["a-much-longer-name".into(), "2".into()]);
         let out = t.to_string();
@@ -118,15 +183,46 @@ mod tests {
     }
 
     #[test]
+    fn accessors_expose_structure() {
+        let mut t = Table::new(vec!["family", "blocked"]).with_title("T");
+        t.row(vec!["Kelihos".into(), "yes".into()]);
+        assert_eq!(t.title(), Some("T"));
+        assert_eq!(t.headers(), ["family", "blocked"]);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.cell("Kelihos", "blocked"), Some("yes"));
+        assert_eq!(t.cell("Kelihos", "missing"), None);
+        assert_eq!(t.cell("Cutwail", "blocked"), None);
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["plain".into(), "a,b".into()]);
+        assert_eq!(t.to_csv(), "name,note\nplain,\"a,b\"\n");
+    }
+
+    #[test]
+    fn json_is_canonical() {
+        let mut t = Table::new(vec!["a", "b"]).with_title("T \"x\"");
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"T \\\"x\\\"\",\"headers\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2\"]]}"
+        );
+        let bare = Table::new(vec!["only"]);
+        assert_eq!(bare.to_json(), "{\"title\":null,\"headers\":[\"only\"],\"rows\":[]}");
+    }
+
+    #[test]
     #[should_panic(expected = "width mismatch")]
     fn mismatched_row_panics() {
-        let mut t = AsciiTable::new(vec!["a", "b"]);
+        let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only-one".into()]);
     }
 
     #[test]
     #[should_panic(expected = "at least one column")]
     fn empty_headers_panics() {
-        let _ = AsciiTable::new(vec![]);
+        let _ = Table::new(vec![]);
     }
 }

@@ -1,0 +1,23 @@
+//! Criterion benches for the extension experiments (everything in the
+//! registry that is not a paper table or figure): the DESIGN.md ablation
+//! sweeps, the §VI outlook matrix, dialect fingerprinting, cost
+//! accounting, the long-term run, and the seed-variance sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spamward_bench::quick_config;
+use spamward_core::harness;
+
+fn bench_extensions(c: &mut Criterion) {
+    let config = quick_config();
+    for exp in harness::registry().iter().filter(|e| {
+        !e.id().starts_with("table") && !e.id().starts_with("fig") && e.id() != "summary"
+    }) {
+        let mut g = c.benchmark_group(exp.id());
+        g.sample_size(10);
+        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config)));
+        g.finish();
+    }
+}
+
+criterion_group!(extension_benches, bench_extensions);
+criterion_main!(extension_benches);

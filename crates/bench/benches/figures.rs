@@ -1,33 +1,19 @@
-//! One Criterion bench per paper *figure*.
+//! One Criterion bench per paper *figure*, drawn from the experiment
+//! registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spamward_bench::{bench_adoption_config, bench_deployment_config, bench_kelihos_config};
-use spamward_core::experiments::{deployment, kelihos, nolisting_adoption};
+use spamward_bench::quick_config;
+use spamward_core::harness;
 
-fn bench_fig2_pipeline(c: &mut Criterion) {
-    let cfg = bench_adoption_config();
-    let mut g = c.benchmark_group("fig2");
-    g.sample_size(10);
-    g.bench_function("adoption_survey_4k_domains", |b| b.iter(|| nolisting_adoption::run(&cfg)));
-    g.finish();
+fn bench_figures(c: &mut Criterion) {
+    let config = quick_config();
+    for exp in harness::registry().iter().filter(|e| e.id().starts_with("fig")) {
+        let mut g = c.benchmark_group(exp.id());
+        g.sample_size(10);
+        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config)));
+        g.finish();
+    }
 }
 
-fn bench_fig3_fig4_kelihos(c: &mut Criterion) {
-    let cfg = bench_kelihos_config();
-    let mut g = c.benchmark_group("fig3_fig4");
-    g.sample_size(10);
-    // One call produces both figures (three threshold runs + control).
-    g.bench_function("kelihos_three_thresholds", |b| b.iter(|| kelihos::run(&cfg)));
-    g.finish();
-}
-
-fn bench_fig5_deployment(c: &mut Criterion) {
-    let cfg = bench_deployment_config();
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("deployment_replay_300_messages", |b| b.iter(|| deployment::run(&cfg)));
-    g.finish();
-}
-
-criterion_group!(figures, bench_fig2_pipeline, bench_fig3_fig4_kelihos, bench_fig5_deployment);
+criterion_group!(figures, bench_figures);
 criterion_main!(figures);

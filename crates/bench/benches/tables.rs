@@ -1,75 +1,21 @@
-//! One Criterion bench per paper *table*.
+//! One Criterion bench per paper *table* (plus the §VI summary), drawn
+//! from the experiment registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spamward_bench::{bench_efficacy_config, bench_webmail_config};
-use spamward_core::experiments::{
-    costs, dataset, dialects, efficacy, future_threats, mta_schedules, summary, webmail,
-};
+use spamward_bench::quick_config;
+use spamward_core::harness;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_dataset_inventory", |b| b.iter(dataset::run));
+fn bench_tables(c: &mut Criterion) {
+    let config = quick_config();
+    for exp in
+        harness::registry().iter().filter(|e| e.id().starts_with("table") || e.id() == "summary")
+    {
+        let mut g = c.benchmark_group(exp.id());
+        g.sample_size(10);
+        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config)));
+        g.finish();
+    }
 }
 
-fn bench_table2_matrix(c: &mut Criterion) {
-    let cfg = bench_efficacy_config();
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
-    g.bench_function("efficacy_matrix_11_samples", |b| b.iter(|| efficacy::run(&cfg)));
-    g.finish();
-}
-
-fn bench_table3_webmail(c: &mut Criterion) {
-    let cfg = bench_webmail_config();
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("webmail_ten_providers_6h", |b| b.iter(|| webmail::run(&cfg)));
-    g.finish();
-}
-
-fn bench_table4_schedules(c: &mut Criterion) {
-    c.bench_function("table4_mta_schedules", |b| b.iter(mta_schedules::run));
-}
-
-fn bench_summary(c: &mut Criterion) {
-    let cfg = bench_efficacy_config();
-    let mut g = c.benchmark_group("summary");
-    g.sample_size(10);
-    g.bench_function("section_vi_summary", |b| b.iter(|| summary::run(&cfg)));
-    g.finish();
-}
-
-fn bench_dialect_classification(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dialects");
-    g.sample_size(10);
-    g.bench_function("fingerprint_six_senders", |b| b.iter(dialects::run));
-    g.finish();
-}
-
-fn bench_future_threats(c: &mut Criterion) {
-    let cfg = future_threats::FutureThreatsConfig { recipients: 4, ..Default::default() };
-    let mut g = c.benchmark_group("future_threats");
-    g.sample_size(10);
-    g.bench_function("threat_matrix_3x4", |b| b.iter(|| future_threats::run(&cfg)));
-    g.finish();
-}
-
-fn bench_cost_accounting(c: &mut Criterion) {
-    let cfg = costs::CostsConfig { messages: 60, ..Default::default() };
-    let mut g = c.benchmark_group("costs");
-    g.sample_size(10);
-    g.bench_function("three_setups_60_msgs", |b| b.iter(|| costs::run(&cfg)));
-    g.finish();
-}
-
-criterion_group!(
-    tables,
-    bench_table1,
-    bench_table2_matrix,
-    bench_table3_webmail,
-    bench_table4_schedules,
-    bench_summary,
-    bench_dialect_classification,
-    bench_future_threats,
-    bench_cost_accounting
-);
+criterion_group!(tables, bench_tables);
 criterion_main!(tables);

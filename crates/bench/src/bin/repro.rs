@@ -1,186 +1,154 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper, driven by the
+//! experiment registry in [`spamward_core::harness`].
 //!
 //! ```sh
-//! cargo run --release -p spamward-bench --bin repro -- all
+//! cargo run --release -p spamward-bench --bin repro -- --list
 //! cargo run --release -p spamward-bench --bin repro -- table3
 //! cargo run --release -p spamward-bench --bin repro -- fig3 --csv
+//! cargo run --release -p spamward-bench --bin repro -- all --jobs 4
+//! cargo run --release -p spamward-bench --bin repro -- all --json
 //! ```
+//!
+//! `all --jobs N` fans the registry across a worker pool; because every
+//! experiment is a pure function of its [`HarnessConfig`] and each report
+//! is rendered independently before being printed in registry order, the
+//! bytes are identical to a serial run.
 
-use spamward_analysis::Series;
-use spamward_core::experiments::{
-    ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
-    mta_schedules, nolisting_adoption, summary, variance, webmail,
-};
+use spamward_core::harness::{self, HarnessConfig, Scale};
+use spamward_core::run_seeds;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: repro <artifact> [--csv] [--seed N]\n\
-         artifacts: table1 table2 table3 table4 fig2 fig3 fig4 fig5 summary ablations\n                    future dialects variance costs longterm all\n\
-         --csv     additionally print figure series as CSV\n\
-         --seed N  override the default seed of seedable artifacts"
-    );
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+fn usage_text() -> String {
+    let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
+    format!(
+        "usage: repro <artifact> [--csv | --json] [--seed N]\n\
+         \x20      repro all [--csv | --json] [--seed N] [--jobs N]\n\
+         \x20      repro --list\n\
+         \n\
+         artifacts: {} all\n\
+         \n\
+         --list    print the experiment registry and exit\n\
+         --csv     print the report(s) in canonical CSV instead of text\n\
+         --json    print the report(s) in canonical JSON instead of text\n\
+         --seed N  override the default seed of seedable artifacts\n\
+         --jobs N  run `all` across N worker threads (byte-identical to serial)",
+        ids.join(" ")
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", usage_text());
     std::process::exit(2);
 }
 
-/// Reads `--seed N` from the argument list, if present.
-fn seed_arg(args: &[String]) -> Option<u64> {
-    let pos = args.iter().position(|a| a == "--seed")?;
-    args.get(pos + 1)?.parse().ok()
+fn render(report: &harness::Report, format: Format) -> String {
+    match format {
+        Format::Text => report.to_text(),
+        Format::Csv => report.to_csv(),
+        Format::Json => report.to_json(),
+    }
+}
+
+/// Joins per-experiment renderings into the final output: a JSON array for
+/// `--json`, blank-line-separated blocks otherwise.
+fn join_reports(bodies: &[String], format: Format) -> String {
+    match format {
+        Format::Json => format!("[{}]\n", bodies.join(",")),
+        Format::Text | Format::Csv => bodies.join("\n"),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(artifact) = args.first() else { usage() };
-    let csv = args.iter().any(|a| a == "--csv");
-    let seed = seed_arg(&args);
+    let mut artifact: Option<String> = None;
+    let mut list = false;
+    let mut csv = false;
+    let mut json = false;
+    let mut seed: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
 
-    let run_one = |name: &str| match name {
-        "table1" => println!("{}", dataset::run()),
-        "table2" => {
-            let r = efficacy::run(&efficacy::EfficacyConfig::default());
-            println!("{r}");
-        }
-        "table3" => {
-            let r = webmail::run(&webmail::WebmailConfig::default());
-            println!("{r}");
-        }
-        "table4" => println!("{}", mta_schedules::run()),
-        "fig2" => {
-            let r = nolisting_adoption::run(&nolisting_adoption::AdoptionConfig::default());
-            println!("{r}");
-        }
-        "fig3" | "fig4" => {
-            let mut cfg = kelihos::KelihosConfig::default();
-            if let Some(s) = seed {
-                cfg.seed = s;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--seed" => {
+                let value = it.next().unwrap_or_else(|| fail("--seed needs a value"));
+                seed = Some(value.parse().unwrap_or_else(|_| {
+                    fail(&format!("--seed needs an unsigned integer, got {value:?}"))
+                }));
             }
-            let r = kelihos::run(&cfg);
-            println!("{r}");
-            if name == "fig3" {
-                println!("CDF of the 300 s run (x = seconds since first attempt):");
-                print!("{}", spamward_analysis::plot::ascii_cdf(&r.default.cdf, 60, 10));
-            } else {
-                let mut hist = spamward_analysis::Histogram::logarithmic(100.0, 100_000.0, 18);
-                hist.extend(
-                    r.extreme.attempts.iter().filter(|p| p.delay_secs > 0.0).map(|p| p.delay_secs),
-                );
-                println!("retransmission-delay histogram (seconds, log bins):");
-                print!("{}", spamward_analysis::plot::ascii_histogram(&hist, 40));
+            "--jobs" => {
+                let value = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
+                let n: usize = value.parse().unwrap_or_else(|_| {
+                    fail(&format!("--jobs needs a positive integer, got {value:?}"))
+                });
+                if n == 0 {
+                    fail("--jobs needs at least one worker");
+                }
+                jobs = Some(n);
             }
-            if csv {
-                let series = if name == "fig3" { r.fig3_series() } else { r.fig4_series() };
-                print!("{}", Series::to_csv(&series));
+            flag if flag.starts_with('-') => fail(&format!("unknown flag {flag:?}")),
+            name => {
+                if let Some(first) = &artifact {
+                    fail(&format!("unexpected extra argument {name:?} after {first:?}"));
+                }
+                artifact = Some(name.to_owned());
             }
         }
-        "fig5" => {
-            let mut cfg = deployment::DeploymentConfig::default();
-            if let Some(s) = seed {
-                cfg.seed = s;
-            }
-            let r = deployment::run(&cfg);
-            println!("{r}");
-            println!("benign delivery-delay CDF (x = seconds):");
-            print!("{}", spamward_analysis::plot::ascii_cdf(&r.cdf, 60, 10));
-            if csv {
-                print!("{}", Series::to_csv(&[r.fig5_series()]));
-            }
+    }
+
+    if list {
+        if artifact.is_some() || seed.is_some() || jobs.is_some() || csv || json {
+            fail("--list takes no other arguments");
         }
-        "dialects" => println!("{}", dialects::run()),
-        "longterm" => {
-            let r = longterm::run(&longterm::LongTermConfig::default());
-            println!("{r}");
-        }
-        "costs" => {
-            let r = costs::run(&costs::CostsConfig::default());
-            println!("{r}");
-        }
-        "variance" => {
-            let r = variance::run(&variance::VarianceConfig::default());
-            println!("{r}");
-        }
-        "future" => {
-            let r = future_threats::run(&future_threats::FutureThreatsConfig::default());
-            println!("{r}");
-        }
-        "summary" => {
-            let r = summary::run(&efficacy::EfficacyConfig::default());
-            println!("{r}");
-        }
-        "ablations" => {
-            println!("== Ablation 1: greylisting threshold sweep ==");
-            for p in ablations::threshold_sweep(2015) {
-                println!(
-                    "  threshold {:>9}: spam blocked {:>6.2}%, benign delay {}",
-                    p.threshold.to_string(),
-                    p.spam_blocked_pct,
-                    p.benign_delay
-                );
-            }
-            println!("\n== Ablation 2: triplet keying granularity ==");
-            let n = ablations::netmask_ablation(7);
-            println!(
-                "  /24 keying: {} attempts; exact-IP keying: {} attempts",
-                n.attempts_with_net24, n.attempts_with_exact
-            );
-            println!("\n== Ablation 3: second spam campaign vs the triplet ==");
-            let s = ablations::second_campaign(11);
-            println!(
-                "  first campaign delivered: {}; second campaign (new message, {} later) delivered: {}",
-                s.first_delivered, s.gap, s.second_delivered
-            );
-            println!("\n== Ablation 4: scan rounds vs detector error ==");
-            for p in ablations::scan_rounds_ablation(3, 4_000, 3) {
-                println!(
-                    "  {} round(s): {} false positives, {} false negatives",
-                    p.rounds, p.false_positives, p.false_negatives
-                );
-            }
-            println!("\n== Ablation 5: triplet-store capacity under spam load ==");
-            for cap in [1_000_000, 500, 50] {
-                let r = ablations::store_cap_ablation(9, cap, 300);
-                println!(
-                    "  capacity {:>8}: {} evictions, benign mail delivered: {}",
-                    r.capacity, r.evictions, r.benign_delivered
-                );
-            }
-            println!("\n== Ablation 6: pregreet (early-talker) filtering alone ==");
-            for p in ablations::pregreet_ablation(13) {
-                println!(
-                    "  {:<15} delivered: {}",
-                    p.sender,
-                    if p.delivered { "yes" } else { "no (caught talking early)" }
-                );
-            }
-            println!();
-        }
-        other => {
-            eprintln!("unknown artifact {other:?}");
-            usage();
-        }
+        print!("{}", harness::list_text());
+        return;
+    }
+    if csv && json {
+        fail("choose one of --csv / --json");
+    }
+    let format = if json {
+        Format::Json
+    } else if csv {
+        Format::Csv
+    } else {
+        Format::Text
     };
+    let Some(artifact) = artifact else { fail("missing artifact") };
+    let config = HarnessConfig { seed, scale: Scale::Paper };
 
     if artifact == "all" {
-        for name in [
-            "table1",
-            "fig2",
-            "table2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "table3",
-            "table4",
-            "summary",
-            "ablations",
-            "future",
-            "dialects",
-            "costs",
-            "longterm",
-            "variance",
-        ] {
-            run_one(name);
-            println!();
-        }
+        let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
+        let runs = run_seeds(&indices, jobs.unwrap_or(1), |i| {
+            render(&harness::registry()[i as usize].run(&config), format)
+        });
+        let bodies: Vec<String> = runs.into_iter().map(|r| r.output).collect();
+        print!("{}", join_reports(&bodies, format));
     } else {
-        run_one(artifact);
+        if jobs.is_some() {
+            fail("--jobs only applies to `repro all`");
+        }
+        let Some(exp) = harness::find(&artifact) else {
+            fail(&format!("unknown artifact {artifact:?}"));
+        };
+        if seed.is_some() && !exp.seedable() {
+            fail(&format!(
+                "artifact {artifact:?} is not seedable; its output is fixed catalogue data"
+            ));
+        }
+        let body = render(&exp.run(&config), format);
+        if format == Format::Json {
+            println!("{body}");
+        } else {
+            print!("{body}");
+        }
     }
 }

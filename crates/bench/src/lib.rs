@@ -3,53 +3,39 @@
 //! Two entry points:
 //!
 //! * the **`repro` binary** (`cargo run -p spamward-bench --bin repro -- all`)
-//!   regenerates every table and figure of the paper and prints them in
-//!   the rows/series the paper reports;
+//!   regenerates every table and figure of the paper by iterating the
+//!   experiment registry in [`spamward_core::harness`];
 //! * the **Criterion benches** (`cargo bench`) measure how long each
-//!   regeneration takes, one bench per table/figure plus ablation and
-//!   substrate micro-benchmarks.
+//!   registered experiment takes at [`Scale::Quick`], plus substrate
+//!   micro-benchmarks.
 //!
-//! This library hosts the small shared configuration shims so the binary
-//! and the benches run identical workloads.
+//! Both consume experiments exclusively through the registry, so a new
+//! experiment is benched and reproducible the moment it is registered.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use spamward_core::experiments::{deployment, efficacy, kelihos, nolisting_adoption, webmail};
+use spamward_core::harness::{HarnessConfig, Scale};
 
-/// Scaled-down Fig. 2 config used by benches (fast, same pipeline).
-pub fn bench_adoption_config() -> nolisting_adoption::AdoptionConfig {
-    nolisting_adoption::AdoptionConfig { domains: 4_000, ..Default::default() }
-}
-
-/// Scaled-down Table II config used by benches.
-pub fn bench_efficacy_config() -> efficacy::EfficacyConfig {
-    efficacy::EfficacyConfig { recipients: 5, ..Default::default() }
-}
-
-/// Scaled-down Fig. 3/4 config used by benches.
-pub fn bench_kelihos_config() -> kelihos::KelihosConfig {
-    kelihos::KelihosConfig { recipients: 40, ..Default::default() }
-}
-
-/// Scaled-down Fig. 5 config used by benches.
-pub fn bench_deployment_config() -> deployment::DeploymentConfig {
-    deployment::DeploymentConfig { messages: 300, ..Default::default() }
-}
-
-/// Table III config used by benches (already laptop-scale).
-pub fn bench_webmail_config() -> webmail::WebmailConfig {
-    webmail::WebmailConfig::default()
+/// The uniform reduced-size config every bench runs experiments at: default
+/// seeds, [`Scale::Quick`] populations (same code path as the paper-scale
+/// run, seconds instead of minutes).
+pub fn quick_config() -> HarnessConfig {
+    HarnessConfig { seed: None, scale: Scale::Quick }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spamward_core::harness;
 
     #[test]
-    fn bench_configs_run() {
+    fn bench_workloads_run() {
         // Smoke: the bench workloads must be executable as configured.
-        let _ = spamward_core::experiments::efficacy::run(&bench_efficacy_config());
-        let _ = spamward_core::experiments::webmail::run(&bench_webmail_config());
+        let config = quick_config();
+        for id in ["table2", "table3"] {
+            let report = harness::find(id).expect("registered").run(&config);
+            assert_eq!(report.id(), id);
+        }
     }
 }

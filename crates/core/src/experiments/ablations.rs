@@ -17,9 +17,11 @@
 //!    costs benign mail.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_greylist::{Greylist, GreylistConfig, TripletStore};
-use spamward_mta::{MailWorld, MtaProfile, OutboundStatus, ReceivingMta, SendingMta};
+use spamward_mta::{MtaProfile, OutboundStatus, SendingMta};
 use spamward_scanner::{
     resolve_missing, BannerGrab, DnsAnyScan, NolistingDetector, Population, PopulationSpec,
     ScanRound,
@@ -120,15 +122,7 @@ pub fn netmask_ablation(seed: u64) -> NetmaskAblation {
         let mut cfg =
             GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
         cfg.netmask = netmask;
-        let mut world = MailWorld::new(seed);
-        world.install_server(
-            ReceivingMta::new("mail.victim.example", VICTIM_MX_IP)
-                .with_greylist(Greylist::new(cfg)),
-        );
-        world.dns.publish(spamward_dns::Zone::single_mx(
-            VICTIM_DOMAIN.parse().expect("valid domain"),
-            VICTIM_MX_IP,
-        ));
+        let mut world = worlds::custom_greylist_world(seed, Greylist::new(cfg));
         let pool = vec![Ipv4Addr::new(198, 51, 100, 1), Ipv4Addr::new(198, 51, 100, 2)];
         // sendmail's first retry (10 min) is comfortably past the 300 s
         // delay, so the /24-vs-exact difference is not confounded by
@@ -257,14 +251,7 @@ pub struct StoreCapAblation {
 pub fn store_cap_ablation(seed: u64, capacity: usize, spam_triplets: usize) -> StoreCapAblation {
     let cfg = GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist();
     let greylist = Greylist::new(cfg).with_store(TripletStore::new().with_capacity_bound(capacity));
-    let mut world = MailWorld::new(seed);
-    world.install_server(
-        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_greylist(greylist),
-    );
-    world.dns.publish(spamward_dns::Zone::single_mx(
-        VICTIM_DOMAIN.parse().expect("valid domain"),
-        VICTIM_MX_IP,
-    ));
+    let mut world = worlds::custom_greylist_world(seed, greylist);
 
     // Benign sender's first attempt creates its pending triplet at t=0.
     let mut sender = SendingMta::new(
@@ -327,17 +314,7 @@ pub struct PregreetPoint {
 /// anyone — the filter acts purely on protocol manners.
 pub fn pregreet_ablation(seed: u64) -> Vec<PregreetPoint> {
     let mut out = Vec::new();
-    let build_world = || {
-        let mut world = MailWorld::new(seed);
-        world.install_server(
-            ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_pregreet_rejection(),
-        );
-        world.dns.publish(spamward_dns::Zone::single_mx(
-            VICTIM_DOMAIN.parse().expect("valid domain"),
-            VICTIM_MX_IP,
-        ));
-        world
-    };
+    let build_world = || worlds::pregreet_world(seed);
     for family in MalwareFamily::ALL {
         let mut world = build_world();
         let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 30));
@@ -370,6 +347,169 @@ pub fn pregreet_ablation(seed: u64) -> Vec<PregreetPoint> {
         delivered: sender.records().iter().any(|r| r.delivered),
     });
     out
+}
+
+// ---------------------------------------------------------------------
+// Aggregate run (the registry entry)
+// ---------------------------------------------------------------------
+
+/// Configuration of the combined ablation run. One seed drives all six
+/// sub-ablations uniformly (the per-function seeds `repro` used to
+/// hardcode are gone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationsConfig {
+    /// RNG seed for every sub-ablation.
+    pub seed: u64,
+    /// Population size of the scan-rounds ablation.
+    pub scan_domains: usize,
+    /// Scan rounds cross-checked.
+    pub scan_rounds: usize,
+    /// Spam triplets flooded at the bounded store.
+    pub store_flood: usize,
+}
+
+impl Default for AblationsConfig {
+    fn default() -> Self {
+        AblationsConfig { seed: 2015, scan_domains: 4_000, scan_rounds: 3, store_flood: 300 }
+    }
+}
+
+/// All six ablation outputs together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationsResult {
+    /// Ablation 1: the threshold sweep.
+    pub sweep: Vec<ThresholdPoint>,
+    /// Ablation 2: /24 vs exact keying.
+    pub netmask: NetmaskAblation,
+    /// Ablation 3: second-campaign slip-through.
+    pub second: SecondCampaign,
+    /// Ablation 4: scan rounds vs detector error.
+    pub scan_rounds: Vec<ScanRoundsPoint>,
+    /// Ablation 5: bounded triplet stores (one entry per tested capacity).
+    pub store_caps: Vec<StoreCapAblation>,
+    /// Ablation 6: pregreet filtering alone.
+    pub pregreet: Vec<PregreetPoint>,
+}
+
+/// Runs all six ablations with one seed.
+pub fn run(config: &AblationsConfig) -> AblationsResult {
+    AblationsResult {
+        sweep: threshold_sweep(config.seed),
+        netmask: netmask_ablation(config.seed),
+        second: second_campaign(config.seed),
+        scan_rounds: scan_rounds_ablation(config.seed, config.scan_domains, config.scan_rounds),
+        store_caps: [1_000_000, 500, 50]
+            .iter()
+            .map(|&cap| store_cap_ablation(config.seed, cap, config.store_flood))
+            .collect(),
+        pregreet: pregreet_ablation(config.seed),
+    }
+}
+
+impl AblationsResult {
+    /// The six ablations as typed [`Table`]s, in order.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut sweep = Table::new(vec!["Threshold", "Spam blocked", "Benign delay"])
+            .with_title("Ablation 1: greylisting threshold sweep");
+        for p in &self.sweep {
+            sweep.row(vec![
+                p.threshold.to_string(),
+                format!("{:.2}%", p.spam_blocked_pct),
+                p.benign_delay.to_string(),
+            ]);
+        }
+
+        let mut netmask = Table::new(vec!["Triplet keying", "Attempts to deliver"])
+            .with_title("Ablation 2: triplet keying granularity");
+        netmask.row(vec!["/24".into(), self.netmask.attempts_with_net24.to_string()]);
+        netmask.row(vec!["exact IP".into(), self.netmask.attempts_with_exact.to_string()]);
+
+        let mut second = Table::new(vec!["Campaign", "Delivered"])
+            .with_title("Ablation 3: second spam campaign vs the triplet");
+        second.row(vec!["first".into(), yes_no(self.second.first_delivered)]);
+        second.row(vec![
+            format!("second (new message, {} later)", self.second.gap),
+            yes_no(self.second.second_delivered),
+        ]);
+
+        let mut rounds = Table::new(vec!["Rounds", "False positives", "False negatives"])
+            .with_title("Ablation 4: scan rounds vs detector error");
+        for p in &self.scan_rounds {
+            rounds.row(vec![
+                p.rounds.to_string(),
+                p.false_positives.to_string(),
+                p.false_negatives.to_string(),
+            ]);
+        }
+
+        let mut caps = Table::new(vec!["Capacity", "Evictions", "Benign delivered"])
+            .with_title("Ablation 5: triplet-store capacity under spam load");
+        for c in &self.store_caps {
+            caps.row(vec![
+                c.capacity.to_string(),
+                c.evictions.to_string(),
+                yes_no(c.benign_delivered),
+            ]);
+        }
+
+        let mut pregreet = Table::new(vec!["Sender", "Delivered"])
+            .with_title("Ablation 6: pregreet (early-talker) filtering alone");
+        for p in &self.pregreet {
+            pregreet.row(vec![
+                p.sender.clone(),
+                if p.delivered { "yes".into() } else { "no (caught talking early)".into() },
+            ]);
+        }
+
+        vec![sweep, netmask, second, rounds, caps, pregreet]
+    }
+}
+
+fn yes_no(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
+}
+
+/// Registry entry for the combined design-choice ablations.
+pub struct AblationsExperiment;
+
+impl Experiment for AblationsExperiment {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn title(&self) -> &'static str {
+        "Design-choice ablations (threshold, keying, store, pregreet)"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "DESIGN.md sweeps"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = match config.scale {
+            Scale::Paper => AblationsConfig {
+                seed: config.seed_or(AblationsConfig::default().seed),
+                ..Default::default()
+            },
+            Scale::Quick => AblationsConfig {
+                seed: config.seed_or(AblationsConfig::default().seed),
+                scan_domains: 2_000,
+                store_flood: 200,
+                ..Default::default()
+            },
+        };
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        for table in result.tables() {
+            report.push_table(table);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +574,20 @@ mod tests {
         assert!(get("Darkmailer(v3)"));
         // Benign mail flows instantly.
         assert!(get("compliant-mta"));
+    }
+
+    #[test]
+    fn aggregate_run_collects_all_six() {
+        let r =
+            run(&AblationsConfig { scan_domains: 1_500, store_flood: 100, ..Default::default() });
+        assert_eq!(r.sweep.len(), 6);
+        assert_eq!(r.scan_rounds.len(), 3);
+        assert_eq!(r.store_caps.len(), 3);
+        assert_eq!(r.pregreet.len(), 5);
+        let tables = r.tables();
+        assert_eq!(tables.len(), 6);
+        assert!(tables[0].title().unwrap_or_default().contains("threshold sweep"));
+        assert!(tables[1].cell("/24", "Attempts to deliver").is_some());
     }
 
     #[test]

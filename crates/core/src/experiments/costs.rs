@@ -10,7 +10,8 @@
 //! wall-clock each configuration consumed per delivered message.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_mta::{MailWorld, MtaProfile, SendingMta};
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{Message, ReversePath};
@@ -119,9 +120,10 @@ pub fn run(config: &CostsConfig) -> CostsResult {
     CostsResult { rows }
 }
 
-impl fmt::Display for CostsResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
+impl CostsResult {
+    /// The cost comparison as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
             "Setup",
             "Delivered",
             "TCP connects",
@@ -147,7 +149,52 @@ impl fmt::Display for CostsResult {
                 mean_delay.to_string(),
             ]);
         }
-        write!(f, "{t}")
+        t
+    }
+}
+
+impl fmt::Display for CostsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+/// Registry entry for the §VI cost accounting.
+pub struct CostsExperiment;
+
+impl Experiment for CostsExperiment {
+    fn id(&self) -> &'static str {
+        "costs"
+    }
+
+    fn title(&self) -> &'static str {
+        "Defense cost accounting per delivered message"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§VI validity"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = CostsConfig {
+            seed: config.seed_or(CostsConfig::default().seed),
+            messages: match config.scale {
+                Scale::Paper => CostsConfig::default().messages,
+                Scale::Quick => 60,
+            },
+            ..Default::default()
+        };
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report.push_table(result.table());
+        for row in &result.rows {
+            report.push_scalar(
+                &format!("connections per delivery: {}", row.setup),
+                row.connections_per_delivery(),
+            );
+        }
+        report
     }
 }
 

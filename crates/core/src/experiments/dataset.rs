@@ -1,6 +1,7 @@
 //! Table I — the malware dataset inventory.
 
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report};
+use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
 use std::fmt;
 
@@ -28,9 +29,10 @@ pub fn run() -> Table1 {
     }
 }
 
-impl fmt::Display for Table1 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec!["Malware Family", "% of Botnet Spam (2014)", "Samples"])
+impl Table1 {
+    /// Table I as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Malware Family", "% of Botnet Spam (2014)", "Samples"])
             .with_title("Table I: malware samples used in the experiments");
         for (name, pct, samples) in &self.rows {
             t.row(vec![name.clone(), format!("{pct:.2}%"), samples.to_string()]);
@@ -45,12 +47,54 @@ impl fmt::Display for Table1 {
             format!("{:.2}%", self.total_global_pct),
             String::new(),
         ]);
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(
             f,
             "(botnets account for {:.0}% of global spam)",
             BOTNET_FRACTION_OF_GLOBAL_SPAM * 100.0
         )
+    }
+}
+
+/// Registry entry for Table I. The inventory is a fixed catalogue, so the
+/// run ignores seed and scale.
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Malware dataset inventory"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table I"
+    }
+
+    fn seedable(&self) -> bool {
+        false
+    }
+
+    fn run(&self, _config: &HarnessConfig) -> Report {
+        let t = run();
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        report
+            .push_table(t.table())
+            .push_text(&format!(
+                "(botnets account for {:.0}% of global spam)",
+                BOTNET_FRACTION_OF_GLOBAL_SPAM * 100.0
+            ))
+            .push_scalar("total botnet spam (%)", t.total_botnet_pct)
+            .push_scalar("total global spam (%)", t.total_global_pct);
+        report
     }
 }
 

@@ -10,12 +10,13 @@
 //! greylist, then analyzes the server's anonymized log exactly as the
 //! paper did.
 
-use crate::experiments::worlds::VICTIM_MX_IP;
+use crate::experiments::worlds::{self, VICTIM_MX_IP};
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
 use spamward_analysis::log::GreylistLogAnalysis;
-use spamward_analysis::{Cdf, Series};
-use spamward_dns::{DomainName, Zone};
+use spamward_analysis::{plot, Cdf, Series};
+use spamward_dns::DomainName;
 use spamward_greylist::{Greylist, GreylistConfig};
-use spamward_mta::{MailWorld, MtaProfile, ReceivingMta, RetrySchedule, SendingMta};
+use spamward_mta::{MailWorld, MtaProfile, RetrySchedule, SendingMta};
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, Message, ReversePath};
 use spamward_webmail::WebmailProvider;
@@ -124,13 +125,12 @@ fn no_retry_profile() -> MtaProfile {
 }
 
 fn build_world(config: &DeploymentConfig) -> MailWorld {
-    let domain: DomainName = DEPLOYMENT_DOMAIN.parse().expect("valid deployment domain");
-    let mut world = MailWorld::new(config.seed);
-    world.install_server(ReceivingMta::new("mail.cs-dept.example", VICTIM_MX_IP).with_greylist(
+    worlds::greylist_world_at(
+        config.seed,
+        DEPLOYMENT_DOMAIN,
+        "mail.cs-dept.example",
         Greylist::new(GreylistConfig::with_delay(config.threshold).without_auto_whitelist()),
-    ));
-    world.dns.publish(Zone::single_mx(domain, VICTIM_MX_IP));
-    world
+    )
 }
 
 /// Builds the full traffic plan: one pre-submitted sender per message,
@@ -288,6 +288,59 @@ impl fmt::Display for DeploymentResult {
         }
         writeln!(f, "sender gave up (lost):    {:.1}%", self.abandonment_rate * 100.0)?;
         writeln!(f, "bounce DSNs generated:    {}", self.bounces_generated)
+    }
+}
+
+/// Registry entry for the Fig. 5 deployment replay.
+pub struct DeploymentExperiment;
+
+impl DeploymentExperiment {
+    /// The module config a harness config maps to (shared with
+    /// [`variance`](crate::experiments::variance)).
+    pub fn config(harness: &HarnessConfig) -> DeploymentConfig {
+        DeploymentConfig {
+            seed: harness.seed_or(DeploymentConfig::default().seed),
+            messages: match harness.scale {
+                Scale::Paper => DeploymentConfig::default().messages,
+                Scale::Quick => 300,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+impl Experiment for DeploymentExperiment {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Benign delivery delay at a real greylisting deployment"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Fig. 5"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = Self::config(config);
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report
+            .push_text(&format!(
+                "benign delivery-delay CDF (x = seconds):\n{}",
+                plot::ascii_cdf(&result.cdf, 60, 10)
+            ))
+            .push_scalar("messages replayed", result.messages as f64)
+            .push_scalar("greylisted & delivered", result.cdf.len() as f64)
+            .push_scalar("median delay (s)", result.cdf.quantile(0.5))
+            .push_scalar("delivered <10 min (%)", result.within_10min * 100.0)
+            .push_scalar("delivered >50 min (%)", result.beyond_50min * 100.0)
+            .push_scalar("abandonment (%)", result.abandonment_rate * 100.0)
+            .push_scalar("bounce DSNs", result.bounces_generated as f64)
+            .push_series(result.fig5_series());
+        report
     }
 }
 

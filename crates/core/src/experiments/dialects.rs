@@ -9,7 +9,8 @@
 //! the bot-vs-MTA heuristic, and reports the confusion matrix.
 
 use crate::experiments::worlds::VICTIM_DOMAIN;
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report};
+use spamward_analysis::Table;
 use spamward_botnet::MalwareFamily;
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_sim::{SimDuration, SimTime};
@@ -119,9 +120,10 @@ pub fn run() -> DialectsResult {
     DialectsResult { observations }
 }
 
-impl fmt::Display for DialectsResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
+impl DialectsResult {
+    /// The confusion matrix as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
             "Sender",
             "Truth",
             "Classified",
@@ -143,8 +145,47 @@ impl fmt::Display for DialectsResult {
                 yn(o.fingerprint.early_talker),
             ]);
         }
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for DialectsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(f, "classification accuracy: {:.0}%", self.accuracy() * 100.0)
+    }
+}
+
+/// Registry entry for the dialect-fingerprinting loop. The transcripts are
+/// deterministic functions of the sender models, so the run ignores seed
+/// and scale.
+pub struct DialectsExperiment;
+
+impl Experiment for DialectsExperiment {
+    fn id(&self) -> &'static str {
+        "dialects"
+    }
+
+    fn title(&self) -> &'static str {
+        "SMTP dialect fingerprinting of the sender models"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§II premise"
+    }
+
+    fn seedable(&self) -> bool {
+        false
+    }
+
+    fn run(&self, _config: &HarnessConfig) -> Report {
+        let result = run();
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        report
+            .push_table(result.table())
+            .push_scalar("sender models", result.observations.len() as f64)
+            .push_scalar("classification accuracy (%)", result.accuracy() * 100.0);
+        report
     }
 }
 

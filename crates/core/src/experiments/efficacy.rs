@@ -6,7 +6,8 @@
 //! the defense prevented *every* spam message of that sample.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
@@ -121,10 +122,11 @@ pub fn run(config: &EfficacyConfig) -> EfficacyResult {
     EfficacyResult { rows }
 }
 
-impl fmt::Display for EfficacyResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl EfficacyResult {
+    /// Table II as a typed [`Table`].
+    pub fn table(&self) -> Table {
         let mark = |blocked: bool| if blocked { "v".to_owned() } else { "x".to_owned() };
-        let mut t = AsciiTable::new(vec!["Sample", "Greylisting", "Nolisting"])
+        let mut t = Table::new(vec!["Sample", "Greylisting", "Nolisting"])
             .with_title("Table II: v = defense blocked all spam, x = spam got through");
         let mut last_family = None;
         for r in &self.rows {
@@ -138,13 +140,83 @@ impl fmt::Display for EfficacyResult {
                 mark(r.nolisting_blocked),
             ]);
         }
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for EfficacyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(
             f,
             "botnet spam blocked: greylisting {:.2}%, nolisting {:.2}%",
             self.botnet_spam_blocked_pct(false),
             self.botnet_spam_blocked_pct(true)
         )
+    }
+}
+
+/// Registry entry for the Table II per-family matrix.
+pub struct EfficacyExperiment;
+
+impl EfficacyExperiment {
+    /// The module config a harness config maps to (shared with
+    /// [`summary`](crate::experiments::summary), which replays Table II).
+    pub fn config(harness: &HarnessConfig) -> EfficacyConfig {
+        EfficacyConfig {
+            seed: harness.seed_or(EfficacyConfig::default().seed),
+            recipients: match harness.scale {
+                Scale::Paper => EfficacyConfig::default().recipients,
+                Scale::Quick => 5,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+impl Experiment for EfficacyExperiment {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Per-family efficacy matrix"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table II"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = Self::config(config);
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report
+            .push_table(result.table())
+            .push_scalar(
+                "greylisting blocked (% of botnet spam)",
+                result.botnet_spam_blocked_pct(false),
+            )
+            .push_scalar(
+                "nolisting blocked (% of botnet spam)",
+                result.botnet_spam_blocked_pct(true),
+            );
+        // Per-family verdicts as 0/1 scalars: the summary experiment reads
+        // these through the registry instead of re-running the campaigns.
+        for family in MalwareFamily::ALL {
+            if let Some(row) = result.family_row(family.name()) {
+                report.push_scalar(
+                    &format!("greylisting blocks {}", family.name()),
+                    f64::from(u8::from(row.greylisting_blocked)),
+                );
+                report.push_scalar(
+                    &format!("nolisting blocks {}", family.name()),
+                    f64::from(u8::from(row.nolisting_blocked)),
+                );
+            }
+        }
+        report
     }
 }
 

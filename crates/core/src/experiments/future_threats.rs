@@ -7,12 +7,11 @@
 //! and reports which combinations still hold.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_botnet::{AdaptiveBot, Campaign};
-use spamward_dns::Zone;
 use spamward_greylist::{Greylist, GreylistConfig};
-use spamward_mta::{MailWorld, ReceivingMta};
-use spamward_net::{PortState, SMTP_PORT};
+use spamward_mta::MailWorld;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -103,37 +102,9 @@ fn build_world(seed: u64, setup: DefenseSetup) -> MailWorld {
     };
     match setup {
         DefenseSetup::Nolisting => worlds::nolisting_world(seed),
-        DefenseSetup::GreylistNet24 | DefenseSetup::GreylistExact => {
-            let netmask = if setup == DefenseSetup::GreylistNet24 { 24 } else { 32 };
-            let mut w = MailWorld::new(seed);
-            w.install_server(
-                ReceivingMta::new("mail.victim.example", worlds::VICTIM_MX_IP)
-                    .with_greylist(greylist(netmask)),
-            );
-            w.dns.publish(Zone::single_mx(
-                VICTIM_DOMAIN.parse().expect("valid victim domain"),
-                worlds::VICTIM_MX_IP,
-            ));
-            w
-        }
-        DefenseSetup::Stack => {
-            let mut w = MailWorld::new(seed);
-            w.network
-                .host("smtp.victim.example")
-                .ip(worlds::VICTIM_DEAD_IP)
-                .port(SMTP_PORT, PortState::Closed)
-                .build();
-            w.install_server(
-                ReceivingMta::new("smtp1.victim.example", worlds::VICTIM_MX_IP)
-                    .with_greylist(greylist(24)),
-            );
-            w.dns.publish(Zone::nolisting(
-                VICTIM_DOMAIN.parse().expect("valid victim domain"),
-                worlds::VICTIM_DEAD_IP,
-                worlds::VICTIM_MX_IP,
-            ));
-            w
-        }
+        DefenseSetup::GreylistNet24 => worlds::custom_greylist_world(seed, greylist(24)),
+        DefenseSetup::GreylistExact => worlds::custom_greylist_world(seed, greylist(32)),
+        DefenseSetup::Stack => worlds::stacked_world(seed, greylist(24)),
     }
 }
 
@@ -171,9 +142,14 @@ pub fn run(config: &FutureThreatsConfig) -> FutureThreatsResult {
     FutureThreatsResult { cells }
 }
 
-impl fmt::Display for FutureThreatsResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
+const READING_NOTE: &str = "Reading: a fully RFC-compliant retrying bot ends the story for both\n\
+     defenses; distributed retry is self-defeating UNLESS the botnet owns a\n\
+     whole /24 — in which case only exact-IP keying holds.";
+
+impl FutureThreatsResult {
+    /// The matrix as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
             "Hypothetical bot",
             "nolisting",
             "greylist /24",
@@ -197,13 +173,53 @@ impl fmt::Display for FutureThreatsResult {
                 cell(DefenseSetup::Stack),
             ]);
         }
-        write!(f, "{t}")?;
-        writeln!(
-            f,
-            "Reading: a fully RFC-compliant retrying bot ends the story for both\n\
-             defenses; distributed retry is self-defeating UNLESS the botnet owns a\n\
-             whole /24 — in which case only exact-IP keying holds."
-        )
+        t
+    }
+}
+
+impl fmt::Display for FutureThreatsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
+        writeln!(f, "{READING_NOTE}")
+    }
+}
+
+/// Registry entry for the §VI adaptation matrix.
+pub struct FutureThreatsExperiment;
+
+impl Experiment for FutureThreatsExperiment {
+    fn id(&self) -> &'static str {
+        "future"
+    }
+
+    fn title(&self) -> &'static str {
+        "Adapted-malware obsolescence matrix"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§VI outlook"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = FutureThreatsConfig {
+            seed: config.seed_or(FutureThreatsConfig::default().seed),
+            recipients: match config.scale {
+                Scale::Paper => FutureThreatsConfig::default().recipients,
+                Scale::Quick => 4,
+            },
+            ..Default::default()
+        };
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report.push_table(result.table()).push_text(READING_NOTE);
+        for cell in &result.cells {
+            report.push_scalar(
+                &format!("delivered (%): {} vs {}", cell.bot, cell.defense),
+                cell.delivery_rate * 100.0,
+            );
+        }
+        report
     }
 }
 

@@ -8,7 +8,8 @@
 //! happen past the threshold, in the 80–90 ks band.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use spamward_analysis::{Cdf, Histogram, Series};
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::{plot, Cdf, Histogram, Series};
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
@@ -194,6 +195,121 @@ impl fmt::Display for KelihosResult {
             writeln!(f, "  retry peak in [{lo:.0} s, {hi:.0} s]")?;
         }
         writeln!(f, "one-spam-task control held: {}", self.single_task_confirmed)
+    }
+}
+
+/// The module config a harness config maps to (one Kelihos run feeds both
+/// the Fig. 3 and Fig. 4 registry entries).
+fn kelihos_config(harness: &HarnessConfig) -> KelihosConfig {
+    KelihosConfig {
+        seed: harness.seed_or(KelihosConfig::default().seed),
+        recipients: match harness.scale {
+            Scale::Paper => KelihosConfig::default().recipients,
+            Scale::Quick => 40,
+        },
+        ..Default::default()
+    }
+}
+
+/// Registry entry for the Fig. 3 delivery-delay CDFs.
+pub struct Fig3Experiment;
+
+impl Experiment for Fig3Experiment {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Kelihos delivery-delay CDFs (5 s vs 300 s threshold)"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Fig. 3"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = kelihos_config(config);
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        let mut lines = String::new();
+        for r in [&result.fast, &result.default] {
+            lines.push_str(&format!(
+                "threshold {:>6}: delivered {:.0}%, median delay {:.0} s, min {:.0} s\n",
+                r.threshold.to_string(),
+                r.delivery_rate * 100.0,
+                r.cdf.quantile(0.5),
+                r.cdf.min(),
+            ));
+        }
+        report
+            .push_text(&lines)
+            .push_text(&format!(
+                "CDF of the 300 s run (x = seconds since first attempt):\n{}",
+                plot::ascii_cdf(&result.default.cdf, 60, 10)
+            ))
+            .push_scalar("5 s delivery rate (%)", result.fast.delivery_rate * 100.0)
+            .push_scalar("300 s delivery rate (%)", result.default.delivery_rate * 100.0)
+            .push_scalar("5 s median delay (s)", result.fast.cdf.quantile(0.5))
+            .push_scalar("300 s median delay (s)", result.default.cdf.quantile(0.5))
+            .push_scalar("KS distance", result.fig3_ks_distance);
+        for series in result.fig3_series() {
+            report.push_series(series);
+        }
+        report
+    }
+}
+
+/// Registry entry for the Fig. 4 long-run retransmission scatter.
+pub struct Fig4Experiment;
+
+impl Experiment for Fig4Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Kelihos retransmissions at a 21600 s threshold"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Fig. 4"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = kelihos_config(config);
+        let result = run(&module_config);
+        let failed = result.extreme.attempts.iter().filter(|p| !p.delivered).count();
+        let delivered = result.extreme.attempts.iter().filter(|p| p.delivered).count();
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        let mut peaks = String::new();
+        for (lo, hi) in result.fig4_peaks() {
+            peaks.push_str(&format!("  retry peak in [{lo:.0} s, {hi:.0} s]\n"));
+        }
+        let mut hist = Histogram::logarithmic(100.0, 100_000.0, 18);
+        hist.extend(
+            result.extreme.attempts.iter().filter(|p| p.delay_secs > 0.0).map(|p| p.delay_secs),
+        );
+        report
+            .push_text(&peaks)
+            .push_text(&format!(
+                "retransmission-delay histogram (seconds, log bins):\n{}",
+                plot::ascii_histogram(&hist, 40)
+            ))
+            .push_scalar("attempts", result.extreme.attempts.len() as f64)
+            .push_scalar("failed attempts", failed as f64)
+            .push_scalar("delivered attempts", delivered as f64)
+            .push_scalar("delivery rate (%)", result.extreme.delivery_rate * 100.0)
+            .push_scalar("retry peaks", result.fig4_peaks().len() as f64)
+            .push_scalar(
+                "one-spam-task control held",
+                f64::from(u8::from(result.single_task_confirmed)),
+            );
+        for series in result.fig4_series() {
+            report.push_series(series);
+        }
+        report
     }
 }
 

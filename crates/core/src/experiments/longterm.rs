@@ -8,12 +8,12 @@
 //! tracks per-month block rates, triplet-store growth, and how much
 //! traffic ends up bypassing greylisting through the AWL.
 
-use crate::experiments::worlds::{VICTIM_DOMAIN, VICTIM_MX_IP};
-use spamward_analysis::AsciiTable;
+use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
-use spamward_dns::Zone;
 use spamward_greylist::{Greylist, GreylistConfig};
-use spamward_mta::{MailWorld, MtaProfile, ReceivingMta, SendingMta};
+use spamward_mta::{MtaProfile, SendingMta};
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{Message, ReversePath};
 use std::fmt;
@@ -84,16 +84,9 @@ impl LongTermResult {
 
 /// Runs the long-term workload.
 pub fn run(config: &LongTermConfig) -> LongTermResult {
-    let mut world = MailWorld::new(config.seed);
     // AWL on (Postgrey default of 5) — the knob under study.
-    world.install_server(
-        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP)
-            .with_greylist(Greylist::new(GreylistConfig::default())),
-    );
-    world.dns.publish(Zone::single_mx(
-        VICTIM_DOMAIN.parse().expect("valid victim domain"),
-        VICTIM_MX_IP,
-    ));
+    let mut world =
+        worlds::custom_greylist_world(config.seed, Greylist::new(GreylistConfig::default()));
 
     let mut rng = DetRng::seed(config.seed).fork("longterm");
     let month = SimDuration::from_days(30);
@@ -172,9 +165,10 @@ pub fn run(config: &LongTermConfig) -> LongTermResult {
     LongTermResult { months }
 }
 
-impl fmt::Display for LongTermResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec![
+impl LongTermResult {
+    /// The monthly trajectory as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
             "Month",
             "Spam blocked",
             "Benign delivered",
@@ -191,12 +185,57 @@ impl fmt::Display for LongTermResult {
                 m.store_size.to_string(),
             ]);
         }
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for LongTermResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(
             f,
             "max month-to-month block-rate swing: {:.1} pp (Sochor: \"remained constant\")",
             self.max_block_rate_swing() * 100.0
         )
+    }
+}
+
+/// Registry entry for the long-term stability run.
+pub struct LongTermExperiment;
+
+impl Experiment for LongTermExperiment {
+    fn id(&self) -> &'static str {
+        "longterm"
+    }
+
+    fn title(&self) -> &'static str {
+        "Month-over-month stability with the auto-whitelist on"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§VII (Sochor)"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = match config.scale {
+            Scale::Paper => LongTermConfig {
+                seed: config.seed_or(LongTermConfig::default().seed),
+                ..Default::default()
+            },
+            Scale::Quick => LongTermConfig {
+                seed: config.seed_or(LongTermConfig::default().seed),
+                spam_campaigns_per_month: 15,
+                benign_per_month: 60,
+                ..Default::default()
+            },
+        };
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report
+            .push_table(result.table())
+            .push_scalar("max block-rate swing (pp)", result.max_block_rate_swing() * 100.0);
+        report
     }
 }
 

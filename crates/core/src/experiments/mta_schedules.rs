@@ -1,6 +1,7 @@
 //! Table IV — default retransmission schedules of popular MTAs.
 
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report};
+use spamward_analysis::Table;
 use spamward_mta::MtaProfile;
 use spamward_sim::SimDuration;
 use std::fmt;
@@ -60,11 +61,11 @@ fn fmt_mins(m: f64) -> String {
     }
 }
 
-impl fmt::Display for SchedulesResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t =
-            AsciiTable::new(vec!["MTA", "Retransmission time (min)", "Max queue time (days)"])
-                .with_title("Table IV: retransmission times of popular MTA servers (first 10 h)");
+impl SchedulesResult {
+    /// Table IV as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["MTA", "Retransmission time (min)", "Max queue time (days)"])
+            .with_title("Table IV: retransmission times of popular MTA servers (first 10 h)");
         for r in &self.rows {
             let mut shown: Vec<String> =
                 r.retransmission_mins.iter().take(10).map(|&m| fmt_mins(m)).collect();
@@ -73,7 +74,45 @@ impl fmt::Display for SchedulesResult {
             }
             t.row(vec![r.mta.clone(), shown.join(", "), fmt_mins(r.max_queue_days)]);
         }
-        write!(f, "{t}")
+        t
+    }
+}
+
+impl fmt::Display for SchedulesResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+/// Registry entry for Table IV. The schedules are fixed catalogue data, so
+/// the run ignores seed and scale.
+pub struct SchedulesExperiment;
+
+impl Experiment for SchedulesExperiment {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Default MTA retransmission schedules"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table IV"
+    }
+
+    fn seedable(&self) -> bool {
+        false
+    }
+
+    fn run(&self, _config: &HarnessConfig) -> Report {
+        let result = run();
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        report
+            .push_table(result.table())
+            .push_scalar("MTAs", result.rows.len() as f64)
+            .push_scalar("below RFC queue guidance", result.below_rfc_queue_time().len() as f64);
+        report
     }
 }
 

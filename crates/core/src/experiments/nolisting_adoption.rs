@@ -7,7 +7,8 @@
 //! ground truth (see `spamward-scanner`), which additionally yields the
 //! detector's precision/recall.
 
-use spamward_analysis::AsciiTable;
+use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use spamward_analysis::Table;
 use spamward_scanner::{
     resolve_missing, BannerGrab, DetectorAccuracy, DnsAnyScan, DomainClass, Fig2Stats,
     NolistingDetector, Population, PopulationSpec, ScanRound,
@@ -122,9 +123,10 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
     AdoptionResult { stats, accuracy, top_k, glue_resolved, between_scan_change }
 }
 
-impl fmt::Display for AdoptionResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec!["Class", "Domains", "Share"])
+impl AdoptionResult {
+    /// The Fig. 2 class breakdown as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Class", "Domains", "Share"])
             .with_title("Figure 2: nolisting mail server statistics");
         for (class, count) in &self.stats.counts {
             t.row(vec![
@@ -133,7 +135,13 @@ impl fmt::Display for AdoptionResult {
                 format!("{:.2}%", self.stats.pct(*class)),
             ]);
         }
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for AdoptionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(
             f,
             "glue re-resolved: {} entries; between-scan drift: {:.3}%",
@@ -150,6 +158,63 @@ impl fmt::Display for AdoptionResult {
             writeln!(f, "nolisting among top-{k} popular domains: {n}")?;
         }
         Ok(())
+    }
+}
+
+/// Registry entry for the Fig. 2 adoption survey.
+pub struct AdoptionExperiment;
+
+impl AdoptionExperiment {
+    /// The module config a harness config maps to (shared with
+    /// [`variance`](crate::experiments::variance)).
+    pub fn config(harness: &HarnessConfig) -> AdoptionConfig {
+        let domains = match harness.scale {
+            Scale::Paper => AdoptionConfig::default().domains,
+            Scale::Quick => 4_000,
+        };
+        AdoptionConfig {
+            domains,
+            seed: harness.seed_or(AdoptionConfig::default().seed),
+            ..Default::default()
+        }
+    }
+}
+
+impl Experiment for AdoptionExperiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Worldwide nolisting adoption survey"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Fig. 2"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = Self::config(config);
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report
+            .push_table(result.table())
+            .push_scalar("nolisting share (%)", result.stats.pct(DomainClass::Nolisting))
+            .push_scalar("one-MX share (%)", result.stats.pct(DomainClass::OneMx))
+            .push_scalar("multi-MX share (%)", result.stats.pct(DomainClass::MultiMxNoNolisting))
+            .push_scalar(
+                "DNS misconfigured share (%)",
+                result.stats.pct(DomainClass::DnsMisconfigured),
+            )
+            .push_scalar("detector precision", result.accuracy.precision())
+            .push_scalar("detector recall", result.accuracy.recall())
+            .push_scalar("glue re-resolved", result.glue_resolved as f64)
+            .push_scalar("between-scan drift (%)", result.between_scan_change * 100.0);
+        for (k, n) in &result.top_k {
+            report.push_scalar(&format!("nolisting among top-{k}"), *n as f64);
+        }
+        report
     }
 }
 

@@ -1,7 +1,13 @@
 //! §VI headline numbers — what fraction of spam either defense stops.
+//!
+//! The summary consumes the Table II experiment through the harness
+//! registry rather than re-running the efficacy module directly: each
+//! family's 0/1 block verdict is read back from the sibling report's
+//! scalars, so this module stays decoupled from the matrix internals.
 
-use crate::experiments::efficacy::{self, EfficacyConfig};
-use spamward_analysis::AsciiTable;
+use crate::experiments::efficacy::EfficacyExperiment;
+use crate::harness::{self, Experiment, HarnessConfig, Report};
+use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
 use std::fmt;
 
@@ -21,45 +27,54 @@ pub struct SummaryResult {
     pub rows: Vec<(String, f64, bool, bool)>,
 }
 
-/// Computes the summary from a fresh Table II run.
-pub fn run(config: &EfficacyConfig) -> SummaryResult {
-    let matrix = efficacy::run(config);
+/// Computes the summary from a fresh Table II run, obtained through the
+/// registry.
+pub fn run(config: &HarnessConfig) -> SummaryResult {
+    let table2 = harness::find("table2").expect("table2 is registered");
+    let report = table2.run(config);
+    let blocks = |defense: &str, family: MalwareFamily| {
+        report.scalar(&format!("{defense} blocks {}", family.name())) == Some(1.0)
+    };
+
     let mut rows = Vec::new();
     let mut either = 0.0;
     for family in MalwareFamily::ALL {
-        let row = matrix
-            .rows
-            .iter()
-            .find(|r| r.family == family)
-            .expect("every family has at least one sample");
-        if row.nolisting_blocked || row.greylisting_blocked {
+        let nl = blocks("nolisting", family);
+        let gl = blocks("greylisting", family);
+        if nl || gl {
             either += family.botnet_spam_pct();
         }
-        rows.push((
-            family.name().to_owned(),
-            family.botnet_spam_pct(),
-            row.nolisting_blocked,
-            row.greylisting_blocked,
-        ));
+        rows.push((family.name().to_owned(), family.botnet_spam_pct(), nl, gl));
     }
     SummaryResult {
-        nolisting_botnet_pct: matrix.botnet_spam_blocked_pct(true),
-        greylisting_botnet_pct: matrix.botnet_spam_blocked_pct(false),
+        nolisting_botnet_pct: report
+            .scalar("nolisting blocked (% of botnet spam)")
+            .expect("table2 reports the nolisting share"),
+        greylisting_botnet_pct: report
+            .scalar("greylisting blocked (% of botnet spam)")
+            .expect("table2 reports the greylisting share"),
         either_botnet_pct: either,
         either_global_pct: either * BOTNET_FRACTION_OF_GLOBAL_SPAM,
         rows,
     }
 }
 
-impl fmt::Display for SummaryResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec!["Family", "Botnet spam", "Nolisting", "Greylisting"])
+impl SummaryResult {
+    /// The per-family verdicts as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Family", "Botnet spam", "Nolisting", "Greylisting"])
             .with_title("Section VI summary: spam blocked per defense");
         for (name, pct, nl, gl) in &self.rows {
             let mark = |b: &bool| if *b { "blocks".to_owned() } else { "-".to_owned() };
             t.row(vec![name.clone(), format!("{pct:.2}%"), mark(nl), mark(gl)]);
         }
-        write!(f, "{t}")?;
+        t
+    }
+}
+
+impl fmt::Display for SummaryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())?;
         writeln!(f, "nolisting alone blocks:   {:.2}% of botnet spam", self.nolisting_botnet_pct)?;
         writeln!(
             f,
@@ -75,12 +90,43 @@ impl fmt::Display for SummaryResult {
     }
 }
 
+/// Registry entry for the §VI headline aggregate.
+pub struct SummaryExperiment;
+
+impl Experiment for SummaryExperiment {
+    fn id(&self) -> &'static str {
+        "summary"
+    }
+
+    fn title(&self) -> &'static str {
+        "Headline blocked-spam shares"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "§VI headline"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let result = run(config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(EfficacyExperiment::config(config).seed);
+        report
+            .push_table(result.table())
+            .push_scalar("nolisting alone (% of botnet spam)", result.nolisting_botnet_pct)
+            .push_scalar("greylisting alone (% of botnet spam)", result.greylisting_botnet_pct)
+            .push_scalar("either defense (% of botnet spam)", result.either_botnet_pct)
+            .push_scalar("either defense (% of global spam)", result.either_global_pct);
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::Scale;
 
     fn quick() -> SummaryResult {
-        run(&EfficacyConfig { recipients: 5, ..Default::default() })
+        run(&HarnessConfig { seed: None, scale: Scale::Quick })
     }
 
     #[test]

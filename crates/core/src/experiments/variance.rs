@@ -4,12 +4,15 @@
 //! draws from a seeded simulator, so we can quantify how much each
 //! reported quantity moves across worlds. Tight intervals mean the
 //! reproduction's conclusions don't hinge on a lucky seed.
+//!
+//! The sweep consumes the Fig. 2 and Fig. 5 experiments through the
+//! harness registry: each seed becomes a [`HarnessConfig`] and the tracked
+//! quantities are read back from the sibling reports' scalars.
 
-use crate::experiments::{deployment, nolisting_adoption};
+use crate::harness::{self, Experiment, HarnessConfig, Report, Scale};
 use crate::runner::run_seeds;
 use spamward_analysis::ci::ConfidenceInterval;
-use spamward_analysis::AsciiTable;
-use spamward_scanner::DomainClass;
+use spamward_analysis::Table;
 use std::fmt;
 
 /// Configuration of the variance sweep.
@@ -19,20 +22,11 @@ pub struct VarianceConfig {
     pub seeds: Vec<u64>,
     /// Worker threads.
     pub workers: usize,
-    /// Fig. 2 population size per run.
-    pub fig2_domains: usize,
-    /// Fig. 5 messages per run.
-    pub fig5_messages: usize,
 }
 
 impl Default for VarianceConfig {
     fn default() -> Self {
-        VarianceConfig {
-            seeds: (100..112).collect(),
-            workers: 4,
-            fig2_domains: 4_000,
-            fig5_messages: 400,
-        }
+        VarianceConfig { seeds: (100..112).collect(), workers: 4 }
     }
 }
 
@@ -61,30 +55,28 @@ impl VarianceResult {
     }
 }
 
-/// Runs the Fig. 2 and Fig. 5 headline quantities across seeds.
+/// Runs the Fig. 2 and Fig. 5 headline quantities across seeds. Each
+/// per-seed run uses [`Scale::Quick`] — the sweep trades per-run size for
+/// seed count, exactly as the old hand-tuned population knobs did.
 pub fn run(config: &VarianceConfig) -> VarianceResult {
-    // Fig. 2 quantities per seed.
-    let fig2_domains = config.fig2_domains;
+    let per_seed = |seed: u64| HarnessConfig { seed: Some(seed), scale: Scale::Quick };
+
+    let fig2 = harness::find("fig2").expect("fig2 is registered");
     let fig2_runs = run_seeds(&config.seeds, config.workers, move |seed| {
-        let cfg = nolisting_adoption::AdoptionConfig {
-            domains: fig2_domains,
-            seed,
-            ..Default::default()
-        };
-        let r = nolisting_adoption::run(&cfg);
+        let r = fig2.run(&per_seed(seed));
         (
-            r.stats.pct(DomainClass::Nolisting),
-            r.stats.pct(DomainClass::OneMx),
-            r.accuracy.precision(),
+            r.scalar("nolisting share (%)").expect("fig2 reports the nolisting share"),
+            r.scalar("one-MX share (%)").expect("fig2 reports the one-MX share"),
+            r.scalar("detector precision").expect("fig2 reports the detector precision"),
         )
     });
-    // Fig. 5 quantities per seed.
-    let fig5_messages = config.fig5_messages;
+    let fig5 = harness::find("fig5").expect("fig5 is registered");
     let fig5_runs = run_seeds(&config.seeds, config.workers, move |seed| {
-        let cfg =
-            deployment::DeploymentConfig { messages: fig5_messages, seed, ..Default::default() };
-        let r = deployment::run(&cfg);
-        (r.within_10min * 100.0, r.abandonment_rate * 100.0)
+        let r = fig5.run(&per_seed(seed));
+        (
+            r.scalar("delivered <10 min (%)").expect("fig5 reports the <10 min share"),
+            r.scalar("abandonment (%)").expect("fig5 reports the abandonment rate"),
+        )
     });
 
     let collect = |f: &dyn Fn(usize) -> f64, n: usize| -> Vec<f64> { (0..n).map(f).collect() };
@@ -125,9 +117,10 @@ pub fn run(config: &VarianceConfig) -> VarianceResult {
     VarianceResult { rows }
 }
 
-impl fmt::Display for VarianceResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = AsciiTable::new(vec!["Quantity", "Paper", "Measured (mean ± 95% CI)"])
+impl VarianceResult {
+    /// The per-quantity intervals as a typed [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Quantity", "Paper", "Measured (mean ± 95% CI)"])
             .with_title("Seed variance of the headline quantities");
         for r in &self.rows {
             let paper = if r.paper_value.is_nan() {
@@ -137,7 +130,56 @@ impl fmt::Display for VarianceResult {
             };
             t.row(vec![r.quantity.clone(), paper, r.ci.to_string()]);
         }
-        write!(f, "{t}")
+        t
+    }
+}
+
+impl fmt::Display for VarianceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+/// Registry entry for the seed-variance sweep. The harness seed shifts the
+/// base of the seed window; the scale knob sets how many seeds it spans.
+pub struct VarianceExperiment;
+
+impl VarianceExperiment {
+    /// The module config a harness config maps to.
+    pub fn config(harness: &HarnessConfig) -> VarianceConfig {
+        let base = harness.seed_or(100);
+        let span = match harness.scale {
+            Scale::Paper => 12,
+            Scale::Quick => 6,
+        };
+        VarianceConfig { seeds: (base..base + span).collect(), workers: 4 }
+    }
+}
+
+impl Experiment for VarianceExperiment {
+    fn id(&self) -> &'static str {
+        "variance"
+    }
+
+    fn title(&self) -> &'static str {
+        "Seed variance of the headline quantities"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "DESIGN.md variance"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        let module_config = Self::config(config);
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(config.seed_or(100));
+        report.push_table(result.table());
+        for row in &result.rows {
+            report.push_scalar(&format!("mean: {}", row.quantity), row.ci.mean);
+            report.push_scalar(&format!("ci95 half-width: {}", row.quantity), row.ci.half_width);
+        }
+        report
     }
 }
 
@@ -146,12 +188,7 @@ mod tests {
     use super::*;
 
     fn quick() -> VarianceResult {
-        run(&VarianceConfig {
-            seeds: (100..106).collect(),
-            fig2_domains: 2_000,
-            fig5_messages: 150,
-            ..Default::default()
-        })
+        run(&VarianceConfig { seeds: (100..106).collect(), ..Default::default() })
     }
 
     #[test]

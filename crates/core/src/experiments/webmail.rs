@@ -5,7 +5,8 @@
 //! distinct source addresses, and whether the message eventually arrived.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use spamward_analysis::{fmt_min_sec, AsciiTable};
+use crate::harness::{Experiment, HarnessConfig, Report};
+use spamward_analysis::{fmt_min_sec, Table};
 use spamward_mta::OutboundStatus;
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, Message, ReversePath};
@@ -124,10 +125,11 @@ impl WebmailResult {
     }
 }
 
-impl fmt::Display for WebmailResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl WebmailResult {
+    /// Table III as a typed [`Table`].
+    pub fn table(&self) -> Table {
         let mut t =
-            AsciiTable::new(vec!["Provider", "Same IP", "Attempts", "Deliver", "Delays (min:sec)"])
+            Table::new(vec!["Provider", "Same IP", "Attempts", "Deliver", "Delays (min:sec)"])
                 .with_title(&format!(
                     "Table III: webmail delivery attempts with a {} greylisting threshold",
                     self.threshold
@@ -148,7 +150,46 @@ impl fmt::Display for WebmailResult {
                 delays.join(", "),
             ]);
         }
-        write!(f, "{t}")
+        t
+    }
+}
+
+impl fmt::Display for WebmailResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table())
+    }
+}
+
+/// Registry entry for the Table III webmail probes.
+pub struct WebmailExperiment;
+
+impl Experiment for WebmailExperiment {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Webmail retries at a 6 h greylisting threshold"
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        "Table III"
+    }
+
+    fn run(&self, config: &HarnessConfig) -> Report {
+        // Ten providers, one message each: already quick at paper scale.
+        let module_config = WebmailConfig {
+            seed: config.seed_or(WebmailConfig::default().seed),
+            ..Default::default()
+        };
+        let result = run(&module_config);
+        let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
+            .with_seed(module_config.seed);
+        report
+            .push_table(result.table())
+            .push_scalar("providers", result.rows.len() as f64)
+            .push_scalar("verdicts matching paper", result.verdict_matches() as f64);
+        report
     }
 }
 

@@ -51,9 +51,52 @@ pub fn nolisting_world(seed: u64) -> MailWorld {
 pub fn greylist_world(seed: u64, delay: SimDuration) -> MailWorld {
     let mut cfg = GreylistConfig::with_delay(delay).without_auto_whitelist();
     cfg.whitelist_recipients.add_local_part("postmaster");
+    custom_greylist_world(seed, Greylist::new(cfg))
+}
+
+/// The standard victim behind an arbitrary pre-configured [`Greylist`] —
+/// the shared base of every keying/capacity/AWL variation the ablations
+/// and extension experiments test.
+pub fn custom_greylist_world(seed: u64, greylist: Greylist) -> MailWorld {
+    greylist_world_at(seed, VICTIM_DOMAIN, "mail.victim.example", greylist)
+}
+
+/// A single-MX deployment at an arbitrary `domain` whose server `host`
+/// runs the given greylist (e.g. the Fig. 5 campus deployment).
+///
+/// # Panics
+///
+/// Panics if `domain` is not a valid DNS name.
+pub fn greylist_world_at(seed: u64, domain: &str, host: &str, greylist: Greylist) -> MailWorld {
+    let domain: DomainName = domain.parse().expect("deployment domain is valid");
+    let mut w = MailWorld::new(seed);
+    w.install_server(ReceivingMta::new(host, VICTIM_MX_IP).with_greylist(greylist));
+    w.dns.publish(Zone::single_mx(domain, VICTIM_MX_IP));
+    w
+}
+
+/// Nolisting *and* greylisting stacked: the dead primary of
+/// [`nolisting_world`] in front of a secondary running `greylist`.
+pub fn stacked_world(seed: u64, greylist: Greylist) -> MailWorld {
+    let mut w = MailWorld::new(seed);
+    w.network
+        .host("smtp.victim.example")
+        .ip(VICTIM_DEAD_IP)
+        .port(SMTP_PORT, PortState::Closed)
+        .build();
+    w.install_server(
+        ReceivingMta::new("smtp1.victim.example", VICTIM_MX_IP).with_greylist(greylist),
+    );
+    w.dns.publish(Zone::nolisting(victim_domain(), VICTIM_DEAD_IP, VICTIM_MX_IP));
+    w
+}
+
+/// A victim whose *only* defense is postscreen-style pregreet (early-talker)
+/// rejection — no delay is inflicted on anyone.
+pub fn pregreet_world(seed: u64) -> MailWorld {
     let mut w = MailWorld::new(seed);
     w.install_server(
-        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_greylist(Greylist::new(cfg)),
+        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP).with_pregreet_rejection(),
     );
     w.dns.publish(Zone::single_mx(victim_domain(), VICTIM_MX_IP));
     w
@@ -77,5 +120,26 @@ mod tests {
         let gl = w.server(VICTIM_MX_IP).unwrap().greylist().unwrap();
         assert_eq!(gl.config().delay, SimDuration::from_secs(300));
         assert_eq!(gl.config().auto_whitelist_after, None);
+    }
+
+    #[test]
+    fn custom_builders_have_expected_shape() {
+        let mut cfg =
+            GreylistConfig::with_delay(SimDuration::from_secs(60)).without_auto_whitelist();
+        cfg.netmask = 32;
+        let w = custom_greylist_world(2, Greylist::new(cfg.clone()));
+        let gl = w.server(VICTIM_MX_IP).unwrap().greylist().unwrap();
+        assert_eq!(gl.config().netmask, 32);
+        assert_eq!(gl.config().delay, SimDuration::from_secs(60));
+
+        let w = greylist_world_at(2, "campus.example", "mx.campus.example", Greylist::new(cfg));
+        assert!(w.server(VICTIM_MX_IP).unwrap().greylist().is_some());
+
+        let w = stacked_world(2, Greylist::new(GreylistConfig::default()));
+        assert_eq!(w.network.probe(VICTIM_DEAD_IP, SMTP_PORT, 0), ProbeResult::Rst);
+        assert!(w.server(VICTIM_MX_IP).unwrap().greylist().is_some());
+
+        let w = pregreet_world(2);
+        assert!(w.server(VICTIM_MX_IP).unwrap().greylist().is_none());
     }
 }

@@ -28,6 +28,18 @@
 //! | [`experiments::longterm`] | does effectiveness hold month over month (Sochor, §VII)? |
 //! | [`experiments::variance`] | how seed-robust is every headline number? |
 //!
+//! All of the above are registered in the [`harness`] — an [`harness::Experiment`]
+//! trait plus static registry — which is how the `repro` CLI, the criterion
+//! benches and the meta-experiments reach them uniformly:
+//!
+//! ```
+//! use spamward_core::harness::{registry, HarnessConfig, Scale};
+//!
+//! let config = HarnessConfig { seed: Some(7), scale: Scale::Quick };
+//! let report = registry()[2].run(&config); // table2
+//! assert_eq!(report.id(), "table2");
+//! ```
+//!
 //! ```
 //! use spamward_core::experiments::efficacy;
 //!
@@ -40,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 mod runner;
 
 pub use runner::{run_seeds, SeedRun};

@@ -7,6 +7,7 @@
 use spamward::core::experiments::{
     costs, deployment, efficacy, future_threats, kelihos, nolisting_adoption, webmail,
 };
+use spamward::core::harness::{self, HarnessConfig, Scale};
 use spamward::core::run_seeds;
 use spamward::scanner::DomainClass;
 
@@ -86,6 +87,34 @@ fn parallel_seed_runner_is_order_independent() {
         nolisting_adoption::run(&cfg).stats.pct(DomainClass::Nolisting)
     });
     assert_eq!(serial, parallel);
+}
+
+/// Every registered experiment's canonical report must be byte-stable
+/// under a fixed seed: same config in, same text/CSV/JSON bytes out. This
+/// is the harness-level pin the CI golden snapshot builds on.
+#[test]
+fn every_registered_report_is_byte_stable() {
+    let config = HarnessConfig { seed: Some(77), scale: Scale::Quick };
+    for exp in harness::registry() {
+        let a = exp.run(&config);
+        let b = exp.run(&config);
+        assert_eq!(a.to_text(), b.to_text(), "{}: text bytes differ across runs", exp.id());
+        assert_eq!(a.to_csv(), b.to_csv(), "{}: CSV bytes differ across runs", exp.id());
+        assert_eq!(a.to_json(), b.to_json(), "{}: JSON bytes differ across runs", exp.id());
+    }
+}
+
+/// `repro all --jobs N` must be byte-identical to the serial run: each
+/// report renders independently and results come back in registry order
+/// regardless of worker count.
+#[test]
+fn parallel_registry_run_matches_serial_bytes() {
+    let config = HarnessConfig { seed: None, scale: Scale::Quick };
+    let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
+    let render = |i: u64| harness::registry()[i as usize].run(&config).to_json();
+    let serial = run_seeds(&indices, 1, render);
+    let parallel = run_seeds(&indices, 4, render);
+    assert_eq!(serial, parallel, "worker count changed the rendered bytes");
 }
 
 /// Re-running the same traced scenario with the same seed must replay the

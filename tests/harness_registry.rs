@@ -1,0 +1,117 @@
+//! Registry completeness: every experiment module is registered exactly
+//! once, ids are unique, and the CLI listing stays in sync with the
+//! DESIGN.md per-experiment index.
+
+use spamward::core::harness;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn every_experiment_module_is_registered_exactly_once() {
+    let dir = repo_path("crates/core/src/experiments");
+    let mut impls_per_module: BTreeMap<String, usize> = BTreeMap::new();
+    for entry in fs::read_dir(&dir).expect("experiments dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let module = path.file_stem().expect("file stem").to_string_lossy().to_string();
+        // mod.rs declares the modules; worlds.rs hosts shared builders.
+        if module == "mod" || module == "worlds" {
+            continue;
+        }
+        let source = fs::read_to_string(&path).expect("readable module source");
+        impls_per_module.insert(module, source.matches("impl Experiment for").count());
+    }
+
+    // kelihos hosts two experiments (fig3 + fig4 share one run); every
+    // other module contributes exactly one registry entry.
+    for (module, count) in &impls_per_module {
+        let expected = if module == "kelihos" { 2 } else { 1 };
+        assert_eq!(
+            *count, expected,
+            "{module}.rs: expected {expected} `impl Experiment` block(s), found {count}"
+        );
+    }
+    let total: usize = impls_per_module.values().sum();
+    assert_eq!(
+        total,
+        harness::registry().len(),
+        "experiment impls vs registry entries: {impls_per_module:?}"
+    );
+}
+
+#[test]
+fn registry_ids_are_unique_and_stable() {
+    let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate experiment id: {ids:?}");
+    // The canonical `repro all` order.
+    assert_eq!(
+        ids,
+        vec![
+            "table1",
+            "fig2",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table3",
+            "table4",
+            "summary",
+            "ablations",
+            "future",
+            "dialects",
+            "costs",
+            "longterm",
+            "variance",
+        ]
+    );
+}
+
+#[test]
+fn design_md_index_matches_registry_order() {
+    let design = fs::read_to_string(repo_path("DESIGN.md")).expect("DESIGN.md");
+    let section = design
+        .split("## Per-experiment index")
+        .nth(1)
+        .expect("DESIGN.md has a per-experiment index")
+        .split("\n## ")
+        .next()
+        .expect("section body");
+    let mut index_ids = Vec::new();
+    for line in section.lines() {
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some(id) = rest.split('`').next() {
+                index_ids.push(id.to_owned());
+            }
+        }
+    }
+    let registry_ids: Vec<String> = harness::registry().iter().map(|e| e.id().to_owned()).collect();
+    assert_eq!(
+        index_ids, registry_ids,
+        "DESIGN.md per-experiment index is out of sync with the registry"
+    );
+}
+
+#[test]
+fn list_text_covers_every_registry_row() {
+    // `repro --list` prints exactly this rendering.
+    let listing = harness::list_text();
+    for exp in harness::registry() {
+        assert!(listing.contains(exp.id()), "--list missing id {}", exp.id());
+        assert!(
+            listing.contains(exp.paper_artifact()),
+            "--list missing artifact {}",
+            exp.paper_artifact()
+        );
+        assert!(listing.contains(exp.title()), "--list missing title {}", exp.title());
+    }
+}

@@ -8,6 +8,7 @@ use spamward::core::experiments::{
     ablations, dataset, deployment, efficacy, kelihos, mta_schedules, nolisting_adoption, summary,
     webmail,
 };
+use spamward::core::harness::{HarnessConfig, Scale};
 use spamward::scanner::DomainClass;
 use spamward::sim::SimDuration;
 
@@ -128,7 +129,8 @@ fn table_iv_schedules() {
 
 #[test]
 fn section_vi_headline() {
-    let s = summary::run(&efficacy::EfficacyConfig { recipients: 4, ..Default::default() });
+    // The summary consumes Table II through the harness registry.
+    let s = summary::run(&HarnessConfig { seed: None, scale: Scale::Quick });
     assert!(s.either_global_pct > 70.0, "\"over 70% of the world spam is prevented\"");
     assert!(s.greylisting_botnet_pct > s.nolisting_botnet_pct);
 }
