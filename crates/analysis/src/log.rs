@@ -18,6 +18,7 @@ use crate::cdf::Cdf;
 use serde::{Deserialize, Serialize};
 use spamward_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// One parsed log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,26 +44,85 @@ pub enum LogKind {
     Other,
 }
 
-/// Parses one log line in the shared text format.
+/// Why one log line could not be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogParseReason {
+    /// The named whitespace-separated field is absent.
+    MissingField(&'static str),
+    /// The leading `<secs>.<micros>` timestamp is malformed.
+    BadTimestamp,
+    /// The trailing `key=<hex>` field is malformed.
+    BadKey,
+}
+
+impl fmt::Display for LogParseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogParseReason::MissingField(name) => write!(f, "missing {name} field"),
+            LogParseReason::BadTimestamp => write!(f, "malformed <secs>.<micros> timestamp"),
+            LogParseReason::BadKey => write!(f, "malformed key=<hex> field"),
+        }
+    }
+}
+
+/// A malformed log line: the typed rejection [`GreylistLogAnalysis::from_lines`]
+/// and [`parse_log_line_strict`] report instead of silently skipping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogParseError {
+    /// 1-based line number within the parsed text; 0 when a line was parsed
+    /// outside a multi-line context.
+    pub line_no: usize,
+    /// The offending line, verbatim.
+    pub line: String,
+    /// What was wrong with it.
+    pub reason: LogParseReason,
+}
+
+impl fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log line {}: {} in {:?}", self.line_no, self.reason, self.line)
+    }
+}
+
+impl std::error::Error for LogParseError {}
+
+/// Parses one log line in the shared text format, reporting *why* a
+/// malformed line was rejected.
 ///
-/// Unknown event strings parse as [`LogKind::Other`]; structurally broken
-/// lines return `None`.
-pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+/// Unknown event strings still parse as [`LogKind::Other`] — the format is
+/// extensible — but structural damage (missing fields, broken timestamp or
+/// key) is a typed error. The returned error carries `line_no: 0`; callers
+/// iterating a file fill in the position.
+pub fn parse_log_line_strict(line: &str) -> Result<LogRecord, LogParseError> {
+    let fail = |reason| LogParseError { line_no: 0, line: line.to_owned(), reason };
     let mut parts = line.split_whitespace();
-    let ts = parts.next()?;
-    let event = parts.next()?;
-    let key = parts.next()?.strip_prefix("key=")?;
-    let (secs, micros) = ts.split_once('.')?;
-    let at =
-        SimTime::from_micros(secs.parse::<u64>().ok()? * 1_000_000 + micros.parse::<u64>().ok()?);
-    let key = u64::from_str_radix(key, 16).ok()?;
+    let ts = parts.next().ok_or_else(|| fail(LogParseReason::MissingField("timestamp")))?;
+    let event = parts.next().ok_or_else(|| fail(LogParseReason::MissingField("event")))?;
+    let key = parts
+        .next()
+        .and_then(|f| f.strip_prefix("key="))
+        .ok_or_else(|| fail(LogParseReason::MissingField("key=")))?;
+    let (secs, micros) = ts.split_once('.').ok_or_else(|| fail(LogParseReason::BadTimestamp))?;
+    let at = match (secs.parse::<u64>(), micros.parse::<u64>()) {
+        (Ok(s), Ok(us)) => SimTime::from_micros(s * 1_000_000 + us),
+        _ => return Err(fail(LogParseReason::BadTimestamp)),
+    };
+    let key = u64::from_str_radix(key, 16).map_err(|_| fail(LogParseReason::BadKey))?;
     let kind = match event {
         "greylisted" => LogKind::Deferred,
         "passed" => LogKind::Passed,
         "accepted" => LogKind::Accepted,
         _ => LogKind::Other,
     };
-    Some(LogRecord { at, kind, key })
+    Ok(LogRecord { at, kind, key })
+}
+
+/// Parses one log line, mapping any malformed line to `None`.
+///
+/// Unknown event strings parse as [`LogKind::Other`]; use
+/// [`parse_log_line_strict`] to learn why a line was rejected.
+pub fn parse_log_line(line: &str) -> Option<LogRecord> {
+    parse_log_line_strict(line).ok()
 }
 
 /// Per-message reconstruction from the anonymized log.
@@ -101,7 +161,7 @@ impl MessageTimeline {
 /// 500.000000 passed key=00000000000000aa
 /// 500.000000 accepted key=00000000000000aa
 /// ";
-/// let analysis = GreylistLogAnalysis::from_lines(log.lines());
+/// let analysis = GreylistLogAnalysis::from_lines(log.lines()).expect("well-formed log");
 /// assert_eq!(analysis.delivered().count(), 1);
 /// let delays = analysis.delivery_delays();
 /// assert_eq!(delays[0].as_secs(), 400);
@@ -136,8 +196,29 @@ impl GreylistLogAnalysis {
         GreylistLogAnalysis { timelines, malformed: 0 }
     }
 
-    /// Builds the analysis from raw text lines, counting malformed ones.
-    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Self {
+    /// Builds the analysis from raw text lines, rejecting the first
+    /// malformed line with a typed [`LogParseError`] (blank lines are
+    /// allowed and skipped).
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<Self, LogParseError> {
+        let mut records = Vec::new();
+        for (idx, line) in lines.into_iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_log_line_strict(line) {
+                Ok(r) => records.push(r),
+                Err(mut e) => {
+                    e.line_no = idx + 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self::from_records(records))
+    }
+
+    /// Builds the analysis from raw text lines, counting (and skipping)
+    /// malformed ones — for real-world logs where damage is expected.
+    pub fn from_lines_lossy<'a>(lines: impl IntoIterator<Item = &'a str>) -> Self {
         let mut records = Vec::new();
         let mut malformed = 0;
         for line in lines {
@@ -154,7 +235,8 @@ impl GreylistLogAnalysis {
         out
     }
 
-    /// Lines that failed to parse.
+    /// Lines [`from_lines_lossy`](Self::from_lines_lossy) failed to parse
+    /// (always 0 for the strict constructors).
     pub fn malformed(&self) -> usize {
         self.malformed
     }
@@ -258,12 +340,40 @@ mod tests {
     }
 
     #[test]
-    fn from_lines_counts_malformed() {
+    fn from_lines_lossy_counts_malformed() {
         let text = "0.000000 greylisted key=01\nnot a line\n\n1.000000 accepted key=01\n";
-        let a = GreylistLogAnalysis::from_lines(text.lines());
+        let a = GreylistLogAnalysis::from_lines_lossy(text.lines());
         assert_eq!(a.malformed(), 1);
         assert_eq!(a.len(), 1);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn from_lines_rejects_malformed_with_position() {
+        let text = "0.000000 greylisted key=01\n\nnot a line\n1.000000 accepted key=01\n";
+        let err = GreylistLogAnalysis::from_lines(text.lines()).unwrap_err();
+        assert_eq!(err.line_no, 3, "1-based, blank line still counted");
+        assert_eq!(err.line, "not a line");
+        assert_eq!(err.reason, LogParseReason::MissingField("key="));
+        assert!(err.to_string().contains("log line 3"));
+
+        let ok = GreylistLogAnalysis::from_lines("0.000000 greylisted key=01\n".lines())
+            .expect("well-formed log parses");
+        assert_eq!(ok.malformed(), 0);
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn strict_parse_reports_reasons() {
+        let reason = |l: &str| parse_log_line_strict(l).unwrap_err().reason;
+        assert_eq!(reason(""), LogParseReason::MissingField("timestamp"));
+        assert_eq!(reason("1.000000"), LogParseReason::MissingField("event"));
+        assert_eq!(reason("1.000000 accepted"), LogParseReason::MissingField("key="));
+        assert_eq!(reason("1.000000 accepted id=01"), LogParseReason::MissingField("key="));
+        assert_eq!(reason("1 accepted key=01"), LogParseReason::BadTimestamp);
+        assert_eq!(reason("x.000000 accepted key=01"), LogParseReason::BadTimestamp);
+        assert_eq!(reason("1.000000 accepted key=zz"), LogParseReason::BadKey);
+        assert!(parse_log_line_strict("1.000000 accepted key=01").is_ok());
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! cargo run --release -p spamward-bench --bin repro -- table3
 //! cargo run --release -p spamward-bench --bin repro -- fig3 --csv
 //! cargo run --release -p spamward-bench --bin repro -- all --jobs 4
-//! cargo run --release -p spamward-bench --bin repro -- all --json
+//! cargo run --release -p spamward-bench --bin repro -- all --json --metrics
+//! cargo run --release -p spamward-bench --bin repro -- table2 --trace smtp
 //! ```
 //!
 //! `all --jobs N` fans the registry across a worker pool; because every
 //! experiment is a pure function of its [`HarnessConfig`] and each report
 //! is rendered independently before being printed in registry order, the
-//! bytes are identical to a serial run.
+//! bytes are identical to a serial run. `--metrics` appends the full
+//! metric dump to text/CSV reports (JSON always embeds it); `--trace
+//! PREFIX` turns event tracing on and prints the matching trace lines to
+//! stderr, leaving stdout untouched.
 
 use spamward_core::harness::{self, HarnessConfig, Scale};
 use spamward_core::run_seeds;
@@ -27,17 +31,22 @@ enum Format {
 fn usage_text() -> String {
     let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
     format!(
-        "usage: repro <artifact> [--csv | --json] [--seed N]\n\
-         \x20      repro all [--csv | --json] [--seed N] [--jobs N]\n\
+        "usage: repro <artifact> [--csv | --json] [--seed N] [--metrics] [--trace PREFIX]\n\
+         \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--metrics] [--trace PREFIX]\n\
          \x20      repro --list\n\
          \n\
          artifacts: {} all\n\
          \n\
-         --list    print the experiment registry and exit\n\
-         --csv     print the report(s) in canonical CSV instead of text\n\
-         --json    print the report(s) in canonical JSON instead of text\n\
-         --seed N  override the default seed of seedable artifacts\n\
-         --jobs N  run `all` across N worker threads (byte-identical to serial)",
+         --list          print the experiment registry and exit\n\
+         --csv           print the report(s) in canonical CSV instead of text\n\
+         --json          print the report(s) in canonical JSON instead of text\n\
+         --seed N        override the default seed of seedable artifacts\n\
+         --jobs N        run `all` across N worker threads (byte-identical to serial)\n\
+         --metrics       append the full metric dump to text/CSV reports\n\
+         \x20               (JSON always embeds the metrics section)\n\
+         --trace PREFIX  run with event tracing and print trace lines whose\n\
+         \x20               dotted category starts with PREFIX to stderr\n\
+         \x20               (\"\" matches every category)",
         ids.join(" ")
     )
 }
@@ -47,12 +56,23 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn render(report: &harness::Report, format: Format) -> String {
+fn render(report: &harness::Report, format: Format, metrics: bool) -> String {
     match format {
+        Format::Text if metrics => report.to_text_with_metrics(),
         Format::Text => report.to_text(),
+        Format::Csv if metrics => report.to_csv_with_metrics(),
         Format::Csv => report.to_csv(),
+        // JSON always embeds the canonical metrics section.
         Format::Json => report.to_json(),
     }
+}
+
+/// True when a rendered trace line's dotted category starts with `prefix`.
+/// Lines render as `[<time>] <category>: <detail>`.
+fn trace_line_matches(line: &str, prefix: &str) -> bool {
+    line.split_once("] ")
+        .and_then(|(_, rest)| rest.split_once(": "))
+        .is_some_and(|(category, _)| category.starts_with(prefix))
 }
 
 /// Joins per-experiment renderings into the final output: a JSON array for
@@ -72,6 +92,8 @@ fn main() {
     let mut json = false;
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut metrics = false;
+    let mut trace: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,6 +101,12 @@ fn main() {
             "--list" => list = true,
             "--csv" => csv = true,
             "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--trace" => {
+                let value =
+                    it.next().unwrap_or_else(|| fail("--trace needs a category prefix value"));
+                trace = Some(value.to_owned());
+            }
             "--seed" => {
                 let value = it.next().unwrap_or_else(|| fail("--seed needs a value"));
                 seed = Some(value.parse().unwrap_or_else(|_| {
@@ -106,7 +134,14 @@ fn main() {
     }
 
     if list {
-        if artifact.is_some() || seed.is_some() || jobs.is_some() || csv || json {
+        if artifact.is_some()
+            || seed.is_some()
+            || jobs.is_some()
+            || csv
+            || json
+            || metrics
+            || trace.is_some()
+        {
             fail("--list takes no other arguments");
         }
         print!("{}", harness::list_text());
@@ -123,15 +158,35 @@ fn main() {
         Format::Text
     };
     let Some(artifact) = artifact else { fail("missing artifact") };
-    let config = HarnessConfig { seed, scale: Scale::Paper };
+    let config = HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some() };
+
+    // Each worker returns (rendered report, filtered trace lines); stdout
+    // and stderr are both emitted in registry order after the runs finish,
+    // so the bytes are invariant under --jobs.
+    let run_one = |exp: &dyn harness::Experiment| -> (String, Vec<String>) {
+        let report = exp.run(&config);
+        let trace_lines = match &trace {
+            Some(prefix) => report
+                .trace_lines()
+                .iter()
+                .filter(|line| trace_line_matches(line, prefix))
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        };
+        (render(&report, format, metrics), trace_lines)
+    };
 
     if artifact == "all" {
         let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
-        let runs = run_seeds(&indices, jobs.unwrap_or(1), |i| {
-            render(&harness::registry()[i as usize].run(&config), format)
-        });
-        let bodies: Vec<String> = runs.into_iter().map(|r| r.output).collect();
+        let runs =
+            run_seeds(&indices, jobs.unwrap_or(1), |i| run_one(harness::registry()[i as usize]));
+        let (bodies, traces): (Vec<String>, Vec<Vec<String>>) =
+            runs.into_iter().map(|r| r.output).unzip();
         print!("{}", join_reports(&bodies, format));
+        for line in traces.iter().flatten() {
+            eprintln!("{line}");
+        }
     } else {
         if jobs.is_some() {
             fail("--jobs only applies to `repro all`");
@@ -144,11 +199,14 @@ fn main() {
                 "artifact {artifact:?} is not seedable; its output is fixed catalogue data"
             ));
         }
-        let body = render(&exp.run(&config), format);
+        let (body, trace_lines) = run_one(exp);
         if format == Format::Json {
             println!("{body}");
         } else {
             print!("{body}");
+        }
+        for line in &trace_lines {
+            eprintln!("{line}");
         }
     }
 }

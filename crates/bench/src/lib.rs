@@ -21,7 +21,7 @@ use spamward_core::harness::{HarnessConfig, Scale};
 /// seeds, [`Scale::Quick`] populations (same code path as the paper-scale
 /// run, seconds instead of minutes).
 pub fn quick_config() -> HarnessConfig {
-    HarnessConfig { seed: None, scale: Scale::Quick }
+    HarnessConfig { seed: None, scale: Scale::Quick, trace: false }
 }
 
 #[cfg(test)]

@@ -32,6 +32,12 @@ pub struct BotRunReport {
     pub delivered: Vec<EmailAddress>,
     /// Victims the bot gave up on.
     pub failed: Vec<EmailAddress>,
+    /// Connection attempts per MX preference rank: entry `k` counts how
+    /// often the bot tried the victim's rank-`k` exchanger (0 = primary).
+    /// The shape of this vector *is* the family's [`MxStrategy`]
+    /// (`spamward_mta::MxStrategy`) as observed from the victim side —
+    /// nolisting works exactly when entry 0 is the only non-zero entry.
+    pub mx_rank_attempts: Vec<u64>,
 }
 
 impl BotRunReport {
@@ -141,8 +147,16 @@ impl BotSample {
                     break false;
                 }
                 attempt_no += 1;
-                let outcome =
+                let attempt =
                     self.attempt_once(world, campaign, rcpt, &domain, &dialect, strategy, at);
+                for mx in &attempt.mx_trail {
+                    let rank = mx.preference_rank;
+                    if report.mx_rank_attempts.len() <= rank {
+                        report.mx_rank_attempts.resize(rank + 1, 0);
+                    }
+                    report.mx_rank_attempts[rank] += 1;
+                }
+                let outcome = attempt.outcome.is_delivered();
                 report.attempts.push(BotAttempt {
                     recipient: rcpt.clone(),
                     attempt: attempt_no,
@@ -182,11 +196,10 @@ impl BotSample {
         dialect: &spamward_smtp::Dialect,
         strategy: spamward_mta::MxStrategy,
         at: SimTime,
-    ) -> bool {
+    ) -> spamward_mta::AttemptReport {
         let envelope = self.envelope_for(campaign, rcpt);
         let message: Message = campaign.message.clone();
-        let report = world.attempt_delivery(at, dialect, strategy, domain, envelope, message);
-        report.outcome.is_delivered()
+        world.attempt_delivery(at, dialect, strategy, domain, envelope, message)
     }
 
     /// Builds the full sample roster of Table I: 3 Cutwail, 6 Kelihos,

@@ -27,6 +27,7 @@ mod behavior;
 mod bot;
 mod campaign;
 mod family;
+pub mod metrics;
 
 pub use adaptive::{synthetic_recipients, AdaptiveBot};
 pub use behavior::{BotRetrySchedule, RetryBehavior};

@@ -505,6 +505,7 @@ impl Experiment for AblationsExperiment {
         let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        crate::metrics::collect_ablations(&result, report.metrics_mut());
         for table in result.tables() {
             report.push_table(table);
         }

@@ -13,6 +13,7 @@ use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, Report, Scale};
 use spamward_analysis::Table;
 use spamward_mta::{MailWorld, MtaProfile, SendingMta};
+use spamward_obs::Registry;
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{Message, ReversePath};
 use std::fmt;
@@ -73,7 +74,17 @@ impl CostsResult {
     }
 }
 
-fn run_setup(config: &CostsConfig, setup: &str, mut world: MailWorld) -> CostRow {
+fn run_setup(
+    config: &CostsConfig,
+    setup: &str,
+    mut world: MailWorld,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> CostRow {
+    if trace {
+        world = world.with_tracing();
+    }
     let dns_before = world.dns.queries_served();
     let mut delivered = 0usize;
     let mut total_delay = SimDuration::ZERO;
@@ -97,7 +108,10 @@ fn run_setup(config: &CostsConfig, setup: &str, mut world: MailWorld) -> CostRow
             delivered += 1;
             total_delay += r.since_enqueue;
         }
+        spamward_mta::metrics::collect_sender(&sender, reg);
     }
+    spamward_mta::metrics::collect_world(&world, reg);
+    trace_lines.extend(world.trace.events().map(|e| e.to_string()));
     let store_entries =
         world.server(VICTIM_MX_IP).and_then(|s| s.greylist()).map(|g| g.store().len()).unwrap_or(0);
     CostRow {
@@ -112,10 +126,36 @@ fn run_setup(config: &CostsConfig, setup: &str, mut world: MailWorld) -> CostRow
 
 /// Runs the three configurations.
 pub fn run(config: &CostsConfig) -> CostsResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs the three configurations, aggregating protocol metrics from every
+/// setup's world into `reg` and (when `trace` is set) draining delivery
+/// traces into `trace_lines`.
+pub fn run_with_obs(
+    config: &CostsConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> CostsResult {
     let rows = vec![
-        run_setup(config, "unprotected", worlds::plain_world(config.seed)),
-        run_setup(config, "nolisting", worlds::nolisting_world(config.seed)),
-        run_setup(config, "greylisting", worlds::greylist_world(config.seed, config.threshold)),
+        run_setup(config, "unprotected", worlds::plain_world(config.seed), trace, reg, trace_lines),
+        run_setup(
+            config,
+            "nolisting",
+            worlds::nolisting_world(config.seed),
+            trace,
+            reg,
+            trace_lines,
+        ),
+        run_setup(
+            config,
+            "greylisting",
+            worlds::greylist_world(config.seed, config.threshold),
+            trace,
+            reg,
+            trace_lines,
+        ),
     ];
     CostsResult { rows }
 }
@@ -184,9 +224,14 @@ impl Experiment for CostsExperiment {
             },
             ..Default::default()
         };
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report.push_table(result.table());
         for row in &result.rows {
             report.push_scalar(

@@ -86,6 +86,7 @@ impl Experiment for Table1Experiment {
     fn run(&self, _config: &HarnessConfig) -> Report {
         let t = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        crate::metrics::collect_table1(&t, report.metrics_mut());
         report
             .push_table(t.table())
             .push_text(&format!(

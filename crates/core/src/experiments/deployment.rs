@@ -17,6 +17,7 @@ use spamward_analysis::{plot, Cdf, Series};
 use spamward_dns::DomainName;
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_mta::{MailWorld, MtaProfile, RetrySchedule, SendingMta};
+use spamward_obs::Registry;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, Message, ReversePath};
 use spamward_webmail::WebmailProvider;
@@ -202,7 +203,8 @@ fn build_traffic(config: &DeploymentConfig) -> Vec<(SimTime, SendingMta)> {
 fn summarize(world: &MailWorld, senders: &[SendingMta], messages: usize) -> DeploymentResult {
     // Analyze the *server's* anonymized log, as the paper did.
     let log_text = world.server(VICTIM_MX_IP).expect("deployment server").log_text();
-    let analysis = GreylistLogAnalysis::from_lines(log_text.lines());
+    let analysis =
+        GreylistLogAnalysis::from_lines(log_text.lines()).expect("MTA log lines are well-formed");
     let cdf = analysis.delay_cdf();
     let within_10min = if cdf.is_empty() { 0.0 } else { cdf.fraction_at_or_below(600.0) };
     let beyond_50min = if cdf.is_empty() { 0.0 } else { 1.0 - cdf.fraction_at_or_below(3_000.0) };
@@ -221,12 +223,32 @@ fn summarize(world: &MailWorld, senders: &[SendingMta], messages: usize) -> Depl
 /// Runs the deployment replay, draining each sender to completion in turn
 /// (senders are triplet-independent, so ordering is immaterial).
 pub fn run(config: &DeploymentConfig) -> DeploymentResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// The same replay, exporting per-sender and victim-world metrics into
+/// `reg` and (when `trace` is set) draining delivery traces into
+/// `trace_lines`.
+pub fn run_with_obs(
+    config: &DeploymentConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> DeploymentResult {
     let mut world = build_world(config);
+    if trace {
+        world = world.with_tracing();
+    }
     let mut traffic = build_traffic(config);
     for (arrival, sender) in &mut traffic {
         sender.drain(*arrival, &mut world);
     }
     let senders: Vec<SendingMta> = traffic.into_iter().map(|(_, s)| s).collect();
+    for sender in &senders {
+        spamward_mta::metrics::collect_sender(sender, reg);
+    }
+    spamward_mta::metrics::collect_world(&world, reg);
+    trace_lines.extend(world.trace.events().map(|e| e.to_string()));
     summarize(&world, &senders, config.messages)
 }
 
@@ -324,9 +346,14 @@ impl Experiment for DeploymentExperiment {
 
     fn run(&self, config: &HarnessConfig) -> Report {
         let module_config = Self::config(config);
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report
             .push_text(&format!(
                 "benign delivery-delay CDF (x = seconds):\n{}",

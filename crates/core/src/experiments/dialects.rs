@@ -181,6 +181,7 @@ impl Experiment for DialectsExperiment {
     fn run(&self, _config: &HarnessConfig) -> Report {
         let result = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        crate::metrics::collect_dialects(&result, report.metrics_mut());
         report
             .push_table(result.table())
             .push_scalar("sender models", result.observations.len() as f64)

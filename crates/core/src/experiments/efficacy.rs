@@ -9,6 +9,7 @@ use crate::experiments::worlds::{self, VICTIM_DOMAIN};
 use crate::harness::{Experiment, HarnessConfig, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
+use spamward_obs::Registry;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -91,6 +92,18 @@ impl EfficacyResult {
 
 /// Runs the Table II experiment.
 pub fn run(config: &EfficacyConfig) -> EfficacyResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs the Table II experiment, aggregating protocol metrics from every
+/// per-sample world into `reg` and (when `trace` is set) draining the
+/// worlds' delivery traces into `trace_lines`.
+pub fn run_with_obs(
+    config: &EfficacyConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> EfficacyResult {
     let roster = BotSample::table_i_roster(Ipv4Addr::new(203, 0, 113, 1));
     let horizon = SimTime::ZERO + config.window;
     let mut rows = Vec::new();
@@ -103,13 +116,25 @@ pub fn run(config: &EfficacyConfig) -> EfficacyResult {
 
         // (a) nolisting victim.
         let mut world = worlds::nolisting_world(config.seed);
+        if trace {
+            world = world.with_tracing();
+        }
         let mut bot = sample.clone();
         let nolisting_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+        spamward_mta::metrics::collect_world(&world, reg);
+        spamward_botnet::metrics::collect_run(sample.family(), &nolisting_report, reg);
+        trace_lines.extend(world.trace.events().map(|e| e.to_string()));
 
         // (b) greylisting victim.
         let mut world = worlds::greylist_world(config.seed, config.greylist_delay);
+        if trace {
+            world = world.with_tracing();
+        }
         let mut bot = sample.clone();
         let greylist_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+        spamward_mta::metrics::collect_world(&world, reg);
+        spamward_botnet::metrics::collect_run(sample.family(), &greylist_report, reg);
+        trace_lines.extend(world.trace.events().map(|e| e.to_string()));
 
         rows.push(EfficacyRow {
             family: sample.family(),
@@ -189,9 +214,14 @@ impl Experiment for EfficacyExperiment {
 
     fn run(&self, config: &HarnessConfig) -> Report {
         let module_config = Self::config(config);
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report
             .push_table(result.table())
             .push_scalar(

@@ -12,6 +12,7 @@ use spamward_analysis::Table;
 use spamward_botnet::{AdaptiveBot, Campaign};
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_mta::MailWorld;
+use spamward_obs::Registry;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -119,10 +120,25 @@ fn bots() -> Vec<AdaptiveBot> {
 
 /// Runs the full (bot × defense) matrix.
 pub fn run(config: &FutureThreatsConfig) -> FutureThreatsResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs the full (bot × defense) matrix, aggregating per-world protocol
+/// metrics into `reg` and (when `trace` is set) draining delivery traces
+/// into `trace_lines`.
+pub fn run_with_obs(
+    config: &FutureThreatsConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> FutureThreatsResult {
     let mut cells = Vec::new();
     for template in bots() {
         for defense in DefenseSetup::ALL {
             let mut world = build_world(config.seed, defense);
+            if trace {
+                world = world.with_tracing();
+            }
             let mut rng = DetRng::seed(config.seed).fork("future");
             let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut rng);
             let mut bot = template.clone();
@@ -132,6 +148,8 @@ pub fn run(config: &FutureThreatsConfig) -> FutureThreatsResult {
                 SimTime::ZERO,
                 SimTime::ZERO + config.horizon,
             );
+            spamward_mta::metrics::collect_world(&world, reg);
+            trace_lines.extend(world.trace.events().map(|e| e.to_string()));
             cells.push(ThreatCell {
                 bot: template.name.clone(),
                 defense,
@@ -209,9 +227,14 @@ impl Experiment for FutureThreatsExperiment {
             },
             ..Default::default()
         };
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report.push_table(result.table()).push_text(READING_NOTE);
         for cell in &result.cells {
             report.push_scalar(

@@ -11,6 +11,7 @@ use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, Report, Scale};
 use spamward_analysis::{plot, Cdf, Histogram, Series};
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
+use spamward_obs::Registry;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -71,13 +72,25 @@ pub struct KelihosResult {
     pub single_task_confirmed: bool,
 }
 
-fn run_threshold(config: &KelihosConfig, threshold: SimDuration) -> ThresholdRun {
+fn run_threshold(
+    config: &KelihosConfig,
+    threshold: SimDuration,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> ThresholdRun {
     let mut world = worlds::greylist_world(config.seed, threshold);
+    if trace {
+        world = world.with_tracing();
+    }
     let mut bot = BotSample::new(MalwareFamily::Kelihos, 0, Ipv4Addr::new(203, 0, 113, 99));
     let mut rng = DetRng::seed(config.seed).fork("kelihos-campaign");
     let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut rng);
     let report =
         bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::ZERO + config.horizon);
+    spamward_mta::metrics::collect_world(&world, reg);
+    spamward_botnet::metrics::collect_run(MalwareFamily::Kelihos, &report, reg);
+    trace_lines.extend(world.trace.events().map(|e| e.to_string()));
 
     let delays: Vec<SimDuration> =
         report.attempts.iter().filter(|a| a.delivered).map(|a| a.since_first).collect();
@@ -96,9 +109,21 @@ fn run_threshold(config: &KelihosConfig, threshold: SimDuration) -> ThresholdRun
 
 /// Runs all three thresholds plus the one-spam-task control.
 pub fn run(config: &KelihosConfig) -> KelihosResult {
-    let fast = run_threshold(config, SimDuration::from_secs(5));
-    let default = run_threshold(config, SimDuration::from_secs(300));
-    let extreme = run_threshold(config, SimDuration::from_secs(21_600));
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs all three thresholds, aggregating per-world protocol metrics into
+/// `reg` and (when `trace` is set) draining delivery traces into
+/// `trace_lines`.
+pub fn run_with_obs(
+    config: &KelihosConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> KelihosResult {
+    let fast = run_threshold(config, SimDuration::from_secs(5), trace, reg, trace_lines);
+    let default = run_threshold(config, SimDuration::from_secs(300), trace, reg, trace_lines);
+    let extreme = run_threshold(config, SimDuration::from_secs(21_600), trace, reg, trace_lines);
     let fig3_ks_distance = fast.cdf.ks_distance(&default.cdf);
 
     // One-spam-task control: re-run the extreme threshold with an
@@ -229,9 +254,14 @@ impl Experiment for Fig3Experiment {
 
     fn run(&self, config: &HarnessConfig) -> Report {
         let module_config = kelihos_config(config);
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         let mut lines = String::new();
         for r in [&result.fast, &result.default] {
             lines.push_str(&format!(
@@ -278,11 +308,16 @@ impl Experiment for Fig4Experiment {
 
     fn run(&self, config: &HarnessConfig) -> Report {
         let module_config = kelihos_config(config);
-        let result = run(&module_config);
-        let failed = result.extreme.attempts.iter().filter(|p| !p.delivered).count();
-        let delivered = result.extreme.attempts.iter().filter(|p| p.delivered).count();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
+        let failed = result.extreme.attempts.iter().filter(|p| !p.delivered).count();
+        let delivered = result.extreme.attempts.iter().filter(|p| p.delivered).count();
         let mut peaks = String::new();
         for (lo, hi) in result.fig4_peaks() {
             peaks.push_str(&format!("  retry peak in [{lo:.0} s, {hi:.0} s]\n"));

@@ -14,6 +14,7 @@ use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_mta::{MtaProfile, SendingMta};
+use spamward_obs::Registry;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{Message, ReversePath};
 use std::fmt;
@@ -84,9 +85,24 @@ impl LongTermResult {
 
 /// Runs the long-term workload.
 pub fn run(config: &LongTermConfig) -> LongTermResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs the long-term workload, exporting the victim world's end-of-run
+/// protocol metrics into `reg` and (when `trace` is set) draining delivery
+/// traces into `trace_lines`.
+pub fn run_with_obs(
+    config: &LongTermConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> LongTermResult {
     // AWL on (Postgrey default of 5) — the knob under study.
     let mut world =
         worlds::custom_greylist_world(config.seed, Greylist::new(GreylistConfig::default()));
+    if trace {
+        world = world.with_tracing();
+    }
 
     let mut rng = DetRng::seed(config.seed).fork("longterm");
     let month = SimDuration::from_days(30);
@@ -162,6 +178,8 @@ pub fn run(config: &LongTermConfig) -> LongTermResult {
             store_size,
         });
     }
+    spamward_mta::metrics::collect_world(&world, reg);
+    trace_lines.extend(world.trace.events().map(|e| e.to_string()));
     LongTermResult { months }
 }
 
@@ -229,9 +247,14 @@ impl Experiment for LongTermExperiment {
                 ..Default::default()
             },
         };
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report
             .push_table(result.table())
             .push_scalar("max block-rate swing (pp)", result.max_block_rate_swing() * 100.0);

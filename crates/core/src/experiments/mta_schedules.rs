@@ -108,6 +108,7 @@ impl Experiment for SchedulesExperiment {
     fn run(&self, _config: &HarnessConfig) -> Report {
         let result = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
+        crate::metrics::collect_schedules(&result, report.metrics_mut());
         report
             .push_table(result.table())
             .push_scalar("MTAs", result.rows.len() as f64)

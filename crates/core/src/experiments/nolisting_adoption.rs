@@ -9,6 +9,7 @@
 
 use crate::harness::{Experiment, HarnessConfig, Report, Scale};
 use spamward_analysis::Table;
+use spamward_obs::Registry;
 use spamward_scanner::{
     resolve_missing, BannerGrab, DetectorAccuracy, DnsAnyScan, DomainClass, Fig2Stats,
     NolistingDetector, Population, PopulationSpec, ScanRound,
@@ -68,6 +69,17 @@ pub struct AdoptionResult {
 /// Panics if fewer than two scan epochs are configured (the cross-check
 /// needs at least two).
 pub fn run(config: &AdoptionConfig) -> AdoptionResult {
+    run_with_obs(config, &mut Registry::new())
+}
+
+/// Runs the Fig. 2 survey, exporting scan-pipeline and classification
+/// metrics into `reg`. (The survey has no mail world, so there is no trace
+/// stream to drain.)
+///
+/// # Panics
+///
+/// Panics if fewer than two scan epochs are configured.
+pub fn run_with_obs(config: &AdoptionConfig, reg: &mut Registry) -> AdoptionResult {
     assert!(config.epochs.len() >= 2, "the cross-check needs at least two scans");
     let mut spec = config.spec.clone();
     spec.domains = config.domains;
@@ -105,6 +117,9 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
 
     let (stats, verdicts) = NolistingDetector::run(&rounds, &names);
     let accuracy = NolistingDetector::score(&pop, &verdicts);
+    spamward_scanner::metrics::collect_rounds(&rounds, reg);
+    spamward_scanner::metrics::collect_fig2(&stats, reg);
+    spamward_scanner::metrics::collect_accuracy(&accuracy, reg);
 
     let top_k = [15u32, 500, 1000]
         .iter()
@@ -195,9 +210,9 @@ impl Experiment for AdoptionExperiment {
 
     fn run(&self, config: &HarnessConfig) -> Report {
         let module_config = Self::config(config);
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let result = run_with_obs(&module_config, report.metrics_mut());
         report
             .push_table(result.table())
             .push_scalar("nolisting share (%)", result.stats.pct(DomainClass::Nolisting))

@@ -9,6 +9,7 @@ use crate::experiments::efficacy::EfficacyExperiment;
 use crate::harness::{self, Experiment, HarnessConfig, Report};
 use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
+use spamward_obs::Registry;
 use std::fmt;
 
 /// The §VI aggregate.
@@ -30,8 +31,21 @@ pub struct SummaryResult {
 /// Computes the summary from a fresh Table II run, obtained through the
 /// registry.
 pub fn run(config: &HarnessConfig) -> SummaryResult {
+    run_with_obs(config, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Computes the summary, folding the inner Table II run's metric registry
+/// into `reg` and its trace lines (non-empty only when `config.trace` is
+/// set) into `trace_lines`.
+pub fn run_with_obs(
+    config: &HarnessConfig,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> SummaryResult {
     let table2 = harness::find("table2").expect("table2 is registered");
     let report = table2.run(config);
+    reg.merge(report.metrics());
+    trace_lines.extend(report.trace_lines().iter().cloned());
     let blocks = |defense: &str, family: MalwareFamily| {
         report.scalar(&format!("{defense} blocks {}", family.name())) == Some(1.0)
     };
@@ -107,9 +121,14 @@ impl Experiment for SummaryExperiment {
     }
 
     fn run(&self, config: &HarnessConfig) -> Report {
-        let result = run(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(EfficacyExperiment::config(config).seed);
+        let mut trace_lines = Vec::new();
+        let result = run_with_obs(config, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
+        crate::metrics::collect_summary(&result, report.metrics_mut());
         report
             .push_table(result.table())
             .push_scalar("nolisting alone (% of botnet spam)", result.nolisting_botnet_pct)
@@ -126,7 +145,7 @@ mod tests {
     use crate::harness::Scale;
 
     fn quick() -> SummaryResult {
-        run(&HarnessConfig { seed: None, scale: Scale::Quick })
+        run(&HarnessConfig { seed: None, scale: Scale::Quick, trace: false })
     }
 
     #[test]

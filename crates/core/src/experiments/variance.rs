@@ -59,7 +59,8 @@ impl VarianceResult {
 /// per-seed run uses [`Scale::Quick`] — the sweep trades per-run size for
 /// seed count, exactly as the old hand-tuned population knobs did.
 pub fn run(config: &VarianceConfig) -> VarianceResult {
-    let per_seed = |seed: u64| HarnessConfig { seed: Some(seed), scale: Scale::Quick };
+    let per_seed =
+        |seed: u64| HarnessConfig { seed: Some(seed), scale: Scale::Quick, trace: false };
 
     let fig2 = harness::find("fig2").expect("fig2 is registered");
     let fig2_runs = run_seeds(&config.seeds, config.workers, move |seed| {
@@ -174,6 +175,7 @@ impl Experiment for VarianceExperiment {
         let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(config.seed_or(100));
+        crate::metrics::collect_variance(&result, report.metrics_mut());
         report.push_table(result.table());
         for row in &result.rows {
             report.push_scalar(&format!("mean: {}", row.quantity), row.ci.mean);

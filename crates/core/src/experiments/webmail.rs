@@ -8,6 +8,7 @@ use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, Report};
 use spamward_analysis::{fmt_min_sec, Table};
 use spamward_mta::OutboundStatus;
+use spamward_obs::Registry;
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, Message, ReversePath};
 use spamward_webmail::WebmailProvider;
@@ -66,11 +67,26 @@ pub struct WebmailResult {
 
 /// Runs the Table III experiment.
 pub fn run(config: &WebmailConfig) -> WebmailResult {
+    run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
+}
+
+/// Runs the Table III experiment, exporting per-provider retry metrics and
+/// per-world protocol metrics into `reg` and (when `trace` is set) draining
+/// delivery traces into `trace_lines`.
+pub fn run_with_obs(
+    config: &WebmailConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+) -> WebmailResult {
     let mut rows = Vec::new();
     for (idx, provider) in WebmailProvider::table_iii().into_iter().enumerate() {
         // Fresh victim per provider so triplet state never leaks across
         // rows.
         let mut world = worlds::greylist_world(config.seed, config.threshold);
+        if trace {
+            world = world.with_tracing();
+        }
         let pool_base = Ipv4Addr::new(198, 18, idx as u8, 1);
         let mut sender = if config.spread_subnets {
             provider.build_sender_spread(pool_base, config.seed)
@@ -94,6 +110,9 @@ pub fn run(config: &WebmailConfig) -> WebmailResult {
             SimTime::ZERO,
         );
         sender.drain(SimTime::ZERO, &mut world);
+        spamward_webmail::metrics::collect_provider(&provider, &sender, reg);
+        spamward_mta::metrics::collect_world(&world, reg);
+        trace_lines.extend(world.trace.events().map(|e| e.to_string()));
 
         let records = sender.records();
         let used_ips: HashSet<Ipv4Addr> = records.iter().map(|r| r.source_ip).collect();
@@ -182,9 +201,14 @@ impl Experiment for WebmailExperiment {
             seed: config.seed_or(WebmailConfig::default().seed),
             ..Default::default()
         };
-        let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
+        let mut trace_lines = Vec::new();
+        let result =
+            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        for line in &trace_lines {
+            report.push_trace_line(line);
+        }
         report
             .push_table(result.table())
             .push_scalar("providers", result.rows.len() as f64)

@@ -17,12 +17,13 @@
 //! use spamward_core::harness::{find, HarnessConfig, Scale};
 //!
 //! let exp = find("table2").unwrap();
-//! let report = exp.run(&HarnessConfig { seed: None, scale: Scale::Quick });
+//! let report = exp.run(&HarnessConfig { seed: None, scale: Scale::Quick, trace: false });
 //! assert!(report.scalar("greylisting blocked (% of botnet spam)").is_some());
 //! ```
 
 use spamward_analysis::json::{json_array, json_f64, json_string};
 use spamward_analysis::{Series, Table};
+use spamward_obs::Registry;
 
 use crate::experiments::{
     ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
@@ -52,6 +53,12 @@ pub struct HarnessConfig {
     pub seed: Option<u64>,
     /// Run size.
     pub scale: Scale,
+    /// Capture delivery traces: experiments that drive a
+    /// [`spamward_mta::MailWorld`] enable its tracer and attach the
+    /// rendered events to the report via [`Report::push_trace_line`].
+    /// Trace lines are diagnostics — they never enter the canonical
+    /// text/CSV/JSON bytes (`repro --trace` routes them to stderr).
+    pub trace: bool,
 }
 
 impl HarnessConfig {
@@ -83,10 +90,13 @@ pub struct Report {
     title: String,
     paper_artifact: String,
     seed: Option<u64>,
+    metrics: Registry,
     tables: Vec<Table>,
     series: Vec<Series>,
     scalars: Vec<Scalar>,
     text: Vec<String>,
+    /// Diagnostics only — never part of the canonical renderings.
+    trace_lines: Vec<String>,
 }
 
 impl Report {
@@ -97,10 +107,12 @@ impl Report {
             title: title.to_owned(),
             paper_artifact: paper_artifact.to_owned(),
             seed: None,
+            metrics: Registry::new(),
             tables: Vec::new(),
             series: Vec::new(),
             scalars: Vec::new(),
             text: Vec::new(),
+            trace_lines: Vec::new(),
         }
     }
 
@@ -134,6 +146,30 @@ impl Report {
         self
     }
 
+    /// Write access to the report's metric registry; experiments call the
+    /// per-crate `metrics::collect*` functions against this.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// The metric snapshot the run produced.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Appends one rendered trace event (diagnostics; excluded from the
+    /// canonical text/CSV/JSON bytes — `repro --trace` prints these to
+    /// stderr).
+    pub fn push_trace_line(&mut self, line: &str) -> &mut Self {
+        self.trace_lines.push(line.to_owned());
+        self
+    }
+
+    /// The captured trace lines, in event order.
+    pub fn trace_lines(&self) -> &[String] {
+        &self.trace_lines
+    }
+
     /// The experiment id this report came from.
     pub fn id(&self) -> &str {
         &self.id
@@ -165,8 +201,20 @@ impl Report {
     }
 
     /// Renders the human-readable form `repro` prints: a header line, the
-    /// tables, the text blocks, then the scalar block.
+    /// tables, the text blocks, then the scalar block. Metrics are omitted;
+    /// [`Report::to_text_with_metrics`] appends the full dump (`repro
+    /// --metrics`).
     pub fn to_text(&self) -> String {
+        self.render_text(false)
+    }
+
+    /// [`Report::to_text`] plus the full metric dump as a trailing
+    /// `-- metrics --` section (omitted when the registry is empty).
+    pub fn to_text_with_metrics(&self) -> String {
+        self.render_text(true)
+    }
+
+    fn render_text(&self, with_metrics: bool) -> String {
         let mut out = String::new();
         out.push_str(&format!("[{}] {} ({})", self.id, self.title, self.paper_artifact));
         if let Some(seed) = self.seed {
@@ -185,13 +233,28 @@ impl Report {
         for s in &self.scalars {
             out.push_str(&format!("{}: {}\n", s.name, fmt_scalar(s.value)));
         }
+        if with_metrics && !self.metrics.is_empty() {
+            out.push_str("-- metrics --\n");
+            out.push_str(&self.metrics.to_text());
+        }
         out
     }
 
     /// Renders the machine-readable CSV form: each table as RFC-4180 rows,
     /// then all series in long format, then `scalar,value` rows — sections
-    /// separated by blank lines.
+    /// separated by blank lines. Metrics are omitted;
+    /// [`Report::to_csv_with_metrics`] appends them (`repro --metrics`).
     pub fn to_csv(&self) -> String {
+        self.render_csv(false)
+    }
+
+    /// [`Report::to_csv`] plus the full metric dump as a trailing
+    /// `metric,kind,value` section (omitted when the registry is empty).
+    pub fn to_csv_with_metrics(&self) -> String {
+        self.render_csv(true)
+    }
+
+    fn render_csv(&self, with_metrics: bool) -> String {
         let mut sections: Vec<String> = Vec::new();
         for table in &self.tables {
             sections.push(table.to_csv());
@@ -210,18 +273,23 @@ impl Report {
             }
             sections.push(block);
         }
+        if with_metrics && !self.metrics.is_empty() {
+            sections.push(self.metrics.to_csv());
+        }
         sections.join("\n")
     }
 
     /// Renders the canonical JSON object. Key order is fixed
-    /// (`id`, `title`, `paper_artifact`, `seed`, `scalars`, `tables`,
-    /// `series`, `text`); floats use shortest-roundtrip formatting. These
-    /// bytes are what the CI golden snapshot pins.
+    /// (`id`, `title`, `paper_artifact`, `seed`, `metrics`, `scalars`,
+    /// `tables`, `series`, `text`); floats use shortest-roundtrip
+    /// formatting. These bytes are what the CI golden snapshot pins.
+    /// Trace lines are deliberately absent.
     pub fn to_json(&self) -> String {
         let seed = match self.seed {
             Some(s) => format!("{s}"),
             None => "null".to_owned(),
         };
+        let metrics = self.metrics.to_json();
         let scalars = json_array(self.scalars.iter().map(|s| {
             format!("{{\"name\":{},\"value\":{}}}", json_string(&s.name), json_f64(s.value))
         }));
@@ -230,7 +298,8 @@ impl Report {
         let text = json_array(self.text.iter().map(|t| json_string(t)));
         format!(
             "{{\"id\":{},\"title\":{},\"paper_artifact\":{},\"seed\":{seed},\
-             \"scalars\":{scalars},\"tables\":{tables},\"series\":{series},\"text\":{text}}}",
+             \"metrics\":{metrics},\"scalars\":{scalars},\"tables\":{tables},\
+             \"series\":{series},\"text\":{text}}}",
             json_string(&self.id),
             json_string(&self.title),
             json_string(&self.paper_artifact),
@@ -358,23 +427,41 @@ mod tests {
             .push_series(Series::new("curve", vec![(0.0, 0.5)]))
             .push_scalar("rate (%)", 56.69)
             .push_text("a plot\n");
+        r.metrics_mut().record_counter("demo.events", 3);
+        r.push_trace_line("0.000000 [demo] hello");
 
         let text = r.to_text();
         assert!(text.starts_with("[demo] Demo experiment (Fig. 0) [seed 7]\n"));
         assert!(text.contains("== T =="));
         assert!(text.contains("a plot\n"));
-        assert!(text.ends_with("rate (%): 56.69\n"));
+        assert!(text.contains("rate (%): 56.69\n"));
+        assert!(!text.contains("-- metrics --"), "plain text omits the metric dump");
+        let text_full = r.to_text_with_metrics();
+        assert!(text_full.starts_with(&text));
+        assert!(text_full.ends_with("-- metrics --\ndemo.events 3\n"));
 
         let csv = r.to_csv();
         assert!(csv.contains("k,v\na,1\n"));
         assert!(csv.contains("series,x,y\ncurve,0,0.5\n"));
         assert!(csv.contains("scalar,value\nrate (%),56.69\n"));
+        assert!(!csv.contains("metric,kind,value"), "plain CSV omits the metric dump");
+        let csv_full = r.to_csv_with_metrics();
+        assert!(csv_full.ends_with("metric,kind,value\ndemo.events,counter,3\n"));
 
         let json = r.to_json();
         assert!(json.starts_with("{\"id\":\"demo\",\"title\":\"Demo experiment\""));
         assert!(json.contains("\"seed\":7"));
+        assert!(json
+            .contains("\"metrics\":[{\"name\":\"demo.events\",\"kind\":\"counter\",\"value\":3}]"));
         assert!(json.contains("{\"name\":\"rate (%)\",\"value\":56.69}"));
         assert!(json.ends_with("\"text\":[\"a plot\\n\"]}"));
+
+        // Trace lines are diagnostics: present on the report, absent from
+        // every canonical rendering.
+        assert_eq!(r.trace_lines(), ["0.000000 [demo] hello"]);
+        for rendering in [&text, &csv, &json] {
+            assert!(!rendering.contains("[demo] hello"));
+        }
     }
 
     #[test]
@@ -395,7 +482,7 @@ mod tests {
         let default = HarnessConfig::default();
         assert_eq!(default.seed_or(42), 42);
         assert_eq!(default.scale, Scale::Paper);
-        let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick };
+        let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick, trace: false };
         assert_eq!(forced.seed_or(42), 9);
     }
 

@@ -35,7 +35,7 @@
 //! ```
 //! use spamward_core::harness::{registry, HarnessConfig, Scale};
 //!
-//! let config = HarnessConfig { seed: Some(7), scale: Scale::Quick };
+//! let config = HarnessConfig { seed: Some(7), scale: Scale::Quick, trace: false };
 //! let report = registry()[2].run(&config); // table2
 //! assert_eq!(report.id(), "table2");
 //! ```
@@ -53,6 +53,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod metrics;
 mod runner;
 
 pub use runner::{run_seeds, SeedRun};

@@ -1,0 +1,160 @@
+//! Metric names and collectors for the harness-level experiments.
+//!
+//! World-driven experiments get their metrics from the protocol crates'
+//! own collectors (`spamward_mta::metrics::collect_world` and friends);
+//! the catalogue and meta experiments below have no world to collect from,
+//! so their counters are derived from the result structures here. As
+//! everywhere else, the O1 lint confines the name literals to this module.
+
+use crate::experiments::ablations::AblationsResult;
+use crate::experiments::dataset::Table1;
+use crate::experiments::dialects::DialectsResult;
+use crate::experiments::mta_schedules::SchedulesResult;
+use crate::experiments::summary::SummaryResult;
+use crate::experiments::variance::VarianceResult;
+use spamward_obs::Registry;
+
+/// Families in the Table I inventory.
+pub const TABLE1_FAMILIES: &str = "harness.table1.families";
+/// Malware samples across all families.
+pub const TABLE1_SAMPLES: &str = "harness.table1.samples";
+
+/// MTAs in the Table IV catalogue.
+pub const TABLE4_MTAS: &str = "harness.table4.mtas";
+/// Retransmissions the catalogued schedules fire within the first ten hours.
+pub const TABLE4_RETRIES_10H: &str = "harness.table4.retries_10h";
+/// MTAs whose queue lifetime undercuts RFC 5321's 4–5 day guidance.
+pub const TABLE4_BELOW_RFC: &str = "harness.table4.below_rfc_queue";
+
+/// Sender models fingerprinted.
+pub const DIALECTS_SENDERS: &str = "harness.dialects.senders";
+/// Senders the heuristic classified as bots.
+pub const DIALECTS_CLASSIFIED_BOT: &str = "harness.dialects.classified_bot";
+/// Senders classified correctly.
+pub const DIALECTS_CORRECT: &str = "harness.dialects.correct";
+
+/// Threshold-sweep points measured.
+pub const ABLATIONS_SWEEP_POINTS: &str = "harness.ablations.sweep_points";
+/// Triplet-store evictions across the capacity ablation runs.
+pub const ABLATIONS_STORE_EVICTIONS: &str = "harness.ablations.store_evictions";
+/// Senders that delivered through the pregreet-only server.
+pub const ABLATIONS_PREGREET_DELIVERED: &str = "harness.ablations.pregreet_delivered";
+/// Senders the pregreet-only server stopped.
+pub const ABLATIONS_PREGREET_BLOCKED: &str = "harness.ablations.pregreet_blocked";
+/// Detector false positives summed over the scan-round ablation points.
+pub const ABLATIONS_SCAN_FALSE_POSITIVES: &str = "harness.ablations.scan_false_positives";
+
+/// Families blocked by nolisting in the §VI aggregate.
+pub const SUMMARY_BLOCKED_NOLISTING: &str = "harness.summary.families_blocked.nolisting";
+/// Families blocked by greylisting in the §VI aggregate.
+pub const SUMMARY_BLOCKED_GREYLISTING: &str = "harness.summary.families_blocked.greylisting";
+/// Families blocked by at least one defense.
+pub const SUMMARY_BLOCKED_EITHER: &str = "harness.summary.families_blocked.either";
+
+/// Quantities tracked by the variance sweep.
+pub const VARIANCE_QUANTITIES: &str = "harness.variance.quantities";
+/// Per-seed experiment runs the sweep aggregated.
+pub const VARIANCE_SEED_RUNS: &str = "harness.variance.seed_runs";
+
+/// Exports the Table I inventory shape.
+pub fn collect_table1(t: &Table1, reg: &mut Registry) {
+    reg.record_counter(TABLE1_FAMILIES, t.rows.len() as u64);
+    reg.record_counter(TABLE1_SAMPLES, t.rows.iter().map(|r| u64::from(r.2)).sum());
+}
+
+/// Exports the Table IV catalogue shape.
+pub fn collect_schedules(r: &SchedulesResult, reg: &mut Registry) {
+    reg.record_counter(TABLE4_MTAS, r.rows.len() as u64);
+    reg.record_counter(
+        TABLE4_RETRIES_10H,
+        r.rows.iter().map(|row| row.retransmission_mins.len() as u64).sum(),
+    );
+    reg.record_counter(TABLE4_BELOW_RFC, r.below_rfc_queue_time().len() as u64);
+}
+
+/// Exports the dialect-classification confusion counts.
+pub fn collect_dialects(r: &DialectsResult, reg: &mut Registry) {
+    reg.record_counter(DIALECTS_SENDERS, r.observations.len() as u64);
+    reg.record_counter(
+        DIALECTS_CLASSIFIED_BOT,
+        r.observations.iter().filter(|o| o.classified_bot).count() as u64,
+    );
+    reg.record_counter(
+        DIALECTS_CORRECT,
+        r.observations.iter().filter(|o| o.classified_bot == o.is_bot).count() as u64,
+    );
+}
+
+/// Exports aggregate counts over the six design-choice ablations.
+pub fn collect_ablations(r: &AblationsResult, reg: &mut Registry) {
+    reg.record_counter(ABLATIONS_SWEEP_POINTS, r.sweep.len() as u64);
+    reg.record_counter(ABLATIONS_STORE_EVICTIONS, r.store_caps.iter().map(|c| c.evictions).sum());
+    reg.record_counter(
+        ABLATIONS_PREGREET_DELIVERED,
+        r.pregreet.iter().filter(|p| p.delivered).count() as u64,
+    );
+    reg.record_counter(
+        ABLATIONS_PREGREET_BLOCKED,
+        r.pregreet.iter().filter(|p| !p.delivered).count() as u64,
+    );
+    reg.record_counter(
+        ABLATIONS_SCAN_FALSE_POSITIVES,
+        r.scan_rounds.iter().map(|p| p.false_positives as u64).sum(),
+    );
+}
+
+/// Exports the §VI per-family block verdicts as counts.
+pub fn collect_summary(r: &SummaryResult, reg: &mut Registry) {
+    reg.record_counter(
+        SUMMARY_BLOCKED_NOLISTING,
+        r.rows.iter().filter(|(_, _, nl, _)| *nl).count() as u64,
+    );
+    reg.record_counter(
+        SUMMARY_BLOCKED_GREYLISTING,
+        r.rows.iter().filter(|(_, _, _, gl)| *gl).count() as u64,
+    );
+    reg.record_counter(
+        SUMMARY_BLOCKED_EITHER,
+        r.rows.iter().filter(|(_, _, nl, gl)| *nl || *gl).count() as u64,
+    );
+}
+
+/// Exports the variance sweep's coverage counts.
+pub fn collect_variance(r: &VarianceResult, reg: &mut Registry) {
+    reg.record_counter(VARIANCE_QUANTITIES, r.rows.len() as u64);
+    reg.record_counter(VARIANCE_SEED_RUNS, r.rows.iter().map(|row| row.ci.n as u64).sum());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_collection_matches_inventory() {
+        let t = crate::experiments::dataset::run();
+        let mut reg = Registry::new();
+        collect_table1(&t, &mut reg);
+        assert_eq!(reg.counter(TABLE1_FAMILIES), Some(4));
+        assert_eq!(reg.counter(TABLE1_SAMPLES), Some(11));
+    }
+
+    #[test]
+    fn schedules_collection_matches_catalogue() {
+        let r = crate::experiments::mta_schedules::run();
+        let mut reg = Registry::new();
+        collect_schedules(&r, &mut reg);
+        assert_eq!(reg.counter(TABLE4_MTAS), Some(6));
+        assert_eq!(reg.counter(TABLE4_BELOW_RFC), Some(1));
+        assert!(reg.counter(TABLE4_RETRIES_10H).unwrap_or(0) > 30);
+    }
+
+    #[test]
+    fn dialects_collection_counts_the_confusion_matrix() {
+        let r = crate::experiments::dialects::run();
+        let mut reg = Registry::new();
+        collect_dialects(&r, &mut reg);
+        assert_eq!(reg.counter(DIALECTS_SENDERS), Some(6));
+        let correct = reg.counter(DIALECTS_CORRECT).expect("recorded");
+        assert_eq!(correct as f64 / 6.0, r.accuracy());
+    }
+}

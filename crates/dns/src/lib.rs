@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod authority;
+pub mod metrics;
 mod name;
 mod record;
 mod resolver;
@@ -29,5 +30,5 @@ pub mod zone;
 pub use authority::{Authority, QueryOutcome, Rcode};
 pub use name::{DomainName, ParseNameError};
 pub use record::{RecordData, RecordType, ResourceRecord};
-pub use resolver::{MxHost, ResolveError, Resolver};
+pub use resolver::{MxHost, ResolveError, Resolver, ResolverStats};
 pub use zone::Zone;

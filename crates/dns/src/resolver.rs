@@ -51,12 +51,30 @@ struct CacheEntry {
 }
 
 /// Cache and query statistics.
+///
+/// Plain counter fields on the hot path; `spamward_dns::metrics` binds the
+/// registry names at collection time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolverStats {
     /// Queries answered from cache.
     pub hits: u64,
     /// Queries forwarded to the authority.
     pub misses: u64,
+    /// A queries issued (cached or not).
+    pub a_queries: u64,
+    /// MX queries issued.
+    pub mx_queries: u64,
+    /// CNAME queries issued.
+    pub cname_queries: u64,
+    /// Queries of any other record type.
+    pub other_queries: u64,
+    /// Answers that came back NXDOMAIN.
+    pub nxdomain: u64,
+    /// Answers that came back SERVFAIL.
+    pub servfail: u64,
+    /// MX resolutions that fell back to the implicit (apex A) exchanger —
+    /// the path a nolisting zone without MX records would exercise.
+    pub implicit_mx_fallbacks: u64,
 }
 
 /// A caching resolver over an [`Authority`].
@@ -120,15 +138,31 @@ impl Resolver {
         rtype: RecordType,
         now: SimTime,
     ) -> (Rcode, Vec<crate::record::ResourceRecord>) {
+        match rtype {
+            RecordType::A => self.stats.a_queries += 1,
+            RecordType::Mx => self.stats.mx_queries += 1,
+            RecordType::Cname => self.stats.cname_queries += 1,
+            _ => self.stats.other_queries += 1,
+        }
         let key = (name.clone(), rtype);
         if let Some(entry) = self.cache.get(&key) {
             if entry.expires > now {
                 self.stats.hits += 1;
+                match entry.rcode {
+                    Rcode::NxDomain => self.stats.nxdomain += 1,
+                    Rcode::ServFail => self.stats.servfail += 1,
+                    Rcode::NoError => {}
+                }
                 return (entry.rcode, entry.answers.clone());
             }
         }
         self.stats.misses += 1;
         let out = authority.query(name, rtype);
+        match out.rcode {
+            Rcode::NxDomain => self.stats.nxdomain += 1,
+            Rcode::ServFail => self.stats.servfail += 1,
+            Rcode::NoError => {}
+        }
         let ttl = match out.rcode {
             Rcode::NoError => out.answers.iter().map(|r| r.ttl).min().unwrap_or(self.negative_ttl),
             _ => self.negative_ttl,
@@ -212,6 +246,7 @@ impl Resolver {
         if mxs.is_empty() {
             // Implicit MX: an apex A record stands in as a preference-0
             // exchanger.
+            self.stats.implicit_mx_fallbacks += 1;
             return match self.resolve_a(authority, domain, now) {
                 Some(ip) => Ok(vec![MxHost { preference: 0, name: domain.clone(), ip: Some(ip) }]),
                 None => Err(ResolveError::NoMailServer),

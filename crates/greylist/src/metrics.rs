@@ -1,0 +1,87 @@
+//! Metric name constants and collectors for the greylist crate.
+//!
+//! All `greylist.*` registry names live here (the O1 lint rule); the
+//! decision path only bumps the plain fields of [`GreylistStats`].
+
+use crate::policy::Greylist;
+use crate::stats::GreylistStats;
+use spamward_obs::Registry;
+
+/// New triplets deferred on first contact.
+pub const DEFERRED_NEW: &str = "greylist.deferred.new";
+/// Retries deferred again because they arrived before the delay elapsed.
+pub const DEFERRED_EARLY: &str = "greylist.deferred.early";
+/// Expired pending triplets re-deferred from scratch.
+pub const DEFERRED_RESTARTED: &str = "greylist.deferred.restarted";
+/// All checks that ended in a 450.
+pub const DEFERRED_TOTAL: &str = "greylist.deferred.total";
+/// Retries that passed after out-waiting the delay.
+pub const PASSED_AFTER_DELAY: &str = "greylist.passed.after_delay";
+/// Hits on already-passed triplets.
+pub const PASSED_KNOWN: &str = "greylist.passed.known";
+/// Passes due to the client whitelist.
+pub const PASSED_CLIENT_WHITELIST: &str = "greylist.passed.client_whitelist";
+/// Passes due to the recipient whitelist.
+pub const PASSED_RECIPIENT_WHITELIST: &str = "greylist.passed.recipient_whitelist";
+/// Passes due to the client auto-whitelist.
+pub const PASSED_AUTO_WHITELIST: &str = "greylist.passed.auto_whitelist";
+/// All checks that passed.
+pub const PASSED_TOTAL: &str = "greylist.passed.total";
+/// Live triplet-store entries at collection time.
+pub const STORE_SIZE: &str = "greylist.store.size";
+
+/// Exports decision counters under the canonical `greylist.*` names.
+pub fn collect_stats(stats: &GreylistStats, reg: &mut Registry) {
+    reg.record_counter(DEFERRED_NEW, stats.greylisted_new);
+    reg.record_counter(DEFERRED_EARLY, stats.greylisted_early);
+    reg.record_counter(DEFERRED_RESTARTED, stats.greylisted_restarted);
+    reg.record_counter(DEFERRED_TOTAL, stats.total_greylisted());
+    reg.record_counter(PASSED_AFTER_DELAY, stats.passed_after_delay);
+    reg.record_counter(PASSED_KNOWN, stats.passed_known);
+    reg.record_counter(PASSED_CLIENT_WHITELIST, stats.passed_client_whitelist);
+    reg.record_counter(PASSED_RECIPIENT_WHITELIST, stats.passed_recipient_whitelist);
+    reg.record_counter(PASSED_AUTO_WHITELIST, stats.passed_auto_whitelist);
+    reg.record_counter(PASSED_TOTAL, stats.total_passed());
+}
+
+/// Exports the full greylist snapshot: decision counters plus the store
+/// size gauge.
+pub fn collect(gl: &Greylist, reg: &mut Registry) {
+    collect_stats(&gl.stats(), reg);
+    reg.record_gauge(STORE_SIZE, gl.store().len() as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::GreylistConfig;
+    use spamward_sim::{SimDuration, SimTime};
+    use spamward_smtp::ReversePath;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn collect_mirrors_stats_and_store() {
+        let mut gl = Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist(),
+        );
+        let client = Ipv4Addr::new(10, 0, 0, 1);
+        let sender = ReversePath::Null;
+        let rcpt = "u@victim.example".parse().unwrap();
+        let _ = gl.check(SimTime::ZERO, client, &sender, &rcpt);
+        let _ = gl.check(SimTime::from_secs(10), client, &sender, &rcpt);
+        let _ = gl.check(SimTime::from_secs(600), client, &sender, &rcpt);
+
+        let mut reg = Registry::new();
+        collect(&gl, &mut reg);
+        let stats = gl.stats();
+        assert_eq!(reg.counter(DEFERRED_NEW), Some(stats.greylisted_new));
+        assert_eq!(reg.counter(DEFERRED_TOTAL), Some(stats.total_greylisted()));
+        assert_eq!(reg.counter(PASSED_AFTER_DELAY), Some(stats.passed_after_delay));
+        assert_eq!(reg.counter(PASSED_TOTAL), Some(stats.total_passed()));
+        assert_eq!(reg.gauge(STORE_SIZE), Some(gl.store().len() as i64));
+        assert_eq!(
+            reg.counter(DEFERRED_TOTAL).unwrap() + reg.counter(PASSED_TOTAL).unwrap(),
+            stats.total()
+        );
+    }
+}

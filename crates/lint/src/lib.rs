@@ -14,6 +14,7 @@
 //! | D3   | no iteration over `HashMap`/`HashSet` in crates feeding the event loop or analysis output |
 //! | P1   | no `unwrap`/`expect`/`panic!` in protocol-path crates outside tests |
 //! | P2   | SMTP reply codes come from `spamward_smtp::reply::codes`, never inline literals |
+//! | O1   | metric/trace name literals live only in each crate's `metrics.rs`/`obs` module |
 //!
 //! Known debt is suppressed via `lint-allow.toml` ([`allow`]); every entry
 //! carries a mandatory justification, and entries that stop matching are

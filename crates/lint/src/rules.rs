@@ -1,4 +1,5 @@
-//! The rule catalog: determinism (D1–D3) and panic-safety (P1–P2).
+//! The rule catalog: determinism (D1–D3), panic-safety (P1–P2) and
+//! observability hygiene (O1).
 //!
 //! Every rule here encodes a workspace-specific invariant the stock
 //! toolchain cannot express. The catalog is documented for contributors in
@@ -9,7 +10,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1"];
 
 /// The one module allowed to read the host clock: experiments must take
 /// time from the simulation scheduler, and the real-network transport
@@ -71,6 +72,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     check_d3(rel_path, source, &scanned, &mut out);
     check_p1(rel_path, source, &scanned, &mut out);
     check_p2(rel_path, source, &scanned, &mut out);
+    check_o1(rel_path, source, &scanned, &mut out);
     dedupe(out)
 }
 
@@ -275,6 +277,103 @@ fn check_p2(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
     }
 }
 
+/// Files allowed to bind metric/trace name literals: each crate's
+/// `metrics.rs`/`obs.rs` module and the instrumentation crate itself.
+fn o1_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/obs/")
+        || rel_path.ends_with("/metrics.rs")
+        || rel_path.ends_with("/obs.rs")
+}
+
+/// O1 — metric/trace name string literals outside the crate's
+/// `metrics.rs`/`obs` module. Registry names and trace categories are the
+/// observability contract; binding them as constants in one module per
+/// crate keeps the namespace greppable and typo-proof. Registry recorders
+/// take the name as the first argument, `Tracer::record` takes the dotted
+/// category as the second.
+fn check_o1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if o1_exempt(rel_path) {
+        return;
+    }
+    let masked = &scanned.masked;
+    const NAME_FIRST: &[&str] =
+        &[".record_counter(", ".record_gauge(", ".record_histogram(", ".record_span("];
+    for pat in NAME_FIRST {
+        for offset in find_token(masked, pat) {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            if next_nonspace_is_quote(source, offset + pat.len()) {
+                push(
+                    out,
+                    scanned,
+                    source,
+                    rel_path,
+                    "O1",
+                    offset,
+                    format!(
+                        "metric name literal in `{}...)` — bind the name as a constant in the \
+                     crate's `metrics.rs`/`obs` module so the namespace stays greppable",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+    for offset in find_token(masked, ".record(") {
+        if scanned.in_test_region(offset) {
+            continue;
+        }
+        // Single-argument `.record(..)` calls (e.g. `SpanStats::record`)
+        // carry no category and are not O1's business.
+        if let Some(second) = second_arg_offset(masked, offset + ".record(".len()) {
+            if next_nonspace_is_quote(source, second) {
+                push(
+                    out,
+                    scanned,
+                    source,
+                    rel_path,
+                    "O1",
+                    offset,
+                    "trace category literal in `record(..)` — bind the dotted category as a \
+                     constant in the crate's `metrics.rs`/`obs` module so the namespace stays \
+                     greppable"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Byte offset just past the first top-level comma after `open`, or `None`
+/// if the argument list closes first. Operates on masked text, so commas
+/// inside string literals are already blanked out.
+fn second_arg_offset(masked: &str, open: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            b',' if depth == 0 => return Some(i + 1),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the first non-whitespace character of the ORIGINAL source at or
+/// after `from` is a double quote. The masked text blanks string literals,
+/// so literal detection must look at the raw bytes.
+fn next_nonspace_is_quote(source: &str, from: usize) -> bool {
+    source[from..].chars().find(|c| !c.is_whitespace()) == Some('"')
+}
+
 /// Collects identifiers declared as `HashMap`/`HashSet` in `masked` — let
 /// bindings, struct fields, and fn params (`name: HashMap<..>`), plus
 /// `name = HashMap::new()` / `with_capacity` initializations.
@@ -466,6 +565,29 @@ mod tests {
         let named = "fn f() -> Reply { Reply::single(codes::TRANSACTION_FAILED, \"no\") }";
         assert!(rules_hit("crates/mta/src/x.rs", named).is_empty());
         assert!(rules_hit("crates/smtp/src/reply.rs", src).is_empty());
+    }
+
+    #[test]
+    fn o1_flags_name_literals_outside_metrics_modules() {
+        let src = "fn f(reg: &mut Registry) { reg.record_counter(\"smtp.cmd\", 1); }";
+        assert_eq!(rules_hit("crates/smtp/src/wire.rs", src), vec!["O1"]);
+        // The crate's metrics module and the obs crate itself are exempt.
+        assert!(rules_hit("crates/smtp/src/metrics.rs", src).is_empty());
+        assert!(rules_hit("crates/obs/src/registry.rs", src).is_empty());
+        // Constant names are the sanctioned form.
+        let clean = "fn f(reg: &mut Registry) { reg.record_counter(COMMANDS, 1); }";
+        assert!(rules_hit("crates/smtp/src/wire.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn o1_flags_trace_category_literals_only() {
+        let src = "fn f(t: &mut Tracer) { t.record(now, \"smtp.reject\", detail); }";
+        assert_eq!(rules_hit("crates/mta/src/world.rs", src), vec!["O1"]);
+        let constant = "fn f(t: &mut Tracer) { t.record(now, TRACE_SMTP_REJECT, detail); }";
+        assert!(rules_hit("crates/mta/src/world.rs", constant).is_empty());
+        // Single-argument record() calls (span stats) carry no category.
+        let span = "fn f(s: &mut SpanStats) { s.record(elapsed); }";
+        assert!(rules_hit("crates/mta/src/world.rs", span).is_empty());
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! O1 fixture (clean): names flow through constants from the crate's
+//! metrics module; single-argument record() calls carry no category.
+
+use crate::metrics::{RECV_COMMANDS, STORE_SIZE, TRACE_SMTP_REJECT};
+
+pub fn export(reg: &mut Registry, stats: &Stats) {
+    reg.record_counter(RECV_COMMANDS, stats.commands);
+    reg.record_gauge(STORE_SIZE, stats.store as i64);
+    reg.record_span(crate::metrics::SPAN_EXCHANGE, &stats.exchange);
+}
+
+pub fn note(trace: &mut Tracer, now: SimTime, span: &mut SpanStats, d: SimDuration) {
+    trace.record(now, TRACE_SMTP_REJECT, "550 no such user".to_string());
+    span.record(d);
+}

@@ -1,0 +1,13 @@
+//! O1 fixture: metric and trace name literals bound outside the crate's
+//! `metrics.rs`/`obs` module.
+
+pub fn export(reg: &mut Registry, stats: &Stats) {
+    reg.record_counter("smtp.server.commands", stats.commands);
+    reg.record_gauge("greylist.store.size", stats.store as i64);
+    reg.record_histogram("mta.send.delivery_delay_s", &stats.delays);
+    reg.record_span("smtp.wire.exchange", &stats.exchange);
+}
+
+pub fn note(trace: &mut Tracer, now: SimTime) {
+    trace.record(now, "smtp.reject", "550 no such user".to_string());
+}

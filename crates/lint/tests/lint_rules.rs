@@ -74,6 +74,34 @@ fn p2_fixture_pair() {
 }
 
 #[test]
+fn o1_fixture_pair() {
+    let hits = diags("crates/mta/src/fixture.rs", "o1_violation.rs");
+    assert_eq!(hits.len(), 5, "four recorders plus the trace category: {hits:?}");
+    assert!(hits.iter().all(|d| d.rule == "O1"), "{hits:?}");
+    assert!(diags("crates/mta/src/fixture.rs", "o1_clean.rs").is_empty());
+    // The crate metrics module and the obs crate itself are exempt.
+    assert!(diags("crates/mta/src/metrics.rs", "o1_violation.rs").is_empty());
+    assert!(diags("crates/obs/src/registry.rs", "o1_violation.rs").is_empty());
+}
+
+#[test]
+fn o1_allowlist_suppression() {
+    let text = r#"
+[[allow]]
+rule = "O1"
+path = "crates/mta/src/fixture.rs"
+contains = "smtp.reject"
+justification = "fixture: suppress exactly the trace-category violation"
+"#;
+    let list = Allowlist::parse(text).expect("valid allowlist");
+    let hits = diags("crates/mta/src/fixture.rs", "o1_violation.rs");
+    let (suppressed, live): (Vec<_>, Vec<_>) =
+        hits.into_iter().partition(|d| list.matches(d.rule, &d.path, &d.line_text).is_some());
+    assert_eq!(suppressed.len(), 1, "{suppressed:?}");
+    assert_eq!(live.len(), 4, "{live:?}");
+}
+
+#[test]
 fn allowlist_round_trip_suppresses_fixture_violations() {
     let text = r#"
 [[allow]]

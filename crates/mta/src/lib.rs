@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod log;
+pub mod metrics;
 mod receive;
 mod schedule;
 mod send;

@@ -1,0 +1,170 @@
+//! Metric names, trace categories and collectors for the MTA crate.
+//!
+//! All `mta.*` registry names and the delivery-path trace categories live
+//! here (the O1 lint rule). Hot paths bump plain counter fields
+//! ([`ReceiveStats`](crate::ReceiveStats), the SMTP
+//! [`SessionMetrics`](spamward_smtp::metrics::SessionMetrics) absorbed per
+//! session); sender-side metrics are derived from the already-recorded
+//! attempt/bounce history at collect time, so the queue path pays nothing.
+
+use crate::receive::ReceivingMta;
+use crate::send::{OutboundStatus, SendingMta};
+use crate::world::MailWorld;
+use spamward_obs::{Histogram, Registry};
+
+/// Trace category: MX resolution failed outright.
+pub const TRACE_DNS_FAIL: &str = "dns.fail";
+/// Trace category: MX set resolved.
+pub const TRACE_DNS_MX: &str = "dns.mx";
+/// Trace category: TCP connect to an exchanger failed.
+pub const TRACE_NET_FAIL: &str = "net.fail";
+/// Trace category: final SMTP outcome of a delivery attempt.
+pub const TRACE_SMTP_OUTCOME: &str = "smtp.outcome";
+
+/// Completed transactions (messages stored).
+pub const RECV_ACCEPTED: &str = "mta.receive.accepted";
+/// RCPTs refused for unknown users.
+pub const RECV_RCPT_UNKNOWN: &str = "mta.receive.rcpt_unknown";
+/// RCPTs deferred by greylisting.
+pub const RECV_RCPT_GREYLISTED: &str = "mta.receive.rcpt_greylisted";
+/// RCPTs that passed greylisting (any reason).
+pub const RECV_RCPT_PASSED: &str = "mta.receive.rcpt_passed";
+/// Sessions rejected for talking before the banner.
+pub const RECV_PREGREET_REJECTED: &str = "mta.receive.pregreet_rejected";
+/// Messages sitting in the mailbox at collection time.
+pub const RECV_MAILBOX_SIZE: &str = "mta.receive.mailbox_size";
+/// Anonymized log entries written.
+pub const RECV_LOG_ENTRIES: &str = "mta.receive.log_entries";
+
+/// Messages submitted to an outbound queue.
+pub const SEND_SUBMITTED: &str = "mta.send.submitted";
+/// Delivery attempts executed.
+pub const SEND_ATTEMPTS: &str = "mta.send.attempts";
+/// Messages delivered.
+pub const SEND_DELIVERED: &str = "mta.send.delivered";
+/// Messages bounced after exhausting the retry schedule (give-ups).
+pub const SEND_GAVE_UP: &str = "mta.send.gave_up";
+/// Messages still queued (undelivered, unbounced) at collection time.
+pub const SEND_QUEUE_DEPTH: &str = "mta.send.queue_depth";
+/// Distribution of attempts over the retry schedule: which (1-based)
+/// attempt slot each executed attempt fell into.
+pub const SEND_RETRY_SCHEDULE_SLOT: &str = "mta.send.retry.schedule_slot";
+/// Distribution of delivery delays (seconds from enqueue to delivery).
+pub const SEND_DELIVERY_DELAY_S: &str = "mta.send.delivery_delay_s";
+/// Trace events evicted (or discarded at capacity 0) by the world tracer.
+pub const WORLD_TRACE_DROPPED: &str = "mta.world.trace_dropped";
+
+/// Retry-slot histogram bounds: attempt numbers along a typical schedule.
+pub const RETRY_SLOT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
+/// Delivery-delay histogram bounds (seconds): 1 min … 1 day.
+pub const DELIVERY_DELAY_BOUNDS_S: [u64; 7] = [60, 300, 600, 1800, 3600, 14_400, 86_400];
+
+/// Exports one receiving MTA: receive counters, absorbed SMTP session
+/// counters, and the greylist snapshot when one is installed.
+pub fn collect_receiver(mta: &ReceivingMta, reg: &mut Registry) {
+    let stats = mta.stats();
+    reg.record_counter(RECV_ACCEPTED, stats.messages_accepted);
+    reg.record_counter(RECV_RCPT_UNKNOWN, stats.rcpt_unknown);
+    reg.record_counter(RECV_RCPT_GREYLISTED, stats.rcpt_greylisted);
+    reg.record_counter(RECV_RCPT_PASSED, stats.rcpt_passed);
+    reg.record_counter(RECV_PREGREET_REJECTED, stats.pregreet_rejected);
+    reg.record_gauge(RECV_MAILBOX_SIZE, mta.mailbox().len() as i64);
+    reg.record_counter(RECV_LOG_ENTRIES, mta.log().len() as u64);
+    spamward_smtp::metrics::collect(mta.smtp_metrics(), reg);
+    if let Some(gl) = mta.greylist() {
+        spamward_greylist::metrics::collect(gl, reg);
+    }
+}
+
+/// Exports one sending MTA, deriving everything from its recorded
+/// attempt/bounce/queue state.
+pub fn collect_sender(mta: &SendingMta, reg: &mut Registry) {
+    let records = mta.records();
+    let mut slots = Histogram::new(&RETRY_SLOT_BOUNDS);
+    let mut delays = Histogram::new(&DELIVERY_DELAY_BOUNDS_S);
+    let mut delivered: u64 = 0;
+    for r in records {
+        slots.observe(u64::from(r.attempt));
+        if r.delivered {
+            delivered += 1;
+            delays.observe(r.since_enqueue.as_micros() / 1_000_000);
+        }
+    }
+    let queued = mta.queue().iter().filter(|q| matches!(q.status, OutboundStatus::Queued)).count();
+    reg.record_counter(SEND_SUBMITTED, mta.queue().len() as u64);
+    reg.record_counter(SEND_ATTEMPTS, records.len() as u64);
+    reg.record_counter(SEND_DELIVERED, delivered);
+    reg.record_counter(SEND_GAVE_UP, mta.bounces().len() as u64);
+    reg.record_gauge(SEND_QUEUE_DEPTH, queued as i64);
+    reg.record_histogram(SEND_RETRY_SCHEDULE_SLOT, &slots);
+    reg.record_histogram(SEND_DELIVERY_DELAY_S, &delays);
+}
+
+/// Exports a whole [`MailWorld`]: every installed server, the network, the
+/// DNS authority and resolver, and tracer overflow.
+pub fn collect_world(world: &MailWorld, reg: &mut Registry) {
+    for server in world.servers() {
+        collect_receiver(server, reg);
+    }
+    spamward_net::metrics::collect(&world.network, reg);
+    spamward_dns::metrics::collect_authority(&world.dns, reg);
+    spamward_dns::metrics::collect_resolver(&world.resolver.stats(), reg);
+    reg.record_counter(WORLD_TRACE_DROPPED, world.trace.dropped());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::MtaProfile;
+    use spamward_dns::Zone;
+    use spamward_greylist::{Greylist, GreylistConfig};
+    use spamward_sim::{SimDuration, SimTime};
+    use spamward_smtp::{Message, ReversePath};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn world_collection_reflects_a_delivery() {
+        let victim_ip = Ipv4Addr::new(192, 0, 2, 10);
+        let mut world = MailWorld::new(7);
+        world.install_server(ReceivingMta::new("mx.victim.example", victim_ip).with_greylist(
+            Greylist::new(
+                GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist(),
+            ),
+        ));
+        world.dns.publish(Zone::single_mx("victim.example".parse().unwrap(), victim_ip));
+
+        let mut sender = SendingMta::new(
+            "relay.example",
+            vec![Ipv4Addr::new(198, 51, 100, 3)],
+            MtaProfile::postfix(),
+        );
+        sender.submit(
+            "victim.example".parse().unwrap(),
+            ReversePath::Address("a@relay.example".parse().unwrap()),
+            vec!["u@victim.example".parse().unwrap()],
+            Message::builder().body("x").build(),
+            SimTime::ZERO,
+        );
+        sender.drain(SimTime::ZERO, &mut world);
+
+        let mut reg = Registry::new();
+        collect_world(&world, &mut reg);
+        collect_sender(&sender, &mut reg);
+
+        assert_eq!(reg.counter(SEND_DELIVERED), Some(1));
+        assert_eq!(reg.counter(RECV_ACCEPTED), Some(1));
+        assert_eq!(reg.counter("greylist.deferred.new"), Some(1), "first contact was greylisted");
+        assert_eq!(reg.counter("greylist.passed.after_delay"), Some(1));
+        assert!(reg.counter("smtp.server.commands").unwrap_or(0) > 0);
+        assert!(reg.counter("net.connect.attempted").unwrap_or(0) >= 2);
+        assert!(reg.counter("dns.query.mx").unwrap_or(0) >= 1);
+        // The delivered message waited out the 300 s delay.
+        match reg.get(SEND_DELIVERY_DELAY_S) {
+            Some(spamward_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 1);
+                assert!(h.sum() >= 300);
+            }
+            other => panic!("expected delay histogram, got {other:?}"),
+        }
+    }
+}

@@ -4,6 +4,7 @@ use crate::log::{anonymize, LogEvent, MtaLogEntry};
 use serde::{Deserialize, Serialize};
 use spamward_greylist::{Decision, Greylist, PassReason, TripletKey};
 use spamward_sim::SimTime;
+use spamward_smtp::metrics::SessionMetrics;
 use spamward_smtp::{
     reply::codes, EmailAddress, Envelope, Message, PolicyDecision, Reply, ServerPolicy, Transaction,
 };
@@ -93,6 +94,7 @@ pub struct ReceivingMta {
     mailbox: Vec<StoredMessage>,
     log: Vec<MtaLogEntry>,
     stats: ReceiveStats,
+    smtp_metrics: SessionMetrics,
     log_salt: u64,
 }
 
@@ -114,6 +116,7 @@ impl ReceivingMta {
             mailbox: Vec::new(),
             log: Vec::new(),
             stats: ReceiveStats::default(),
+            smtp_metrics: SessionMetrics::default(),
             log_salt: salt,
         }
     }
@@ -171,6 +174,20 @@ impl ReceivingMta {
     /// Aggregate counters.
     pub fn stats(&self) -> ReceiveStats {
         self.stats
+    }
+
+    /// Protocol counters accumulated over every SMTP session this server
+    /// handled (each finished session is folded in via
+    /// [`ReceivingMta::absorb_smtp`]).
+    pub fn smtp_metrics(&self) -> &SessionMetrics {
+        &self.smtp_metrics
+    }
+
+    /// Folds a finished SMTP session's counters into this server's running
+    /// totals. [`crate::MailWorld::attempt_delivery`] calls this after every
+    /// exchange.
+    pub fn absorb_smtp(&mut self, session: &SessionMetrics) {
+        self.smtp_metrics.merge(session);
     }
 
     /// The greylist engine, when enabled.

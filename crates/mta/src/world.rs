@@ -1,5 +1,6 @@
 //! The glue tying DNS, the network and receiving servers into one world.
 
+use crate::metrics::{TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME};
 use crate::receive::ReceivingMta;
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
 use spamward_net::{Network, SMTP_PORT};
@@ -52,6 +53,9 @@ impl MxStrategy {
 pub struct MxAttempt {
     /// The exchanger's name.
     pub mx: DomainName,
+    /// The exchanger's position in the preference-ordered MX set
+    /// (0 = primary), regardless of the order the strategy tried hosts in.
+    pub preference_rank: usize,
     /// Its resolved address (None = dangling MX, skipped).
     pub ip: Option<Ipv4Addr>,
     /// The connection error, or `None` if the SMTP session ran.
@@ -196,11 +200,11 @@ impl MailWorld {
         let mxs = match self.resolver.resolve_mx(&mut self.dns, domain, now) {
             Ok(mxs) => mxs,
             Err(e) => {
-                self.trace.record(now, "dns.fail", format!("{domain}: {e}"));
+                self.trace.record(now, TRACE_DNS_FAIL, format!("{domain}: {e}"));
                 return AttemptReport::resolve_failed(e, envelope.recipients());
             }
         };
-        self.trace.record(now, "dns.mx", format!("{domain}: {} exchanger(s)", mxs.len()));
+        self.trace.record(now, TRACE_DNS_MX, format!("{domain}: {} exchanger(s)", mxs.len()));
         // Receiving servers reverse-resolve the connecting client once per
         // session; name-based whitelists depend on it.
         let client_rdns: Option<String> =
@@ -210,9 +214,13 @@ impl MailWorld {
         let mut time_spent = SimDuration::ZERO;
 
         for cand in candidates {
+            // Rank in the preference-sorted set, not in strategy order — a
+            // secondary-only bot's single attempt still reports rank 1.
+            let preference_rank = mxs.iter().position(|m| m.name == cand.name).unwrap_or_default();
             let Some(ip) = cand.ip else {
                 trail.push(MxAttempt {
                     mx: cand.name.clone(),
+                    preference_rank,
                     ip: None,
                     connect_error: Some("no A record".into()),
                 });
@@ -222,9 +230,10 @@ impl MailWorld {
                 Err(err) => {
                     let rtt = SimDuration::from_millis(100);
                     time_spent += err.client_cost(rtt);
-                    self.trace.record(now, "net.fail", format!("{} ({ip}): {err}", cand.name));
+                    self.trace.record(now, TRACE_NET_FAIL, format!("{} ({ip}): {err}", cand.name));
                     trail.push(MxAttempt {
                         mx: cand.name.clone(),
+                        preference_rank,
                         ip: Some(ip),
                         connect_error: Some(err.to_string()),
                     });
@@ -235,6 +244,7 @@ impl MailWorld {
                 Ok(conn) => {
                     trail.push(MxAttempt {
                         mx: cand.name.clone(),
+                        preference_rank,
                         ip: Some(ip),
                         connect_error: None,
                     });
@@ -252,11 +262,12 @@ impl MailWorld {
                         ServerSession::new(&hostname, envelope.client_ip()).with_client_rdns(rdns);
                     let (outcome, transcript) =
                         exchange(&mut client, &mut session, server_mta, now + conn.rtt);
+                    server_mta.absorb_smtp(session.metrics());
                     // Rough time accounting: one RTT per protocol exchange.
                     time_spent += conn.rtt * (transcript.entries().len() as u64);
                     self.trace.record(
                         now,
-                        "smtp.outcome",
+                        TRACE_SMTP_OUTCOME,
                         format!("{} via {}: {}", envelope, cand.name, outcome),
                     );
                     return AttemptReport { outcome, mx_trail: trail, time_spent };

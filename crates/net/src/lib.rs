@@ -28,6 +28,7 @@
 mod host;
 mod ip;
 mod latency;
+pub mod metrics;
 mod network;
 
 pub use host::{Availability, Host, HostBuilder, HostId, PortState};

@@ -97,6 +97,10 @@ pub struct Network {
     latency: LatencyModel,
     rng: DetRng,
     connects_attempted: u64,
+    connects_established: u64,
+    connects_refused: u64,
+    connects_timed_out: u64,
+    connects_no_route: u64,
     probes_sent: std::cell::Cell<u64>,
     /// How long clients wait on a filtered port before giving up.
     pub syn_timeout: SimDuration,
@@ -111,6 +115,10 @@ impl Network {
             latency: LatencyModel::default(),
             rng: DetRng::seed(seed).fork("net.latency"),
             connects_attempted: 0,
+            connects_established: 0,
+            connects_refused: 0,
+            connects_timed_out: 0,
+            connects_no_route: 0,
             probes_sent: std::cell::Cell::new(0),
             syn_timeout: SimDuration::from_secs(30),
         }
@@ -120,6 +128,26 @@ impl Network {
     /// §VI accounting reads).
     pub fn connects_attempted(&self) -> u64 {
         self.connects_attempted
+    }
+
+    /// Attempts that completed the handshake.
+    pub fn connects_established(&self) -> u64 {
+        self.connects_established
+    }
+
+    /// Attempts refused with a RST (closed port — the nolisting primary).
+    pub fn connects_refused(&self) -> u64 {
+        self.connects_refused
+    }
+
+    /// Attempts that timed out (filtered port or down host).
+    pub fn connects_timed_out(&self) -> u64 {
+        self.connects_timed_out
+    }
+
+    /// Attempts to addresses with no route.
+    pub fn connects_no_route(&self) -> u64 {
+        self.connects_no_route
     }
 
     /// Total SYN probes sent by scanners.
@@ -245,17 +273,28 @@ impl Network {
         self.connects_attempted += 1;
         let rtt = self.latency.sample(&mut self.rng);
         let Some(&id) = self.by_ip.get(&ip) else {
+            self.connects_no_route += 1;
             return Err(ConnectError::NoRoute);
         };
         let host = self.get(id);
         if !host.is_up(epoch) {
             // A down host looks like a filtered port from the outside.
+            self.connects_timed_out += 1;
             return Err(ConnectError::TimedOut { waited: self.syn_timeout });
         }
         match host.port(port) {
-            PortState::Open => Ok(Connection { host: id, rtt }),
-            PortState::Closed => Err(ConnectError::ConnectionRefused),
-            PortState::Filtered => Err(ConnectError::TimedOut { waited: self.syn_timeout }),
+            PortState::Open => {
+                self.connects_established += 1;
+                Ok(Connection { host: id, rtt })
+            }
+            PortState::Closed => {
+                self.connects_refused += 1;
+                Err(ConnectError::ConnectionRefused)
+            }
+            PortState::Filtered => {
+                self.connects_timed_out += 1;
+                Err(ConnectError::TimedOut { waited: self.syn_timeout })
+            }
         }
     }
 }

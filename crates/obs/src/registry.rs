@@ -1,0 +1,360 @@
+//! The named metric registry and its canonical renderings.
+//!
+//! A [`Registry`] is a snapshot container: components export their plain
+//! instrument fields into it at collection time, binding names once (the O1
+//! lint keeps those name literals in `metrics.rs` modules). The backing
+//! store is a `BTreeMap` so every rendering — text, CSV, JSON — is a pure,
+//! byte-stable function of the recorded values (the D3 rule).
+
+use crate::metric::Histogram;
+use crate::span::SpanStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// A signed level (queue depth, store size).
+    Gauge(i64),
+    /// A fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// A deterministic, name-ordered snapshot of metric values.
+///
+/// Recording the same name twice *merges*: counters and histogram buckets
+/// add, gauges sum (so per-world levels aggregate across worlds). Merging
+/// two registries merges every entry, which is how experiment runs fold
+/// per-sample world snapshots into one report section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Records (or adds to) a counter.
+    pub fn record_counter(&mut self, name: &str, value: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Counter(v)) => *v += value,
+            Some(other) => *other = MetricValue::Counter(value),
+            None => {
+                self.metrics.insert(name.to_owned(), MetricValue::Counter(value));
+            }
+        }
+    }
+
+    /// Records (or sums into) a gauge level.
+    pub fn record_gauge(&mut self, name: &str, value: i64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Gauge(v)) => *v += value,
+            Some(other) => *other = MetricValue::Gauge(value),
+            None => {
+                self.metrics.insert(name.to_owned(), MetricValue::Gauge(value));
+            }
+        }
+    }
+
+    /// Records (or merges into) a histogram snapshot.
+    pub fn record_histogram(&mut self, name: &str, hist: &Histogram) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.merge(hist),
+            Some(other) => *other = MetricValue::Histogram(hist.clone()),
+            None => {
+                self.metrics.insert(name.to_owned(), MetricValue::Histogram(hist.clone()));
+            }
+        }
+    }
+
+    /// Records accumulated span statistics as `<name>.count` /
+    /// `<name>.total_us` counters (the mean is derivable; the max does not
+    /// merge additively so it is not exported).
+    pub fn record_span(&mut self, name: &str, stats: &SpanStats) {
+        self.record_counter(&format!("{name}.count"), stats.count());
+        self.record_counter(&format!("{name}.total_us"), stats.total_us());
+    }
+
+    /// Folds every entry of `other` into this registry.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in &other.metrics {
+            match value {
+                MetricValue::Counter(v) => self.record_counter(name, *v),
+                MetricValue::Gauge(v) => self.record_gauge(name, *v),
+                MetricValue::Histogram(h) => self.record_histogram(name, h),
+            }
+        }
+    }
+
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// The value of a counter, if `name` is a recorded counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The level of a gauge, if `name` is a recorded gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries in canonical (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of recorded metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders `name value` lines (histograms as one `count=/sum=/le...`
+    /// line), in canonical order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(out, "{name} count={} sum={}", h.count(), h.sum());
+                    for (bound, n) in h.bounds().iter().zip(h.counts()) {
+                        let _ = write!(out, " le{bound}={n}");
+                    }
+                    if let Some(overflow) = h.counts().last() {
+                        let _ = write!(out, " le+inf={overflow}");
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders `metric,kind,value` CSV rows (header included); histogram
+    /// buckets become one `<name>{le=<bound>}` row each.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,value\n");
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name},counter,{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name},gauge,{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{name},histogram_count,{}", h.count());
+                    let _ = writeln!(out, "{name},histogram_sum,{}", h.sum());
+                    for (bound, n) in h.bounds().iter().zip(h.counts()) {
+                        let _ = writeln!(out, "{name}{{le={bound}}},histogram_bucket,{n}");
+                    }
+                    if let Some(overflow) = h.counts().last() {
+                        let _ = writeln!(out, "{name}{{le=+inf}},histogram_bucket,{overflow}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the canonical JSON array form embedded in report JSON:
+    /// `[{"name":...,"kind":...,...},...]` in name order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"kind\":\"counter\",\"value\":{v}}}",
+                        json_str(name)
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"kind\":\"gauge\",\"value\":{v}}}",
+                        json_str(name)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        json_str(name),
+                        h.count(),
+                        h.sum()
+                    );
+                    for (j, (bound, n)) in h.bounds().iter().zip(h.counts()).enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{bound},\"count\":{n}}}");
+                    }
+                    if let Some(overflow) = h.counts().last() {
+                        if !h.bounds().is_empty() {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":null,\"count\":{overflow}}}");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a metric name as a JSON string literal (same canonical escaping
+/// as `spamward_analysis::json::json_string`; duplicated to keep this crate
+/// dependency-light).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStats;
+    use spamward_sim::SimDuration;
+
+    fn sample() -> Registry {
+        let mut reg = Registry::new();
+        reg.record_counter("smtp.command.total", 12);
+        reg.record_gauge("greylist.store.size", 3);
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(500);
+        reg.record_histogram("mta.retry.delay_s", &h);
+        reg
+    }
+
+    #[test]
+    fn recording_same_name_merges() {
+        let mut reg = sample();
+        reg.record_counter("smtp.command.total", 8);
+        reg.record_gauge("greylist.store.size", -1);
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(50);
+        reg.record_histogram("mta.retry.delay_s", &h);
+
+        assert_eq!(reg.counter("smtp.command.total"), Some(20));
+        assert_eq!(reg.gauge("greylist.store.size"), Some(2));
+        match reg.get("mta.retry.delay_s") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 3),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_folds_every_kind() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("smtp.command.total"), Some(24));
+        assert_eq!(a.gauge("greylist.store.size"), Some(6));
+        match a.get("mta.retry.delay_s") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 4);
+                assert_eq!(h.bucket(10), Some(2));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn span_export_uses_derived_counters() {
+        let mut stats = SpanStats::new();
+        stats.record(SimDuration::from_micros(7));
+        stats.record(SimDuration::from_micros(9));
+        let mut reg = Registry::new();
+        reg.record_span("smtp.wire.exchange", &stats);
+        assert_eq!(reg.counter("smtp.wire.exchange.count"), Some(2));
+        assert_eq!(reg.counter("smtp.wire.exchange.total_us"), Some(16));
+    }
+
+    #[test]
+    fn renderings_are_canonical() {
+        let reg = sample();
+        assert_eq!(
+            reg.to_text(),
+            "greylist.store.size 3\n\
+             mta.retry.delay_s count=2 sum=505 le10=1 le100=0 le+inf=1\n\
+             smtp.command.total 12\n"
+        );
+        assert_eq!(
+            reg.to_csv(),
+            "metric,kind,value\n\
+             greylist.store.size,gauge,3\n\
+             mta.retry.delay_s,histogram_count,2\n\
+             mta.retry.delay_s,histogram_sum,505\n\
+             mta.retry.delay_s{le=10},histogram_bucket,1\n\
+             mta.retry.delay_s{le=100},histogram_bucket,0\n\
+             mta.retry.delay_s{le=+inf},histogram_bucket,1\n\
+             smtp.command.total,counter,12\n"
+        );
+        assert_eq!(
+            reg.to_json(),
+            "[{\"name\":\"greylist.store.size\",\"kind\":\"gauge\",\"value\":3},\
+             {\"name\":\"mta.retry.delay_s\",\"kind\":\"histogram\",\"count\":2,\"sum\":505,\
+             \"buckets\":[{\"le\":10,\"count\":1},{\"le\":100,\"count\":0},\
+             {\"le\":null,\"count\":1}]},\
+             {\"name\":\"smtp.command.total\",\"kind\":\"counter\",\"value\":12}]"
+        );
+        // Rendering twice yields identical bytes.
+        assert_eq!(reg.to_json(), reg.clone().to_json());
+        assert_eq!(Registry::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn names_escape_like_report_json() {
+        let mut reg = Registry::new();
+        reg.record_counter("weird\"name\\", 1);
+        assert!(reg.to_json().contains("\"weird\\\"name\\\\\""));
+    }
+}

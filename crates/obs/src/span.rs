@@ -1,0 +1,146 @@
+//! Lightweight timed spans over virtual time.
+//!
+//! A [`Span`] brackets a region of interest (one wire exchange, one store
+//! lookup) between two explicit [`SimTime`] readings — or a [`Clock`], which
+//! on sim paths is always the injected manual clock, never wall time (D1).
+//! Durations accumulate into [`SpanStats`], a plain struct that the owning
+//! component exports via [`Registry::record_span`](crate::Registry::record_span).
+
+use spamward_sim::{Clock, SimDuration, SimTime};
+
+/// An open span: remembers when the region of interest started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    started: SimTime,
+}
+
+impl Span {
+    /// Opens a span at the given virtual instant.
+    #[inline]
+    pub fn enter(now: SimTime) -> Self {
+        Span { started: now }
+    }
+
+    /// Opens a span by reading the injected clock.
+    #[inline]
+    pub fn enter_at(clock: &dyn Clock) -> Self {
+        Span { started: clock.now() }
+    }
+
+    /// When the span was opened.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// Virtual time elapsed since the span opened, saturating at zero.
+    #[inline]
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.checked_elapsed_since(self.started).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Closes the span, returning its duration.
+    #[inline]
+    pub fn exit(self, now: SimTime) -> SimDuration {
+        self.elapsed(now)
+    }
+
+    /// Closes the span against the injected clock.
+    #[inline]
+    pub fn exit_at(self, clock: &dyn Clock) -> SimDuration {
+        self.elapsed(clock.now())
+    }
+}
+
+/// Accumulated statistics for a named span: how many times the region ran,
+/// total and maximum virtual time spent inside it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+impl SpanStats {
+    /// Empty stats.
+    pub const fn new() -> Self {
+        SpanStats { count: 0, total_us: 0, max_us: 0 }
+    }
+
+    /// Records one completed span duration.
+    #[inline]
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Closes `span` at `now` and records its duration in one step.
+    #[inline]
+    pub fn exit(&mut self, span: Span, now: SimTime) {
+        self.record(span.exit(now));
+    }
+
+    /// How many spans were recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total virtual microseconds across all recorded spans.
+    pub fn total_us(&self) -> u64 {
+        self.total_us
+    }
+
+    /// The longest recorded span, in virtual microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_sim::ManualClock;
+
+    #[test]
+    fn span_measures_virtual_time() {
+        let t0 = SimTime::from_micros(100);
+        let span = Span::enter(t0);
+        assert_eq!(span.started(), t0);
+        assert_eq!(span.elapsed(t0 + SimDuration::from_micros(40)), SimDuration::from_micros(40));
+        // A clock that went "backwards" (caller bug) saturates instead of panicking.
+        assert_eq!(span.exit(SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn span_reads_injected_clock() {
+        let clock = ManualClock::at(SimTime::from_micros(5));
+        let span = Span::enter_at(&clock);
+        clock.set(SimTime::from_micros(25));
+        assert_eq!(span.exit_at(&clock), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn span_stats_accumulate_and_merge() {
+        let mut a = SpanStats::new();
+        a.record(SimDuration::from_micros(10));
+        a.exit(Span::enter(SimTime::ZERO), SimTime::from_micros(30));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total_us(), 40);
+        assert_eq!(a.max_us(), 30);
+
+        let mut b = SpanStats::new();
+        b.record(SimDuration::from_micros(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total_us(), 140);
+        assert_eq!(a.max_us(), 100);
+    }
+}

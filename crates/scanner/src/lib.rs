@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod dataset;
+pub mod metrics;
 mod pipeline;
 mod population;
 

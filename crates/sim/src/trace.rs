@@ -64,13 +64,12 @@ impl Tracer {
     }
 
     /// Creates an enabled tracer retaining at most `capacity` events.
+    ///
+    /// A capacity of zero retains nothing: every recorded event is counted
+    /// as dropped, so event *counts* stay observable even when retention is
+    /// turned off.
     pub fn with_capacity(capacity: usize) -> Self {
-        Tracer {
-            events: std::collections::VecDeque::new(),
-            capacity: capacity.max(1),
-            dropped: 0,
-            enabled: true,
-        }
+        Tracer { events: std::collections::VecDeque::new(), capacity, dropped: 0, enabled: true }
     }
 
     /// Creates a tracer that records nothing (zero overhead beyond the
@@ -92,6 +91,10 @@ impl Tracer {
     /// Records an event (no-op when disabled).
     pub fn record(&mut self, at: SimTime, category: &str, detail: impl Into<String>) {
         if !self.enabled {
+            return;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
             return;
         }
         if self.events.len() == self.capacity {
@@ -159,6 +162,32 @@ mod tests {
         assert_eq!(tr.dropped(), 7);
         let details: Vec<_> = tr.events().map(|e| e.detail.clone()).collect();
         assert_eq!(details, vec!["e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut tr = Tracer::with_capacity(0);
+        assert!(tr.is_enabled());
+        for i in 0..5 {
+            tr.record(t(i), "c", format!("e{i}"));
+        }
+        assert_eq!(tr.events().len(), 0, "nothing is retained at capacity 0");
+        assert_eq!(tr.dropped(), 5, "every record still counts as dropped");
+        tr.clear();
+        assert_eq!(tr.dropped(), 5);
+    }
+
+    #[test]
+    fn one_capacity_keeps_only_the_latest() {
+        let mut tr = Tracer::with_capacity(1);
+        tr.record(t(1), "c", "first");
+        assert_eq!(tr.dropped(), 0);
+        tr.record(t(2), "c", "second");
+        tr.record(t(3), "c", "third");
+        assert_eq!(tr.dropped(), 2);
+        let evs: Vec<_> = tr.events().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].detail, "third");
     }
 
     #[test]

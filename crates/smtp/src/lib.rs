@@ -31,6 +31,7 @@ mod dialect;
 mod envelope;
 mod extensions;
 mod message;
+pub mod metrics;
 pub mod reply;
 mod server;
 pub mod tcp;

@@ -1,0 +1,144 @@
+//! Metric name constants and collectors for the SMTP crate.
+//!
+//! All `smtp.*` registry names live here (the O1 lint rule). The server
+//! state machine bumps plain [`SessionMetrics`] fields per command/reply —
+//! an O(1) field update on the wire hot path — and a receiving MTA absorbs
+//! each finished session's snapshot, exporting names only at collect time.
+
+use crate::command::Command;
+use crate::reply::{codes, Reply};
+use spamward_obs::Registry;
+
+/// Commands the server parsed and dispatched.
+pub const COMMANDS: &str = "smtp.server.commands";
+/// Replies in the 2xx (success) class.
+pub const REPLIES_2XX: &str = "smtp.server.replies.2xx";
+/// Replies in the 3xx (intermediate, e.g. 354) class.
+pub const REPLIES_3XX: &str = "smtp.server.replies.3xx";
+/// Replies in the 4xx (transient failure) class — the greylisting class.
+pub const REPLIES_4XX: &str = "smtp.server.replies.4xx";
+/// Replies in the 5xx (permanent failure) class.
+pub const REPLIES_5XX: &str = "smtp.server.replies.5xx";
+/// Commands the server did not recognize (500) — a dialect-violation proxy.
+pub const UNRECOGNIZED: &str = "smtp.server.unrecognized";
+/// Commands issued out of RFC 5321 sequence (503).
+pub const BAD_SEQUENCE: &str = "smtp.server.bad_sequence";
+/// Unrecognized plus out-of-sequence commands: dialect violations.
+pub const DIALECT_VIOLATIONS: &str = "smtp.server.dialect_violations";
+
+/// Per-session protocol counters, kept as plain fields so the state machine
+/// pays one integer increment per event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Commands parsed and dispatched.
+    pub commands: u64,
+    /// Replies sent, by first digit.
+    pub replies_2xx: u64,
+    /// 3xx replies (354).
+    pub replies_3xx: u64,
+    /// 4xx replies (greylist defers, transient failures).
+    pub replies_4xx: u64,
+    /// 5xx replies (rejections).
+    pub replies_5xx: u64,
+    /// Unrecognized commands (500).
+    pub unrecognized: u64,
+    /// Out-of-sequence commands (503).
+    pub bad_sequence: u64,
+}
+
+impl SessionMetrics {
+    /// Notes one parsed command.
+    #[inline]
+    pub fn on_command(&mut self, cmd: &Command) {
+        self.commands += 1;
+        if matches!(cmd, Command::Unknown { .. }) {
+            self.unrecognized += 1;
+        }
+    }
+
+    /// Notes one reply about to go out.
+    #[inline]
+    pub fn on_reply(&mut self, reply: &Reply) {
+        match reply.code() / 100 {
+            2 => self.replies_2xx += 1,
+            3 => self.replies_3xx += 1,
+            4 => self.replies_4xx += 1,
+            _ => self.replies_5xx += 1,
+        }
+        if reply.code() == codes::BAD_SEQUENCE {
+            self.bad_sequence += 1;
+        }
+    }
+
+    /// Unrecognized plus out-of-sequence commands — the sessions-eye view
+    /// of dialect violations.
+    pub fn dialect_violations(&self) -> u64 {
+        self.unrecognized + self.bad_sequence
+    }
+
+    /// Folds a finished session's counters into an accumulator.
+    pub fn merge(&mut self, other: &SessionMetrics) {
+        self.commands += other.commands;
+        self.replies_2xx += other.replies_2xx;
+        self.replies_3xx += other.replies_3xx;
+        self.replies_4xx += other.replies_4xx;
+        self.replies_5xx += other.replies_5xx;
+        self.unrecognized += other.unrecognized;
+        self.bad_sequence += other.bad_sequence;
+    }
+}
+
+/// Exports session counters under the canonical `smtp.*` names.
+pub fn collect(m: &SessionMetrics, reg: &mut Registry) {
+    reg.record_counter(COMMANDS, m.commands);
+    reg.record_counter(REPLIES_2XX, m.replies_2xx);
+    reg.record_counter(REPLIES_3XX, m.replies_3xx);
+    reg.record_counter(REPLIES_4XX, m.replies_4xx);
+    reg.record_counter(REPLIES_5XX, m.replies_5xx);
+    reg.record_counter(UNRECOGNIZED, m.unrecognized);
+    reg.record_counter(BAD_SEQUENCE, m.bad_sequence);
+    reg.record_counter(DIALECT_VIOLATIONS, m.dialect_violations());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{AcceptAll, ServerSession};
+    use spamward_sim::SimTime;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn session_counts_commands_and_reply_classes() {
+        let mut policy = AcceptAll;
+        let mut s = ServerSession::new("mx.test", Ipv4Addr::new(10, 0, 0, 1));
+        let now = SimTime::ZERO;
+        let _ = s.open(now, &mut policy);
+        let _ = s.handle(now, &Command::parse("HELO bot.local"), &mut policy);
+        let _ = s.handle(now, &Command::parse("DATA"), &mut policy); // 503: no MAIL yet
+        let _ = s.handle(now, &Command::parse("BOGUS"), &mut policy); // 500
+        let _ = s.handle(now, &Command::parse("QUIT"), &mut policy);
+
+        let m = *s.metrics();
+        assert_eq!(m.commands, 4);
+        assert_eq!(m.replies_2xx, 3, "banner, HELO, QUIT");
+        assert_eq!(m.bad_sequence, 1);
+        assert_eq!(m.unrecognized, 1);
+        assert_eq!(m.dialect_violations(), 2);
+
+        let mut reg = Registry::new();
+        collect(&m, &mut reg);
+        assert_eq!(reg.counter(COMMANDS), Some(4));
+        assert_eq!(reg.counter(DIALECT_VIOLATIONS), Some(2));
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = SessionMetrics { commands: 1, replies_4xx: 2, ..Default::default() };
+        let b =
+            SessionMetrics { commands: 3, replies_4xx: 1, bad_sequence: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.commands, 4);
+        assert_eq!(a.replies_4xx, 3);
+        assert_eq!(a.bad_sequence, 1);
+    }
+}

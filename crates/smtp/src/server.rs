@@ -5,6 +5,7 @@ use crate::command::Command;
 use crate::envelope::Envelope;
 use crate::extensions::Capabilities;
 use crate::message::Message;
+use crate::metrics::SessionMetrics;
 use crate::reply::{codes, Reply};
 use spamward_sim::SimTime;
 use std::net::Ipv4Addr;
@@ -167,6 +168,10 @@ pub struct ServerSession {
     /// Completed envelopes/messages this session (a session can carry
     /// several transactions).
     accepted: Vec<(Envelope, Message)>,
+    /// Protocol counters for this session (commands, reply classes,
+    /// dialect violations); absorbed by the owning MTA when the session
+    /// ends.
+    metrics: SessionMetrics,
 }
 
 impl ServerSession {
@@ -179,6 +184,7 @@ impl ServerSession {
             capabilities: Capabilities::default(),
             esmtp: false,
             accepted: Vec::new(),
+            metrics: SessionMetrics::default(),
         }
     }
 
@@ -215,6 +221,11 @@ impl ServerSession {
         &self.accepted
     }
 
+    /// The session's protocol counters so far.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
     /// Sends the banner (or a policy rejection banner) for a client that
     /// *talked before the banner* — runs the pregreet hook first.
     ///
@@ -225,6 +236,7 @@ impl ServerSession {
         assert_eq!(self.state, SessionState::Connected, "open() called twice");
         if let Some(reply) = policy.on_pregreet(now, self.tx.client_ip).into_reply() {
             self.state = SessionState::Closed;
+            self.metrics.on_reply(&reply);
             return reply;
         }
         self.open(now, policy)
@@ -237,7 +249,7 @@ impl ServerSession {
     /// Panics if called twice.
     pub fn open(&mut self, now: SimTime, policy: &mut dyn ServerPolicy) -> Reply {
         assert_eq!(self.state, SessionState::Connected, "open() called twice");
-        match policy.on_connect(now, self.tx.client_ip).into_reply() {
+        let reply = match policy.on_connect(now, self.tx.client_ip).into_reply() {
             Some(reply) => {
                 self.state = SessionState::Closed;
                 reply
@@ -246,7 +258,9 @@ impl ServerSession {
                 self.state = SessionState::AwaitGreeting;
                 Reply::banner(&self.hostname)
             }
-        }
+        };
+        self.metrics.on_reply(&reply);
+        reply
     }
 
     /// Handles one client command.
@@ -264,6 +278,13 @@ impl ServerSession {
             "handle() called in state {:?}",
             self.state
         );
+        self.metrics.on_command(cmd);
+        let reply = self.dispatch(now, cmd, policy);
+        self.metrics.on_reply(&reply);
+        reply
+    }
+
+    fn dispatch(&mut self, now: SimTime, cmd: &Command, policy: &mut dyn ServerPolicy) -> Reply {
         match cmd {
             Command::Helo { domain } | Command::Ehlo { domain } => {
                 self.esmtp = matches!(cmd, Command::Ehlo { .. });
@@ -371,6 +392,17 @@ impl ServerSession {
         policy: &mut dyn ServerPolicy,
     ) -> Reply {
         assert_eq!(self.state, SessionState::ReadingData, "no DATA in progress");
+        let reply = self.data_body_inner(now, body_wire, policy);
+        self.metrics.on_reply(&reply);
+        reply
+    }
+
+    fn data_body_inner(
+        &mut self,
+        now: SimTime,
+        body_wire: &str,
+        policy: &mut dyn ServerPolicy,
+    ) -> Reply {
         if let Some(limit) = self.capabilities.size_limit {
             if body_wire.len() as u64 > limit {
                 self.state = SessionState::Ready;

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod provider;
 
 pub use provider::{WebmailProvider, GREYLIST_EXPERIMENT_THRESHOLD};

@@ -14,7 +14,7 @@ use spamward::core::harness::{fmt_scalar, registry, HarnessConfig, Scale};
 
 fn main() {
     let seed: Option<u64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
-    let config = HarnessConfig { seed, scale: Scale::Quick };
+    let config = HarnessConfig { seed, scale: Scale::Quick, trace: false };
 
     for exp in registry() {
         let report = exp.run(&config);

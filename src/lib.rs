@@ -39,6 +39,10 @@
 /// Discrete-event simulation engine (virtual time, deterministic RNG).
 pub use spamward_sim as sim;
 
+/// Deterministic metrics and span instrumentation (counters, gauges,
+/// histograms, spans — all keyed off injected virtual time).
+pub use spamward_obs as obs;
+
 /// Simulated IPv4 internet (hosts, ports, probes, latency).
 pub use spamward_net as net;
 

@@ -94,7 +94,7 @@ fn parallel_seed_runner_is_order_independent() {
 /// is the harness-level pin the CI golden snapshot builds on.
 #[test]
 fn every_registered_report_is_byte_stable() {
-    let config = HarnessConfig { seed: Some(77), scale: Scale::Quick };
+    let config = HarnessConfig { seed: Some(77), scale: Scale::Quick, trace: false };
     for exp in harness::registry() {
         let a = exp.run(&config);
         let b = exp.run(&config);
@@ -109,12 +109,41 @@ fn every_registered_report_is_byte_stable() {
 /// regardless of worker count.
 #[test]
 fn parallel_registry_run_matches_serial_bytes() {
-    let config = HarnessConfig { seed: None, scale: Scale::Quick };
+    let config = HarnessConfig { seed: None, scale: Scale::Quick, trace: false };
     let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
     let render = |i: u64| harness::registry()[i as usize].run(&config).to_json();
     let serial = run_seeds(&indices, 1, render);
     let parallel = run_seeds(&indices, 4, render);
     assert_eq!(serial, parallel, "worker count changed the rendered bytes");
+}
+
+/// The exact composition `repro all --json --metrics` prints — every
+/// registered report rendered to canonical JSON (metrics embedded) and
+/// joined into one array — must be byte-identical across two runs with the
+/// same seed AND between a serial and a four-worker run. This is the
+/// CI golden-snapshot contract.
+#[test]
+fn repro_all_json_metrics_composition_is_byte_identical() {
+    let config = HarnessConfig { seed: Some(42), scale: Scale::Quick, trace: false };
+    let compose = |jobs: usize| -> String {
+        let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
+        let runs =
+            run_seeds(&indices, jobs, |i| harness::registry()[i as usize].run(&config).to_json());
+        let bodies: Vec<String> = runs.into_iter().map(|r| r.output).collect();
+        format!("[{}]\n", bodies.join(","))
+    };
+    let first = compose(1);
+    let second = compose(1);
+    assert_eq!(first, second, "same seed must give byte-identical output across runs");
+    let parallel = compose(4);
+    assert_eq!(first, parallel, "--jobs 4 must not change a single byte");
+    // The contract includes the metrics: every report in the array embeds
+    // a populated metrics section.
+    assert_eq!(
+        first.matches("\"metrics\":[{").count(),
+        harness::registry().len(),
+        "every report must embed a non-empty metrics section"
+    );
 }
 
 /// Re-running the same traced scenario with the same seed must replay the

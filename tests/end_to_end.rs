@@ -32,7 +32,8 @@ fn compliant_mta_delivers_through_greylist_and_log_reconstructs_delay() {
 
     // ...and the anonymized log round-trips through the analyzer with the
     // same delay the sender recorded.
-    let analysis = GreylistLogAnalysis::from_lines(server.log_text().lines());
+    let analysis = GreylistLogAnalysis::from_lines(server.log_text().lines())
+        .expect("MTA log lines are well-formed");
     assert_eq!(analysis.malformed(), 0);
     let delays = analysis.delivery_delays();
     assert_eq!(delays.len(), 1);

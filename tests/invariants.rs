@@ -169,6 +169,32 @@ proptest! {
         prop_assert_eq!(run(false), run(true));
     }
 
+    /// The metric registry never disagrees with the greylist's own stats:
+    /// collecting any post-campaign world reproduces the decision counters
+    /// exactly, and the deferred/passed split is internally consistent.
+    #[test]
+    fn prop_metrics_mirror_greylist_stats(seed in 0u64..200, n in 1usize..6) {
+        let mut world = worlds::greylist_world(seed, SimDuration::from_secs(300));
+        let mut rng = DetRng::seed(seed).fork("obs");
+        let campaign = Campaign::synthetic(VICTIM_DOMAIN, n, &mut rng);
+        let mut bot = BotSample::new(MalwareFamily::Kelihos, 0, Ipv4Addr::new(203, 0, 113, 4));
+        bot.run_campaign(&mut world, &campaign, SimTime::ZERO, SimTime::from_secs(100_000));
+
+        let mut reg = spamward::obs::Registry::new();
+        spamward::mta::metrics::collect_world(&world, &mut reg);
+        let stats = world.server(VICTIM_MX_IP).unwrap().greylist().unwrap().stats();
+        let c = |name: &str| reg.counter(name).unwrap_or(0);
+        prop_assert_eq!(c("greylist.deferred.total"), stats.total_greylisted());
+        prop_assert_eq!(c("greylist.passed.total"), stats.total_passed());
+        prop_assert_eq!(
+            c("greylist.deferred.total"),
+            c("greylist.deferred.new")
+                + c("greylist.deferred.early")
+                + c("greylist.deferred.restarted"),
+        );
+        prop_assert_eq!(c("mta.receive.rcpt_greylisted"), c("greylist.deferred.total"));
+    }
+
     /// Triplet accounting: after any bot campaign against a greylisted
     /// victim, greylist stats add up (total = passed + greylisted).
     #[test]
@@ -183,4 +209,80 @@ proptest! {
         prop_assert_eq!(stats.total(), stats.total_passed() + stats.total_greylisted());
         prop_assert!(stats.total() >= n as u64);
     }
+}
+
+/// Every registered experiment exports a non-empty metric registry, and
+/// the canonical JSON rendering always embeds it.
+#[test]
+fn every_registered_report_has_metrics() {
+    use spamward::core::harness::{self, HarnessConfig, Scale};
+    let config = HarnessConfig { seed: Some(9), scale: Scale::Quick, trace: false };
+    for exp in harness::registry() {
+        let report = exp.run(&config);
+        assert!(!report.metrics().is_empty(), "{}: empty metric registry", exp.id());
+        assert!(
+            report.to_json().contains("\"metrics\":[{"),
+            "{}: JSON rendering lacks a populated metrics section",
+            exp.id()
+        );
+    }
+}
+
+/// Table II's metric registry agrees with its table: the bots that beat
+/// greylisting in the table are exactly the ones that show up as passed
+/// triplets, and the defer/pass split stays internally consistent.
+#[test]
+fn efficacy_metrics_consistent_with_table() {
+    use spamward::core::experiments::efficacy;
+    let config = efficacy::EfficacyConfig { recipients: 4, ..Default::default() };
+    let mut reg = spamward::obs::Registry::new();
+    let result = efficacy::run_with_obs(&config, false, &mut reg, &mut Vec::new());
+
+    let c = |name: &str| reg.counter(name).unwrap_or(0);
+    // Every sample's first contact with the greylisted victim is deferred.
+    assert!(c("greylist.deferred.new") >= result.rows.len() as u64);
+    assert_eq!(c("greylist.deferred.total"), c("mta.receive.rcpt_greylisted"));
+    assert_eq!(
+        c("greylist.deferred.total"),
+        c("greylist.deferred.new")
+            + c("greylist.deferred.early")
+            + c("greylist.deferred.restarted"),
+    );
+    // The table's "greylisting blocked" column and the pass counters tell
+    // the same story: passes happen iff some family out-waits the delay.
+    let unblocked = result.rows.iter().filter(|r| !r.greylisting_blocked).count();
+    if unblocked > 0 {
+        assert!(
+            c("greylist.passed.after_delay") >= unblocked as u64,
+            "families that beat greylisting must have passed triplets"
+        );
+    } else {
+        assert_eq!(c("greylist.passed.total"), 0, "nothing passed, nothing may count as passed");
+    }
+}
+
+/// The §VI cost table and the metric registry are two views of the same
+/// run: delivered counts, store sizes and greylist defer/pass counters
+/// must line up across the three setups.
+#[test]
+fn costs_metrics_consistent_with_table() {
+    use spamward::core::experiments::costs;
+    let config = costs::CostsConfig { messages: 60, ..Default::default() };
+    let mut reg = spamward::obs::Registry::new();
+    let result = costs::run_with_obs(&config, false, &mut reg, &mut Vec::new());
+
+    let c = |name: &str| reg.counter(name).unwrap_or(0);
+    let delivered_total: usize = result.rows.iter().map(|r| r.delivered).sum();
+    assert_eq!(c("mta.send.delivered"), delivered_total as u64);
+    assert_eq!(c("mta.receive.accepted"), delivered_total as u64);
+
+    // Only the greylisting setup owns a triplet store; its table column is
+    // the same number the registry reports as the store-size gauge.
+    let grey = result.row("greylisting").expect("greylisting row exists");
+    assert_eq!(reg.gauge("greylist.store.size"), Some(grey.store_entries as i64));
+    // Each benign message is a fresh triplet: deferred once on first
+    // contact, passed after out-waiting the delay.
+    assert_eq!(c("greylist.deferred.new"), config.messages as u64);
+    assert_eq!(c("greylist.passed.after_delay"), grey.delivered as u64);
+    assert_eq!(c("greylist.deferred.total"), c("mta.receive.rcpt_greylisted"));
 }

@@ -1,0 +1,114 @@
+//! Round-trip properties of the anonymized MTA log format.
+//!
+//! `spamward-mta` renders entries (`mta::log::MtaLogEntry::to_line`) and
+//! `spamward-analysis` re-parses them independently (`analysis::log`), so
+//! the two crates can drift apart silently. These properties pin the wire
+//! format across every [`LogEvent`] variant and both parsers.
+
+use proptest::prelude::*;
+use spamward::analysis::log::{parse_log_line_strict, GreylistLogAnalysis, LogKind};
+use spamward::mta::{LogEvent, MtaLogEntry};
+use spamward::sim::SimTime;
+
+const ALL_EVENTS: [LogEvent; 5] = [
+    LogEvent::Greylisted,
+    LogEvent::PassedGreylist,
+    LogEvent::Whitelisted,
+    LogEvent::UnknownRecipient,
+    LogEvent::Accepted,
+];
+
+/// The kind the analysis crate should assign to each MTA event.
+fn expected_kind(event: LogEvent) -> LogKind {
+    match event {
+        LogEvent::Greylisted => LogKind::Deferred,
+        LogEvent::PassedGreylist => LogKind::Passed,
+        LogEvent::Accepted => LogKind::Accepted,
+        LogEvent::Whitelisted | LogEvent::UnknownRecipient => LogKind::Other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// render → mta parse is the identity, and render → analysis parse
+    /// preserves timestamp, key and the event-kind mapping, for every
+    /// variant and arbitrary timestamps/keys.
+    #[test]
+    fn prop_log_line_roundtrips_through_both_parsers(
+        micros in 0u64..=u64::MAX / 2,
+        hash in any::<u64>(),
+        event_idx in 0usize..5,
+    ) {
+        let entry = MtaLogEntry {
+            at: SimTime::from_micros(micros),
+            event: ALL_EVENTS[event_idx],
+            triplet_hash: hash,
+        };
+        let line = entry.to_line();
+
+        // The MTA's own parser is the exact inverse of its renderer.
+        prop_assert_eq!(MtaLogEntry::parse_line(&line).as_ref(), Some(&entry));
+
+        // The independent analysis parser agrees on every field.
+        let rec = parse_log_line_strict(&line)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(rec.at, entry.at);
+        prop_assert_eq!(rec.key, entry.triplet_hash);
+        prop_assert_eq!(rec.kind, expected_kind(entry.event));
+    }
+
+    /// Damaging any single field of a rendered line makes the strict
+    /// analysis parser reject it with a typed error (never a silent skip).
+    #[test]
+    fn prop_damaged_lines_are_rejected_typed(
+        micros in 0u64..=u64::MAX / 2,
+        hash in any::<u64>(),
+        event_idx in 0usize..5,
+    ) {
+        let entry = MtaLogEntry {
+            at: SimTime::from_micros(micros),
+            event: ALL_EVENTS[event_idx],
+            triplet_hash: hash,
+        };
+        let line = entry.to_line();
+        let mut fields: Vec<&str> = line.split(' ').collect();
+        prop_assert_eq!(fields.len(), 3);
+
+        // Break the timestamp.
+        let ts = fields[0].replace('.', "x");
+        fields[0] = &ts;
+        prop_assert!(parse_log_line_strict(&fields.join(" ")).is_err());
+        fields[0] = &line[..line.find(' ').unwrap()];
+
+        // Break the key.
+        let damaged = line.replace("key=", "key=zz");
+        prop_assert!(parse_log_line_strict(&damaged).is_err());
+
+        // Drop the key field entirely.
+        let truncated = fields[..2].join(" ");
+        prop_assert!(parse_log_line_strict(&truncated).is_err());
+        prop_assert!(GreylistLogAnalysis::from_lines(truncated.lines()).is_err());
+    }
+}
+
+/// Non-property cross-check: a multi-line log carrying every variant feeds
+/// the analyzer and reconstructs the expected timeline.
+#[test]
+fn full_event_log_feeds_analyzer() {
+    let lines: Vec<String> = ALL_EVENTS
+        .iter()
+        .enumerate()
+        .map(|(i, &event)| {
+            MtaLogEntry { at: SimTime::from_secs(100 * (i as u64 + 1)), event, triplet_hash: 1 }
+                .to_line()
+        })
+        .collect();
+    let text = lines.join("\n");
+    let analysis = GreylistLogAnalysis::from_lines(text.lines()).expect("all variants parse");
+    assert_eq!(analysis.len(), 1);
+    let delivered: Vec<_> = analysis.delivered().collect();
+    assert_eq!(delivered.len(), 1);
+    // Greylisted (t=100) then accepted (t=500): a 400 s delivery delay.
+    assert_eq!(delivered[0].delivery_delay().map(|d| d.as_secs()), Some(400));
+}
