@@ -20,12 +20,12 @@
 //!   offers for reconsidering the /24 default.
 
 use crate::behavior::{BotRetrySchedule, RetryBehavior};
-use crate::bot::{BotAttempt, BotRunReport};
+use crate::bot::{BotRunReport, ChainActor};
 use crate::campaign::Campaign;
 use spamward_dns::DomainName;
-use spamward_mta::{MailWorld, MxStrategy};
+use spamward_mta::{MailWorld, MxStrategy, WorldSim};
 use spamward_sim::{DetRng, SimTime};
-use spamward_smtp::{Dialect, EmailAddress, Envelope};
+use spamward_smtp::{Dialect, EmailAddress};
 use std::net::Ipv4Addr;
 
 /// A configurable hypothetical bot.
@@ -91,8 +91,9 @@ impl AdaptiveBot {
 
     /// Runs a campaign, rotating source hosts per attempt.
     ///
-    /// Mirrors [`crate::BotSample::run_campaign`] but with the host
-    /// rotation that makes distributed retry expressible.
+    /// Mirrors [`crate::BotSample::run_campaign`] — one engine episode per
+    /// recipient chain — but the host-rotation cursor persists *across*
+    /// chains, which is what makes distributed retry expressible.
     pub fn run_campaign(
         &mut self,
         world: &mut MailWorld,
@@ -111,55 +112,29 @@ impl AdaptiveBot {
                     continue;
                 }
             };
-            let mut attempt_no: u32 = 0;
-            let first_at = start;
-            let mut at = start;
-            let mut msg_rng = self.rng.fork_idx("msg", report.attempts.len() as u64);
-            let delivered = loop {
-                if at > horizon {
-                    break false;
-                }
-                attempt_no += 1;
-                let source_ip = self.hosts[host_cursor % self.hosts.len()];
-                host_cursor += 1;
-                let envelope = Envelope::builder()
-                    .client_ip(source_ip)
-                    .helo(&self.dialect.helo_argument(source_ip))
-                    .mail_from(campaign.sender.clone())
-                    .rcpt(rcpt.clone())
-                    .build();
-                let outcome = world
-                    .attempt_delivery(
-                        at,
-                        &self.dialect,
-                        self.mx_strategy,
-                        &domain,
-                        envelope,
-                        campaign.message.clone(),
-                    )
-                    .outcome
-                    .is_delivered();
-                report.attempts.push(BotAttempt {
-                    recipient: rcpt.clone(),
-                    attempt: attempt_no,
-                    at,
-                    since_first: at.elapsed_since(first_at),
-                    delivered: outcome,
-                });
-                if outcome {
-                    break true;
-                }
-                match self.retry.nth_retry_delay(attempt_no, &mut msg_rng) {
-                    Some(delay) => {
-                        at = first_at + delay;
-                        if at > horizon {
-                            break false;
-                        }
-                    }
-                    None => break false,
-                }
+            let chain = ChainActor {
+                name: "botnet.adaptive",
+                hosts: self.hosts.clone(),
+                host_cursor,
+                dialect: self.dialect.clone(),
+                strategy: self.mx_strategy,
+                behavior: self.retry.clone(),
+                sender: campaign.sender.clone(),
+                message: campaign.message.clone(),
+                rcpt: rcpt.clone(),
+                domain,
+                rng: self.rng.fork_idx("msg", report.attempts.len() as u64),
+                record_mx_ranks: false,
+                first_at: start,
+                attempt_no: 0,
+                attempts: Vec::new(),
+                mx_rank_attempts: Vec::new(),
+                delivered: false,
             };
-            if delivered {
+            let (chain, _outcome, _end) = WorldSim::episode(world, chain, start, Some(horizon));
+            host_cursor = chain.host_cursor;
+            report.attempts.extend(chain.attempts);
+            if chain.delivered {
                 report.delivered.push(rcpt.clone());
             } else {
                 report.failed.push(rcpt.clone());

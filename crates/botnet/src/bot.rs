@@ -1,11 +1,12 @@
 //! A running bot sample: executes campaigns against a mail world.
 
+use crate::behavior::RetryBehavior;
 use crate::campaign::Campaign;
 use crate::family::MalwareFamily;
 use spamward_dns::DomainName;
-use spamward_mta::MailWorld;
-use spamward_sim::{DetRng, SimDuration, SimTime};
-use spamward_smtp::{EmailAddress, Envelope, Message};
+use spamward_mta::{MailWorld, MxStrategy, WorldSim};
+use spamward_sim::{Actor, DetRng, SimDuration, SimTime, Wake};
+use spamward_smtp::{Dialect, EmailAddress, Envelope, Message, ReversePath};
 use std::net::Ipv4Addr;
 
 /// One delivery attempt a bot made (the raw series behind Figs. 3 and 4).
@@ -57,6 +58,82 @@ impl BotRunReport {
     }
 }
 
+/// One recipient's delivery chain as a self-rescheduling engine actor:
+/// every wake-up is one SMTP attempt, and the family's retry ladder
+/// ([`RetryBehavior`]) schedules the next wake-up. Shared by
+/// [`BotSample`] and [`crate::AdaptiveBot`], which differ only in how
+/// they rotate source hosts.
+pub(crate) struct ChainActor {
+    pub(crate) name: &'static str,
+    pub(crate) hosts: Vec<Ipv4Addr>,
+    pub(crate) host_cursor: usize,
+    pub(crate) dialect: Dialect,
+    pub(crate) strategy: MxStrategy,
+    pub(crate) behavior: RetryBehavior,
+    pub(crate) sender: ReversePath,
+    pub(crate) message: Message,
+    pub(crate) rcpt: EmailAddress,
+    pub(crate) domain: DomainName,
+    pub(crate) rng: DetRng,
+    pub(crate) record_mx_ranks: bool,
+    pub(crate) first_at: SimTime,
+    pub(crate) attempt_no: u32,
+    pub(crate) attempts: Vec<BotAttempt>,
+    pub(crate) mx_rank_attempts: Vec<u64>,
+    pub(crate) delivered: bool,
+}
+
+impl Actor<MailWorld> for ChainActor {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        self.attempt_no += 1;
+        let source_ip = self.hosts[self.host_cursor % self.hosts.len()];
+        self.host_cursor += 1;
+        let envelope = Envelope::builder()
+            .client_ip(source_ip)
+            .helo(&self.dialect.helo_argument(source_ip))
+            .mail_from(self.sender.clone())
+            .rcpt(self.rcpt.clone())
+            .build();
+        let attempt = world.attempt_delivery(
+            now,
+            &self.dialect,
+            self.strategy,
+            &self.domain,
+            envelope,
+            self.message.clone(),
+        );
+        if self.record_mx_ranks {
+            for mx in &attempt.mx_trail {
+                let rank = mx.preference_rank;
+                if self.mx_rank_attempts.len() <= rank {
+                    self.mx_rank_attempts.resize(rank + 1, 0);
+                }
+                self.mx_rank_attempts[rank] += 1;
+            }
+        }
+        let delivered = attempt.outcome.is_delivered();
+        self.attempts.push(BotAttempt {
+            recipient: self.rcpt.clone(),
+            attempt: self.attempt_no,
+            at: now,
+            since_first: now.elapsed_since(self.first_at),
+            delivered,
+        });
+        if delivered {
+            self.delivered = true;
+            return Wake::Idle;
+        }
+        match self.behavior.nth_retry_delay(self.attempt_no, &mut self.rng) {
+            Some(delay) => Wake::At(self.first_at + delay),
+            None => Wake::Idle,
+        }
+    }
+}
+
 /// One executable malware sample.
 ///
 /// Samples of the same family share behaviour (the paper found no
@@ -102,6 +179,7 @@ impl BotSample {
         self.ip
     }
 
+    #[cfg(test)]
     fn envelope_for(&self, campaign: &Campaign, rcpt: &EmailAddress) -> Envelope {
         Envelope::builder()
             .client_ip(self.ip)
@@ -116,9 +194,69 @@ impl BotSample {
     /// minutes; Fig. 4 needed ~25 hours).
     ///
     /// Each victim is attempted independently — one SMTP transaction per
-    /// recipient, the fire-and-forget pattern — with retries scheduled per
-    /// the family's behaviour.
+    /// recipient, the fire-and-forget pattern — as its own engine episode
+    /// ([`WorldSim::episode`]): the chain is a [`ChainActor`] whose retry
+    /// ladder self-reschedules until delivery, give-up, or the horizon.
     pub fn run_campaign(
+        &mut self,
+        world: &mut MailWorld,
+        campaign: &Campaign,
+        start: SimTime,
+        horizon: SimTime,
+    ) -> BotRunReport {
+        let mut report = BotRunReport::default();
+        let strategy = self.family.mx_strategy();
+        let dialect = self.family.dialect();
+        let behavior = self.family.retry_behavior();
+
+        for rcpt in &campaign.recipients {
+            let domain: DomainName = match rcpt.domain().parse() {
+                Ok(d) => d,
+                Err(_) => {
+                    report.failed.push(rcpt.clone());
+                    continue;
+                }
+            };
+            let chain = ChainActor {
+                name: "botnet.chain",
+                hosts: vec![self.ip],
+                host_cursor: 0,
+                dialect: dialect.clone(),
+                strategy,
+                behavior: behavior.clone(),
+                sender: campaign.sender.clone(),
+                message: campaign.message.clone(),
+                rcpt: rcpt.clone(),
+                domain,
+                rng: self.rng.fork_idx("msg", report.attempts.len() as u64),
+                record_mx_ranks: true,
+                first_at: start,
+                attempt_no: 0,
+                attempts: Vec::new(),
+                mx_rank_attempts: Vec::new(),
+                delivered: false,
+            };
+            let (chain, _outcome, _end) = WorldSim::episode(world, chain, start, Some(horizon));
+            for (rank, n) in chain.mx_rank_attempts.iter().enumerate() {
+                if report.mx_rank_attempts.len() <= rank {
+                    report.mx_rank_attempts.resize(rank + 1, 0);
+                }
+                report.mx_rank_attempts[rank] += n;
+            }
+            report.attempts.extend(chain.attempts);
+            if chain.delivered {
+                report.delivered.push(rcpt.clone());
+            } else {
+                report.failed.push(rcpt.clone());
+            }
+        }
+        report
+    }
+
+    /// The pre-engine manual chain loop, kept only to prove the engine
+    /// path byte-equivalent; retired together with its test.
+    #[cfg(test)]
+    fn run_campaign_stepped(
         &mut self,
         world: &mut MailWorld,
         campaign: &Campaign,
@@ -186,6 +324,7 @@ impl BotSample {
         report
     }
 
+    #[cfg(test)]
     #[allow(clippy::too_many_arguments)] // internal helper mirroring the attempt tuple
     fn attempt_once(
         &mut self,
@@ -382,6 +521,48 @@ mod tests {
         ips.sort();
         ips.dedup();
         assert_eq!(ips.len(), 11);
+    }
+
+    #[test]
+    fn engine_campaign_matches_stepped_campaign() {
+        // Transitional step-vs-event equivalence: every family, against a
+        // greylisted world, must produce a byte-identical run report
+        // whether the chains run as engine episodes or through the old
+        // manual loop. Retired with `run_campaign_stepped`.
+        for family in MalwareFamily::ALL {
+            let run = |engine: bool| {
+                let (mut w, _) = greylist_world(300);
+                let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 50));
+                let report = if engine {
+                    bot.run_campaign(
+                        &mut w,
+                        &campaign(5),
+                        SimTime::ZERO,
+                        SimTime::from_secs(90_000),
+                    )
+                } else {
+                    bot.run_campaign_stepped(
+                        &mut w,
+                        &campaign(5),
+                        SimTime::ZERO,
+                        SimTime::from_secs(90_000),
+                    )
+                };
+                format!("{report:?}")
+            };
+            assert_eq!(run(true), run(false), "{family}: engine vs stepped diverged");
+        }
+    }
+
+    #[test]
+    fn campaign_records_engine_stats_per_chain() {
+        let (mut w, _) = greylist_world(300);
+        let report = run(MalwareFamily::Kelihos, &mut w, 90_000);
+        assert!(report.any_delivered());
+        // One episode per recipient chain, each delivering on retry 1.
+        assert_eq!(w.engine_stats.actor_events["botnet.chain"], vec![2u64; 5]);
+        assert_eq!(w.engine_stats.events, 10);
+        assert_eq!(w.engine_stats.outcomes.drained, 5);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   receiving servers, and executes one complete delivery attempt
 //!   ([`MailWorld::attempt_delivery`]): resolve MXs, pick candidates per
 //!   [`MxStrategy`], connect, and run the SMTP exchange.
+//! * **Execution** — [`WorldSim`] runs drivers (sending MTAs, botnet
+//!   chains, webmail tiers) as self-rescheduling actors on the
+//!   `spamward_sim` event engine, one episode at a time, accumulating
+//!   [`MailWorld::engine_stats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ mod receive;
 mod schedule;
 mod send;
 mod world;
+pub mod worldsim;
 
 pub use log::{LogEvent, MtaLogEntry};
 pub use receive::{ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
@@ -35,3 +40,4 @@ pub use send::{
     SendingMta,
 };
 pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};
+pub use worldsim::{SenderActor, WorldSim};

@@ -2,6 +2,7 @@
 
 use crate::schedule::MtaProfile;
 use crate::world::{MailWorld, MxStrategy};
+use crate::worldsim::{SenderActor, WorldSim};
 use spamward_dns::DomainName;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{Dialect, EmailAddress, Envelope, Message, ReversePath};
@@ -388,11 +389,44 @@ impl SendingMta {
         produced
     }
 
-    /// Drives the queue to completion against `world`, jumping virtual
-    /// time from attempt to attempt (standalone use; inside a larger
-    /// simulation, schedule [`SendingMta::run_due`] from events instead).
-    /// Returns the time of the last attempt.
+    /// An inert placeholder that stands in for the MTA while [`drain`]
+    /// moves the real one into an engine episode; never sends.
+    ///
+    /// [`drain`]: SendingMta::drain
+    fn parked() -> Self {
+        SendingMta {
+            fqdn: String::new(),
+            dialect: Dialect::compliant_mta(""),
+            ip_pool: Vec::new(),
+            ip_selection: IpSelection::Fixed,
+            profile: MtaProfile::postfix(),
+            queue: Vec::new(),
+            records: Vec::new(),
+            bounces: Vec::new(),
+            next_id: 0,
+            rr_cursor: 0,
+            rng: DetRng::seed(0).fork("parked"),
+        }
+    }
+
+    /// Drives the queue to completion against `world` as one engine
+    /// episode ([`WorldSim::episode`]): the MTA becomes a
+    /// [`SenderActor`] whose retry schedule is a self-rescheduling
+    /// timer. Returns the time of the last attempt (or `start` when the
+    /// queue was already idle).
     pub fn drain(&mut self, start: SimTime, world: &mut MailWorld) -> SimTime {
+        let Some(due) = self.next_due() else { return start };
+        let mta = std::mem::replace(self, SendingMta::parked());
+        let (actor, _outcome, end) =
+            WorldSim::episode(world, SenderActor::new(mta), due.max(start), None);
+        *self = actor.into_inner();
+        end.max(start)
+    }
+
+    /// The pre-engine manual drain loop, kept only to prove the engine
+    /// path byte-equivalent; retired together with its test.
+    #[cfg(test)]
+    fn drain_stepped(&mut self, start: SimTime, world: &mut MailWorld) -> SimTime {
         let mut now = start;
         loop {
             match self.next_due() {
@@ -629,5 +663,68 @@ mod tests {
     #[should_panic(expected = "at least one source IP")]
     fn empty_pool_panics() {
         let _ = SendingMta::new("x", vec![], MtaProfile::postfix());
+    }
+
+    #[test]
+    fn engine_drain_matches_stepped_drain() {
+        // Transitional step-vs-event equivalence: the engine-backed drain
+        // must reproduce the manual time-jumping loop byte for byte
+        // (records, queue states, bounces, end time) across profiles and
+        // greylist thresholds. Retired with `drain_stepped`.
+        type Scenario = (u64, fn() -> MtaProfile);
+        let scenarios: &[Scenario] = &[
+            (300, MtaProfile::postfix),
+            (300, MtaProfile::sendmail),
+            (21_600, MtaProfile::postfix),
+            (3 * 86_400, MtaProfile::exchange),
+        ];
+        for &(delay, profile) in scenarios {
+            let run = |engine: bool| {
+                let (mut w, _) = world_with_greylist(delay);
+                let mut s = sender(profile());
+                submit_one(&mut s, SimTime::ZERO);
+                submit_one(&mut s, SimTime::from_secs(40));
+                let end = if engine {
+                    s.drain(SimTime::ZERO, &mut w)
+                } else {
+                    s.drain_stepped(SimTime::ZERO, &mut w)
+                };
+                (end, format!("{:?} {:?} {:?}", s.records(), s.queue(), s.bounces()))
+            };
+            let (end_a, state_a) = run(true);
+            let (end_b, state_b) = run(false);
+            assert_eq!(end_a, end_b, "end time diverged (delay {delay})");
+            assert_eq!(state_a, state_b, "sender state diverged (delay {delay})");
+        }
+    }
+
+    #[test]
+    fn drain_records_engine_stats_on_world() {
+        let (mut w, _) = world_with_greylist(300);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(w.engine_stats.outcomes.drained, 1);
+        assert_eq!(w.engine_stats.actor_events["mta.send"], vec![2], "two wake-ups: t0 + retry");
+        assert_eq!(w.engine_stats.events, 2);
+        assert!(w.engine_stats.queue_high_water >= 1);
+    }
+
+    #[test]
+    fn cumulative_event_budget_truncates_drain() {
+        let (mut w, _) = world_with_greylist(21_600);
+        w.event_budget = Some(3);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(w.engine_stats.events, 3);
+        assert_eq!(w.engine_stats.outcomes.budget_exhausted, 1);
+        // A subsequent episode has nothing left and is cut immediately.
+        let mut s2 = sender(MtaProfile::postfix());
+        submit_one(&mut s2, SimTime::ZERO);
+        let end = s2.drain(SimTime::ZERO, &mut w);
+        assert_eq!(end, SimTime::ZERO);
+        assert!(s2.records().is_empty());
+        assert_eq!(w.engine_stats.outcomes.budget_exhausted, 2);
     }
 }

@@ -5,7 +5,7 @@ use crate::receive::ReceivingMta;
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
 use spamward_net::{Network, SMTP_PORT};
 use spamward_sim::trace::Tracer;
-use spamward_sim::{DetRng, SimDuration, SimTime};
+use spamward_sim::{DetRng, EngineStats, SimDuration, SimTime};
 use spamward_smtp::{
     exchange, ClientSession, DeliveryOutcome, Dialect, Envelope, Message, ServerSession,
 };
@@ -132,6 +132,13 @@ pub struct MailWorld {
     /// with [`MailWorld::with_tracing`] to explain *why* a run produced
     /// its numbers).
     pub trace: Tracer,
+    /// Accounting for every engine episode run against this world (see
+    /// [`crate::worldsim::WorldSim`]).
+    pub engine_stats: EngineStats,
+    /// Cumulative event budget across episodes: once `engine_stats.events`
+    /// reaches it, further episodes end in
+    /// [`spamward_sim::RunOutcome::BudgetExhausted`]. `None` = unlimited.
+    pub event_budget: Option<u64>,
     servers: BTreeMap<Ipv4Addr, ReceivingMta>,
     rng: DetRng,
 }
@@ -145,6 +152,8 @@ impl MailWorld {
             resolver: Resolver::new(),
             epoch: 0,
             trace: Tracer::disabled(),
+            engine_stats: EngineStats::default(),
+            event_budget: None,
             servers: BTreeMap::new(),
             rng: DetRng::seed(seed).fork("mailworld"),
         }

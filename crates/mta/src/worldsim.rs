@@ -1,0 +1,98 @@
+//! Event-driven episodes over a [`MailWorld`].
+//!
+//! [`WorldSim`] is the bridge between the mail world and the engine's
+//! actor layer: it moves the world into an [`ActorSim`] for the duration
+//! of one *episode* — a single driver (a sending MTA, a webmail outbound
+//! tier built by `spamward_webmail`, or a botnet delivery chain) running
+//! as a self-rescheduling timer that calls
+//! [`MailWorld::attempt_delivery`] from inside engine events — and moves
+//! it back out afterwards, folding the episode's [`EngineStats`] into
+//! [`MailWorld::engine_stats`].
+//!
+//! Episodes are sequential by design: the world's shared latency RNG
+//! means results depend on the exact global order of delivery attempts,
+//! so one driver owns the world at a time and the experiment composes
+//! episodes in its own order. Within an episode, same-instant events run
+//! FIFO — the engine's determinism guarantee applies unchanged.
+//!
+//! [`MailWorld::event_budget`] (when set) is a *cumulative* cap: each
+//! episode runs with whatever budget previous episodes left over, and a
+//! truncated episode surfaces as
+//! [`RunOutcome::BudgetExhausted`] in the returned outcome and the
+//! world's outcome tally.
+
+use crate::send::SendingMta;
+use crate::world::MailWorld;
+use spamward_sim::{Actor, ActorSim, RunOutcome, SimTime, Wake};
+
+/// Runs single-driver engine episodes against a [`MailWorld`].
+pub struct WorldSim;
+
+impl WorldSim {
+    /// Runs `actor` to completion (queue drained, `horizon` passed, or
+    /// event budget exhausted) as one engine episode over `world`.
+    ///
+    /// The actor's first wake-up fires at `first_wake`; every subsequent
+    /// one is whatever [`Wake`] the actor returns. Returns the actor (with
+    /// whatever results it accumulated), the episode's [`RunOutcome`], and
+    /// the final virtual clock.
+    pub fn episode<A: Actor<MailWorld> + 'static>(
+        world: &mut MailWorld,
+        actor: A,
+        first_wake: SimTime,
+        horizon: Option<SimTime>,
+    ) -> (A, RunOutcome, SimTime) {
+        let owned = std::mem::replace(world, MailWorld::new(0));
+        let remaining = owned.event_budget.map(|t| t.saturating_sub(owned.engine_stats.events));
+        let mut sim = ActorSim::new(owned);
+        if let Some(h) = horizon {
+            sim = sim.with_horizon(h);
+        }
+        if let Some(budget) = remaining {
+            sim = sim.with_event_budget(budget);
+        }
+        sim.add_actor(actor, first_wake);
+        let outcome = sim.run();
+        let end = sim.now();
+        let stats = sim.stats();
+        let (mut episode_world, mut actors) = sim.into_parts();
+        episode_world.engine_stats.merge(&stats);
+        *world = episode_world;
+        // Exactly one actor was registered above.
+        let actor = actors.swap_remove(0);
+        (actor, outcome, end)
+    }
+}
+
+/// The sending-MTA process: each wake-up runs every due delivery attempt,
+/// then sleeps until the queue's next retry — the MTA's retransmission
+/// schedule as a self-rescheduling timer.
+pub struct SenderActor {
+    mta: SendingMta,
+}
+
+impl SenderActor {
+    /// Wraps a sending MTA for an engine episode.
+    pub fn new(mta: SendingMta) -> Self {
+        SenderActor { mta }
+    }
+
+    /// Unwraps the MTA after the episode.
+    pub fn into_inner(self) -> SendingMta {
+        self.mta
+    }
+}
+
+impl Actor<MailWorld> for SenderActor {
+    fn name(&self) -> &str {
+        "mta.send"
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        self.mta.run_due(now, world);
+        match self.mta.next_due() {
+            Some(due) => Wake::At(due),
+            None => Wake::Idle,
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! A lightweight process/timer layer over the event engine.
+//!
+//! An [`Actor`] is a named process that owns its own retry/wake schedule:
+//! on every wake-up it acts on the shared state and returns a [`Wake`]
+//! telling the scheduler when to run it next. [`ActorSim`] turns a set of
+//! actors into self-rescheduling timer events on a [`Simulation`], so the
+//! engine's same-instant FIFO ordering applies unchanged — two actors due
+//! at one instant run in the order their wake-ups were scheduled, which
+//! makes an episode a pure function of its inputs.
+//!
+//! Alongside the run loop, [`EngineStats`] accumulates plain-data
+//! accounting (events executed, queue high-water, per-actor event counts,
+//! run outcomes) that higher layers export as metrics.
+
+use crate::event::{Ctx, RunOutcome, Simulation};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// What an actor wants the scheduler to do after a wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Wake again at this absolute time (clamped to the current instant
+    /// if it is already in the past — a late timer fires immediately).
+    At(SimTime),
+    /// Wake again after this delay.
+    In(SimDuration),
+    /// Nothing left to do; the actor receives no further wake-ups.
+    Idle,
+}
+
+/// A named process driven by the engine.
+///
+/// Implementations hold whatever queue or cursor they need; the engine only
+/// sees opaque wake-ups. The name is a dotted category ("mta.send",
+/// "botnet.chain") under which per-actor event counts are accounted.
+pub trait Actor<S> {
+    /// The actor's dotted category name.
+    fn name(&self) -> &str;
+
+    /// Performs one wake-up at `now` against the shared state and returns
+    /// when to run next.
+    fn wake(&mut self, now: SimTime, state: &mut S) -> Wake;
+}
+
+/// Tally of [`RunOutcome`]s across engine episodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Episodes whose queue drained completely.
+    pub drained: u64,
+    /// Episodes cut at their horizon with events still pending.
+    pub horizon_reached: u64,
+    /// Episodes stopped by the event budget.
+    pub budget_exhausted: u64,
+    /// Episodes stopped from inside an event.
+    pub stopped: u64,
+}
+
+impl OutcomeTally {
+    /// Records one run outcome.
+    pub fn record(&mut self, outcome: RunOutcome) {
+        match outcome {
+            RunOutcome::Drained => self.drained += 1,
+            RunOutcome::HorizonReached => self.horizon_reached += 1,
+            RunOutcome::BudgetExhausted => self.budget_exhausted += 1,
+            RunOutcome::Stopped => self.stopped += 1,
+        }
+    }
+
+    /// Total episodes recorded.
+    pub fn total(&self) -> u64 {
+        self.drained + self.horizon_reached + self.budget_exhausted + self.stopped
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.drained += other.drained;
+        self.horizon_reached += other.horizon_reached;
+        self.budget_exhausted += other.budget_exhausted;
+        self.stopped += other.stopped;
+    }
+}
+
+/// Plain-data accounting for one or more engine episodes.
+///
+/// The sim crate stays free of observability dependencies: this struct is
+/// raw material that `metrics.rs` modules in higher crates turn into
+/// counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events executed across all episodes.
+    pub events: u64,
+    /// Deepest event queue observed in any episode.
+    pub queue_high_water: u64,
+    /// Per-actor-name event-count samples: one entry per actor instance
+    /// per episode (histogram raw material, keyed by [`Actor::name`]).
+    pub actor_events: BTreeMap<String, Vec<u64>>,
+    /// How the episodes ended.
+    pub outcomes: OutcomeTally,
+}
+
+impl EngineStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        for (name, samples) in &other.actor_events {
+            self.actor_events.entry(name.clone()).or_default().extend(samples.iter().copied());
+        }
+        self.outcomes.merge(&other.outcomes);
+    }
+
+    /// True when no episode has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0 && self.outcomes.total() == 0
+    }
+}
+
+struct ActorWorld<S, A> {
+    state: S,
+    actors: Vec<A>,
+    counts: Vec<u64>,
+}
+
+/// Boxed because the closure type recurs into itself; `Box<dyn FnOnce>`
+/// still satisfies the engine's `impl FnOnce + 'static` bound.
+type WakeEvent<S, A> = Box<dyn FnOnce(&mut Ctx<'_, ActorWorld<S, A>>)>;
+
+/// The self-rescheduling timer event driving actor `id`.
+fn wake_event<S: 'static, A: Actor<S> + 'static>(id: usize) -> WakeEvent<S, A> {
+    Box::new(move |ctx| {
+        let now = ctx.now();
+        let wake = {
+            let world = &mut *ctx.state;
+            world.counts[id] += 1;
+            world.actors[id].wake(now, &mut world.state)
+        };
+        match wake {
+            Wake::At(at) => ctx.schedule_at(at.max(now), wake_event::<S, A>(id)),
+            Wake::In(delay) => ctx.schedule_in(delay, wake_event::<S, A>(id)),
+            Wake::Idle => {}
+        }
+    })
+}
+
+/// Runs a set of [`Actor`]s over shared state `S` on the event engine.
+///
+/// `add_actor` schedules the first wake-up; every wake-up's returned
+/// [`Wake`] schedules the next. One generic actor type per episode keeps
+/// dispatch static; heterogeneous casts can wrap an enum.
+///
+/// # Example
+///
+/// ```
+/// use spamward_sim::{Actor, ActorSim, SimDuration, SimTime, Wake};
+///
+/// struct Ticker(u32);
+/// impl Actor<Vec<u64>> for Ticker {
+///     fn name(&self) -> &str {
+///         "ticker"
+///     }
+///     fn wake(&mut self, now: SimTime, log: &mut Vec<u64>) -> Wake {
+///         log.push(now.as_secs());
+///         self.0 -= 1;
+///         if self.0 == 0 { Wake::Idle } else { Wake::In(SimDuration::from_secs(10)) }
+///     }
+/// }
+///
+/// let mut sim = ActorSim::new(Vec::new());
+/// sim.add_actor(Ticker(3), SimTime::ZERO);
+/// sim.run();
+/// assert_eq!(sim.state(), &vec![0, 10, 20]);
+/// ```
+pub struct ActorSim<S: 'static, A: Actor<S> + 'static> {
+    sim: Simulation<ActorWorld<S, A>>,
+    outcome: Option<RunOutcome>,
+}
+
+impl<S: 'static, A: Actor<S> + 'static> ActorSim<S, A> {
+    /// Creates an actor simulation at `t=0` over `state`.
+    pub fn new(state: S) -> Self {
+        ActorSim {
+            sim: Simulation::new(ActorWorld { state, actors: Vec::new(), counts: Vec::new() }),
+            outcome: None,
+        }
+    }
+
+    /// Stops the run once the clock would pass `horizon` (wake-ups exactly
+    /// at the horizon still fire; later ones stay queued).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.sim = self.sim.with_horizon(horizon);
+        self
+    }
+
+    /// Caps the total number of processed events (runaway protection).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.sim = self.sim.with_event_budget(budget);
+        self
+    }
+
+    /// Registers `actor` and schedules its first wake-up at `first_wake`
+    /// (clamped to the current clock). Returns the actor's id.
+    pub fn add_actor(&mut self, actor: A, first_wake: SimTime) -> usize {
+        let id = {
+            let world = self.sim.state_mut();
+            world.actors.push(actor);
+            world.counts.push(0);
+            world.actors.len() - 1
+        };
+        let at = first_wake.max(self.sim.now());
+        self.sim.schedule_at(at, wake_event::<S, A>(id));
+        id
+    }
+
+    /// Runs wake-ups until every actor is idle, the horizon passes, or
+    /// the event budget runs out.
+    pub fn run(&mut self) -> RunOutcome {
+        let outcome = self.sim.run();
+        self.outcome = Some(outcome);
+        outcome
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Shared access to the wrapped state.
+    pub fn state(&self) -> &S {
+        &self.sim.state().state
+    }
+
+    /// Exclusive access to the wrapped state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.sim.state_mut().state
+    }
+
+    /// Shared access to actor `id` (as returned by
+    /// [`ActorSim::add_actor`]).
+    pub fn actor(&self, id: usize) -> &A {
+        &self.sim.state().actors[id]
+    }
+
+    /// Events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Accounting for this episode: events, queue high-water, per-actor
+    /// event counts, and — after [`ActorSim::run`] — the outcome.
+    pub fn stats(&self) -> EngineStats {
+        let world = self.sim.state();
+        let mut actor_events: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (actor, count) in world.actors.iter().zip(&world.counts) {
+            actor_events.entry(actor.name().to_owned()).or_default().push(*count);
+        }
+        let mut outcomes = OutcomeTally::default();
+        if let Some(outcome) = self.outcome {
+            outcomes.record(outcome);
+        }
+        EngineStats {
+            events: self.sim.processed(),
+            queue_high_water: self.sim.queue_high_water() as u64,
+            actor_events,
+            outcomes,
+        }
+    }
+
+    /// Consumes the simulation, returning the state and the actors in
+    /// registration order.
+    pub fn into_parts(self) -> (S, Vec<A>) {
+        let world = self.sim.into_state();
+        (world.state, world.actors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    /// Logs `(time, id)` on every wake and reschedules after a jittered
+    /// delay drawn from its own RNG stream.
+    struct Jitter {
+        id: u64,
+        rng: DetRng,
+        remaining: u32,
+    }
+
+    impl Actor<Vec<(u64, u64)>> for Jitter {
+        fn name(&self) -> &str {
+            "jitter"
+        }
+        fn wake(&mut self, now: SimTime, log: &mut Vec<(u64, u64)>) -> Wake {
+            log.push((now.as_secs(), self.id));
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                return Wake::Idle;
+            }
+            Wake::In(SimDuration::from_secs(self.rng.below(50)))
+        }
+    }
+
+    fn jitter_trace(seed: u64) -> (Vec<(u64, u64)>, EngineStats) {
+        let mut sim = ActorSim::new(Vec::new());
+        for id in 0..8u64 {
+            let actor = Jitter { id, rng: DetRng::seed(seed).fork_idx("actor", id), remaining: 20 };
+            sim.add_actor(actor, SimTime::from_secs(id % 3));
+        }
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        let stats = sim.stats();
+        let (log, _) = sim.into_parts();
+        (log, stats)
+    }
+
+    #[test]
+    fn self_rescheduling_timers_are_deterministic_across_seeds() {
+        // Property: for every seed, two runs produce byte-identical traces,
+        // the trace is time-ordered, and every actor fires exactly its
+        // scheduled number of wake-ups.
+        for seed in [0u64, 1, 7, 42, 0xDEAD, 991, 123_456] {
+            let (a, stats_a) = jitter_trace(seed);
+            let (b, stats_b) = jitter_trace(seed);
+            assert_eq!(a, b, "seed {seed}: trace must be reproducible");
+            assert_eq!(stats_a, stats_b);
+            assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "seed {seed}: time-ordered");
+            assert_eq!(a.len(), 8 * 20);
+            assert_eq!(stats_a.events, 8 * 20);
+            assert_eq!(stats_a.actor_events["jitter"], vec![20u64; 8]);
+            assert_eq!(stats_a.outcomes.drained, 1);
+        }
+    }
+
+    #[test]
+    fn same_instant_wakeups_run_in_schedule_order() {
+        // Property: actors woken at one instant fire FIFO by the order
+        // their wake-ups entered the queue, for any registration count.
+        for seed in [3u64, 11, 29] {
+            let mut rng = DetRng::seed(seed).fork("fifo");
+            let n = 4 + rng.below(12);
+            let mut sim = ActorSim::new(Vec::new());
+            for id in 0..n {
+                // All actors due at the same instant.
+                sim.add_actor(
+                    Jitter { id, rng: DetRng::seed(seed).fork_idx("a", id), remaining: 1 },
+                    SimTime::from_secs(5),
+                );
+            }
+            sim.run();
+            let (log, _) = sim.into_parts();
+            let expect: Vec<(u64, u64)> = (0..n).map(|id| (5, id)).collect();
+            assert_eq!(log, expect, "seed {seed}: same-instant FIFO violated");
+        }
+    }
+
+    #[test]
+    fn wake_at_in_the_past_is_clamped_to_now() {
+        struct Backwards(bool);
+        impl Actor<Vec<u64>> for Backwards {
+            fn name(&self) -> &str {
+                "backwards"
+            }
+            fn wake(&mut self, now: SimTime, log: &mut Vec<u64>) -> Wake {
+                log.push(now.as_secs());
+                if self.0 {
+                    return Wake::Idle;
+                }
+                self.0 = true;
+                // Asks for t=1 while the clock reads t=10.
+                Wake::At(SimTime::from_secs(1))
+            }
+        }
+        let mut sim = ActorSim::new(Vec::new());
+        sim.add_actor(Backwards(false), SimTime::from_secs(10));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.state(), &vec![10, 10], "late timer fires immediately, not in the past");
+    }
+
+    #[test]
+    fn horizon_cuts_pending_wakeups() {
+        let mut sim = ActorSim::new(Vec::new()).with_horizon(SimTime::from_secs(25));
+        sim.add_actor(
+            Jitter { id: 0, rng: DetRng::seed(1).fork("h"), remaining: 100 },
+            SimTime::ZERO,
+        );
+        assert_eq!(sim.run(), RunOutcome::HorizonReached);
+        assert!(sim.now() == SimTime::from_secs(25));
+        assert!(sim.state().iter().all(|&(t, _)| t <= 25));
+        assert_eq!(sim.stats().outcomes.horizon_reached, 1);
+    }
+
+    #[test]
+    fn budget_cuts_runaway_actor() {
+        struct Forever;
+        impl Actor<u64> for Forever {
+            fn name(&self) -> &str {
+                "forever"
+            }
+            fn wake(&mut self, _now: SimTime, count: &mut u64) -> Wake {
+                *count += 1;
+                Wake::In(SimDuration::from_secs(1))
+            }
+        }
+        let mut sim = ActorSim::new(0u64).with_event_budget(17);
+        sim.add_actor(Forever, SimTime::ZERO);
+        assert_eq!(sim.run(), RunOutcome::BudgetExhausted);
+        assert_eq!(*sim.state(), 17);
+        assert_eq!(sim.stats().outcomes.budget_exhausted, 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_across_episodes() {
+        let (_, mut total) = jitter_trace(5);
+        let (_, second) = jitter_trace(6);
+        let events_before = total.events;
+        total.merge(&second);
+        assert_eq!(total.events, events_before + second.events);
+        assert_eq!(total.actor_events["jitter"].len(), 16);
+        assert_eq!(total.outcomes.drained, 2);
+        assert!(total.queue_high_water >= second.queue_high_water);
+        assert!(!total.is_empty());
+        assert!(EngineStats::default().is_empty());
+    }
+}

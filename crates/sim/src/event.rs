@@ -148,6 +148,7 @@ pub struct Simulation<S> {
     queue: BinaryHeap<Scheduled<S>>,
     state: S,
     processed: u64,
+    high_water: usize,
     horizon: Option<SimTime>,
     budget: Option<u64>,
 }
@@ -172,6 +173,7 @@ impl<S> Simulation<S> {
             queue: BinaryHeap::new(),
             state,
             processed: 0,
+            high_water: 0,
             horizon: None,
             budget: None,
         }
@@ -223,6 +225,12 @@ impl<S> Simulation<S> {
         self.queue.len()
     }
 
+    /// The deepest the queue has ever been (instrumentation for capacity
+    /// planning; a drained queue leaves this untouched).
+    pub fn queue_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -233,6 +241,7 @@ impl<S> Simulation<S> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, run: Box::new(event) });
+        self.high_water = self.high_water.max(self.queue.len());
     }
 
     /// Schedules `event` to run `delay` after the current clock.
@@ -275,6 +284,7 @@ impl<S> Simulation<S> {
                 self.seq += 1;
                 self.queue.push(Scheduled { at, seq, run });
             }
+            self.high_water = self.high_water.max(self.queue.len());
             if stop {
                 return RunOutcome::Stopped;
             }
@@ -309,6 +319,7 @@ impl<S> Simulation<S> {
                 self.seq += 1;
                 self.queue.push(Scheduled { at, seq, run });
             }
+            self.high_water = self.high_water.max(self.queue.len());
             if stop {
                 return RunOutcome::Stopped;
             }
@@ -450,6 +461,26 @@ mod tests {
             repeat_every(c, SimDuration::ZERO, |_| true);
         });
         sim.run();
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_depth() {
+        let mut sim = Simulation::new(0u32);
+        assert_eq!(sim.queue_high_water(), 0);
+        for i in 1..=5u64 {
+            sim.schedule_at(SimTime::from_secs(i), |c| *c.state += 1);
+        }
+        assert_eq!(sim.queue_high_water(), 5);
+        sim.run();
+        // Draining the queue never lowers the mark; cascades raise it.
+        assert_eq!(sim.queue_high_water(), 5);
+        sim.schedule_in(SimDuration::from_secs(1), |c| {
+            for _ in 0..9 {
+                c.schedule_in(SimDuration::from_secs(1), |c| *c.state += 1);
+            }
+        });
+        sim.run();
+        assert_eq!(sim.queue_high_water(), 9, "cascade from inside an event counts");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`Simulation`] — a priority-queue scheduler generic over the experiment
 //!   state `S`; events are `FnOnce(&mut Ctx<S>)` closures and ties are broken
 //!   FIFO by sequence number, so a run is a pure function of its inputs.
+//! * [`Actor`] / [`ActorSim`] — a process/timer layer on top: named actors
+//!   that schedule their own next wake-up ([`Wake`]), with [`EngineStats`]
+//!   accounting for the episodes they run.
 //! * [`DetRng`] — a seedable, fork-able xoshiro256++ random stream whose
 //!   output is stable across platforms and `rand` versions; experiments fork
 //!   one named substream per concern so adding a new consumer never perturbs
@@ -37,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod actor;
 mod event;
 mod rng;
 mod time;
 pub mod trace;
 pub mod wall;
 
+pub use actor::{Actor, ActorSim, EngineStats, OutcomeTally, Wake};
 pub use event::{repeat_every, Ctx, RunOutcome, Simulation};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
