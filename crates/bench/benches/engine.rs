@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the discrete-event engine — the single execution
+//! substrate every world-driven experiment now runs on. Baseline numbers
+//! are recorded in `crates/bench/BENCH_engine.json`; re-run with
+//! `cargo bench -p spamward-bench --bench engine` after touching
+//! `crates/sim/src/event.rs` or `actor.rs`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // not protocol-path code
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use spamward_sim::{Actor, ActorSim, SimDuration, SimTime, Simulation, Wake};
+
+/// Drain throughput: how many scheduled events per second the engine
+/// executes once the queue is primed (the dominant cost of every
+/// world-driven experiment).
+fn bench_drain_throughput(c: &mut Criterion) {
+    const EVENTS: u64 = 10_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("drain_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(0u64);
+                for i in 0..EVENTS {
+                    sim.schedule_at(SimTime::from_secs(i), |ctx| *ctx.state += 1);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                assert_eq!(*sim.state(), EVENTS);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Cost of one schedule + pop round-trip through the heap, including the
+/// FIFO tie-break bookkeeping — the per-event overhead an actor pays on
+/// top of its own work.
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("schedule_pop_single", |b| {
+        b.iter_batched(
+            || Simulation::new(0u64),
+            |mut sim| {
+                sim.schedule_at(SimTime::ZERO, |ctx| *ctx.state += 1);
+                sim.run();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+struct Countdown {
+    remaining: u64,
+}
+
+impl Actor<u64> for Countdown {
+    fn name(&self) -> &str {
+        "bench.countdown"
+    }
+
+    fn wake(&mut self, _now: SimTime, state: &mut u64) -> Wake {
+        *state += 1;
+        if self.remaining == 0 {
+            return Wake::Idle;
+        }
+        self.remaining -= 1;
+        Wake::In(SimDuration::from_secs(1))
+    }
+}
+
+/// Actor wake-up overhead: the closure-trampoline + per-actor accounting
+/// the actor layer adds over raw scheduled events.
+fn bench_actor_wakeups(c: &mut Criterion) {
+    const WAKEUPS: u64 = 10_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(WAKEUPS));
+    g.bench_function("actor_10k_wakeups", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = ActorSim::new(0u64);
+                sim.add_actor(Countdown { remaining: WAKEUPS - 1 }, SimTime::ZERO);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                assert_eq!(*sim.state(), WAKEUPS);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_drain_throughput, bench_schedule_pop, bench_actor_wakeups);
+criterion_main!(engine);

@@ -10,7 +10,7 @@ fn bench_figures(c: &mut Criterion) {
     for exp in harness::registry().iter().filter(|e| e.id().starts_with("fig")) {
         let mut g = c.benchmark_group(exp.id());
         g.sample_size(10);
-        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config)));
+        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config).unwrap()));
         g.finish();
     }
 }

@@ -12,7 +12,7 @@ fn bench_tables(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group(exp.id());
         g.sample_size(10);
-        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config)));
+        g.bench_function("quick_report", |b| b.iter(|| exp.run(&config).unwrap()));
         g.finish();
     }
 }

@@ -158,13 +158,17 @@ fn main() {
         Format::Text
     };
     let Some(artifact) = artifact else { fail("missing artifact") };
-    let config = HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some() };
+    let config =
+        HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some(), event_budget: None };
 
     // Each worker returns (rendered report, filtered trace lines); stdout
     // and stderr are both emitted in registry order after the runs finish,
     // so the bytes are invariant under --jobs.
     let run_one = |exp: &dyn harness::Experiment| -> (String, Vec<String>) {
-        let report = exp.run(&config);
+        let report = exp.run(&config).unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        });
         let trace_lines = match &trace {
             Some(prefix) => report
                 .trace_lines()

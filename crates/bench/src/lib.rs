@@ -21,7 +21,7 @@ use spamward_core::harness::{HarnessConfig, Scale};
 /// seeds, [`Scale::Quick`] populations (same code path as the paper-scale
 /// run, seconds instead of minutes).
 pub fn quick_config() -> HarnessConfig {
-    HarnessConfig { seed: None, scale: Scale::Quick, trace: false }
+    HarnessConfig { scale: Scale::Quick, ..Default::default() }
 }
 
 #[cfg(test)]
@@ -34,7 +34,8 @@ mod tests {
         // Smoke: the bench workloads must be executable as configured.
         let config = quick_config();
         for id in ["table2", "table3"] {
-            let report = harness::find(id).expect("registered").run(&config);
+            let report =
+                harness::find(id).expect("registered").run(&config).expect("unbudgeted run");
             assert_eq!(report.id(), id);
         }
     }

@@ -179,16 +179,6 @@ impl BotSample {
         self.ip
     }
 
-    #[cfg(test)]
-    fn envelope_for(&self, campaign: &Campaign, rcpt: &EmailAddress) -> Envelope {
-        Envelope::builder()
-            .client_ip(self.ip)
-            .helo(&self.family.dialect().helo_argument(self.ip))
-            .mail_from(campaign.sender.clone())
-            .rcpt(rcpt.clone())
-            .build()
-    }
-
     /// Runs the whole campaign to completion against `world`, starting at
     /// `start` and giving up at `horizon` (the paper ran samples for 30
     /// minutes; Fig. 4 needed ~25 hours).
@@ -251,94 +241,6 @@ impl BotSample {
             }
         }
         report
-    }
-
-    /// The pre-engine manual chain loop, kept only to prove the engine
-    /// path byte-equivalent; retired together with its test.
-    #[cfg(test)]
-    fn run_campaign_stepped(
-        &mut self,
-        world: &mut MailWorld,
-        campaign: &Campaign,
-        start: SimTime,
-        horizon: SimTime,
-    ) -> BotRunReport {
-        let mut report = BotRunReport::default();
-        let strategy = self.family.mx_strategy();
-        let dialect = self.family.dialect();
-        let behavior = self.family.retry_behavior();
-
-        for rcpt in &campaign.recipients {
-            let domain: DomainName = match rcpt.domain().parse() {
-                Ok(d) => d,
-                Err(_) => {
-                    report.failed.push(rcpt.clone());
-                    continue;
-                }
-            };
-            let mut attempt_no: u32 = 0;
-            let first_at = start;
-            let mut at = start;
-            let mut message_rng = self.rng.fork_idx("msg", report.attempts.len() as u64);
-            let delivered = loop {
-                if at > horizon {
-                    break false;
-                }
-                attempt_no += 1;
-                let attempt =
-                    self.attempt_once(world, campaign, rcpt, &domain, &dialect, strategy, at);
-                for mx in &attempt.mx_trail {
-                    let rank = mx.preference_rank;
-                    if report.mx_rank_attempts.len() <= rank {
-                        report.mx_rank_attempts.resize(rank + 1, 0);
-                    }
-                    report.mx_rank_attempts[rank] += 1;
-                }
-                let outcome = attempt.outcome.is_delivered();
-                report.attempts.push(BotAttempt {
-                    recipient: rcpt.clone(),
-                    attempt: attempt_no,
-                    at,
-                    since_first: at.elapsed_since(first_at),
-                    delivered: outcome,
-                });
-                if outcome {
-                    break true;
-                }
-                match behavior.nth_retry_delay(attempt_no, &mut message_rng) {
-                    Some(delay) => {
-                        at = first_at + delay;
-                        if at > horizon {
-                            break false;
-                        }
-                    }
-                    None => break false,
-                }
-            };
-            if delivered {
-                report.delivered.push(rcpt.clone());
-            } else {
-                report.failed.push(rcpt.clone());
-            }
-        }
-        report
-    }
-
-    #[cfg(test)]
-    #[allow(clippy::too_many_arguments)] // internal helper mirroring the attempt tuple
-    fn attempt_once(
-        &mut self,
-        world: &mut MailWorld,
-        campaign: &Campaign,
-        rcpt: &EmailAddress,
-        domain: &DomainName,
-        dialect: &spamward_smtp::Dialect,
-        strategy: spamward_mta::MxStrategy,
-        at: SimTime,
-    ) -> spamward_mta::AttemptReport {
-        let envelope = self.envelope_for(campaign, rcpt);
-        let message: Message = campaign.message.clone();
-        world.attempt_delivery(at, dialect, strategy, domain, envelope, message)
     }
 
     /// Builds the full sample roster of Table I: 3 Cutwail, 6 Kelihos,
@@ -521,37 +423,6 @@ mod tests {
         ips.sort();
         ips.dedup();
         assert_eq!(ips.len(), 11);
-    }
-
-    #[test]
-    fn engine_campaign_matches_stepped_campaign() {
-        // Transitional step-vs-event equivalence: every family, against a
-        // greylisted world, must produce a byte-identical run report
-        // whether the chains run as engine episodes or through the old
-        // manual loop. Retired with `run_campaign_stepped`.
-        for family in MalwareFamily::ALL {
-            let run = |engine: bool| {
-                let (mut w, _) = greylist_world(300);
-                let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 50));
-                let report = if engine {
-                    bot.run_campaign(
-                        &mut w,
-                        &campaign(5),
-                        SimTime::ZERO,
-                        SimTime::from_secs(90_000),
-                    )
-                } else {
-                    bot.run_campaign_stepped(
-                        &mut w,
-                        &campaign(5),
-                        SimTime::ZERO,
-                        SimTime::from_secs(90_000),
-                    )
-                };
-                format!("{report:?}")
-            };
-            assert_eq!(run(true), run(false), "{family}: engine vs stepped diverged");
-        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!    costs benign mail.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_greylist::{Greylist, GreylistConfig, TripletStore};
@@ -489,7 +489,7 @@ impl Experiment for AblationsExperiment {
         "DESIGN.md sweeps"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = match config.scale {
             Scale::Paper => AblationsConfig {
                 seed: config.seed_or(AblationsConfig::default().seed),
@@ -509,7 +509,7 @@ impl Experiment for AblationsExperiment {
         for table in result.tables() {
             report.push_table(table);
         }
-        report
+        Ok(report)
     }
 }
 

@@ -10,7 +10,7 @@
 //! wall-clock each configuration consumed per delivered message.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_mta::{MailWorld, MtaProfile, SendingMta};
 use spamward_obs::Registry;
@@ -28,11 +28,19 @@ pub struct CostsConfig {
     pub messages: usize,
     /// Greylisting threshold for the protected configuration.
     pub threshold: SimDuration,
+    /// Engine event budget shared by every setup's world
+    /// (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for CostsConfig {
     fn default() -> Self {
-        CostsConfig { seed: 606, messages: 300, threshold: SimDuration::from_secs(300) }
+        CostsConfig {
+            seed: 606,
+            messages: 300,
+            threshold: SimDuration::from_secs(300),
+            event_budget: None,
+        }
     }
 }
 
@@ -82,6 +90,7 @@ fn run_setup(
     reg: &mut Registry,
     trace_lines: &mut Vec<String>,
 ) -> CostRow {
+    world.event_budget = config.event_budget;
     if trace {
         world = world.with_tracing();
     }
@@ -215,13 +224,14 @@ impl Experiment for CostsExperiment {
         "§VI validity"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = CostsConfig {
             seed: config.seed_or(CostsConfig::default().seed),
             messages: match config.scale {
                 Scale::Paper => CostsConfig::default().messages,
                 Scale::Quick => 60,
             },
+            event_budget: config.event_budget,
             ..Default::default()
         };
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
@@ -229,6 +239,7 @@ impl Experiment for CostsExperiment {
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -239,7 +250,7 @@ impl Experiment for CostsExperiment {
                 row.connections_per_delivery(),
             );
         }
-        report
+        Ok(report)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Table I — the malware dataset inventory.
 
-use crate::harness::{Experiment, HarnessConfig, Report};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report};
 use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
 use std::fmt;
@@ -83,7 +83,7 @@ impl Experiment for Table1Experiment {
         false
     }
 
-    fn run(&self, _config: &HarnessConfig) -> Report {
+    fn run(&self, _config: &HarnessConfig) -> Result<Report, HarnessError> {
         let t = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
         crate::metrics::collect_table1(&t, report.metrics_mut());
@@ -95,7 +95,7 @@ impl Experiment for Table1Experiment {
             ))
             .push_scalar("total botnet spam (%)", t.total_botnet_pct)
             .push_scalar("total global spam (%)", t.total_global_pct);
-        report
+        Ok(report)
     }
 }
 

@@ -11,7 +11,7 @@
 //! paper did.
 
 use crate::experiments::worlds::{self, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::log::GreylistLogAnalysis;
 use spamward_analysis::{plot, Cdf, Series};
 use spamward_dns::DomainName;
@@ -73,6 +73,8 @@ pub struct DeploymentConfig {
     pub window: SimDuration,
     /// The sender mix.
     pub mix: SenderMix,
+    /// Engine event budget for the replay world (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for DeploymentConfig {
@@ -83,6 +85,7 @@ impl Default for DeploymentConfig {
             threshold: SimDuration::from_secs(300),
             window: SimDuration::from_days(120),
             mix: SenderMix::default(),
+            event_budget: None,
         }
     }
 }
@@ -126,12 +129,14 @@ fn no_retry_profile() -> MtaProfile {
 }
 
 fn build_world(config: &DeploymentConfig) -> MailWorld {
-    worlds::greylist_world_at(
+    let mut world = worlds::greylist_world_at(
         config.seed,
         DEPLOYMENT_DOMAIN,
         "mail.cs-dept.example",
         Greylist::new(GreylistConfig::with_delay(config.threshold).without_auto_whitelist()),
-    )
+    );
+    world.event_budget = config.event_budget;
+    world
 }
 
 /// Builds the full traffic plan: one pre-submitted sender per message,
@@ -252,45 +257,6 @@ pub fn run_with_obs(
     summarize(&world, &senders, config.messages)
 }
 
-/// State of the event-driven runner.
-struct EventState {
-    world: MailWorld,
-    senders: Vec<SendingMta>,
-}
-
-fn pump(ctx: &mut spamward_sim::Ctx<'_, EventState>, idx: usize) {
-    let now = ctx.now();
-    let state = &mut *ctx.state;
-    state.senders[idx].run_due(now, &mut state.world);
-    if let Some(due) = state.senders[idx].next_due() {
-        ctx.schedule_at(due.max(now), move |c| pump(c, idx));
-    }
-}
-
-/// The same replay, driven through the discrete-event engine: every
-/// sender's attempts execute as scheduled events in global time order (as
-/// a real deployment would interleave them). Results agree with
-/// [`run`] up to sub-second connection-latency jitter — asserted in the
-/// integration tests.
-pub fn run_event_driven(config: &DeploymentConfig) -> DeploymentResult {
-    let world = build_world(config);
-    let traffic = build_traffic(config);
-    let mut arrivals = Vec::with_capacity(traffic.len());
-    let mut senders = Vec::with_capacity(traffic.len());
-    for (arrival, sender) in traffic {
-        arrivals.push(arrival);
-        senders.push(sender);
-    }
-    let mut sim = spamward_sim::Simulation::new(EventState { world, senders });
-    for (idx, arrival) in arrivals.into_iter().enumerate() {
-        sim.schedule_at(arrival, move |c| pump(c, idx));
-    }
-    let outcome = sim.run();
-    debug_assert_eq!(outcome, spamward_sim::RunOutcome::Drained);
-    let EventState { world, senders } = sim.into_state();
-    summarize(&world, &senders, config.messages)
-}
-
 impl DeploymentResult {
     /// The Fig. 5 curve (x = seconds, y = F(x)).
     pub fn fig5_series(&self) -> Series {
@@ -326,6 +292,7 @@ impl DeploymentExperiment {
                 Scale::Paper => DeploymentConfig::default().messages,
                 Scale::Quick => 300,
             },
+            event_budget: harness.event_budget,
             ..Default::default()
         }
     }
@@ -344,13 +311,14 @@ impl Experiment for DeploymentExperiment {
         "Fig. 5"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = Self::config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -367,7 +335,7 @@ impl Experiment for DeploymentExperiment {
             .push_scalar("abandonment (%)", result.abandonment_rate * 100.0)
             .push_scalar("bounce DSNs", result.bounces_generated as f64)
             .push_series(result.fig5_series());
-        report
+        Ok(report)
     }
 }
 
@@ -445,20 +413,20 @@ mod tests {
     }
 
     #[test]
-    fn event_driven_runner_agrees_with_drain_runner() {
-        let cfg = DeploymentConfig { messages: 200, ..Default::default() };
-        let a = run(&cfg);
-        let b = run_event_driven(&cfg);
-        assert_eq!(a.cdf.len(), b.cdf.len(), "same number of delivered messages");
-        assert_eq!(a.bounces_generated, b.bounces_generated);
-        assert_eq!(a.abandonment_rate, b.abandonment_rate);
-        // Delays differ only by per-connection latency draws (<1 s).
-        assert!(
-            (a.cdf.quantile(0.5) - b.cdf.quantile(0.5)).abs() < 2.0,
-            "medians diverged: {} vs {}",
-            a.cdf.quantile(0.5),
-            b.cdf.quantile(0.5)
-        );
+    fn tiny_event_budget_is_a_typed_error() {
+        // Satellite of the single-scheduler refactor: a run the budget
+        // truncates must surface as a typed harness error, never as a
+        // report with silently wrong numbers.
+        let config =
+            HarnessConfig { scale: Scale::Quick, event_budget: Some(10), ..Default::default() };
+        match DeploymentExperiment.run(&config) {
+            Err(HarnessError::BudgetExhausted { id, episodes_cut, events }) => {
+                assert_eq!(id, "fig5");
+                assert!(episodes_cut > 0);
+                assert!(events <= 10, "budget must cap executed events, got {events}");
+            }
+            Ok(_) => panic!("a 10-event budget cannot complete a 300-message replay"),
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the bot-vs-MTA heuristic, and reports the confusion matrix.
 
 use crate::experiments::worlds::VICTIM_DOMAIN;
-use crate::harness::{Experiment, HarnessConfig, Report};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report};
 use spamward_analysis::Table;
 use spamward_botnet::MalwareFamily;
 use spamward_greylist::{Greylist, GreylistConfig};
@@ -178,7 +178,7 @@ impl Experiment for DialectsExperiment {
         false
     }
 
-    fn run(&self, _config: &HarnessConfig) -> Report {
+    fn run(&self, _config: &HarnessConfig) -> Result<Report, HarnessError> {
         let result = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
         crate::metrics::collect_dialects(&result, report.metrics_mut());
@@ -186,7 +186,7 @@ impl Experiment for DialectsExperiment {
             .push_table(result.table())
             .push_scalar("sender models", result.observations.len() as f64)
             .push_scalar("classification accuracy (%)", result.accuracy() * 100.0);
-        report
+        Ok(report)
     }
 }
 

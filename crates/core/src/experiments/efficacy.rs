@@ -6,7 +6,7 @@
 //! the defense prevented *every* spam message of that sample.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_obs::Registry;
@@ -25,6 +25,9 @@ pub struct EfficacyConfig {
     pub window: SimDuration,
     /// Greylisting threshold (paper default: 300 s).
     pub greylist_delay: SimDuration,
+    /// Engine event budget per run, shared by every per-sample world
+    /// (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for EfficacyConfig {
@@ -34,6 +37,7 @@ impl Default for EfficacyConfig {
             recipients: 20,
             window: SimDuration::from_mins(30),
             greylist_delay: SimDuration::from_secs(300),
+            event_budget: None,
         }
     }
 }
@@ -116,6 +120,7 @@ pub fn run_with_obs(
 
         // (a) nolisting victim.
         let mut world = worlds::nolisting_world(config.seed);
+        world.event_budget = config.event_budget;
         if trace {
             world = world.with_tracing();
         }
@@ -127,6 +132,7 @@ pub fn run_with_obs(
 
         // (b) greylisting victim.
         let mut world = worlds::greylist_world(config.seed, config.greylist_delay);
+        world.event_budget = config.event_budget;
         if trace {
             world = world.with_tracing();
         }
@@ -194,6 +200,7 @@ impl EfficacyExperiment {
                 Scale::Paper => EfficacyConfig::default().recipients,
                 Scale::Quick => 5,
             },
+            event_budget: harness.event_budget,
             ..Default::default()
         }
     }
@@ -212,13 +219,14 @@ impl Experiment for EfficacyExperiment {
         "Table II"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = Self::config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -246,7 +254,7 @@ impl Experiment for EfficacyExperiment {
                 );
             }
         }
-        report
+        Ok(report)
     }
 }
 

@@ -7,7 +7,7 @@
 //! and reports which combinations still hold.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{AdaptiveBot, Campaign};
 use spamward_greylist::{Greylist, GreylistConfig};
@@ -26,11 +26,19 @@ pub struct FutureThreatsConfig {
     pub recipients: usize,
     /// Observation horizon.
     pub horizon: SimDuration,
+    /// Engine event budget shared by every per-cell world
+    /// (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for FutureThreatsConfig {
     fn default() -> Self {
-        FutureThreatsConfig { seed: 2030, recipients: 10, horizon: SimDuration::from_secs(200_000) }
+        FutureThreatsConfig {
+            seed: 2030,
+            recipients: 10,
+            horizon: SimDuration::from_secs(200_000),
+            event_budget: None,
+        }
     }
 }
 
@@ -136,6 +144,7 @@ pub fn run_with_obs(
     for template in bots() {
         for defense in DefenseSetup::ALL {
             let mut world = build_world(config.seed, defense);
+            world.event_budget = config.event_budget;
             if trace {
                 world = world.with_tracing();
             }
@@ -218,13 +227,14 @@ impl Experiment for FutureThreatsExperiment {
         "§VI outlook"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = FutureThreatsConfig {
             seed: config.seed_or(FutureThreatsConfig::default().seed),
             recipients: match config.scale {
                 Scale::Paper => FutureThreatsConfig::default().recipients,
                 Scale::Quick => 4,
             },
+            event_budget: config.event_budget,
             ..Default::default()
         };
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
@@ -232,6 +242,7 @@ impl Experiment for FutureThreatsExperiment {
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -242,7 +253,7 @@ impl Experiment for FutureThreatsExperiment {
                 cell.delivery_rate * 100.0,
             );
         }
-        report
+        Ok(report)
     }
 }
 

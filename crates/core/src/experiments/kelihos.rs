@@ -8,7 +8,7 @@
 //! happen past the threshold, in the 80–90 ks band.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::{plot, Cdf, Histogram, Series};
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_obs::Registry;
@@ -25,11 +25,19 @@ pub struct KelihosConfig {
     pub recipients: usize,
     /// Observation horizon (Fig. 4 needs ≥ 90 000 s).
     pub horizon: SimDuration,
+    /// Engine event budget shared by every per-threshold world
+    /// (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for KelihosConfig {
     fn default() -> Self {
-        KelihosConfig { seed: 1337, recipients: 200, horizon: SimDuration::from_secs(100_000) }
+        KelihosConfig {
+            seed: 1337,
+            recipients: 200,
+            horizon: SimDuration::from_secs(100_000),
+            event_budget: None,
+        }
     }
 }
 
@@ -80,6 +88,7 @@ fn run_threshold(
     trace_lines: &mut Vec<String>,
 ) -> ThresholdRun {
     let mut world = worlds::greylist_world(config.seed, threshold);
+    world.event_budget = config.event_budget;
     if trace {
         world = world.with_tracing();
     }
@@ -131,6 +140,7 @@ pub fn run_with_obs(
     // be the same message as the campaign's.
     let single_task_confirmed = {
         let mut world = worlds::greylist_world(config.seed, SimDuration::from_secs(21_600));
+        world.event_budget = config.event_budget;
         let mut bot = BotSample::new(MalwareFamily::Kelihos, 0, Ipv4Addr::new(203, 0, 113, 99));
         let mut rng = DetRng::seed(config.seed).fork("kelihos-campaign");
         let mut campaign = Campaign::synthetic(VICTIM_DOMAIN, 10, &mut rng);
@@ -232,6 +242,7 @@ fn kelihos_config(harness: &HarnessConfig) -> KelihosConfig {
             Scale::Paper => KelihosConfig::default().recipients,
             Scale::Quick => 40,
         },
+        event_budget: harness.event_budget,
         ..Default::default()
     }
 }
@@ -252,13 +263,14 @@ impl Experiment for Fig3Experiment {
         "Fig. 3"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = kelihos_config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -286,7 +298,7 @@ impl Experiment for Fig3Experiment {
         for series in result.fig3_series() {
             report.push_series(series);
         }
-        report
+        Ok(report)
     }
 }
 
@@ -306,13 +318,14 @@ impl Experiment for Fig4Experiment {
         "Fig. 4"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = kelihos_config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -344,7 +357,7 @@ impl Experiment for Fig4Experiment {
         for series in result.fig4_series() {
             report.push_series(series);
         }
-        report
+        Ok(report)
     }
 }
 

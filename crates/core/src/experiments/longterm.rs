@@ -9,7 +9,7 @@
 //! traffic ends up bypassing greylisting through the AWL.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_greylist::{Greylist, GreylistConfig};
@@ -34,6 +34,8 @@ pub struct LongTermConfig {
     pub benign_per_month: usize,
     /// Distinct benign relays in the pool.
     pub benign_relays: usize,
+    /// Engine event budget for the victim world (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for LongTermConfig {
@@ -45,6 +47,7 @@ impl Default for LongTermConfig {
             spam_campaigns_per_month: 30,
             benign_per_month: 120,
             benign_relays: 12,
+            event_budget: None,
         }
     }
 }
@@ -100,6 +103,7 @@ pub fn run_with_obs(
     // AWL on (Postgrey default of 5) — the knob under study.
     let mut world =
         worlds::custom_greylist_world(config.seed, Greylist::new(GreylistConfig::default()));
+    world.event_budget = config.event_budget;
     if trace {
         world = world.with_tracing();
     }
@@ -234,16 +238,18 @@ impl Experiment for LongTermExperiment {
         "§VII (Sochor)"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = match config.scale {
             Scale::Paper => LongTermConfig {
                 seed: config.seed_or(LongTermConfig::default().seed),
+                event_budget: config.event_budget,
                 ..Default::default()
             },
             Scale::Quick => LongTermConfig {
                 seed: config.seed_or(LongTermConfig::default().seed),
                 spam_campaigns_per_month: 15,
                 benign_per_month: 60,
+                event_budget: config.event_budget,
                 ..Default::default()
             },
         };
@@ -252,13 +258,14 @@ impl Experiment for LongTermExperiment {
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
         report
             .push_table(result.table())
             .push_scalar("max block-rate swing (pp)", result.max_block_rate_swing() * 100.0);
-        report
+        Ok(report)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Table IV — default retransmission schedules of popular MTAs.
 
-use crate::harness::{Experiment, HarnessConfig, Report};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report};
 use spamward_analysis::Table;
 use spamward_mta::MtaProfile;
 use spamward_sim::SimDuration;
@@ -105,7 +105,7 @@ impl Experiment for SchedulesExperiment {
         false
     }
 
-    fn run(&self, _config: &HarnessConfig) -> Report {
+    fn run(&self, _config: &HarnessConfig) -> Result<Report, HarnessError> {
         let result = run();
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact());
         crate::metrics::collect_schedules(&result, report.metrics_mut());
@@ -113,7 +113,7 @@ impl Experiment for SchedulesExperiment {
             .push_table(result.table())
             .push_scalar("MTAs", result.rows.len() as f64)
             .push_scalar("below RFC queue guidance", result.below_rfc_queue_time().len() as f64);
-        report
+        Ok(report)
     }
 }
 

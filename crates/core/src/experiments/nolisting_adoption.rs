@@ -7,7 +7,7 @@
 //! ground truth (see `spamward-scanner`), which additionally yields the
 //! detector's precision/recall.
 
-use crate::harness::{Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_obs::Registry;
 use spamward_scanner::{
@@ -208,7 +208,7 @@ impl Experiment for AdoptionExperiment {
         "Fig. 2"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = Self::config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
@@ -229,7 +229,7 @@ impl Experiment for AdoptionExperiment {
         for (k, n) in &result.top_k {
             report.push_scalar(&format!("nolisting among top-{k}"), *n as f64);
         }
-        report
+        Ok(report)
     }
 }
 

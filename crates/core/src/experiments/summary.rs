@@ -6,7 +6,7 @@
 //! scalars, so this module stays decoupled from the matrix internals.
 
 use crate::experiments::efficacy::EfficacyExperiment;
-use crate::harness::{self, Experiment, HarnessConfig, Report};
+use crate::harness::{self, Experiment, HarnessConfig, HarnessError, Report};
 use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
 use spamward_obs::Registry;
@@ -29,8 +29,9 @@ pub struct SummaryResult {
 }
 
 /// Computes the summary from a fresh Table II run, obtained through the
-/// registry.
-pub fn run(config: &HarnessConfig) -> SummaryResult {
+/// registry. Propagates the inner run's harness error (e.g. an exhausted
+/// event budget).
+pub fn run(config: &HarnessConfig) -> Result<SummaryResult, HarnessError> {
     run_with_obs(config, &mut Registry::new(), &mut Vec::new())
 }
 
@@ -41,9 +42,9 @@ pub fn run_with_obs(
     config: &HarnessConfig,
     reg: &mut Registry,
     trace_lines: &mut Vec<String>,
-) -> SummaryResult {
+) -> Result<SummaryResult, HarnessError> {
     let table2 = harness::find("table2").expect("table2 is registered");
-    let report = table2.run(config);
+    let report = table2.run(config)?;
     reg.merge(report.metrics());
     trace_lines.extend(report.trace_lines().iter().cloned());
     let blocks = |defense: &str, family: MalwareFamily| {
@@ -60,7 +61,7 @@ pub fn run_with_obs(
         }
         rows.push((family.name().to_owned(), family.botnet_spam_pct(), nl, gl));
     }
-    SummaryResult {
+    Ok(SummaryResult {
         nolisting_botnet_pct: report
             .scalar("nolisting blocked (% of botnet spam)")
             .expect("table2 reports the nolisting share"),
@@ -70,7 +71,7 @@ pub fn run_with_obs(
         either_botnet_pct: either,
         either_global_pct: either * BOTNET_FRACTION_OF_GLOBAL_SPAM,
         rows,
-    }
+    })
 }
 
 impl SummaryResult {
@@ -120,11 +121,11 @@ impl Experiment for SummaryExperiment {
         "§VI headline"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(EfficacyExperiment::config(config).seed);
         let mut trace_lines = Vec::new();
-        let result = run_with_obs(config, report.metrics_mut(), &mut trace_lines);
+        let result = run_with_obs(config, report.metrics_mut(), &mut trace_lines)?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -135,7 +136,7 @@ impl Experiment for SummaryExperiment {
             .push_scalar("greylisting alone (% of botnet spam)", result.greylisting_botnet_pct)
             .push_scalar("either defense (% of botnet spam)", result.either_botnet_pct)
             .push_scalar("either defense (% of global spam)", result.either_global_pct);
-        report
+        Ok(report)
     }
 }
 
@@ -145,7 +146,8 @@ mod tests {
     use crate::harness::Scale;
 
     fn quick() -> SummaryResult {
-        run(&HarnessConfig { seed: None, scale: Scale::Quick, trace: false })
+        run(&HarnessConfig { scale: Scale::Quick, ..Default::default() })
+            .expect("quick summary completes")
     }
 
     #[test]

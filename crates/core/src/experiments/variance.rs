@@ -9,7 +9,7 @@
 //! harness registry: each seed becomes a [`HarnessConfig`] and the tracked
 //! quantities are read back from the sibling reports' scalars.
 
-use crate::harness::{self, Experiment, HarnessConfig, Report, Scale};
+use crate::harness::{self, Experiment, HarnessConfig, HarnessError, Report, Scale};
 use crate::runner::run_seeds;
 use spamward_analysis::ci::ConfidenceInterval;
 use spamward_analysis::Table;
@@ -59,12 +59,13 @@ impl VarianceResult {
 /// per-seed run uses [`Scale::Quick`] — the sweep trades per-run size for
 /// seed count, exactly as the old hand-tuned population knobs did.
 pub fn run(config: &VarianceConfig) -> VarianceResult {
+    // Per-seed runs never set an event budget, so an Err here is a bug.
     let per_seed =
-        |seed: u64| HarnessConfig { seed: Some(seed), scale: Scale::Quick, trace: false };
+        |seed: u64| HarnessConfig { seed: Some(seed), scale: Scale::Quick, ..Default::default() };
 
     let fig2 = harness::find("fig2").expect("fig2 is registered");
     let fig2_runs = run_seeds(&config.seeds, config.workers, move |seed| {
-        let r = fig2.run(&per_seed(seed));
+        let r = fig2.run(&per_seed(seed)).expect("unbudgeted fig2 run completes");
         (
             r.scalar("nolisting share (%)").expect("fig2 reports the nolisting share"),
             r.scalar("one-MX share (%)").expect("fig2 reports the one-MX share"),
@@ -73,7 +74,7 @@ pub fn run(config: &VarianceConfig) -> VarianceResult {
     });
     let fig5 = harness::find("fig5").expect("fig5 is registered");
     let fig5_runs = run_seeds(&config.seeds, config.workers, move |seed| {
-        let r = fig5.run(&per_seed(seed));
+        let r = fig5.run(&per_seed(seed)).expect("unbudgeted fig5 run completes");
         (
             r.scalar("delivered <10 min (%)").expect("fig5 reports the <10 min share"),
             r.scalar("abandonment (%)").expect("fig5 reports the abandonment rate"),
@@ -170,7 +171,7 @@ impl Experiment for VarianceExperiment {
         "DESIGN.md variance"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         let module_config = Self::config(config);
         let result = run(&module_config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
@@ -181,7 +182,7 @@ impl Experiment for VarianceExperiment {
             report.push_scalar(&format!("mean: {}", row.quantity), row.ci.mean);
             report.push_scalar(&format!("ci95 half-width: {}", row.quantity), row.ci.half_width);
         }
-        report
+        Ok(report)
     }
 }
 

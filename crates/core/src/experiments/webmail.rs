@@ -5,7 +5,7 @@
 //! distinct source addresses, and whether the message eventually arrived.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
-use crate::harness::{Experiment, HarnessConfig, Report};
+use crate::harness::{Experiment, HarnessConfig, HarnessError, Report};
 use spamward_analysis::{fmt_min_sec, Table};
 use spamward_mta::OutboundStatus;
 use spamward_obs::Registry;
@@ -26,11 +26,19 @@ pub struct WebmailConfig {
     /// Spread each provider's pool across /24s instead of within one
     /// (ablation; the paper-consistent default is one subnet).
     pub spread_subnets: bool,
+    /// Engine event budget shared by every per-provider world
+    /// (`None` = unbounded).
+    pub event_budget: Option<u64>,
 }
 
 impl Default for WebmailConfig {
     fn default() -> Self {
-        WebmailConfig { seed: 360, threshold: SimDuration::from_hours(6), spread_subnets: false }
+        WebmailConfig {
+            seed: 360,
+            threshold: SimDuration::from_hours(6),
+            spread_subnets: false,
+            event_budget: None,
+        }
     }
 }
 
@@ -84,6 +92,7 @@ pub fn run_with_obs(
         // Fresh victim per provider so triplet state never leaks across
         // rows.
         let mut world = worlds::greylist_world(config.seed, config.threshold);
+        world.event_budget = config.event_budget;
         if trace {
             world = world.with_tracing();
         }
@@ -195,10 +204,11 @@ impl Experiment for WebmailExperiment {
         "Table III"
     }
 
-    fn run(&self, config: &HarnessConfig) -> Report {
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError> {
         // Ten providers, one message each: already quick at paper scale.
         let module_config = WebmailConfig {
             seed: config.seed_or(WebmailConfig::default().seed),
+            event_budget: config.event_budget,
             ..Default::default()
         };
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
@@ -206,6 +216,7 @@ impl Experiment for WebmailExperiment {
         let mut trace_lines = Vec::new();
         let result =
             run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        crate::harness::ensure_completed(self.id(), report.metrics())?;
         for line in &trace_lines {
             report.push_trace_line(line);
         }
@@ -213,7 +224,7 @@ impl Experiment for WebmailExperiment {
             .push_table(result.table())
             .push_scalar("providers", result.rows.len() as f64)
             .push_scalar("verdicts matching paper", result.verdict_matches() as f64);
-        report
+        Ok(report)
     }
 }
 

@@ -17,7 +17,8 @@
 //! use spamward_core::harness::{find, HarnessConfig, Scale};
 //!
 //! let exp = find("table2").unwrap();
-//! let report = exp.run(&HarnessConfig { seed: None, scale: Scale::Quick, trace: false });
+//! let config = HarnessConfig { scale: Scale::Quick, ..Default::default() };
+//! let report = exp.run(&config).unwrap();
 //! assert!(report.scalar("greylisting blocked (% of botnet spam)").is_some());
 //! ```
 
@@ -59,6 +60,12 @@ pub struct HarnessConfig {
     /// Trace lines are diagnostics — they never enter the canonical
     /// text/CSV/JSON bytes (`repro --trace` routes them to stderr).
     pub trace: bool,
+    /// Optional cap on discrete-event engine events per driven world.
+    /// `None` (the default) means unbounded. World-driving experiments
+    /// thread this into every [`spamward_mta::MailWorld`] they build and
+    /// fail with [`HarnessError::BudgetExhausted`] if any episode was cut
+    /// short; catalogue and meta experiments that drive no world ignore it.
+    pub event_budget: Option<u64>,
 }
 
 impl HarnessConfig {
@@ -66,6 +73,57 @@ impl HarnessConfig {
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
     }
+}
+
+/// A typed failure from an [`Experiment`] run.
+///
+/// The harness refuses to present a silently-truncated run as a result:
+/// when an event budget cuts an episode short the whole run is an error,
+/// not a report with quietly wrong numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The [`HarnessConfig::event_budget`] ran out mid-run: at least one
+    /// engine episode ended [`spamward_sim::RunOutcome::BudgetExhausted`].
+    BudgetExhausted {
+        /// The experiment that was truncated.
+        id: String,
+        /// Episodes cut short by the budget.
+        episodes_cut: u64,
+        /// Engine events actually executed before exhaustion.
+        events: u64,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::BudgetExhausted { id, episodes_cut, events } => write!(
+                f,
+                "experiment {id}: event budget exhausted after {events} engine events \
+                 ({episodes_cut} episode(s) cut short) — results would be truncated"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Asserts that a run's engine episodes all completed (drained or
+/// horizon-reached): returns
+/// [`HarnessError::BudgetExhausted`] if the collected metrics show any
+/// episode was cut off by the event budget. Experiments call this on their
+/// report's registry after `collect_world`, turning silent truncation into
+/// a typed harness error.
+pub fn ensure_completed(id: &str, metrics: &Registry) -> Result<(), HarnessError> {
+    let cut = metrics.counter("sim.engine.outcome.budget_exhausted").unwrap_or(0);
+    if cut > 0 {
+        return Err(HarnessError::BudgetExhausted {
+            id: id.to_owned(),
+            episodes_cut: cut,
+            events: metrics.counter("sim.engine.events").unwrap_or(0),
+        });
+    }
+    Ok(())
 }
 
 /// A named headline number a report exposes for machine consumption
@@ -338,8 +396,10 @@ pub trait Experiment: Sync {
     fn seedable(&self) -> bool {
         true
     }
-    /// Runs the experiment and returns its typed report.
-    fn run(&self, config: &HarnessConfig) -> Report;
+    /// Runs the experiment and returns its typed report, or a typed error
+    /// when the run could not complete (e.g. the
+    /// [`HarnessConfig::event_budget`] truncated an engine episode).
+    fn run(&self, config: &HarnessConfig) -> Result<Report, HarnessError>;
 }
 
 /// Every experiment, in the order `repro all` runs and prints them.
@@ -482,8 +542,25 @@ mod tests {
         let default = HarnessConfig::default();
         assert_eq!(default.seed_or(42), 42);
         assert_eq!(default.scale, Scale::Paper);
-        let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick, trace: false };
+        assert_eq!(default.event_budget, None);
+        let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick, ..Default::default() };
         assert_eq!(forced.seed_or(42), 9);
+    }
+
+    #[test]
+    fn ensure_completed_flags_budget_exhaustion() {
+        let mut reg = Registry::new();
+        assert_eq!(ensure_completed("fig5", &reg), Ok(()), "no engine metrics at all is fine");
+        reg.record_counter("sim.engine.events", 120);
+        reg.record_counter("sim.engine.outcome.budget_exhausted", 0);
+        assert_eq!(ensure_completed("fig5", &reg), Ok(()));
+        reg.record_counter("sim.engine.outcome.budget_exhausted", 3);
+        let err = ensure_completed("fig5", &reg).unwrap_err();
+        assert_eq!(
+            err,
+            HarnessError::BudgetExhausted { id: "fig5".into(), episodes_cut: 3, events: 120 }
+        );
+        assert!(err.to_string().contains("event budget exhausted"));
     }
 
     #[test]

@@ -35,8 +35,8 @@
 //! ```
 //! use spamward_core::harness::{registry, HarnessConfig, Scale};
 //!
-//! let config = HarnessConfig { seed: Some(7), scale: Scale::Quick, trace: false };
-//! let report = registry()[2].run(&config); // table2
+//! let config = HarnessConfig { seed: Some(7), scale: Scale::Quick, ..Default::default() };
+//! let report = registry()[2].run(&config).unwrap(); // table2
 //! assert_eq!(report.id(), "table2");
 //! ```
 //!

@@ -15,6 +15,7 @@
 //! | P1   | no `unwrap`/`expect`/`panic!` in protocol-path crates outside tests |
 //! | P2   | SMTP reply codes come from `spamward_smtp::reply::codes`, never inline literals |
 //! | O1   | metric/trace name literals live only in each crate's `metrics.rs`/`obs` module |
+//! | S1   | no hand-rolled virtual-time ordering (`BinaryHeap` + `SimTime`, timestamp-keyed sorts) outside `crates/sim` |
 //!
 //! Known debt is suppressed via `lint-allow.toml` ([`allow`]); every entry
 //! carries a mandatory justification, and entries that stop matching are

@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1", "S1"];
 
 /// The one module allowed to read the host clock: experiments must take
 /// time from the simulation scheduler, and the real-network transport
@@ -41,6 +41,15 @@ const P1_SCOPE: &[&str] =
 
 /// The module that owns SMTP reply-code constants (exempt from P2).
 const REPLY_MODULE: &str = "crates/smtp/src/reply.rs";
+
+/// Crates exempt from rule S1: the engine crate owns the one sanctioned
+/// time-ordered queue (`Simulation<S>`), and the lint crate's own sources
+/// name the patterns it searches for.
+const S1_EXEMPT: &[&str] = &["crates/sim/", "crates/lint/"];
+
+/// Identifier fragments that mark a sort key as virtual time: sorting by
+/// an attempt/arrival/due timestamp is scheduling by hand.
+const S1_TIME_KEYS: &[&str] = &["attempt", "arrival", "due", "deadline", "next_try", "wake"];
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +82,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     check_p1(rel_path, source, &scanned, &mut out);
     check_p2(rel_path, source, &scanned, &mut out);
     check_o1(rel_path, source, &scanned, &mut out);
+    check_s1(rel_path, source, &scanned, &mut out);
     dedupe(out)
 }
 
@@ -345,6 +355,66 @@ fn check_o1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
     }
 }
 
+/// S1 — manual virtual-time ordering outside the engine crate. PR 4 made
+/// `Simulation<S>` the single execution substrate: anything that needs
+/// events in time order schedules them through the engine (or the actor
+/// layer on top of it). A `BinaryHeap` in a file that also handles
+/// [`SimTime`] is a hand-rolled event queue; a sort keyed on an
+/// attempt/arrival/due timestamp is a hand-rolled scheduler pass. Both
+/// reintroduce the duplicate delivery loops the engine migration deleted.
+fn check_s1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if S1_EXEMPT.iter().any(|p| rel_path.starts_with(p)) {
+        return;
+    }
+    let masked = &scanned.masked;
+    // A priority queue is only S1's business when the file also speaks
+    // virtual time; a heap of sizes or scores orders nothing temporal.
+    if !find_token(masked, "SimTime").is_empty() {
+        for offset in find_token(masked, "BinaryHeap") {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            push(
+                out,
+                scanned,
+                source,
+                rel_path,
+                "S1",
+                offset,
+                "`BinaryHeap` in a file handling `SimTime` — a hand-rolled event queue; \
+                 schedule through `spamward_sim::Simulation` (or an actor) instead"
+                    .to_string(),
+            );
+        }
+    }
+    const SORTS: &[&str] =
+        &[".sort_by(", ".sort_by_key(", ".sort_unstable_by(", ".sort_unstable_by_key("];
+    for pat in SORTS {
+        for offset in find_token(masked, pat) {
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            let line = scanned.line_of(offset);
+            let text = scanned.line_text(masked, line).to_ascii_lowercase();
+            if S1_TIME_KEYS.iter().any(|k| text.contains(k)) {
+                push(
+                    out,
+                    scanned,
+                    source,
+                    rel_path,
+                    "S1",
+                    offset,
+                    format!(
+                        "`{}..)` keyed on a virtual-time field — sorting attempts by timestamp \
+                         is scheduling by hand; drive them through `spamward_sim::Simulation`",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Byte offset just past the first top-level comma after `open`, or `None`
 /// if the argument list closes first. Operates on masked text, so commas
 /// inside string literals are already blanked out.
@@ -588,6 +658,26 @@ mod tests {
         // Single-argument record() calls (span stats) carry no category.
         let span = "fn f(s: &mut SpanStats) { s.record(elapsed); }";
         assert!(rules_hit("crates/mta/src/world.rs", span).is_empty());
+    }
+
+    #[test]
+    fn s1_flags_heap_only_alongside_simtime() {
+        let heap = "fn f(q: &mut BinaryHeap<(SimTime, u64)>) { q.pop(); }";
+        assert_eq!(rules_hit("crates/mta/src/x.rs", heap), vec!["S1"]);
+        // The engine crate owns the sanctioned time-ordered queue.
+        assert!(rules_hit("crates/sim/src/event.rs", heap).is_empty());
+        // A heap with no virtual time in sight orders nothing temporal.
+        let sizes = "fn f(q: &mut BinaryHeap<u64>) { q.pop(); }";
+        assert!(rules_hit("crates/mta/src/x.rs", sizes).is_empty());
+    }
+
+    #[test]
+    fn s1_flags_timestamp_keyed_sorts() {
+        let src = "fn f(attempts: &mut Vec<(u64, u64)>) { attempts.sort_by_key(|a| a.0); }";
+        assert_eq!(rules_hit("crates/botnet/src/x.rs", src), vec!["S1"]);
+        // Sorting by a non-temporal key is not scheduling.
+        let prefs = "fn f(mxs: &mut Vec<(u16, u32)>) { mxs.sort_by_key(|m| m.0); }";
+        assert!(rules_hit("crates/botnet/src/x.rs", prefs).is_empty());
     }
 
     #[test]

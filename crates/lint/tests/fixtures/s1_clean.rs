@@ -1,0 +1,12 @@
+//! S1 fixture (clean): heaps and sorts that order nothing temporal.
+
+use std::collections::BinaryHeap;
+
+pub fn largest(sizes: &mut BinaryHeap<u64>) -> Option<u64> {
+    sizes.pop()
+}
+
+pub fn order_mx(mut records: Vec<(u16, u32)>) -> Vec<(u16, u32)> {
+    records.sort_by_key(|r| r.0);
+    records
+}

@@ -1,0 +1,14 @@
+//! S1 fixture (violation): a hand-rolled event queue and a by-timestamp
+//! scheduler pass outside the engine crate.
+
+use spamward_sim::SimTime;
+use std::collections::BinaryHeap;
+
+pub struct PendingDeliveries {
+    queue: BinaryHeap<(SimTime, u64)>,
+}
+
+pub fn order_attempts(mut attempts: Vec<(SimTime, u64)>) -> Vec<(SimTime, u64)> {
+    attempts.sort_by_key(|a| a.0);
+    attempts
+}

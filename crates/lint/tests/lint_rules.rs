@@ -85,6 +85,16 @@ fn o1_fixture_pair() {
 }
 
 #[test]
+fn s1_fixture_pair() {
+    let hits = diags("crates/mta/src/fixture.rs", "s1_violation.rs");
+    assert_eq!(hits.len(), 3, "the heap import, the heap field and the attempt sort: {hits:?}");
+    assert!(hits.iter().all(|d| d.rule == "S1"), "{hits:?}");
+    assert!(diags("crates/mta/src/fixture.rs", "s1_clean.rs").is_empty());
+    // The engine crate owns the one sanctioned time-ordered queue.
+    assert!(diags("crates/sim/src/fixture.rs", "s1_violation.rs").is_empty());
+}
+
+#[test]
 fn o1_allowlist_suppression() {
     let text = r#"
 [[allow]]

@@ -54,10 +54,30 @@ pub const SEND_DELIVERY_DELAY_S: &str = "mta.send.delivery_delay_s";
 /// Trace events evicted (or discarded at capacity 0) by the world tracer.
 pub const WORLD_TRACE_DROPPED: &str = "mta.world.trace_dropped";
 
+/// Engine events executed across every episode driven on this world.
+pub const ENGINE_EVENTS: &str = "sim.engine.events";
+/// High-water mark of the engine's pending-event queue (summed across
+/// worlds at collection time, like the other world gauges).
+pub const ENGINE_QUEUE_HIGH_WATER: &str = "sim.engine.queue_high_water";
+/// Per-actor-category episode-length histograms: `sim.engine.episode_events.`
+/// followed by the actor name (`mta.send`, `botnet.chain`, …), each sample
+/// being the events one episode of that actor executed.
+pub const ENGINE_EPISODE_EVENTS_PREFIX: &str = "sim.engine.episode_events.";
+/// Episodes that drained their event queue.
+pub const ENGINE_OUTCOME_DRAINED: &str = "sim.engine.outcome.drained";
+/// Episodes stopped at their horizon.
+pub const ENGINE_OUTCOME_HORIZON: &str = "sim.engine.outcome.horizon_reached";
+/// Episodes cut short by an event budget — nonzero means truncated runs.
+pub const ENGINE_OUTCOME_BUDGET_EXHAUSTED: &str = "sim.engine.outcome.budget_exhausted";
+/// Episodes stopped early from inside an event.
+pub const ENGINE_OUTCOME_STOPPED: &str = "sim.engine.outcome.stopped";
+
 /// Retry-slot histogram bounds: attempt numbers along a typical schedule.
 pub const RETRY_SLOT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
 /// Delivery-delay histogram bounds (seconds): 1 min … 1 day.
 pub const DELIVERY_DELAY_BOUNDS_S: [u64; 7] = [60, 300, 600, 1800, 3600, 14_400, 86_400];
+/// Episode-length histogram bounds (events per episode).
+pub const EPISODE_EVENT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
 
 /// Exports one receiving MTA: receive counters, absorbed SMTP session
 /// counters, and the greylist snapshot when one is installed.
@@ -110,6 +130,31 @@ pub fn collect_world(world: &MailWorld, reg: &mut Registry) {
     spamward_dns::metrics::collect_authority(&world.dns, reg);
     spamward_dns::metrics::collect_resolver(&world.resolver.stats(), reg);
     reg.record_counter(WORLD_TRACE_DROPPED, world.trace.dropped());
+    collect_engine(world, reg);
+}
+
+/// Exports the accumulated [`EngineStats`](spamward_sim::EngineStats) of a
+/// world: how much discrete-event work its episodes did and how they
+/// ended. Skipped entirely for worlds never driven through the engine, so
+/// undriven worlds export no spurious zeros.
+fn collect_engine(world: &MailWorld, reg: &mut Registry) {
+    let stats = &world.engine_stats;
+    if stats.is_empty() {
+        return;
+    }
+    reg.record_counter(ENGINE_EVENTS, stats.events);
+    reg.record_gauge(ENGINE_QUEUE_HIGH_WATER, stats.queue_high_water as i64);
+    for (actor, episodes) in &stats.actor_events {
+        let mut h = Histogram::new(&EPISODE_EVENT_BOUNDS);
+        for &events in episodes {
+            h.observe(events);
+        }
+        reg.record_histogram(&format!("{ENGINE_EPISODE_EVENTS_PREFIX}{actor}"), &h);
+    }
+    reg.record_counter(ENGINE_OUTCOME_DRAINED, stats.outcomes.drained);
+    reg.record_counter(ENGINE_OUTCOME_HORIZON, stats.outcomes.horizon_reached);
+    reg.record_counter(ENGINE_OUTCOME_BUDGET_EXHAUSTED, stats.outcomes.budget_exhausted);
+    reg.record_counter(ENGINE_OUTCOME_STOPPED, stats.outcomes.stopped);
 }
 
 #[cfg(test)]
@@ -166,5 +211,29 @@ mod tests {
             }
             other => panic!("expected delay histogram, got {other:?}"),
         }
+        // The drain ran as engine episodes, so the engine exports appear:
+        // one drained episode whose wake-ups are the delivery attempts
+        // (postfix retries at exactly 300 s, still inside the delay, so
+        // delivery takes three attempts).
+        assert_eq!(reg.counter(ENGINE_EVENTS), Some(3));
+        assert_eq!(reg.gauge(ENGINE_QUEUE_HIGH_WATER), Some(1));
+        assert_eq!(reg.counter(ENGINE_OUTCOME_DRAINED), Some(1));
+        assert_eq!(reg.counter(ENGINE_OUTCOME_BUDGET_EXHAUSTED), Some(0));
+        match reg.get("sim.engine.episode_events.mta.send") {
+            Some(spamward_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 1);
+                assert_eq!(h.sum(), 3);
+            }
+            other => panic!("expected episode histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_world_exports_no_engine_metrics() {
+        let world = MailWorld::new(9);
+        let mut reg = Registry::new();
+        collect_world(&world, &mut reg);
+        assert_eq!(reg.counter(ENGINE_EVENTS), None);
+        assert_eq!(reg.counter(ENGINE_OUTCOME_DRAINED), None);
     }
 }

@@ -422,22 +422,6 @@ impl SendingMta {
         *self = actor.into_inner();
         end.max(start)
     }
-
-    /// The pre-engine manual drain loop, kept only to prove the engine
-    /// path byte-equivalent; retired together with its test.
-    #[cfg(test)]
-    fn drain_stepped(&mut self, start: SimTime, world: &mut MailWorld) -> SimTime {
-        let mut now = start;
-        loop {
-            match self.next_due() {
-                None => return now,
-                Some(due) => {
-                    now = due.max(now);
-                    self.run_due(now, world);
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -663,39 +647,6 @@ mod tests {
     #[should_panic(expected = "at least one source IP")]
     fn empty_pool_panics() {
         let _ = SendingMta::new("x", vec![], MtaProfile::postfix());
-    }
-
-    #[test]
-    fn engine_drain_matches_stepped_drain() {
-        // Transitional step-vs-event equivalence: the engine-backed drain
-        // must reproduce the manual time-jumping loop byte for byte
-        // (records, queue states, bounces, end time) across profiles and
-        // greylist thresholds. Retired with `drain_stepped`.
-        type Scenario = (u64, fn() -> MtaProfile);
-        let scenarios: &[Scenario] = &[
-            (300, MtaProfile::postfix),
-            (300, MtaProfile::sendmail),
-            (21_600, MtaProfile::postfix),
-            (3 * 86_400, MtaProfile::exchange),
-        ];
-        for &(delay, profile) in scenarios {
-            let run = |engine: bool| {
-                let (mut w, _) = world_with_greylist(delay);
-                let mut s = sender(profile());
-                submit_one(&mut s, SimTime::ZERO);
-                submit_one(&mut s, SimTime::from_secs(40));
-                let end = if engine {
-                    s.drain(SimTime::ZERO, &mut w)
-                } else {
-                    s.drain_stepped(SimTime::ZERO, &mut w)
-                };
-                (end, format!("{:?} {:?} {:?}", s.records(), s.queue(), s.bounces()))
-            };
-            let (end_a, state_a) = run(true);
-            let (end_b, state_b) = run(false);
-            assert_eq!(end_a, end_b, "end time diverged (delay {delay})");
-            assert_eq!(state_a, state_b, "sender state diverged (delay {delay})");
-        }
     }
 
     #[test]

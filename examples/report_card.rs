@@ -14,10 +14,10 @@ use spamward::core::harness::{fmt_scalar, registry, HarnessConfig, Scale};
 
 fn main() {
     let seed: Option<u64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
-    let config = HarnessConfig { seed, scale: Scale::Quick, trace: false };
+    let config = HarnessConfig { seed, scale: Scale::Quick, ..Default::default() };
 
     for exp in registry() {
-        let report = exp.run(&config);
+        let report = exp.run(&config).expect("unbudgeted run completes");
         print!("[{}] {} ({})", exp.id(), exp.title(), exp.paper_artifact());
         match report.seed() {
             Some(s) => println!(" [seed {s}]"),

@@ -94,10 +94,10 @@ fn parallel_seed_runner_is_order_independent() {
 /// is the harness-level pin the CI golden snapshot builds on.
 #[test]
 fn every_registered_report_is_byte_stable() {
-    let config = HarnessConfig { seed: Some(77), scale: Scale::Quick, trace: false };
+    let config = HarnessConfig { seed: Some(77), scale: Scale::Quick, ..Default::default() };
     for exp in harness::registry() {
-        let a = exp.run(&config);
-        let b = exp.run(&config);
+        let a = exp.run(&config).unwrap();
+        let b = exp.run(&config).unwrap();
         assert_eq!(a.to_text(), b.to_text(), "{}: text bytes differ across runs", exp.id());
         assert_eq!(a.to_csv(), b.to_csv(), "{}: CSV bytes differ across runs", exp.id());
         assert_eq!(a.to_json(), b.to_json(), "{}: JSON bytes differ across runs", exp.id());
@@ -109,9 +109,9 @@ fn every_registered_report_is_byte_stable() {
 /// regardless of worker count.
 #[test]
 fn parallel_registry_run_matches_serial_bytes() {
-    let config = HarnessConfig { seed: None, scale: Scale::Quick, trace: false };
+    let config = HarnessConfig { seed: None, scale: Scale::Quick, ..Default::default() };
     let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
-    let render = |i: u64| harness::registry()[i as usize].run(&config).to_json();
+    let render = |i: u64| harness::registry()[i as usize].run(&config).unwrap().to_json();
     let serial = run_seeds(&indices, 1, render);
     let parallel = run_seeds(&indices, 4, render);
     assert_eq!(serial, parallel, "worker count changed the rendered bytes");
@@ -124,11 +124,12 @@ fn parallel_registry_run_matches_serial_bytes() {
 /// CI golden-snapshot contract.
 #[test]
 fn repro_all_json_metrics_composition_is_byte_identical() {
-    let config = HarnessConfig { seed: Some(42), scale: Scale::Quick, trace: false };
+    let config = HarnessConfig { seed: Some(42), scale: Scale::Quick, ..Default::default() };
     let compose = |jobs: usize| -> String {
         let indices: Vec<u64> = (0..harness::registry().len() as u64).collect();
-        let runs =
-            run_seeds(&indices, jobs, |i| harness::registry()[i as usize].run(&config).to_json());
+        let runs = run_seeds(&indices, jobs, |i| {
+            harness::registry()[i as usize].run(&config).unwrap().to_json()
+        });
         let bodies: Vec<String> = runs.into_iter().map(|r| r.output).collect();
         format!("[{}]\n", bodies.join(","))
     };
@@ -144,6 +145,23 @@ fn repro_all_json_metrics_composition_is_byte_identical() {
         harness::registry().len(),
         "every report must embed a non-empty metrics section"
     );
+}
+
+/// `Simulation<S>` is the only execution substrate: every world-driven
+/// experiment must report engine activity through the `sim.engine.*`
+/// metrics (proving deliveries went through scheduled engine events, not a
+/// manual loop), and the engine-driven report bytes must be seed-stable.
+#[test]
+fn world_driven_experiments_run_on_the_engine() {
+    let config = HarnessConfig { seed: Some(5), scale: Scale::Quick, ..Default::default() };
+    for id in ["table2", "table3", "fig3", "fig4", "fig5", "costs", "longterm", "future"] {
+        let exp = harness::find(id).expect("registered");
+        let a = exp.run(&config).unwrap();
+        let events = a.metrics().counter("sim.engine.events").unwrap_or(0);
+        assert!(events > 0, "{id}: no engine events recorded — not running on Simulation<S>?");
+        let b = exp.run(&config).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "{id}: engine-driven bytes differ across runs");
+    }
 }
 
 /// Re-running the same traced scenario with the same seed must replay the

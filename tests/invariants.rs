@@ -216,9 +216,9 @@ proptest! {
 #[test]
 fn every_registered_report_has_metrics() {
     use spamward::core::harness::{self, HarnessConfig, Scale};
-    let config = HarnessConfig { seed: Some(9), scale: Scale::Quick, trace: false };
+    let config = HarnessConfig { seed: Some(9), scale: Scale::Quick, ..Default::default() };
     for exp in harness::registry() {
-        let report = exp.run(&config);
+        let report = exp.run(&config).expect("unbudgeted run completes");
         assert!(!report.metrics().is_empty(), "{}: empty metric registry", exp.id());
         assert!(
             report.to_json().contains("\"metrics\":[{"),
