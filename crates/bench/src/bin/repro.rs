@@ -31,7 +31,7 @@ enum Format {
 fn usage_text() -> String {
     let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
     format!(
-        "usage: repro <artifact> [--csv | --json] [--seed N] [--metrics] [--trace PREFIX]\n\
+        "usage: repro <artifact> [--csv | --json] [--seed N] [--jobs N] [--metrics] [--trace PREFIX]\n\
          \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--metrics] [--trace PREFIX]\n\
          \x20      repro --list\n\
          \n\
@@ -41,7 +41,10 @@ fn usage_text() -> String {
          --csv           print the report(s) in canonical CSV instead of text\n\
          --json          print the report(s) in canonical JSON instead of text\n\
          --seed N        override the default seed of seedable artifacts\n\
-         --jobs N        run `all` across N worker threads (byte-identical to serial)\n\
+         --jobs N        run across N worker threads (byte-identical to serial)\n\
+         --budget N      cap each experiment at N engine events; an exhausted\n\
+         \x20               budget is a typed failure (exit 1), never a\n\
+         \x20               truncated report\n\
          --metrics       append the full metric dump to text/CSV reports\n\
          \x20               (JSON always embeds the metrics section)\n\
          --trace PREFIX  run with event tracing and print trace lines whose\n\
@@ -92,6 +95,7 @@ fn main() {
     let mut json = false;
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut budget: Option<u64> = None;
     let mut metrics = false;
     let mut trace: Option<String> = None;
 
@@ -123,6 +127,16 @@ fn main() {
                 }
                 jobs = Some(n);
             }
+            "--budget" => {
+                let value = it.next().unwrap_or_else(|| fail("--budget needs a value"));
+                let n: u64 = value.parse().unwrap_or_else(|_| {
+                    fail(&format!("--budget needs a positive integer, got {value:?}"))
+                });
+                if n == 0 {
+                    fail("--budget needs at least one engine event");
+                }
+                budget = Some(n);
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown flag {flag:?}")),
             name => {
                 if let Some(first) = &artifact {
@@ -137,6 +151,7 @@ fn main() {
         if artifact.is_some()
             || seed.is_some()
             || jobs.is_some()
+            || budget.is_some()
             || csv
             || json
             || metrics
@@ -159,16 +174,14 @@ fn main() {
     };
     let Some(artifact) = artifact else { fail("missing artifact") };
     let config =
-        HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some(), event_budget: None };
+        HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some(), event_budget: budget };
 
-    // Each worker returns (rendered report, filtered trace lines); stdout
-    // and stderr are both emitted in registry order after the runs finish,
-    // so the bytes are invariant under --jobs.
-    let run_one = |exp: &dyn harness::Experiment| -> (String, Vec<String>) {
-        let report = exp.run(&config).unwrap_or_else(|err| {
-            eprintln!("error: {err}");
-            std::process::exit(1);
-        });
+    // Each worker returns (rendered report, filtered trace lines) or the
+    // experiment's typed error; stdout and stderr are both emitted in
+    // registry order after every run finishes, so the bytes are invariant
+    // under --jobs and a failure never interleaves with partial output.
+    let run_one = |exp: &dyn harness::Experiment| -> Result<(String, Vec<String>), String> {
+        let report = exp.run(&config).map_err(|err| err.to_string())?;
         let trace_lines = match &trace {
             Some(prefix) => report
                 .trace_lines()
@@ -178,7 +191,17 @@ fn main() {
                 .collect(),
             None => Vec::new(),
         };
-        (render(&report, format, metrics), trace_lines)
+        Ok((render(&report, format, metrics), trace_lines))
+    };
+
+    // The first failure in registry order goes to stderr and the exit code
+    // is 1; reports print only when *every* experiment succeeded.
+    let check = |runs: Vec<Result<(String, Vec<String>), String>>| -> Vec<(String, Vec<String>)> {
+        if let Some(err) = runs.iter().find_map(|r| r.as_ref().err()) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+        runs.into_iter().map(|r| r.expect("errors handled above")).collect()
     };
 
     if artifact == "all" {
@@ -186,15 +209,12 @@ fn main() {
         let runs =
             run_seeds(&indices, jobs.unwrap_or(1), |i| run_one(harness::registry()[i as usize]));
         let (bodies, traces): (Vec<String>, Vec<Vec<String>>) =
-            runs.into_iter().map(|r| r.output).unzip();
+            check(runs.into_iter().map(|r| r.output).collect()).into_iter().unzip();
         print!("{}", join_reports(&bodies, format));
         for line in traces.iter().flatten() {
             eprintln!("{line}");
         }
     } else {
-        if jobs.is_some() {
-            fail("--jobs only applies to `repro all`");
-        }
         let Some(exp) = harness::find(&artifact) else {
             fail(&format!("unknown artifact {artifact:?}"));
         };
@@ -203,7 +223,11 @@ fn main() {
                 "artifact {artifact:?} is not seedable; its output is fixed catalogue data"
             ));
         }
-        let (body, trace_lines) = run_one(exp);
+        // --jobs is accepted here too (the CI chaos smoke compares serial
+        // vs --jobs bytes on one artifact); a single run has nothing to
+        // parallelize.
+        let mut runs = check(vec![run_one(exp)]);
+        let (body, trace_lines) = runs.swap_remove(0);
         if format == Format::Json {
             println!("{body}");
         } else {

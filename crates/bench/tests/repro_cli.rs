@@ -1,0 +1,65 @@
+//! CLI contract of the `repro` binary: failure paths must exit nonzero
+//! with the typed error on stderr, and flag validation must stay stable.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn exhausted_budget_exits_one_with_typed_error_on_stderr() {
+    let out = repro().args(["table2", "--budget", "1"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(1), "a failed experiment must exit 1");
+    assert!(out.stdout.is_empty(), "no partial report on failure");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.starts_with("error: experiment table2: event budget exhausted"),
+        "stderr must carry the typed HarnessError, got: {stderr:?}"
+    );
+    assert!(stderr.contains("engine events"), "error must state the event count: {stderr:?}");
+}
+
+#[test]
+fn exhausted_budget_under_all_reports_first_failure_in_registry_order() {
+    // With a one-event budget every world-driven experiment fails; the
+    // CLI must surface the *first* one in registry order, exactly once.
+    let out = repro().args(["all", "--budget", "1", "--jobs", "2"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "no partial output when any experiment fails");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert_eq!(stderr.lines().count(), 1, "exactly one error line: {stderr:?}");
+    assert!(stderr.starts_with("error: experiment table2:"), "first failing id: {stderr:?}");
+}
+
+#[test]
+fn generous_budget_changes_nothing() {
+    let ok = repro().args(["table2", "--json"]).output().expect("repro runs");
+    let budgeted =
+        repro().args(["table2", "--json", "--budget", "100000000"]).output().expect("repro runs");
+    assert_eq!(ok.status.code(), Some(0));
+    assert_eq!(budgeted.status.code(), Some(0));
+    assert_eq!(ok.stdout, budgeted.stdout, "an unexhausted budget must not perturb bytes");
+}
+
+#[test]
+fn single_artifact_accepts_jobs_and_matches_serial_bytes() {
+    let serial = repro().args(["resilience", "--json", "--metrics"]).output().expect("repro runs");
+    let parallel = repro()
+        .args(["resilience", "--json", "--metrics", "--jobs", "4"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(serial.status.code(), Some(0));
+    assert_eq!(parallel.status.code(), Some(0));
+    assert_eq!(serial.stdout, parallel.stdout, "--jobs must be byte-invariant");
+}
+
+#[test]
+fn flag_validation_still_exits_two() {
+    let out = repro().args(["table2", "--budget", "0"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors keep exit code 2");
+    let out = repro().args(["--budget", "nope", "table2"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = repro().args(["nonsense-artifact"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+}

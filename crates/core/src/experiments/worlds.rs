@@ -6,7 +6,7 @@
 use spamward_dns::{DomainName, Zone};
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_mta::{MailWorld, ReceivingMta};
-use spamward_net::{PortState, SMTP_PORT};
+use spamward_net::{Availability, FaultWindow, PortState, SMTP_PORT};
 use spamward_sim::SimDuration;
 use std::net::Ipv4Addr;
 
@@ -91,6 +91,29 @@ pub fn stacked_world(seed: u64, greylist: Greylist) -> MailWorld {
     w
 }
 
+/// A nolisting victim whose *live* secondary additionally observes planned
+/// maintenance windows ([`Availability::Windows`]): connections during a
+/// window time out exactly like an unplanned outage, and resume as soon as
+/// the window closes. The resilience experiment uses this to measure how
+/// retry policies ride out scheduled downtime.
+pub fn planned_downtime_world(seed: u64, down: Vec<FaultWindow>) -> MailWorld {
+    let mut w = MailWorld::new(seed);
+    w.network
+        .host("smtp.victim.example")
+        .ip(VICTIM_DEAD_IP)
+        .port(SMTP_PORT, PortState::Closed)
+        .build();
+    w.network
+        .host("smtp1.victim.example")
+        .ip(VICTIM_MX_IP)
+        .smtp_open()
+        .availability(Availability::Windows { down })
+        .build();
+    w.install_server(ReceivingMta::new("smtp1.victim.example", VICTIM_MX_IP));
+    w.dns.publish(Zone::nolisting(victim_domain(), VICTIM_DEAD_IP, VICTIM_MX_IP));
+    w
+}
+
 /// A victim whose *only* defense is postscreen-style pregreet (early-talker)
 /// rejection — no delay is inflicted on anyone.
 pub fn pregreet_world(seed: u64) -> MailWorld {
@@ -120,6 +143,18 @@ mod tests {
         let gl = w.server(VICTIM_MX_IP).unwrap().greylist().unwrap();
         assert_eq!(gl.config().delay, SimDuration::from_secs(300));
         assert_eq!(gl.config().auto_whitelist_after, None);
+    }
+
+    #[test]
+    fn planned_downtime_world_times_out_inside_windows_only() {
+        use spamward_sim::SimTime;
+        let window = FaultWindow::new(SimTime::from_secs(600), SimTime::from_secs(1200));
+        let mut w = planned_downtime_world(3, vec![window]);
+        assert!(w.network.connect_at(VICTIM_MX_IP, SMTP_PORT, 0, SimTime::ZERO).is_ok());
+        assert!(w.network.connect_at(VICTIM_MX_IP, SMTP_PORT, 0, SimTime::from_secs(600)).is_err());
+        assert!(w.network.connect_at(VICTIM_MX_IP, SMTP_PORT, 0, SimTime::from_secs(1200)).is_ok());
+        // The dead primary stays dead regardless of the schedule.
+        assert_eq!(w.network.probe(VICTIM_DEAD_IP, SMTP_PORT, 0), ProbeResult::Rst);
     }
 
     #[test]

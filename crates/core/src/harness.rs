@@ -28,7 +28,7 @@ use spamward_obs::Registry;
 
 use crate::experiments::{
     ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
-    mta_schedules, nolisting_adoption, summary, variance, webmail,
+    mta_schedules, nolisting_adoption, resilience, summary, variance, webmail,
 };
 
 /// How big an experiment run should be.
@@ -407,7 +407,7 @@ pub trait Experiment: Sync {
 /// This is the single source of truth: the CLI, the benches, the
 /// completeness test and DESIGN.md's per-experiment index all derive from
 /// this list.
-pub static REGISTRY: [&dyn Experiment; 15] = [
+pub static REGISTRY: [&dyn Experiment; 16] = [
     &dataset::Table1Experiment,
     &nolisting_adoption::AdoptionExperiment,
     &efficacy::EfficacyExperiment,
@@ -423,6 +423,7 @@ pub static REGISTRY: [&dyn Experiment; 15] = [
     &costs::CostsExperiment,
     &longterm::LongTermExperiment,
     &variance::VarianceExperiment,
+    &resilience::ResilienceExperiment,
 ];
 
 /// The full registry, in canonical order.

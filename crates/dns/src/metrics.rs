@@ -28,6 +28,20 @@ pub const RCODE_SERVFAIL: &str = "dns.rcode.servfail";
 pub const IMPLICIT_MX_FALLBACK: &str = "dns.resolve.implicit_mx_fallback";
 /// Queries the authoritative server answered (all resolvers combined).
 pub const AUTHORITY_SERVED: &str = "dns.authority.queries_served";
+/// Resolutions forced to SERVFAIL by an injected DNS outage window.
+pub const FAULT_SERVFAIL: &str = "net.fault.dns.servfail";
+/// Resolutions that paid the slow-resolver surcharge.
+pub const FAULT_SLOWED: &str = "net.fault.dns.slowed";
+
+/// Exports injected-fault counters. Only call when a plan is installed (the
+/// MTA world collector gates on [`Resolver::faults`]); fault-free runs keep
+/// their exact metric composition.
+///
+/// [`Resolver::faults`]: crate::Resolver::faults
+pub fn collect_resolver_faults(stats: &spamward_net::faults::DnsFaultStats, reg: &mut Registry) {
+    reg.record_counter(FAULT_SERVFAIL, stats.servfails);
+    reg.record_counter(FAULT_SLOWED, stats.slowed);
+}
 
 /// Exports resolver statistics under the canonical `dns.*` names.
 pub fn collect_resolver(stats: &ResolverStats, reg: &mut Registry) {

@@ -3,6 +3,7 @@
 use crate::authority::{Authority, Rcode};
 use crate::name::DomainName;
 use crate::record::{RecordData, RecordType};
+use spamward_net::faults::DnsFaults;
 use spamward_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,6 +108,7 @@ pub struct ResolverStats {
 pub struct Resolver {
     cache: HashMap<(DomainName, RecordType), CacheEntry>,
     stats: ResolverStats,
+    faults: Option<DnsFaults>,
     /// Lifetime of cached negative answers.
     pub negative_ttl: SimDuration,
 }
@@ -117,6 +119,7 @@ impl Resolver {
         Resolver {
             cache: HashMap::new(),
             stats: ResolverStats::default(),
+            faults: None,
             negative_ttl: SimDuration::from_mins(5),
         }
     }
@@ -124,6 +127,28 @@ impl Resolver {
     /// Cache/query statistics so far.
     pub fn stats(&self) -> ResolverStats {
         self.stats
+    }
+
+    /// Installs DNS faults (a compiled plan's `dns` half). Until this is
+    /// called the resolver behaves exactly as if the fault layer did not
+    /// exist.
+    pub fn install_faults(&mut self, faults: DnsFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault state (with its fired-fault counters), if any.
+    pub fn faults(&self) -> Option<&DnsFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Extra resolution latency the slow-resolver fault charges at `now`
+    /// ([`SimDuration::ZERO`] when no fault is active). Callers that model
+    /// time spent resolving add this to their clock.
+    pub fn fault_extra_latency(&mut self, now: SimTime) -> SimDuration {
+        match &mut self.faults {
+            Some(f) => f.extra_latency(now),
+            None => SimDuration::ZERO,
+        }
     }
 
     /// Drops all cached entries.
@@ -229,6 +254,15 @@ impl Resolver {
         domain: &DomainName,
         now: SimTime,
     ) -> Result<Vec<MxHost>, ResolveError> {
+        if let Some(faults) = &mut self.faults {
+            if faults.servfail(now) {
+                // An injected SERVFAIL never reaches the authority and is
+                // not cached: the outage window, not the negative TTL,
+                // decides when resolution recovers.
+                self.stats.servfail += 1;
+                return Err(ResolveError::ServFail);
+            }
+        }
         let (rcode, answers) = self.query_cached(authority, domain, RecordType::Mx, now);
         match rcode {
             Rcode::ServFail => return Err(ResolveError::ServFail),
@@ -276,6 +310,31 @@ mod tests {
 
     fn ip(d: u8) -> Ipv4Addr {
         Ipv4Addr::new(192, 0, 2, d)
+    }
+
+    #[test]
+    fn injected_servfail_window_gates_resolution() {
+        use spamward_net::faults::{FaultPlan, FaultProfile};
+        let mut dns = Authority::new();
+        dns.publish(Zone::builder(name("foo.net")).mx(10, "mx1", ip(1)).build());
+        let mut r = Resolver::new();
+        // dns_degraded: SERVFAIL over [2min, 12min), slow resolver [0, 30min).
+        r.install_faults(FaultPlan::compile(&FaultProfile::dns_degraded(), 4).dns);
+        let at = |m: u64| SimTime::ZERO + SimDuration::from_mins(m);
+
+        assert!(r.resolve_mx(&mut dns, &name("foo.net"), at(0)).is_ok());
+        assert_eq!(r.resolve_mx(&mut dns, &name("foo.net"), at(5)), Err(ResolveError::ServFail));
+        // The injected failure is not negative-cached: the moment the window
+        // closes, resolution works again (the positive cache answers).
+        assert!(r.resolve_mx(&mut dns, &name("foo.net"), at(12)).is_ok());
+
+        assert_eq!(r.fault_extra_latency(at(20)), SimDuration::from_secs(2));
+        assert_eq!(r.fault_extra_latency(at(31)), SimDuration::ZERO);
+        let stats = r.faults().unwrap().stats;
+        assert_eq!(stats.servfails, 1);
+        assert_eq!(stats.slowed, 1);
+        // The forced SERVFAIL also lands in the ordinary resolver stats.
+        assert_eq!(r.stats().servfail, 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The rule catalog: determinism (D1–D3), panic-safety (P1–P2) and
-//! observability hygiene (O1).
+//! The rule catalog: determinism (D1–D3), panic-safety (P1–P2),
+//! observability hygiene (O1) and fault-injection hygiene (F1).
 //!
 //! Every rule here encodes a workspace-specific invariant the stock
 //! toolchain cannot express. The catalog is documented for contributors in
@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1", "S1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1", "S1", "F1"];
 
 /// The one module allowed to read the host clock: experiments must take
 /// time from the simulation scheduler, and the real-network transport
@@ -83,6 +83,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     check_p2(rel_path, source, &scanned, &mut out);
     check_o1(rel_path, source, &scanned, &mut out);
     check_s1(rel_path, source, &scanned, &mut out);
+    check_f1(rel_path, source, &scanned, &mut out);
     dedupe(out)
 }
 
@@ -415,6 +416,173 @@ fn check_s1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
     }
 }
 
+/// Files allowed to bind fault-injection literals: the fault catalog
+/// itself, per-crate metrics modules (which name the `net.fault.*` /
+/// `mta.breaker.*` / `greylist.degraded.*` exports), the instrumentation
+/// crate, the lint's own sources, and integration-test directories.
+fn f1_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/net/src/faults.rs"
+        || rel_path.starts_with("crates/obs/")
+        || rel_path.starts_with("crates/lint/")
+        || rel_path.ends_with("/metrics.rs")
+        || rel_path.ends_with("/obs.rs")
+        || rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+}
+
+/// Metric-name namespaces owned by the fault-injection layer; the leading
+/// quote restricts the scan to string literals, which the fully masked
+/// text blanks — so F1 scans a comments-only-blanked copy of the source.
+const F1_NAMESPACES: &[&str] = &["\"net.fault", "\"mta.breaker", "\"greylist.degraded"];
+
+/// The source with comment bytes blanked but string literals kept,
+/// byte-for-byte aligned: F1 must see quoted fault names in code while
+/// ignoring prose mentions of the same namespaces.
+fn blank_comments(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            // Step over string literals intact so a `//` inside one cannot
+            // open a phantom comment.
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            // Step over char literals so `'"'` cannot open a phantom
+            // string; a lone `'` (a lifetime) advances one byte.
+            b'\'' => {
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("blanked bytes are ascii spaces")
+}
+
+/// F1 — fault-injection literals outside `net::faults` / metrics modules.
+/// Fault probabilities scattered through product code are chaos parameters
+/// no profile sweep or doc can see, and inline `net.fault.*`-style name
+/// literals fork the observability contract the resilience experiment
+/// keys on. Probabilities belong in a [`FaultSpec`] inside the catalog;
+/// names belong as constants in the owning crate's `metrics.rs`.
+fn check_f1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if f1_exempt(rel_path) {
+        return;
+    }
+    let code = blank_comments(source);
+    for pat in F1_NAMESPACES {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(pat) {
+            let offset = from + pos;
+            from = offset + 1;
+            if scanned.in_test_region(offset) {
+                continue;
+            }
+            push(
+                out,
+                scanned,
+                source,
+                rel_path,
+                "F1",
+                offset,
+                format!(
+                    "fault metric name literal `{}…` — the fault-injection namespaces are \
+                     the observability contract; bind the name as a constant in the crate's \
+                     `metrics.rs` and import it",
+                    &pat[1..]
+                ),
+            );
+        }
+    }
+    // A `…prob:` field initialized with a numeric literal is a hard-coded
+    // chaos parameter. The masked text keeps numbers but blanks strings
+    // and comments, so prose mentions of probabilities cannot match.
+    let masked = &scanned.masked;
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find("prob") {
+        let offset = from + pos;
+        from = offset + 1;
+        let end = offset + "prob".len();
+        // The containing identifier must end exactly at `…prob`.
+        if bytes.get(end).is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_') {
+            continue;
+        }
+        // …and be initialized with a numeric literal (`prob: 0.3`), not a
+        // type ascription (`prob: f64`) or a forwarded value.
+        let rest = masked[end..].trim_start();
+        let Some(value) = rest.strip_prefix(':') else { continue };
+        if !value.trim_start().starts_with(|c: char| c.is_ascii_digit()) {
+            continue;
+        }
+        if scanned.in_test_region(offset) {
+            continue;
+        }
+        push(
+            out,
+            scanned,
+            source,
+            rel_path,
+            "F1",
+            offset,
+            "fault probability literal — declare it in a `FaultSpec` inside the \
+             `spamward_net::faults` catalog so profile sweeps and docs see it"
+                .to_string(),
+        );
+    }
+}
+
 /// Byte offset just past the first top-level comma after `open`, or `None`
 /// if the argument list closes first. Operates on masked text, so commas
 /// inside string literals are already blanked out.
@@ -685,5 +853,55 @@ mod tests {
         // `MyInstant::nowhere` must not trip D1.
         let src = "fn f() { MyInstant::nowhere(); }";
         assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f1_flags_fault_name_literals_outside_sanctioned_modules() {
+        let src = "const TRIPS: &str = \"mta.breaker.trips\";";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["F1"]);
+        // The fault catalog, metrics modules and the obs crate are exempt.
+        assert!(rules_hit("crates/net/src/faults.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/metrics.rs", src).is_empty());
+        assert!(rules_hit("crates/obs/src/registry.rs", src).is_empty());
+        // Importing the constant is the sanctioned form.
+        let clean = "use crate::metrics::BREAKER_TRIPS;\nfn f(reg: &Registry) { let _ = reg.counter(BREAKER_TRIPS); }";
+        assert!(rules_hit("crates/core/src/x.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn f1_covers_all_three_fault_namespaces() {
+        for name in ["net.fault.outage", "mta.breaker.trips", "greylist.degraded.fail_open"] {
+            let src = format!("fn f(reg: &Registry) {{ let _ = reg.counter(\"{name}\"); }}");
+            assert_eq!(rules_hit("crates/mta/src/x.rs", &src), vec!["F1"], "{name}");
+        }
+        // Neighboring namespaces are O1's business, not F1's.
+        let other = "const X: &str = \"smtp.cmd.total\";";
+        assert!(rules_hit("crates/core/src/x.rs", other).is_empty());
+    }
+
+    #[test]
+    fn f1_flags_probability_literals_but_not_ascriptions() {
+        let src = "fn f() -> Availability { Availability::Flaky { down_prob: 0.3 } }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["F1"]);
+        // Type ascriptions and forwarded values are not hard-coded chaos.
+        let decl = "pub struct S { pub down_prob: f64 }";
+        assert!(rules_hit("crates/core/src/x.rs", decl).is_empty());
+        let forwarded = "fn f(spec: &Spec) -> Availability { Availability::Flaky { down_prob: spec.down_prob } }";
+        assert!(rules_hit("crates/core/src/x.rs", forwarded).is_empty());
+        // `prob` mid-identifier is not a probability field.
+        let prose = "fn f() { let problem_count: u32 = 3; use_it(problem_count); }";
+        assert!(rules_hit("crates/core/src/x.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn f1_ignores_tests_and_comments() {
+        let src = "// documented as \"net.fault.boundary_events\" with prob: 0.5\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   let _ = (\"net.fault.x\", Availability::Flaky { down_prob: 0.9 });\n    }\n}";
+        assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+        // Integration-test directories are out of scope entirely.
+        let lit = "const X: &str = \"net.fault.outage_timeouts\";";
+        assert!(rules_hit("tests/determinism.rs", lit).is_empty());
+        assert!(rules_hit("crates/bench/tests/cli.rs", lit).is_empty());
     }
 }

@@ -1,0 +1,14 @@
+//! F1 fixture (clean): fault names flow through the crate's metrics
+//! constants and probabilities come from the fault catalog's specs.
+
+use crate::metrics::{BREAKER_TRIPS, FAULT_LINK_DROPPED, GREYLIST_DEGRADED_FAIL_OPEN};
+
+pub fn tally(reg: &Registry) -> u64 {
+    let dropped = reg.counter(FAULT_LINK_DROPPED).unwrap_or(0);
+    let degraded = reg.counter(GREYLIST_DEGRADED_FAIL_OPEN).unwrap_or(0);
+    dropped + degraded + reg.counter(BREAKER_TRIPS).unwrap_or(0)
+}
+
+pub fn flaky(spec: &FaultSpec) -> Availability {
+    Availability::Flaky { down_prob: spec.down_prob }
+}

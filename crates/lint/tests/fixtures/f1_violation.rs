@@ -1,0 +1,14 @@
+//! F1 fixture: fault-injection literals scattered through product code —
+//! metric names from the fault namespaces and a hard-coded probability.
+
+const TRIPS: &str = "mta.breaker.trips";
+
+pub fn tally(reg: &Registry) -> u64 {
+    let dropped = reg.counter("net.fault.link_dropped").unwrap_or(0);
+    let degraded = reg.counter("greylist.degraded.fail_open").unwrap_or(0);
+    dropped + degraded + reg.counter(TRIPS).unwrap_or(0)
+}
+
+pub fn flaky() -> Availability {
+    Availability::Flaky { down_prob: 0.25 }
+}

@@ -95,6 +95,17 @@ fn s1_fixture_pair() {
 }
 
 #[test]
+fn f1_fixture_pair() {
+    let hits = diags("crates/core/src/fixture.rs", "f1_violation.rs");
+    assert_eq!(hits.len(), 4, "three name literals plus the probability: {hits:?}");
+    assert!(hits.iter().all(|d| d.rule == "F1"), "{hits:?}");
+    assert!(diags("crates/core/src/fixture.rs", "f1_clean.rs").is_empty());
+    // The fault catalog and metrics modules own these literals.
+    assert!(diags("crates/net/src/faults.rs", "f1_violation.rs").is_empty());
+    assert!(diags("crates/core/src/metrics.rs", "f1_violation.rs").is_empty());
+}
+
+#[test]
 fn o1_allowlist_suppression() {
     let text = r#"
 [[allow]]

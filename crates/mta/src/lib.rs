@@ -33,11 +33,11 @@ mod world;
 pub mod worldsim;
 
 pub use log::{LogEvent, MtaLogEntry};
-pub use receive::{ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
+pub use receive::{DegradationMode, ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
 pub use schedule::{MtaProfile, RetrySchedule};
 pub use send::{
     AttemptRecord, BounceReason, BounceReport, IpSelection, OutboundStatus, QueuedMessage,
-    SendingMta,
+    RetryPolicy, SendingMta,
 };
 pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};
-pub use worldsim::{SenderActor, WorldSim};
+pub use worldsim::{ChaosActor, FaultActor, SenderActor, WorldSim};

@@ -20,6 +20,9 @@ pub const TRACE_DNS_MX: &str = "dns.mx";
 pub const TRACE_NET_FAIL: &str = "net.fail";
 /// Trace category: final SMTP outcome of a delivery attempt.
 pub const TRACE_SMTP_OUTCOME: &str = "smtp.outcome";
+/// Trace category: an injected fault fired (or a fault window boundary
+/// passed through the engine).
+pub const TRACE_FAULT: &str = "net.fault";
 
 /// Completed transactions (messages stored).
 pub const RECV_ACCEPTED: &str = "mta.receive.accepted";
@@ -53,6 +56,28 @@ pub const SEND_RETRY_SCHEDULE_SLOT: &str = "mta.send.retry.schedule_slot";
 pub const SEND_DELIVERY_DELAY_S: &str = "mta.send.delivery_delay_s";
 /// Trace events evicted (or discarded at capacity 0) by the world tracer.
 pub const WORLD_TRACE_DROPPED: &str = "mta.world.trace_dropped";
+
+/// Sessions an injected fault dropped after DATA.
+pub const FAULT_SMTP_DROP_AFTER_DATA: &str = "net.fault.smtp.drop_after_data";
+/// Sessions an injected fault greeted with 421 and closed.
+pub const FAULT_SMTP_SHUTDOWN_421: &str = "net.fault.smtp.shutdown_421";
+/// Sessions an injected fault held in a tarpit.
+pub const FAULT_SMTP_TARPIT: &str = "net.fault.smtp.tarpit";
+/// Fault window boundaries that fired as engine events.
+pub const FAULT_BOUNDARY_EVENTS: &str = "net.fault.boundary_events";
+
+/// Circuit-breaker trips (a destination went open after consecutive
+/// connect failures).
+pub const BREAKER_TRIPS: &str = "mta.breaker.trips";
+/// Delivery attempts skipped because the destination's breaker was open.
+pub const BREAKER_SKIPPED: &str = "mta.breaker.skipped_attempts";
+/// Retries pushed later than the paper schedule by resilient backoff.
+pub const BREAKER_BACKOFFS: &str = "mta.breaker.backoffs_applied";
+
+/// RCPTs accepted unchecked while the greylist store was down (fail-open).
+pub const GREYLIST_DEGRADED_FAIL_OPEN: &str = "greylist.degraded.fail_open";
+/// RCPTs tempfailed while the greylist store was down (fail-closed).
+pub const GREYLIST_DEGRADED_FAIL_CLOSED: &str = "greylist.degraded.fail_closed";
 
 /// Engine events executed across every episode driven on this world.
 pub const ENGINE_EVENTS: &str = "sim.engine.events";
@@ -94,6 +119,12 @@ pub fn collect_receiver(mta: &ReceivingMta, reg: &mut Registry) {
     if let Some(gl) = mta.greylist() {
         spamward_greylist::metrics::collect(gl, reg);
     }
+    // Degradation counters only exist once an outage schedule is installed,
+    // so fault-free runs keep their exact metric composition.
+    if mta.has_greylist_outage() {
+        reg.record_counter(GREYLIST_DEGRADED_FAIL_OPEN, stats.greylist_failed_open);
+        reg.record_counter(GREYLIST_DEGRADED_FAIL_CLOSED, stats.greylist_failed_closed);
+    }
 }
 
 /// Exports one sending MTA, deriving everything from its recorded
@@ -118,6 +149,12 @@ pub fn collect_sender(mta: &SendingMta, reg: &mut Registry) {
     reg.record_gauge(SEND_QUEUE_DEPTH, queued as i64);
     reg.record_histogram(SEND_RETRY_SCHEDULE_SLOT, &slots);
     reg.record_histogram(SEND_DELIVERY_DELAY_S, &delays);
+    // Breaker accounting exists only for MTAs running a resilience policy.
+    if mta.retry_policy().is_some() {
+        reg.record_counter(BREAKER_TRIPS, mta.breaker_trips());
+        reg.record_counter(BREAKER_SKIPPED, mta.breaker_skipped());
+        reg.record_counter(BREAKER_BACKOFFS, mta.backoffs_applied());
+    }
 }
 
 /// Exports a whole [`MailWorld`]: every installed server, the network, the
@@ -129,6 +166,15 @@ pub fn collect_world(world: &MailWorld, reg: &mut Registry) {
     spamward_net::metrics::collect(&world.network, reg);
     spamward_dns::metrics::collect_authority(&world.dns, reg);
     spamward_dns::metrics::collect_resolver(&world.resolver.stats(), reg);
+    if let Some(faults) = world.resolver.faults() {
+        spamward_dns::metrics::collect_resolver_faults(&faults.stats, reg);
+    }
+    if let Some(faults) = world.smtp_faults() {
+        reg.record_counter(FAULT_SMTP_DROP_AFTER_DATA, faults.stats.dropped_after_data);
+        reg.record_counter(FAULT_SMTP_SHUTDOWN_421, faults.stats.shutdown_421);
+        reg.record_counter(FAULT_SMTP_TARPIT, faults.stats.tarpitted);
+        reg.record_counter(FAULT_BOUNDARY_EVENTS, world.fault_boundaries());
+    }
     reg.record_counter(WORLD_TRACE_DROPPED, world.trace.dropped());
     collect_engine(world, reg);
 }

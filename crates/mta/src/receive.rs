@@ -3,6 +3,7 @@
 use crate::log::{anonymize, LogEvent, MtaLogEntry};
 use serde::{Deserialize, Serialize};
 use spamward_greylist::{Decision, Greylist, PassReason, TripletKey};
+use spamward_net::FaultWindow;
 use spamward_sim::SimTime;
 use spamward_smtp::metrics::SessionMetrics;
 use spamward_smtp::{
@@ -51,6 +52,30 @@ pub struct ReceiveStats {
     pub rcpt_passed: u64,
     /// Sessions rejected for talking before the banner.
     pub pregreet_rejected: u64,
+    /// RCPTs accepted *unchecked* because the greylist store was down and
+    /// the server degrades fail-open.
+    pub greylist_failed_open: u64,
+    /// RCPTs tempfailed because the greylist store was down and the server
+    /// degrades fail-closed.
+    pub greylist_failed_closed: u64,
+}
+
+/// What a greylisting server does when its triplet store is unavailable
+/// (injected via [`spamward_net::FaultSpec::GreylistStoreDown`]).
+///
+/// The trade-off is the classic one for any fail-stop dependency in the
+/// mail path: fail-open preserves delivery latency but admits the spam the
+/// greylist would have deferred; fail-closed preserves the filter guarantee
+/// but delays *all* mail, benign included. Both outcomes are counted
+/// separately (`greylist.degraded.*`) so experiments can price them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationMode {
+    /// Accept recipients unchecked while the store is down.
+    FailOpen,
+    /// Tempfail recipients while the store is down (what Postfix does when
+    /// a policy service dies) — the conservative default.
+    #[default]
+    FailClosed,
 }
 
 /// A message sitting in the victim mailbox.
@@ -91,6 +116,8 @@ pub struct ReceivingMta {
     recipients: RecipientPolicy,
     reject_pregreeters: bool,
     greylist: Option<Greylist>,
+    greylist_outage: Vec<FaultWindow>,
+    degradation: DegradationMode,
     mailbox: Vec<StoredMessage>,
     log: Vec<MtaLogEntry>,
     stats: ReceiveStats,
@@ -113,6 +140,8 @@ impl ReceivingMta {
             recipients: RecipientPolicy::AcceptAll,
             reject_pregreeters: false,
             greylist: None,
+            greylist_outage: Vec::new(),
+            degradation: DegradationMode::default(),
             mailbox: Vec::new(),
             log: Vec::new(),
             stats: ReceiveStats::default(),
@@ -139,6 +168,26 @@ impl ReceivingMta {
     pub fn with_pregreet_rejection(mut self) -> Self {
         self.reject_pregreeters = true;
         self
+    }
+
+    /// Sets what happens to RCPTs while the greylist store is down
+    /// (defaults to [`DegradationMode::FailClosed`]).
+    pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
+        self.degradation = mode;
+        self
+    }
+
+    /// Installs the windows during which the greylist store is unavailable
+    /// ([`crate::MailWorld::install_faults`] calls this with the plan's
+    /// `greylist_down` windows).
+    pub fn set_greylist_outage(&mut self, windows: Vec<FaultWindow>) {
+        self.greylist_outage = windows;
+    }
+
+    /// Whether an outage schedule is installed (not necessarily active
+    /// right now). Gates the `greylist.degraded.*` metric exports.
+    pub fn has_greylist_outage(&self) -> bool {
+        !self.greylist_outage.is_empty()
     }
 
     /// The server's hostname.
@@ -236,6 +285,28 @@ impl ServerPolicy for ReceivingMta {
             self.stats.rcpt_passed += 1;
             return PolicyDecision::Accept;
         };
+        // 2a. If the triplet store is down right now, the degradation
+        // policy answers instead of the greylist. Fail-open admits the
+        // recipient unchecked (no triplet is recorded — the store is
+        // unreachable); fail-closed defers like a greylist hit would, but
+        // with its own counter and reply, so the two 4xx populations stay
+        // distinguishable in the logs and metrics.
+        if self.greylist_outage.iter().any(|w| w.contains(now)) {
+            return match self.degradation {
+                DegradationMode::FailOpen => {
+                    self.stats.greylist_failed_open += 1;
+                    self.stats.rcpt_passed += 1;
+                    PolicyDecision::Accept
+                }
+                DegradationMode::FailClosed => {
+                    self.stats.greylist_failed_closed += 1;
+                    PolicyDecision::TempFail(Reply::single(
+                        codes::MAILBOX_UNAVAILABLE_TRANSIENT,
+                        "4.3.5 greylist store unavailable, try again later",
+                    ))
+                }
+            };
+        }
         let sender = tx.mail_from.clone().unwrap_or(spamward_smtp::ReversePath::Null);
         let key = TripletKey::new(tx.client_ip, &sender, rcpt, greylist.config().netmask);
         match greylist.check_with_rdns(now, tx.client_ip, tx.client_rdns.as_deref(), &sender, rcpt)
@@ -408,6 +479,55 @@ mod tests {
         let out = run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
         assert!(out.is_delivered());
         assert_eq!(mta.stats().pregreet_rejected, 1);
+    }
+
+    #[test]
+    fn greylist_store_outage_fail_closed_defers_with_its_own_counter() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))));
+        mta.set_greylist_outage(vec![FaultWindow::new(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        )]);
+        // During the outage: tempfail, but NOT counted as a greylist defer,
+        // and no triplet is recorded (the store is unreachable).
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(150));
+        assert!(out.is_retryable());
+        assert!(!out.is_delivered());
+        assert_eq!(mta.stats().greylist_failed_closed, 1);
+        assert_eq!(mta.stats().rcpt_greylisted, 0);
+        assert_eq!(mta.greylist().unwrap().store().len(), 0);
+        // After the outage the ordinary greylist takes over again.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(250));
+        assert!(out.is_retryable());
+        assert_eq!(mta.stats().rcpt_greylisted, 1);
+        assert_eq!(mta.greylist().unwrap().store().len(), 1);
+    }
+
+    #[test]
+    fn greylist_store_outage_fail_open_admits_unchecked() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))))
+            .with_degradation(DegradationMode::FailOpen);
+        mta.set_greylist_outage(vec![FaultWindow::new(SimTime::ZERO, SimTime::from_secs(100))]);
+        // A first-contact triplet that the greylist would have deferred
+        // sails straight into the mailbox.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(10));
+        assert!(out.is_delivered());
+        assert_eq!(mta.stats().greylist_failed_open, 1);
+        assert_eq!(mta.mailbox().len(), 1);
+        assert_eq!(mta.greylist().unwrap().store().len(), 0, "store was down, nothing recorded");
+        // Outside the window the greylist is back in charge.
+        let out = run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(150));
+        assert!(!out.is_delivered());
+        assert_eq!(mta.stats().rcpt_greylisted, 1);
+    }
+
+    #[test]
+    fn no_outage_schedule_means_no_degradation_path() {
+        let mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::default()));
+        assert!(!mta.has_greylist_outage());
     }
 
     #[test]

@@ -335,6 +335,45 @@ mod tests {
         let _ = MtaProfile::sendmail().schedule.nth_retry_at(0);
     }
 
+    #[test]
+    fn zero_horizon_yields_no_retries_for_any_profile() {
+        // No Table IV schedule retries at t = 0: the initial delivery is
+        // attempt 0 and the first *retry* is always strictly later.
+        for p in MtaProfile::table_iv() {
+            assert!(
+                p.schedule.retries_within(SimDuration::ZERO).is_empty(),
+                "{}: a zero horizon must contain no retries",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_exactly_on_a_retry_instant_includes_it() {
+        // retries_within is inclusive at the right edge: a horizon that
+        // lands exactly on the n-th retry keeps that retry as its last
+        // element, and shrinking the horizon by one microsecond drops it.
+        for p in MtaProfile::table_iv() {
+            let first = p.schedule.nth_retry_at(1).unwrap();
+            assert_eq!(
+                p.schedule.retries_within(first),
+                vec![first],
+                "{}: horizon == first retry must include exactly that retry",
+                p.name
+            );
+            assert!(
+                p.schedule.retries_within(first - SimDuration::from_micros(1)).is_empty(),
+                "{}: horizon just below the first retry must exclude it",
+                p.name
+            );
+
+            let fifth = p.schedule.nth_retry_at(5).unwrap();
+            let within = p.schedule.retries_within(fifth);
+            assert_eq!(within.len(), 5, "{}: five retries at-or-before the fifth", p.name);
+            assert_eq!(within.last(), Some(&fifth), "{}: boundary retry included", p.name);
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_schedules_strictly_increase(n in 1u32..200) {

@@ -6,6 +6,7 @@ use crate::worldsim::{SenderActor, WorldSim};
 use spamward_dns::DomainName;
 use spamward_sim::{DetRng, SimDuration, SimTime};
 use spamward_smtp::{Dialect, EmailAddress, Envelope, Message, ReversePath};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -61,6 +62,59 @@ pub enum IpSelection {
     RoundRobin,
     /// Pick uniformly at random per attempt.
     RandomPerAttempt,
+}
+
+/// Resilience knobs layered *on top of* an [`MtaProfile`]'s retry
+/// schedule (Table IV stays authoritative for the baseline cadence).
+///
+/// Two mechanisms, both per-destination and both deterministic:
+///
+/// * **Bounded exponential backoff** — when an attempt fails at the
+///   *connection* level (every candidate MX unreachable), the next retry
+///   is pushed to at least `now + base·2^(attempt−1)` (capped at
+///   `backoff_cap`) plus a jittered fraction of that backoff. The jitter
+///   is a pure function of (sender seed, message id, attempt number), so
+///   identical runs produce identical queues.
+/// * **Circuit breaker** — after `breaker_threshold` *consecutive*
+///   connection failures to one destination domain, the breaker opens and
+///   attempts to that domain are skipped (not counted as attempts) until
+///   `breaker_cooldown` elapses. Greylist tempfails and SMTP-level aborts
+///   never trip it: the TCP handshake succeeded, so the destination is
+///   alive and backing off would only delay legitimate mail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First-failure backoff floor.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Jitter as a fraction of the computed backoff (0.0 disables it).
+    pub jitter_frac: f64,
+    /// Consecutive connection failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker holds attempts off.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The reference resilient configuration used by the `resilience`
+    /// experiment: 30 s base doubling to a 10 min cap with 25 % jitter,
+    /// breaker opening after 3 consecutive connect failures for 5 min.
+    pub fn resilient() -> Self {
+        RetryPolicy {
+            backoff_base: SimDuration::from_secs(30),
+            backoff_cap: SimDuration::from_mins(10),
+            jitter_frac: 0.25,
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// Per-destination breaker state (keyed by destination domain).
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<SimTime>,
 }
 
 /// Lifecycle of a queued message.
@@ -161,6 +215,11 @@ pub struct SendingMta {
     bounces: Vec<BounceReport>,
     next_id: u64,
     rr_cursor: usize,
+    retry_policy: Option<RetryPolicy>,
+    breakers: BTreeMap<String, Breaker>,
+    breaker_trips: u64,
+    breaker_skipped: u64,
+    backoffs_applied: u64,
     rng: DetRng,
 }
 
@@ -183,6 +242,11 @@ impl SendingMta {
             bounces: Vec::new(),
             next_id: 0,
             rr_cursor: 0,
+            retry_policy: None,
+            breakers: BTreeMap::new(),
+            breaker_trips: 0,
+            breaker_skipped: 0,
+            backoffs_applied: 0,
             rng: DetRng::seed(0xB0B).fork("sending-mta"),
         }
     }
@@ -203,6 +267,34 @@ impl SendingMta {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.rng = DetRng::seed(seed).fork("sending-mta");
         self
+    }
+
+    /// Layers a [`RetryPolicy`] (backoff + circuit breaker) on the
+    /// profile's schedule. Without one, behavior is byte-identical to the
+    /// baseline sender.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
+    /// The resilience policy, if one was installed.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry_policy.as_ref()
+    }
+
+    /// How many times a per-destination breaker opened.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips
+    }
+
+    /// Attempts skipped because the destination's breaker was open.
+    pub fn breaker_skipped(&self) -> u64 {
+        self.breaker_skipped
+    }
+
+    /// Retries whose schedule slot was pushed back by exponential backoff.
+    pub fn backoffs_applied(&self) -> u64 {
+        self.backoffs_applied
     }
 
     /// The sender's name.
@@ -327,6 +419,26 @@ impl SendingMta {
             {
                 continue;
             }
+
+            // An open breaker holds the attempt entirely: no connection, no
+            // attempt count, no schedule consumption — the message simply
+            // waits for the cooldown to lapse.
+            if self.retry_policy.is_some() {
+                let key = self.queue[idx].domain.to_string();
+                if let Some(breaker) = self.breakers.get_mut(&key) {
+                    match breaker.open_until {
+                        Some(open_until) if now < open_until => {
+                            self.queue[idx].next_attempt_at = open_until;
+                            self.breaker_skipped += 1;
+                            continue;
+                        }
+                        // Cooldown elapsed: half-open, let one attempt probe.
+                        Some(_) => breaker.open_until = None,
+                        None => {}
+                    }
+                }
+            }
+
             let source_ip = self.pick_source();
             let item = &mut self.queue[idx];
             item.attempts += 1;
@@ -349,8 +461,26 @@ impl SendingMta {
                 message,
             );
 
-            let item = &mut self.queue[idx];
             let delivered = report.outcome.is_delivered();
+            let conn_failed = report.connection_failed();
+            if let Some(policy) = self.retry_policy {
+                let key = domain.to_string();
+                if conn_failed {
+                    let breaker = self.breakers.entry(key).or_default();
+                    breaker.consecutive_failures += 1;
+                    if breaker.consecutive_failures >= policy.breaker_threshold {
+                        breaker.open_until = Some(now + policy.breaker_cooldown);
+                        breaker.consecutive_failures = 0;
+                        self.breaker_trips += 1;
+                    }
+                } else {
+                    // Any completed SMTP exchange (even a greylist 450)
+                    // proves the destination reachable again.
+                    self.breakers.remove(&key);
+                }
+            }
+
+            let item = &mut self.queue[idx];
             produced.push(AttemptRecord {
                 message_id: item.id,
                 attempt: attempt_no,
@@ -377,7 +507,29 @@ impl SendingMta {
             // Schedule the next retry, or expire.
             match self.profile.schedule.nth_retry_at(attempt_no) {
                 Some(offset) if offset <= self.profile.max_queue_time => {
-                    self.queue[idx].next_attempt_at = self.queue[idx].enqueued_at + offset;
+                    let mut next = self.queue[idx].enqueued_at + offset;
+                    if conn_failed {
+                        if let Some(policy) = self.retry_policy {
+                            // Bounded exponential backoff, floored at `now`:
+                            // base·2^(n−1) capped, plus deterministic jitter
+                            // keyed on (sender seed, message id, attempt).
+                            let exp = (attempt_no - 1).min(16);
+                            let backoff =
+                                (policy.backoff_base * (1u64 << exp)).min(policy.backoff_cap);
+                            let mut jitter_rng = self
+                                .rng
+                                .fork("retry.jitter")
+                                .fork_idx("msg", self.queue[idx].id)
+                                .fork_idx("attempt", u64::from(attempt_no));
+                            let jitter = backoff * (policy.jitter_frac * jitter_rng.unit_f64());
+                            let floor = now + backoff + jitter;
+                            if floor > next {
+                                next = floor;
+                                self.backoffs_applied += 1;
+                            }
+                        }
+                    }
+                    self.queue[idx].next_attempt_at = next;
                 }
                 _ => {
                     self.queue[idx].status = OutboundStatus::Expired;
@@ -405,6 +557,11 @@ impl SendingMta {
             bounces: Vec::new(),
             next_id: 0,
             rr_cursor: 0,
+            retry_policy: None,
+            breakers: BTreeMap::new(),
+            breaker_trips: 0,
+            breaker_skipped: 0,
+            backoffs_applied: 0,
             rng: DetRng::seed(0).fork("parked"),
         }
     }
@@ -647,6 +804,112 @@ mod tests {
     #[should_panic(expected = "at least one source IP")]
     fn empty_pool_panics() {
         let _ = SendingMta::new("x", vec![], MtaProfile::postfix());
+    }
+
+    /// A world whose MX resolves to an address nothing listens on: every
+    /// attempt dies at the connection stage.
+    fn dead_destination_world(seed: u64) -> MailWorld {
+        let mut w = MailWorld::new(seed);
+        w.dns.publish(Zone::single_mx(domain(), Ipv4Addr::new(192, 0, 2, 10)));
+        w
+    }
+
+    #[test]
+    fn breaker_opens_skips_and_half_open_probes() {
+        let mut w = dead_destination_world(23);
+        let policy = RetryPolicy {
+            backoff_base: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(1),
+            jitter_frac: 0.0,
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::from_hours(2),
+        };
+        let mut s = sender(MtaProfile::postfix()).with_retry_policy(policy);
+        submit_one(&mut s, SimTime::ZERO);
+        assert_eq!(s.run_due(SimTime::ZERO, &mut w).len(), 1);
+        let t1 = s.next_due().unwrap();
+        s.run_due(t1, &mut w); // second consecutive connect failure
+        assert_eq!(s.breaker_trips(), 1);
+
+        let t2 = s.next_due().unwrap();
+        let skipped = s.run_due(t2, &mut w);
+        assert!(skipped.is_empty(), "open breaker must hold the attempt");
+        assert_eq!(s.breaker_skipped(), 1);
+        assert_eq!(s.records().len(), 2, "a skip is not an attempt");
+
+        let t3 = s.next_due().unwrap();
+        assert_eq!(t3, t1 + SimDuration::from_hours(2), "skip reschedules to cooldown end");
+        let probe = s.run_due(t3, &mut w);
+        assert_eq!(probe.len(), 1, "half-open breaker lets one probe through");
+        assert_eq!(s.breaker_trips(), 1, "one probe failure does not instantly re-trip");
+    }
+
+    #[test]
+    fn connection_failures_apply_bounded_backoff() {
+        let mut w = dead_destination_world(25);
+        let policy = RetryPolicy {
+            backoff_base: SimDuration::from_mins(30),
+            backoff_cap: SimDuration::from_hours(2),
+            jitter_frac: 0.0,
+            breaker_threshold: 100,
+            breaker_cooldown: SimDuration::from_mins(5),
+        };
+        let mut s = sender(MtaProfile::postfix()).with_retry_policy(policy);
+        submit_one(&mut s, SimTime::ZERO);
+        s.run_due(SimTime::ZERO, &mut w);
+        assert_eq!(s.backoffs_applied(), 1);
+        assert_eq!(s.next_due(), Some(SimTime::ZERO + SimDuration::from_mins(30)));
+        // Second failure doubles the floor relative to its own "now".
+        let t1 = SimTime::ZERO + SimDuration::from_mins(30);
+        s.run_due(t1, &mut w);
+        assert_eq!(s.backoffs_applied(), 2);
+        assert_eq!(s.next_due(), Some(t1 + SimDuration::from_hours(1)));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            backoff_base: SimDuration::from_mins(30),
+            backoff_cap: SimDuration::from_hours(2),
+            jitter_frac: 0.5,
+            breaker_threshold: 100,
+            breaker_cooldown: SimDuration::from_mins(5),
+        };
+        let run = || {
+            let mut w = dead_destination_world(27);
+            let mut s = sender(MtaProfile::postfix()).with_retry_policy(policy).with_seed(9);
+            submit_one(&mut s, SimTime::ZERO);
+            s.run_due(SimTime::ZERO, &mut w);
+            s.next_due().unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "jitter must be a pure function of seed, id and attempt");
+        assert!(a >= SimTime::ZERO + SimDuration::from_mins(30));
+        assert!(a <= SimTime::ZERO + SimDuration::from_mins(45), "jitter stays within frac");
+    }
+
+    #[test]
+    fn greylist_tempfail_never_trips_the_breaker() {
+        let (mut w, mx) = world_with_greylist(300);
+        let policy = RetryPolicy { breaker_threshold: 1, ..RetryPolicy::resilient() };
+        let mut s = sender(MtaProfile::postfix()).with_retry_policy(policy);
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        assert_eq!(s.breaker_trips(), 0, "a completed SMTP exchange proves the host alive");
+        assert_eq!(s.backoffs_applied(), 0, "greylist deferrals keep the Table IV cadence");
+        assert_eq!(s.records().len(), 2);
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 1);
+    }
+
+    #[test]
+    fn without_a_policy_counters_stay_zero() {
+        let (mut w, _) = world_with_greylist(300);
+        let mut s = sender(MtaProfile::postfix());
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+        assert!(s.retry_policy().is_none());
+        assert_eq!(s.breaker_trips() + s.breaker_skipped() + s.backoffs_applied(), 0);
     }
 
     #[test]

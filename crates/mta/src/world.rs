@@ -1,9 +1,12 @@
 //! The glue tying DNS, the network and receiving servers into one world.
 
-use crate::metrics::{TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME};
+use crate::metrics::{
+    TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_FAULT, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
+};
 use crate::receive::ReceivingMta;
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
-use spamward_net::{Network, SMTP_PORT};
+use spamward_net::faults::TARPIT_HOLD;
+use spamward_net::{FaultPlan, Network, SmtpAbortKind, SmtpFaults, SMTP_PORT};
 use spamward_sim::trace::Tracer;
 use spamward_sim::{DetRng, EngineStats, SimDuration, SimTime};
 use spamward_smtp::{
@@ -83,6 +86,19 @@ impl AttemptReport {
             time_spent: SimDuration::ZERO,
         }
     }
+
+    /// Whether this attempt failed *at the transport*: every exchanger
+    /// tried ended in a connect error and no SMTP session ever ran. This is
+    /// the signal the per-destination circuit breaker
+    /// ([`crate::send::RetryPolicy`]) counts — SMTP-level tempfails
+    /// (greylisting, mid-session aborts) do not trip it, because the
+    /// destination host demonstrably answered.
+    pub fn connection_failed(&self) -> bool {
+        !self.outcome.is_delivered()
+            && self.outcome.is_retryable()
+            && !self.mx_trail.is_empty()
+            && self.mx_trail.iter().all(|a| a.connect_error.is_some())
+    }
 }
 
 /// The simulated mail internet: network + DNS + receiving servers.
@@ -140,6 +156,8 @@ pub struct MailWorld {
     /// [`spamward_sim::RunOutcome::BudgetExhausted`]. `None` = unlimited.
     pub event_budget: Option<u64>,
     servers: BTreeMap<Ipv4Addr, ReceivingMta>,
+    smtp_faults: Option<SmtpFaults>,
+    fault_boundaries: u64,
     rng: DetRng,
 }
 
@@ -155,8 +173,43 @@ impl MailWorld {
             engine_stats: EngineStats::default(),
             event_budget: None,
             servers: BTreeMap::new(),
+            smtp_faults: None,
+            fault_boundaries: 0,
             rng: DetRng::seed(seed).fork("mailworld"),
         }
+    }
+
+    /// Installs a compiled fault plan, distributing its halves to the
+    /// network (outages, link loss, latency spikes), the resolver (SERVFAIL
+    /// and slow-resolver windows), the SMTP exchange path (mid-session
+    /// aborts) and every *already installed* receiving server (greylist
+    /// store outages) — install servers before faults.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.network.install_faults(plan.net.clone());
+        self.resolver.install_faults(plan.dns.clone());
+        self.smtp_faults = Some(plan.smtp.clone());
+        for server in self.servers.values_mut() {
+            server.set_greylist_outage(plan.greylist_down.clone());
+        }
+    }
+
+    /// The installed SMTP-abort fault state (with its counters), if any.
+    pub fn smtp_faults(&self) -> Option<&SmtpFaults> {
+        self.smtp_faults.as_ref()
+    }
+
+    /// Records that a fault window opened or closed at `now`. The fault
+    /// actor ([`crate::worldsim::FaultActor`]) calls this from inside
+    /// engine events, so window edges are ordered through the engine queue
+    /// like every other occurrence.
+    pub fn note_fault_boundary(&mut self, now: SimTime) {
+        self.fault_boundaries += 1;
+        self.trace.record(now, TRACE_FAULT, "fault window boundary".to_owned());
+    }
+
+    /// How many fault window boundaries have fired as engine events.
+    pub fn fault_boundaries(&self) -> u64 {
+        self.fault_boundaries
     }
 
     /// Enables delivery tracing (bounded recorder; see
@@ -206,11 +259,16 @@ impl MailWorld {
         envelope: Envelope,
         message: Message,
     ) -> AttemptReport {
+        // A slow-resolver fault charges its surcharge whether or not the
+        // lookup succeeds; the sender pays it before anything else happens.
+        let dns_extra = self.resolver.fault_extra_latency(now);
         let mxs = match self.resolver.resolve_mx(&mut self.dns, domain, now) {
             Ok(mxs) => mxs,
             Err(e) => {
                 self.trace.record(now, TRACE_DNS_FAIL, format!("{domain}: {e}"));
-                return AttemptReport::resolve_failed(e, envelope.recipients());
+                let mut report = AttemptReport::resolve_failed(e, envelope.recipients());
+                report.time_spent = dns_extra;
+                return report;
             }
         };
         self.trace.record(now, TRACE_DNS_MX, format!("{domain}: {} exchanger(s)", mxs.len()));
@@ -220,7 +278,7 @@ impl MailWorld {
             self.dns.resolve_ptr(envelope.client_ip()).map(|n| n.to_string());
         let candidates = strategy.candidates(&mxs, &mut self.rng);
         let mut trail = Vec::new();
-        let mut time_spent = SimDuration::ZERO;
+        let mut time_spent = dns_extra;
 
         for cand in candidates {
             // Rank in the preference-sorted set, not in strategy order — a
@@ -235,7 +293,7 @@ impl MailWorld {
                 });
                 continue;
             };
-            match self.network.connect(ip, SMTP_PORT, self.epoch) {
+            match self.network.connect_at(ip, SMTP_PORT, self.epoch, now) {
                 Err(err) => {
                     let rtt = SimDuration::from_millis(100);
                     time_spent += err.client_cost(rtt);
@@ -257,6 +315,36 @@ impl MailWorld {
                         ip: Some(ip),
                         connect_error: None,
                     });
+                    // An injected mid-session abort kills the session after
+                    // the handshake: the client pays the flavour's cost and
+                    // sees a transient failure; nothing is stored.
+                    if let Some(faults) = &mut self.smtp_faults {
+                        if let Some(kind) = faults.abort(ip, now) {
+                            let (label, cost) = match kind {
+                                // One round trip: greeting, 421, close.
+                                SmtpAbortKind::Shutdown421 => {
+                                    ("421 service shutting down", conn.rtt)
+                                }
+                                // The dialogue ran up through DATA before
+                                // the carpet was pulled: about six exchanges.
+                                SmtpAbortKind::DropAfterData => {
+                                    ("connection dropped after DATA", conn.rtt * 6)
+                                }
+                                // The client hangs on a silent server until
+                                // its own patience runs out.
+                                SmtpAbortKind::Tarpit => ("tarpitted", TARPIT_HOLD + conn.rtt),
+                            };
+                            time_spent += cost;
+                            self.trace.record(
+                                now,
+                                TRACE_FAULT,
+                                format!("{} ({ip}): {label}", cand.name),
+                            );
+                            let outcome =
+                                DeliveryOutcome::connect_failed(envelope.recipients(), true);
+                            return AttemptReport { outcome, mx_trail: trail, time_spent };
+                        }
+                    }
                     let Some(server_mta) = self.servers.get_mut(&ip) else {
                         // Port open but nothing we manage behind it (e.g. a
                         // population host): treat as transient.

@@ -23,6 +23,7 @@
 
 use crate::send::SendingMta;
 use crate::world::MailWorld;
+use spamward_net::FaultPlan;
 use spamward_sim::{Actor, ActorSim, RunOutcome, SimTime, Wake};
 
 /// Runs single-driver engine episodes against a [`MailWorld`].
@@ -42,6 +43,29 @@ impl WorldSim {
         first_wake: SimTime,
         horizon: Option<SimTime>,
     ) -> (A, RunOutcome, SimTime) {
+        let (mut actors, outcome, end) =
+            WorldSim::episode_with(world, vec![(actor, first_wake)], horizon);
+        // Exactly one actor was registered above.
+        (actors.swap_remove(0), outcome, end)
+    }
+
+    /// Runs several actors of one type as a single engine episode.
+    ///
+    /// This is the multi-driver form of [`WorldSim::episode`]: every
+    /// `(actor, first_wake)` pair is registered before the engine starts,
+    /// so same-instant wake-ups across actors interleave in registration
+    /// order (the engine's FIFO guarantee). A fault timeline
+    /// ([`FaultActor`]) can thereby fire its window boundaries in the same
+    /// event stream as the delivery attempts it perturbs — which is what
+    /// makes serial and `--jobs N` runs see identical fault sequences.
+    ///
+    /// Returns the actors (in registration order), the episode outcome,
+    /// and the final virtual clock.
+    pub fn episode_with<A: Actor<MailWorld> + 'static>(
+        world: &mut MailWorld,
+        actors: Vec<(A, SimTime)>,
+        horizon: Option<SimTime>,
+    ) -> (Vec<A>, RunOutcome, SimTime) {
         let owned = std::mem::replace(world, MailWorld::new(0));
         let remaining = owned.event_budget.map(|t| t.saturating_sub(owned.engine_stats.events));
         let mut sim = ActorSim::new(owned);
@@ -51,16 +75,16 @@ impl WorldSim {
         if let Some(budget) = remaining {
             sim = sim.with_event_budget(budget);
         }
-        sim.add_actor(actor, first_wake);
+        for (actor, first_wake) in actors {
+            sim.add_actor(actor, first_wake);
+        }
         let outcome = sim.run();
         let end = sim.now();
         let stats = sim.stats();
-        let (mut episode_world, mut actors) = sim.into_parts();
+        let (mut episode_world, actors) = sim.into_parts();
         episode_world.engine_stats.merge(&stats);
         *world = episode_world;
-        // Exactly one actor was registered above.
-        let actor = actors.swap_remove(0);
-        (actor, outcome, end)
+        (actors, outcome, end)
     }
 }
 
@@ -94,5 +118,177 @@ impl Actor<MailWorld> for SenderActor {
             Some(due) => Wake::At(due),
             None => Wake::Idle,
         }
+    }
+}
+
+/// The fault timeline as an actor: wakes at every window boundary of the
+/// installed [`FaultPlan`] and stamps it on the world
+/// ([`MailWorld::note_fault_boundary`]).
+///
+/// Fault *decisions* are pure functions of identity and virtual time (see
+/// `spamward_net::faults`), so this actor carries no randomness — its job
+/// is to make window edges visible as engine events: they land in the
+/// trace, in the actor-event tally, and in `net.fault.boundary_events`,
+/// giving serial and parallel runs one auditable fault sequence.
+pub struct FaultActor {
+    boundaries: Vec<SimTime>,
+    cursor: usize,
+}
+
+impl FaultActor {
+    /// Builds the boundary timeline from a compiled plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultActor { boundaries: plan.boundaries(), cursor: 0 }
+    }
+
+    /// The first boundary, if the plan has any windows at all.
+    pub fn first_wake(&self) -> Option<SimTime> {
+        self.boundaries.first().copied()
+    }
+}
+
+impl Actor<MailWorld> for FaultActor {
+    fn name(&self) -> &str {
+        crate::metrics::TRACE_FAULT
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        // Consume every boundary at or before `now` (the first wake-up may
+        // be scheduled past several early edges).
+        while self.cursor < self.boundaries.len() && self.boundaries[self.cursor] <= now {
+            self.cursor += 1;
+        }
+        world.note_fault_boundary(now);
+        match self.boundaries.get(self.cursor) {
+            Some(&next) => Wake::At(next),
+            None => Wake::Idle,
+        }
+    }
+}
+
+/// A heterogeneous cast for fault-injection episodes: [`ActorSim`] runs
+/// actors of one type, so the sender and the fault timeline wrap into
+/// this enum to share a single event stream.
+pub enum ChaosActor {
+    /// A sending MTA's retry timer (boxed: it owns the whole queue).
+    Sender(Box<SenderActor>),
+    /// The fault plan's window-boundary timer.
+    Faults(FaultActor),
+}
+
+impl Actor<MailWorld> for ChaosActor {
+    fn name(&self) -> &str {
+        match self {
+            ChaosActor::Sender(a) => a.name(),
+            ChaosActor::Faults(a) => a.name(),
+        }
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        match self {
+            ChaosActor::Sender(a) => a.wake(now, world),
+            ChaosActor::Faults(a) => a.wake(now, world),
+        }
+    }
+}
+
+impl WorldSim {
+    /// Drains `mta`'s queue with the world's fault timeline running in the
+    /// same episode: the [`FaultActor`] built from `plan` and the sender
+    /// share one event stream, so every window edge is an engine event
+    /// ordered against the delivery attempts it affects.
+    ///
+    /// Call [`MailWorld::install_faults`] with the same plan first — this
+    /// only drives the *timeline*; the installed fault state is what the
+    /// network, resolver and servers actually consult. Returns the
+    /// drained MTA, the episode outcome, and the final virtual clock.
+    pub fn drain_with_faults(
+        world: &mut MailWorld,
+        mta: SendingMta,
+        plan: &FaultPlan,
+        start: SimTime,
+        horizon: Option<SimTime>,
+    ) -> (SendingMta, RunOutcome, SimTime) {
+        let fault_actor = FaultActor::new(plan);
+        let first_fault = fault_actor.first_wake();
+        let first_send = mta.next_due().unwrap_or(start).max(start);
+        let mut cast = vec![(ChaosActor::Sender(Box::new(SenderActor::new(mta))), first_send)];
+        if let Some(at) = first_fault {
+            cast.push((ChaosActor::Faults(fault_actor), at));
+        }
+        let (actors, outcome, end) = WorldSim::episode_with(world, cast, horizon);
+        let mut mta = None;
+        for actor in actors {
+            if let ChaosActor::Sender(a) = actor {
+                mta = Some(a.into_inner());
+            }
+        }
+        // The sender was registered above; it always comes back.
+        (mta.expect("sender actor survives the episode"), outcome, end.max(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receive::ReceivingMta;
+    use crate::schedule::MtaProfile;
+    use spamward_dns::Zone;
+    use spamward_net::FaultProfile;
+    use spamward_smtp::{Message, ReversePath};
+    use std::net::Ipv4Addr;
+
+    fn seeded_world() -> (MailWorld, Ipv4Addr) {
+        let mut world = MailWorld::new(31);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        world.install_server(ReceivingMta::new("mail.foo.net", mx));
+        world.dns.publish(Zone::single_mx("foo.net".parse().unwrap(), mx));
+        (world, mx)
+    }
+
+    fn one_message_mta() -> SendingMta {
+        let mut mta = SendingMta::new(
+            "relay.example",
+            vec![Ipv4Addr::new(198, 51, 100, 1)],
+            MtaProfile::postfix(),
+        );
+        mta.submit(
+            "foo.net".parse().unwrap(),
+            ReversePath::Address("a@relay.example".parse().unwrap()),
+            vec!["u@foo.net".parse().unwrap()],
+            Message::builder().body("x").build(),
+            SimTime::ZERO,
+        );
+        mta
+    }
+
+    #[test]
+    fn fault_timeline_shares_the_event_stream_with_the_sender() {
+        let (mut world, mx) = seeded_world();
+        let plan = FaultPlan::compile(&FaultProfile::dns_degraded(), 7);
+        world.install_faults(&plan);
+        let n_boundaries = plan.boundaries().len() as u64;
+        let (mta, _outcome, _end) =
+            WorldSim::drain_with_faults(&mut world, one_message_mta(), &plan, SimTime::ZERO, None);
+        assert_eq!(mta.queue()[0].status, crate::send::OutboundStatus::Delivered);
+        assert_eq!(world.server(mx).unwrap().mailbox().len(), 1);
+        assert_eq!(
+            world.fault_boundaries(),
+            n_boundaries,
+            "every window edge must surface as an engine event"
+        );
+        assert!(world.engine_stats.actor_events.contains_key("net.fault"));
+        assert!(world.engine_stats.actor_events.contains_key("mta.send"));
+    }
+
+    #[test]
+    fn empty_plan_adds_no_fault_actor() {
+        let (mut world, _) = seeded_world();
+        let plan = FaultPlan::compile(&FaultProfile::none(), 7);
+        let (mta, _outcome, _end) =
+            WorldSim::drain_with_faults(&mut world, one_message_mta(), &plan, SimTime::ZERO, None);
+        assert_eq!(mta.queue()[0].status, crate::send::OutboundStatus::Delivered);
+        assert_eq!(world.fault_boundaries(), 0);
+        assert!(!world.engine_stats.actor_events.contains_key("net.fault"));
     }
 }

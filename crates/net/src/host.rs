@@ -1,7 +1,7 @@
 //! Hosts: named machines owning IPs, ports, and an availability model.
 
 use serde::{Deserialize, Serialize};
-use spamward_sim::DetRng;
+use spamward_sim::{DetRng, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -38,7 +38,7 @@ pub enum PortState {
 }
 
 /// Whether a host is reachable at all, possibly varying per scan epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Availability {
     /// Always reachable.
     Up,
@@ -53,19 +53,39 @@ pub enum Availability {
         /// Probability the host is unreachable in a given epoch.
         down_prob: f64,
     },
+    /// Down exactly during the listed virtual-time windows — *planned*
+    /// downtime (maintenance, a scheduled reboot), as opposed to `Flaky`'s
+    /// random flapping. Outside every window the host is up. Scan-epoch
+    /// checks ([`Availability::is_up`]) treat a windowed host as up, since
+    /// epochs carry no instant; time-aware paths use
+    /// [`Availability::is_up_at`].
+    Windows {
+        /// The intervals during which the host is unreachable.
+        down: Vec<crate::FaultWindow>,
+    },
 }
 
 impl Availability {
     /// Whether the host is up in `epoch`, deterministically derived from the
     /// host's stable seed.
     pub fn is_up(&self, host_seed: u64, epoch: u64) -> bool {
-        match *self {
-            Availability::Up => true,
+        match self {
+            Availability::Up | Availability::Windows { .. } => true,
             Availability::Down => false,
             Availability::Flaky { down_prob } => {
                 let mut rng = DetRng::seed(host_seed).fork_idx("availability", epoch);
-                !rng.chance(down_prob)
+                !rng.chance(*down_prob)
             }
+        }
+    }
+
+    /// Whether the host is up in `epoch` *at* virtual instant `now`. For
+    /// `Up`/`Down`/`Flaky` this is exactly [`Availability::is_up`]; for
+    /// `Windows` the instant decides.
+    pub fn is_up_at(&self, host_seed: u64, epoch: u64, now: SimTime) -> bool {
+        match self {
+            Availability::Windows { down } => !down.iter().any(|w| w.contains(now)),
+            other => other.is_up(host_seed, epoch),
         }
     }
 }
@@ -115,6 +135,12 @@ impl Host {
     /// Whether the host is reachable in `epoch`.
     pub fn is_up(&self, epoch: u64) -> bool {
         self.availability.is_up(self.seed, epoch)
+    }
+
+    /// Whether the host is reachable in `epoch` at virtual instant `now`
+    /// (respects [`Availability::Windows`] planned downtime).
+    pub fn is_up_at(&self, epoch: u64, now: SimTime) -> bool {
+        self.availability.is_up_at(self.seed, epoch, now)
     }
 
     /// Reconfigures a port at runtime (e.g. an admin opening port 25).
@@ -220,6 +246,37 @@ mod tests {
         assert!(per_epoch.iter().any(|&b| !b), "never down across 64 epochs");
         let other_host: Vec<bool> = (0..64).map(|e| a.is_up(8, e)).collect();
         assert_ne!(per_epoch, other_host, "different hosts share flap pattern");
+    }
+
+    #[test]
+    fn windows_availability_follows_the_schedule() {
+        use crate::FaultWindow;
+        use spamward_sim::SimDuration;
+        let maintenance = Availability::Windows {
+            down: vec![
+                FaultWindow::new(SimTime::from_secs(60), SimTime::from_secs(120)),
+                FaultWindow::new(SimTime::from_secs(600), SimTime::from_secs(660)),
+            ],
+        };
+        // Epoch-only checks (scanner view) see the host as up.
+        assert!(maintenance.is_up(1, 0));
+        // Time-aware checks respect the schedule, on any epoch/seed.
+        for (seed, epoch) in [(1, 0), (9, 4)] {
+            assert!(maintenance.is_up_at(seed, epoch, SimTime::ZERO));
+            assert!(!maintenance.is_up_at(seed, epoch, SimTime::from_secs(60)));
+            assert!(!maintenance.is_up_at(seed, epoch, SimTime::from_secs(119)));
+            assert!(maintenance.is_up_at(seed, epoch, SimTime::from_secs(120)));
+            assert!(!maintenance.is_up_at(seed, epoch, SimTime::from_secs(630)));
+            assert!(maintenance.is_up_at(seed, epoch, SimTime::from_secs(661)));
+        }
+        // The other variants answer is_up_at exactly like is_up.
+        let t = SimTime::ZERO + SimDuration::from_mins(3);
+        assert!(Availability::Up.is_up_at(1, 0, t));
+        assert!(!Availability::Down.is_up_at(1, 0, t));
+        let flaky = Availability::Flaky { down_prob: 0.5 };
+        for epoch in 0..8 {
+            assert_eq!(flaky.is_up_at(42, epoch, t), flaky.is_up(42, epoch));
+        }
     }
 
     #[test]

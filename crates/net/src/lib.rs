@@ -25,12 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 mod host;
 mod ip;
 mod latency;
 pub mod metrics;
 mod network;
 
+pub use faults::{
+    DnsFaults, FaultPlan, FaultProfile, FaultSpec, FaultWindow, NetFaults, SmtpAbortKind,
+    SmtpFaults,
+};
 pub use host::{Availability, Host, HostBuilder, HostId, PortState};
 pub use ip::{net24, IpPool};
 pub use latency::LatencyModel;

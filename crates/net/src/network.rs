@@ -1,8 +1,9 @@
 //! The network registry and its connection/probe semantics.
 
+use crate::faults::NetFaults;
 use crate::host::{Availability, Host, HostBuilder, HostId, PortState};
 use crate::latency::LatencyModel;
-use spamward_sim::{DetRng, SimDuration};
+use spamward_sim::{DetRng, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -102,6 +103,7 @@ pub struct Network {
     connects_timed_out: u64,
     connects_no_route: u64,
     probes_sent: std::cell::Cell<u64>,
+    faults: Option<NetFaults>,
     /// How long clients wait on a filtered port before giving up.
     pub syn_timeout: SimDuration,
 }
@@ -120,6 +122,7 @@ impl Network {
             connects_timed_out: 0,
             connects_no_route: 0,
             probes_sent: std::cell::Cell::new(0),
+            faults: None,
             syn_timeout: SimDuration::from_secs(30),
         }
     }
@@ -159,6 +162,18 @@ impl Network {
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
         self
+    }
+
+    /// Installs network-level faults (a compiled plan's `net` half). Until
+    /// this is called the network behaves exactly as if the fault layer did
+    /// not exist — same results, same RNG draw order.
+    pub fn install_faults(&mut self, faults: NetFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault state (with its fired-fault counters), if any.
+    pub fn faults(&self) -> Option<&NetFaults> {
+        self.faults.as_ref()
     }
 
     /// Starts building a host named `name`.
@@ -270,14 +285,43 @@ impl Network {
         port: u16,
         epoch: u64,
     ) -> Result<Connection, ConnectError> {
+        self.connect_at(ip, port, epoch, SimTime::ZERO)
+    }
+
+    /// [`Network::connect`] with a virtual instant: planned-downtime windows
+    /// ([`Availability::Windows`]) and installed faults (outages, link loss,
+    /// latency spikes) are evaluated at `now`. Fault decisions are pure
+    /// functions of `(plan seed, ip, now)`, so they cannot perturb the
+    /// latency RNG stream — a faulted and a fault-free run sample RTTs in
+    /// the same order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::connect`]; fault-swallowed SYNs surface as
+    /// [`ConnectError::TimedOut`] (a lost SYN is indistinguishable from a
+    /// filtered port).
+    pub fn connect_at(
+        &mut self,
+        ip: Ipv4Addr,
+        port: u16,
+        epoch: u64,
+        now: SimTime,
+    ) -> Result<Connection, ConnectError> {
         self.connects_attempted += 1;
-        let rtt = self.latency.sample(&mut self.rng);
+        let mut rtt = self.latency.sample(&mut self.rng);
         let Some(&id) = self.by_ip.get(&ip) else {
             self.connects_no_route += 1;
             return Err(ConnectError::NoRoute);
         };
-        let host = self.get(id);
-        if !host.is_up(epoch) {
+        let host = &self.hosts[id.0 as usize];
+        if let Some(faults) = &mut self.faults {
+            if faults.host_out(&host.name, now) || faults.link_drop(ip, now) {
+                self.connects_timed_out += 1;
+                return Err(ConnectError::TimedOut { waited: self.syn_timeout });
+            }
+            rtt += faults.extra_latency(now);
+        }
+        if !host.is_up_at(epoch, now) {
             // A down host looks like a filtered port from the outside.
             self.connects_timed_out += 1;
             return Err(ConnectError::TimedOut { waited: self.syn_timeout });
@@ -402,6 +446,73 @@ mod tests {
         let before = net.probes_sent();
         net.probe(open, SMTP_PORT, 0);
         assert_eq!(net.probes_sent(), before + 1);
+    }
+
+    #[test]
+    fn installed_faults_swallow_syns_and_spike_latency() {
+        use crate::faults::{FaultPlan, FaultProfile};
+        let mins = |m: u64| SimTime::ZERO + SimDuration::from_mins(m);
+        let mut net = Network::new(1).with_latency(LatencyModel::Zero);
+        let addr = ip(192, 0, 2, 10);
+        net.host("mail.victim.example").ip(addr).smtp_open().build();
+        // Without faults the host accepts at any instant.
+        assert!(net.connect_at(addr, SMTP_PORT, 0, mins(1)).is_ok());
+
+        let plan = FaultPlan::compile(&FaultProfile::flaky_net(), 5);
+        net.install_faults(plan.net);
+        // Inside the outage window every SYN vanishes (timeout, not refusal).
+        assert!(matches!(
+            net.connect_at(addr, SMTP_PORT, 0, mins(1)),
+            Err(ConnectError::TimedOut { .. })
+        ));
+        let stats = net.faults().unwrap().stats;
+        assert_eq!(stats.outage_timeouts, 1);
+        // Past every window the connection goes back to succeeding, and the
+        // latency-spike window adds its surcharge onto the sampled RTT.
+        let conn = net.connect_at(addr, SMTP_PORT, 0, mins(45)).unwrap();
+        assert_eq!(conn.rtt, SimDuration::ZERO, "Zero latency model, no spike at 45min");
+        // (The spike window [5,15) overlaps the outage [0,22), so a spiked
+        // RTT is only observable via the counter here.)
+        assert_eq!(net.faults().unwrap().stats.latency_spiked, 0);
+    }
+
+    #[test]
+    fn windowed_downtime_times_out_during_the_window_only() {
+        use crate::FaultWindow;
+        let mut net = Network::new(1).with_latency(LatencyModel::Zero);
+        let addr = ip(192, 0, 2, 20);
+        let window = FaultWindow::new(SimTime::from_secs(100), SimTime::from_secs(200));
+        net.host("maint.example")
+            .ip(addr)
+            .smtp_open()
+            .availability(Availability::Windows { down: vec![window] })
+            .build();
+        assert!(net.connect_at(addr, SMTP_PORT, 0, SimTime::from_secs(50)).is_ok());
+        assert!(matches!(
+            net.connect_at(addr, SMTP_PORT, 0, SimTime::from_secs(150)),
+            Err(ConnectError::TimedOut { .. })
+        ));
+        assert!(net.connect_at(addr, SMTP_PORT, 0, SimTime::from_secs(200)).is_ok());
+        // Epoch-only `connect` evaluates at t=0, outside the window.
+        assert!(net.connect(addr, SMTP_PORT, 0).is_ok());
+    }
+
+    #[test]
+    fn fault_layer_does_not_perturb_the_latency_stream() {
+        use crate::faults::{FaultPlan, FaultProfile};
+        let run = |faulted: bool| -> Vec<SimDuration> {
+            let mut net = Network::new(9);
+            let addr = ip(192, 0, 2, 30);
+            net.host("stable.example").ip(addr).smtp_open().build();
+            if faulted {
+                // flaky_net's windows end by 40min; connect at 50min so every
+                // attempt succeeds and we can read its sampled RTT.
+                net.install_faults(FaultPlan::compile(&FaultProfile::flaky_net(), 5).net);
+            }
+            let at = SimTime::ZERO + SimDuration::from_mins(50);
+            (0..8).map(|_| net.connect_at(addr, SMTP_PORT, 0, at).unwrap().rtt).collect()
+        };
+        assert_eq!(run(false), run(true), "installing faults changed RNG draw order");
     }
 
     #[test]

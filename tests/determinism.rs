@@ -164,6 +164,54 @@ fn world_driven_experiments_run_on_the_engine() {
     }
 }
 
+/// A compiled fault plan is part of the reproducibility contract: the
+/// same (profile, seed) must yield identical window timelines whether
+/// plans are compiled serially or across the crossbeam pool — this is
+/// what lets serial and `--jobs N` runs see the same fault sequence.
+#[test]
+fn fault_plans_compile_identically_serial_and_parallel() {
+    use spamward::net::{FaultPlan, FaultProfile};
+    let seeds: Vec<u64> = (0..6).collect();
+    let compile_all = |jobs: usize| {
+        run_seeds(&seeds, jobs, |seed| {
+            FaultProfile::catalog()
+                .iter()
+                .map(|p| format!("{:?}", FaultPlan::compile(p, seed)))
+                .collect::<Vec<String>>()
+        })
+    };
+    let serial = compile_all(1);
+    let parallel = compile_all(4);
+    assert_eq!(serial, parallel, "worker count changed a compiled fault plan");
+    // And the plans are seed-sensitive: the chaos is seeded, not fixed.
+    assert_ne!(serial[0].output, serial[1].output, "seed change had no effect on any plan");
+}
+
+/// The resilience sweep drives every fault profile — including
+/// `all_faults`, where outages, link loss, DNS failures, SMTP aborts and
+/// greylist-store downtime all overlap — and must complete without a
+/// panic at any seed, byte-stable between serial and parallel execution.
+#[test]
+fn resilience_sweep_survives_all_faults_at_any_seed() {
+    let exp = harness::find("resilience").expect("registered");
+    for seed in [1, 2, 3] {
+        let config = HarnessConfig { seed: Some(seed), scale: Scale::Quick, ..Default::default() };
+        let render = |_: u64| exp.run(&config).unwrap().to_json();
+        let serial = run_seeds(&[0], 1, render);
+        let parallel = run_seeds(&[0, 1], 4, |_| exp.run(&config).unwrap().to_json());
+        assert_eq!(serial[0].output, parallel[0].output, "seed {seed}: parallel bytes differ");
+        let report = exp.run(&config).unwrap();
+        for counter in
+            ["net.fault.link_dropped", "mta.breaker.trips", "greylist.degraded.fail_open"]
+        {
+            assert!(
+                report.metrics().counter(counter).unwrap_or(0) > 0,
+                "seed {seed}: {counter} not exercised"
+            );
+        }
+    }
+}
+
 /// Re-running the same traced scenario with the same seed must replay the
 /// *exact* same event trace — not just the same aggregate numbers. This
 /// pins the rendered trace (timestamps, categories, details) byte for

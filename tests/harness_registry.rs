@@ -72,6 +72,7 @@ fn registry_ids_are_unique_and_stable() {
             "costs",
             "longterm",
             "variance",
+            "resilience",
         ]
     );
 }
