@@ -39,8 +39,9 @@ impl ConfidenceInterval {
             return None;
         }
         let n = clean.len();
-        let mean = clean.iter().sum::<f64>() / n as f64;
-        let var = clean.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let mean = crate::reduce::ordered_sum(clean.iter().copied()) / n as f64;
+        let var =
+            crate::reduce::ordered_sum(clean.iter().map(|v| (v - mean).powi(2))) / (n as f64 - 1.0);
         let std_dev = var.sqrt();
         let half_width = z * std_dev / (n as f64).sqrt();
         Some(ConfidenceInterval { n, mean, std_dev, half_width })

@@ -12,6 +12,8 @@
 //!   ([`AsciiTable`] remains as an alias).
 //! * [`Series`] — CSV/JSON series for external plotting.
 //! * [`json`] — canonical JSON primitives shared by all report serializers.
+//! * [`reduce`] — order-pinned f64 reduction ([`reduce::ordered_sum`]);
+//!   the only sanctioned way to fold floats in experiment code (lint `C2`).
 //! * [`log`] — the anonymized greylist-log analyzer that reconstructs
 //!   per-triplet delivery delays (the paper's university-deployment
 //!   methodology behind Fig. 5).
@@ -25,6 +27,7 @@ mod hist;
 pub mod json;
 pub mod log;
 pub mod plot;
+pub mod reduce;
 mod series;
 mod stats;
 mod table;

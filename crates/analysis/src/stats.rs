@@ -31,7 +31,7 @@ impl Summary {
             return None;
         }
         let clean: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
-        let mean = clean.iter().sum::<f64>() / clean.len() as f64;
+        let mean = crate::reduce::ordered_sum(clean.iter().copied()) / clean.len() as f64;
         Some(Summary {
             n: cdf.len(),
             mean,

@@ -1,0 +1,83 @@
+//! Wall-time budget for the two-pass lint over the full workspace.
+//!
+//! The linter runs on every CI push and locally as a tier-1 gate, so its
+//! cost is a tax on every iteration. Baseline numbers are recorded in
+//! `crates/bench/BENCH_lint.json`; re-run with
+//! `cargo bench -p spamward-bench --bench lint` after touching
+//! `crates/lint/src/{lexer,model,rules,rules_xfile}.rs`. CI builds this
+//! bench (`cargo bench --no-run`) so the harness cannot rot.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // not protocol-path code
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    spamward_lint::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace")
+}
+
+/// End-to-end lint of the real workspace: walk, read, build the model,
+/// run per-file and cross-file rules, apply the allowlist.
+fn bench_full_workspace(c: &mut Criterion) {
+    let root = workspace_root();
+    let files = spamward_lint::walk::workspace_files(&root).expect("walk").len() as u64;
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(files));
+    g.bench_function("full_workspace", |b| {
+        b.iter(|| {
+            let report = spamward_lint::lint_workspace(&root).expect("lint runs");
+            assert!(report.files_scanned > 50);
+            report
+        })
+    });
+    g.finish();
+}
+
+/// Pass-1 model construction alone (sources pre-loaded): the marginal
+/// cost the semantic model added on top of the per-file scan.
+fn bench_model_build(c: &mut Criterion) {
+    let root = workspace_root();
+    let sources: Vec<(String, String)> = spamward_lint::walk::workspace_files(&root)
+        .expect("walk")
+        .iter()
+        .map(|rel| {
+            let text = std::fs::read_to_string(root.join(rel)).expect("readable source");
+            (spamward_lint::walk::rel_str(rel), text)
+        })
+        .collect();
+    let mut g = c.benchmark_group("lint");
+    g.throughput(Throughput::Elements(sources.len() as u64));
+    g.bench_function("model_build", |b| {
+        b.iter(|| {
+            let model =
+                spamward_lint::WorkspaceModel::from_sources(sources.clone(), Vec::new(), None);
+            assert!(model.files.len() > 50);
+            model
+        })
+    });
+    g.finish();
+}
+
+/// Pass-2 cross-file rules alone against a pre-built model.
+fn bench_xfile_rules(c: &mut Criterion) {
+    let root = workspace_root();
+    let sources: Vec<(String, String)> = spamward_lint::walk::workspace_files(&root)
+        .expect("walk")
+        .iter()
+        .map(|rel| {
+            let text = std::fs::read_to_string(root.join(rel)).expect("readable source");
+            (spamward_lint::walk::rel_str(rel), text)
+        })
+        .collect();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let model = spamward_lint::WorkspaceModel::from_sources(sources, Vec::new(), design);
+    let mut g = c.benchmark_group("lint");
+    g.bench_function("xfile_rules", |b| {
+        b.iter(|| spamward_lint::rules_xfile::check_workspace(&model))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_workspace, bench_model_build, bench_xfile_rules);
+criterion_main!(benches);

@@ -113,7 +113,7 @@ impl AdaptiveBot {
                 }
             };
             let chain = ChainActor {
-                name: "botnet.adaptive",
+                name: crate::metrics::ACTOR_BOTNET_ADAPTIVE,
                 hosts: self.hosts.clone(),
                 host_cursor,
                 dialect: self.dialect.clone(),

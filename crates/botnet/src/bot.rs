@@ -208,7 +208,7 @@ impl BotSample {
                 }
             };
             let chain = ChainActor {
-                name: "botnet.chain",
+                name: crate::metrics::ACTOR_BOTNET_CHAIN,
                 hosts: vec![self.ip],
                 host_cursor: 0,
                 dialect: dialect.clone(),

@@ -18,6 +18,12 @@ pub const PREFIX_FAILED: &str = "botnet.failed";
 /// Connection attempts per MX preference rank (`rank0` = primary).
 pub const PREFIX_MX_RANK: &str = "botnet.mx_rank";
 
+/// Actor name of a fixed-dialect bot chain on the engine — the suffix its
+/// episode histogram gets under `sim.engine.episode_events.`.
+pub const ACTOR_BOTNET_CHAIN: &str = "botnet.chain";
+/// Actor name of the adaptive (dialect-switching) bot chain.
+pub const ACTOR_BOTNET_ADAPTIVE: &str = "botnet.adaptive";
+
 /// Canonical metric-name segment for a family: lowercase alphanumerics,
 /// runs of anything else collapsed to `_` ("Darkmailer(v3)" → `darkmailer_v3`).
 pub fn family_slug(family: MalwareFamily) -> String {

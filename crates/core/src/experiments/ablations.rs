@@ -18,6 +18,7 @@
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
+use spamward_analysis::reduce::ordered_sum;
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_greylist::{Greylist, GreylistConfig, TripletStore};
@@ -60,7 +61,7 @@ pub fn threshold_sweep(seed: u64) -> Vec<ThresholdPoint> {
         .iter()
         .map(|&threshold| {
             // Spam side: run each family once.
-            let mut blocked = 0.0;
+            let mut blocked_parts = Vec::new();
             for family in MalwareFamily::ALL {
                 let mut world = worlds::greylist_world(seed, threshold);
                 let mut bot = BotSample::new(family, 0, Ipv4Addr::new(203, 0, 113, 10));
@@ -73,9 +74,10 @@ pub fn threshold_sweep(seed: u64) -> Vec<ThresholdPoint> {
                     SimTime::from_secs(200_000),
                 );
                 if !report.any_delivered() {
-                    blocked += family.botnet_spam_pct();
+                    blocked_parts.push(family.botnet_spam_pct());
                 }
             }
+            let blocked = ordered_sum(blocked_parts);
             // Benign side: a postfix sender's delivery delay.
             let mut world = worlds::greylist_world(seed, threshold);
             let mut sender = SendingMta::new(

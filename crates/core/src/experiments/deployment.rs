@@ -13,6 +13,7 @@
 use crate::experiments::worlds::{self, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::log::GreylistLogAnalysis;
+use spamward_analysis::reduce::ordered_sum;
 use spamward_analysis::{plot, Cdf, Series};
 use spamward_dns::DomainName;
 use spamward_greylist::{Greylist, GreylistConfig};
@@ -146,7 +147,7 @@ fn build_traffic(config: &DeploymentConfig) -> Vec<(SimTime, SendingMta)> {
     let domain: DomainName = DEPLOYMENT_DOMAIN.parse().expect("valid deployment domain");
     let mut rng = DetRng::seed(config.seed).fork("deployment");
     let providers = WebmailProvider::table_iii();
-    let mta_weight: f64 = config.mix.mtas.iter().map(|(_, w)| w).sum();
+    let mta_weight: f64 = ordered_sum(config.mix.mtas.iter().map(|(_, w)| *w));
     let total_weight =
         mta_weight + config.mix.webmail + config.mix.hourly_script + config.mix.no_retry_script;
 

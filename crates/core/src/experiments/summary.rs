@@ -7,6 +7,7 @@
 
 use crate::experiments::efficacy::EfficacyExperiment;
 use crate::harness::{self, Experiment, HarnessConfig, HarnessError, Report};
+use spamward_analysis::reduce::ordered_sum;
 use spamward_analysis::Table;
 use spamward_botnet::{MalwareFamily, BOTNET_FRACTION_OF_GLOBAL_SPAM};
 use spamward_obs::Registry;
@@ -52,15 +53,16 @@ pub fn run_with_obs(
     };
 
     let mut rows = Vec::new();
-    let mut either = 0.0;
+    let mut either_parts = Vec::new();
     for family in MalwareFamily::ALL {
         let nl = blocks("nolisting", family);
         let gl = blocks("greylisting", family);
         if nl || gl {
-            either += family.botnet_spam_pct();
+            either_parts.push(family.botnet_spam_pct());
         }
         rows.push((family.name().to_owned(), family.botnet_spam_pct(), nl, gl));
     }
+    let either = ordered_sum(either_parts);
     Ok(SummaryResult {
         nolisting_botnet_pct: report
             .scalar("nolisting blocked (% of botnet spam)")

@@ -171,6 +171,16 @@ fn validate(entry: &AllowEntry) -> Result<(), AllowlistError> {
             ),
         });
     }
+    // A1 reports this file's own stale entries; allowing it would let the
+    // allowlist suppress its own rot detection.
+    if entry.rule == "A1" {
+        return Err(AllowlistError {
+            line: entry.defined_at,
+            message: "rule \"A1\" (stale allow entry) cannot itself be allowlisted — \
+                      remove the stale entry instead"
+                .into(),
+        });
+    }
     Ok(())
 }
 
@@ -242,6 +252,13 @@ justification = "lookup-only map, never iterated for output"
         let text = "[[allow]]\nrule = \"Z9\"\npath = \"a.rs\"\njustification = \"x\"\n";
         let err = Allowlist::parse(text).expect_err("must fail");
         assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn a1_cannot_be_allowlisted() {
+        let text = "[[allow]]\nrule = \"A1\"\npath = \"lint-allow.toml\"\njustification = \"x\"\n";
+        let err = Allowlist::parse(text).expect_err("must fail");
+        assert!(err.message.contains("A1"), "{err}");
     }
 
     #[test]

@@ -53,8 +53,25 @@ impl ScannedFile {
     }
 }
 
+/// Replaces comment bytes with spaces but keeps string/char literals
+/// intact, byte-for-byte aligned with the original.
+///
+/// Rules that must *see* quoted names in code (F1 fault namespaces, the
+/// O2 metric-literal resolution) scan this view, so prose mentions of the
+/// same names in comments cannot match. Raw strings, nested block
+/// comments and escaped quotes are handled exactly as in [`ScannedFile`]'s
+/// full mask; the only difference is which side of the literal boundary
+/// gets blanked.
+pub fn mask_comments_only(source: &str) -> String {
+    mask_with(source, false)
+}
+
 /// Replaces comment and string/char-literal bytes with spaces.
 fn mask(source: &str) -> String {
+    mask_with(source, true)
+}
+
+fn mask_with(source: &str, blank_literals: bool) -> String {
     let bytes = source.as_bytes();
     let mut out = bytes.to_vec();
     let mut i = 0;
@@ -118,32 +135,40 @@ fn mask(source: &str) -> String {
                         Some(_) => j += 1,
                     }
                 }
-                for b in &mut out[i..j.min(bytes.len())] {
-                    if *b != b'\n' {
-                        *b = b' ';
+                if blank_literals {
+                    for b in &mut out[i..j.min(bytes.len())] {
+                        if *b != b'\n' {
+                            *b = b' ';
+                        }
                     }
                 }
                 i = j;
             }
             b'"' => {
-                out[i] = b' ';
+                if blank_literals {
+                    out[i] = b' ';
+                }
                 i += 1;
                 while i < bytes.len() {
                     match bytes[i] {
                         b'\\' => {
-                            out[i] = b' ';
-                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
-                                out[i + 1] = b' ';
+                            if blank_literals {
+                                out[i] = b' ';
+                                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                    out[i + 1] = b' ';
+                                }
                             }
                             i += 2;
                         }
                         b'"' => {
-                            out[i] = b' ';
+                            if blank_literals {
+                                out[i] = b' ';
+                            }
                             i += 1;
                             break;
                         }
                         b => {
-                            if b != b'\n' {
+                            if blank_literals && b != b'\n' {
                                 out[i] = b' ';
                             }
                             i += 1;
@@ -155,8 +180,10 @@ fn mask(source: &str) -> String {
                 // Char literal vs lifetime. A char literal closes with a
                 // quote within a few bytes; a lifetime never closes.
                 if let Some(len) = char_literal_len(bytes, i) {
-                    for b in &mut out[i..i + len] {
-                        *b = b' ';
+                    if blank_literals {
+                        for b in &mut out[i..i + len] {
+                            *b = b' ';
+                        }
                     }
                     i += len;
                 } else {
@@ -233,6 +260,34 @@ fn utf8_len(first: u8) -> usize {
         b if b >= 0xE0 => 3,
         _ => 2,
     }
+}
+
+/// Finds boundary-checked occurrences of `pat` in `masked`: the byte before
+/// must not be an identifier character (path separators `:` are allowed so
+/// qualified forms still match), and the byte after must not continue an
+/// identifier.
+pub fn find_token(masked: &str, pat: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let first = pat.as_bytes()[0];
+        let ok_before = !(first.is_ascii_alphanumeric() || first == b'_') || start == 0 || {
+            let b = bytes[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let last = pat.as_bytes()[pat.len() - 1];
+        let ok_after = !(last.is_ascii_alphanumeric() || last == b'_')
+            || end >= bytes.len()
+            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if ok_before && ok_after {
+            hits.push(start);
+        }
+        from = start + 1;
+    }
+    hits
 }
 
 /// Locates `#[cfg(test)]`- and `#[test]`-covered byte ranges in masked text.
@@ -346,6 +401,32 @@ mod tests {
         let s = ScannedFile::scan(src);
         assert!(s.in_test_region(s.masked.find("x()").unwrap()));
         assert!(!s.in_test_region(s.masked.find("y()").unwrap()));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_impl_block() {
+        let src = "struct S;\n#[cfg(test)]\nimpl S {\n    fn helper(&self) { h(); }\n}\nfn prod() { p(); }\n";
+        let s = ScannedFile::scan(src);
+        assert!(s.in_test_region(s.masked.find("h()").unwrap()));
+        assert!(!s.in_test_region(s.masked.find("p()").unwrap()));
+    }
+
+    #[test]
+    fn comments_only_mask_keeps_literals() {
+        let src = "let x = \"net.fault.a\"; // \"net.fault.b\"\n/* \"net.fault.c\" */ let y = r#\"net.fault.d\"#;";
+        let code = mask_comments_only(src);
+        assert!(code.contains("\"net.fault.a\""), "{code}");
+        assert!(code.contains("net.fault.d"), "{code}");
+        assert!(!code.contains("net.fault.b"), "{code}");
+        assert!(!code.contains("net.fault.c"), "{code}");
+        assert_eq!(code.len(), src.len(), "byte alignment preserved");
+    }
+
+    #[test]
+    fn comments_only_mask_survives_comment_markers_inside_strings() {
+        let src = "let url = \"http://x\"; still_code();";
+        let code = mask_comments_only(src);
+        assert!(code.contains("still_code()"), "{code}");
     }
 
     #[test]

@@ -1,20 +1,49 @@
-//! CLI driver: `cargo run -p spamward-lint [--quiet] [ROOT]`.
+//! CLI driver: `cargo run -p spamward-lint [--quiet] [--json] [ROOT]`,
+//! plus `--explain RULE` to print one rule's rationale.
 //!
-//! Exit status: 0 clean, 1 violations or stale allowlist entries, 2 the
-//! lint itself failed (unreadable files, malformed `lint-allow.toml`).
+//! Exit status: 0 clean, 1 violations (including stale allowlist entries),
+//! 2 the lint itself failed (unreadable files, malformed `lint-allow.toml`,
+//! bad arguments). `--json` writes the stable machine-readable report
+//! (schema in [`spamward_lint::json`]) to stdout; the human summary stays
+//! on stderr either way.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quiet = false;
+    let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("spamward-lint: --explain needs a rule id (e.g. --explain C1)");
+                    return ExitCode::from(2);
+                };
+                match spamward_lint::rules::explain(&rule) {
+                    Some(text) => {
+                        println!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "spamward-lint: unknown rule {rule:?} (known: {})",
+                            spamward_lint::rules::RULE_IDS.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: spamward-lint [--quiet] [ROOT]");
-                println!("Checks determinism (D1-D3) and panic-safety (P1-P2) rules.");
+                println!("usage: spamward-lint [--quiet] [--json] [ROOT]");
+                println!("       spamward-lint --explain RULE");
+                println!("Checks per-file rules (D1-D3, P1-P2, O1, S1, F1) and cross-file");
+                println!("rules (C1, C2, O2, R1) over the workspace semantic model;");
+                println!("stale lint-allow.toml entries are reported as A1.");
                 println!("See DESIGN.md \"Determinism & panic-safety rules\".");
                 return ExitCode::SUCCESS;
             }
@@ -46,26 +75,23 @@ fn main() -> ExitCode {
         }
     };
 
-    for diag in &report.diagnostics {
-        println!("{diag}");
-        if !quiet {
-            println!("    {}", diag.line_text);
+    if json {
+        print!("{}", spamward_lint::json::render(&report));
+    } else {
+        for diag in &report.diagnostics {
+            println!("{diag}");
+            if !quiet {
+                println!("    {}", diag.line_text);
+            }
         }
-    }
-    for entry in &report.stale_entries {
-        println!(
-            "lint-allow.toml:{}: stale entry {} — matches nothing; remove it",
-            entry.defined_at, entry
-        );
     }
 
     if !quiet {
         eprintln!(
-            "spamward-lint: {} file(s), {} violation(s), {} suppressed, {} stale allow entr(ies)",
+            "spamward-lint: {} file(s), {} violation(s), {} suppressed",
             report.files_scanned,
             report.diagnostics.len(),
             report.suppressed.len(),
-            report.stale_entries.len()
         );
     }
 

@@ -1,0 +1,514 @@
+//! Pass 1 of the two-pass analyzer: the workspace semantic model.
+//!
+//! The per-file rules ([`crate::rules`]) see one file at a time; the
+//! cross-file rules ([`crate::rules_xfile`]) need the workspace-wide facts
+//! the sharded-world architecture depends on. This module builds that
+//! index in a single pass over the already-read sources:
+//!
+//! * per-file facts — out-of-line `mod` declarations (the module graph),
+//!   `use` paths, `const NAME: &str = "…"` string constants, function
+//!   names, plus the scanned views of the source;
+//! * per-crate facts — package name and dependency edges parsed from each
+//!   member `Cargo.toml`;
+//! * workspace docs — `DESIGN.md`, for the R1 doc-sync rule.
+//!
+//! Everything is keyed by repo-relative `/`-separated paths in `BTreeMap`s,
+//! so iteration (and therefore diagnostic order) is deterministic — the
+//! same discipline the linter enforces on the simulator.
+
+use crate::lexer::{self, ScannedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One out-of-line `mod name;` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModDecl {
+    /// Declared module name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// One `const NAME: &str = "value";` (optionally `pub`) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringConst {
+    /// The constant's identifier.
+    pub name: String,
+    /// The literal string value.
+    pub value: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// One `fn name` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// The function's identifier.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Whether the declaration sits in a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+}
+
+/// Facts extracted from one source file.
+#[derive(Debug)]
+pub struct FileFacts {
+    /// The raw source.
+    pub source: String,
+    /// The masked/line-indexed scan of the source.
+    pub scanned: ScannedFile,
+    /// The source with comments blanked but string literals kept,
+    /// byte-aligned — the view for rules that must see quoted names.
+    pub code: String,
+    /// Out-of-line `mod` declarations, in file order.
+    pub mods: Vec<ModDecl>,
+    /// `use` paths (whitespace-collapsed), in file order.
+    pub uses: Vec<String>,
+    /// `const NAME: &str = "…"` declarations, in file order.
+    pub string_consts: Vec<StringConst>,
+    /// `fn` items, in file order.
+    pub fns: Vec<FnDecl>,
+}
+
+/// Facts extracted from one member `Cargo.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateInfo {
+    /// `[package] name`.
+    pub package: String,
+    /// Crate directory, repo-relative (`"crates/mta"`; `""` for the root
+    /// package).
+    pub dir: String,
+    /// Names under `[dependencies]`/`[dev-dependencies]` (all of them —
+    /// filter with [`WorkspaceModel::internal_deps`] for workspace edges).
+    pub deps: BTreeSet<String>,
+}
+
+/// The workspace-wide index pass 2 runs against.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    /// Per-file facts, keyed by repo-relative path.
+    pub files: BTreeMap<String, FileFacts>,
+    /// Per-crate facts, keyed by crate directory (`""` = root package).
+    pub crates: BTreeMap<String, CrateInfo>,
+    /// `DESIGN.md` contents, when present at the root.
+    pub design_md: Option<String>,
+}
+
+impl WorkspaceModel {
+    /// Builds the model from in-memory inputs: `(rel_path, source)` pairs
+    /// for `.rs` files, `(crate_dir, manifest_text)` pairs for member
+    /// `Cargo.toml`s, and the root `DESIGN.md` if any.
+    ///
+    /// Pure — no filesystem access — so tests can model synthetic
+    /// workspaces directly.
+    pub fn from_sources(
+        sources: Vec<(String, String)>,
+        manifests: Vec<(String, String)>,
+        design_md: Option<String>,
+    ) -> WorkspaceModel {
+        let mut files = BTreeMap::new();
+        for (rel, source) in sources {
+            let facts = FileFacts::extract(source);
+            files.insert(rel, facts);
+        }
+        let mut crates = BTreeMap::new();
+        for (dir, text) in manifests {
+            if let Some(info) = parse_manifest(&dir, &text) {
+                crates.insert(dir, info);
+            }
+        }
+        WorkspaceModel { files, crates, design_md }
+    }
+
+    /// The crate directory owning `rel_path` (`"crates/mta"` for
+    /// `crates/mta/src/send.rs`; `""` — the root package — for `src/`,
+    /// `tests/` and `examples/` files).
+    pub fn crate_dir_of(rel_path: &str) -> String {
+        let mut parts = rel_path.split('/');
+        if parts.next() == Some("crates") {
+            if let Some(name) = parts.next() {
+                return format!("crates/{name}");
+            }
+        }
+        String::new()
+    }
+
+    /// Workspace-internal dependency edges of the crate at `dir`: the
+    /// subset of its declared deps whose package name belongs to another
+    /// member of this model.
+    pub fn internal_deps(&self, dir: &str) -> BTreeSet<String> {
+        let packages: BTreeSet<&str> = self.crates.values().map(|c| c.package.as_str()).collect();
+        match self.crates.get(dir) {
+            Some(info) => {
+                info.deps.iter().filter(|d| packages.contains(d.as_str())).cloned().collect()
+            }
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Resolves `rel_path`'s out-of-line `mod` declarations to the files
+    /// they name, returning `(module name, resolved path)` edges. Modules
+    /// whose file is not in the model (e.g. generated or excluded) are
+    /// omitted.
+    pub fn module_edges(&self, rel_path: &str) -> Vec<(String, String)> {
+        let Some(facts) = self.files.get(rel_path) else { return Vec::new() };
+        let (dir, file) = match rel_path.rsplit_once('/') {
+            Some((d, f)) => (d, f),
+            None => ("", rel_path),
+        };
+        // lib.rs / main.rs / mod.rs own their directory; foo.rs owns foo/.
+        let base = if matches!(file, "lib.rs" | "main.rs" | "mod.rs") {
+            dir.to_string()
+        } else {
+            let stem = file.strip_suffix(".rs").unwrap_or(file);
+            if dir.is_empty() {
+                stem.to_string()
+            } else {
+                format!("{dir}/{stem}")
+            }
+        };
+        let mut edges = Vec::new();
+        for m in &facts.mods {
+            let flat = if base.is_empty() {
+                format!("{}.rs", m.name)
+            } else {
+                format!("{base}/{}.rs", m.name)
+            };
+            let nested = if base.is_empty() {
+                format!("{}/mod.rs", m.name)
+            } else {
+                format!("{base}/{}/mod.rs", m.name)
+            };
+            if self.files.contains_key(&flat) {
+                edges.push((m.name.clone(), flat));
+            } else if self.files.contains_key(&nested) {
+                edges.push((m.name.clone(), nested));
+            }
+        }
+        edges
+    }
+
+    /// Counts boundary-checked uses of identifier `name` across every file,
+    /// excluding occurrences on `(skip_path, skip_line)` (the declaration
+    /// itself). Searches the comments-only view so `format!("{NAME}.…")`
+    /// interpolations count as uses; comments never do.
+    pub fn ident_uses_excluding(&self, name: &str, skip_path: &str, skip_line: usize) -> usize {
+        let mut uses = 0;
+        for (rel, facts) in &self.files {
+            for offset in lexer::find_token(&facts.code, name) {
+                if rel == skip_path && facts.scanned.line_of(offset) == skip_line {
+                    continue;
+                }
+                uses += 1;
+            }
+        }
+        uses
+    }
+}
+
+impl FileFacts {
+    /// Extracts all facts from one source file.
+    pub fn extract(source: String) -> FileFacts {
+        let scanned = ScannedFile::scan(&source);
+        let code = lexer::mask_comments_only(&source);
+        let mods = extract_mods(&scanned);
+        let uses = extract_uses(&scanned.masked);
+        let string_consts = extract_string_consts(&scanned, &code);
+        let fns = extract_fns(&scanned);
+        FileFacts { source, scanned, code, mods, uses, string_consts, fns }
+    }
+}
+
+/// Out-of-line `mod name;` declarations (`pub`/`pub(crate)` included).
+fn extract_mods(scanned: &ScannedFile) -> Vec<ModDecl> {
+    let mut out = Vec::new();
+    for offset in lexer::find_token(&scanned.masked, "mod") {
+        let after = &scanned.masked[offset + "mod".len()..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // Only out-of-line declarations (`mod x;`) are module-graph edges;
+        // `mod x { .. }` stays inside this file.
+        let rest = after.trim_start()[name.len()..].trim_start();
+        if !rest.starts_with(';') {
+            continue;
+        }
+        // `mod` must open the item: the preceding code on its line may only
+        // be visibility syntax, which keeps expression text from
+        // registering as a declaration.
+        let start = scanned.masked[..offset].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let prefix = scanned.masked[start..offset].trim();
+        if !(prefix.is_empty() || prefix == "pub" || prefix.ends_with(')')) {
+            continue;
+        }
+        out.push(ModDecl { name, line: scanned.line_of(offset) });
+    }
+    out
+}
+
+/// `use …;` paths with whitespace collapsed.
+fn extract_uses(masked: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for offset in lexer::find_token(masked, "use") {
+        // Item context only: start of line (after trivia), not `.use`.
+        let start = masked[..offset].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let prefix = masked[start..offset].trim();
+        if !(prefix.is_empty() || prefix == "pub" || prefix.ends_with(')')) {
+            continue;
+        }
+        let rest = &masked[offset + "use".len()..];
+        if !rest.starts_with(|c: char| c.is_whitespace()) {
+            continue;
+        }
+        let Some(end) = rest.find(';') else { continue };
+        let path: String = rest[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+        if !path.is_empty() {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// `const NAME: &str = "value";` declarations. The type text must name
+/// `str`; the value is read from the comments-only view so the literal
+/// bytes are still present.
+fn extract_string_consts(scanned: &ScannedFile, code: &str) -> Vec<StringConst> {
+    let masked = &scanned.masked;
+    let mut out = Vec::new();
+    for offset in lexer::find_token(masked, "const") {
+        let after = &masked[offset + "const".len()..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after_name = after.trim_start()[name.len()..].trim_start();
+        let Some(ty_and_rest) = after_name.strip_prefix(':') else { continue };
+        let Some(eq) = ty_and_rest.find('=') else { continue };
+        let ty = &ty_and_rest[..eq];
+        if !ty.contains("str") {
+            continue;
+        }
+        // Byte offset of the value expression, in the aligned views.
+        let value_at = offset
+            + "const".len()
+            + (after.len() - after_name.len())
+            + 1 // the ':'
+            + eq
+            + 1; // the '='
+        let Some(value) = read_string_literal(&code[value_at..]) else { continue };
+        out.push(StringConst { name, value, line: scanned.line_of(offset) });
+    }
+    out
+}
+
+/// Reads the first plain `"…"` literal in `code` (which keeps literals),
+/// stopping at `;`. Raw strings and non-literal initializers yield `None`.
+fn read_string_literal(code: &str) -> Option<String> {
+    let mut chars = code.char_indices();
+    let mut start = None;
+    for (i, c) in chars.by_ref() {
+        match c {
+            '"' => {
+                start = Some(i + 1);
+                break;
+            }
+            ';' => return None,
+            _ => {}
+        }
+    }
+    start?;
+    let mut out = String::new();
+    let mut escaped = false;
+    for (_, c) in chars {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            }
+            escaped = false;
+        } else {
+            match c {
+                '\\' => escaped = true,
+                '"' => return Some(out),
+                other => out.push(other),
+            }
+        }
+    }
+    None
+}
+
+/// `fn name` items with their test-region flag.
+fn extract_fns(scanned: &ScannedFile) -> Vec<FnDecl> {
+    let mut out = Vec::new();
+    for offset in lexer::find_token(&scanned.masked, "fn") {
+        let after = &scanned.masked[offset + "fn".len()..];
+        if !after.starts_with(|c: char| c.is_whitespace()) {
+            continue;
+        }
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        out.push(FnDecl {
+            name,
+            line: scanned.line_of(offset),
+            in_test: scanned.in_test_region(offset),
+        });
+    }
+    out
+}
+
+/// Parses the slice of `Cargo.toml` the model needs: the `[package]` name
+/// and the `[dependencies]`/`[dev-dependencies]` keys. Returns `None` when
+/// there is no `[package]` section (e.g. a virtual manifest).
+fn parse_manifest(dir: &str, text: &str) -> Option<CrateInfo> {
+    let mut package = None;
+    let mut deps = BTreeSet::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                package = Some(value.trim().trim_matches('"').to_string());
+            }
+            "dependencies" | "dev-dependencies" => {
+                deps.insert(key.to_string());
+            }
+            _ => {}
+        }
+    }
+    Some(CrateInfo { package: package?, dir: dir.to_string(), deps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(files: &[(&str, &str)]) -> WorkspaceModel {
+        WorkspaceModel::from_sources(
+            files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect(),
+            Vec::new(),
+            None,
+        )
+    }
+
+    #[test]
+    fn extracts_mods_uses_consts_and_fns() {
+        let src = "pub mod metrics;\nmod helper;\nmod inline { pub fn g() {} }\n\
+                   use crate::metrics::NAME;\n\
+                   pub const NAME: &str = \"mta.x.y\";\n\
+                   const PRIVATE: &'static str = \"a.b\";\n\
+                   const COUNT: usize = 3;\n\
+                   pub fn collect_all() {}\n\
+                   #[cfg(test)]\nmod tests { fn t() {} }\n";
+        let m = model(&[("crates/foo/src/lib.rs", src)]);
+        let facts = &m.files["crates/foo/src/lib.rs"];
+        let mods: Vec<&str> = facts.mods.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(mods, vec!["metrics", "helper"], "inline modules are not graph edges");
+        assert_eq!(facts.uses, vec!["crate::metrics::NAME"]);
+        let consts: Vec<(&str, &str)> =
+            facts.string_consts.iter().map(|c| (c.name.as_str(), c.value.as_str())).collect();
+        assert_eq!(consts, vec![("NAME", "mta.x.y"), ("PRIVATE", "a.b")]);
+        let fns: Vec<(&str, bool)> =
+            facts.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert_eq!(fns, vec![("g", false), ("collect_all", false), ("t", true)]);
+    }
+
+    #[test]
+    fn module_edges_resolve_flat_and_nested_files() {
+        let m = model(&[
+            ("crates/foo/src/lib.rs", "pub mod metrics;\npub mod deep;\nmod missing;\n"),
+            ("crates/foo/src/metrics.rs", ""),
+            ("crates/foo/src/deep/mod.rs", "pub mod inner;\n"),
+            ("crates/foo/src/deep/inner.rs", ""),
+        ]);
+        assert_eq!(
+            m.module_edges("crates/foo/src/lib.rs"),
+            vec![
+                ("metrics".to_string(), "crates/foo/src/metrics.rs".to_string()),
+                ("deep".to_string(), "crates/foo/src/deep/mod.rs".to_string()),
+            ]
+        );
+        assert_eq!(
+            m.module_edges("crates/foo/src/deep/mod.rs"),
+            vec![("inner".to_string(), "crates/foo/src/deep/inner.rs".to_string())]
+        );
+    }
+
+    #[test]
+    fn manifests_yield_internal_dep_edges() {
+        let m = WorkspaceModel::from_sources(
+            Vec::new(),
+            vec![
+                (
+                    "crates/a".to_string(),
+                    "[package]\nname = \"spamward-a\"\n[dependencies]\nspamward-b = { workspace = true }\nserde = { workspace = true }\n".to_string(),
+                ),
+                (
+                    "crates/b".to_string(),
+                    "[package]\nname = \"spamward-b\"\n".to_string(),
+                ),
+            ],
+            None,
+        );
+        assert_eq!(m.crates["crates/a"].package, "spamward-a");
+        let internal: Vec<String> = m.internal_deps("crates/a").into_iter().collect();
+        assert_eq!(internal, vec!["spamward-b"], "serde is not a workspace member");
+    }
+
+    #[test]
+    fn crate_dir_mapping() {
+        assert_eq!(WorkspaceModel::crate_dir_of("crates/mta/src/send.rs"), "crates/mta");
+        assert_eq!(WorkspaceModel::crate_dir_of("src/lib.rs"), "");
+        assert_eq!(WorkspaceModel::crate_dir_of("tests/determinism.rs"), "");
+    }
+
+    #[test]
+    fn ident_use_counting_skips_the_declaration() {
+        let m = model(&[
+            ("crates/foo/src/metrics.rs", "pub const RECV: &str = \"foo.recv\";\npub fn collect(r: &mut R) { r.counter(RECV); }\n"),
+            ("crates/foo/src/other.rs", "use crate::metrics::RECV;\nfn f(r: &mut R) { r.counter(RECV); }\n"),
+        ]);
+        // Declaration line skipped; the collect use + the import + the call
+        // site in other.rs remain.
+        assert_eq!(m.ident_uses_excluding("RECV", "crates/foo/src/metrics.rs", 1), 3);
+        assert_eq!(m.ident_uses_excluding("NEVER_USED", "crates/foo/src/metrics.rs", 1), 0);
+    }
+
+    #[test]
+    fn escaped_and_missing_values_handled() {
+        let m = model(&[(
+            "crates/foo/src/x.rs",
+            "const A: &str = \"with \\\"quote\\\"\";\nconst B: &str = concat!(\"a\", \"b\");\nconst C: &str = OTHER;\n",
+        )]);
+        let consts = &m.files["crates/foo/src/x.rs"].string_consts;
+        assert_eq!(consts[0].value, "with \"quote\"");
+        // B's first literal is inside concat! — still a string value, fine.
+        assert_eq!(consts[1].value, "a");
+        // C forwards another constant: no literal before the semicolon.
+        assert_eq!(consts.len(), 2);
+    }
+}

@@ -5,12 +5,109 @@
 //! toolchain cannot express. The catalog is documented for contributors in
 //! `DESIGN.md` ("Determinism & panic-safety rules"); keep the two in sync.
 
-use crate::lexer::ScannedFile;
+use crate::lexer::{find_token, ScannedFile};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// All rule identifiers, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "P2", "O1", "S1", "F1"];
+/// All rule identifiers, in report order. D/P/O1/S/F rules are per-file
+/// ([`check_file`]); C1/C2/O2/R1 are cross-file rules running against the
+/// workspace model ([`crate::rules_xfile`]); A1 is synthesized by the
+/// driver for stale allowlist entries.
+pub const RULE_IDS: &[&str] =
+    &["D1", "D2", "D3", "P1", "P2", "O1", "S1", "F1", "C1", "C2", "O2", "R1", "A1"];
+
+/// One paragraph per rule for `spamward-lint --explain RULE`: what the rule
+/// forbids, why the invariant matters, and what to do instead.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1" => {
+            "D1 — wall-clock reads. Every reproduced number must be a pure function of \
+             the seed; `Instant::now()`/`SystemTime::now()`/chrono silently couple results \
+             to the host. Take time from the sim scheduler, or inject \
+             `spamward_sim::wall::WallClock` — the only sanctioned host-clock module is \
+             crates/sim/src/wall.rs."
+        }
+        "D2" => {
+            "D2 — unseeded randomness. `thread_rng`, `rand::random`, `from_entropy`, \
+             `OsRng` and `getrandom` draw from ambient entropy; every random draw must \
+             flow through `spamward_sim::DetRng` (seed + fork label) so runs replay \
+             bit-for-bit."
+        }
+        "D3" => {
+            "D3 — hash-order iteration. `HashMap`/`HashSet` iteration order varies run to \
+             run; in crates feeding the event loop or analysis output that nondeterminism \
+             reaches the reports. Use `BTreeMap`/`BTreeSet`, or collect and sort before \
+             iterating."
+        }
+        "P1" => {
+            "P1 — panics on the protocol path. A panic mid-conversation tears down the \
+             SMTP session (and, over TCP, the connection). Protocol-path crates (smtp, \
+             mta, greylist, dns) return typed errors instead of `unwrap`/`expect`/`panic!`; \
+             proven-unreachable cases need a justified lint-allow.toml entry."
+        }
+        "P2" => {
+            "P2 — inline SMTP reply codes. 4xx-retry vs 5xx-reject is the whole \
+             greylisting mechanism; codes come from `spamward_smtp::reply::codes` so grep \
+             and the type system see every use."
+        }
+        "O1" => {
+            "O1 — metric/trace name literals at recording sites. Registry names and trace \
+             categories are the observability contract; each crate binds them as \
+             constants in its `metrics.rs`/`obs.rs` module so the namespace stays \
+             greppable and typo-proof."
+        }
+        "S1" => {
+            "S1 — hand-rolled virtual-time ordering. A `BinaryHeap` in a file handling \
+             `SimTime`, or a sort keyed on attempt/arrival/due timestamps, is a duplicate \
+             event queue; schedule through `spamward_sim::Simulation` (or an actor on top \
+             of it). Only crates/sim owns a time-ordered queue."
+        }
+        "F1" => {
+            "F1 — fault-injection literals outside the chaos catalog. Hard-coded fault \
+             probabilities and `net.fault.*`/`mta.breaker.*`/`greylist.degraded.*` name \
+             literals fork the fault model; probabilities belong in a `FaultSpec` inside \
+             `spamward_net::faults`, names in the owning crate's `metrics.rs`."
+        }
+        "C1" => {
+            "C1 — shard-unsafe concurrency. Threads, rayon, locks, atomics and channels \
+             in world code make event order depend on the host scheduler, which breaks \
+             the byte-identical shard-merge contract before it exists. Concurrency is \
+             confined to the sanctioned fan-out modules (crates/core/src/runner.rs's \
+             run_seeds pool, the future crates/sim/src/shard.rs executor); world code \
+             stays single-threaded and parallelism happens across whole deterministic \
+             worlds."
+        }
+        "C2" => {
+            "C2 — unordered float accumulation. f64 addition is not associative, so a \
+             `+=` loop or `.sum()` whose operand order ever changes (e.g. when one world \
+             becomes N merged shards) changes the reproduced numbers. Experiment and \
+             metrics code routes reductions through \
+             `spamward_analysis::reduce::ordered_sum`, the one place that pins the \
+             reduction order."
+        }
+        "O2" => {
+            "O2 — dead, duplicate or unresolved metric names. Every metric-name constant \
+             declared in a `metrics.rs` module must be unique workspace-wide and \
+             referenced by at least one collection/recording site, and every dotted \
+             metric-shaped literal in a namespace the workspace declares must resolve to \
+             a declared constant — otherwise names drift out of the golden snapshot \
+             silently."
+        }
+        "R1" => {
+            "R1 — docs out of sync. The linter itself cross-checks the rule catalog \
+             (RULE_IDS) against DESIGN.md's rules table, and the experiment registry \
+             (crates/core/src/harness.rs REGISTRY order, resolved to experiment ids \
+             through each module's `fn id`) against DESIGN.md's per-experiment index, so \
+             the documentation cannot rot."
+        }
+        "A1" => {
+            "A1 — stale allowlist entry. A lint-allow.toml entry that matches no \
+             diagnostic excuses code that no longer exists; remove the entry. A1 itself \
+             cannot be allowlisted."
+        }
+        _ => return None,
+    })
+}
 
 /// The one module allowed to read the host clock: experiments must take
 /// time from the simulation scheduler, and the real-network transport
@@ -432,83 +529,9 @@ fn f1_exempt(rel_path: &str) -> bool {
 
 /// Metric-name namespaces owned by the fault-injection layer; the leading
 /// quote restricts the scan to string literals, which the fully masked
-/// text blanks — so F1 scans a comments-only-blanked copy of the source.
+/// text blanks — so F1 scans a comments-only-blanked copy of the source
+/// ([`crate::lexer::mask_comments_only`]).
 const F1_NAMESPACES: &[&str] = &["\"net.fault", "\"mta.breaker", "\"greylist.degraded"];
-
-/// The source with comment bytes blanked but string literals kept,
-/// byte-for-byte aligned: F1 must see quoted fault names in code while
-/// ignoring prose mentions of the same namespaces.
-fn blank_comments(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1;
-                out[i] = b' ';
-                out[i + 1] = b' ';
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else {
-                        if bytes[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            // Step over string literals intact so a `//` inside one cannot
-            // open a phantom comment.
-            b'"' => {
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            // Step over char literals so `'"'` cannot open a phantom
-            // string; a lone `'` (a lifetime) advances one byte.
-            b'\'' => {
-                if bytes.get(i + 1) == Some(&b'\\') {
-                    i += 2;
-                    while i < bytes.len() && bytes[i] != b'\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    i += 3;
-                } else {
-                    i += 1;
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8(out).expect("blanked bytes are ascii spaces")
-}
 
 /// F1 — fault-injection literals outside `net::faults` / metrics modules.
 /// Fault probabilities scattered through product code are chaos parameters
@@ -520,7 +543,7 @@ fn check_f1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
     if f1_exempt(rel_path) {
         return;
     }
-    let code = blank_comments(source);
+    let code = crate::lexer::mask_comments_only(source);
     for pat in F1_NAMESPACES {
         let mut from = 0;
         while let Some(pos) = code[from..].find(pat) {
@@ -676,35 +699,7 @@ fn is_for_loop_target(masked: &str, offset: usize) -> bool {
     before.ends_with(" in") || before.ends_with("\nin") || before == "in"
 }
 
-/// Finds boundary-checked occurrences of `pat` in `masked`: the byte before
-/// must not be an identifier character (path separators `:` are allowed so
-/// qualified forms still match), and the byte after must not continue an
-/// identifier.
-fn find_token(masked: &str, pat: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let bytes = masked.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = masked[from..].find(pat) {
-        let start = from + pos;
-        let end = start + pat.len();
-        let first = pat.as_bytes()[0];
-        let ok_before = !(first.is_ascii_alphanumeric() || first == b'_') || start == 0 || {
-            let b = bytes[start - 1];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        let last = pat.as_bytes()[pat.len() - 1];
-        let ok_after = !(last.is_ascii_alphanumeric() || last == b'_')
-            || end >= bytes.len()
-            || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-        if ok_before && ok_after {
-            hits.push(start);
-        }
-        from = start + 1;
-    }
-    hits
-}
-
-fn push(
+pub(crate) fn push(
     out: &mut Vec<Diagnostic>,
     scanned: &ScannedFile,
     source: &str,
@@ -724,7 +719,7 @@ fn push(
 }
 
 /// One diagnostic per (rule, line), sorted by line then rule.
-fn dedupe(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+pub(crate) fn dedupe(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
     diags

@@ -1,0 +1,18 @@
+//! C1 fixture: single-threaded world code; concurrency only in tests.
+
+pub fn fan_out(items: Vec<u64>) -> u64 {
+    items.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn concurrency_in_tests_is_not_c1s_business() {
+        let guard = Mutex::new(());
+        let _held = guard.lock().unwrap();
+        assert_eq!(fan_out(vec![1, 2, 3]), 6);
+    }
+}

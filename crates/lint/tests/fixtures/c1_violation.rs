@@ -1,0 +1,22 @@
+//! C1 fixture: concurrency primitives in world code.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn fan_out(items: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        for chunk in items.chunks(8) {
+            let tx = tx.clone();
+            s.spawn(move || {
+                tx.send(chunk.iter().sum::<u64>()).ok();
+            });
+        }
+    });
+    drop(tx);
+    while let Ok(part) = rx.recv() {
+        *total.lock().unwrap() += part;
+    }
+    total.into_inner().unwrap()
+}

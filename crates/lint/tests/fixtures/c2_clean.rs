@@ -1,0 +1,12 @@
+//! C2 fixture: reductions routed through the sanctioned helper; integer
+//! sums stay order-insensitive and are fine.
+
+use spamward_analysis::reduce::ordered_sum;
+
+pub fn mean(samples: &[f64]) -> f64 {
+    ordered_sum(samples.iter().copied()) / samples.len() as f64
+}
+
+pub fn event_rate(counts: &[u64], horizon_s: u64) -> f64 {
+    counts.iter().sum::<u64>() as f64 / horizon_s as f64
+}

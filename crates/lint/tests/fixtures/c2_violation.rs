@@ -1,0 +1,13 @@
+//! C2 fixture: ad-hoc f64 accumulation in experiment code.
+
+pub fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+pub fn weighted_total(weights: &[(u64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights {
+        total += *w;
+    }
+    total
+}

@@ -1,0 +1,16 @@
+//! O2 fixture (metrics module): unique, live constants plus a dynamic-name
+//! prefix.
+
+/// Messages the gate accepted.
+pub const GATE_ACCEPTED: &str = "gate.accepted";
+/// Messages the gate deferred.
+pub const GATE_DEFERRED: &str = "gate.deferred";
+/// Per-sender counters: `gate.sender.` followed by the sender slug.
+pub const GATE_SENDER_PREFIX: &str = "gate.sender.";
+
+/// Records the gate counters.
+pub fn collect(reg: &mut Vec<(String, u64)>, accepted: u64, deferred: u64, slug: &str) {
+    reg.push((GATE_ACCEPTED.to_string(), accepted));
+    reg.push((GATE_DEFERRED.to_string(), deferred));
+    reg.push((format!("{GATE_SENDER_PREFIX}{slug}"), accepted + deferred));
+}

@@ -1,0 +1,14 @@
+//! O2 fixture (metrics module): one duplicate value, one dead constant.
+
+/// Messages the gate accepted.
+pub const GATE_ACCEPTED: &str = "gate.accepted";
+/// Duplicate of [`GATE_ACCEPTED`] under another name.
+pub const GATE_PASSED: &str = "gate.accepted";
+/// Declared but recorded nowhere.
+pub const GATE_ORPHAN: &str = "gate.orphan";
+
+/// Records the gate counters.
+pub fn collect(reg: &mut Vec<(String, u64)>, accepted: u64) {
+    reg.push((GATE_ACCEPTED.to_string(), accepted));
+    reg.push((GATE_PASSED.to_string(), accepted));
+}

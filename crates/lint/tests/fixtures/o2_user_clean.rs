@@ -1,0 +1,11 @@
+//! O2 fixture (consumer): literals that resolve — or are none of O2's
+//! business.
+
+pub fn note(reg: &mut Vec<(String, u64)>) {
+    // Declared constant value: resolves.
+    reg.push(("gate.accepted".to_string(), 1));
+    // Extends a declared dynamic-name prefix: resolves.
+    reg.push(("gate.sender.mx1".to_string(), 1));
+    // A hostname shares the dotted shape but not a declared namespace.
+    let _host = "smtp.example.net";
+}

@@ -1,0 +1,8 @@
+//! O2 fixture (consumer): a literal in a declared namespace that resolves
+//! to no constant.
+
+pub fn note(reg: &mut Vec<(String, u64)>) {
+    // "gate.rejected" shares the declared `gate.*` roots but no metrics
+    // module declares it.
+    reg.push(("gate.rejected".to_string(), 1));
+}

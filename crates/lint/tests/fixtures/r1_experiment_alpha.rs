@@ -1,0 +1,11 @@
+//! R1 fixture: the `alpha` experiment.
+
+use crate::harness::Experiment;
+
+pub struct Alpha;
+
+impl Experiment for Alpha {
+    fn id(&self) -> &'static str {
+        "alpha"
+    }
+}

@@ -1,0 +1,11 @@
+//! R1 fixture: the `beta` experiment.
+
+use crate::harness::Experiment;
+
+pub struct Beta;
+
+impl Experiment for Beta {
+    fn id(&self) -> &'static str {
+        "beta"
+    }
+}

@@ -1,0 +1,10 @@
+//! R1 fixture: a minimal experiment registry.
+
+pub trait Experiment {
+    fn id(&self) -> &'static str;
+}
+
+pub const REGISTRY: [&dyn Experiment; 2] = [&alpha::Alpha, &beta::Beta];
+
+pub mod alpha;
+pub mod beta;

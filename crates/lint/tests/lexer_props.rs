@@ -1,0 +1,104 @@
+//! Property tests pinning the lexer's masking and test-region behavior.
+//!
+//! The scanner is the foundation every rule stands on: a literal that
+//! leaks through the mask is a false positive factory, and a comment that
+//! survives is a hole every rule falls through. These properties pin the
+//! hardened cases — raw strings, nested block comments, `#[cfg(test)]`
+//! on `impl` blocks — over generated inputs rather than single examples.
+
+use proptest::prelude::*;
+use spamward_lint::lexer::{self, ScannedFile};
+
+proptest! {
+    /// Both masks are byte-aligned with the source: same length, newlines
+    /// preserved — even over adversarial soups of quotes, slashes and
+    /// hashes (unterminated literals included).
+    #[test]
+    fn masks_preserve_length_and_newlines(src in "[a-zA-Z0-9 \"'/*#\\n.]{0,200}") {
+        let scanned = ScannedFile::scan(&src);
+        let code = lexer::mask_comments_only(&src);
+        prop_assert_eq!(scanned.masked.len(), src.len());
+        prop_assert_eq!(code.len(), src.len());
+        for (i, c) in src.char_indices() {
+            if c == '\n' {
+                prop_assert_eq!(scanned.masked.as_bytes()[i], b'\n');
+                prop_assert_eq!(code.as_bytes()[i], b'\n');
+            }
+        }
+    }
+
+    /// Raw-string payloads are blanked by the full mask and kept intact by
+    /// the comments-only mask, at the same byte offsets.
+    #[test]
+    fn raw_string_payloads_mask_correctly(payload in "[a-z0-9 \"/*]{0,40}") {
+        let prefix = "const X: &str = r#\"";
+        let src = format!("{prefix}{payload}\"#;\nfn marker() {{}}\n");
+        let scanned = ScannedFile::scan(&src);
+        let code = lexer::mask_comments_only(&src);
+        let range = prefix.len()..prefix.len() + payload.len();
+        prop_assert!(
+            scanned.masked[range.clone()].bytes().all(|b| b == b' '),
+            "payload must be blanked in the full mask: {:?}",
+            &scanned.masked[range.clone()]
+        );
+        prop_assert_eq!(&code[range], payload.as_str());
+        // The scanner resynchronizes after the raw string.
+        prop_assert!(!lexer::find_token(&scanned.masked, "marker").is_empty());
+    }
+
+    /// Block comments blank their whole body at any nesting depth, and the
+    /// scanner resynchronizes afterwards.
+    #[test]
+    fn nested_block_comments_blank_fully(depth in 1usize..6, inner in "[a-z ]{0,20}") {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("fn f() {{}}\n{open} zzsecret {inner} {close}\nfn g() {{}}\n");
+        let scanned = ScannedFile::scan(&src);
+        prop_assert!(lexer::find_token(&scanned.masked, "zzsecret").is_empty());
+        prop_assert!(!lexer::find_token(&scanned.masked, "g").is_empty());
+    }
+
+    /// `#[cfg(test)]` on an `impl` block covers every method in it; code
+    /// after the block is back outside the test region.
+    #[test]
+    fn cfg_test_impl_blocks_cover_methods(n in 1usize..5) {
+        let mut methods = String::new();
+        for i in 0..n {
+            methods.push_str(&format!("    fn m{i}(&self) {{ helper_token(); }}\n"));
+        }
+        let src = format!(
+            "struct S;\n#[cfg(test)]\nimpl S {{\n{methods}}}\nfn outside() {{}}\n"
+        );
+        let scanned = ScannedFile::scan(&src);
+        let inside = lexer::find_token(&scanned.masked, "helper_token");
+        prop_assert_eq!(inside.len(), n);
+        for off in inside {
+            prop_assert!(scanned.in_test_region(off));
+        }
+        let out = lexer::find_token(&scanned.masked, "outside");
+        prop_assert!(!out.is_empty());
+        for off in out {
+            prop_assert!(!scanned.in_test_region(off));
+        }
+    }
+
+    /// Comment markers inside string literals neither start a comment (the
+    /// comments-only view keeps the literal) nor swallow following code.
+    #[test]
+    fn comment_markers_inside_strings_are_inert(s in "[a-z]{1,10}") {
+        let src = format!("const P: &str = \"// {s} /* x */\";\nfn after() {{}}\n");
+        let code = lexer::mask_comments_only(&src);
+        prop_assert!(code.contains(&s));
+        let scanned = ScannedFile::scan(&src);
+        prop_assert!(!lexer::find_token(&scanned.masked, "after").is_empty());
+    }
+
+    /// `find_token` matches whole identifiers only — a suffix embedded in a
+    /// longer identifier never counts.
+    #[test]
+    fn find_token_respects_identifier_boundaries(pad in "[a-z]{1,6}") {
+        let src = format!("let {pad}_needle = 1; let needle = 2;\n");
+        let scanned = ScannedFile::scan(&src);
+        prop_assert_eq!(lexer::find_token(&scanned.masked, "needle").len(), 1);
+    }
+}

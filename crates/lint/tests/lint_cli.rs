@@ -1,0 +1,145 @@
+//! CLI contract for `spamward-lint` (mirrors `repro_cli.rs`): exit codes,
+//! stderr shape, `--explain`, and the pinned `--json` schema.
+//!
+//! Exit codes: 0 clean, 1 diagnostics (violations or stale allow entries),
+//! 2 the lint itself failed (bad arguments, malformed allowlist). The JSON
+//! schema (version 1) is frozen here: fixed key order, diagnostics sorted
+//! by `(path, line, rule)`, byte-stable across runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_spamward-lint")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn spamward-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    spamward_lint::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spamward-lint-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn json_on_clean_workspace_exits_zero() {
+    let root = workspace_root();
+    let out = run(&["--json", root.to_str().expect("utf8 root")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("json output is utf8");
+    assert!(stdout.starts_with("{\n  \"version\": 1,\n  \"clean\": true,\n"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\": []"), "{stdout}");
+    assert!(stdout.ends_with("}\n"), "single trailing newline: {stdout:?}");
+    // Human summary stays on stderr, never polluting the JSON document.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("spamward-lint:"), "{stderr}");
+    assert!(stderr.contains("violation(s)"), "{stderr}");
+}
+
+#[test]
+fn json_output_is_byte_stable_across_runs() {
+    let root = workspace_root();
+    let root = root.to_str().expect("utf8 root");
+    let a = run(&["--json", root]);
+    let b = run(&["--json", root]);
+    assert_eq!(a.stdout, b.stdout, "same tree must produce identical JSON bytes");
+}
+
+/// Deliberately breaking a cross-file invariant (a `Mutex` in world code)
+/// produces the diagnostic in both text and `--json` output, with exit 1.
+#[test]
+fn broken_cross_file_invariant_reports_in_text_and_json() {
+    let scratch = scratch_dir("c1");
+    std::fs::create_dir_all(scratch.join("crates/mta/src")).expect("mkdir");
+    std::fs::write(scratch.join("crates/mta/src/lib.rs"), fixture("c1_violation.rs"))
+        .expect("seed");
+    let scratch_s = scratch.to_str().expect("utf8 scratch");
+
+    let text = run(&[scratch_s]);
+    assert_eq!(text.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(stdout.contains("[C1]"), "{stdout}");
+
+    let json = run(&["--json", scratch_s]);
+    assert_eq!(json.status.code(), Some(1));
+    let stdout = String::from_utf8(json.stdout).expect("utf8");
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"C1\""), "{stdout}");
+    // Pinned diagnostic shape: fixed key order within each object.
+    let diag_start = stdout.find("{\"rule\":").expect("a diagnostic object");
+    let diag = &stdout[diag_start..];
+    let order = ["\"rule\":", "\"path\":", "\"line\":", "\"message\":", "\"line_text\":"];
+    let mut last = 0;
+    for key in order {
+        let at = diag.find(key).unwrap_or_else(|| panic!("{key} missing in {diag}"));
+        assert!(at >= last, "key {key} out of pinned order in {diag}");
+        last = at;
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn stale_allow_entry_is_an_a1_diagnostic() {
+    let scratch = scratch_dir("a1");
+    std::fs::create_dir_all(scratch.join("src")).expect("mkdir");
+    std::fs::write(scratch.join("src/lib.rs"), "pub fn ok() {}\n").expect("seed");
+    std::fs::write(
+        scratch.join("lint-allow.toml"),
+        "[[allow]]\nrule = \"P1\"\npath = \"src/lib.rs\"\njustification = \"rotted\"\n",
+    )
+    .expect("seed allowlist");
+    let scratch_s = scratch.to_str().expect("utf8 scratch");
+
+    let out = run(&[scratch_s]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[A1]"), "{stdout}");
+    assert!(stdout.contains("remove this entry"), "{stdout}");
+
+    let json = run(&["--json", scratch_s]);
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"rule\": \"A1\""), "{stdout}");
+    assert!(stdout.contains("\"path\": \"lint-allow.toml\""), "{stdout}");
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn bad_arguments_exit_two_with_clean_stdout() {
+    let out = run(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "errors go to stderr only");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus"), "{stderr}");
+
+    // A root that is not a directory is a lint failure, not a finding.
+    let out = run(&["/nonexistent/spamward-root"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explain_prints_rationale_and_rejects_unknown_rules() {
+    for rule in spamward_lint::rules::RULE_IDS {
+        let out = run(&["--explain", rule]);
+        assert_eq!(out.status.code(), Some(0), "--explain {rule}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "--explain {rule} names the rule: {stdout}");
+    }
+    let out = run(&["--explain", "Z9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+
+    let out = run(&["--explain"]);
+    assert_eq!(out.status.code(), Some(2), "--explain without a rule is a usage error");
+}

@@ -161,7 +161,8 @@ fn workspace_lints_clean() {
         "workspace has lint violations:\n{}",
         report.diagnostics.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
     );
-    assert!(report.stale_entries.is_empty(), "stale allowlist entries: {:?}", report.stale_entries);
+    // Stale allowlist entries surface as A1 diagnostics, so the emptiness
+    // assertion above already covers them.
     // Acceptance criterion: zero allowlisted wall-clock debt in crates/smtp.
     let allowlist = Allowlist::load(&root.join(spamward_lint::ALLOWLIST_FILE)).expect("allowlist");
     assert!(

@@ -1,0 +1,157 @@
+//! Cross-file rules (C1/C2/O2/R1) against synthetic workspace models.
+//!
+//! [`WorkspaceModel::from_sources`] is pure, so every test assembles a
+//! mini-workspace in memory from checked-in fixtures and runs pass 2
+//! directly — one true-positive and one true-negative model per rule.
+
+use spamward_lint::rules_xfile::check_workspace;
+use spamward_lint::{Diagnostic, WorkspaceModel};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn model(sources: &[(&str, &str)], design_md: Option<String>) -> WorkspaceModel {
+    WorkspaceModel::from_sources(
+        sources.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect(),
+        Vec::new(),
+        design_md,
+    )
+}
+
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut hit: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    hit.dedup();
+    hit
+}
+
+#[test]
+fn c1_fixture_pair() {
+    let bad = model(&[("crates/mta/src/fanout.rs", &fixture("c1_violation.rs"))], None);
+    let hits = check_workspace(&bad);
+    assert_eq!(rules_hit(&hits), vec!["C1"], "{hits:?}");
+    assert!(hits.len() >= 3, "the Mutex, mpsc and thread uses: {hits:?}");
+
+    let clean = model(&[("crates/mta/src/fanout.rs", &fixture("c1_clean.rs"))], None);
+    assert!(check_workspace(&clean).is_empty());
+
+    // The sanctioned fan-out module may use the same primitives.
+    let pool = model(&[("crates/core/src/runner.rs", &fixture("c1_violation.rs"))], None);
+    assert!(check_workspace(&pool).is_empty());
+}
+
+#[test]
+fn c2_fixture_pair() {
+    let path = "crates/core/src/experiments/fixture.rs";
+    let bad = model(&[(path, &fixture("c2_violation.rs"))], None);
+    let hits = check_workspace(&bad);
+    assert_eq!(rules_hit(&hits), vec!["C2"], "{hits:?}");
+    assert_eq!(hits.len(), 2, "the .sum::<f64>() and the += accumulator: {hits:?}");
+
+    let clean = model(&[(path, &fixture("c2_clean.rs"))], None);
+    assert!(check_workspace(&clean).is_empty());
+
+    // Outside experiment/metrics scope the same code is not C2's business.
+    let elsewhere = model(&[("crates/dns/src/zone.rs", &fixture("c2_violation.rs"))], None);
+    assert!(check_workspace(&elsewhere).is_empty());
+}
+
+#[test]
+fn o2_fixture_pair() {
+    let bad = model(
+        &[
+            ("crates/gate/src/metrics.rs", &fixture("o2_metrics_violation.rs")),
+            ("crates/gate/src/record.rs", &fixture("o2_user_violation.rs")),
+        ],
+        None,
+    );
+    let hits = check_workspace(&bad);
+    assert!(hits.iter().all(|d| d.rule == "O2"), "{hits:?}");
+    assert!(
+        hits.iter().any(|d| d.message.contains("duplicate metric name")),
+        "GATE_PASSED duplicates GATE_ACCEPTED: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("dead metric constant `GATE_ORPHAN`")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("unresolved metric literal \"gate.rejected\"")),
+        "{hits:?}"
+    );
+
+    let clean = model(
+        &[
+            ("crates/gate/src/metrics.rs", &fixture("o2_metrics_clean.rs")),
+            ("crates/gate/src/record.rs", &fixture("o2_user_clean.rs")),
+        ],
+        None,
+    );
+    let hits = check_workspace(&clean);
+    assert!(hits.is_empty(), "hostnames and prefix extensions must not trip O2: {hits:?}");
+}
+
+#[test]
+fn r1_fixture_pair() {
+    let sources: Vec<(&str, String)> = vec![
+        ("crates/core/src/harness.rs", fixture("r1_harness.rs")),
+        ("crates/core/src/experiments/alpha.rs", fixture("r1_experiment_alpha.rs")),
+        ("crates/core/src/experiments/beta.rs", fixture("r1_experiment_beta.rs")),
+    ];
+    let as_refs: Vec<(&str, &str)> = sources.iter().map(|(p, s)| (*p, s.as_str())).collect();
+
+    let clean = model(&as_refs, Some(fixture("r1_design_clean.md")));
+    let hits = check_workspace(&clean);
+    assert!(hits.is_empty(), "{hits:?}");
+
+    let bad = model(&as_refs, Some(fixture("r1_design_violation.md")));
+    let hits = check_workspace(&bad);
+    assert_eq!(rules_hit(&hits), vec!["R1"], "{hits:?}");
+    assert!(
+        hits.iter().any(|d| d.message.contains("per-experiment index is out of sync")),
+        "{hits:?}"
+    );
+    assert!(hits.iter().any(|d| d.message.contains("rules table is out of sync")), "{hits:?}");
+}
+
+#[test]
+fn r1_skips_when_inputs_absent() {
+    // No DESIGN.md and no registry: R1 has nothing to check — scratch
+    // trees (CLI tests, seeded fixtures) must stay lintable.
+    let m = model(&[("src/lib.rs", "pub fn ok() {}\n")], None);
+    assert!(check_workspace(&m).is_empty());
+}
+
+#[test]
+fn r1_flags_unresolvable_registry_entry() {
+    // Registry names a module whose file is missing from the model.
+    let m = model(
+        &[("crates/core/src/harness.rs", &fixture("r1_harness.rs"))],
+        Some(fixture("r1_design_clean.md")),
+    );
+    let hits = check_workspace(&m);
+    assert!(
+        hits.iter().any(|d| d.rule == "R1" && d.message.contains("does not resolve")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn diagnostics_are_sorted_and_deduplicated() {
+    let bad = model(
+        &[
+            ("crates/mta/src/fanout.rs", &fixture("c1_violation.rs")),
+            ("crates/core/src/experiments/fixture.rs", &fixture("c2_violation.rs")),
+        ],
+        None,
+    );
+    let hits = check_workspace(&bad);
+    let keys: Vec<(&str, usize, &str)> =
+        hits.iter().map(|d| (d.path.as_str(), d.line, d.rule)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "stable (path, line, rule) order with no duplicates");
+}

@@ -88,6 +88,9 @@ pub const ENGINE_QUEUE_HIGH_WATER: &str = "sim.engine.queue_high_water";
 /// followed by the actor name (`mta.send`, `botnet.chain`, …), each sample
 /// being the events one episode of that actor executed.
 pub const ENGINE_EPISODE_EVENTS_PREFIX: &str = "sim.engine.episode_events.";
+/// Actor name of the sending MTA on the engine — the suffix its episode
+/// histogram gets under [`ENGINE_EPISODE_EVENTS_PREFIX`].
+pub const ACTOR_MTA_SEND: &str = "mta.send";
 /// Episodes that drained their event queue.
 pub const ENGINE_OUTCOME_DRAINED: &str = "sim.engine.outcome.drained";
 /// Episodes stopped at their horizon.

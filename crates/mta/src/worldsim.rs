@@ -109,7 +109,7 @@ impl SenderActor {
 
 impl Actor<MailWorld> for SenderActor {
     fn name(&self) -> &str {
-        "mta.send"
+        crate::metrics::ACTOR_MTA_SEND
     }
 
     fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
