@@ -31,8 +31,8 @@ enum Format {
 fn usage_text() -> String {
     let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
     format!(
-        "usage: repro <artifact> [--csv | --json] [--seed N] [--jobs N] [--metrics] [--trace PREFIX]\n\
-         \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--metrics] [--trace PREFIX]\n\
+        "usage: repro <artifact> [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIX]\n\
+         \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIX]\n\
          \x20      repro --list\n\
          \n\
          artifacts: {} all\n\
@@ -42,6 +42,9 @@ fn usage_text() -> String {
          --json          print the report(s) in canonical JSON instead of text\n\
          --seed N        override the default seed of seedable artifacts\n\
          --jobs N        run across N worker threads (byte-identical to serial)\n\
+         --shards N      run sharded experiments N shards at a time; their\n\
+         \x20               partition is fixed, so output bytes are identical\n\
+         \x20               for every N\n\
          --budget N      cap each experiment at N engine events; an exhausted\n\
          \x20               budget is a typed failure (exit 1), never a\n\
          \x20               truncated report\n\
@@ -95,6 +98,7 @@ fn main() {
     let mut json = false;
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut budget: Option<u64> = None;
     let mut metrics = false;
     let mut trace: Option<String> = None;
@@ -127,6 +131,16 @@ fn main() {
                 }
                 jobs = Some(n);
             }
+            "--shards" => {
+                let value = it.next().unwrap_or_else(|| fail("--shards needs a value"));
+                let n: usize = value.parse().unwrap_or_else(|_| {
+                    fail(&format!("--shards needs a positive integer, got {value:?}"))
+                });
+                if n == 0 {
+                    fail("--shards needs at least one shard worker");
+                }
+                shards = Some(n);
+            }
             "--budget" => {
                 let value = it.next().unwrap_or_else(|| fail("--budget needs a value"));
                 let n: u64 = value.parse().unwrap_or_else(|_| {
@@ -151,6 +165,7 @@ fn main() {
         if artifact.is_some()
             || seed.is_some()
             || jobs.is_some()
+            || shards.is_some()
             || budget.is_some()
             || csv
             || json
@@ -173,8 +188,13 @@ fn main() {
         Format::Text
     };
     let Some(artifact) = artifact else { fail("missing artifact") };
-    let config =
-        HarnessConfig { seed, scale: Scale::Paper, trace: trace.is_some(), event_budget: budget };
+    let config = HarnessConfig {
+        seed,
+        scale: Scale::Paper,
+        trace: trace.is_some(),
+        event_budget: budget,
+        shards: shards.unwrap_or(0),
+    };
 
     // Each worker returns (rendered report, filtered trace lines) or the
     // experiment's typed error; stdout and stderr are both emitted in

@@ -63,3 +63,37 @@ fn flag_validation_still_exits_two() {
     let out = repro().args(["nonsense-artifact"]).output().expect("repro runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn shards_flag_validation_exits_two() {
+    let out = repro().args(["fig2", "--shards", "0"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "--shards 0 is a usage error");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.starts_with("error: --shards needs at least one shard worker"), "{stderr:?}");
+
+    let out = repro().args(["fig2", "--shards", "four"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "non-numeric --shards is a usage error");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.starts_with("error: --shards needs a positive integer"), "{stderr:?}");
+
+    let out = repro().args(["fig2", "--shards"]).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "valueless --shards is a usage error");
+}
+
+#[test]
+fn shards_are_byte_invariant_on_a_sharded_artifact() {
+    let serial = repro()
+        .args(["fig2", "--json", "--metrics", "--shards", "1"])
+        .output()
+        .expect("repro runs");
+    let sharded = repro()
+        .args(["fig2", "--json", "--metrics", "--shards", "4"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(serial.status.code(), Some(0));
+    assert_eq!(sharded.status.code(), Some(0));
+    assert_eq!(serial.stdout, sharded.stdout, "--shards must be byte-invariant");
+    let body = String::from_utf8(sharded.stdout).expect("utf-8 report");
+    assert!(body.contains("sim.engine.shard.0.events"), "per-shard metrics must be present");
+    assert!(body.contains("sim.engine.shard.7.events"), "all fixed shards must be recorded");
+}

@@ -9,6 +9,14 @@
 //! notification scripts that retry hourly or never — through the same
 //! greylist, then analyzes the server's anonymized log exactly as the
 //! paper did.
+//!
+//! The replay runs sharded: every message is a pure function of its index
+//! (its own RNG fork, its own source address), messages partition into
+//! [`DEPLOYMENT_SHARDS`] fixed shards by stable hash of their relay name,
+//! and each shard drains its messages through its own victim world.
+//! Senders are triplet-independent, so per-shard worlds see exactly the
+//! traffic a single world would have; logs, bounces and metrics merge in
+//! shard order, and the partition never depends on the executor width.
 
 use crate::experiments::worlds::{self, VICTIM_MX_IP};
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
@@ -18,8 +26,10 @@ use spamward_analysis::{plot, Cdf, Series};
 use spamward_dns::DomainName;
 use spamward_greylist::{Greylist, GreylistConfig};
 use spamward_mta::{MailWorld, MtaProfile, RetrySchedule, SendingMta};
+use spamward_net::indexed_ip;
 use spamward_obs::Registry;
-use spamward_sim::{DetRng, SimDuration, SimTime};
+use spamward_sim::shard::run_sharded;
+use spamward_sim::{DetRng, ShardPlan, SimDuration, SimTime};
 use spamward_smtp::{EmailAddress, Message, ReversePath};
 use spamward_webmail::WebmailProvider;
 use std::fmt;
@@ -27,6 +37,14 @@ use std::net::Ipv4Addr;
 
 /// The deployment's domain.
 pub const DEPLOYMENT_DOMAIN: &str = "cs-dept.example";
+
+/// Fixed shard count of the replay's partition. Messages are assigned to
+/// shards by stable hash of their relay name, never by worker id, so
+/// [`DeploymentConfig::workers`] only picks how many shards run at once.
+pub const DEPLOYMENT_SHARDS: u32 = 8;
+
+/// CGNAT-range base the replay's source addresses are indexed from.
+const SOURCE_IP_BASE: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 1);
 
 /// Relative weights of the benign sender classes.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +92,12 @@ pub struct DeploymentConfig {
     pub window: SimDuration,
     /// The sender mix.
     pub mix: SenderMix,
-    /// Engine event budget for the replay world (`None` = unbounded).
+    /// Engine event budget for each shard's replay world (`None` =
+    /// unbounded).
     pub event_budget: Option<u64>,
+    /// Shard-executor width: how many of the [`DEPLOYMENT_SHARDS`] run
+    /// concurrently. Output bytes are identical for every value.
+    pub workers: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -87,6 +109,7 @@ impl Default for DeploymentConfig {
             window: SimDuration::from_days(120),
             mix: SenderMix::default(),
             event_budget: None,
+            workers: 4,
         }
     }
 }
@@ -140,81 +163,81 @@ fn build_world(config: &DeploymentConfig) -> MailWorld {
     world
 }
 
-/// Builds the full traffic plan: one pre-submitted sender per message,
-/// tagged with its arrival instant. Both runners consume this identically,
-/// so they see the same traffic.
-fn build_traffic(config: &DeploymentConfig) -> Vec<(SimTime, SendingMta)> {
-    let domain: DomainName = DEPLOYMENT_DOMAIN.parse().expect("valid deployment domain");
-    let mut rng = DetRng::seed(config.seed).fork("deployment");
-    let providers = WebmailProvider::table_iii();
+/// The nominal relay name of message `i` — what the shard partition
+/// hashes, whatever sender class the message ends up drawing.
+fn relay_name(i: usize) -> String {
+    format!("relay{i}.example")
+}
+
+/// Builds message `i`'s pre-submitted sender, tagged with its arrival
+/// instant. A pure function of (config, i) — each message draws from its
+/// own RNG fork and takes its source address by index — so any shard can
+/// synthesize exactly the messages it owns without generating the rest.
+fn build_message(
+    config: &DeploymentConfig,
+    providers: &[WebmailProvider],
+    domain: &DomainName,
+    i: usize,
+) -> (SimTime, SendingMta) {
+    let mut rng = DetRng::seed(config.seed).fork_idx("deployment.msg", i as u64);
+    let arrival =
+        SimTime::ZERO + SimDuration::from_micros(rng.below(config.window.as_micros().max(1)));
+    let source_ip = indexed_ip(SOURCE_IP_BASE, i as u64);
+    let sender_addr: EmailAddress =
+        format!("user{i}@{}", relay_name(i)).parse().expect("synthetic sender is valid");
+    let rcpt: EmailAddress =
+        format!("staff{}@{DEPLOYMENT_DOMAIN}", i % 50).parse().expect("valid recipient");
+    let message = Message::builder()
+        .header("Subject", &format!("message {i}"))
+        .body("benign mail body")
+        .build();
+
     let mta_weight: f64 = ordered_sum(config.mix.mtas.iter().map(|(_, w)| *w));
     let total_weight =
         mta_weight + config.mix.webmail + config.mix.hourly_script + config.mix.no_retry_script;
 
-    let mut source_pool = spamward_net::IpPool::new(Ipv4Addr::new(100, 64, 0, 1));
-    let mut traffic = Vec::with_capacity(config.messages);
-    for i in 0..config.messages {
-        let arrival =
-            SimTime::ZERO + SimDuration::from_micros(rng.below(config.window.as_micros().max(1)));
-        let source_ip = source_pool.next_ip();
-        let sender_addr: EmailAddress =
-            format!("user{i}@relay{i}.example").parse().expect("synthetic sender is valid");
-        let rcpt: EmailAddress =
-            format!("staff{}@{DEPLOYMENT_DOMAIN}", i % 50).parse().expect("valid recipient");
-        let message = Message::builder()
-            .header("Subject", &format!("message {i}"))
-            .body("benign mail body")
-            .build();
+    // Draw the sender class.
+    let mut x = rng.unit_f64() * total_weight;
+    let mut sender: SendingMta = 'pick: {
+        for (profile, w) in &config.mix.mtas {
+            if x < *w {
+                break 'pick SendingMta::new(&relay_name(i), vec![source_ip], profile.clone());
+            }
+            x -= w;
+        }
+        if x < config.mix.webmail {
+            let provider = rng.pick(providers).clone();
+            break 'pick provider.build_sender(source_ip, config.seed ^ i as u64);
+        }
+        x -= config.mix.webmail;
+        if x < config.mix.hourly_script {
+            break 'pick SendingMta::new(&relay_name(i), vec![source_ip], hourly_script_profile());
+        }
+        SendingMta::new(&relay_name(i), vec![source_ip], no_retry_profile())
+    };
 
-        // Draw the sender class.
-        let mut x = rng.unit_f64() * total_weight;
-        let mut sender: SendingMta = 'pick: {
-            for (profile, w) in &config.mix.mtas {
-                if x < *w {
-                    break 'pick SendingMta::new(
-                        &format!("relay{i}.example"),
-                        vec![source_ip],
-                        profile.clone(),
-                    );
-                }
-                x -= w;
-            }
-            if x < config.mix.webmail {
-                let provider = rng.pick(&providers).clone();
-                break 'pick provider.build_sender(source_ip, config.seed ^ i as u64);
-            }
-            x -= config.mix.webmail;
-            if x < config.mix.hourly_script {
-                break 'pick SendingMta::new(
-                    &format!("relay{i}.example"),
-                    vec![source_ip],
-                    hourly_script_profile(),
-                );
-            }
-            SendingMta::new(&format!("relay{i}.example"), vec![source_ip], no_retry_profile())
-        };
-
-        sender.submit(
-            domain.clone(),
-            ReversePath::Address(sender_addr),
-            vec![rcpt],
-            message,
-            arrival,
-        );
-        traffic.push((arrival, sender));
-    }
-    traffic
+    sender.submit(domain.clone(), ReversePath::Address(sender_addr), vec![rcpt], message, arrival);
+    (arrival, sender)
 }
 
-fn summarize(world: &MailWorld, senders: &[SendingMta], messages: usize) -> DeploymentResult {
-    // Analyze the *server's* anonymized log, as the paper did.
-    let log_text = world.server(VICTIM_MX_IP).expect("deployment server").log_text();
+/// What one shard's replay leaves behind, as plain data so shards merge
+/// in shard order whatever the executor width.
+struct ShardRun {
+    events: u64,
+    bounces: usize,
+    log_text: String,
+    trace_lines: Vec<String>,
+    metrics: Registry,
+}
+
+fn summarize(log_text: &str, bounces_generated: usize, messages: usize) -> DeploymentResult {
+    // Analyze the *server's* anonymized log, as the paper did. Keys are
+    // triplet hashes, so concatenating the shard logs loses nothing.
     let analysis =
         GreylistLogAnalysis::from_lines(log_text.lines()).expect("MTA log lines are well-formed");
     let cdf = analysis.delay_cdf();
     let within_10min = if cdf.is_empty() { 0.0 } else { cdf.fraction_at_or_below(600.0) };
     let beyond_50min = if cdf.is_empty() { 0.0 } else { 1.0 - cdf.fraction_at_or_below(3_000.0) };
-    let bounces_generated = senders.iter().map(|s| s.bounces().len()).sum();
 
     DeploymentResult {
         within_10min,
@@ -232,30 +255,56 @@ pub fn run(config: &DeploymentConfig) -> DeploymentResult {
     run_with_obs(config, false, &mut Registry::new(), &mut Vec::new())
 }
 
-/// The same replay, exporting per-sender and victim-world metrics into
-/// `reg` and (when `trace` is set) draining delivery traces into
-/// `trace_lines`.
+/// The same replay, exporting per-sender, victim-world and per-shard
+/// metrics into `reg` and (when `trace` is set) draining delivery traces
+/// into `trace_lines`.
 pub fn run_with_obs(
     config: &DeploymentConfig,
     trace: bool,
     reg: &mut Registry,
     trace_lines: &mut Vec<String>,
 ) -> DeploymentResult {
-    let mut world = build_world(config);
-    if trace {
-        world = world.with_tracing();
+    let plan = ShardPlan::new(config.seed, DEPLOYMENT_SHARDS);
+    let domain: DomainName = DEPLOYMENT_DOMAIN.parse().expect("valid deployment domain");
+    let providers = WebmailProvider::table_iii();
+    let shard_runs = run_sharded(&plan, config.workers, |shard| {
+        let mut world = build_world(config);
+        if trace {
+            world = world.with_tracing();
+        }
+        let mut senders = Vec::new();
+        for i in 0..config.messages {
+            if !plan.owns(shard, &relay_name(i)) {
+                continue;
+            }
+            let (arrival, mut sender) = build_message(config, &providers, &domain, i);
+            sender.drain(arrival, &mut world);
+            senders.push(sender);
+        }
+        let mut metrics = Registry::new();
+        for sender in &senders {
+            spamward_mta::metrics::collect_sender(sender, &mut metrics);
+        }
+        spamward_mta::metrics::collect_world(&world, &mut metrics);
+        ShardRun {
+            events: world.engine_stats.events,
+            bounces: senders.iter().map(|s| s.bounces().len()).sum(),
+            log_text: world.server(VICTIM_MX_IP).expect("deployment server").log_text(),
+            trace_lines: world.trace.events().map(|e| e.to_string()).collect(),
+            metrics,
+        }
+    });
+
+    let mut log_text = String::new();
+    let mut bounces = 0;
+    for (shard, run) in shard_runs.iter().enumerate() {
+        spamward_mta::metrics::collect_shard_events(shard as u32, run.events, reg);
+        reg.merge(&run.metrics);
+        trace_lines.extend_from_slice(&run.trace_lines);
+        log_text.push_str(&run.log_text);
+        bounces += run.bounces;
     }
-    let mut traffic = build_traffic(config);
-    for (arrival, sender) in &mut traffic {
-        sender.drain(*arrival, &mut world);
-    }
-    let senders: Vec<SendingMta> = traffic.into_iter().map(|(_, s)| s).collect();
-    for sender in &senders {
-        spamward_mta::metrics::collect_sender(sender, reg);
-    }
-    spamward_mta::metrics::collect_world(&world, reg);
-    trace_lines.extend(world.trace.events().map(|e| e.to_string()));
-    summarize(&world, &senders, config.messages)
+    summarize(&log_text, bounces, config.messages)
 }
 
 impl DeploymentResult {
@@ -294,6 +343,11 @@ impl DeploymentExperiment {
                 Scale::Quick => 300,
             },
             event_budget: harness.event_budget,
+            workers: if harness.shards > 0 {
+                harness.shard_workers()
+            } else {
+                DeploymentConfig::default().workers
+            },
             ..Default::default()
         }
     }
@@ -424,7 +478,9 @@ mod tests {
             Err(HarnessError::BudgetExhausted { id, episodes_cut, events }) => {
                 assert_eq!(id, "fig5");
                 assert!(episodes_cut > 0);
-                assert!(events <= 10, "budget must cap executed events, got {events}");
+                // The budget caps each shard world independently.
+                let cap = 10 * u64::from(DEPLOYMENT_SHARDS);
+                assert!(events <= cap, "budget must cap executed events, got {events}");
             }
             Ok(_) => panic!("a 10-event budget cannot complete a 300-message replay"),
         }

@@ -4,15 +4,28 @@
 //! window (the paper's per-sample budget) against (a) a nolisting victim
 //! and (b) a greylisting victim at the 300 s Postgrey default. A ✓ means
 //! the defense prevented *every* spam message of that sample.
+//!
+//! Samples are independent (each gets its own campaign RNG fork and fresh
+//! per-defense worlds), so the matrix runs sharded: the roster partitions
+//! into [`EFFICACY_SHARDS`] fixed shards by stable hash of the sample
+//! name, rows and traces reassemble in roster order, and the per-shard
+//! metric registries merge — the report bytes equal the serial run's for
+//! every executor width.
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
 use spamward_obs::Registry;
-use spamward_sim::{DetRng, SimDuration, SimTime};
+use spamward_sim::shard::run_sharded;
+use spamward_sim::{DetRng, ShardPlan, SimDuration, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
+
+/// Fixed shard count of the roster partition. Samples are assigned to
+/// shards by stable hash of their name, never by worker id, so
+/// [`EfficacyConfig::workers`] only picks how many shards run at once.
+pub const EFFICACY_SHARDS: u32 = 8;
 
 /// Configuration of the Table II experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +41,9 @@ pub struct EfficacyConfig {
     /// Engine event budget per run, shared by every per-sample world
     /// (`None` = unbounded).
     pub event_budget: Option<u64>,
+    /// Shard-executor width: how many of the [`EFFICACY_SHARDS`] run
+    /// concurrently. Output bytes are identical for every value.
+    pub workers: usize,
 }
 
 impl Default for EfficacyConfig {
@@ -38,6 +54,7 @@ impl Default for EfficacyConfig {
             window: SimDuration::from_mins(30),
             greylist_delay: SimDuration::from_secs(300),
             event_budget: None,
+            workers: 4,
         }
     }
 }
@@ -110,47 +127,88 @@ pub fn run_with_obs(
 ) -> EfficacyResult {
     let roster = BotSample::table_i_roster(Ipv4Addr::new(203, 0, 113, 1));
     let horizon = SimTime::ZERO + config.window;
-    let mut rows = Vec::new();
+    let plan = ShardPlan::new(config.seed, EFFICACY_SHARDS);
 
-    for sample in roster {
-        let mut campaign_rng = DetRng::seed(config.seed)
-            .fork(sample.family().name())
-            .fork_idx("c", u64::from(sample.sample_idx()));
-        let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut campaign_rng);
-
-        // (a) nolisting victim.
-        let mut world = worlds::nolisting_world(config.seed);
-        world.event_budget = config.event_budget;
-        if trace {
-            world = world.with_tracing();
+    // Each shard runs the roster samples it owns, in roster order, into
+    // its own registry; rows and traces come back tagged with the roster
+    // index so the merged output keeps the serial order exactly.
+    let shard_runs = run_sharded(&plan, config.workers, |shard| {
+        let mut metrics = Registry::new();
+        let mut outputs: Vec<(usize, EfficacyRow, Vec<String>)> = Vec::new();
+        for (idx, sample) in roster.iter().enumerate() {
+            let key = format!("{}.sample{}", sample.family().name(), sample.sample_idx());
+            if !plan.owns(shard, &key) {
+                continue;
+            }
+            let (row, traces) = run_sample(config, sample, horizon, trace, &mut metrics);
+            outputs.push((idx, row, traces));
         }
-        let mut bot = sample.clone();
-        let nolisting_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
-        spamward_mta::metrics::collect_world(&world, reg);
-        spamward_botnet::metrics::collect_run(sample.family(), &nolisting_report, reg);
-        trace_lines.extend(world.trace.events().map(|e| e.to_string()));
+        (outputs, metrics)
+    });
 
-        // (b) greylisting victim.
-        let mut world = worlds::greylist_world(config.seed, config.greylist_delay);
-        world.event_budget = config.event_budget;
-        if trace {
-            world = world.with_tracing();
-        }
-        let mut bot = sample.clone();
-        let greylist_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
-        spamward_mta::metrics::collect_world(&world, reg);
-        spamward_botnet::metrics::collect_run(sample.family(), &greylist_report, reg);
-        trace_lines.extend(world.trace.events().map(|e| e.to_string()));
-
-        rows.push(EfficacyRow {
-            family: sample.family(),
-            sample_idx: sample.sample_idx(),
-            nolisting_blocked: !nolisting_report.any_delivered(),
-            greylisting_blocked: !greylist_report.any_delivered(),
-        });
+    let mut tagged: Vec<&(usize, EfficacyRow, Vec<String>)> = Vec::new();
+    for (shard, (outputs, metrics)) in shard_runs.iter().enumerate() {
+        let events = metrics.counter(spamward_mta::metrics::ENGINE_EVENTS).unwrap_or(0);
+        spamward_mta::metrics::collect_shard_events(shard as u32, events, reg);
+        reg.merge(metrics);
+        tagged.extend(outputs);
     }
+    tagged.sort_by_key(|(idx, _, _)| *idx);
 
+    let mut rows = Vec::new();
+    for (_, row, traces) in tagged {
+        rows.push(row.clone());
+        trace_lines.extend_from_slice(traces);
+    }
     EfficacyResult { rows }
+}
+
+/// Runs one roster sample against both defenses, folding the two worlds'
+/// metrics into `metrics` and returning the Table II row plus any traces.
+fn run_sample(
+    config: &EfficacyConfig,
+    sample: &BotSample,
+    horizon: SimTime,
+    trace: bool,
+    metrics: &mut Registry,
+) -> (EfficacyRow, Vec<String>) {
+    let mut campaign_rng = DetRng::seed(config.seed)
+        .fork(sample.family().name())
+        .fork_idx("c", u64::from(sample.sample_idx()));
+    let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut campaign_rng);
+    let mut traces = Vec::new();
+
+    // (a) nolisting victim.
+    let mut world = worlds::nolisting_world(config.seed);
+    world.event_budget = config.event_budget;
+    if trace {
+        world = world.with_tracing();
+    }
+    let mut bot = sample.clone();
+    let nolisting_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+    spamward_mta::metrics::collect_world(&world, metrics);
+    spamward_botnet::metrics::collect_run(sample.family(), &nolisting_report, metrics);
+    traces.extend(world.trace.events().map(|e| e.to_string()));
+
+    // (b) greylisting victim.
+    let mut world = worlds::greylist_world(config.seed, config.greylist_delay);
+    world.event_budget = config.event_budget;
+    if trace {
+        world = world.with_tracing();
+    }
+    let mut bot = sample.clone();
+    let greylist_report = bot.run_campaign(&mut world, &campaign, SimTime::ZERO, horizon);
+    spamward_mta::metrics::collect_world(&world, metrics);
+    spamward_botnet::metrics::collect_run(sample.family(), &greylist_report, metrics);
+    traces.extend(world.trace.events().map(|e| e.to_string()));
+
+    let row = EfficacyRow {
+        family: sample.family(),
+        sample_idx: sample.sample_idx(),
+        nolisting_blocked: !nolisting_report.any_delivered(),
+        greylisting_blocked: !greylist_report.any_delivered(),
+    };
+    (row, traces)
 }
 
 impl EfficacyResult {
@@ -201,6 +259,11 @@ impl EfficacyExperiment {
                 Scale::Quick => 5,
             },
             event_budget: harness.event_budget,
+            workers: if harness.shards > 0 {
+                harness.shard_workers()
+            } else {
+                EfficacyConfig::default().workers
+            },
             ..Default::default()
         }
     }

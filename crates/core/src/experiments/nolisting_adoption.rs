@@ -6,15 +6,31 @@
 //! reproduction runs the same pipeline over a synthetic population with
 //! ground truth (see `spamward-scanner`), which additionally yields the
 //! detector's precision/recall.
+//!
+//! The survey runs sharded: the population is a streaming generator
+//! ([`PopulationStream`]) partitioned into [`ADOPTION_SHARDS`] fixed
+//! shards by stable hash; each shard scans its domains in their own
+//! mini-worlds and the per-shard [`ShardScanStats`] merge field-wise.
+//! The partition is independent of the executor width, so
+//! `repro fig2 --shards N` is byte-identical for every `N` — and memory
+//! stays O(1) in the population size, which is what lets a 10 M-domain
+//! scan run on a laptop.
 
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
 use spamward_analysis::Table;
 use spamward_obs::Registry;
 use spamward_scanner::{
-    resolve_missing, BannerGrab, DetectorAccuracy, DnsAnyScan, DomainClass, Fig2Stats,
-    NolistingDetector, Population, PopulationSpec, ScanRound,
+    scan_shard, DetectorAccuracy, DomainClass, Fig2Stats, PopulationSpec, PopulationStream,
+    ShardScanStats,
 };
+use spamward_sim::shard::run_sharded;
+use spamward_sim::ShardPlan;
 use std::fmt;
+
+/// Fixed shard count of the survey's partition. Domains are assigned to
+/// shards by stable hash of their name, never by worker id, so
+/// [`AdoptionConfig::workers`] only picks how many shards run at once.
+pub const ADOPTION_SHARDS: u32 = 8;
 
 /// Configuration of the adoption survey.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +42,8 @@ pub struct AdoptionConfig {
     pub seed: u64,
     /// Scan epochs (paper: two scans, 2015-02-28 and 2015-04-25).
     pub epochs: Vec<u64>,
-    /// Parallel resolver threads for the missing-glue pass.
+    /// Shard-executor width: how many of the [`ADOPTION_SHARDS`] run
+    /// concurrently. Output bytes are identical for every value.
     pub workers: usize,
     /// Population knobs (class mix, host flakiness).
     pub spec: PopulationSpec,
@@ -72,9 +89,9 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
     run_with_obs(config, &mut Registry::new())
 }
 
-/// Runs the Fig. 2 survey, exporting scan-pipeline and classification
-/// metrics into `reg`. (The survey has no mail world, so there is no trace
-/// stream to drain.)
+/// Runs the Fig. 2 survey, exporting scan-pipeline, classification and
+/// per-shard metrics into `reg`. (The survey has no mail world, so there
+/// is no trace stream to drain.)
 ///
 /// # Panics
 ///
@@ -83,59 +100,35 @@ pub fn run_with_obs(config: &AdoptionConfig, reg: &mut Registry) -> AdoptionResu
     assert!(config.epochs.len() >= 2, "the cross-check needs at least two scans");
     let mut spec = config.spec.clone();
     spec.domains = config.domains;
-    let mut pop = Population::generate(&spec, config.seed);
-    let names: Vec<_> = pop.domains.iter().map(|d| d.name.clone()).collect();
+    let stream = PopulationStream::new(spec, config.seed);
+    let plan = ShardPlan::new(config.seed, ADOPTION_SHARDS);
+    let ks = [15u32, 500, 1000];
+    let per_shard =
+        run_sharded(&plan, config.workers, |s| scan_shard(&stream, &plan, s, &config.epochs, &ks));
 
-    let mut rounds = Vec::new();
-    let mut glue_resolved = 0;
-    for &epoch in &config.epochs {
-        let mut dns_scan = DnsAnyScan::collect(&mut pop.dns, &names);
-        glue_resolved += resolve_missing(&mut dns_scan, &pop.dns, config.workers);
-        let banner = BannerGrab::collect(&pop.network, epoch);
-        rounds.push(ScanRound { dns: dns_scan, banner });
+    // Merge in shard order; every shard of the fixed partition records its
+    // event count, so the metric set never depends on `workers`.
+    let mut total = ShardScanStats::empty(config.epochs.len(), &ks);
+    for (shard, stats) in per_shard.iter().enumerate() {
+        spamward_mta::metrics::collect_shard_events(shard as u32, stats.events, reg);
+        total.merge(stats);
     }
+    spamward_scanner::metrics::collect_shard_scan(&total, reg);
 
-    // Per-epoch single-scan counts, for the between-scan drift number.
-    let mut per_epoch_nolisting = Vec::new();
-    for round in &rounds {
-        let (stats, _) = NolistingDetector::run(std::slice::from_ref(round), &names);
-        per_epoch_nolisting.push(
-            stats
-                .counts
-                .iter()
-                .find(|(c, _)| *c == DomainClass::Nolisting)
-                .map(|(_, n)| *n)
-                .unwrap_or(0),
-        );
-    }
-    let between_scan_change = if per_epoch_nolisting[0] == 0 {
+    let between_scan_change = if total.per_epoch_nolisting[0] == 0 {
         0.0
     } else {
-        (per_epoch_nolisting[1] as f64 - per_epoch_nolisting[0] as f64).abs()
-            / per_epoch_nolisting[0] as f64
+        (total.per_epoch_nolisting[1] as f64 - total.per_epoch_nolisting[0] as f64).abs()
+            / total.per_epoch_nolisting[0] as f64
     };
 
-    let (stats, verdicts) = NolistingDetector::run(&rounds, &names);
-    let accuracy = NolistingDetector::score(&pop, &verdicts);
-    spamward_scanner::metrics::collect_rounds(&rounds, reg);
-    spamward_scanner::metrics::collect_fig2(&stats, reg);
-    spamward_scanner::metrics::collect_accuracy(&accuracy, reg);
-
-    let top_k = [15u32, 500, 1000]
-        .iter()
-        .map(|&k| {
-            let count = pop
-                .domains
-                .iter()
-                .filter(|d| {
-                    d.alexa_rank <= k && verdicts.get(&d.name) == Some(&DomainClass::Nolisting)
-                })
-                .count();
-            (k, count)
-        })
-        .collect();
-
-    AdoptionResult { stats, accuracy, top_k, glue_resolved, between_scan_change }
+    AdoptionResult {
+        stats: total.fig2(),
+        accuracy: total.accuracy,
+        top_k: total.top_k.iter().map(|&(k, n)| (k, n as usize)).collect(),
+        glue_resolved: total.glue_resolved as usize,
+        between_scan_change,
+    }
 }
 
 impl AdoptionResult {
@@ -190,6 +183,11 @@ impl AdoptionExperiment {
         AdoptionConfig {
             domains,
             seed: harness.seed_or(AdoptionConfig::default().seed),
+            workers: if harness.shards > 0 {
+                harness.shard_workers()
+            } else {
+                AdoptionConfig::default().workers
+            },
             ..Default::default()
         }
     }

@@ -66,12 +66,25 @@ pub struct HarnessConfig {
     /// fail with [`HarnessError::BudgetExhausted`] if any episode was cut
     /// short; catalogue and meta experiments that drive no world ignore it.
     pub event_budget: Option<u64>,
+    /// Worker threads for the shard executor of sharded experiments
+    /// (`repro --shards`). The *partition* of a sharded experiment is
+    /// fixed per experiment, so this only selects how many shards run
+    /// concurrently — output bytes are identical for every value. `0`
+    /// (the `Default`) means 1, via [`HarnessConfig::shard_workers`];
+    /// experiments without a sharded path ignore it.
+    pub shards: usize,
 }
 
 impl HarnessConfig {
     /// The effective seed given an experiment's paper default.
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// The effective shard-executor width: [`HarnessConfig::shards`],
+    /// with the unset `Default` of 0 meaning serial execution.
+    pub fn shard_workers(&self) -> usize {
+        self.shards.max(1)
     }
 }
 
@@ -544,6 +557,9 @@ mod tests {
         assert_eq!(default.seed_or(42), 42);
         assert_eq!(default.scale, Scale::Paper);
         assert_eq!(default.event_budget, None);
+        assert_eq!(default.shards, 0);
+        assert_eq!(default.shard_workers(), 1, "unset shards mean serial execution");
+        assert_eq!(HarnessConfig { shards: 4, ..Default::default() }.shard_workers(), 4);
         let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick, ..Default::default() };
         assert_eq!(forced.seed_or(42), 9);
     }

@@ -1,6 +1,6 @@
-//! Multi-seed experiment execution with a crossbeam worker pool.
+//! Multi-seed experiment execution on the shard executor.
 
-use crossbeam::channel;
+use spamward_sim::shard::run_partitioned;
 
 /// One seed's result.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +16,9 @@ pub struct SeedRun<T> {
 ///
 /// Experiment functions are pure given their seed, so this is safe
 /// parallelism for sweeps (used by the threshold ablation and the
-/// benches).
+/// benches). The fan-out is
+/// [`run_partitioned`](spamward_sim::shard::run_partitioned), so the
+/// result is byte-identical to a serial map regardless of `workers`.
 ///
 /// # Panics
 ///
@@ -26,31 +28,8 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
-    let (job_tx, job_rx) = channel::unbounded::<u64>();
-    let (res_tx, res_rx) = channel::unbounded::<SeedRun<T>>();
-    for &s in seeds {
-        job_tx.send(s).expect("queue seeds");
-    }
-    drop(job_tx);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers.min(seeds.len().max(1)) {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok(seed) = job_rx.recv() {
-                    let output = f(seed);
-                    res_tx.send(SeedRun { seed, output }).expect("report result");
-                }
-            });
-        }
-        drop(res_tx);
-    })
-    .expect("seed workers never panic");
-
-    let mut out: Vec<SeedRun<T>> = res_rx.iter().collect();
+    let mut out =
+        run_partitioned(seeds.to_vec(), workers, |seed| SeedRun { seed, output: f(seed) });
     out.sort_by_key(|r| r.seed);
     out
 }

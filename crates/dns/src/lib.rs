@@ -28,7 +28,7 @@ mod resolver;
 pub mod zone;
 
 pub use authority::{Authority, QueryOutcome, Rcode};
-pub use name::{DomainName, ParseNameError};
+pub use name::{DomainName, NameId, NameTable, ParseNameError};
 pub use record::{RecordData, RecordType, ResourceRecord};
 pub use resolver::{MxHost, ResolveError, Resolver, ResolverStats};
 pub use zone::Zone;

@@ -1,8 +1,47 @@
-//! Validated domain names.
+//! Validated domain names with optional interning.
+//!
+//! [`DomainName`] stores its canonical text behind an [`Arc<str>`], so
+//! cloning a name — which `dns` resolution and `net` host lookups do on
+//! every hot path — bumps a reference count instead of copying a `String`.
+//! A name can additionally be *interned* into a [`NameTable`], which
+//! assigns it a `u32` id; two names interned in the same table compare by
+//! id (one integer compare) instead of by bytes. Uninterned names and
+//! names from different tables fall back to text comparison, so every
+//! comparison trait remains a pure function of the canonical text — the
+//! id is only ever a fast path, never a different answer.
 
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::Arc;
+
+/// The id a [`NameTable`] assigns to an interned [`DomainName`].
+///
+/// Ids are only comparable within the table that issued them, so the id
+/// carries its table's tag; [`DomainName`] equality uses the id fast path
+/// only when both tags match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId {
+    table: u32,
+    index: u32,
+}
+
+impl NameId {
+    /// The tag of the issuing [`NameTable`].
+    #[must_use]
+    pub fn table(self) -> u32 {
+        self.table
+    }
+
+    /// The name's slot in the issuing table.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
 
 /// A validated, canonical (lowercase, no trailing dot) domain name.
 ///
@@ -15,9 +54,50 @@ use std::str::FromStr;
 /// assert_eq!(d.parent().unwrap().as_str(), "foo.net");
 /// # Ok::<(), spamward_dns::ParseNameError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
-pub struct DomainName(String);
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainName {
+    text: Arc<str>,
+    id: Option<NameId>,
+}
+
+// Equality, ordering and hashing are all defined by the canonical text;
+// the interned id is a fast path that agrees with the text because a
+// NameTable is a bijection between its ids and its texts.
+
+impl PartialEq for DomainName {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.id, other.id) {
+            (Some(a), Some(b)) if a.table() == b.table() => a.index() == b.index(),
+            _ => Arc::ptr_eq(&self.text, &other.text) || self.text == other.text,
+        }
+    }
+}
+
+impl Eq for DomainName {}
+
+impl PartialOrd for DomainName {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DomainName {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self == other {
+            // Covers the id and pointer fast paths without re-deriving them.
+            return Ordering::Equal;
+        }
+        self.text.cmp(&other.text)
+    }
+}
+
+impl Hash for DomainName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with Eq across interned and uninterned copies of the
+        // same name, so only the text participates.
+        self.text.hash(state);
+    }
+}
 
 /// Error parsing a [`DomainName`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,30 +155,36 @@ impl DomainName {
                 }
             }
         }
-        Ok(DomainName(lower))
+        Ok(DomainName { text: Arc::from(lower), id: None })
     }
 
     /// The canonical textual form.
     pub fn as_str(&self) -> &str {
-        &self.0
+        &self.text
+    }
+
+    /// The id assigned by a [`NameTable`], if this copy is interned.
+    #[must_use]
+    pub fn id(&self) -> Option<NameId> {
+        self.id
     }
 
     /// The labels, most-specific first.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.0.split('.')
+        self.text.split('.')
     }
 
     /// The name with the leftmost label removed, or `None` at a TLD.
     pub fn parent(&self) -> Option<DomainName> {
-        self.0.split_once('.').map(|(_, rest)| DomainName(rest.to_owned()))
+        self.text.split_once('.').map(|(_, rest)| DomainName { text: Arc::from(rest), id: None })
     }
 
     /// Whether `self` equals `other` or is a subdomain of it.
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
         self == other
-            || (self.0.len() > other.0.len()
-                && self.0.ends_with(&other.0)
-                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+            || (self.text.len() > other.text.len()
+                && self.text.ends_with(&*other.text)
+                && self.text.as_bytes()[self.text.len() - other.text.len() - 1] == b'.')
     }
 
     /// Prefixes a label, e.g. `"smtp"` + `foo.net` → `smtp.foo.net`.
@@ -107,7 +193,7 @@ impl DomainName {
     ///
     /// Returns [`ParseNameError`] if the resulting name is invalid.
     pub fn prefixed(&self, label: &str) -> Result<DomainName, ParseNameError> {
-        DomainName::parse(&format!("{label}.{}", self.0))
+        DomainName::parse(&format!("{label}.{}", self.text))
     }
 }
 
@@ -120,13 +206,107 @@ impl FromStr for DomainName {
 
 impl fmt::Display for DomainName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.text)
     }
 }
 
 impl AsRef<str> for DomainName {
     fn as_ref(&self) -> &str {
-        &self.0
+        &self.text
+    }
+}
+
+/// A `u32` symbol table for [`DomainName`]s.
+///
+/// Interning deduplicates the backing text (one `Arc<str>` per distinct
+/// name, shared by every interned copy) and stamps each name with a
+/// [`NameId`], which turns comparisons between two names from the same
+/// table into integer compares. Tables are identified by a caller-chosen
+/// `tag`; id fast paths only apply when both names carry the same tag, so
+/// mixing tables is safe (just slower).
+///
+/// # Example
+///
+/// ```
+/// use spamward_dns::NameTable;
+/// let mut names = NameTable::new(1);
+/// let a = names.intern("foo.net")?;
+/// let b = names.intern("FOO.net.")?;
+/// assert_eq!(a.id(), b.id());
+/// assert_eq!(names.len(), 1);
+/// # Ok::<(), spamward_dns::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    tag: u32,
+    names: Vec<Arc<str>>,
+    index: BTreeMap<Arc<str>, u32>,
+}
+
+impl NameTable {
+    /// An empty table identified by `tag`.
+    #[must_use]
+    pub fn new(tag: u32) -> Self {
+        NameTable { tag, names: Vec::new(), index: BTreeMap::new() }
+    }
+
+    /// The table's tag.
+    #[must_use]
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Parses `s` and interns it, returning the interned name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] when `s` is not a valid domain name.
+    pub fn intern(&mut self, s: &str) -> Result<DomainName, ParseNameError> {
+        let name = DomainName::parse(s)?;
+        Ok(self.intern_name(&name))
+    }
+
+    /// Interns an already-validated name, sharing its text allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table exceeds `u32::MAX` entries.
+    pub fn intern_name(&mut self, name: &DomainName) -> DomainName {
+        if let Some(&index) = self.index.get(name.as_str()) {
+            return DomainName {
+                text: Arc::clone(&self.names[index as usize]),
+                id: Some(NameId { table: self.tag, index }),
+            };
+        }
+        let index = u32::try_from(self.names.len()).expect("name table holds at most 2^32 names");
+        self.names.push(Arc::clone(&name.text));
+        self.index.insert(Arc::clone(&name.text), index);
+        DomainName { text: Arc::clone(&name.text), id: Some(NameId { table: self.tag, index }) }
+    }
+
+    /// Looks an interned name back up by id.
+    ///
+    /// Returns `None` for ids from other tables or out-of-range indices.
+    #[must_use]
+    pub fn get(&self, id: NameId) -> Option<DomainName> {
+        if id.table != self.tag {
+            return None;
+        }
+        self.names
+            .get(id.index as usize)
+            .map(|text| DomainName { text: Arc::clone(text), id: Some(id) })
+    }
+
+    /// The number of distinct names interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
     }
 }
 
@@ -192,6 +372,68 @@ mod tests {
         assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "c"]);
     }
 
+    #[test]
+    fn clone_shares_the_text_allocation() {
+        let a = DomainName::parse("mail.foo.net").unwrap();
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()), "clone must not copy the text");
+    }
+
+    #[test]
+    fn interning_dedupes_and_assigns_stable_ids() {
+        let mut table = NameTable::new(9);
+        let a = table.intern("foo.net").unwrap();
+        let b = table.intern("bar.net").unwrap();
+        let a2 = table.intern("FOO.net.").unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(a.id(), a2.id());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id().unwrap().table(), 9);
+        assert_eq!(a, a2);
+        assert!(std::ptr::eq(a.as_str(), a2.as_str()), "interned copies share one text");
+        assert_eq!(table.get(a.id().unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn interned_and_uninterned_copies_agree_on_all_traits() {
+        use std::collections::hash_map::DefaultHasher;
+        let mut table = NameTable::new(1);
+        let plain = DomainName::parse("smtp.foo.net").unwrap();
+        let interned = table.intern_name(&plain);
+        assert_eq!(plain, interned);
+        assert_eq!(plain.cmp(&interned), Ordering::Equal);
+        let hash = |d: &DomainName| {
+            let mut h = DefaultHasher::new();
+            d.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&plain), hash(&interned));
+    }
+
+    #[test]
+    fn ids_from_different_tables_never_alias() {
+        let mut t1 = NameTable::new(1);
+        let mut t2 = NameTable::new(2);
+        let a = t1.intern("foo.net").unwrap();
+        let b = t2.intern("bar.net").unwrap();
+        // Same index, different tables: must compare by text, not by id.
+        assert_eq!(a.id().unwrap().index(), b.id().unwrap().index());
+        assert_ne!(a, b);
+        assert!(t1.get(b.id().unwrap()).is_none());
+    }
+
+    #[test]
+    fn interned_ordering_matches_text_ordering() {
+        let mut table = NameTable::new(3);
+        // Intern in an order that disagrees with lexicographic order.
+        let z = table.intern("zeta.net").unwrap();
+        let a = table.intern("alpha.net").unwrap();
+        let m = table.intern("mid.net").unwrap();
+        let mut v = vec![z.clone(), a.clone(), m.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, m, z], "sort order is the text order, never the id order");
+    }
+
     proptest! {
         #[test]
         fn prop_parse_is_idempotent(s in "[a-z0-9]{1,10}(\\.[a-z0-9]{1,10}){0,3}") {
@@ -205,6 +447,24 @@ mod tests {
             let lower = DomainName::parse(&s.to_ascii_lowercase()).unwrap();
             let mixed = DomainName::parse(&s).unwrap();
             prop_assert_eq!(lower, mixed);
+        }
+
+        #[test]
+        fn prop_interning_preserves_comparisons(
+            names in proptest::collection::vec("[a-z0-9]{1,8}\\.[a-z]{2,4}", 2..12)
+        ) {
+            let mut table = NameTable::new(7);
+            let plain: Vec<DomainName> =
+                names.iter().map(|s| DomainName::parse(s).unwrap()).collect();
+            let interned: Vec<DomainName> =
+                plain.iter().map(|d| table.intern_name(d)).collect();
+            for (i, a) in plain.iter().enumerate() {
+                for (j, b) in plain.iter().enumerate() {
+                    prop_assert_eq!(a.cmp(b), interned[i].cmp(&interned[j]));
+                    prop_assert_eq!(a == b, interned[i] == interned[j]);
+                    prop_assert_eq!(a.cmp(b), a.cmp(&interned[j]));
+                }
+            }
         }
     }
 }

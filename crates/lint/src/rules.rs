@@ -71,11 +71,11 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         "C1" => {
             "C1 — shard-unsafe concurrency. Threads, rayon, locks, atomics and channels \
              in world code make event order depend on the host scheduler, which breaks \
-             the byte-identical shard-merge contract before it exists. Concurrency is \
-             confined to the sanctioned fan-out modules (crates/core/src/runner.rs's \
-             run_seeds pool, the future crates/sim/src/shard.rs executor); world code \
-             stays single-threaded and parallelism happens across whole deterministic \
-             worlds."
+             the byte-identical shard-merge contract. Concurrency is confined to the \
+             sanctioned fan-out module (crates/sim/src/shard.rs, whose \
+             run_partitioned/run_sharded executor every parallel path routes through); \
+             world code stays single-threaded and parallelism happens across whole \
+             deterministic worlds."
         }
         "C2" => {
             "C2 — unordered float accumulation. f64 addition is not associative, so a \

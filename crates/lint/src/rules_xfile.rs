@@ -19,12 +19,12 @@ use crate::model::WorkspaceModel;
 use crate::rules::{self, Diagnostic};
 use std::collections::BTreeMap;
 
-/// Modules sanctioned to use concurrency primitives: the multi-seed
-/// fan-out pool behind `repro --jobs`, and the (future) deterministic
-/// shard executor of ROADMAP item 1. World code stays single-threaded;
-/// parallelism happens across whole deterministic worlds whose outputs
-/// merge byte-stably.
-const C1_SANCTIONED: &[&str] = &["crates/core/src/runner.rs", "crates/sim/src/shard.rs"];
+/// Modules sanctioned to use concurrency primitives: the deterministic
+/// shard executor, which every parallel path (the multi-seed `runner`
+/// pool, dataset resolution, `repro --shards`) routes through. World code
+/// stays single-threaded; parallelism happens across whole deterministic
+/// shards whose outputs merge byte-stably.
+const C1_SANCTIONED: &[&str] = &["crates/sim/src/shard.rs"];
 
 /// Concurrency primitives C1 looks for. Token-matched against masked
 /// source, so comments and strings never trip it.
@@ -103,9 +103,8 @@ fn check_c1(model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
                     format!(
                         "concurrency primitive `{pat}` outside the sanctioned fan-out \
                          modules — world code must stay single-threaded-deterministic; \
-                         parallelize across whole worlds via \
-                         `spamward_core::runner::run_seeds` (or the future `sim::shard` \
-                         executor)"
+                         parallelize across whole worlds via the `spamward_sim::shard` \
+                         executor (`run_partitioned`/`run_sharded`)"
                     ),
                 );
             }

@@ -38,7 +38,7 @@ fn c1_fixture_pair() {
     assert!(check_workspace(&clean).is_empty());
 
     // The sanctioned fan-out module may use the same primitives.
-    let pool = model(&[("crates/core/src/runner.rs", &fixture("c1_violation.rs"))], None);
+    let pool = model(&[("crates/sim/src/shard.rs", &fixture("c1_violation.rs"))], None);
     assert!(check_workspace(&pool).is_empty());
 }
 

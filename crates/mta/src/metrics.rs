@@ -99,6 +99,11 @@ pub const ENGINE_OUTCOME_HORIZON: &str = "sim.engine.outcome.horizon_reached";
 pub const ENGINE_OUTCOME_BUDGET_EXHAUSTED: &str = "sim.engine.outcome.budget_exhausted";
 /// Episodes stopped early from inside an event.
 pub const ENGINE_OUTCOME_STOPPED: &str = "sim.engine.outcome.stopped";
+/// Per-shard engine event counts of sharded runs: `sim.engine.shard.`
+/// followed by the shard index and `.events`. Sharded experiments record
+/// every shard of their fixed partition, so the name set — and therefore
+/// the canonical output — does not depend on executor width.
+pub const ENGINE_SHARD_PREFIX: &str = "sim.engine.shard.";
 
 /// Retry-slot histogram bounds: attempt numbers along a typical schedule.
 pub const RETRY_SLOT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
@@ -206,6 +211,13 @@ fn collect_engine(world: &MailWorld, reg: &mut Registry) {
     reg.record_counter(ENGINE_OUTCOME_STOPPED, stats.outcomes.stopped);
 }
 
+/// Exports one shard's engine event count under its
+/// [`ENGINE_SHARD_PREFIX`] name. Sharded experiments call this once per
+/// shard of their fixed partition, in shard order.
+pub fn collect_shard_events(shard: u32, events: u64, reg: &mut Registry) {
+    reg.record_counter(&format!("{ENGINE_SHARD_PREFIX}{shard}.events"), events);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +227,15 @@ mod tests {
     use spamward_sim::{SimDuration, SimTime};
     use spamward_smtp::{Message, ReversePath};
     use std::net::Ipv4Addr;
+
+    #[test]
+    fn shard_event_collection_names_each_shard() {
+        let mut reg = Registry::new();
+        collect_shard_events(0, 12, &mut reg);
+        collect_shard_events(3, 0, &mut reg);
+        assert_eq!(reg.counter("sim.engine.shard.0.events"), Some(12));
+        assert_eq!(reg.counter("sim.engine.shard.3.events"), Some(0));
+    }
 
     #[test]
     fn world_collection_reflects_a_delivery() {

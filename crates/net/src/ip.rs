@@ -74,6 +74,34 @@ impl IpPool {
     }
 }
 
+/// The `k`-th address a pool starting at `start` would allocate, as a pure
+/// function — `indexed_ip(start, k) == IpPool::new(start)` after `k` calls
+/// to [`IpPool::next_ip`].
+///
+/// Streaming population generators use this to synthesize any record's
+/// addresses directly from its index, without walking a stateful pool
+/// through every earlier record.
+///
+/// # Panics
+///
+/// Panics if the `k`-th address would fall outside the IPv4 space.
+#[must_use]
+pub fn indexed_ip(start: Ipv4Addr, k: u64) -> Ipv4Addr {
+    const HOSTS_PER_BLOCK: u64 = 254; // host octets 1..=254
+    let s = u32::from(start);
+    // Normalize `start` to (block, offset-within-valid-sequence).
+    let (block, first_offset) = match s & 0xFF {
+        0 => (u64::from(s >> 8), 0),
+        255 => (u64::from(s >> 8) + 1, 0),
+        h => (u64::from(s >> 8), u64::from(h) - 1),
+    };
+    let total = first_offset + k;
+    let block = block + total / HOSTS_PER_BLOCK;
+    let host = 1 + total % HOSTS_PER_BLOCK;
+    let addr = (block << 8) | host;
+    u32::try_from(addr).map(Ipv4Addr::from).expect("IPv4 space exhausted")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +122,24 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ips.len());
+    }
+
+    #[test]
+    fn indexed_ip_matches_the_pool() {
+        for start in
+            [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(11, 0, 0, 0), Ipv4Addr::new(10, 0, 0, 254)]
+        {
+            let mut pool = IpPool::new(start);
+            for k in 0..600 {
+                assert_eq!(indexed_ip(start, k), pool.next_ip(), "start={start} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "IPv4 space exhausted")]
+    fn indexed_ip_past_the_space_panics() {
+        let _ = indexed_ip(Ipv4Addr::new(255, 255, 255, 1), 300);
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub use faults::{
     SmtpFaults,
 };
 pub use host::{Availability, Host, HostBuilder, HostId, PortState};
-pub use ip::{net24, IpPool};
+pub use ip::{indexed_ip, net24, IpPool};
 pub use latency::LatencyModel;
-pub use network::{ConnectError, Connection, Network, ProbeResult};
+pub use network::{host_seed, ConnectError, Connection, Network, ProbeResult};
 
 /// The SMTP port, used pervasively across the suite.
 pub const SMTP_PORT: u16 = 25;

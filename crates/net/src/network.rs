@@ -67,6 +67,19 @@ impl ConnectError {
     }
 }
 
+/// The stable per-host seed for flap patterns, derived purely from the
+/// host's name — never from registration order — so a streaming generator
+/// that synthesizes a host record on the fly and a materialized
+/// [`Network`] agree on every availability decision.
+#[must_use]
+pub fn host_seed(name: &str) -> u64 {
+    let mut h: u64 = 0x9E37_79B9;
+    for b in name.bytes() {
+        h = h.rotate_left(5) ^ u64::from(b);
+    }
+    h
+}
+
 /// An established (simulated) TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Connection {
@@ -200,13 +213,7 @@ impl Network {
             let prev = self.by_ip.insert(ip, id);
             assert!(prev.is_none(), "IP {ip} already owned by {:?}", prev);
         }
-        // A stable per-host seed for flap patterns: independent of insertion
-        // order of *other* hosts.
-        let mut h: u64 = 0x9E37_79B9;
-        for b in name.bytes() {
-            h = h.rotate_left(5) ^ u64::from(b);
-        }
-        let seed = h ^ (id.0 << 32);
+        let seed = host_seed(&name);
         self.hosts.push(Host { id, name, ips, ports, availability, seed });
         id
     }

@@ -1,9 +1,9 @@
 //! The two zmap-style datasets and the missing-entry re-resolver.
 
-use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use spamward_dns::{Authority, DomainName, Rcode, RecordData, RecordType};
 use spamward_net::{Network, SMTP_PORT};
+use spamward_sim::shard::run_partitioned;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
@@ -140,15 +140,15 @@ impl DnsAnyScan {
 /// Resolves the dataset's missing MX addresses in parallel — the paper's
 /// "we implemented a parallel scanner to resolve the missing entries".
 ///
-/// Fans the unresolved exchanger names out to `workers` crossbeam threads
-/// querying the authority read-only, then patches the dataset in place.
-/// Returns how many entries were resolved.
+/// Fans the unresolved exchanger names out to the shard executor's
+/// ordered worker pool ([`run_partitioned`], `workers` wide) querying the
+/// authority read-only, then patches the dataset in place. Returns how
+/// many entries were resolved.
 ///
 /// # Panics
 ///
 /// Panics if `workers == 0`.
 pub fn resolve_missing(scan: &mut DnsAnyScan, dns: &Authority, workers: usize) -> usize {
-    assert!(workers > 0, "need at least one worker");
     let names: Vec<DomainName> = {
         let mut set: BTreeSet<DomainName> = BTreeSet::new();
         for e in scan.mx.values().flatten().filter(|e| e.ip.is_none()) {
@@ -157,36 +157,19 @@ pub fn resolve_missing(scan: &mut DnsAnyScan, dns: &Authority, workers: usize) -
         set.into_iter().collect()
     };
     if names.is_empty() {
+        assert!(workers > 0, "need at least one worker");
         return 0;
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<DomainName>();
-    let (res_tx, res_rx) = channel::unbounded::<(DomainName, Option<Ipv4Addr>)>();
-    for name in &names {
-        job_tx.send(name.clone()).expect("queue jobs");
-    }
-    drop(job_tx);
-
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            s.spawn(move |_| {
-                while let Ok(name) = job_rx.recv() {
-                    let out = dns.query_ro(&name, RecordType::A);
-                    let ip = out.answers.iter().find_map(|r| match r.data {
-                        RecordData::A(ip) => Some(ip),
-                        _ => None,
-                    });
-                    res_tx.send((name, ip)).expect("report result");
-                }
-            });
-        }
-        drop(res_tx);
-    })
-    .expect("scanner threads never panic");
-
-    let resolved: BTreeMap<DomainName, Option<Ipv4Addr>> = res_rx.iter().collect();
+    let results = run_partitioned(names, workers, |name| {
+        let out = dns.query_ro(&name, RecordType::A);
+        let ip = out.answers.iter().find_map(|r| match r.data {
+            RecordData::A(ip) => Some(ip),
+            _ => None,
+        });
+        (name, ip)
+    });
+    let resolved: BTreeMap<DomainName, Option<Ipv4Addr>> = results.into_iter().collect();
     let mut patched = 0;
     for e in scan.mx.values_mut().flatten() {
         if e.ip.is_none() {

@@ -12,12 +12,16 @@
 //!   popularity ranking for the Alexa cross-check.
 //! * [`DnsAnyScan`] — the DNS dataset, including MX records whose A
 //!   records are missing (the entries the paper re-resolved with a
-//!   parallel scanner — [`resolve_missing`] reproduces that step with a
-//!   crossbeam worker pool).
+//!   parallel scanner — [`resolve_missing`] reproduces that step on the
+//!   shard executor's ordered worker pool).
 //! * [`BannerGrab`] — the SYN-scan dataset of listening port-25 hosts.
 //! * [`NolistingDetector`] — the three-step classification plus the
 //!   two-scans-months-apart cross-check, emitting [`Fig2Stats`] and (a
 //!   luxury the paper didn't have) accuracy against ground truth.
+//! * [`PopulationStream`]/[`scan_shard`] — the internet-scale path: the
+//!   population as a streaming generator (any domain synthesized from its
+//!   index in O(1)) and the whole pipeline run shard-by-shard over it in
+//!   O(1) memory, merging byte-stably ([`ShardScanStats`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +30,12 @@ mod dataset;
 pub mod metrics;
 mod pipeline;
 mod population;
+mod shard_scan;
 
 pub use dataset::{resolve_missing, BannerGrab, DnsAnyScan, MxRecordEntry};
 pub use pipeline::{DetectorAccuracy, DomainClass, Fig2Stats, NolistingDetector, ScanRound};
-pub use population::{DomainRecord, DomainTruth, Population, PopulationSpec};
+pub use population::{
+    DomainRecord, DomainTruth, HostSpec, PackedDomain, Population, PopulationSpec,
+    PopulationStream, StreamedDomain,
+};
+pub use shard_scan::{scan_shard, ScanRoundStats, ShardScanStats};

@@ -6,6 +6,7 @@
 //! structures, so scan loops pay nothing.
 
 use crate::pipeline::{DetectorAccuracy, DomainClass, Fig2Stats, ScanRound};
+use crate::shard_scan::ShardScanStats;
 use spamward_obs::Registry;
 
 /// Scan rounds fed to the detector.
@@ -62,6 +63,20 @@ pub fn collect_accuracy(acc: &DetectorAccuracy, reg: &mut Registry) {
     reg.record_counter(ACCURACY_TP, acc.true_positives as u64);
     reg.record_counter(ACCURACY_FP, acc.false_positives as u64);
     reg.record_counter(ACCURACY_FN, acc.false_negatives as u64);
+}
+
+/// Exports a (merged) shard-scan run: the same names the materialized
+/// pipeline's stage collectors record, read from the streaming
+/// accumulators instead.
+pub fn collect_shard_scan(stats: &ShardScanStats, reg: &mut Registry) {
+    reg.record_counter(ROUNDS, stats.rounds.len() as u64);
+    for round in &stats.rounds {
+        reg.record_counter(DNS_DOMAINS, round.dns_domains);
+        reg.record_counter(DNS_MISSING_A, round.dns_missing_a);
+        reg.record_counter(BANNER_LISTENING, round.banner_listening);
+    }
+    collect_fig2(&stats.fig2(), reg);
+    collect_accuracy(&stats.accuracy, reg);
 }
 
 #[cfg(test)]

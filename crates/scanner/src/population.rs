@@ -1,8 +1,21 @@
 //! Synthetic internet population with ground truth.
+//!
+//! The population exists in two forms. [`PopulationStream`] is the
+//! source of truth: a *streaming* generator that can synthesize any
+//! domain's complete record — ground truth, popularity rank, host
+//! addresses, availability, DNS zone — directly from its index, in O(1)
+//! time and memory, with no state threaded through earlier domains. Every
+//! random decision is drawn from a per-domain fork of the seed and every
+//! derived quantity (host seeds, addresses, ranks) is a pure function of
+//! the index, so two parties streaming different subsets of the same
+//! population agree on every record — the property shard-parallel scans
+//! rely on. [`Population`] is the materialized form for laptop-scale
+//! experiments: the same stream collected into vectors, a [`Network`],
+//! an [`Authority`], and a [`NameTable`] interning every domain name.
 
 use serde::{Deserialize, Serialize};
-use spamward_dns::{Authority, DomainName, Zone};
-use spamward_net::{Availability, IpPool, Network, PortState, SMTP_PORT};
+use spamward_dns::{Authority, DomainName, NameTable, Zone};
+use spamward_net::{indexed_ip, Availability, Network, PortState, SMTP_PORT};
 use spamward_sim::DetRng;
 use std::net::Ipv4Addr;
 
@@ -83,6 +96,274 @@ impl PopulationSpec {
     }
 }
 
+/// First address of the population's mail-host range; domain `i`'s hosts
+/// take the `2i` and `2i+1` slots of [`indexed_ip`] from here.
+const HOST_IP_BASE: Ipv4Addr = Ipv4Addr::new(11, 0, 0, 1);
+
+/// The compact per-domain record: everything random about a domain, packed
+/// into sixteen bytes. Names, addresses and zones are derivable from the
+/// index; [`PopulationStream::expand`] does so on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedDomain {
+    /// Generation index (also determines names and addresses).
+    pub index: u64,
+    /// Ground truth class.
+    pub truth: DomainTruth,
+    /// Popularity rank, a permutation of `1..=N`.
+    pub alexa_rank: u32,
+    flags: u8,
+}
+
+const FLAG_FLAKY_0: u8 = 1;
+const FLAG_FLAKY_1: u8 = 2;
+const FLAG_DANGLING: u8 = 4;
+
+impl PackedDomain {
+    /// Whether the domain's first mail host flaps between epochs.
+    pub fn flaky_first(&self) -> bool {
+        self.flags & FLAG_FLAKY_0 != 0
+    }
+
+    /// Whether the domain's second mail host flaps between epochs.
+    pub fn flaky_second(&self) -> bool {
+        self.flags & FLAG_FLAKY_1 != 0
+    }
+
+    /// For misconfigured domains: dangling MX (vs lame delegation).
+    pub fn dangling(&self) -> bool {
+        self.flags & FLAG_DANGLING != 0
+    }
+}
+
+/// One mail host of an expanded domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Host name (e.g. `mail.d7.example`).
+    pub name: String,
+    /// The host's address.
+    pub ip: Ipv4Addr,
+    /// Its SMTP port state.
+    pub smtp: PortState,
+    /// Its availability pattern.
+    pub availability: Availability,
+}
+
+/// A fully expanded domain: the record plus everything needed to install
+/// (or locally emulate) its corner of the internet.
+#[derive(Debug, Clone)]
+pub struct StreamedDomain {
+    /// The domain record, name interned through the caller's table.
+    pub record: DomainRecord,
+    /// The domain's mail hosts (empty for misconfigured domains).
+    pub hosts: Vec<HostSpec>,
+    /// The domain's DNS zone.
+    pub zone: Zone,
+}
+
+/// The streaming population generator — see the module docs.
+#[derive(Debug, Clone)]
+pub struct PopulationStream {
+    spec: PopulationSpec,
+    seed: u64,
+    // Popularity ranks come from the affine bijection
+    // `i ↦ ((a·i + b) mod N) + 1` with `gcd(a, N) = 1`, so any index's
+    // rank is O(1) and the ranks are still a permutation of `1..=N`.
+    rank_mult: u64,
+    rank_offset: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl PopulationStream {
+    /// Builds a stream for `spec`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's fractions don't sum to 1 or `domains == 0`.
+    pub fn new(spec: PopulationSpec, seed: u64) -> PopulationStream {
+        spec.validate();
+        let n = spec.domains as u64;
+        let mut rank_rng = DetRng::seed(seed).fork("population.rank");
+        let mut rank_mult = (rank_rng.next_u64() % n).max(1);
+        while gcd(rank_mult, n) != 1 {
+            rank_mult += 1;
+            if rank_mult >= n {
+                rank_mult = 1;
+            }
+        }
+        let rank_offset = rank_rng.next_u64() % n;
+        PopulationStream { spec, seed, rank_mult, rank_offset }
+    }
+
+    /// The population size.
+    pub fn len(&self) -> usize {
+        self.spec.domains
+    }
+
+    /// Whether the stream is empty (never true — the spec rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.spec.domains == 0
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generation spec.
+    pub fn spec(&self) -> &PopulationSpec {
+        &self.spec
+    }
+
+    /// Domain `i`'s name text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name_of(&self, i: u64) -> String {
+        assert!(i < self.spec.domains as u64, "domain index {i} out of range");
+        format!("d{i}.example")
+    }
+
+    /// Domain `i`'s popularity rank.
+    fn rank_of(&self, i: u64) -> u32 {
+        let n = u128::from(self.spec.domains as u64);
+        let r = (u128::from(self.rank_mult) * u128::from(i) + u128::from(self.rank_offset)) % n;
+        u32::try_from(r + 1).expect("population fits u32 ranks")
+    }
+
+    /// Synthesizes domain `i`'s packed record — pure in `(seed, spec, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn packed(&self, i: u64) -> PackedDomain {
+        assert!(i < self.spec.domains as u64, "domain index {i} out of range");
+        let mut rng = DetRng::seed(self.seed).fork_idx("population.domain", i);
+        let truth = {
+            let x = rng.unit_f64();
+            if x < self.spec.single_mx {
+                DomainTruth::SingleMx
+            } else if x < self.spec.single_mx + self.spec.multi_mx {
+                DomainTruth::MultiMx
+            } else if x < self.spec.single_mx + self.spec.multi_mx + self.spec.nolisting {
+                DomainTruth::Nolisting
+            } else {
+                DomainTruth::Misconfigured
+            }
+        };
+        let mut flags = 0u8;
+        let mut flaky = |rng: &mut DetRng, bit: u8| {
+            if rng.chance(self.spec.flaky_hosts) {
+                flags |= bit;
+            }
+        };
+        match truth {
+            DomainTruth::SingleMx => flaky(&mut rng, FLAG_FLAKY_0),
+            DomainTruth::MultiMx => {
+                flaky(&mut rng, FLAG_FLAKY_0);
+                flaky(&mut rng, FLAG_FLAKY_1);
+            }
+            // The dead primary is a machine, not a coin flip; only the
+            // live secondary can flap.
+            DomainTruth::Nolisting => flaky(&mut rng, FLAG_FLAKY_1),
+            DomainTruth::Misconfigured => {
+                if rng.chance(0.5) {
+                    flags |= FLAG_DANGLING;
+                }
+            }
+        }
+        PackedDomain { index: i, truth, alexa_rank: self.rank_of(i), flags }
+    }
+
+    /// Expands a packed record into hosts and a zone, interning the domain
+    /// name through `names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed record's index is out of range.
+    pub fn expand(&self, packed: &PackedDomain, names: &mut NameTable) -> StreamedDomain {
+        let i = packed.index;
+        let name = names.intern(&self.name_of(i)).expect("generated name is valid");
+        let ip = |slot: u64| indexed_ip(HOST_IP_BASE, 2 * i + slot);
+        let avail = |on: bool| {
+            if on {
+                Availability::Flaky { down_prob: self.spec.flaky_down_prob }
+            } else {
+                Availability::Up
+            }
+        };
+        let (hosts, zone) = match packed.truth {
+            DomainTruth::SingleMx => (
+                vec![HostSpec {
+                    name: format!("mail.{name}"),
+                    ip: ip(0),
+                    smtp: PortState::Open,
+                    availability: avail(packed.flaky_first()),
+                }],
+                Zone::single_mx(name.clone(), ip(0)),
+            ),
+            DomainTruth::MultiMx => (
+                vec![
+                    HostSpec {
+                        name: format!("mx1.{name}"),
+                        ip: ip(0),
+                        smtp: PortState::Open,
+                        availability: avail(packed.flaky_first()),
+                    },
+                    HostSpec {
+                        name: format!("mx2.{name}"),
+                        ip: ip(1),
+                        smtp: PortState::Open,
+                        availability: avail(packed.flaky_second()),
+                    },
+                ],
+                Zone::builder(name.clone()).mx(10, "mx1", ip(0)).mx(20, "mx2", ip(1)).build(),
+            ),
+            DomainTruth::Nolisting => (
+                vec![
+                    // The dead primary is a real machine that never opens
+                    // port 25 — reliably down for SMTP in *every* epoch.
+                    HostSpec {
+                        name: format!("smtp.{name}"),
+                        ip: ip(0),
+                        smtp: PortState::Closed,
+                        availability: Availability::Up,
+                    },
+                    HostSpec {
+                        name: format!("smtp1.{name}"),
+                        ip: ip(1),
+                        smtp: PortState::Open,
+                        availability: avail(packed.flaky_second()),
+                    },
+                ],
+                Zone::nolisting(name.clone(), ip(0), ip(1)),
+            ),
+            DomainTruth::Misconfigured => {
+                // Half dangling MX (target has no A record), half lame.
+                let zone = if packed.dangling() {
+                    Zone::dangling_mx(name.clone())
+                } else {
+                    Zone::builder(name.clone()).lame().build()
+                };
+                (Vec::new(), zone)
+            }
+        };
+        let record = DomainRecord { name, truth: packed.truth, alexa_rank: packed.alexa_rank };
+        StreamedDomain { record, hosts, zone }
+    }
+
+    /// Streams every packed record in index order.
+    pub fn iter(&self) -> impl Iterator<Item = PackedDomain> + '_ {
+        (0..self.spec.domains as u64).map(|i| self.packed(i))
+    }
+}
+
 /// The generated internet: domains with ground truth, plus the network and
 /// DNS they live in.
 #[derive(Debug)]
@@ -93,119 +374,40 @@ pub struct Population {
     pub network: Network,
     /// The DNS publishing every zone.
     pub dns: Authority,
+    /// The symbol table interning every domain name.
+    pub names: NameTable,
 }
 
 impl Population {
-    /// Generates a population per `spec`, deterministically from `seed`.
+    /// Generates a population per `spec`, deterministically from `seed` —
+    /// [`PopulationStream`] materialized in index order.
     ///
     /// # Panics
     ///
     /// Panics if the spec's fractions don't sum to 1.
     pub fn generate(spec: &PopulationSpec, seed: u64) -> Population {
-        spec.validate();
-        let root = DetRng::seed(seed);
-        let mut class_rng = root.fork("population.class");
-        let mut flake_rng = root.fork("population.flake");
-        let mut rank_rng = root.fork("population.rank");
-
+        let stream = PopulationStream::new(spec.clone(), seed);
+        // The table tag only guards against mixing ids across tables;
+        // the seed's low bits make unrelated populations distinct.
+        #[allow(clippy::cast_possible_truncation)]
+        let mut names = NameTable::new(seed as u32);
         let mut network = Network::new(seed);
         let mut dns = Authority::new();
-        let mut pool = IpPool::new(Ipv4Addr::new(11, 0, 0, 1));
-        let mut domains = Vec::with_capacity(spec.domains);
-
-        // A random permutation of 1..=N as popularity ranks.
-        let mut ranks: Vec<u32> = (1..=spec.domains as u32).collect();
-        rank_rng.shuffle(&mut ranks);
-
-        for (i, &alexa_rank) in ranks.iter().enumerate().take(spec.domains) {
-            let name: DomainName =
-                format!("d{i}.example").parse().expect("generated name is valid");
-            let truth = {
-                let x = class_rng.unit_f64();
-                if x < spec.single_mx {
-                    DomainTruth::SingleMx
-                } else if x < spec.single_mx + spec.multi_mx {
-                    DomainTruth::MultiMx
-                } else if x < spec.single_mx + spec.multi_mx + spec.nolisting {
-                    DomainTruth::Nolisting
-                } else {
-                    DomainTruth::Misconfigured
-                }
-            };
-
-            let availability = |rng: &mut DetRng| {
-                if rng.chance(spec.flaky_hosts) {
-                    Availability::Flaky { down_prob: spec.flaky_down_prob }
-                } else {
-                    Availability::Up
-                }
-            };
-
-            match truth {
-                DomainTruth::SingleMx => {
-                    let ip = pool.next_ip();
-                    network
-                        .host(&format!("mail.{name}"))
-                        .ip(ip)
-                        .smtp_open()
-                        .availability(availability(&mut flake_rng))
-                        .build();
-                    dns.publish(Zone::single_mx(name.clone(), ip));
-                }
-                DomainTruth::MultiMx => {
-                    let primary = pool.next_ip();
-                    let secondary = pool.next_ip();
-                    network
-                        .host(&format!("mx1.{name}"))
-                        .ip(primary)
-                        .smtp_open()
-                        .availability(availability(&mut flake_rng))
-                        .build();
-                    network
-                        .host(&format!("mx2.{name}"))
-                        .ip(secondary)
-                        .smtp_open()
-                        .availability(availability(&mut flake_rng))
-                        .build();
-                    dns.publish(
-                        Zone::builder(name.clone())
-                            .mx(10, "mx1", primary)
-                            .mx(20, "mx2", secondary)
-                            .build(),
-                    );
-                }
-                DomainTruth::Nolisting => {
-                    let dead = pool.next_ip();
-                    let live = pool.next_ip();
-                    // The dead primary is a real machine that never opens
-                    // port 25 — reliably down for SMTP in *every* epoch.
-                    network
-                        .host(&format!("smtp.{name}"))
-                        .ip(dead)
-                        .port(SMTP_PORT, PortState::Closed)
-                        .build();
-                    network
-                        .host(&format!("smtp1.{name}"))
-                        .ip(live)
-                        .smtp_open()
-                        .availability(availability(&mut flake_rng))
-                        .build();
-                    dns.publish(Zone::nolisting(name.clone(), dead, live));
-                }
-                DomainTruth::Misconfigured => {
-                    // Half dangling MX (target has no A record), half lame.
-                    if flake_rng.chance(0.5) {
-                        dns.publish(Zone::dangling_mx(name.clone()));
-                    } else {
-                        dns.publish(Zone::builder(name.clone()).lame().build());
-                    }
-                }
+        let mut domains = Vec::with_capacity(stream.len());
+        for packed in stream.iter() {
+            let expanded = stream.expand(&packed, &mut names);
+            for h in &expanded.hosts {
+                network
+                    .host(&h.name)
+                    .ip(h.ip)
+                    .port(SMTP_PORT, h.smtp)
+                    .availability(h.availability.clone())
+                    .build();
             }
-
-            domains.push(DomainRecord { name, truth, alexa_rank });
+            dns.publish(expanded.zone);
+            domains.push(expanded.record);
         }
-
-        Population { domains, network, dns }
+        Population { domains, network, dns, names }
     }
 
     /// Number of domains.
@@ -257,6 +459,42 @@ mod tests {
         assert_eq!(a.domains, b.domains);
         let c = Population::generate(&PopulationSpec::fig2(500), 8);
         assert_ne!(a.domains, c.domains);
+    }
+
+    #[test]
+    fn stream_is_order_independent() {
+        // The record at index i must not depend on which other indices were
+        // generated, or in what order — the property sharded scans rely on.
+        let stream = PopulationStream::new(PopulationSpec::fig2(400), 11);
+        let forward: Vec<PackedDomain> = stream.iter().collect();
+        let mut backward: Vec<PackedDomain> = (0..400u64).rev().map(|i| stream.packed(i)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // A sparse reader sees the same records a full reader does.
+        for i in [0u64, 17, 113, 399] {
+            assert_eq!(stream.packed(i), forward[i as usize]);
+        }
+    }
+
+    #[test]
+    fn expansion_matches_the_materialized_population() {
+        let spec = PopulationSpec::fig2(600);
+        let pop = Population::generate(&spec, 19);
+        let stream = PopulationStream::new(spec, 19);
+        let mut names = NameTable::new(7);
+        for (i, record) in pop.domains.iter().enumerate() {
+            let expanded = stream.expand(&stream.packed(i as u64), &mut names);
+            assert_eq!(&expanded.record, record);
+            for h in &expanded.hosts {
+                let host = pop
+                    .network
+                    .iter()
+                    .find(|n| n.name() == h.name)
+                    .unwrap_or_else(|| panic!("{} missing from materialized network", h.name));
+                assert_eq!(host.primary_ip(), h.ip);
+                assert_eq!(host.port(SMTP_PORT), h.smtp);
+            }
+        }
     }
 
     #[test]

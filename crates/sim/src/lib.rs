@@ -21,6 +21,10 @@
 //!   existing draws.
 //! * [`trace`] — an optional bounded event recorder used by tests and by the
 //!   `repro` harness to explain *why* a run produced its numbers.
+//! * [`shard`] — a fixed, stable-hash partition of one seeded world into
+//!   independent shards ([`ShardPlan`]) plus the ordered worker-pool
+//!   executor ([`shard::run_partitioned`] / [`shard::run_sharded`]) that
+//!   makes `--shards N` byte-identical to a serial run.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@
 mod actor;
 mod event;
 mod rng;
+pub mod shard;
 mod time;
 pub mod trace;
 pub mod wall;
@@ -50,5 +55,6 @@ pub mod wall;
 pub use actor::{Actor, ActorSim, EngineStats, OutcomeTally, Wake};
 pub use event::{repeat_every, Ctx, RunOutcome, Simulation};
 pub use rng::DetRng;
+pub use shard::ShardPlan;
 pub use time::{SimDuration, SimTime};
 pub use wall::{Clock, ManualClock, WallClock};
