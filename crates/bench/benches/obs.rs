@@ -8,7 +8,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // not protocol-path code
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use spamward_obs::{Histogram, Registry, Span, SpanStats};
+use spamward_obs::{to_openmetrics, Histogram, Registry, Span, SpanStats, TimeSeries, Timeline};
 use spamward_sim::{SimDuration, SimTime};
 use spamward_smtp::{
     exchange, AcceptAll, ClientSession, Dialect, Envelope, Message, ReversePath, ServerSession,
@@ -21,6 +21,8 @@ const BENCH_COUNTER: &str = "obs.bench.counter";
 const BENCH_GAUGE: &str = "obs.bench.gauge";
 const BENCH_HISTOGRAM: &str = "obs.bench.histogram";
 const BENCH_SPAN: &str = "obs.bench.span";
+const BENCH_SERIES: &str = "obs.bench.series";
+const BENCH_TIMELINE_EVENT: &str = "obs.bench.timeline.event";
 
 fn bench_registry_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs");
@@ -86,6 +88,60 @@ fn bench_registry_primitives(c: &mut Criterion) {
     g.finish();
 }
 
+/// The virtual-time telemetry layer: sampling into a time-series, the
+/// timeline flight recorder, and the deterministic renderings the CLI
+/// exports (`--timeseries`, `--timeline`, `--export openmetrics`).
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("timeseries_record_point", |b| {
+        let mut series = TimeSeries::new();
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 60;
+            series.record_point(BENCH_SERIES, SimTime::from_secs(tick % 86_400), 1);
+        });
+    });
+
+    g.bench_function("timeline_record_event", |b| {
+        let mut timeline = Timeline::with_capacity(4_096);
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            timeline.record_event(
+                BENCH_TIMELINE_EVENT,
+                SimTime::from_secs(tick % 86_400),
+                "bench-track",
+                String::new(),
+            );
+        });
+    });
+
+    g.bench_function("timeseries_to_csv_1440_points", |b| {
+        let mut series = TimeSeries::new();
+        for tick in 0..1_440u64 {
+            series.record_point(BENCH_SERIES, SimTime::from_secs(tick * 60), tick as i64);
+        }
+        b.iter(|| series.to_csv());
+    });
+
+    g.bench_function("openmetrics_export_32_metrics", |b| {
+        let mut reg = Registry::new();
+        let mut h = Histogram::new(&[1, 10, 100, 1_000, 10_000]);
+        for v in 0..64 {
+            h.observe(v * 97);
+        }
+        for i in 0..32u64 {
+            reg.record_counter(&format!("{BENCH_COUNTER}.{i}"), i);
+        }
+        reg.record_histogram(BENCH_HISTOGRAM, &h);
+        b.iter(|| to_openmetrics(&reg));
+    });
+
+    g.finish();
+}
+
 /// A compliant-MTA exchange against an accept-all server, with and without
 /// draining the session counters into a registry afterwards. The delta is
 /// the entire per-session observability cost (the hot path itself only
@@ -137,5 +193,10 @@ fn bench_instrumented_exchange(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(obs_benches, bench_registry_primitives, bench_instrumented_exchange);
+criterion_group!(
+    obs_benches,
+    bench_registry_primitives,
+    bench_telemetry,
+    bench_instrumented_exchange
+);
 criterion_main!(obs_benches);

@@ -15,11 +15,21 @@
 //! is rendered independently before being printed in registry order, the
 //! bytes are identical to a serial run. `--metrics` appends the full
 //! metric dump to text/CSV reports (JSON always embeds it); `--trace
-//! PREFIX` turns event tracing on and prints the matching trace lines to
-//! stderr, leaving stdout untouched.
+//! PREFIXES` turns event tracing on and prints the trace lines matching
+//! any of the comma-separated category prefixes to stderr, leaving stdout
+//! untouched.
+//!
+//! Telemetry exports (single artifact only, all deterministic): `--timeseries
+//! FILE` samples counters in virtual time and writes the series CSV,
+//! `--timeline FILE` writes per-message lifecycles as Chrome trace-event
+//! JSON (open in Perfetto), `--export openmetrics` prints the metric
+//! registry as an OpenMetrics exposition instead of a report, and
+//! `--profile` prints a per-shard / per-actor breakdown plus wall-clock
+//! to stderr.
 
-use spamward_core::harness::{self, HarnessConfig, Scale};
+use spamward_core::harness::{self, HarnessConfig, Scale, TelemetryConfig};
 use spamward_core::run_seeds;
+use spamward_obs::MetricValue;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -31,8 +41,9 @@ enum Format {
 fn usage_text() -> String {
     let ids: Vec<&str> = harness::registry().iter().map(|e| e.id()).collect();
     format!(
-        "usage: repro <artifact> [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIX]\n\
-         \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIX]\n\
+        "usage: repro <artifact> [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIXES]\n\
+         \x20      repro <artifact> [--timeseries FILE] [--timeline FILE] [--export openmetrics] [--profile]\n\
+         \x20      repro all [--csv | --json] [--seed N] [--jobs N] [--shards N] [--metrics] [--trace PREFIXES]\n\
          \x20      repro --list\n\
          \n\
          artifacts: {} all\n\
@@ -50,9 +61,21 @@ fn usage_text() -> String {
          \x20               truncated report\n\
          --metrics       append the full metric dump to text/CSV reports\n\
          \x20               (JSON always embeds the metrics section)\n\
-         --trace PREFIX  run with event tracing and print trace lines whose\n\
-         \x20               dotted category starts with PREFIX to stderr\n\
-         \x20               (\"\" matches every category)",
+         --trace PREFIXES  run with event tracing and print trace lines whose\n\
+         \x20               dotted category starts with any of the\n\
+         \x20               comma-separated prefixes to stderr (\"\" matches\n\
+         \x20               every category)\n\
+         --timeseries FILE  sample telemetry once per virtual minute and\n\
+         \x20               write the series CSV to FILE (single artifact;\n\
+         \x20               bytes are invariant under --jobs/--shards)\n\
+         --timeline FILE  record per-message lifecycle events and write\n\
+         \x20               Chrome trace-event JSON to FILE (single\n\
+         \x20               artifact; open in Perfetto)\n\
+         --export openmetrics  print the metric registry as an OpenMetrics\n\
+         \x20               exposition instead of a report (single artifact)\n\
+         --profile       print a per-shard / per-actor virtual-time\n\
+         \x20               breakdown plus wall-clock to stderr (single\n\
+         \x20               artifact; stdout is untouched)",
         ids.join(" ")
     )
 }
@@ -73,12 +96,63 @@ fn render(report: &harness::Report, format: Format, metrics: bool) -> String {
     }
 }
 
-/// True when a rendered trace line's dotted category starts with `prefix`.
-/// Lines render as `[<time>] <category>: <detail>`.
-fn trace_line_matches(line: &str, prefix: &str) -> bool {
+/// True when a rendered trace line's dotted category starts with any of
+/// the comma-separated `prefixes` (so `--trace smtp,dns` selects both
+/// streams). Lines render as `[<time>] <category>: <detail>`.
+fn trace_line_matches(line: &str, prefixes: &str) -> bool {
     line.split_once("] ")
         .and_then(|(_, rest)| rest.split_once(": "))
-        .is_some_and(|(category, _)| category.starts_with(prefix))
+        .is_some_and(|(category, _)| prefixes.split(',').any(|p| category.starts_with(p)))
+}
+
+/// Writes a telemetry export, failing loudly: a requested export that
+/// cannot be written is an error, never a silently missing file.
+fn write_export(path: &str, what: &str, bytes: &str) {
+    if let Err(err) = std::fs::write(path, bytes) {
+        eprintln!("error: cannot write {what} to {path:?}: {err}");
+        std::process::exit(1);
+    }
+}
+
+/// Renders the `--profile` stderr block: per-shard engine event counts,
+/// per-actor episode histograms and episode outcomes, all in virtual
+/// time. The caller appends the wall-clock line — the only part of the
+/// breakdown that is not a pure function of (seed, config).
+fn profile_text(report: &harness::Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("-- profile [{}] --\n", report.id());
+    let metrics = report.metrics();
+    for (name, value) in metrics.iter() {
+        if let (Some(rest), MetricValue::Counter(events)) =
+            (name.strip_prefix(spamward_mta::metrics::ENGINE_SHARD_PREFIX), value)
+        {
+            let shard = rest.strip_suffix(".events").unwrap_or(rest);
+            let _ = writeln!(out, "shard {shard}: {events} engine events");
+        }
+    }
+    for (name, value) in metrics.iter() {
+        if let (Some(actor), MetricValue::Histogram(h)) =
+            (name.strip_prefix(spamward_mta::metrics::ENGINE_EPISODE_EVENTS_PREFIX), value)
+        {
+            let _ = writeln!(
+                out,
+                "actor {actor}: {} episode(s), {} engine event(s)",
+                h.count(),
+                h.sum()
+            );
+        }
+    }
+    for (phase, metric) in [
+        ("drained", spamward_mta::metrics::ENGINE_OUTCOME_DRAINED),
+        ("horizon reached", spamward_mta::metrics::ENGINE_OUTCOME_HORIZON),
+        ("budget exhausted", spamward_mta::metrics::ENGINE_OUTCOME_BUDGET_EXHAUSTED),
+        ("stopped", spamward_mta::metrics::ENGINE_OUTCOME_STOPPED),
+    ] {
+        if let Some(n) = metrics.counter(metric) {
+            let _ = writeln!(out, "episodes {phase}: {n}");
+        }
+    }
+    out
 }
 
 /// Joins per-experiment renderings into the final output: a JSON array for
@@ -102,6 +176,10 @@ fn main() {
     let mut budget: Option<u64> = None;
     let mut metrics = false;
     let mut trace: Option<String> = None;
+    let mut timeseries: Option<String> = None;
+    let mut timeline: Option<String> = None;
+    let mut export = false;
+    let mut profile = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,10 +188,26 @@ fn main() {
             "--csv" => csv = true,
             "--json" => json = true,
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
             "--trace" => {
                 let value =
                     it.next().unwrap_or_else(|| fail("--trace needs a category prefix value"));
                 trace = Some(value.to_owned());
+            }
+            "--timeseries" => {
+                let value = it.next().unwrap_or_else(|| fail("--timeseries needs a file path"));
+                timeseries = Some(value.to_owned());
+            }
+            "--timeline" => {
+                let value = it.next().unwrap_or_else(|| fail("--timeline needs a file path"));
+                timeline = Some(value.to_owned());
+            }
+            "--export" => {
+                let value = it.next().unwrap_or_else(|| fail("--export needs a format value"));
+                if value != "openmetrics" {
+                    fail(&format!("--export supports only \"openmetrics\", got {value:?}"));
+                }
+                export = true;
             }
             "--seed" => {
                 let value = it.next().unwrap_or_else(|| fail("--seed needs a value"));
@@ -171,6 +265,10 @@ fn main() {
             || json
             || metrics
             || trace.is_some()
+            || timeseries.is_some()
+            || timeline.is_some()
+            || export
+            || profile
         {
             fail("--list takes no other arguments");
         }
@@ -180,6 +278,9 @@ fn main() {
     if csv && json {
         fail("choose one of --csv / --json");
     }
+    if export && (csv || json) {
+        fail("--export openmetrics replaces the report body; drop --csv / --json");
+    }
     let format = if json {
         Format::Json
     } else if csv {
@@ -188,12 +289,21 @@ fn main() {
         Format::Text
     };
     let Some(artifact) = artifact else { fail("missing artifact") };
+    if artifact == "all" && (timeseries.is_some() || timeline.is_some() || export || profile) {
+        fail(
+            "--timeseries / --timeline / --export / --profile need a single artifact, not \"all\"",
+        );
+    }
     let config = HarnessConfig {
         seed,
         scale: Scale::Paper,
         trace: trace.is_some(),
         event_budget: budget,
         shards: shards.unwrap_or(0),
+        telemetry: TelemetryConfig {
+            sample_interval: timeseries.is_some().then_some(harness::DEFAULT_SAMPLE_INTERVAL),
+            timeline: timeline.is_some(),
+        },
     };
 
     // Each worker returns (rendered report, filtered trace lines) or the
@@ -245,16 +355,53 @@ fn main() {
         }
         // --jobs is accepted here too (the CI chaos smoke compares serial
         // vs --jobs bytes on one artifact); a single run has nothing to
-        // parallelize.
-        let mut runs = check(vec![run_one(exp)]);
-        let (body, trace_lines) = runs.swap_remove(0);
-        if format == Format::Json {
-            println!("{body}");
+        // parallelize. The single-artifact path keeps the report itself so
+        // the telemetry exports can read it after rendering.
+        // The sanctioned host-clock boundary (lint rule D1): wall time is
+        // --profile stderr diagnostics only, never part of the outputs.
+        let wall = spamward_sim::wall::WallClock::new();
+        let report = match exp.run(&config) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        };
+        let elapsed = spamward_sim::wall::Clock::now(&wall);
+        let trace_lines: Vec<&String> = match &trace {
+            Some(prefixes) => report
+                .trace_lines()
+                .iter()
+                .filter(|line| trace_line_matches(line, prefixes))
+                .collect(),
+            None => Vec::new(),
+        };
+        if let Some(path) = &timeseries {
+            write_export(path, "timeseries CSV", &report.timeseries().to_csv());
+        }
+        if let Some(path) = &timeline {
+            let mut body = report.timeline().to_chrome_trace();
+            body.push('\n');
+            write_export(path, "timeline trace", &body);
+        }
+        if export {
+            // The OpenMetrics exposition replaces the report body; its
+            // rendering already ends with the mandatory `# EOF` line.
+            print!("{}", spamward_obs::to_openmetrics(report.metrics()));
         } else {
-            print!("{body}");
+            let body = render(&report, format, metrics);
+            if format == Format::Json {
+                println!("{body}");
+            } else {
+                print!("{body}");
+            }
         }
         for line in &trace_lines {
             eprintln!("{line}");
+        }
+        if profile {
+            eprint!("{}", profile_text(&report));
+            eprintln!("wall-clock: {:.3}s", elapsed.as_micros() as f64 / 1e6);
         }
     }
 }

@@ -14,9 +14,10 @@
 
 use crate::experiments::worlds::{self, VICTIM_DOMAIN};
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
+use crate::metrics::SAMPLE_SHARD_PREFIX;
 use spamward_analysis::Table;
 use spamward_botnet::{BotSample, Campaign, MalwareFamily};
-use spamward_obs::Registry;
+use spamward_obs::{Registry, TimeSeries, Timeline};
 use spamward_sim::shard::run_sharded;
 use spamward_sim::{DetRng, ShardPlan, SimDuration, SimTime};
 use std::fmt;
@@ -44,6 +45,11 @@ pub struct EfficacyConfig {
     /// Shard-executor width: how many of the [`EFFICACY_SHARDS`] run
     /// concurrently. Output bytes are identical for every value.
     pub workers: usize,
+    /// Sample telemetry counters into a time-series at this virtual-time
+    /// interval (`None` = no sampler joins the per-sample episodes).
+    pub sample_interval: Option<SimDuration>,
+    /// Record per-message lifecycle timelines in every per-sample world.
+    pub timeline: bool,
 }
 
 impl Default for EfficacyConfig {
@@ -55,6 +61,8 @@ impl Default for EfficacyConfig {
             greylist_delay: SimDuration::from_secs(300),
             event_budget: None,
             workers: 4,
+            sample_interval: None,
+            timeline: false,
         }
     }
 }
@@ -125,6 +133,29 @@ pub fn run_with_obs(
     reg: &mut Registry,
     trace_lines: &mut Vec<String>,
 ) -> EfficacyResult {
+    run_with_telemetry(
+        config,
+        trace,
+        reg,
+        trace_lines,
+        &mut TimeSeries::new(),
+        &mut Timeline::disabled(),
+    )
+}
+
+/// [`run_with_obs`] plus virtual-time telemetry capture: sampled series
+/// merge into `samples` and lifecycle events into `timeline`, both in
+/// fixed shard order so the accumulated bytes are identical for every
+/// executor width. With telemetry off in the config both sinks stay
+/// untouched and the engine event stream matches a run without them.
+pub fn run_with_telemetry(
+    config: &EfficacyConfig,
+    trace: bool,
+    reg: &mut Registry,
+    trace_lines: &mut Vec<String>,
+    samples: &mut TimeSeries,
+    timeline: &mut Timeline,
+) -> EfficacyResult {
     let roster = BotSample::table_i_roster(Ipv4Addr::new(203, 0, 113, 1));
     let horizon = SimTime::ZERO + config.window;
     let plan = ShardPlan::new(config.seed, EFFICACY_SHARDS);
@@ -134,23 +165,43 @@ pub fn run_with_obs(
     // index so the merged output keeps the serial order exactly.
     let shard_runs = run_sharded(&plan, config.workers, |shard| {
         let mut metrics = Registry::new();
+        let mut shard_samples = TimeSeries::new();
+        let mut shard_timeline = Timeline::disabled();
         let mut outputs: Vec<(usize, EfficacyRow, Vec<String>)> = Vec::new();
         for (idx, sample) in roster.iter().enumerate() {
             let key = format!("{}.sample{}", sample.family().name(), sample.sample_idx());
             if !plan.owns(shard, &key) {
                 continue;
             }
-            let (row, traces) = run_sample(config, sample, horizon, trace, &mut metrics);
+            let (row, traces) = run_sample(
+                config,
+                sample,
+                horizon,
+                trace,
+                &mut metrics,
+                &mut shard_samples,
+                &mut shard_timeline,
+            );
             outputs.push((idx, row, traces));
         }
-        (outputs, metrics)
+        (outputs, metrics, shard_samples, shard_timeline)
     });
 
     let mut tagged: Vec<&(usize, EfficacyRow, Vec<String>)> = Vec::new();
-    for (shard, (outputs, metrics)) in shard_runs.iter().enumerate() {
+    for (shard, (outputs, metrics, shard_samples, shard_timeline)) in shard_runs.iter().enumerate()
+    {
         let events = metrics.counter(spamward_mta::metrics::ENGINE_EVENTS).unwrap_or(0);
         spamward_mta::metrics::collect_shard_events(shard as u32, events, reg);
         reg.merge(metrics);
+        samples.merge(shard_samples);
+        timeline.merge(shard_timeline);
+        if config.sample_interval.is_some() {
+            samples.record_point(
+                &format!("{SAMPLE_SHARD_PREFIX}{shard}.events"),
+                horizon,
+                i64::try_from(events).unwrap_or(i64::MAX),
+            );
+        }
         tagged.extend(outputs);
     }
     tagged.sort_by_key(|(idx, _, _)| *idx);
@@ -164,22 +215,36 @@ pub fn run_with_obs(
 }
 
 /// Runs one roster sample against both defenses, folding the two worlds'
-/// metrics into `metrics` and returning the Table II row plus any traces.
+/// metrics into `metrics` (and their telemetry into `samples` /
+/// `timeline`) and returning the Table II row plus any traces.
+#[allow(clippy::too_many_arguments)]
 fn run_sample(
     config: &EfficacyConfig,
     sample: &BotSample,
     horizon: SimTime,
     trace: bool,
     metrics: &mut Registry,
+    samples: &mut TimeSeries,
+    timeline: &mut Timeline,
 ) -> (EfficacyRow, Vec<String>) {
     let mut campaign_rng = DetRng::seed(config.seed)
         .fork(sample.family().name())
         .fork_idx("c", u64::from(sample.sample_idx()));
     let campaign = Campaign::synthetic(VICTIM_DOMAIN, config.recipients, &mut campaign_rng);
     let mut traces = Vec::new();
+    let sample_key = format!("{}.s{}", sample.family().name(), sample.sample_idx());
+    let telemetry = |mut world: spamward_mta::MailWorld, defense: &str| {
+        if let Some(interval) = config.sample_interval {
+            world = world.with_sampling(interval);
+        }
+        if config.timeline {
+            world = world.with_timeline_scope(&format!("{defense}/{sample_key}"));
+        }
+        world
+    };
 
     // (a) nolisting victim.
-    let mut world = worlds::nolisting_world(config.seed);
+    let mut world = telemetry(worlds::nolisting_world(config.seed), "nolisting");
     world.event_budget = config.event_budget;
     if trace {
         world = world.with_tracing();
@@ -189,9 +254,12 @@ fn run_sample(
     spamward_mta::metrics::collect_world(&world, metrics);
     spamward_botnet::metrics::collect_run(sample.family(), &nolisting_report, metrics);
     traces.extend(world.trace.events().map(|e| e.to_string()));
+    samples.merge(&world.samples);
+    timeline.merge(&world.timeline);
 
     // (b) greylisting victim.
-    let mut world = worlds::greylist_world(config.seed, config.greylist_delay);
+    let mut world =
+        telemetry(worlds::greylist_world(config.seed, config.greylist_delay), "greylist");
     world.event_budget = config.event_budget;
     if trace {
         world = world.with_tracing();
@@ -201,6 +269,8 @@ fn run_sample(
     spamward_mta::metrics::collect_world(&world, metrics);
     spamward_botnet::metrics::collect_run(sample.family(), &greylist_report, metrics);
     traces.extend(world.trace.events().map(|e| e.to_string()));
+    samples.merge(&world.samples);
+    timeline.merge(&world.timeline);
 
     let row = EfficacyRow {
         family: sample.family(),
@@ -264,6 +334,8 @@ impl EfficacyExperiment {
             } else {
                 EfficacyConfig::default().workers
             },
+            sample_interval: harness.telemetry.sample_interval,
+            timeline: harness.telemetry.timeline,
             ..Default::default()
         }
     }
@@ -287,9 +359,19 @@ impl Experiment for EfficacyExperiment {
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
         let mut trace_lines = Vec::new();
-        let result =
-            run_with_obs(&module_config, config.trace, report.metrics_mut(), &mut trace_lines);
+        let mut samples = TimeSeries::new();
+        let mut timeline = Timeline::disabled();
+        let result = run_with_telemetry(
+            &module_config,
+            config.trace,
+            report.metrics_mut(),
+            &mut trace_lines,
+            &mut samples,
+            &mut timeline,
+        );
         crate::harness::ensure_completed(self.id(), report.metrics())?;
+        *report.timeseries_mut() = samples;
+        *report.timeline_mut() = timeline;
         for line in &trace_lines {
             report.push_trace_line(line);
         }

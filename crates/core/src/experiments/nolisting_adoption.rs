@@ -17,14 +17,15 @@
 //! scan run on a laptop.
 
 use crate::harness::{Experiment, HarnessConfig, HarnessError, Report, Scale};
+use crate::metrics::SAMPLE_SHARD_PREFIX;
 use spamward_analysis::Table;
-use spamward_obs::Registry;
+use spamward_obs::{Registry, TimeSeries};
 use spamward_scanner::{
     scan_shard, DetectorAccuracy, DomainClass, Fig2Stats, PopulationSpec, PopulationStream,
     ShardScanStats,
 };
 use spamward_sim::shard::run_sharded;
-use spamward_sim::ShardPlan;
+use spamward_sim::{ShardPlan, SimTime};
 use std::fmt;
 
 /// Fixed shard count of the survey's partition. Domains are assigned to
@@ -97,6 +98,22 @@ pub fn run(config: &AdoptionConfig) -> AdoptionResult {
 ///
 /// Panics if fewer than two scan epochs are configured.
 pub fn run_with_obs(config: &AdoptionConfig, reg: &mut Registry) -> AdoptionResult {
+    run_with_telemetry(config, reg, &mut TimeSeries::new())
+}
+
+/// [`run_with_obs`] plus the scan's virtual-time series: the streaming
+/// scanner's per-bucket samples merge into `samples` (order-insensitive,
+/// so the bytes match for every executor width), and each shard of the
+/// fixed partition appends its event total at the scan's virtual end.
+///
+/// # Panics
+///
+/// Panics if fewer than two scan epochs are configured.
+pub fn run_with_telemetry(
+    config: &AdoptionConfig,
+    reg: &mut Registry,
+    samples: &mut TimeSeries,
+) -> AdoptionResult {
     assert!(config.epochs.len() >= 2, "the cross-check needs at least two scans");
     let mut spec = config.spec.clone();
     spec.domains = config.domains;
@@ -107,12 +124,21 @@ pub fn run_with_obs(config: &AdoptionConfig, reg: &mut Registry) -> AdoptionResu
         run_sharded(&plan, config.workers, |s| scan_shard(&stream, &plan, s, &config.epochs, &ks));
 
     // Merge in shard order; every shard of the fixed partition records its
-    // event count, so the metric set never depends on `workers`.
+    // event count, so the metric set never depends on `workers`. The scan
+    // streams one domain per virtual second, so its virtual end is the
+    // population size in seconds.
+    let scan_end = SimTime::from_secs(config.domains as u64);
     let mut total = ShardScanStats::empty(config.epochs.len(), &ks);
     for (shard, stats) in per_shard.iter().enumerate() {
         spamward_mta::metrics::collect_shard_events(shard as u32, stats.events, reg);
+        samples.record_point(
+            &format!("{SAMPLE_SHARD_PREFIX}{shard}.events"),
+            scan_end,
+            i64::try_from(stats.events).unwrap_or(i64::MAX),
+        );
         total.merge(stats);
     }
+    samples.merge(&total.samples);
     spamward_scanner::metrics::collect_shard_scan(&total, reg);
 
     let between_scan_change = if total.per_epoch_nolisting[0] == 0 {
@@ -210,7 +236,14 @@ impl Experiment for AdoptionExperiment {
         let module_config = Self::config(config);
         let mut report = Report::new(self.id(), self.title(), self.paper_artifact())
             .with_seed(module_config.seed);
-        let result = run_with_obs(&module_config, report.metrics_mut());
+        let result = if config.telemetry.sample_interval.is_some() {
+            let mut samples = TimeSeries::new();
+            let r = run_with_telemetry(&module_config, report.metrics_mut(), &mut samples);
+            *report.timeseries_mut() = samples;
+            r
+        } else {
+            run_with_obs(&module_config, report.metrics_mut())
+        };
         report
             .push_table(result.table())
             .push_scalar("nolisting share (%)", result.stats.pct(DomainClass::Nolisting))

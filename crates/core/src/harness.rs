@@ -24,7 +24,8 @@
 
 use spamward_analysis::json::{json_array, json_f64, json_string};
 use spamward_analysis::{Series, Table};
-use spamward_obs::Registry;
+use spamward_obs::{Registry, TimeSeries, Timeline};
+use spamward_sim::SimDuration;
 
 use crate::experiments::{
     ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
@@ -40,6 +41,31 @@ pub enum Scale {
     /// Reduced sizes for benches and tests; same code path, same
     /// determinism guarantees, seconds instead of minutes in debug builds.
     Quick,
+}
+
+/// The sampling cadence `repro --timeseries` selects: one telemetry
+/// snapshot per virtual minute, matching the paper's per-minute scan and
+/// retry granularities.
+pub const DEFAULT_SAMPLE_INTERVAL: SimDuration = SimDuration::from_secs(60);
+
+/// Virtual-time telemetry knobs, default-off so the canonical report
+/// bytes (and the engine event stream) are untouched unless a consumer
+/// opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Snapshot counters/gauges into [`Report::timeseries`] every this
+    /// much virtual time (`None` = no sampler actor joins any episode).
+    pub sample_interval: Option<SimDuration>,
+    /// Record causally-linked per-message lifecycle events into
+    /// [`Report::timeline`].
+    pub timeline: bool,
+}
+
+impl TelemetryConfig {
+    /// Whether any telemetry capture is on at all.
+    pub fn enabled(&self) -> bool {
+        self.sample_interval.is_some() || self.timeline
+    }
 }
 
 /// Uniform knobs applied to every experiment.
@@ -73,6 +99,12 @@ pub struct HarnessConfig {
     /// (the `Default`) means 1, via [`HarnessConfig::shard_workers`];
     /// experiments without a sharded path ignore it.
     pub shards: usize,
+    /// Virtual-time telemetry capture (`repro --timeseries` /
+    /// `--timeline`). Like `trace`, telemetry is diagnostics: it never
+    /// enters the canonical text/CSV/JSON bytes, and the default-off
+    /// state leaves the engine event stream byte-identical to a build
+    /// without this field.
+    pub telemetry: TelemetryConfig,
 }
 
 impl HarnessConfig {
@@ -168,6 +200,11 @@ pub struct Report {
     text: Vec<String>,
     /// Diagnostics only — never part of the canonical renderings.
     trace_lines: Vec<String>,
+    /// Sampled virtual-time series (diagnostics; `--timeseries` exports).
+    timeseries: TimeSeries,
+    /// Flight-recorder lifecycle events (diagnostics; `--timeline`
+    /// exports Chrome trace JSON).
+    timeline: Timeline,
 }
 
 impl Report {
@@ -184,6 +221,8 @@ impl Report {
             scalars: Vec::new(),
             text: Vec::new(),
             trace_lines: Vec::new(),
+            timeseries: TimeSeries::new(),
+            timeline: Timeline::disabled(),
         }
     }
 
@@ -239,6 +278,30 @@ impl Report {
     /// The captured trace lines, in event order.
     pub fn trace_lines(&self) -> &[String] {
         &self.trace_lines
+    }
+
+    /// The sampled virtual-time series (empty unless
+    /// [`TelemetryConfig::sample_interval`] was set). Diagnostics like
+    /// trace lines: excluded from every canonical rendering.
+    pub fn timeseries(&self) -> &TimeSeries {
+        &self.timeseries
+    }
+
+    /// Write access for experiments attaching their sampled series.
+    pub fn timeseries_mut(&mut self) -> &mut TimeSeries {
+        &mut self.timeseries
+    }
+
+    /// The flight-recorder timeline (disabled and empty unless
+    /// [`TelemetryConfig::timeline`] was set). Diagnostics like trace
+    /// lines: excluded from every canonical rendering.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Write access for experiments attaching their recorded timeline.
+    pub fn timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
     }
 
     /// The experiment id this report came from.
@@ -536,6 +599,26 @@ mod tests {
         for rendering in [&text, &csv, &json] {
             assert!(!rendering.contains("[demo] hello"));
         }
+
+        // Telemetry carriage is diagnostics too: attachable, readable,
+        // absent from every canonical rendering.
+        r.timeseries_mut().record_point("obs.sample.demo", spamward_sim::SimTime::from_secs(60), 4);
+        r.timeline_mut().merge(&spamward_obs::Timeline::new());
+        r.timeline_mut().record_event(
+            "timeline.emit",
+            spamward_sim::SimTime::ZERO,
+            "demo-msg",
+            String::new(),
+        );
+        assert_eq!(
+            r.timeseries().get("obs.sample.demo", spamward_sim::SimTime::from_secs(60)),
+            Some(4)
+        );
+        assert_eq!(r.timeline().len(), 1);
+        for rendering in [r.to_text(), r.to_csv(), r.to_json()] {
+            assert!(!rendering.contains("obs.sample.demo"));
+            assert!(!rendering.contains("timeline.emit"));
+        }
     }
 
     #[test]
@@ -558,6 +641,14 @@ mod tests {
         assert_eq!(default.scale, Scale::Paper);
         assert_eq!(default.event_budget, None);
         assert_eq!(default.shards, 0);
+        assert_eq!(default.telemetry, TelemetryConfig::default());
+        assert!(!default.telemetry.enabled(), "telemetry is opt-in");
+        assert!(TelemetryConfig { timeline: true, ..Default::default() }.enabled());
+        assert!(TelemetryConfig {
+            sample_interval: Some(DEFAULT_SAMPLE_INTERVAL),
+            timeline: false
+        }
+        .enabled());
         assert_eq!(default.shard_workers(), 1, "unset shards mean serial execution");
         assert_eq!(HarnessConfig { shards: 4, ..Default::default() }.shard_workers(), 4);
         let forced = HarnessConfig { seed: Some(9), scale: Scale::Quick, ..Default::default() };

@@ -51,6 +51,12 @@ pub const SUMMARY_BLOCKED_GREYLISTING: &str = "harness.summary.families_blocked.
 /// Families blocked by at least one defense.
 pub const SUMMARY_BLOCKED_EITHER: &str = "harness.summary.families_blocked.either";
 
+/// Prefix of the per-shard sampled series (`obs.sample.shard.<n>.events`)
+/// that sharded experiments append to their time-series at the horizon,
+/// so a `--timeseries` export shows how work split across the fixed
+/// partition. Dynamic suffix; the base name lives here for the O2 lint.
+pub const SAMPLE_SHARD_PREFIX: &str = "obs.sample.shard.";
+
 /// Quantities tracked by the variance sweep.
 pub const VARIANCE_QUANTITIES: &str = "harness.variance.quantities";
 /// Per-seed experiment runs the sweep aggregated.

@@ -51,10 +51,11 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              and the type system see every use."
         }
         "O1" => {
-            "O1 — metric/trace name literals at recording sites. Registry names and trace \
-             categories are the observability contract; each crate binds them as \
-             constants in its `metrics.rs`/`obs.rs` module so the namespace stays \
-             greppable and typo-proof."
+            "O1 — metric/trace name literals at recording sites. Registry names, trace \
+             categories, time-series names (`TimeSeries::record_point`) and timeline \
+             event names (`Timeline::record_event`) are the observability contract; \
+             each crate binds them as constants in its `metrics.rs`/`obs.rs` module so \
+             the namespace stays greppable and typo-proof."
         }
         "S1" => {
             "S1 — hand-rolled virtual-time ordering. A `BinaryHeap` in a file handling \
@@ -91,7 +92,8 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              referenced by at least one collection/recording site, and every dotted \
              metric-shaped literal in a namespace the workspace declares must resolve to \
              a declared constant — otherwise names drift out of the golden snapshot \
-             silently."
+             silently. The sampled `obs.sample.*` series and `timeline.*` event names \
+             are part of the same contract and are checked identically."
         }
         "R1" => {
             "R1 — docs out of sync. The linter itself cross-checks the rule catalog \
@@ -404,8 +406,14 @@ fn check_o1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
         return;
     }
     let masked = &scanned.masked;
-    const NAME_FIRST: &[&str] =
-        &[".record_counter(", ".record_gauge(", ".record_histogram(", ".record_span("];
+    const NAME_FIRST: &[&str] = &[
+        ".record_counter(",
+        ".record_gauge(",
+        ".record_histogram(",
+        ".record_span(",
+        ".record_point(",
+        ".record_event(",
+    ];
     for pat in NAME_FIRST {
         for offset in find_token(masked, pat) {
             if scanned.in_test_region(offset) {

@@ -13,3 +13,8 @@ pub fn note(trace: &mut Tracer, now: SimTime, span: &mut SpanStats, d: SimDurati
     trace.record(now, TRACE_SMTP_REJECT, "550 no such user".to_string());
     span.record(d);
 }
+
+pub fn sample(samples: &mut TimeSeries, timeline: &mut Timeline, now: SimTime) {
+    samples.record_point(crate::metrics::SAMPLE_RECV_ACCEPTED, now, 1);
+    timeline.record_event(crate::metrics::TL_EMIT, now, "msg-1", String::new());
+}

@@ -11,3 +11,8 @@ pub fn export(reg: &mut Registry, stats: &Stats) {
 pub fn note(trace: &mut Tracer, now: SimTime) {
     trace.record(now, "smtp.reject", "550 no such user".to_string());
 }
+
+pub fn sample(samples: &mut TimeSeries, timeline: &mut Timeline, now: SimTime) {
+    samples.record_point("obs.sample.recv.accepted", now, 1);
+    timeline.record_event("timeline.emit", now, "msg-1", String::new());
+}

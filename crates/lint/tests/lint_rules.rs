@@ -76,7 +76,11 @@ fn p2_fixture_pair() {
 #[test]
 fn o1_fixture_pair() {
     let hits = diags("crates/mta/src/fixture.rs", "o1_violation.rs");
-    assert_eq!(hits.len(), 5, "four recorders plus the trace category: {hits:?}");
+    assert_eq!(
+        hits.len(),
+        7,
+        "six recorders (registry, time-series, timeline) plus the trace category: {hits:?}"
+    );
     assert!(hits.iter().all(|d| d.rule == "O1"), "{hits:?}");
     assert!(diags("crates/mta/src/fixture.rs", "o1_clean.rs").is_empty());
     // The crate metrics module and the obs crate itself are exempt.
@@ -119,7 +123,7 @@ justification = "fixture: suppress exactly the trace-category violation"
     let (suppressed, live): (Vec<_>, Vec<_>) =
         hits.into_iter().partition(|d| list.matches(d.rule, &d.path, &d.line_text).is_some());
     assert_eq!(suppressed.len(), 1, "{suppressed:?}");
-    assert_eq!(live.len(), 4, "{live:?}");
+    assert_eq!(live.len(), 6, "{live:?}");
 }
 
 #[test]

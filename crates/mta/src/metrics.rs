@@ -105,6 +105,42 @@ pub const ENGINE_OUTCOME_STOPPED: &str = "sim.engine.outcome.stopped";
 /// the canonical output — does not depend on executor width.
 pub const ENGINE_SHARD_PREFIX: &str = "sim.engine.shard.";
 
+/// Actor name of the telemetry sampler on the engine — its ticks are real
+/// engine events accounted under this category.
+pub const ACTOR_OBS_SAMPLE: &str = "obs.sample";
+/// Sampled series: summed `rcpt_greylisted` across a world's servers.
+pub const SAMPLE_GREYLIST_DEFERRED: &str = "obs.sample.greylist.deferred";
+/// Sampled series: summed `rcpt_passed` across a world's servers.
+pub const SAMPLE_GREYLIST_PASSED: &str = "obs.sample.greylist.passed";
+/// Sampled series: summed accepted-message count across a world's servers.
+pub const SAMPLE_RECV_ACCEPTED: &str = "obs.sample.recv.accepted";
+/// Sampled series: summed mailbox depth across a world's servers.
+pub const SAMPLE_RECV_MAILBOX: &str = "obs.sample.recv.mailbox_size";
+/// Sampled series: engine events of completed episodes on the world.
+pub const SAMPLE_ENGINE_EVENTS: &str = "obs.sample.engine.events";
+/// Sampled series: engine queue high-water of completed episodes.
+pub const SAMPLE_ENGINE_QUEUE_HIGH_WATER: &str = "obs.sample.engine.queue_high_water";
+/// Sampled series: cumulative circuit-breaker trips of a sending MTA.
+pub const SAMPLE_BREAKER_TRIPS: &str = "obs.sample.breaker.trips";
+
+/// Timeline event: first delivery attempt of a message (campaign emit).
+pub const TL_EMIT: &str = "timeline.emit";
+/// Timeline event: a later delivery attempt of the same message.
+pub const TL_RETRY: &str = "timeline.retry";
+/// Timeline event: MX resolution result (or failure) for an attempt.
+pub const TL_DNS: &str = "timeline.dns";
+/// Timeline event: TCP connection established to an exchanger.
+pub const TL_CONNECT: &str = "timeline.connect";
+/// Timeline event: the session ended in a tempfail — the greylist (or
+/// equivalent session-level) defer decision.
+pub const TL_GREYLIST_DEFER: &str = "timeline.greylist.defer";
+/// Timeline event: a message that was previously deferred got accepted.
+pub const TL_GREYLIST_PASS: &str = "timeline.greylist.pass";
+/// Timeline event: message stored by the receiving server.
+pub const TL_DELIVER: &str = "timeline.deliver";
+/// Timeline event: message permanently rejected.
+pub const TL_REJECT: &str = "timeline.reject";
+
 /// Retry-slot histogram bounds: attempt numbers along a typical schedule.
 pub const RETRY_SLOT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
 /// Delivery-delay histogram bounds (seconds): 1 min … 1 day.

@@ -1,12 +1,16 @@
 //! The glue tying DNS, the network and receiving servers into one world.
 
 use crate::metrics::{
-    TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_FAULT, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
+    SAMPLE_ENGINE_EVENTS, SAMPLE_ENGINE_QUEUE_HIGH_WATER, SAMPLE_GREYLIST_DEFERRED,
+    SAMPLE_GREYLIST_PASSED, SAMPLE_RECV_ACCEPTED, SAMPLE_RECV_MAILBOX, TL_CONNECT, TL_DELIVER,
+    TL_DNS, TL_EMIT, TL_GREYLIST_DEFER, TL_GREYLIST_PASS, TL_REJECT, TL_RETRY, TRACE_DNS_FAIL,
+    TRACE_DNS_MX, TRACE_FAULT, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
 };
 use crate::receive::ReceivingMta;
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
 use spamward_net::faults::TARPIT_HOLD;
 use spamward_net::{FaultPlan, Network, SmtpAbortKind, SmtpFaults, SMTP_PORT};
+use spamward_obs::{TimeSeries, Timeline};
 use spamward_sim::trace::Tracer;
 use spamward_sim::{DetRng, EngineStats, SimDuration, SimTime};
 use spamward_smtp::{
@@ -155,9 +159,21 @@ pub struct MailWorld {
     /// reaches it, further episodes end in
     /// [`spamward_sim::RunOutcome::BudgetExhausted`]. `None` = unlimited.
     pub event_budget: Option<u64>,
+    /// Virtual-time telemetry samples, recorded by the engine's sampler
+    /// actor on every tick (empty unless [`MailWorld::with_sampling`]
+    /// enabled sampling).
+    pub samples: TimeSeries,
+    /// Flight-recorder timeline of message lifecycles (disabled by
+    /// default; enable with [`MailWorld::with_timeline`]).
+    pub timeline: Timeline,
     servers: BTreeMap<Ipv4Addr, ReceivingMta>,
     smtp_faults: Option<SmtpFaults>,
     fault_boundaries: u64,
+    sample_interval: Option<SimDuration>,
+    timeline_scope: String,
+    /// Per-track (attempts so far, saw a defer) lifecycle state backing
+    /// the timeline's emit/retry and defer/pass distinction.
+    timeline_state: BTreeMap<String, (u32, bool)>,
     rng: DetRng,
 }
 
@@ -172,9 +188,14 @@ impl MailWorld {
             trace: Tracer::disabled(),
             engine_stats: EngineStats::default(),
             event_budget: None,
+            samples: TimeSeries::new(),
+            timeline: Timeline::disabled(),
             servers: BTreeMap::new(),
             smtp_faults: None,
             fault_boundaries: 0,
+            sample_interval: None,
+            timeline_scope: String::new(),
+            timeline_state: BTreeMap::new(),
             rng: DetRng::seed(seed).fork("mailworld"),
         }
     }
@@ -219,6 +240,69 @@ impl MailWorld {
         self
     }
 
+    /// Enables virtual-time telemetry sampling: every engine episode run
+    /// against this world (see [`crate::worldsim::WorldSim`]) gets a
+    /// sampler actor that snapshots counters/gauges into
+    /// [`MailWorld::samples`] every `interval` of virtual time.
+    pub fn with_sampling(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enables the message-lifecycle timeline (bounded flight recorder;
+    /// see [`spamward_obs::Timeline`]).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = Timeline::new();
+        self
+    }
+
+    /// Enables the timeline with every track name prefixed `scope/` —
+    /// used by experiments that merge several worlds into one trace and
+    /// need their lifecycles kept apart.
+    pub fn with_timeline_scope(mut self, scope: &str) -> Self {
+        self.timeline = Timeline::new();
+        self.timeline_scope = scope.to_owned();
+        self
+    }
+
+    /// The telemetry sampling interval, if sampling is enabled.
+    pub fn sample_interval(&self) -> Option<SimDuration> {
+        self.sample_interval
+    }
+
+    /// Snapshots greylist, delivery and engine counters into
+    /// [`MailWorld::samples`] at virtual time `now`. The engine's sampler
+    /// actor ([`crate::worldsim::SamplerActor`]) calls this on every tick;
+    /// engine figures cover *completed* episodes (the running episode's
+    /// events merge at episode end).
+    pub fn sample_telemetry(&mut self, now: SimTime) {
+        let mut greylisted: i64 = 0;
+        let mut passed: i64 = 0;
+        let mut accepted: i64 = 0;
+        let mut mailbox: i64 = 0;
+        for server in self.servers.values() {
+            let stats = server.stats();
+            greylisted += i64::try_from(stats.rcpt_greylisted).unwrap_or(i64::MAX);
+            passed += i64::try_from(stats.rcpt_passed).unwrap_or(i64::MAX);
+            accepted += i64::try_from(stats.messages_accepted).unwrap_or(i64::MAX);
+            mailbox += i64::try_from(server.mailbox().len()).unwrap_or(i64::MAX);
+        }
+        self.samples.record_point(SAMPLE_GREYLIST_DEFERRED, now, greylisted);
+        self.samples.record_point(SAMPLE_GREYLIST_PASSED, now, passed);
+        self.samples.record_point(SAMPLE_RECV_ACCEPTED, now, accepted);
+        self.samples.record_point(SAMPLE_RECV_MAILBOX, now, mailbox);
+        self.samples.record_point(
+            SAMPLE_ENGINE_EVENTS,
+            now,
+            i64::try_from(self.engine_stats.events).unwrap_or(i64::MAX),
+        );
+        self.samples.record_point(
+            SAMPLE_ENGINE_QUEUE_HIGH_WATER,
+            now,
+            i64::try_from(self.engine_stats.queue_high_water).unwrap_or(i64::MAX),
+        );
+    }
+
     /// Registers a receiving server: adds a host with port 25 open to the
     /// network (if its IP is new) and routes SMTP sessions to the MTA.
     pub fn install_server(&mut self, mta: ReceivingMta) {
@@ -259,6 +343,8 @@ impl MailWorld {
         envelope: Envelope,
         message: Message,
     ) -> AttemptReport {
+        let timeline_track =
+            self.timeline.is_enabled().then(|| self.note_timeline_attempt(now, &envelope));
         // A slow-resolver fault charges its surcharge whether or not the
         // lookup succeeds; the sender pays it before anything else happens.
         let dns_extra = self.resolver.fault_extra_latency(now);
@@ -266,12 +352,23 @@ impl MailWorld {
             Ok(mxs) => mxs,
             Err(e) => {
                 self.trace.record(now, TRACE_DNS_FAIL, format!("{domain}: {e}"));
+                if let Some(track) = &timeline_track {
+                    self.timeline.record_event(TL_DNS, now, track, format!("{domain}: {e}"));
+                }
                 let mut report = AttemptReport::resolve_failed(e, envelope.recipients());
                 report.time_spent = dns_extra;
                 return report;
             }
         };
         self.trace.record(now, TRACE_DNS_MX, format!("{domain}: {} exchanger(s)", mxs.len()));
+        if let Some(track) = &timeline_track {
+            self.timeline.record_event(
+                TL_DNS,
+                now,
+                track,
+                format!("{domain}: {} exchanger(s)", mxs.len()),
+            );
+        }
         // Receiving servers reverse-resolve the connecting client once per
         // session; name-based whitelists depend on it.
         let client_rdns: Option<String> =
@@ -315,6 +412,14 @@ impl MailWorld {
                         ip: Some(ip),
                         connect_error: None,
                     });
+                    if let Some(track) = &timeline_track {
+                        self.timeline.record_event(
+                            TL_CONNECT,
+                            now,
+                            track,
+                            format!("{} ({ip})", cand.name),
+                        );
+                    }
                     // An injected mid-session abort kills the session after
                     // the handshake: the client pays the flavour's cost and
                     // sees a transient failure; nothing is stored.
@@ -367,6 +472,9 @@ impl MailWorld {
                         TRACE_SMTP_OUTCOME,
                         format!("{} via {}: {}", envelope, cand.name, outcome),
                     );
+                    if let Some(track) = &timeline_track {
+                        self.note_timeline_outcome(now, track, &outcome);
+                    }
                     return AttemptReport { outcome, mx_trail: trail, time_spent };
                 }
             }
@@ -377,6 +485,51 @@ impl MailWorld {
             outcome: DeliveryOutcome::connect_failed(envelope.recipients(), true),
             mx_trail: trail,
             time_spent,
+        }
+    }
+
+    /// Opens (or extends) the lifecycle track for `envelope`: the first
+    /// attempt is the campaign *emit*, every later one a *retry*. Returns
+    /// the track name for this attempt's remaining events.
+    fn note_timeline_attempt(&mut self, now: SimTime, envelope: &Envelope) -> String {
+        let track = if self.timeline_scope.is_empty() {
+            envelope.to_string()
+        } else {
+            format!("{}/{envelope}", self.timeline_scope)
+        };
+        let state = self.timeline_state.entry(track.clone()).or_insert((0, false));
+        state.0 += 1;
+        let attempt = state.0;
+        if attempt == 1 {
+            self.timeline.record_event(TL_EMIT, now, &track, "first attempt".to_owned());
+        } else {
+            self.timeline.record_event(TL_RETRY, now, &track, format!("attempt {attempt}"));
+        }
+        track
+    }
+
+    /// Records the SMTP outcome of an attempt on its track: a session-level
+    /// tempfail is the greylist *defer* decision, a delivery after an
+    /// earlier defer is the *pass*, anything else permanent a reject.
+    fn note_timeline_outcome(&mut self, now: SimTime, track: &str, outcome: &DeliveryOutcome) {
+        if outcome.is_delivered() {
+            let deferred = self.timeline_state.get(track).is_some_and(|s| s.1);
+            if deferred {
+                self.timeline.record_event(
+                    TL_GREYLIST_PASS,
+                    now,
+                    track,
+                    "accepted after defer".to_owned(),
+                );
+            }
+            self.timeline.record_event(TL_DELIVER, now, track, outcome.to_string());
+        } else if outcome.is_retryable() {
+            self.timeline.record_event(TL_GREYLIST_DEFER, now, track, outcome.to_string());
+            if let Some(state) = self.timeline_state.get_mut(track) {
+                state.1 = true;
+            }
+        } else {
+            self.timeline.record_event(TL_REJECT, now, track, outcome.to_string());
         }
     }
 }
@@ -673,6 +826,85 @@ mod tests {
             msg(),
         );
         assert!(!report.outcome.is_delivered());
+    }
+
+    #[test]
+    fn timeline_records_the_greylist_lifecycle() {
+        let mut w = MailWorld::new(2).with_timeline_scope("greylist");
+        let ip = Ipv4Addr::new(192, 0, 2, 9);
+        w.install_server(
+            ReceivingMta::new("mail.bar.org", ip).with_greylist(Greylist::new(
+                GreylistConfig::with_delay(SimDuration::from_secs(300)),
+            )),
+        );
+        w.dns.publish(Zone::single_mx(domain("bar.org"), ip));
+
+        let d = Dialect::compliant_mta("relay.example");
+        for at in [SimTime::ZERO, SimTime::from_secs(600)] {
+            w.attempt_delivery(
+                at,
+                &d,
+                MxStrategy::RfcCompliant,
+                &domain("bar.org"),
+                env("u@bar.org"),
+                msg(),
+            );
+        }
+
+        let names: Vec<&str> = w.timeline.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "timeline.emit",
+                "timeline.dns",
+                "timeline.connect",
+                "timeline.greylist.defer",
+                "timeline.retry",
+                "timeline.dns",
+                "timeline.connect",
+                "timeline.greylist.pass",
+                "timeline.deliver",
+            ],
+            "full lifecycle of a greylist-deferred message"
+        );
+        let tracks: Vec<&str> = w.timeline.events().map(|e| e.track.as_str()).collect();
+        assert!(tracks.iter().all(|t| t.starts_with("greylist/")), "{tracks:?}");
+
+        // A world without the timeline records nothing and costs nothing.
+        let mut quiet = MailWorld::new(2);
+        quiet.install_server(ReceivingMta::new("m.bar.org", Ipv4Addr::new(192, 0, 2, 9)));
+        quiet.dns.publish(Zone::single_mx(domain("bar.org"), Ipv4Addr::new(192, 0, 2, 9)));
+        quiet.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("bar.org"),
+            env("u@bar.org"),
+            msg(),
+        );
+        assert!(quiet.timeline.is_empty());
+        assert!(quiet.samples.is_empty());
+    }
+
+    #[test]
+    fn sample_telemetry_snapshots_server_counters() {
+        let mut w = MailWorld::new(7).with_sampling(SimDuration::from_secs(60));
+        let ip = Ipv4Addr::new(192, 0, 2, 9);
+        w.install_server(ReceivingMta::new("m.bar.org", ip));
+        w.dns.publish(Zone::single_mx(domain("bar.org"), ip));
+        w.attempt_delivery(
+            SimTime::ZERO,
+            &Dialect::compliant_mta("relay.example"),
+            MxStrategy::RfcCompliant,
+            &domain("bar.org"),
+            env("u@bar.org"),
+            msg(),
+        );
+        assert_eq!(w.sample_interval(), Some(SimDuration::from_secs(60)));
+        w.sample_telemetry(SimTime::from_secs(60));
+        assert_eq!(w.samples.get(SAMPLE_RECV_ACCEPTED, SimTime::from_secs(60)), Some(1));
+        assert_eq!(w.samples.get(SAMPLE_RECV_MAILBOX, SimTime::from_secs(60)), Some(1));
+        assert_eq!(w.samples.get(SAMPLE_GREYLIST_DEFERRED, SimTime::from_secs(60)), Some(0));
     }
 
     #[test]

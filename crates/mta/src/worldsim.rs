@@ -21,10 +21,11 @@
 //! [`RunOutcome::BudgetExhausted`] in the returned outcome and the
 //! world's outcome tally.
 
+use crate::metrics::SAMPLE_BREAKER_TRIPS;
 use crate::send::SendingMta;
 use crate::world::MailWorld;
 use spamward_net::FaultPlan;
-use spamward_sim::{Actor, ActorSim, RunOutcome, SimTime, Wake};
+use spamward_sim::{Actor, ActorSim, RunOutcome, SampleClock, SimTime, Wake};
 
 /// Runs single-driver engine episodes against a [`MailWorld`].
 pub struct WorldSim;
@@ -68,6 +69,18 @@ impl WorldSim {
     ) -> (Vec<A>, RunOutcome, SimTime) {
         let owned = std::mem::replace(world, MailWorld::new(0));
         let remaining = owned.event_budget.map(|t| t.saturating_sub(owned.engine_stats.events));
+        // A sampler joins the cast only for horizon-bounded episodes of a
+        // sampling world: an unbounded episode has no last tick, and a
+        // world that never asked for telemetry must run the exact same
+        // event stream as before (golden bytes depend on it).
+        let sampler = match (owned.sample_interval(), horizon) {
+            (Some(interval), Some(h)) => {
+                let first = actors.iter().map(|(_, at)| *at).min().unwrap_or(SimTime::ZERO);
+                let clock = SampleClock::new(interval, h);
+                clock.next_after(first).map(|tick| (SamplerActor::new(clock), tick))
+            }
+            _ => None,
+        };
         let mut sim = ActorSim::new(owned);
         if let Some(h) = horizon {
             sim = sim.with_horizon(h);
@@ -76,15 +89,80 @@ impl WorldSim {
             sim = sim.with_event_budget(budget);
         }
         for (actor, first_wake) in actors {
-            sim.add_actor(actor, first_wake);
+            sim.add_actor(EpisodeActor::Main(actor), first_wake);
+        }
+        if let Some((sampler, first_tick)) = sampler {
+            sim.add_actor(EpisodeActor::Sampler(sampler), first_tick);
         }
         let outcome = sim.run();
         let end = sim.now();
         let stats = sim.stats();
-        let (mut episode_world, actors) = sim.into_parts();
+        let (mut episode_world, cast) = sim.into_parts();
         episode_world.engine_stats.merge(&stats);
         *world = episode_world;
+        let actors = cast
+            .into_iter()
+            .filter_map(|wrapped| match wrapped {
+                EpisodeActor::Main(actor) => Some(actor),
+                EpisodeActor::Sampler(_) => None,
+            })
+            .collect();
         (actors, outcome, end)
+    }
+}
+
+/// The telemetry sampler as an engine actor: every tick snapshots the
+/// world's counters into [`MailWorld::samples`]
+/// ([`MailWorld::sample_telemetry`]), then sleeps one interval. Ticks are
+/// ordinary engine events, so they are ordered (FIFO at equal instants)
+/// against the delivery attempts they observe and counted under the
+/// `obs.sample` actor category.
+pub struct SamplerActor {
+    clock: SampleClock,
+}
+
+impl SamplerActor {
+    /// A sampler ticking on `clock`.
+    pub fn new(clock: SampleClock) -> Self {
+        SamplerActor { clock }
+    }
+}
+
+impl Actor<MailWorld> for SamplerActor {
+    fn name(&self) -> &str {
+        crate::metrics::ACTOR_OBS_SAMPLE
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        world.sample_telemetry(now);
+        match self.clock.next_after(now) {
+            Some(at) => Wake::At(at),
+            None => Wake::Idle,
+        }
+    }
+}
+
+/// Internal cast wrapper: [`ActorSim`] runs actors of one type, so the
+/// caller's homogeneous cast and the optional sampler share the episode
+/// through this enum.
+enum EpisodeActor<A> {
+    Main(A),
+    Sampler(SamplerActor),
+}
+
+impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
+    fn name(&self) -> &str {
+        match self {
+            EpisodeActor::Main(actor) => actor.name(),
+            EpisodeActor::Sampler(actor) => actor.name(),
+        }
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        match self {
+            EpisodeActor::Main(actor) => actor.wake(now, world),
+            EpisodeActor::Sampler(actor) => actor.wake(now, world),
+        }
     }
 }
 
@@ -93,12 +171,13 @@ impl WorldSim {
 /// schedule as a self-rescheduling timer.
 pub struct SenderActor {
     mta: SendingMta,
+    breaker_trips_reported: u64,
 }
 
 impl SenderActor {
     /// Wraps a sending MTA for an engine episode.
     pub fn new(mta: SendingMta) -> Self {
-        SenderActor { mta }
+        SenderActor { mta, breaker_trips_reported: 0 }
     }
 
     /// Unwraps the MTA after the episode.
@@ -114,6 +193,21 @@ impl Actor<MailWorld> for SenderActor {
 
     fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
         self.mta.run_due(now, world);
+        // Breaker state lives in the sending MTA, out of the world
+        // sampler's reach — so a sampling world gets trip *increments*
+        // recorded here, at the virtual instant the wake-up tripped them.
+        if world.sample_interval().is_some() && self.mta.retry_policy().is_some() {
+            let trips = self.mta.breaker_trips();
+            let delta = trips - self.breaker_trips_reported;
+            if delta > 0 {
+                world.samples.record_point(
+                    SAMPLE_BREAKER_TRIPS,
+                    now,
+                    i64::try_from(delta).unwrap_or(i64::MAX),
+                );
+            }
+            self.breaker_trips_reported = trips;
+        }
         match self.mta.next_due() {
             Some(due) => Wake::At(due),
             None => Wake::Idle,
@@ -279,6 +373,52 @@ mod tests {
         );
         assert!(world.engine_stats.actor_events.contains_key("net.fault"));
         assert!(world.engine_stats.actor_events.contains_key("mta.send"));
+    }
+
+    #[test]
+    fn sampling_world_gets_a_sampler_in_every_bounded_episode() {
+        use spamward_sim::SimDuration;
+
+        let (mut world, _) = seeded_world();
+        world = world.with_sampling(SimDuration::from_secs(60));
+        let horizon = SimTime::from_secs(300);
+        let (_, _outcome, _end) = WorldSim::episode(
+            &mut world,
+            SenderActor::new(one_message_mta()),
+            SimTime::ZERO,
+            Some(horizon),
+        );
+        // Ticks land at 60, 120, ..., 300 s of virtual time.
+        assert!(world.engine_stats.actor_events.contains_key("obs.sample"));
+        assert_eq!(
+            world.samples.get(crate::metrics::SAMPLE_RECV_ACCEPTED, SimTime::from_secs(60)),
+            Some(1),
+            "first tick sees the already-delivered message"
+        );
+        assert_eq!(world.samples.get(crate::metrics::SAMPLE_RECV_ACCEPTED, horizon), Some(1));
+
+        // Without a horizon no sampler joins (nothing would bound it) and
+        // the episode still drains normally.
+        let (mut quiet, _) = seeded_world();
+        quiet = quiet.with_sampling(SimDuration::from_secs(60));
+        let (_, outcome, _) =
+            WorldSim::episode(&mut quiet, SenderActor::new(one_message_mta()), SimTime::ZERO, None);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert!(quiet.samples.is_empty());
+        assert!(!quiet.engine_stats.actor_events.contains_key("obs.sample"));
+    }
+
+    #[test]
+    fn unsampled_worlds_run_the_exact_prior_event_stream() {
+        let (mut world, _) = seeded_world();
+        let (_, _, _) = WorldSim::episode(
+            &mut world,
+            SenderActor::new(one_message_mta()),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(300)),
+        );
+        assert!(world.samples.is_empty());
+        assert!(!world.engine_stats.actor_events.contains_key("obs.sample"));
     }
 
     #[test]

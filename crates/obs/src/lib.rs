@@ -19,6 +19,12 @@
 //!   [`SimTime`]/[`Clock`](spamward_sim::Clock) substrate, never
 //!   `std::time::Instant` (the D1 lint rule), so span durations are part
 //!   of the reproducible output rather than noise.
+//! - **Time as data.** [`TimeSeries`] holds sampled counter/gauge points in
+//!   virtual time with an additive, order-insensitive merge (shard-width
+//!   invariant byte renderings), and [`Timeline`] is a bounded flight
+//!   recorder of message-lifecycle events exporting Chrome trace-event
+//!   JSON. [`to_openmetrics`] renders any [`Registry`] in the OpenMetrics
+//!   exposition format for standard tooling.
 //!
 //! Metric names follow the `crate.subsystem.event` convention and are bound
 //! in each crate's `metrics.rs` constants module (the O1 lint rule keeps
@@ -48,10 +54,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod export;
 mod metric;
 mod registry;
 mod span;
+mod timeline;
+mod timeseries;
 
+pub use export::to_openmetrics;
 pub use metric::{Counter, Gauge, Histogram};
 pub use registry::{MetricValue, Registry};
 pub use span::{Span, SpanStats};
+pub use timeline::{Timeline, TimelineEvent, DEFAULT_TIMELINE_CAPACITY};
+pub use timeseries::TimeSeries;

@@ -147,6 +147,11 @@ impl Registry {
                     if let Some(overflow) = h.counts().last() {
                         let _ = write!(out, " le+inf={overflow}");
                     }
+                    if h.count() > 0 {
+                        for pct in [50u64, 90, 99] {
+                            let _ = write!(out, " p{pct}={}", quantile_cell(h, pct));
+                        }
+                    }
                     out.push('\n');
                 }
             }
@@ -233,10 +238,27 @@ impl Registry {
     }
 }
 
+/// The upper bucket bound covering the `pct`-th percentile observation, as
+/// a text cell: the smallest bound whose cumulative count reaches the
+/// percentile rank, or `+inf` when it falls in the overflow bucket. All
+/// integral arithmetic — the cell is a bucket *bound*, not an
+/// interpolation, so it renders identically on every platform.
+fn quantile_cell(h: &Histogram, pct: u64) -> String {
+    let rank = (u128::from(h.count()) * u128::from(pct)).div_ceil(100).max(1);
+    let mut cumulative = 0u128;
+    for (bound, n) in h.bounds().iter().zip(h.counts()) {
+        cumulative += u128::from(*n);
+        if cumulative >= rank {
+            return bound.to_string();
+        }
+    }
+    "+inf".to_owned()
+}
+
 /// Escapes a metric name as a JSON string literal (same canonical escaping
 /// as `spamward_analysis::json::json_string`; duplicated to keep this crate
 /// dependency-light).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -324,7 +346,7 @@ mod tests {
         assert_eq!(
             reg.to_text(),
             "greylist.store.size 3\n\
-             mta.retry.delay_s count=2 sum=505 le10=1 le100=0 le+inf=1\n\
+             mta.retry.delay_s count=2 sum=505 le10=1 le100=0 le+inf=1 p50=10 p90=+inf p99=+inf\n\
              smtp.command.total 12\n"
         );
         assert_eq!(
@@ -349,6 +371,33 @@ mod tests {
         // Rendering twice yields identical bytes.
         assert_eq!(reg.to_json(), reg.clone().to_json());
         assert_eq!(Registry::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn histogram_text_pins_the_quantile_summary_format() {
+        // 10 observations: 5 land in le10, 3 more in le100, 2 overflow.
+        let mut h = Histogram::new(&[10, 100]);
+        for _ in 0..5 {
+            h.observe(1);
+        }
+        for _ in 0..3 {
+            h.observe(50);
+        }
+        h.observe(1_000);
+        h.observe(2_000);
+        let mut reg = Registry::new();
+        reg.record_histogram("mta.retry.delay_s", &h);
+        // p50 rank 5 → le10; p90 rank 9 → le+inf; p99 rank 10 → le+inf.
+        assert_eq!(
+            reg.to_text(),
+            "mta.retry.delay_s count=10 sum=3155 le10=5 le100=3 le+inf=2 p50=10 p90=+inf p99=+inf\n"
+        );
+
+        // An empty histogram has no quantiles to summarise.
+        let empty = Histogram::new(&[10, 100]);
+        let mut reg = Registry::new();
+        reg.record_histogram("mta.retry.delay_s", &empty);
+        assert_eq!(reg.to_text(), "mta.retry.delay_s count=0 sum=0 le10=0 le100=0 le+inf=0\n");
     }
 
     #[test]

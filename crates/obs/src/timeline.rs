@@ -1,0 +1,246 @@
+//! Bounded flight-recorder timeline of causally-linked span events.
+//!
+//! A [`Timeline`] records the lifecycle of individual messages — campaign
+//! emit → DNS → connect → greylist decision → retry → delivery — as named
+//! instant events on per-message *tracks*, in virtual time. Like the
+//! trace recorder in `spamward_sim::trace` it is a bounded ring buffer
+//! (oldest events drop first, with a drop counter), so enabling it on a
+//! long campaign cannot grow without bound.
+//!
+//! The export format is Chrome trace-event JSON (`to_chrome_trace`), the
+//! schema read by `chrome://tracing` and Perfetto: each track becomes a
+//! named thread, each event an instant (`"ph":"i"`) on that thread at its
+//! virtual-time microsecond offset. Events are sorted and tracks numbered
+//! deterministically, so the rendered bytes are a pure function of the
+//! recorded events regardless of shard merge order.
+
+use crate::registry::json_str;
+use spamward_sim::SimTime;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default ring-buffer capacity of an enabled timeline.
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 65_536;
+
+/// One recorded instant event on a timeline track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Event name (a `timeline.*` constant; rule O1 keeps literals out of
+    /// call sites).
+    pub name: String,
+    /// Track the event belongs to — one track per message lifecycle.
+    pub track: String,
+    /// Free-form detail rendered into the trace `args`.
+    pub detail: String,
+}
+
+/// A bounded, deterministic ring buffer of [`TimelineEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    capacity: usize,
+    events: VecDeque<TimelineEvent>,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// An enabled timeline with the default capacity.
+    pub fn new() -> Self {
+        Timeline::with_capacity(DEFAULT_TIMELINE_CAPACITY)
+    }
+
+    /// An enabled timeline holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Timeline { capacity, events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// A disabled timeline: recording is a no-op and nothing allocates.
+    pub fn disabled() -> Self {
+        Timeline::with_capacity(0)
+    }
+
+    /// Whether this timeline records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an instant event; the oldest event drops once full.
+    pub fn record_event(&mut self, name: &str, at: SimTime, track: &str, detail: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TimelineEvent {
+            at,
+            name: name.to_owned(),
+            track: track.to_owned(),
+            detail,
+        });
+    }
+
+    /// Appends every event of `other` (oldest dropping as needed) and sums
+    /// drop counts. The capacity (and enabled state) of `self` is adopted
+    /// from `other` if `self` is disabled, so merging shard timelines into
+    /// a fresh accumulator keeps them.
+    pub fn merge(&mut self, other: &Timeline) {
+        if self.capacity < other.capacity {
+            self.capacity = other.capacity;
+        }
+        self.dropped += other.dropped;
+        for event in &other.events {
+            if self.capacity == 0 {
+                return;
+            }
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back(event.clone());
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
+        self.events.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders Chrome trace-event JSON (the Perfetto / `chrome://tracing`
+    /// format): one process, one named thread per track, one instant event
+    /// per record, `ts` in virtual-time microseconds.
+    ///
+    /// Events are sorted by `(at, track, name, detail)` and threads are
+    /// numbered by sorted track name, so the bytes do not depend on the
+    /// order shard timelines were merged in.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut sorted: Vec<&TimelineEvent> = self.events.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.at, &a.track, &a.name, &a.detail).cmp(&(b.at, &b.track, &b.name, &b.detail))
+        });
+        let tracks: BTreeSet<&str> = sorted.iter().map(|e| e.track.as_str()).collect();
+        let tid_of = |track: &str| tracks.range(..=track).count();
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for (tid, track) in tracks.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                tid + 1,
+                json_str(track)
+            );
+        }
+        for event in sorted {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"spamward\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\
+                 \"tid\":{},\"s\":\"t\",\"args\":{{\"detail\":{}}}}}",
+                json_str(&event.name),
+                event.at.as_micros(),
+                tid_of(&event.track),
+                json_str(&event.detail)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamward_sim::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut tl = Timeline::disabled();
+        tl.record_event("timeline.emit", t(1), "msg-1", String::new());
+        assert!(!tl.is_enabled());
+        assert!(tl.is_empty());
+        assert_eq!(tl.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut tl = Timeline::with_capacity(2);
+        tl.record_event("timeline.emit", t(1), "msg-1", String::new());
+        tl.record_event("timeline.retry", t(2), "msg-1", String::new());
+        tl.record_event("timeline.deliver", t(3), "msg-1", String::new());
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.dropped(), 1);
+        assert_eq!(tl.events().next().map(|e| e.name.as_str()), Some("timeline.retry"));
+    }
+
+    #[test]
+    fn chrome_trace_bytes_ignore_merge_order() {
+        let mut a = Timeline::new();
+        a.record_event("timeline.emit", t(1), "msg-a", "first".to_owned());
+        let mut b = Timeline::new();
+        b.record_event("timeline.emit", t(1), "msg-b", "first".to_owned());
+        b.record_event("timeline.deliver", t(9), "msg-b", "done".to_owned());
+
+        let mut ab = Timeline::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Timeline::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.to_chrome_trace(), ba.to_chrome_trace());
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_pinned() {
+        let mut tl = Timeline::new();
+        tl.record_event("timeline.emit", t(1), "msg-1", "first attempt".to_owned());
+        assert_eq!(
+            tl.to_chrome_trace(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+             \"args\":{\"name\":\"msg-1\"}},\
+             {\"name\":\"timeline.emit\",\"cat\":\"spamward\",\"ph\":\"i\",\"ts\":1000000,\
+             \"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"detail\":\"first attempt\"}}]}"
+        );
+        assert_eq!(
+            Timeline::disabled().to_chrome_trace(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -27,6 +27,12 @@ pub const CLASS_NO_NOLISTING: &str = "scanner.class.no_nolisting";
 pub const CLASS_NOLISTING: &str = "scanner.class.nolisting";
 /// Domains classified as DNS-misconfigured.
 pub const CLASS_MISCONFIGURED: &str = "scanner.class.misconfigured";
+/// Sampled series: scan work (DNS queries + SYN probes) per virtual-time
+/// bucket of the streaming scan.
+pub const SAMPLE_SCAN_EVENTS: &str = "obs.sample.scan.events";
+/// Sampled series: nolisting detections per virtual-time bucket.
+pub const SAMPLE_SCAN_NOLISTING: &str = "obs.sample.scan.nolisting";
+
 /// Detector true positives against ground truth.
 pub const ACCURACY_TP: &str = "scanner.accuracy.true_positives";
 /// Detector false positives against ground truth.

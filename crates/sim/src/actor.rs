@@ -42,6 +42,46 @@ pub trait Actor<S> {
     fn wake(&mut self, now: SimTime, state: &mut S) -> Wake;
 }
 
+/// A fixed-interval virtual-time tick schedule, bounded by a horizon.
+///
+/// This is the timing core of telemetry samplers: given the instant a tick
+/// just ran, it answers when (and whether) the next one is due. Keeping it
+/// here — beside [`Wake`], with no knowledge of what gets sampled — lets
+/// any actor layer (the MTA world sampler, future front ends) share one
+/// deterministic cadence rule: ticks land at `first + k·interval` and stop
+/// strictly after the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleClock {
+    interval: SimDuration,
+    horizon: SimTime,
+}
+
+impl SampleClock {
+    /// A clock ticking every `interval` (must be non-zero) up to and
+    /// including `horizon`.
+    pub fn new(interval: SimDuration, horizon: SimTime) -> Self {
+        assert!(interval > SimDuration::ZERO, "sample interval must be non-zero");
+        SampleClock { interval, horizon }
+    }
+
+    /// The tick interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The last instant a tick may land on.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The instant of the tick after one at `now`, or `None` once the next
+    /// tick would pass the horizon.
+    pub fn next_after(&self, now: SimTime) -> Option<SimTime> {
+        let next = now + self.interval;
+        (next <= self.horizon).then_some(next)
+    }
+}
+
 /// Tally of [`RunOutcome`]s across engine episodes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeTally {
@@ -419,5 +459,32 @@ mod tests {
         assert!(total.queue_high_water >= second.queue_high_water);
         assert!(!total.is_empty());
         assert!(EngineStats::default().is_empty());
+    }
+
+    #[test]
+    fn sample_clock_ticks_to_the_horizon_and_stops() {
+        let clock = SampleClock::new(
+            SimDuration::from_secs(60),
+            SimTime::ZERO + SimDuration::from_secs(150),
+        );
+        let t0 = SimTime::ZERO;
+        let t1 = clock.next_after(t0).expect("first tick");
+        assert_eq!(t1, SimTime::ZERO + SimDuration::from_secs(60));
+        let t2 = clock.next_after(t1).expect("second tick");
+        assert_eq!(t2, SimTime::ZERO + SimDuration::from_secs(120));
+        // 180s would pass the 150s horizon.
+        assert_eq!(clock.next_after(t2), None);
+        // A tick landing exactly on the horizon is still due.
+        let exact = SampleClock::new(
+            SimDuration::from_secs(60),
+            SimTime::ZERO + SimDuration::from_secs(120),
+        );
+        assert_eq!(exact.next_after(t1), Some(SimTime::ZERO + SimDuration::from_secs(120)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be non-zero")]
+    fn sample_clock_rejects_a_zero_interval() {
+        let _ = SampleClock::new(SimDuration::ZERO, SimTime::ZERO);
     }
 }

@@ -52,7 +52,7 @@ mod time;
 pub mod trace;
 pub mod wall;
 
-pub use actor::{Actor, ActorSim, EngineStats, OutcomeTally, Wake};
+pub use actor::{Actor, ActorSim, EngineStats, OutcomeTally, SampleClock, Wake};
 pub use event::{repeat_every, Ctx, RunOutcome, Simulation};
 pub use rng::DetRng;
 pub use shard::ShardPlan;
