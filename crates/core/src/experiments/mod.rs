@@ -11,6 +11,7 @@ pub mod kelihos;
 pub mod longterm;
 pub mod mta_schedules;
 pub mod nolisting_adoption;
+pub mod policy_backend;
 pub mod resilience;
 pub mod summary;
 pub mod variance;

@@ -5,7 +5,7 @@
 
 use spamward_dns::{DomainName, Zone};
 use spamward_greylist::{Greylist, GreylistConfig};
-use spamward_mta::{MailWorld, ReceivingMta};
+use spamward_mta::{DegradationMode, MailWorld, ReceivingMta};
 use spamward_net::{Availability, FaultWindow, PortState, SMTP_PORT};
 use spamward_sim::SimDuration;
 use std::net::Ipv4Addr;
@@ -72,6 +72,20 @@ pub fn greylist_world_at(seed: u64, domain: &str, host: &str, greylist: Greylist
     let mut w = MailWorld::new(seed);
     w.install_server(ReceivingMta::new(host, VICTIM_MX_IP).with_greylist(greylist));
     w.dns.publish(Zone::single_mx(domain, VICTIM_MX_IP));
+    w
+}
+
+/// The standard greylist victim with an explicit store-outage degradation
+/// mode — [`custom_greylist_world`] plus the fail-open/fail-closed policy
+/// the `policy_backend` experiment exercises against store faults.
+pub fn degraded_greylist_world(seed: u64, greylist: Greylist, mode: DegradationMode) -> MailWorld {
+    let mut w = MailWorld::new(seed);
+    w.install_server(
+        ReceivingMta::new("mail.victim.example", VICTIM_MX_IP)
+            .with_greylist(greylist)
+            .with_degradation(mode),
+    );
+    w.dns.publish(Zone::single_mx(victim_domain(), VICTIM_MX_IP));
     w
 }
 
@@ -176,5 +190,12 @@ mod tests {
 
         let w = pregreet_world(2);
         assert!(w.server(VICTIM_MX_IP).unwrap().greylist().is_none());
+
+        let w = degraded_greylist_world(
+            2,
+            Greylist::new(GreylistConfig::default()),
+            DegradationMode::FailClosed,
+        );
+        assert!(w.server(VICTIM_MX_IP).unwrap().greylist().is_some());
     }
 }

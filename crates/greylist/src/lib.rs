@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod keying;
 pub mod metrics;
 mod persist;
 mod policy;
@@ -35,9 +37,14 @@ mod store;
 mod triplet;
 mod whitelist;
 
+pub use backend::{
+    GreylistStore, PartitionedStore, RemoteStore, StoreBackend, StoreExchange, StoreReply,
+    StoreRequest, StoreUnavailable, Touch,
+};
+pub use keying::KeyPolicy;
 pub use persist::SnapshotError;
 pub use policy::{Decision, Greylist, GreylistConfig, PassReason};
 pub use stats::GreylistStats;
 pub use store::{EntryState, TripletEntry, TripletStore};
-pub use triplet::TripletKey;
+pub use triplet::{KeyAtom, TripletKey};
 pub use whitelist::Whitelist;

@@ -29,6 +29,21 @@ pub const PASSED_AUTO_WHITELIST: &str = "greylist.passed.auto_whitelist";
 pub const PASSED_TOTAL: &str = "greylist.passed.total";
 /// Live triplet-store entries at collection time.
 pub const STORE_SIZE: &str = "greylist.store.size";
+/// Approximate resident bytes of key+entry data, comparable across
+/// backends (compact-key satellite of the store refactor).
+pub const STORE_BYTES: &str = "greylist.store.bytes";
+/// Store requests the backend answered (remote backends; 0 in-process).
+pub const BACKEND_OPS: &str = "greylist.backend.ops";
+/// Store requests lost to an outage window (remote backends).
+pub const BACKEND_UNAVAILABLE: &str = "greylist.backend.unavailable";
+/// Total virtual-time lookup latency paid, in microseconds (remote
+/// backends).
+pub const BACKEND_LATENCY_US: &str = "greylist.backend.latency_us";
+/// Partition count of the active backend (1 when unpartitioned).
+pub const BACKEND_SHARDS: &str = "greylist.backend.shards";
+/// Distinct client networks among tracked keys — how coarse the active
+/// key policy's view of the world is.
+pub const POLICY_CLIENT_NETS: &str = "greylist.policy.client_nets";
 
 /// Exports decision counters under the canonical `greylist.*` names.
 pub fn collect_stats(stats: &GreylistStats, reg: &mut Registry) {
@@ -49,6 +64,26 @@ pub fn collect_stats(stats: &GreylistStats, reg: &mut Registry) {
 pub fn collect(gl: &Greylist, reg: &mut Registry) {
     collect_stats(&gl.stats(), reg);
     reg.record_gauge(STORE_SIZE, gl.store().len() as i64);
+}
+
+/// Exports the backend/key-policy view: store bytes, partition count,
+/// remote-store traffic and the key-policy network granularity.
+///
+/// Deliberately separate from [`collect`]: only backend-aware experiments
+/// call this, so default worlds export byte-identical metric sets.
+pub fn collect_backend(gl: &Greylist, reg: &mut Registry) {
+    let store = gl.store();
+    reg.record_gauge(STORE_BYTES, store.approx_bytes() as i64);
+    reg.record_gauge(BACKEND_SHARDS, store.shard_count() as i64);
+    let (ops, unavailable, latency_us) = match store.as_remote() {
+        Some(r) => (r.ops(), r.unavailable(), r.latency_us()),
+        None => (0, 0, 0),
+    };
+    reg.record_counter(BACKEND_OPS, ops);
+    reg.record_counter(BACKEND_UNAVAILABLE, unavailable);
+    reg.record_counter(BACKEND_LATENCY_US, latency_us);
+    let nets: std::collections::BTreeSet<u32> = store.iter().map(|(k, _)| k.client_net).collect();
+    reg.record_gauge(POLICY_CLIENT_NETS, nets.len() as i64);
 }
 
 #[cfg(test)]
@@ -83,5 +118,38 @@ mod tests {
             reg.counter(DEFERRED_TOTAL).unwrap() + reg.counter(PASSED_TOTAL).unwrap(),
             stats.total()
         );
+    }
+
+    #[test]
+    fn collect_backend_reports_bytes_and_remote_traffic() {
+        use crate::backend::{RemoteStore, StoreBackend};
+        let mut gl = Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist(),
+        )
+        .with_backend(StoreBackend::Remote(RemoteStore::new(SimDuration::from_millis(2))));
+        let sender = ReversePath::Null;
+        let rcpt = "u@victim.example".parse().unwrap();
+        let _ = gl.check(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 1), &sender, &rcpt);
+        let _ = gl.check(SimTime::from_secs(301), Ipv4Addr::new(10, 0, 0, 1), &sender, &rcpt);
+
+        let mut reg = Registry::new();
+        collect_backend(&gl, &mut reg);
+        assert!(reg.gauge(STORE_BYTES).unwrap() > 0);
+        assert_eq!(reg.gauge(BACKEND_SHARDS), Some(1));
+        assert_eq!(reg.counter(BACKEND_OPS), Some(2));
+        assert_eq!(reg.counter(BACKEND_UNAVAILABLE), Some(0));
+        assert_eq!(reg.counter(BACKEND_LATENCY_US), Some(4_000));
+        assert_eq!(reg.gauge(POLICY_CLIENT_NETS), Some(1));
+    }
+
+    #[test]
+    fn collect_backend_counts_partitions() {
+        use crate::backend::{PartitionedStore, StoreBackend};
+        let gl = Greylist::new(GreylistConfig::default())
+            .with_backend(StoreBackend::Partitioned(PartitionedStore::new(4)));
+        let mut reg = Registry::new();
+        collect_backend(&gl, &mut reg);
+        assert_eq!(reg.gauge(BACKEND_SHARDS), Some(4));
+        assert_eq!(reg.gauge(STORE_BYTES), Some(0));
     }
 }

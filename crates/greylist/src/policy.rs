@@ -1,7 +1,9 @@
 //! The greylisting decision engine.
 
+use crate::backend::{GreylistStore, StoreBackend, StoreUnavailable, Touch};
+use crate::keying::KeyPolicy;
 use crate::stats::GreylistStats;
-use crate::store::{EntryState, TripletStore};
+use crate::store::TripletStore;
 use crate::triplet::TripletKey;
 use crate::whitelist::Whitelist;
 use serde::{Deserialize, Serialize};
@@ -62,6 +64,11 @@ pub struct GreylistConfig {
     pub whitelist_clients: Whitelist,
     /// Static recipient whitelist.
     pub whitelist_recipients: Whitelist,
+    /// How envelopes collapse into store keys. `None` (the default) means
+    /// Postgrey full-triplet keying under [`GreylistConfig::netmask`] —
+    /// exactly the pre-policy behaviour.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub key_policy: Option<KeyPolicy>,
 }
 
 impl Default for GreylistConfig {
@@ -72,6 +79,7 @@ impl Default for GreylistConfig {
             auto_whitelist_after: Some(5),
             whitelist_clients: Whitelist::new(),
             whitelist_recipients: Whitelist::new(),
+            key_policy: None,
         }
     }
 }
@@ -86,6 +94,18 @@ impl GreylistConfig {
     pub fn without_auto_whitelist(mut self) -> Self {
         self.auto_whitelist_after = None;
         self
+    }
+
+    /// Selects a non-default [`KeyPolicy`].
+    pub fn with_key_policy(mut self, policy: KeyPolicy) -> Self {
+        self.key_policy = Some(policy);
+        self
+    }
+
+    /// The effective keying policy (defaults to Postgrey full-triplet
+    /// under [`GreylistConfig::netmask`]).
+    pub fn effective_key_policy(&self) -> KeyPolicy {
+        self.key_policy.unwrap_or(KeyPolicy::FullTriplet { netmask: self.netmask })
     }
 }
 
@@ -115,26 +135,33 @@ impl GreylistConfig {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Greylist {
     config: GreylistConfig,
-    store: TripletStore,
+    store: StoreBackend,
     stats: GreylistStats,
     /// Successful greylist passes per client network (for auto-whitelist).
     awl_counts: BTreeMap<u32, u32>,
 }
 
 impl Greylist {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration (in-memory backend).
     pub fn new(config: GreylistConfig) -> Self {
         Greylist {
             config,
-            store: TripletStore::new(),
+            store: StoreBackend::InMemory(TripletStore::new()),
             stats: GreylistStats::default(),
             awl_counts: BTreeMap::new(),
         }
     }
 
-    /// Replaces the triplet store (e.g. one with a capacity bound).
+    /// Replaces the triplet store (e.g. one with a capacity bound),
+    /// keeping the in-memory backend.
     pub fn with_store(mut self, store: TripletStore) -> Self {
-        self.store = store;
+        self.store = StoreBackend::InMemory(store);
+        self
+    }
+
+    /// Selects a non-default store backend.
+    pub fn with_backend(mut self, backend: StoreBackend) -> Self {
+        self.store = backend;
         self
     }
 
@@ -143,9 +170,14 @@ impl Greylist {
         &self.config
     }
 
-    /// The triplet store (for snapshots and assertions).
-    pub fn store(&self) -> &TripletStore {
+    /// The store backend (for snapshots and assertions).
+    pub fn store(&self) -> &StoreBackend {
         &self.store
+    }
+
+    /// Stable slug of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.store.name()
     }
 
     /// Decision counters so far.
@@ -153,9 +185,39 @@ impl Greylist {
         self.stats
     }
 
+    /// Collapses an envelope into the store key under the configured
+    /// [`KeyPolicy`].
+    pub fn key_for(
+        &self,
+        client_ip: Ipv4Addr,
+        sender: &ReversePath,
+        recipient: &EmailAddress,
+    ) -> TripletKey {
+        self.config.effective_key_policy().key_for(client_ip, sender, recipient)
+    }
+
     /// Runs periodic maintenance (expiry sweep); returns entries dropped.
     pub fn maintain(&mut self, now: SimTime) -> usize {
         self.store.purge_expired(now)
+    }
+
+    /// Routes fault windows into a [`StoreBackend::Remote`] backend:
+    /// `outages` make lookups fail ([`StoreUnavailable`]), `slowdowns` add
+    /// lookup latency. Returns `false` (and installs nothing) when the
+    /// active backend is not remote — in-process stores have no network
+    /// path to fault, so callers fall back to MTA-level outage windows.
+    pub fn install_remote_faults(
+        &mut self,
+        outages: Vec<(SimTime, SimTime)>,
+        slowdowns: Vec<(SimDuration, SimTime, SimTime)>,
+    ) -> bool {
+        match &mut self.store {
+            StoreBackend::Remote(r) => {
+                r.set_fault_windows(outages, slowdowns);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The auto-whitelist counters as `(client_net, passes)` pairs (for
@@ -200,6 +262,10 @@ impl Greylist {
 
     /// Like [`Greylist::check`] but with the client's reverse-DNS name, so
     /// name-based whitelist entries can match.
+    ///
+    /// A backend that cannot answer ([`StoreUnavailable`]) is treated as a
+    /// plain deferral here; callers that distinguish degradation modes use
+    /// [`Greylist::try_check_with_rdns`].
     pub fn check_with_rdns(
         &mut self,
         now: SimTime,
@@ -208,66 +274,70 @@ impl Greylist {
         sender: &ReversePath,
         recipient: &EmailAddress,
     ) -> Decision {
+        let delay = self.config.delay;
+        self.try_check_with_rdns(now, client_ip, client_rdns, sender, recipient)
+            .unwrap_or(Decision::Greylisted { retry_after: delay })
+    }
+
+    /// The full decision path, surfacing store unavailability to the
+    /// caller instead of folding it into a deferral.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreUnavailable`] when the backend cannot answer (remote store
+    /// inside a fault window). Whitelist passes never touch the store and
+    /// therefore never fail.
+    pub fn try_check_with_rdns(
+        &mut self,
+        now: SimTime,
+        client_ip: Ipv4Addr,
+        client_rdns: Option<&str>,
+        sender: &ReversePath,
+        recipient: &EmailAddress,
+    ) -> Result<Decision, StoreUnavailable> {
         if self.config.whitelist_clients.matches_client(client_ip, client_rdns) {
             self.stats.passed_client_whitelist += 1;
-            return Decision::Pass(PassReason::ClientWhitelisted);
+            return Ok(Decision::Pass(PassReason::ClientWhitelisted));
         }
         if self.config.whitelist_recipients.matches_recipient(&recipient.normalized()) {
             self.stats.passed_recipient_whitelist += 1;
-            return Decision::Pass(PassReason::RecipientWhitelisted);
+            return Ok(Decision::Pass(PassReason::RecipientWhitelisted));
         }
+        // The auto-whitelist is always keyed on the client network under
+        // `config.netmask`, independent of the key policy: it models the
+        // per-client reputation Postgrey keeps next to (not inside) the
+        // triplet database.
         let net = self.client_net(client_ip);
         if let Some(threshold) = self.config.auto_whitelist_after {
             if self.awl_counts.get(&net).copied().unwrap_or(0) >= threshold {
                 self.stats.passed_auto_whitelist += 1;
-                return Decision::Pass(PassReason::AutoWhitelisted);
+                return Ok(Decision::Pass(PassReason::AutoWhitelisted));
             }
         }
 
-        let key = TripletKey::new(client_ip, sender, recipient, self.config.netmask);
+        let key = self.key_for(client_ip, sender, recipient);
         let delay = self.config.delay;
-        let existed = self.store.contains(&key);
-        match self.store.get_live_mut(&key, now) {
-            None => {
-                // Either genuinely unseen, or a stale entry that
-                // `get_live_mut` just removed — both restart the clock.
-                let entry = self.store.insert_pending(key, now);
-                entry.attempts += 1;
-                entry.last_seen = now;
-                debug_assert_eq!(entry.first_seen, now);
-                if existed {
+        match self.store.touch(key, now, delay)? {
+            Touch::New { restarted } => {
+                if restarted {
                     self.stats.greylisted_restarted += 1;
                 } else {
                     self.stats.greylisted_new += 1;
                 }
-                Decision::Greylisted { retry_after: delay }
+                Ok(Decision::Greylisted { retry_after: delay })
             }
-            Some(entry) => {
-                entry.attempts += 1;
-                entry.last_seen = now;
-                match entry.state {
-                    EntryState::Passed => {
-                        self.stats.passed_known += 1;
-                        Decision::Pass(PassReason::TripletKnown)
-                    }
-                    EntryState::Pending => {
-                        // Sessions carry per-connection latency offsets, so
-                        // two logically-concurrent checks can arrive with
-                        // slightly out-of-order clocks; saturate to zero.
-                        let waited = now
-                            .checked_elapsed_since(entry.first_seen)
-                            .unwrap_or(SimDuration::ZERO);
-                        if waited >= delay {
-                            entry.state = EntryState::Passed;
-                            self.stats.passed_after_delay += 1;
-                            *self.awl_counts.entry(net).or_insert(0) += 1;
-                            Decision::Pass(PassReason::DelayElapsed)
-                        } else {
-                            self.stats.greylisted_early += 1;
-                            Decision::Greylisted { retry_after: delay - waited }
-                        }
-                    }
-                }
+            Touch::Early { remaining } => {
+                self.stats.greylisted_early += 1;
+                Ok(Decision::Greylisted { retry_after: remaining })
+            }
+            Touch::Matured => {
+                self.stats.passed_after_delay += 1;
+                *self.awl_counts.entry(net).or_insert(0) += 1;
+                Ok(Decision::Pass(PassReason::DelayElapsed))
+            }
+            Touch::Known => {
+                self.stats.passed_known += 1;
+                Ok(Decision::Pass(PassReason::TripletKnown))
             }
         }
     }
@@ -438,5 +508,77 @@ mod tests {
         }
         let (_, entry) = g.store().iter().next().unwrap();
         assert_eq!(entry.attempts, 5);
+    }
+
+    #[test]
+    fn decisions_are_backend_independent() {
+        use crate::backend::{PartitionedStore, RemoteStore};
+        let backends = [
+            StoreBackend::InMemory(TripletStore::new()),
+            StoreBackend::Partitioned(PartitionedStore::new(4)),
+            StoreBackend::Remote(RemoteStore::new(SimDuration::from_millis(2))),
+        ];
+        let script = [
+            (1u8, 0u64, "a@b.cc"),
+            (1, 100, "a@b.cc"),
+            (2, 200, "c@d.ee"),
+            (1, 301, "a@b.cc"),
+            (2, 501, "c@d.ee"),
+            (1, 600, "a@b.cc"),
+        ];
+        let mut runs: Vec<Vec<Decision>> = Vec::new();
+        for backend in backends {
+            let mut g = gl(300).with_backend(backend);
+            runs.push(
+                script
+                    .iter()
+                    .map(|&(c, at, s)| g.check(t(at), ip(c), &from(s), &rcpt("u@foo.net")))
+                    .collect(),
+            );
+        }
+        assert_eq!(runs[0], runs[1], "partitioned backend changed decisions");
+        assert_eq!(runs[0], runs[2], "remote backend changed decisions");
+    }
+
+    #[test]
+    fn sender_recipient_policy_tolerates_pool_ip_fallback() {
+        use crate::keying::KeyPolicy;
+        let cfg = GreylistConfig::with_delay(SimDuration::from_secs(300))
+            .without_auto_whitelist()
+            .with_key_policy(KeyPolicy::SenderRecipient);
+        let mut g = Greylist::new(cfg);
+        // First attempt from one pool member, retry from an IP in a far
+        // /24 — the Table III pain case full-triplet keying re-greylists.
+        g.check(t(0), Ipv4Addr::new(64, 12, 0, 5), &from("a@b.cc"), &rcpt("u@foo.net"));
+        let d = g.check(t(301), Ipv4Addr::new(205, 188, 9, 1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert!(d.is_pass(), "qdgrey keying must accept a pool-fallback retry: {d:?}");
+    }
+
+    #[test]
+    fn client_net_policy_whitelists_whole_network() {
+        use crate::keying::KeyPolicy;
+        let cfg = GreylistConfig::with_delay(SimDuration::from_secs(300))
+            .without_auto_whitelist()
+            .with_key_policy(KeyPolicy::ClientNet { netmask: 24 });
+        let mut g = Greylist::new(cfg);
+        g.check(t(0), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        g.check(t(301), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        // Any envelope from the same /24 now passes: pure IP reputation.
+        let d = g.check(t(400), ip(200), &from("other@z.yy"), &rcpt("v@foo.net"));
+        assert!(d.is_pass(), "client-net keying must pass the whole network: {d:?}");
+        assert_eq!(g.store().len(), 1, "one key per network");
+    }
+
+    #[test]
+    fn unavailable_store_folds_to_deferral_in_check() {
+        use crate::backend::RemoteStore;
+        let mut remote = RemoteStore::new(SimDuration::from_millis(2));
+        remote.set_fault_windows(vec![(t(0), t(1_000))], Vec::new());
+        let mut g = gl(300).with_backend(StoreBackend::Remote(remote));
+        let err = g.try_check_with_rdns(t(10), ip(1), None, &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert!(err.is_err(), "outage must surface through try_check");
+        let d = g.check(t(10), ip(1), &from("a@b.cc"), &rcpt("u@foo.net"));
+        assert_eq!(d, Decision::Greylisted { retry_after: SimDuration::from_secs(300) });
+        assert_eq!(g.stats().total(), 0, "failed lookups are not greylist decisions");
     }
 }

@@ -34,7 +34,7 @@ pub struct TripletEntry {
 /// deployment would run periodically. An optional capacity bound evicts the
 /// least-recently-seen entries, the ablation knob for the "disk space and
 /// computation resources" cost the paper's §VI mentions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TripletStore {
     entries: BTreeMap<TripletKey, TripletEntry>,
     /// Maximum live entries; `None` = unbounded.
@@ -44,6 +44,14 @@ pub struct TripletStore {
     /// Passed entries idle longer than this are forgotten.
     pub passed_lifetime: SimDuration,
     evictions: u64,
+}
+
+impl Default for TripletStore {
+    /// Same as [`TripletStore::new`]. (A derived default would zero the
+    /// lifetimes, silently expiring every entry on arrival.)
+    fn default() -> Self {
+        TripletStore::new()
+    }
 }
 
 impl TripletStore {
@@ -78,6 +86,14 @@ impl TripletStore {
     /// Total LRU evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Approximate resident bytes of key+entry data. Keys are compact
+    /// digests ([`crate::KeyAtom`]), so this is a flat per-entry cost —
+    /// the `greylist.store.bytes` gauge backends report.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len()
+            * (std::mem::size_of::<TripletKey>() + std::mem::size_of::<TripletEntry>())
     }
 
     fn lifetime(&self, state: EntryState) -> SimDuration {
@@ -137,7 +153,7 @@ impl TripletStore {
 
     fn evict_oldest(&mut self, n: usize) {
         let mut by_age: Vec<(TripletKey, SimTime)> =
-            self.entries.iter().map(|(k, e)| (k.clone(), e.last_seen)).collect();
+            self.entries.iter().map(|(k, e)| (*k, e.last_seen)).collect();
         by_age.sort_by_key(|&(_, t)| t);
         for (key, _) in by_age.into_iter().take(n) {
             self.entries.remove(&key);

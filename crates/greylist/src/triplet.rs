@@ -5,13 +5,74 @@ use spamward_smtp::{EmailAddress, ReversePath};
 use std::fmt;
 use std::net::Ipv4Addr;
 
+/// A compact, normalized key atom: the 64-bit FNV-1a digest of a
+/// normalized address string.
+///
+/// Triplet stores used to carry the sender/recipient text per entry; at
+/// deployment scale (the paper's campus server tracked hundreds of
+/// thousands of triplets) the strings dominate store memory while the
+/// engine only ever compares keys for equality. The digest keeps entries
+/// at a fixed 20 bytes of key material and makes `greylist.store.bytes`
+/// a meaningful, backend-comparable gauge.
+///
+/// The digest is one-way: snapshots and logs carry the hex digest, never
+/// the address (the same property the anonymized MTA log relies on).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct KeyAtom(u64);
+
+impl KeyAtom {
+    /// The digest of the empty string — the null reverse path `<>`.
+    pub const EMPTY: KeyAtom = KeyAtom(FNV_OFFSET);
+
+    /// Digests a normalized address string.
+    #[must_use]
+    pub fn of(text: &str) -> Self {
+        let mut h: u64 = FNV_OFFSET;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        KeyAtom(h)
+    }
+
+    /// Whether this atom is the empty-string digest (the null sender).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::EMPTY
+    }
+
+    /// The raw digest value (snapshot encoding).
+    #[must_use]
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an atom from its raw digest (snapshot decoding).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        KeyAtom(raw)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl fmt::Display for KeyAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// The `(client, sender, recipient)` key a greylist tracks.
 ///
 /// Following Postgrey, the client part is the address masked to a
 /// configurable prefix (default /24) so that retries from a neighbouring
 /// machine in the same provider pool still match, and the sender local part
 /// is lowercased with any `+extension` stripped (VERP-style bounce addresses
-/// would otherwise never match their retry).
+/// would otherwise never match their retry). Sender and recipient are
+/// stored as normalized-text digests ([`KeyAtom`]), not strings.
 ///
 /// # Example
 ///
@@ -28,18 +89,19 @@ use std::net::Ipv4Addr;
 /// assert_eq!(a, b);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TripletKey {
     /// The masked client network (host bits zeroed).
     pub client_net: u32,
-    /// Normalized sender (`""` for the null reverse path).
-    pub sender: String,
-    /// Normalized recipient.
-    pub recipient: String,
+    /// Digest of the normalized sender ([`KeyAtom::EMPTY`] for the null
+    /// reverse path).
+    pub sender: KeyAtom,
+    /// Digest of the normalized recipient.
+    pub recipient: KeyAtom,
 }
 
 impl TripletKey {
-    /// Builds a key from raw envelope data.
+    /// Builds a key from raw envelope data (Postgrey full-triplet keying).
     ///
     /// # Panics
     ///
@@ -50,12 +112,10 @@ impl TripletKey {
         recipient: &EmailAddress,
         netmask: u8,
     ) -> Self {
-        assert!(netmask <= 32, "IPv4 netmask {netmask} out of range");
-        let mask: u32 = if netmask == 0 { 0 } else { u32::MAX << (32 - u32::from(netmask)) };
         TripletKey {
-            client_net: u32::from(client) & mask,
-            sender: normalize_sender(sender),
-            recipient: recipient.normalized(),
+            client_net: mask_client(client, netmask),
+            sender: KeyAtom::of(&normalize_sender(sender)),
+            recipient: KeyAtom::of(&recipient.normalized()),
         }
     }
 
@@ -63,10 +123,28 @@ impl TripletKey {
     pub fn client_net_addr(&self) -> Ipv4Addr {
         Ipv4Addr::from(self.client_net)
     }
+
+    /// A stable routing label for shard partitioning: every field in fixed
+    /// hex, so the partition hash is a pure function of the key.
+    #[must_use]
+    pub fn route_label(&self) -> String {
+        format!("{:08x}/{}/{}", self.client_net, self.sender, self.recipient)
+    }
+}
+
+/// Masks `client` to `netmask` leading bits.
+///
+/// # Panics
+///
+/// Panics if `netmask > 32`.
+pub(crate) fn mask_client(client: Ipv4Addr, netmask: u8) -> u32 {
+    assert!(netmask <= 32, "IPv4 netmask {netmask} out of range");
+    let mask: u32 = if netmask == 0 { 0 } else { u32::MAX << (32 - u32::from(netmask)) };
+    u32::from(client) & mask
 }
 
 /// Lowercases and strips a `+extension` from the sender local part.
-fn normalize_sender(sender: &ReversePath) -> String {
+pub(crate) fn normalize_sender(sender: &ReversePath) -> String {
     match sender.address() {
         None => String::new(),
         Some(addr) => {
@@ -79,7 +157,7 @@ fn normalize_sender(sender: &ReversePath) -> String {
 
 impl fmt::Display for TripletKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.client_net_addr(), self.sender, self.recipient)
+        write!(f, "({}, s:{}, r:{})", self.client_net_addr(), self.sender, self.recipient)
     }
 }
 
@@ -136,7 +214,8 @@ mod tests {
     #[test]
     fn null_sender_has_empty_key_part() {
         let k = TripletKey::new(Ipv4Addr::LOCALHOST, &ReversePath::Null, &rcpt(), 24);
-        assert_eq!(k.sender, "");
+        assert_eq!(k.sender, KeyAtom::EMPTY);
+        assert!(k.sender.is_empty());
     }
 
     #[test]
@@ -148,9 +227,29 @@ mod tests {
     }
 
     #[test]
-    fn display_is_readable() {
+    fn display_is_readable_and_anonymized() {
         let k = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 24);
-        assert_eq!(k.to_string(), "(10.1.2.0, a@b.cc, user@foo.net)");
+        let text = k.to_string();
+        assert!(text.starts_with("(10.1.2.0, s:"), "{text}");
+        assert!(!text.contains("a@b.cc"), "addresses must not leak: {text}");
+        assert!(!text.contains("user@foo.net"), "addresses must not leak: {text}");
+    }
+
+    #[test]
+    fn atom_digest_is_stable_and_roundtrips() {
+        let a = KeyAtom::of("bob@example.com");
+        assert_eq!(a, KeyAtom::of("bob@example.com"));
+        assert_ne!(a, KeyAtom::of("rob@example.com"));
+        assert_eq!(KeyAtom::from_raw(a.raw()), a);
+        assert_eq!(KeyAtom::of(""), KeyAtom::EMPTY);
+    }
+
+    #[test]
+    fn route_label_distinguishes_fields() {
+        let a = TripletKey::new(Ipv4Addr::new(10, 1, 2, 3), &sender("a@b.cc"), &rcpt(), 24);
+        let b = TripletKey::new(Ipv4Addr::new(10, 1, 3, 3), &sender("a@b.cc"), &rcpt(), 24);
+        assert_ne!(a.route_label(), b.route_label());
+        assert_eq!(a.route_label(), a.route_label());
     }
 
     proptest! {

@@ -92,8 +92,10 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              referenced by at least one collection/recording site, and every dotted \
              metric-shaped literal in a namespace the workspace declares must resolve to \
              a declared constant — otherwise names drift out of the golden snapshot \
-             silently. The sampled `obs.sample.*` series and `timeline.*` event names \
-             are part of the same contract and are checked identically."
+             silently. The sampled `obs.sample.*` series, the `timeline.*` event names \
+             and the greylist store families (`greylist.backend.*` request/fault \
+             counters, `greylist.policy.*` keying gauges) are part of the same \
+             contract and are checked identically."
         }
         "R1" => {
             "R1 — docs out of sync. The linter itself cross-checks the rule catalog \

@@ -1,0 +1,16 @@
+//! O2 fixture (greylist store metrics): the `greylist.backend.*` and
+//! `greylist.policy.*` namespaces the pluggable-store stack exports.
+
+/// Store requests the active backend answered.
+pub const BACKEND_OPS: &str = "greylist.backend.ops";
+/// Store requests refused inside a fault window.
+pub const BACKEND_UNAVAILABLE: &str = "greylist.backend.unavailable";
+/// Distinct client networks the key policy currently tracks.
+pub const POLICY_CLIENT_NETS: &str = "greylist.policy.client_nets";
+
+/// Records the backend counters and the policy gauge.
+pub fn collect(reg: &mut Vec<(String, u64)>, ops: u64, refused: u64, nets: u64) {
+    reg.push((BACKEND_OPS.to_string(), ops));
+    reg.push((BACKEND_UNAVAILABLE.to_string(), refused));
+    reg.push((POLICY_CLIENT_NETS.to_string(), nets));
+}

@@ -1,0 +1,7 @@
+//! O2 fixture (greylist consumer): backend/policy literals that resolve.
+
+pub fn note(reg: &mut Vec<(String, u64)>) {
+    // Declared constant values: resolve.
+    reg.push(("greylist.backend.ops".to_string(), 1));
+    reg.push(("greylist.policy.client_nets".to_string(), 1));
+}

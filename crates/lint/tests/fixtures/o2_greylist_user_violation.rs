@@ -1,0 +1,11 @@
+//! O2 fixture (greylist consumer): literals in the declared
+//! `greylist.backend.*` / `greylist.policy.*` namespaces that resolve to
+//! no constant.
+
+pub fn note(reg: &mut Vec<(String, u64)>) {
+    // The namespace is declared but no metrics module knows this name —
+    // a renamed counter left behind at a recording site.
+    reg.push(("greylist.backend.requests".to_string(), 1));
+    // Same for the policy gauge family.
+    reg.push(("greylist.policy.netmask".to_string(), 1));
+}

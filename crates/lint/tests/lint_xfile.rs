@@ -94,6 +94,43 @@ fn o2_fixture_pair() {
 }
 
 #[test]
+fn o2_covers_greylist_backend_and_policy_namespaces() {
+    // The pluggable-store namespaces ride the same contract: a literal in
+    // `greylist.backend.*` / `greylist.policy.*` must resolve to a
+    // constant in some metrics module.
+    let metrics = ("crates/greylist/src/metrics.rs", fixture("o2_greylist_metrics.rs"));
+    let bad = model(
+        &[
+            (metrics.0, &metrics.1),
+            ("crates/greylist/src/backend.rs", &fixture("o2_greylist_user_violation.rs")),
+        ],
+        None,
+    );
+    let hits = check_workspace(&bad);
+    assert!(hits.iter().all(|d| d.rule == "O2"), "{hits:?}");
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("unresolved metric literal \"greylist.backend.requests\"")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|d| d.message.contains("unresolved metric literal \"greylist.policy.netmask\"")),
+        "{hits:?}"
+    );
+
+    let clean = model(
+        &[
+            (metrics.0, &metrics.1),
+            ("crates/greylist/src/backend.rs", &fixture("o2_greylist_user_clean.rs")),
+        ],
+        None,
+    );
+    let hits = check_workspace(&clean);
+    assert!(hits.is_empty(), "declared backend/policy names must resolve: {hits:?}");
+}
+
+#[test]
 fn r1_fixture_pair() {
     let sources: Vec<(&str, String)> = vec![
         ("crates/core/src/harness.rs", fixture("r1_harness.rs")),

@@ -40,4 +40,4 @@ pub use send::{
     RetryPolicy, SendingMta,
 };
 pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};
-pub use worldsim::{ChaosActor, FaultActor, SenderActor, WorldSim};
+pub use worldsim::{ChaosActor, FaultActor, SenderActor, StoreMaintenanceActor, WorldSim};

@@ -123,6 +123,16 @@ pub const SAMPLE_ENGINE_QUEUE_HIGH_WATER: &str = "obs.sample.engine.queue_high_w
 /// Sampled series: cumulative circuit-breaker trips of a sending MTA.
 pub const SAMPLE_BREAKER_TRIPS: &str = "obs.sample.breaker.trips";
 
+/// Actor name of the greylist-store maintenance sweeper on the engine —
+/// its ticks are real engine events accounted under this category.
+pub const ACTOR_STORE_MAINTAIN: &str = "greylist.maintain";
+/// Sampled series: summed live greylist-store entries across a world's
+/// servers, recorded on each maintenance sweep.
+pub const SAMPLE_STORE_SIZE: &str = "obs.sample.greylist.store_size";
+/// Sampled series: summed approximate greylist-store bytes across a
+/// world's servers, recorded on each maintenance sweep.
+pub const SAMPLE_STORE_BYTES: &str = "obs.sample.greylist.store_bytes";
+
 /// Timeline event: first delivery attempt of a message (campaign emit).
 pub const TL_EMIT: &str = "timeline.emit";
 /// Timeline event: a later delivery attempt of the same message.

@@ -117,6 +117,7 @@ pub struct ReceivingMta {
     reject_pregreeters: bool,
     greylist: Option<Greylist>,
     greylist_outage: Vec<FaultWindow>,
+    remote_store_faulted: bool,
     degradation: DegradationMode,
     mailbox: Vec<StoredMessage>,
     log: Vec<MtaLogEntry>,
@@ -141,6 +142,7 @@ impl ReceivingMta {
             reject_pregreeters: false,
             greylist: None,
             greylist_outage: Vec::new(),
+            remote_store_faulted: false,
             degradation: DegradationMode::default(),
             mailbox: Vec::new(),
             log: Vec::new(),
@@ -184,10 +186,27 @@ impl ReceivingMta {
         self.greylist_outage = windows;
     }
 
+    /// Routes greylist-store fault windows to the right layer for the
+    /// active backend. A [`spamward_greylist::StoreBackend::Remote`]
+    /// backend takes them as protocol-level faults (lookups return
+    /// unavailable, which flows through the same degradation path); the
+    /// in-process backends have no network hop to fault, so the windows
+    /// stay ambient MTA state exactly as before.
+    pub fn install_greylist_faults(&mut self, windows: Vec<FaultWindow>) {
+        let outages: Vec<(SimTime, SimTime)> = windows.iter().map(|w| (w.from, w.until)).collect();
+        let routed =
+            self.greylist.as_mut().is_some_and(|g| g.install_remote_faults(outages, Vec::new()));
+        if routed {
+            self.remote_store_faulted = !windows.is_empty();
+        } else {
+            self.set_greylist_outage(windows);
+        }
+    }
+
     /// Whether an outage schedule is installed (not necessarily active
     /// right now). Gates the `greylist.degraded.*` metric exports.
     pub fn has_greylist_outage(&self) -> bool {
-        !self.greylist_outage.is_empty()
+        !self.greylist_outage.is_empty() || self.remote_store_faulted
     }
 
     /// The server's hostname.
@@ -259,6 +278,30 @@ impl ReceivingMta {
         let triplet_hash = anonymize(self.log_salt, key);
         self.log.push(MtaLogEntry { at, event, triplet_hash });
     }
+
+    /// Answers a RCPT while the greylist store is unreachable — either an
+    /// ambient outage window (in-process backends) or a store lookup that
+    /// came back unavailable (remote backend). Fail-open admits the
+    /// recipient unchecked (no triplet is recorded — the store is
+    /// unreachable); fail-closed defers like a greylist hit would, but
+    /// with its own counter and reply, so the two 4xx populations stay
+    /// distinguishable in the logs and metrics.
+    fn degraded_rcpt(&mut self) -> PolicyDecision {
+        match self.degradation {
+            DegradationMode::FailOpen => {
+                self.stats.greylist_failed_open += 1;
+                self.stats.rcpt_passed += 1;
+                PolicyDecision::Accept
+            }
+            DegradationMode::FailClosed => {
+                self.stats.greylist_failed_closed += 1;
+                PolicyDecision::TempFail(Reply::single(
+                    codes::MAILBOX_UNAVAILABLE_TRANSIENT,
+                    "4.3.5 greylist store unavailable, try again later",
+                ))
+            }
+        }
+    }
 }
 
 impl ServerPolicy for ReceivingMta {
@@ -285,33 +328,28 @@ impl ServerPolicy for ReceivingMta {
             self.stats.rcpt_passed += 1;
             return PolicyDecision::Accept;
         };
-        // 2a. If the triplet store is down right now, the degradation
-        // policy answers instead of the greylist. Fail-open admits the
-        // recipient unchecked (no triplet is recorded — the store is
-        // unreachable); fail-closed defers like a greylist hit would, but
-        // with its own counter and reply, so the two 4xx populations stay
-        // distinguishable in the logs and metrics.
+        // 2a. If the triplet store is down right now (ambient outage
+        // window — the in-process backends' fault model), the degradation
+        // policy answers instead of the greylist.
         if self.greylist_outage.iter().any(|w| w.contains(now)) {
-            return match self.degradation {
-                DegradationMode::FailOpen => {
-                    self.stats.greylist_failed_open += 1;
-                    self.stats.rcpt_passed += 1;
-                    PolicyDecision::Accept
-                }
-                DegradationMode::FailClosed => {
-                    self.stats.greylist_failed_closed += 1;
-                    PolicyDecision::TempFail(Reply::single(
-                        codes::MAILBOX_UNAVAILABLE_TRANSIENT,
-                        "4.3.5 greylist store unavailable, try again later",
-                    ))
-                }
-            };
+            return self.degraded_rcpt();
         }
         let sender = tx.mail_from.clone().unwrap_or(spamward_smtp::ReversePath::Null);
-        let key = TripletKey::new(tx.client_ip, &sender, rcpt, greylist.config().netmask);
-        match greylist.check_with_rdns(now, tx.client_ip, tx.client_rdns.as_deref(), &sender, rcpt)
-        {
-            Decision::Pass(reason) => {
+        // 2b. The decision engine drives the store backend through the
+        // `GreylistStore` trait; a remote backend inside a fault window
+        // surfaces `StoreUnavailable`, which lands in the same
+        // degradation path as an ambient outage.
+        let key = greylist.key_for(tx.client_ip, &sender, rcpt);
+        let verdict = greylist.try_check_with_rdns(
+            now,
+            tx.client_ip,
+            tx.client_rdns.as_deref(),
+            &sender,
+            rcpt,
+        );
+        match verdict {
+            Err(_) => self.degraded_rcpt(),
+            Ok(Decision::Pass(reason)) => {
                 self.stats.rcpt_passed += 1;
                 let event = match reason {
                     PassReason::DelayElapsed => LogEvent::PassedGreylist,
@@ -321,7 +359,7 @@ impl ServerPolicy for ReceivingMta {
                 self.log_event(now, event, &key);
                 PolicyDecision::Accept
             }
-            Decision::Greylisted { retry_after } => {
+            Ok(Decision::Greylisted { retry_after }) => {
                 self.stats.rcpt_greylisted += 1;
                 self.log_event(now, LogEvent::Greylisted, &key);
                 PolicyDecision::TempFail(Reply::greylisted(retry_after.as_secs()))
@@ -332,10 +370,18 @@ impl ServerPolicy for ReceivingMta {
     fn on_accepted(&mut self, now: SimTime, env: &Envelope, msg: &Message) {
         self.stats.messages_accepted += 1;
         // Log one accept entry per recipient so per-triplet delivery delays
-        // can be reconstructed from the anonymized log alone.
-        let netmask = self.greylist.as_ref().map(|g| g.config().netmask).unwrap_or(24);
-        for rcpt in env.recipients() {
-            let key = TripletKey::new(env.client_ip(), env.mail_from(), rcpt, netmask);
+        // can be reconstructed from the anonymized log alone. Accept
+        // entries use the engine's key policy so they join with the defer
+        // entries; servers without a greylist log default full-triplet keys.
+        let keys: Vec<TripletKey> = env
+            .recipients()
+            .iter()
+            .map(|rcpt| match self.greylist.as_ref() {
+                Some(g) => g.key_for(env.client_ip(), env.mail_from(), rcpt),
+                None => TripletKey::new(env.client_ip(), env.mail_from(), rcpt, 24),
+            })
+            .collect();
+        for key in keys {
             self.log_event(now, LogEvent::Accepted, &key);
         }
         self.mailbox.push(StoredMessage {
@@ -521,6 +567,46 @@ mod tests {
         let out = run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(150));
         assert!(!out.is_delivered());
         assert_eq!(mta.stats().rcpt_greylisted, 1);
+    }
+
+    #[test]
+    fn remote_backend_outage_routes_through_degradation() {
+        use spamward_greylist::{RemoteStore, StoreBackend};
+        let greylist = Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300)))
+            .with_backend(StoreBackend::Remote(RemoteStore::new(SimDuration::from_millis(2))));
+        let mut mta =
+            ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1)).with_greylist(greylist);
+        mta.install_greylist_faults(vec![FaultWindow::new(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        )]);
+        assert!(mta.has_greylist_outage(), "routed remote faults still gate degraded metrics");
+        // Inside the window the *store lookup* fails (protocol-level, not
+        // ambient state) and lands in the same fail-closed path.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(150));
+        assert!(out.is_retryable());
+        assert_eq!(mta.stats().greylist_failed_closed, 1);
+        assert_eq!(mta.stats().rcpt_greylisted, 0);
+        assert_eq!(mta.greylist().unwrap().store().len(), 0);
+        // Outside the window the remote store answers normally.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(250));
+        assert!(out.is_retryable());
+        assert_eq!(mta.stats().rcpt_greylisted, 1);
+        assert_eq!(mta.greylist().unwrap().store().len(), 1);
+    }
+
+    #[test]
+    fn in_process_backend_faults_fall_back_to_ambient_windows() {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))));
+        mta.install_greylist_faults(vec![FaultWindow::new(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        )]);
+        assert!(mta.has_greylist_outage());
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(150));
+        assert!(out.is_retryable());
+        assert_eq!(mta.stats().greylist_failed_closed, 1, "ambient window must still fire");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::metrics::{
     SAMPLE_ENGINE_EVENTS, SAMPLE_ENGINE_QUEUE_HIGH_WATER, SAMPLE_GREYLIST_DEFERRED,
-    SAMPLE_GREYLIST_PASSED, SAMPLE_RECV_ACCEPTED, SAMPLE_RECV_MAILBOX, TL_CONNECT, TL_DELIVER,
-    TL_DNS, TL_EMIT, TL_GREYLIST_DEFER, TL_GREYLIST_PASS, TL_REJECT, TL_RETRY, TRACE_DNS_FAIL,
-    TRACE_DNS_MX, TRACE_FAULT, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
+    SAMPLE_GREYLIST_PASSED, SAMPLE_RECV_ACCEPTED, SAMPLE_RECV_MAILBOX, SAMPLE_STORE_BYTES,
+    SAMPLE_STORE_SIZE, TL_CONNECT, TL_DELIVER, TL_DNS, TL_EMIT, TL_GREYLIST_DEFER,
+    TL_GREYLIST_PASS, TL_REJECT, TL_RETRY, TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_FAULT,
+    TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
 };
 use crate::receive::ReceivingMta;
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
@@ -170,6 +171,7 @@ pub struct MailWorld {
     smtp_faults: Option<SmtpFaults>,
     fault_boundaries: u64,
     sample_interval: Option<SimDuration>,
+    maintenance_interval: Option<SimDuration>,
     timeline_scope: String,
     /// Per-track (attempts so far, saw a defer) lifecycle state backing
     /// the timeline's emit/retry and defer/pass distinction.
@@ -194,6 +196,7 @@ impl MailWorld {
             smtp_faults: None,
             fault_boundaries: 0,
             sample_interval: None,
+            maintenance_interval: None,
             timeline_scope: String::new(),
             timeline_state: BTreeMap::new(),
             rng: DetRng::seed(seed).fork("mailworld"),
@@ -210,7 +213,10 @@ impl MailWorld {
         self.resolver.install_faults(plan.dns.clone());
         self.smtp_faults = Some(plan.smtp.clone());
         for server in self.servers.values_mut() {
-            server.set_greylist_outage(plan.greylist_down.clone());
+            // Per-backend routing: remote greylist stores take the windows
+            // as protocol-level faults; in-process stores keep the ambient
+            // outage-window model.
+            server.install_greylist_faults(plan.greylist_down.clone());
         }
     }
 
@@ -268,6 +274,42 @@ impl MailWorld {
     /// The telemetry sampling interval, if sampling is enabled.
     pub fn sample_interval(&self) -> Option<SimDuration> {
         self.sample_interval
+    }
+
+    /// Enables periodic greylist-store maintenance: every horizon-bounded
+    /// engine episode run against this world (see
+    /// [`crate::worldsim::WorldSim`]) gets a maintenance actor that calls
+    /// [`MailWorld::maintain_stores`] every `interval` of virtual time, so
+    /// expired triplets are swept on a schedule (as a Postgrey cron job
+    /// would) instead of lazily on lookup.
+    pub fn with_store_maintenance(mut self, interval: SimDuration) -> Self {
+        self.maintenance_interval = Some(interval);
+        self
+    }
+
+    /// The store-maintenance sweep interval, if enabled.
+    pub fn maintenance_interval(&self) -> Option<SimDuration> {
+        self.maintenance_interval
+    }
+
+    /// Sweeps expired triplets from every server's greylist store and
+    /// samples real store occupancy (`obs.sample.greylist.store_*`) at
+    /// `now`. The engine's maintenance actor calls this on every tick;
+    /// returns how many entries the sweep dropped.
+    pub fn maintain_stores(&mut self, now: SimTime) -> usize {
+        let mut purged = 0;
+        let mut size: i64 = 0;
+        let mut bytes: i64 = 0;
+        for server in self.servers.values_mut() {
+            if let Some(gl) = server.greylist_mut() {
+                purged += gl.maintain(now);
+                size += i64::try_from(gl.store().len()).unwrap_or(i64::MAX);
+                bytes += i64::try_from(gl.store().approx_bytes()).unwrap_or(i64::MAX);
+            }
+        }
+        self.samples.record_point(SAMPLE_STORE_SIZE, now, size);
+        self.samples.record_point(SAMPLE_STORE_BYTES, now, bytes);
+        purged
     }
 
     /// Snapshots greylist, delivery and engine counters into

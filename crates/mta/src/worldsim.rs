@@ -73,11 +73,21 @@ impl WorldSim {
         // sampling world: an unbounded episode has no last tick, and a
         // world that never asked for telemetry must run the exact same
         // event stream as before (golden bytes depend on it).
+        let first = actors.iter().map(|(_, at)| *at).min().unwrap_or(SimTime::ZERO);
         let sampler = match (owned.sample_interval(), horizon) {
             (Some(interval), Some(h)) => {
-                let first = actors.iter().map(|(_, at)| *at).min().unwrap_or(SimTime::ZERO);
                 let clock = SampleClock::new(interval, h);
                 clock.next_after(first).map(|tick| (SamplerActor::new(clock), tick))
+            }
+            _ => None,
+        };
+        // Same opt-in rule for the store-maintenance sweeper: only
+        // horizon-bounded episodes of a world that asked for it, so default
+        // worlds run the exact prior event stream.
+        let maintenance = match (owned.maintenance_interval(), horizon) {
+            (Some(interval), Some(h)) => {
+                let clock = SampleClock::new(interval, h);
+                clock.next_after(first).map(|tick| (StoreMaintenanceActor::new(clock), tick))
             }
             _ => None,
         };
@@ -94,6 +104,9 @@ impl WorldSim {
         if let Some((sampler, first_tick)) = sampler {
             sim.add_actor(EpisodeActor::Sampler(sampler), first_tick);
         }
+        if let Some((sweeper, first_tick)) = maintenance {
+            sim.add_actor(EpisodeActor::Maintenance(sweeper), first_tick);
+        }
         let outcome = sim.run();
         let end = sim.now();
         let stats = sim.stats();
@@ -104,7 +117,7 @@ impl WorldSim {
             .into_iter()
             .filter_map(|wrapped| match wrapped {
                 EpisodeActor::Main(actor) => Some(actor),
-                EpisodeActor::Sampler(_) => None,
+                EpisodeActor::Sampler(_) | EpisodeActor::Maintenance(_) => None,
             })
             .collect();
         (actors, outcome, end)
@@ -142,12 +155,45 @@ impl Actor<MailWorld> for SamplerActor {
     }
 }
 
+/// The greylist-store maintenance sweeper as an engine actor: every tick
+/// purges expired triplets from every server's store
+/// ([`MailWorld::maintain_stores`]) — the in-simulation analogue of
+/// Postgrey's cron-driven database cleanup — then sleeps one interval.
+/// Ticks are ordinary engine events under the `greylist.maintain` actor
+/// category, so serial and sharded runs sweep at identical virtual
+/// instants.
+pub struct StoreMaintenanceActor {
+    clock: SampleClock,
+}
+
+impl StoreMaintenanceActor {
+    /// A sweeper ticking on `clock`.
+    pub fn new(clock: SampleClock) -> Self {
+        StoreMaintenanceActor { clock }
+    }
+}
+
+impl Actor<MailWorld> for StoreMaintenanceActor {
+    fn name(&self) -> &str {
+        crate::metrics::ACTOR_STORE_MAINTAIN
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        world.maintain_stores(now);
+        match self.clock.next_after(now) {
+            Some(at) => Wake::At(at),
+            None => Wake::Idle,
+        }
+    }
+}
+
 /// Internal cast wrapper: [`ActorSim`] runs actors of one type, so the
-/// caller's homogeneous cast and the optional sampler share the episode
-/// through this enum.
+/// caller's homogeneous cast and the optional sampler/sweeper share the
+/// episode through this enum.
 enum EpisodeActor<A> {
     Main(A),
     Sampler(SamplerActor),
+    Maintenance(StoreMaintenanceActor),
 }
 
 impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
@@ -155,6 +201,7 @@ impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
         match self {
             EpisodeActor::Main(actor) => actor.name(),
             EpisodeActor::Sampler(actor) => actor.name(),
+            EpisodeActor::Maintenance(actor) => actor.name(),
         }
     }
 
@@ -162,6 +209,7 @@ impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
         match self {
             EpisodeActor::Main(actor) => actor.wake(now, world),
             EpisodeActor::Sampler(actor) => actor.wake(now, world),
+            EpisodeActor::Maintenance(actor) => actor.wake(now, world),
         }
     }
 }
@@ -406,6 +454,46 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Drained);
         assert!(quiet.samples.is_empty());
         assert!(!quiet.engine_stats.actor_events.contains_key("obs.sample"));
+    }
+
+    #[test]
+    fn maintenance_world_sweeps_stores_on_schedule() {
+        use spamward_greylist::{Greylist, GreylistConfig};
+        use spamward_sim::SimDuration;
+
+        let mut world = MailWorld::new(31);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        world.install_server(ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist(),
+        )));
+        world.dns.publish(Zone::single_mx("foo.net".parse().unwrap(), mx));
+        world = world.with_store_maintenance(SimDuration::from_secs(120));
+        let horizon = SimTime::from_secs(600);
+        let (_, _outcome, _end) = WorldSim::episode(
+            &mut world,
+            SenderActor::new(one_message_mta()),
+            SimTime::ZERO,
+            Some(horizon),
+        );
+        assert!(world.engine_stats.actor_events.contains_key("greylist.maintain"));
+        // The 120 s tick sees the deferred first contact still pending.
+        assert_eq!(
+            world.samples.get(crate::metrics::SAMPLE_STORE_SIZE, SimTime::from_secs(120)),
+            Some(1)
+        );
+        assert!(world
+            .samples
+            .get(crate::metrics::SAMPLE_STORE_BYTES, SimTime::from_secs(120))
+            .is_some_and(|b| b > 0));
+        // Worlds that never opted in keep the exact prior event stream.
+        let (mut plain, _) = seeded_world();
+        let (_, _, _) = WorldSim::episode(
+            &mut plain,
+            SenderActor::new(one_message_mta()),
+            SimTime::ZERO,
+            Some(horizon),
+        );
+        assert!(!plain.engine_stats.actor_events.contains_key("greylist.maintain"));
     }
 
     #[test]

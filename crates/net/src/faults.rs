@@ -207,6 +207,19 @@ impl FaultProfile {
         }
     }
 
+    /// A pure store outage: only the greylist triplet store is down, for
+    /// ten minutes early in the run. The `policy_backend` experiment uses
+    /// it to compare backend degradation (fail-open vs fail-closed, remote
+    /// protocol refusals vs ambient windows) without any network noise.
+    /// Deliberately *not* in [`FaultProfile::catalog`]: the `resilience`
+    /// sweep's byte-stable output is pinned to the original five profiles.
+    pub fn store_degraded() -> Self {
+        FaultProfile {
+            name: "store_degraded",
+            specs: vec![FaultSpec::GreylistStoreDown { window: window_mins(5, 15) }],
+        }
+    }
+
     /// Everything at once: the union of the three degraded profiles.
     pub fn all_faults() -> Self {
         let mut specs = Self::dns_degraded().specs;
@@ -606,6 +619,18 @@ mod tests {
         // contribute its edges once.
         let zero_count = edges.iter().filter(|&&e| e == SimTime::ZERO).count();
         assert_eq!(zero_count, 1);
+    }
+
+    #[test]
+    fn store_degraded_touches_only_the_greylist() {
+        let plan = FaultPlan::compile(&FaultProfile::store_degraded(), 7);
+        assert!(plan.net.is_empty());
+        assert!(plan.dns.is_empty());
+        assert!(plan.smtp.is_empty());
+        assert_eq!(plan.greylist_down, vec![window_mins(5, 15)]);
+        assert_eq!(plan.boundaries(), vec![mins(5), mins(15)]);
+        // The resilience sweep's catalog is pinned to its original five.
+        assert!(FaultProfile::catalog().iter().all(|p| p.name != "store_degraded"));
     }
 
     #[test]

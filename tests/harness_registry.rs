@@ -74,6 +74,7 @@ fn registry_ids_are_unique_and_stable() {
             "longterm",
             "variance",
             "resilience",
+            "policy_backend",
         ]
     );
 }
