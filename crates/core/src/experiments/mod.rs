@@ -12,6 +12,7 @@ pub mod longterm;
 pub mod mta_schedules;
 pub mod nolisting_adoption;
 pub mod policy_backend;
+pub mod recovery;
 pub mod resilience;
 pub mod summary;
 pub mod variance;

@@ -29,7 +29,8 @@ use spamward_sim::SimDuration;
 
 use crate::experiments::{
     ablations, costs, dataset, deployment, dialects, efficacy, future_threats, kelihos, longterm,
-    mta_schedules, nolisting_adoption, policy_backend, resilience, summary, variance, webmail,
+    mta_schedules, nolisting_adoption, policy_backend, recovery, resilience, summary, variance,
+    webmail,
 };
 
 /// How big an experiment run should be.
@@ -483,7 +484,7 @@ pub trait Experiment: Sync {
 /// This is the single source of truth: the CLI, the benches, the
 /// completeness test and DESIGN.md's per-experiment index all derive from
 /// this list.
-pub static REGISTRY: [&dyn Experiment; 17] = [
+pub static REGISTRY: [&dyn Experiment; 18] = [
     &dataset::Table1Experiment,
     &nolisting_adoption::AdoptionExperiment,
     &efficacy::EfficacyExperiment,
@@ -501,6 +502,7 @@ pub static REGISTRY: [&dyn Experiment; 17] = [
     &variance::VarianceExperiment,
     &resilience::ResilienceExperiment,
     &policy_backend::PolicyBackendExperiment,
+    &recovery::RecoveryExperiment,
 ];
 
 /// The full registry, in canonical order.

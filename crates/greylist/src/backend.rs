@@ -157,6 +157,12 @@ pub trait GreylistStore {
     /// checks — restores happen at startup before any load.
     fn insert_raw(&mut self, key: TripletKey, entry: TripletEntry);
 
+    /// Drops every entry, as a crash losing the database would. Shape
+    /// (shard layout, capacity bounds, lifetimes, remote latency/fault
+    /// windows) and cumulative counters survive — they model the
+    /// deployment, not its RAM.
+    fn clear(&mut self);
+
     /// All (possibly stale) entries, sorted by key — a byte-stable merged
     /// view regardless of how the backend partitions them.
     fn entries(&self) -> Vec<(TripletKey, TripletEntry)>;
@@ -197,6 +203,10 @@ impl GreylistStore for TripletStore {
 
     fn insert_raw(&mut self, key: TripletKey, entry: TripletEntry) {
         TripletStore::insert_raw(self, key, entry);
+    }
+
+    fn clear(&mut self) {
+        TripletStore::clear(self);
     }
 
     fn entries(&self) -> Vec<(TripletKey, TripletEntry)> {
@@ -281,6 +291,12 @@ impl GreylistStore for PartitionedStore {
     fn insert_raw(&mut self, key: TripletKey, entry: TripletEntry) {
         let shard = self.route(&key);
         TripletStore::insert_raw(&mut self.shards[shard], key, entry);
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            TripletStore::clear(shard);
+        }
     }
 
     fn entries(&self) -> Vec<(TripletKey, TripletEntry)> {
@@ -490,6 +506,10 @@ impl GreylistStore for RemoteStore {
         TripletStore::insert_raw(&mut self.inner, key, entry);
     }
 
+    fn clear(&mut self) {
+        TripletStore::clear(&mut self.inner);
+    }
+
     fn entries(&self) -> Vec<(TripletKey, TripletEntry)> {
         self.inner.iter().map(|(k, e)| (*k, e.clone())).collect()
     }
@@ -581,6 +601,39 @@ impl StoreBackend {
             _ => 1,
         }
     }
+
+    /// Touches `key` bypassing the remote exchange protocol (no fault
+    /// windows, no latency/ops accounting). WAL replay reconstructs local
+    /// durable state at restart and must not be subject to network
+    /// weather; the state mutation is identical to the live path because
+    /// [`touch_store`] is the only state machine.
+    pub(crate) fn touch_direct(
+        &mut self,
+        key: TripletKey,
+        now: SimTime,
+        delay: SimDuration,
+    ) -> Touch {
+        match self {
+            StoreBackend::InMemory(s) => touch_store(s, key, now, delay),
+            StoreBackend::Partitioned(p) => {
+                let shard = p.route(&key);
+                touch_store(&mut p.shards[shard], key, now, delay)
+            }
+            StoreBackend::Remote(r) => touch_store(&mut r.inner, key, now, delay),
+        }
+    }
+
+    /// Sweeps expired entries bypassing the remote exchange protocol (WAL
+    /// replay of a maintenance record).
+    pub(crate) fn purge_direct(&mut self, now: SimTime) -> usize {
+        match self {
+            StoreBackend::InMemory(s) => TripletStore::purge_expired(s, now),
+            StoreBackend::Partitioned(p) => {
+                p.shards.iter_mut().map(|s| TripletStore::purge_expired(s, now)).sum()
+            }
+            StoreBackend::Remote(r) => TripletStore::purge_expired(&mut r.inner, now),
+        }
+    }
 }
 
 impl GreylistStore for StoreBackend {
@@ -615,6 +668,10 @@ impl GreylistStore for StoreBackend {
 
     fn insert_raw(&mut self, key: TripletKey, entry: TripletEntry) {
         each_backend!(self, s => GreylistStore::insert_raw(s, key, entry));
+    }
+
+    fn clear(&mut self) {
+        each_backend!(self, s => GreylistStore::clear(s));
     }
 
     fn entries(&self) -> Vec<(TripletKey, TripletEntry)> {
@@ -805,6 +862,57 @@ mod tests {
         let late = t(0) + SimDuration::from_days(30);
         assert_eq!(r.exchange(StoreRequest::Purge, late).reply, StoreReply::Purged(2));
         assert_eq!(r.exchange(StoreRequest::Size, late).reply, StoreReply::Size(0));
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_shape() {
+        let delay = SimDuration::from_secs(300);
+        for mut backend in backends() {
+            for k in 1..=6u8 {
+                let _ = backend.touch(key(k), t(0), delay);
+            }
+            assert_eq!(GreylistStore::len(&backend), 6, "{}", backend.name());
+            let shards_before = backend.shard_count();
+            GreylistStore::clear(&mut backend);
+            assert!(backend.is_empty(), "{}: clear must drop everything", backend.name());
+            assert_eq!(backend.shard_count(), shards_before, "shard layout must survive");
+            // The cleared store works again from scratch.
+            assert_eq!(backend.touch(key(1), t(500), delay), Ok(Touch::New { restarted: false }));
+        }
+        // A remote store's fault windows and counters survive the clear.
+        let mut r = RemoteStore::new(SimDuration::from_millis(2));
+        r.set_fault_windows(vec![(t(100), t(200))], Vec::new());
+        let _ = r.touch(key(1), t(150), delay);
+        assert_eq!(r.unavailable(), 1);
+        GreylistStore::clear(&mut r);
+        assert_eq!(r.unavailable(), 1, "counters are cumulative across restarts");
+        assert_eq!(r.touch(key(1), t(150), delay), Err(StoreUnavailable), "windows survive");
+    }
+
+    #[test]
+    fn touch_direct_matches_live_path_and_ignores_outages() {
+        let delay = SimDuration::from_secs(300);
+        for backend in backends() {
+            let mut live = backend.clone();
+            let mut direct = backend;
+            let script = [(1u8, 0u64), (1, 100), (2, 150), (1, 301), (1, 400)];
+            for &(k, at) in &script {
+                let a = live.touch(key(k), t(at), delay).unwrap();
+                let b = direct.touch_direct(key(k), t(at), delay);
+                assert_eq!(a, b, "{}: direct path diverged", direct.name());
+            }
+            assert_eq!(live.entries(), direct.entries());
+        }
+        // Inside an outage window the exchange path fails but the direct
+        // (replay) path still applies — and pays no protocol accounting.
+        let mut r = RemoteStore::new(SimDuration::from_millis(2));
+        r.set_fault_windows(vec![(t(0), t(1_000))], Vec::new());
+        let mut b = StoreBackend::Remote(r);
+        assert_eq!(GreylistStore::touch(&mut b, key(1), t(10), delay), Err(StoreUnavailable));
+        assert_eq!(b.touch_direct(key(1), t(10), delay), Touch::New { restarted: false });
+        let r = b.as_remote().unwrap();
+        assert_eq!(r.ops(), 0, "replay must not count as protocol traffic");
+        assert_eq!(r.latency_us(), 0);
     }
 
     #[test]

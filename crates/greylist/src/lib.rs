@@ -42,7 +42,7 @@ pub use backend::{
     StoreRequest, StoreUnavailable, Touch,
 };
 pub use keying::KeyPolicy;
-pub use persist::SnapshotError;
+pub use persist::{DurabilityMode, GreylistWal, SnapshotError, WalReplay};
 pub use policy::{Decision, Greylist, GreylistConfig, PassReason};
 pub use stats::GreylistStats;
 pub use store::{EntryState, TripletEntry, TripletStore};

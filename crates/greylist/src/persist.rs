@@ -18,10 +18,17 @@
 //! carried the normalized sender/recipient text — restore transparently:
 //! the text is digested on load, which reproduces the identical key
 //! because v1 always stored the already-normalized form.
+//!
+//! Alongside the snapshot lives a write-ahead log ([`GreylistWal`]): an
+//! append-only record of store mutations since the last checkpoint.
+//! Snapshot-restore plus WAL-replay ([`Greylist::replay_wal`])
+//! reconstructs the pre-crash engine exactly — the `SnapshotPlusWal`
+//! durability mode of [`DurabilityMode`].
 
 use crate::policy::Greylist;
 use crate::store::{EntryState, TripletEntry};
 use crate::triplet::{KeyAtom, TripletKey};
+use serde::{Deserialize, Serialize};
 use spamward_sim::SimTime;
 use std::fmt;
 
@@ -47,9 +54,192 @@ impl std::error::Error for SnapshotError {}
 
 const HEADER_V1: &str = "spamward-greylist-v1";
 const HEADER: &str = "spamward-greylist-v2";
+const HEADER_WAL: &str = "spamward-greylist-wal-v1";
 
 /// The empty-sender placeholder (the null reverse path `<>`).
 const NULL_SENDER: &str = "<>";
+
+/// How greylist state survives a crash–restart of the hosting MTA.
+///
+/// The paper's §VI cost argument says greylisting taxes every *new*
+/// correspondent; what a restart forgets, it re-taxes. This knob is the
+/// `recovery` experiment's principal axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// Nothing persists: a restart re-greylists the world.
+    Volatile,
+    /// Restore the last periodic checkpoint, losing the tail since it.
+    Snapshot,
+    /// Replay the write-ahead log over the checkpoint, losing nothing.
+    SnapshotPlusWal,
+}
+
+impl Default for DurabilityMode {
+    /// In-memory stores persist nothing unless told to.
+    fn default() -> Self {
+        DurabilityMode::Volatile
+    }
+}
+
+impl DurabilityMode {
+    /// Stable slug for report rows and metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            DurabilityMode::Volatile => "volatile",
+            DurabilityMode::Snapshot => "snapshot",
+            DurabilityMode::SnapshotPlusWal => "snapshot_wal",
+        }
+    }
+
+    /// All modes, weakest durability first (sweep order).
+    pub fn all() -> [DurabilityMode; 3] {
+        [DurabilityMode::Volatile, DurabilityMode::Snapshot, DurabilityMode::SnapshotPlusWal]
+    }
+
+    /// Whether restarts restore the last checkpoint.
+    pub fn restores_checkpoint(self) -> bool {
+        !matches!(self, DurabilityMode::Volatile)
+    }
+
+    /// Whether a write-ahead log is kept and replayed.
+    pub fn keeps_wal(self) -> bool {
+        matches!(self, DurabilityMode::SnapshotPlusWal)
+    }
+}
+
+/// An append-only write-ahead log of store mutations since the last
+/// checkpoint.
+///
+/// Format (one record per line, whitespace-separated):
+///
+/// ```text
+/// spamward-greylist-wal-v1
+/// C <now_us> <client_net_hex> <sender_atom_hex|<>> <recipient_atom_hex> <awl_net_hex>
+/// M <now_us>
+/// ```
+///
+/// `C` is one store touch (plus the auto-whitelist network a maturing
+/// pass credits — recorded explicitly because the key policy may mask the
+/// key's client part differently), `M` one maintenance sweep. Replaying
+/// the records over a restored checkpoint re-runs the same state machine
+/// the live engine ran, so `SnapshotPlusWal` recovery is exact. A
+/// truncated *final* record — the torn write a crash mid-append leaves —
+/// is skipped deterministically and counted; corruption anywhere else is
+/// a [`SnapshotError::BadRecord`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GreylistWal {
+    buf: String,
+    records: u64,
+}
+
+impl Default for GreylistWal {
+    fn default() -> Self {
+        GreylistWal::new()
+    }
+}
+
+impl GreylistWal {
+    /// An empty log (header only).
+    pub fn new() -> Self {
+        GreylistWal { buf: format!("{HEADER_WAL}\n"), records: 0 }
+    }
+
+    /// The log text, replayable via [`Greylist::replay_wal`].
+    pub fn text(&self) -> &str {
+        &self.buf
+    }
+
+    /// Records appended since the last [`GreylistWal::clear`].
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Resident bytes of log text (growth between checkpoints).
+    pub fn approx_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Truncates back to the header (after a checkpoint).
+    pub fn clear(&mut self) {
+        self.buf.truncate(HEADER_WAL.len() + 1);
+        self.records = 0;
+    }
+
+    /// Appends one store touch.
+    pub(crate) fn append_touch(&mut self, now: SimTime, key: &TripletKey, awl_net: u32) {
+        let sender =
+            if key.sender.is_empty() { NULL_SENDER.to_owned() } else { key.sender.to_string() };
+        self.buf.push_str(&format!(
+            "C {} {:08x} {} {} {:08x}\n",
+            now.as_micros(),
+            key.client_net,
+            sender,
+            key.recipient,
+            awl_net,
+        ));
+        self.records += 1;
+    }
+
+    /// Appends one maintenance sweep.
+    pub(crate) fn append_maintain(&mut self, now: SimTime) {
+        self.buf.push_str(&format!("M {}\n", now.as_micros()));
+        self.records += 1;
+    }
+}
+
+/// What a [`Greylist::replay_wal`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Records re-applied to the store.
+    pub applied: u64,
+    /// Torn final records skipped (0 or 1).
+    pub torn_skipped: u64,
+}
+
+/// One parsed WAL record.
+enum WalRecord {
+    /// A store touch.
+    Touch {
+        /// Virtual time of the original check.
+        now: SimTime,
+        /// The touched key.
+        key: TripletKey,
+        /// Auto-whitelist network a maturing pass credits.
+        awl_net: u32,
+    },
+    /// A maintenance sweep.
+    Maintain {
+        /// Virtual time of the sweep.
+        now: SimTime,
+    },
+}
+
+fn parse_wal_record(line: &str) -> Option<WalRecord> {
+    let mut parts = line.split_whitespace();
+    let tag = parts.next()?;
+    let now = SimTime::from_micros(parts.next()?.parse().ok()?);
+    let record = match tag {
+        "C" => {
+            let client_net = u32::from_str_radix(parts.next()?, 16).ok()?;
+            let sender = SnapshotVersion::V2.parse_atom(parts.next()?)?;
+            let recipient = SnapshotVersion::V2.parse_atom(parts.next()?)?;
+            let awl_net = u32::from_str_radix(parts.next()?, 16).ok()?;
+            WalRecord::Touch { now, key: TripletKey { client_net, sender, recipient }, awl_net }
+        }
+        "M" => WalRecord::Maintain { now },
+        _ => return None,
+    };
+    // Trailing fields mean the line is not a record of this version.
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(record)
+}
 
 /// How a snapshot encodes sender/recipient fields.
 #[derive(Clone, Copy, PartialEq)]
@@ -168,6 +358,51 @@ impl Greylist {
             }
         }
         Ok(())
+    }
+
+    /// Replays a [`GreylistWal`] over the current state (normally a
+    /// just-restored checkpoint), re-running every logged mutation.
+    ///
+    /// A truncated final record is skipped deterministically and counted
+    /// in [`WalReplay::torn_skipped`] — the torn write a crash mid-append
+    /// leaves behind.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadHeader`] on a missing or unknown header;
+    /// [`SnapshotError::BadRecord`] on a malformed record anywhere but the
+    /// final line.
+    pub fn replay_wal(&mut self, text: &str) -> Result<WalReplay, SnapshotError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, line)) if line.trim() == HEADER_WAL => {}
+            _ => return Err(SnapshotError::BadHeader),
+        }
+        let rest: Vec<(usize, &str)> = lines.collect();
+        let last_record = rest.iter().rposition(|&(_, l)| {
+            let l = l.trim();
+            !l.is_empty() && !l.starts_with('#')
+        });
+        let mut outcome = WalReplay::default();
+        for (pos, &(idx, raw)) in rest.iter().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_wal_record(line) {
+                Some(WalRecord::Touch { now, key, awl_net }) => {
+                    self.apply_wal_touch(now, key, awl_net);
+                    outcome.applied += 1;
+                }
+                Some(WalRecord::Maintain { now }) => {
+                    self.apply_wal_maintain(now);
+                    outcome.applied += 1;
+                }
+                None if Some(pos) == last_record => outcome.torn_skipped += 1,
+                None => return Err(SnapshotError::BadRecord(idx + 1)),
+            }
+        }
+        Ok(outcome)
     }
 }
 
@@ -364,5 +599,247 @@ mod tests {
         );
         // Comments and blank lines are fine.
         assert_eq!(g.restore("spamward-greylist-v1\n# comment\n\n"), Ok(()));
+    }
+
+    #[test]
+    fn unknown_future_headers_are_rejected_not_misparsed() {
+        let mut g = Greylist::new(GreylistConfig::default());
+        // A future snapshot version must fail loudly, even when its
+        // records would happen to parse under today's grammar.
+        let v3 = "spamward-greylist-v3\nT 0a000000 <> u@foo.net 0 0 1 P\n";
+        assert_eq!(g.restore(v3), Err(SnapshotError::BadHeader));
+        assert_eq!(g.store().len(), 0, "a rejected snapshot must restore nothing");
+        // Snapshot and WAL headers are not interchangeable.
+        assert_eq!(g.restore("spamward-greylist-wal-v1\n"), Err(SnapshotError::BadHeader));
+        assert_eq!(g.replay_wal("spamward-greylist-v2\n"), Err(SnapshotError::BadHeader));
+        // And a future WAL version is rejected too.
+        assert_eq!(g.replay_wal("spamward-greylist-wal-v2\n"), Err(SnapshotError::BadHeader));
+        assert_eq!(g.replay_wal(""), Err(SnapshotError::BadHeader));
+    }
+
+    proptest::proptest! {
+        /// Restoring the same snapshot twice is a no-op the second time:
+        /// identical state, identical re-serialized bytes.
+        #[test]
+        fn prop_restore_is_idempotent(
+            ops in proptest::collection::vec((0u8..8, 0u64..100_000), 1..30),
+        ) {
+            let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300));
+            cfg.auto_whitelist_after = Some(2);
+            let mut original = Greylist::new(cfg.clone());
+            let rcpt: spamward_smtp::EmailAddress = "u@foo.net".parse().unwrap();
+            let mut times: Vec<u64> = ops.iter().map(|&(_, t)| t).collect();
+            times.sort_unstable();
+            for (&(ip_octet, _), &t) in ops.iter().zip(times.iter()) {
+                let ip = Ipv4Addr::new(10, 0, ip_octet, 1);
+                let _ = original.check(SimTime::from_secs(t), ip, &sender("a@b.cc"), &rcpt);
+            }
+            let text = original.snapshot();
+            let mut g = Greylist::new(cfg);
+            g.restore(&text).unwrap();
+            let once = g.snapshot();
+            g.restore(&text).unwrap();
+            proptest::prop_assert_eq!(&g.snapshot(), &once);
+            proptest::prop_assert_eq!(&once, &text);
+        }
+    }
+
+    /// Like [`populated`] but logging to a WAL from the start.
+    fn populated_wal() -> Greylist {
+        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300));
+        cfg.auto_whitelist_after = Some(2);
+        let mut g = Greylist::new(cfg).with_wal();
+        let rcpt = "u@foo.net".parse().unwrap();
+        g.check(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 1), &sender("a@b.cc"), &rcpt);
+        g.check(SimTime::from_secs(400), Ipv4Addr::new(10, 0, 0, 1), &sender("a@b.cc"), &rcpt);
+        g.check(SimTime::from_secs(500), Ipv4Addr::new(10, 0, 1, 1), &sender("c@d.ee"), &rcpt);
+        g.check(SimTime::from_secs(600), Ipv4Addr::new(10, 0, 2, 1), &ReversePath::Null, &rcpt);
+        g
+    }
+
+    #[test]
+    fn wal_replay_over_empty_state_reconstructs_everything() {
+        let live = populated_wal();
+        let wal = live.wal().expect("wal enabled");
+        assert_eq!(wal.records(), 4, "one C record per store touch:\n{}", wal.text());
+        assert!(wal.text().starts_with("spamward-greylist-wal-v1\n"));
+        assert!(!wal.text().contains("a@b.cc"), "addresses must not leak: {}", wal.text());
+
+        let mut recovered = Greylist::new(live.config().clone());
+        let outcome = recovered.replay_wal(wal.text()).unwrap();
+        assert_eq!(outcome, WalReplay { applied: 4, torn_skipped: 0 });
+        assert_eq!(recovered.snapshot(), live.snapshot(), "replay must rebuild exact state");
+    }
+
+    #[test]
+    fn checkpoint_plus_wal_recovery_is_exact() {
+        let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300));
+        cfg.auto_whitelist_after = Some(2);
+        let mut live = Greylist::new(cfg.clone()).with_wal();
+        let rcpt: spamward_smtp::EmailAddress = "u@foo.net".parse().unwrap();
+        // Phase 1: history covered by the checkpoint.
+        live.check(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 1), &sender("a@b.cc"), &rcpt);
+        live.check(SimTime::from_secs(400), Ipv4Addr::new(10, 0, 0, 1), &sender("a@b.cc"), &rcpt);
+        let checkpoint = live.snapshot();
+        live.clear_wal();
+        // Phase 2: the tail only the WAL remembers, including a sweep.
+        live.check(SimTime::from_secs(500), Ipv4Addr::new(10, 0, 1, 1), &sender("c@d.ee"), &rcpt);
+        live.check(SimTime::from_secs(600), Ipv4Addr::new(10, 0, 2, 1), &ReversePath::Null, &rcpt);
+        live.maintain(SimTime::from_secs(700));
+        let wal_text = live.wal().unwrap().text().to_owned();
+
+        // Crash: RAM gone; recover from checkpoint + WAL.
+        let mut recovered = Greylist::new(cfg).with_wal();
+        recovered.restore(&checkpoint).unwrap();
+        let outcome = recovered.replay_wal(&wal_text).unwrap();
+        assert_eq!(outcome, WalReplay { applied: 3, torn_skipped: 0 });
+        assert_eq!(recovered.snapshot(), live.snapshot());
+
+        // And the next decision agrees with the engine that never crashed.
+        let probe = |g: &mut Greylist| {
+            g.check(SimTime::from_secs(801), Ipv4Addr::new(10, 0, 1, 1), &sender("c@d.ee"), &rcpt)
+        };
+        assert_eq!(probe(&mut recovered), probe(&mut live.clone()));
+    }
+
+    #[test]
+    fn torn_final_wal_record_is_skipped_and_counted() {
+        let live = populated_wal();
+        let full = live.wal().unwrap().text().to_owned();
+        // A crash mid-append truncates the last record. Cut it down to
+        // "C <digits-prefix>" so no field past the tag survives intact.
+        let mut lines: Vec<&str> = full.lines().collect();
+        let last = lines.pop().unwrap();
+        let torn = format!("{}\n{}", lines.join("\n"), &last[..4]);
+
+        let mut recovered = Greylist::new(live.config().clone());
+        let outcome = recovered.replay_wal(&torn).unwrap();
+        assert_eq!(outcome.torn_skipped, 1, "torn tail must be counted");
+        assert_eq!(outcome.applied, live.wal().unwrap().records() - 1);
+
+        // The recovered state equals a log that never held the last record.
+        let mut expected = Greylist::new(live.config().clone());
+        let clean = format!("{}\n", lines.join("\n"));
+        expected.replay_wal(&clean).unwrap();
+        assert_eq!(recovered.snapshot(), expected.snapshot());
+    }
+
+    #[test]
+    fn torn_record_anywhere_else_is_an_error() {
+        let live = populated_wal();
+        let full = live.wal().unwrap().text().to_owned();
+        let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+        assert!(lines.len() > 3, "need records after the corrupted one");
+        lines[1] = lines[1][..4].to_owned();
+        let text = format!("{}\n", lines.join("\n"));
+        let mut g = Greylist::new(live.config().clone());
+        assert_eq!(g.replay_wal(&text), Err(SnapshotError::BadRecord(2)));
+        // So is trailing junk on a record line.
+        let mut g = Greylist::new(live.config().clone());
+        let junk = format!("{full}M 100 extra\nM 200\n");
+        assert_eq!(g.replay_wal(&junk), Err(SnapshotError::BadRecord(6)));
+    }
+
+    #[test]
+    fn wal_clear_truncates_to_header() {
+        let mut live = populated_wal();
+        assert!(live.wal().unwrap().approx_bytes() > 25);
+        live.clear_wal();
+        let wal = live.wal().unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.text(), "spamward-greylist-wal-v1\n");
+        // An empty log replays as a no-op.
+        let mut g = Greylist::new(live.config().clone());
+        assert_eq!(g.replay_wal(wal.text()), Ok(WalReplay::default()));
+        assert_eq!(g.store().len(), 0);
+    }
+
+    #[test]
+    fn reset_loses_everything_a_crash_would() {
+        let mut g = populated_wal();
+        let stats_before = g.stats();
+        g.reset();
+        assert_eq!(g.store().len(), 0);
+        assert!(g.wal().unwrap().is_empty());
+        assert_eq!(g.stats(), stats_before, "observer counters survive the crash");
+        // AWL counters are RAM too: the maturing pass's credit is gone.
+        let rcpt = "u@foo.net".parse().unwrap();
+        let d =
+            g.check(SimTime::from_secs(700), Ipv4Addr::new(10, 0, 0, 1), &sender("a@b.cc"), &rcpt);
+        assert!(!d.is_pass(), "a volatile restart must re-greylist: {d:?}");
+    }
+
+    proptest::proptest! {
+        /// The tentpole's correctness anchor: for arbitrary interaction
+        /// histories, checkpoint instants and crash points, a
+        /// `SnapshotPlusWal` recovery is decision-equivalent to an engine
+        /// that never crashed — across all three store backends.
+        #[test]
+        fn prop_snapshot_plus_wal_recovery_is_decision_equivalent(
+            ops in proptest::collection::vec((0u8..8, 0u64..100_000, proptest::bool::ANY), 1..30),
+            cp_sel in 0usize..30,
+            crash_sel in 0usize..30,
+            backend_sel in 0usize..3,
+            probe_ip in 0u8..8,
+            probe_at in 100_000u64..200_000,
+        ) {
+            use crate::backend::{PartitionedStore, RemoteStore, StoreBackend};
+            use crate::store::TripletStore;
+            let mut cfg = GreylistConfig::with_delay(SimDuration::from_secs(300));
+            cfg.auto_whitelist_after = Some(2);
+            let backend = match backend_sel {
+                0 => StoreBackend::InMemory(TripletStore::new()),
+                1 => StoreBackend::Partitioned(PartitionedStore::new(4)),
+                _ => StoreBackend::Remote(RemoteStore::new(SimDuration::from_millis(2))),
+            };
+            let rcpt: spamward_smtp::EmailAddress = "u@foo.net".parse().unwrap();
+            let mut times: Vec<u64> = ops.iter().map(|&(_, t, _)| t).collect();
+            times.sort_unstable();
+            let script: Vec<(u8, u64, bool)> = ops
+                .iter()
+                .zip(times)
+                .map(|(&(ip, _, maintain), t)| (ip, t, maintain))
+                .collect();
+            let crash_at = crash_sel % (script.len() + 1);
+            let cp_at = cp_sel % (crash_at + 1);
+
+            let mut uncrashed = Greylist::new(cfg.clone()).with_backend(backend).with_wal();
+            let mut crashed = uncrashed.clone();
+            let apply = |g: &mut Greylist, &(ip_octet, t, maintain): &(u8, u64, bool)| {
+                let at = SimTime::from_secs(t);
+                if maintain {
+                    g.maintain(at);
+                } else {
+                    let ip = Ipv4Addr::new(10, 0, ip_octet, 1);
+                    let _ = g.check(at, ip, &sender("a@b.cc"), &rcpt);
+                }
+            };
+            for op in &script {
+                apply(&mut uncrashed, op);
+            }
+            let mut checkpoint = crashed.snapshot();
+            for (i, op) in script.iter().enumerate().take(crash_at) {
+                apply(&mut crashed, op);
+                if i + 1 == cp_at {
+                    checkpoint = crashed.snapshot();
+                    crashed.clear_wal();
+                }
+            }
+            // Crash: RAM gone; recover from checkpoint + WAL; resume.
+            let wal_text = crashed.wal().unwrap().text().to_owned();
+            crashed.reset();
+            crashed.restore(&checkpoint).unwrap();
+            crashed.replay_wal(&wal_text).unwrap();
+            for op in &script[crash_at..] {
+                apply(&mut crashed, op);
+            }
+
+            let ip = Ipv4Addr::new(10, 0, probe_ip, 1);
+            let at = SimTime::from_secs(probe_at);
+            let a = uncrashed.check(at, ip, &sender("a@b.cc"), &rcpt);
+            let b = crashed.check(at, ip, &sender("a@b.cc"), &rcpt);
+            proptest::prop_assert_eq!(a, b);
+            proptest::prop_assert_eq!(uncrashed.snapshot(), crashed.snapshot());
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::backend::{GreylistStore, StoreBackend, StoreUnavailable, Touch};
 use crate::keying::KeyPolicy;
+use crate::persist::GreylistWal;
 use crate::stats::GreylistStats;
 use crate::store::TripletStore;
 use crate::triplet::TripletKey;
@@ -139,6 +140,10 @@ pub struct Greylist {
     stats: GreylistStats,
     /// Successful greylist passes per client network (for auto-whitelist).
     awl_counts: BTreeMap<u32, u32>,
+    /// Write-ahead log of store mutations since the last checkpoint
+    /// (`SnapshotPlusWal` durability); `None` means no WAL is kept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    wal: Option<GreylistWal>,
 }
 
 impl Greylist {
@@ -149,6 +154,7 @@ impl Greylist {
             store: StoreBackend::InMemory(TripletStore::new()),
             stats: GreylistStats::default(),
             awl_counts: BTreeMap::new(),
+            wal: None,
         }
     }
 
@@ -198,7 +204,49 @@ impl Greylist {
 
     /// Runs periodic maintenance (expiry sweep); returns entries dropped.
     pub fn maintain(&mut self, now: SimTime) -> usize {
-        self.store.purge_expired(now)
+        let dropped = self.store.purge_expired(now);
+        if let Some(wal) = &mut self.wal {
+            wal.append_maintain(now);
+        }
+        dropped
+    }
+
+    /// Starts keeping a write-ahead log of store mutations
+    /// (`SnapshotPlusWal` durability). A no-op if one is already kept.
+    pub fn enable_wal(&mut self) {
+        if self.wal.is_none() {
+            self.wal = Some(GreylistWal::new());
+        }
+    }
+
+    /// Builder form of [`Greylist::enable_wal`].
+    pub fn with_wal(mut self) -> Self {
+        self.enable_wal();
+        self
+    }
+
+    /// The write-ahead log, if one is kept.
+    pub fn wal(&self) -> Option<&GreylistWal> {
+        self.wal.as_ref()
+    }
+
+    /// Truncates the WAL back to its header — called right after a
+    /// checkpoint, whose snapshot now covers everything the log held.
+    pub fn clear_wal(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.clear();
+        }
+    }
+
+    /// Drops all runtime state — triplets, auto-whitelist counters and any
+    /// WAL tail — exactly as a crash losing RAM would. Configuration, the
+    /// store's shape (shards, capacity, fault windows) and the cumulative
+    /// decision counters survive: the counters model what an external
+    /// observer tallied, not what the server remembered.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.awl_counts.clear();
+        self.clear_wal();
     }
 
     /// Routes fault windows into a [`StoreBackend::Remote`] backend:
@@ -238,6 +286,22 @@ impl Greylist {
         entry: crate::store::TripletEntry,
     ) {
         self.store.insert_raw(key, entry);
+    }
+
+    /// Re-applies one logged touch (WAL replay). Runs the same state
+    /// machine the live check did — including the auto-whitelist bump on
+    /// maturing — but bypasses remote-protocol weather and accounting,
+    /// and never re-logs.
+    pub(crate) fn apply_wal_touch(&mut self, now: SimTime, key: TripletKey, awl_net: u32) {
+        let delay = self.config.delay;
+        if matches!(self.store.touch_direct(key, now, delay), Touch::Matured) {
+            *self.awl_counts.entry(awl_net).or_insert(0) += 1;
+        }
+    }
+
+    /// Re-applies one logged maintenance sweep (WAL replay).
+    pub(crate) fn apply_wal_maintain(&mut self, now: SimTime) {
+        let _ = self.store.purge_direct(now);
     }
 
     fn client_net(&self, ip: Ipv4Addr) -> u32 {
@@ -317,7 +381,14 @@ impl Greylist {
 
         let key = self.key_for(client_ip, sender, recipient);
         let delay = self.config.delay;
-        match self.store.touch(key, now, delay)? {
+        let touch = self.store.touch(key, now, delay)?;
+        // Log only after the store answered: an unavailable backend mutated
+        // nothing, so there is nothing to replay. Whitelist passes above
+        // never reach the store and are likewise absent from the log.
+        if let Some(wal) = &mut self.wal {
+            wal.append_touch(now, &key, net);
+        }
+        match touch {
             Touch::New { restarted } => {
                 if restarted {
                     self.stats.greylisted_restarted += 1;

@@ -136,6 +136,13 @@ impl TripletStore {
         self.entries.insert(key, entry);
     }
 
+    /// Drops every entry, as a crash losing the in-memory database would.
+    /// Configuration (capacity, lifetimes) and the cumulative eviction
+    /// counter survive — they belong to the deployment, not the data.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Inserts a fresh pending entry for `key`, evicting under pressure.
     pub fn insert_pending(&mut self, key: TripletKey, now: SimTime) -> &mut TripletEntry {
         if let Some(cap) = self.capacity {

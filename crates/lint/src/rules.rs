@@ -65,9 +65,10 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         }
         "F1" => {
             "F1 — fault-injection literals outside the chaos catalog. Hard-coded fault \
-             probabilities and `net.fault.*`/`mta.breaker.*`/`greylist.degraded.*` name \
-             literals fork the fault model; probabilities belong in a `FaultSpec` inside \
-             `spamward_net::faults`, names in the owning crate's `metrics.rs`."
+             probabilities and `net.fault.*`/`mta.breaker.*`/`mta.crash.*`/\
+             `greylist.degraded.*`/`greylist.recovery.*` name literals fork the fault \
+             model; probabilities belong in a `FaultSpec` inside `spamward_net::faults`, \
+             names in the owning crate's `metrics.rs`."
         }
         "C1" => {
             "C1 — shard-unsafe concurrency. Threads, rayon, locks, atomics and channels \
@@ -94,7 +95,8 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              a declared constant — otherwise names drift out of the golden snapshot \
              silently. The sampled `obs.sample.*` series, the `timeline.*` event names \
              and the greylist store families (`greylist.backend.*` request/fault \
-             counters, `greylist.policy.*` keying gauges) are part of the same \
+             counters, `greylist.policy.*` keying gauges, `greylist.recovery.*` \
+             crash-recovery counters alongside `mta.crash.*`) are part of the same \
              contract and are checked identically."
         }
         "R1" => {
@@ -525,7 +527,8 @@ fn check_s1(rel_path: &str, source: &str, scanned: &ScannedFile, out: &mut Vec<D
 
 /// Files allowed to bind fault-injection literals: the fault catalog
 /// itself, per-crate metrics modules (which name the `net.fault.*` /
-/// `mta.breaker.*` / `greylist.degraded.*` exports), the instrumentation
+/// `mta.breaker.*` / `mta.crash.*` / `greylist.degraded.*` /
+/// `greylist.recovery.*` exports), the instrumentation
 /// crate, the lint's own sources, and integration-test directories.
 fn f1_exempt(rel_path: &str) -> bool {
     rel_path == "crates/net/src/faults.rs"
@@ -541,7 +544,8 @@ fn f1_exempt(rel_path: &str) -> bool {
 /// quote restricts the scan to string literals, which the fully masked
 /// text blanks — so F1 scans a comments-only-blanked copy of the source
 /// ([`crate::lexer::mask_comments_only`]).
-const F1_NAMESPACES: &[&str] = &["\"net.fault", "\"mta.breaker", "\"greylist.degraded"];
+const F1_NAMESPACES: &[&str] =
+    &["\"net.fault", "\"mta.breaker", "\"mta.crash", "\"greylist.degraded", "\"greylist.recovery"];
 
 /// F1 — fault-injection literals outside `net::faults` / metrics modules.
 /// Fault probabilities scattered through product code are chaos parameters
@@ -874,8 +878,14 @@ mod tests {
     }
 
     #[test]
-    fn f1_covers_all_three_fault_namespaces() {
-        for name in ["net.fault.outage", "mta.breaker.trips", "greylist.degraded.fail_open"] {
+    fn f1_covers_all_five_fault_namespaces() {
+        for name in [
+            "net.fault.outage",
+            "mta.breaker.trips",
+            "mta.crash.events",
+            "greylist.degraded.fail_open",
+            "greylist.recovery.entries_lost",
+        ] {
             let src = format!("fn f(reg: &Registry) {{ let _ = reg.counter(\"{name}\"); }}");
             assert_eq!(rules_hit("crates/mta/src/x.rs", &src), vec!["F1"], "{name}");
         }

@@ -1,12 +1,17 @@
 //! F1 fixture (clean): fault names flow through the crate's metrics
 //! constants and probabilities come from the fault catalog's specs.
 
-use crate::metrics::{BREAKER_TRIPS, FAULT_LINK_DROPPED, GREYLIST_DEGRADED_FAIL_OPEN};
+use crate::metrics::{
+    BREAKER_TRIPS, CRASH_EVENTS, FAULT_LINK_DROPPED, GREYLIST_DEGRADED_FAIL_OPEN,
+    RECOVERY_ENTRIES_LOST,
+};
 
 pub fn tally(reg: &Registry) -> u64 {
     let dropped = reg.counter(FAULT_LINK_DROPPED).unwrap_or(0);
     let degraded = reg.counter(GREYLIST_DEGRADED_FAIL_OPEN).unwrap_or(0);
-    dropped + degraded + reg.counter(BREAKER_TRIPS).unwrap_or(0)
+    let crashes = reg.counter(CRASH_EVENTS).unwrap_or(0);
+    let lost = reg.counter(RECOVERY_ENTRIES_LOST).unwrap_or(0);
+    dropped + degraded + crashes + lost + reg.counter(BREAKER_TRIPS).unwrap_or(0)
 }
 
 pub fn flaky(spec: &FaultSpec) -> Availability {

@@ -6,7 +6,9 @@ const TRIPS: &str = "mta.breaker.trips";
 pub fn tally(reg: &Registry) -> u64 {
     let dropped = reg.counter("net.fault.link_dropped").unwrap_or(0);
     let degraded = reg.counter("greylist.degraded.fail_open").unwrap_or(0);
-    dropped + degraded + reg.counter(TRIPS).unwrap_or(0)
+    let crashes = reg.counter("mta.crash.events").unwrap_or(0);
+    let lost = reg.counter("greylist.recovery.entries_lost").unwrap_or(0);
+    dropped + degraded + crashes + lost + reg.counter(TRIPS).unwrap_or(0)
 }
 
 pub fn flaky() -> Availability {

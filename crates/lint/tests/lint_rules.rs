@@ -101,7 +101,7 @@ fn s1_fixture_pair() {
 #[test]
 fn f1_fixture_pair() {
     let hits = diags("crates/core/src/fixture.rs", "f1_violation.rs");
-    assert_eq!(hits.len(), 4, "three name literals plus the probability: {hits:?}");
+    assert_eq!(hits.len(), 6, "five name literals plus the probability: {hits:?}");
     assert!(hits.iter().all(|d| d.rule == "F1"), "{hits:?}");
     assert!(diags("crates/core/src/fixture.rs", "f1_clean.rs").is_empty());
     // The fault catalog and metrics modules own these literals.

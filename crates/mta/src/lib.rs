@@ -33,11 +33,15 @@ mod world;
 pub mod worldsim;
 
 pub use log::{LogEvent, MtaLogEntry};
-pub use receive::{DegradationMode, ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage};
+pub use receive::{
+    CrashStats, DegradationMode, ReceiveStats, ReceivingMta, RecipientPolicy, StoredMessage,
+};
 pub use schedule::{MtaProfile, RetrySchedule};
 pub use send::{
     AttemptRecord, BounceReason, BounceReport, IpSelection, OutboundStatus, QueuedMessage,
     RetryPolicy, SendingMta,
 };
 pub use world::{AttemptReport, MailWorld, MxAttempt, MxStrategy};
-pub use worldsim::{ChaosActor, FaultActor, SenderActor, StoreMaintenanceActor, WorldSim};
+pub use worldsim::{
+    ChaosActor, CheckpointActor, FaultActor, SenderActor, StoreMaintenanceActor, WorldSim,
+};

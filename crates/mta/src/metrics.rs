@@ -79,6 +79,27 @@ pub const GREYLIST_DEGRADED_FAIL_OPEN: &str = "greylist.degraded.fail_open";
 /// RCPTs tempfailed while the greylist store was down (fail-closed).
 pub const GREYLIST_DEGRADED_FAIL_CLOSED: &str = "greylist.degraded.fail_closed";
 
+/// Crash instants that fired (a receiving MTA process died).
+pub const CRASH_EVENTS: &str = "mta.crash.events";
+/// Restart instants that fired (a crashed MTA came back up).
+pub const CRASH_RESTARTS: &str = "mta.crash.restarts";
+/// Connection attempts refused while a receiving MTA was down.
+pub const CRASH_REFUSED_CONNECTIONS: &str = "mta.crash.refused_connections";
+/// In-flight SMTP sessions cut mid-dialogue by a crash instant.
+pub const CRASH_SESSIONS_DROPPED: &str = "mta.crash.sessions_dropped";
+
+/// Durability checkpoints taken (periodic ticks plus each restart's
+/// re-baselining checkpoint).
+pub const RECOVERY_CHECKPOINTS: &str = "greylist.recovery.checkpoints";
+/// Triplet entries restored from the last checkpoint across restarts.
+pub const RECOVERY_ENTRIES_RESTORED: &str = "greylist.recovery.entries_restored";
+/// WAL records replayed over the checkpoint across restarts.
+pub const RECOVERY_WAL_REPLAYED: &str = "greylist.recovery.wal_records_replayed";
+/// Torn final WAL records skipped deterministically during replay.
+pub const RECOVERY_WAL_TORN_SKIPPED: &str = "greylist.recovery.wal_torn_skipped";
+/// Triplet entries in memory at crash time that recovery did not get back.
+pub const RECOVERY_ENTRIES_LOST: &str = "greylist.recovery.entries_lost";
+
 /// Engine events executed across every episode driven on this world.
 pub const ENGINE_EVENTS: &str = "sim.engine.events";
 /// High-water mark of the engine's pending-event queue (summed across
@@ -126,6 +147,9 @@ pub const SAMPLE_BREAKER_TRIPS: &str = "obs.sample.breaker.trips";
 /// Actor name of the greylist-store maintenance sweeper on the engine —
 /// its ticks are real engine events accounted under this category.
 pub const ACTOR_STORE_MAINTAIN: &str = "greylist.maintain";
+/// Actor name of the durability checkpointer on the engine — its ticks
+/// are real engine events accounted under this category.
+pub const ACTOR_CHECKPOINT: &str = "greylist.checkpoint";
 /// Sampled series: summed live greylist-store entries across a world's
 /// servers, recorded on each maintenance sweep.
 pub const SAMPLE_STORE_SIZE: &str = "obs.sample.greylist.store_size";
@@ -150,6 +174,12 @@ pub const TL_GREYLIST_PASS: &str = "timeline.greylist.pass";
 pub const TL_DELIVER: &str = "timeline.deliver";
 /// Timeline event: message permanently rejected.
 pub const TL_REJECT: &str = "timeline.reject";
+/// Timeline event: a receiving MTA crashed (on its hostname track), or an
+/// in-flight session was cut by a crash (on the message's track).
+pub const TL_MTA_CRASH: &str = "timeline.mta.crash";
+/// Timeline event: a crashed MTA restarted and recovered its greylist
+/// state per its durability mode (on its hostname track).
+pub const TL_MTA_RESTART: &str = "timeline.mta.restart";
 
 /// Retry-slot histogram bounds: attempt numbers along a typical schedule.
 pub const RETRY_SLOT_BOUNDS: [u64; 7] = [1, 2, 3, 5, 8, 13, 21];
@@ -178,6 +208,21 @@ pub fn collect_receiver(mta: &ReceivingMta, reg: &mut Registry) {
     if mta.has_greylist_outage() {
         reg.record_counter(GREYLIST_DEGRADED_FAIL_OPEN, stats.greylist_failed_open);
         reg.record_counter(GREYLIST_DEGRADED_FAIL_CLOSED, stats.greylist_failed_closed);
+    }
+    // Same rule for the crash lifecycle: the counters exist only once a
+    // crash schedule is installed, so crash-free runs export byte-identical
+    // metric sets.
+    if mta.has_crash_schedule() {
+        let crash = mta.crash_stats();
+        reg.record_counter(CRASH_EVENTS, crash.crashes);
+        reg.record_counter(CRASH_RESTARTS, crash.restarts);
+        reg.record_counter(CRASH_REFUSED_CONNECTIONS, crash.refused_connections);
+        reg.record_counter(CRASH_SESSIONS_DROPPED, crash.sessions_dropped);
+        reg.record_counter(RECOVERY_CHECKPOINTS, crash.checkpoints);
+        reg.record_counter(RECOVERY_ENTRIES_RESTORED, crash.entries_restored);
+        reg.record_counter(RECOVERY_WAL_REPLAYED, crash.wal_records_replayed);
+        reg.record_counter(RECOVERY_WAL_TORN_SKIPPED, crash.wal_torn_skipped);
+        reg.record_counter(RECOVERY_ENTRIES_LOST, crash.entries_lost);
     }
 }
 

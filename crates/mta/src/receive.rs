@@ -2,7 +2,7 @@
 
 use crate::log::{anonymize, LogEvent, MtaLogEntry};
 use serde::{Deserialize, Serialize};
-use spamward_greylist::{Decision, Greylist, PassReason, TripletKey};
+use spamward_greylist::{Decision, DurabilityMode, Greylist, PassReason, TripletKey};
 use spamward_net::FaultWindow;
 use spamward_sim::SimTime;
 use spamward_smtp::metrics::SessionMetrics;
@@ -58,6 +58,55 @@ pub struct ReceiveStats {
     /// RCPTs tempfailed because the greylist store was down and the server
     /// degrades fail-closed.
     pub greylist_failed_closed: u64,
+}
+
+/// Counters over the crash–restart lifecycle and greylist recovery
+/// (exported as `mta.crash.*` / `greylist.recovery.*` once a crash
+/// schedule is installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashStats {
+    /// Crash instants that fired (the server process died).
+    pub crashes: u64,
+    /// Restart instants that fired (the server came back up).
+    pub restarts: u64,
+    /// Connection attempts refused while the server was down.
+    pub refused_connections: u64,
+    /// In-flight SMTP sessions cut mid-dialogue by a crash instant.
+    pub sessions_dropped: u64,
+    /// Durability checkpoints taken (periodic ticks plus the
+    /// re-baselining checkpoint each restart takes after recovery).
+    pub checkpoints: u64,
+    /// Triplet entries restored from the last checkpoint across restarts.
+    pub entries_restored: u64,
+    /// WAL records replayed over the checkpoint across restarts.
+    pub wal_records_replayed: u64,
+    /// Torn final WAL records skipped deterministically during replay.
+    pub wal_torn_skipped: u64,
+    /// Triplet entries in memory at crash time that recovery did not get
+    /// back (the durability mode's data-loss window, in entries).
+    pub entries_lost: u64,
+}
+
+/// One crash-lifecycle edge fired by [`ReceivingMta::poll_crash`] — the
+/// world records these on its trace and timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CrashTransition {
+    /// The server process died, losing its in-memory greylist database.
+    Crashed {
+        /// Live triplet entries in memory at the crash instant.
+        entries_in_memory: u64,
+    },
+    /// The server came back and rebuilt state per its durability mode.
+    Restarted {
+        /// Entries restored from the last checkpoint.
+        restored: u64,
+        /// WAL records replayed over the checkpoint.
+        replayed: u64,
+        /// Torn final WAL records skipped during replay.
+        torn: u64,
+        /// Entries the crash cost despite recovery.
+        lost: u64,
+    },
 }
 
 /// What a greylisting server does when its triplet store is unavailable
@@ -119,6 +168,19 @@ pub struct ReceivingMta {
     greylist_outage: Vec<FaultWindow>,
     remote_store_faulted: bool,
     degradation: DegradationMode,
+    durability: DurabilityMode,
+    /// Crash windows ([crash, restart) per window), sorted by time.
+    crash_windows: Vec<FaultWindow>,
+    /// Next unfired lifecycle edge: window `cursor / 2`, crash edge when
+    /// even, restart edge when odd.
+    crash_cursor: usize,
+    /// The last durability checkpoint (a store snapshot), if one was taken.
+    last_checkpoint: Option<String>,
+    /// WAL text captured at the crash instant, awaiting replay at restart.
+    pending_wal: Option<String>,
+    /// Live store entries at the most recent crash instant.
+    entries_at_crash: u64,
+    crash_stats: CrashStats,
     mailbox: Vec<StoredMessage>,
     log: Vec<MtaLogEntry>,
     stats: ReceiveStats,
@@ -144,6 +206,13 @@ impl ReceivingMta {
             greylist_outage: Vec::new(),
             remote_store_faulted: false,
             degradation: DegradationMode::default(),
+            durability: DurabilityMode::default(),
+            crash_windows: Vec::new(),
+            crash_cursor: 0,
+            last_checkpoint: None,
+            pending_wal: None,
+            entries_at_crash: 0,
+            crash_stats: CrashStats::default(),
             mailbox: Vec::new(),
             log: Vec::new(),
             stats: ReceiveStats::default(),
@@ -161,6 +230,11 @@ impl ReceivingMta {
     /// Enables greylisting.
     pub fn with_greylist(mut self, greylist: Greylist) -> Self {
         self.greylist = Some(greylist);
+        if self.durability.keeps_wal() {
+            if let Some(gl) = self.greylist.as_mut() {
+                gl.enable_wal();
+            }
+        }
         self
     }
 
@@ -177,6 +251,165 @@ impl ReceivingMta {
     pub fn with_degradation(mut self, mode: DegradationMode) -> Self {
         self.degradation = mode;
         self
+    }
+
+    /// Sets how greylist state survives a crash–restart cycle (defaults to
+    /// [`DurabilityMode::Volatile`] — everything in memory is lost). Modes
+    /// that keep a WAL turn logging on immediately, so every store
+    /// mutation from here on is replayable.
+    pub fn with_durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        if mode.keeps_wal() {
+            if let Some(gl) = self.greylist.as_mut() {
+                gl.enable_wal();
+            }
+        }
+        self
+    }
+
+    /// The configured durability mode.
+    pub fn durability(&self) -> DurabilityMode {
+        self.durability
+    }
+
+    /// Installs the windows during which this server is crashed
+    /// ([`crate::MailWorld::install_faults`] calls this with the plan's
+    /// [`spamward_net::FaultPlan::crash_windows_for`] windows for this
+    /// hostname). Windows must be sorted by time and non-overlapping —
+    /// the compiled plan's order.
+    pub fn install_crash_schedule(&mut self, windows: Vec<FaultWindow>) {
+        self.crash_windows = windows;
+        self.crash_cursor = 0;
+    }
+
+    /// Whether a crash schedule is installed (not necessarily active right
+    /// now). Gates the `mta.crash.*` / `greylist.recovery.*` metric
+    /// exports, so crash-free runs keep their exact metric composition.
+    pub fn has_crash_schedule(&self) -> bool {
+        !self.crash_windows.is_empty()
+    }
+
+    /// Crash-lifecycle and recovery counters.
+    pub fn crash_stats(&self) -> CrashStats {
+        self.crash_stats
+    }
+
+    /// Whether the server is down at `t` — inside a crash window's
+    /// `[crash, restart)` span.
+    pub fn is_crashed_at(&self, t: SimTime) -> bool {
+        self.crash_windows.iter().any(|w| w.contains(t))
+    }
+
+    /// The first crash instant strictly inside `(start, end]`, if any — an
+    /// SMTP session in flight over that span is cut mid-dialogue.
+    pub(crate) fn crash_during(&self, start: SimTime, end: SimTime) -> Option<SimTime> {
+        self.crash_windows.iter().map(|w| w.from).find(|&at| start < at && at <= end)
+    }
+
+    /// Counts a connection refused while the server was down.
+    pub(crate) fn note_refused_connection(&mut self) {
+        self.crash_stats.refused_connections += 1;
+    }
+
+    /// Counts an in-flight session cut by a crash instant.
+    pub(crate) fn note_session_dropped(&mut self) {
+        self.crash_stats.sessions_dropped += 1;
+    }
+
+    /// Takes a durability checkpoint: snapshots the greylist store and
+    /// truncates the WAL (every record up to here is now inside the
+    /// snapshot). A no-op for [`DurabilityMode::Volatile`] servers,
+    /// servers without a greylist, and servers that are *down* at `now` —
+    /// a dead machine takes no checkpoints, and snapshotting the
+    /// crash-reset store would clobber the good pre-crash checkpoint. The
+    /// engine's [`crate::worldsim::CheckpointActor`] calls this on a
+    /// virtual-time schedule via [`crate::MailWorld::checkpoint_stores`].
+    pub fn checkpoint(&mut self, now: SimTime) {
+        if !self.durability.restores_checkpoint() || self.is_crashed_at(now) {
+            return;
+        }
+        if let Some(gl) = self.greylist.as_mut() {
+            self.last_checkpoint = Some(gl.snapshot());
+            gl.clear_wal();
+            self.crash_stats.checkpoints += 1;
+        }
+    }
+
+    /// Advances the crash–restart lifecycle through every edge at or
+    /// before `now`, in order, and returns the transitions fired.
+    /// Idempotent per edge — the world polls lazily from the delivery
+    /// path *and* from fault-boundary engine events, and each edge fires
+    /// exactly once, whichever poll reaches it first.
+    pub(crate) fn poll_crash(&mut self, now: SimTime) -> Vec<CrashTransition> {
+        let mut fired = Vec::new();
+        while self.crash_cursor < self.crash_windows.len() * 2 {
+            let window = self.crash_windows[self.crash_cursor / 2];
+            let crash_edge = self.crash_cursor.is_multiple_of(2);
+            let edge = if crash_edge { window.from } else { window.until };
+            if edge > now {
+                break;
+            }
+            fired.push(if crash_edge { self.crash() } else { self.restart(edge) });
+            self.crash_cursor += 1;
+        }
+        fired
+    }
+
+    /// The crash instant: the in-memory greylist database dies. The WAL
+    /// tail is captured first — it models the on-disk log, which survives
+    /// the process.
+    fn crash(&mut self) -> CrashTransition {
+        self.crash_stats.crashes += 1;
+        let entries = self.greylist.as_ref().map_or(0, |g| g.store().len()) as u64;
+        self.entries_at_crash = entries;
+        if let Some(gl) = self.greylist.as_mut() {
+            self.pending_wal = gl.wal().map(|w| w.text().to_owned());
+            gl.reset();
+        }
+        CrashTransition::Crashed { entries_in_memory: entries }
+    }
+
+    /// The restart instant: rebuild greylist state per the durability
+    /// mode, then take a fresh checkpoint of the recovered state so a
+    /// *second* crash recovers from here, not from the stale pre-crash
+    /// checkpoint.
+    fn restart(&mut self, at: SimTime) -> CrashTransition {
+        self.crash_stats.restarts += 1;
+        let mut restored = 0u64;
+        let mut replayed = 0u64;
+        let mut torn = 0u64;
+        let wal_text = self.pending_wal.take();
+        if let Some(gl) = self.greylist.as_mut() {
+            if self.durability.restores_checkpoint() {
+                if let Some(cp) = self.last_checkpoint.as_deref() {
+                    // A checkpoint that no longer parses is as good as no
+                    // checkpoint: drop the partial restore and come back
+                    // empty (the loss lands in `entries_lost`).
+                    if gl.restore(cp).is_err() {
+                        gl.reset();
+                    }
+                    restored = gl.store().len() as u64;
+                }
+            }
+            if self.durability.keeps_wal() {
+                if let Some(text) = wal_text.as_deref() {
+                    // Same degradation: an unreplayable log contributes
+                    // nothing beyond what already parsed.
+                    if let Ok(outcome) = gl.replay_wal(text) {
+                        replayed = outcome.applied;
+                        torn = outcome.torn_skipped;
+                    }
+                }
+            }
+        }
+        let recovered = self.greylist.as_ref().map_or(0, |g| g.store().len()) as u64;
+        let lost = self.entries_at_crash.saturating_sub(recovered);
+        self.crash_stats.entries_restored += restored;
+        self.crash_stats.wal_records_replayed += replayed;
+        self.crash_stats.wal_torn_skipped += torn;
+        self.crash_stats.entries_lost += lost;
+        self.checkpoint(at);
+        CrashTransition::Restarted { restored, replayed, torn, lost }
     }
 
     /// Installs the windows during which the greylist store is unavailable
@@ -624,5 +857,132 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert_eq!(mta.mailbox().len(), 0);
         assert_eq!(mta.stats().messages_accepted, 1);
+    }
+
+    /// A greylisting server with the given durability and one crash window
+    /// [100 s, 200 s).
+    fn crashy_mta(durability: DurabilityMode) -> ReceivingMta {
+        let mut mta = ReceivingMta::new("mx.foo.net", Ipv4Addr::new(192, 0, 2, 1))
+            .with_greylist(Greylist::new(GreylistConfig::with_delay(SimDuration::from_secs(300))))
+            .with_durability(durability);
+        mta.install_crash_schedule(vec![FaultWindow::new(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+        )]);
+        mta
+    }
+
+    #[test]
+    fn volatile_restart_loses_the_store() {
+        let mut mta = crashy_mta(DurabilityMode::Volatile);
+        assert!(mta.has_crash_schedule());
+        assert!(mta.is_crashed_at(SimTime::from_secs(150)));
+        assert!(!mta.is_crashed_at(SimTime::from_secs(200)), "restart instant is up again");
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        assert_eq!(mta.greylist().unwrap().store().len(), 1);
+
+        let fired = mta.poll_crash(SimTime::from_secs(250));
+        assert_eq!(fired.len(), 2, "crash edge and restart edge both fire");
+        assert_eq!(fired[0], CrashTransition::Crashed { entries_in_memory: 1 });
+        assert_eq!(
+            fired[1],
+            CrashTransition::Restarted { restored: 0, replayed: 0, torn: 0, lost: 1 }
+        );
+        assert_eq!(mta.greylist().unwrap().store().len(), 0, "volatile crash loses everything");
+        let stats = mta.crash_stats();
+        assert_eq!((stats.crashes, stats.restarts, stats.entries_lost), (1, 1, 1));
+
+        // The pre-crash triplet is gone: its retry is first contact again,
+        // deferred even though the original delay had elapsed.
+        let out = run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(400));
+        assert!(out.is_retryable(), "lost triplet means the retry is re-greylisted");
+        // Polling again fires nothing — edges are consumed exactly once.
+        assert!(mta.poll_crash(SimTime::from_secs(900)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_restart_restores_the_checkpoint_but_loses_the_tail() {
+        let mut mta = crashy_mta(DurabilityMode::Snapshot);
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        mta.checkpoint(SimTime::from_secs(5));
+        // A second triplet lands after the checkpoint — it is the tail the
+        // snapshot-only mode loses.
+        run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(10));
+        assert_eq!(mta.greylist().unwrap().store().len(), 2);
+
+        let fired = mta.poll_crash(SimTime::from_secs(250));
+        assert_eq!(
+            fired[1],
+            CrashTransition::Restarted { restored: 1, replayed: 0, torn: 0, lost: 1 }
+        );
+        assert_eq!(mta.greylist().unwrap().store().len(), 1);
+        // The checkpointed triplet kept its first-seen time: its retry
+        // passes; the lost tail triplet is deferred from scratch.
+        assert!(run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(400)).is_delivered());
+        assert!(run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(400)).is_retryable());
+        let stats = mta.crash_stats();
+        assert_eq!(stats.entries_restored, 1);
+        assert_eq!(stats.entries_lost, 1);
+        // Periodic tick + the restart's re-baselining checkpoint.
+        assert_eq!(stats.checkpoints, 2);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_restart_loses_nothing() {
+        let mut mta = crashy_mta(DurabilityMode::SnapshotPlusWal);
+        mta.install_crash_schedule(vec![
+            FaultWindow::new(SimTime::from_secs(100), SimTime::from_secs(200)),
+            FaultWindow::new(SimTime::from_secs(500), SimTime::from_secs(600)),
+        ]);
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        mta.checkpoint(SimTime::from_secs(5));
+        run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(10));
+
+        let fired = mta.poll_crash(SimTime::from_secs(250));
+        assert_eq!(
+            fired[1],
+            CrashTransition::Restarted { restored: 1, replayed: 1, torn: 0, lost: 0 }
+        );
+        assert_eq!(mta.greylist().unwrap().store().len(), 2, "wal replay recovers the tail");
+        assert!(run_attempt(&mut mta, "u@foo.net", SimTime::from_secs(400)).is_delivered());
+        assert!(run_attempt(&mut mta, "v@foo.net", SimTime::from_secs(400)).is_delivered());
+
+        // A mutation after the first restart, then a second crash: the
+        // restart re-baselined the checkpoint, so nothing is lost here
+        // either — not even state that predates the *first* crash.
+        run_attempt(&mut mta, "w@foo.net", SimTime::from_secs(450));
+        let fired = mta.poll_crash(SimTime::from_secs(700));
+        assert!(
+            matches!(fired[1], CrashTransition::Restarted { lost: 0, .. }),
+            "second crash recovers from the re-baselined checkpoint: {fired:?}"
+        );
+        assert_eq!(mta.greylist().unwrap().store().len(), 3);
+        assert_eq!(mta.crash_stats().entries_lost, 0);
+    }
+
+    #[test]
+    fn checkpoints_are_skipped_while_the_server_is_down() {
+        let mut mta = crashy_mta(DurabilityMode::Snapshot);
+        run_attempt(&mut mta, "u@foo.net", SimTime::ZERO);
+        mta.checkpoint(SimTime::from_secs(5));
+        mta.poll_crash(SimTime::from_secs(100));
+        assert_eq!(mta.greylist().unwrap().store().len(), 0, "crash reset the live store");
+        // A periodic tick landing mid-downtime must not snapshot the reset
+        // store over the good pre-crash checkpoint.
+        mta.checkpoint(SimTime::from_secs(150));
+        mta.poll_crash(SimTime::from_secs(200));
+        assert_eq!(mta.greylist().unwrap().store().len(), 1, "pre-crash checkpoint survived");
+        assert_eq!(mta.crash_stats().entries_restored, 1);
+    }
+
+    #[test]
+    fn crash_during_finds_instants_inside_a_session_span() {
+        let mta = crashy_mta(DurabilityMode::Volatile);
+        let t = SimTime::from_secs;
+        assert_eq!(mta.crash_during(t(90), t(110)), Some(t(100)));
+        assert_eq!(mta.crash_during(t(100), t(110)), None, "strictly after start");
+        assert_eq!(mta.crash_during(t(90), t(100)), Some(t(100)), "inclusive end");
+        assert_eq!(mta.crash_during(t(30), t(40)), None);
+        assert!(!ReceivingMta::new("x", Ipv4Addr::new(192, 0, 2, 2)).has_crash_schedule());
     }
 }

@@ -903,6 +903,53 @@ mod tests {
     }
 
     #[test]
+    fn mid_session_crash_drop_treated_like_drop_after_data() {
+        use spamward_net::{FaultPlan, FaultProfile, LatencyModel, Network};
+
+        // Pin the RTT so the crash instant lands deterministically inside
+        // the first session's span (6 round trips = 600 ms).
+        let mut w = MailWorld::new(9);
+        w.network =
+            Network::new(9).with_latency(LatencyModel::Constant(SimDuration::from_millis(100)));
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        w.install_server(ReceivingMta::new("mail.foo.net", mx).with_greylist(Greylist::new(
+            GreylistConfig::with_delay(SimDuration::from_secs(300)).without_auto_whitelist(),
+        )));
+        w.dns.publish(Zone::single_mx(domain(), mx));
+        let plan = FaultPlan::compile(
+            &FaultProfile::crash_restart(
+                "mail.foo.net",
+                SimTime::ZERO + SimDuration::from_millis(300),
+                SimDuration::from_secs(60),
+            ),
+            9,
+        );
+        w.install_faults(&plan);
+
+        let policy = RetryPolicy { breaker_threshold: 1, ..RetryPolicy::resilient() };
+        let mut s = sender(MtaProfile::postfix()).with_retry_policy(policy);
+        submit_one(&mut s, SimTime::ZERO);
+        s.drain(SimTime::ZERO, &mut w);
+
+        // The first session was cut mid-DATA by the crash: a transient
+        // failure whose MX trail shows an *established* connection —
+        // exactly the shape of an injected DropAfterData — so even a
+        // hair-trigger breaker must not trip, and the Table IV retry
+        // cadence stays untouched.
+        assert_eq!(s.breaker_trips(), 0, "mid-session drop is not a connect failure");
+        assert_eq!(s.backoffs_applied(), 0, "retry cadence stays on the paper schedule");
+        assert_eq!(s.queue()[0].status, OutboundStatus::Delivered);
+        // No double-delivery: the cut session stored nothing, and the
+        // greylisted retry path delivered exactly one copy.
+        assert_eq!(w.server(mx).unwrap().mailbox().len(), 1);
+        let crash = w.server(mx).unwrap().crash_stats();
+        assert_eq!(crash.sessions_dropped, 1);
+        assert_eq!((crash.crashes, crash.restarts), (1, 1));
+        // t0 (cut mid-DATA), 300 s (greylisted first contact), 600 s (pass).
+        assert_eq!(s.records().len(), 3);
+    }
+
+    #[test]
     fn without_a_policy_counters_stay_zero() {
         let (mut w, _) = world_with_greylist(300);
         let mut s = sender(MtaProfile::postfix());

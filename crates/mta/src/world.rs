@@ -4,10 +4,10 @@ use crate::metrics::{
     SAMPLE_ENGINE_EVENTS, SAMPLE_ENGINE_QUEUE_HIGH_WATER, SAMPLE_GREYLIST_DEFERRED,
     SAMPLE_GREYLIST_PASSED, SAMPLE_RECV_ACCEPTED, SAMPLE_RECV_MAILBOX, SAMPLE_STORE_BYTES,
     SAMPLE_STORE_SIZE, TL_CONNECT, TL_DELIVER, TL_DNS, TL_EMIT, TL_GREYLIST_DEFER,
-    TL_GREYLIST_PASS, TL_REJECT, TL_RETRY, TRACE_DNS_FAIL, TRACE_DNS_MX, TRACE_FAULT,
-    TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
+    TL_GREYLIST_PASS, TL_MTA_CRASH, TL_MTA_RESTART, TL_REJECT, TL_RETRY, TRACE_DNS_FAIL,
+    TRACE_DNS_MX, TRACE_FAULT, TRACE_NET_FAIL, TRACE_SMTP_OUTCOME,
 };
-use crate::receive::ReceivingMta;
+use crate::receive::{CrashTransition, ReceivingMta};
 use spamward_dns::{Authority, DomainName, MxHost, ResolveError, Resolver};
 use spamward_net::faults::TARPIT_HOLD;
 use spamward_net::{FaultPlan, Network, SmtpAbortKind, SmtpFaults, SMTP_PORT};
@@ -172,6 +172,7 @@ pub struct MailWorld {
     fault_boundaries: u64,
     sample_interval: Option<SimDuration>,
     maintenance_interval: Option<SimDuration>,
+    checkpoint_interval: Option<SimDuration>,
     timeline_scope: String,
     /// Per-track (attempts so far, saw a defer) lifecycle state backing
     /// the timeline's emit/retry and defer/pass distinction.
@@ -197,6 +198,7 @@ impl MailWorld {
             fault_boundaries: 0,
             sample_interval: None,
             maintenance_interval: None,
+            checkpoint_interval: None,
             timeline_scope: String::new(),
             timeline_state: BTreeMap::new(),
             rng: DetRng::seed(seed).fork("mailworld"),
@@ -217,6 +219,10 @@ impl MailWorld {
             // as protocol-level faults; in-process stores keep the ambient
             // outage-window model.
             server.install_greylist_faults(plan.greylist_down.clone());
+            // Crash windows are addressed by hostname — each server gets
+            // only its own schedule.
+            let windows = plan.crash_windows_for(server.hostname());
+            server.install_crash_schedule(windows);
         }
     }
 
@@ -232,6 +238,65 @@ impl MailWorld {
     pub fn note_fault_boundary(&mut self, now: SimTime) {
         self.fault_boundaries += 1;
         self.trace.record(now, TRACE_FAULT, "fault window boundary".to_owned());
+        // Crash and restart edges are fault boundaries too: fire every
+        // server's lifecycle transitions due at this instant, so restarts
+        // (and their recovery) happen as engine events even on servers
+        // receiving no traffic.
+        let crashy: Vec<Ipv4Addr> = self
+            .servers
+            .iter()
+            .filter(|(_, s)| s.has_crash_schedule())
+            .map(|(ip, _)| *ip)
+            .collect();
+        for ip in crashy {
+            self.advance_crash_lifecycle(ip, now);
+        }
+    }
+
+    /// Advances one server's crash–restart lifecycle to `now` and records
+    /// the fired transitions on the trace and timeline. Idempotent — the
+    /// delivery path and the fault actor both poll, and each edge fires
+    /// once.
+    fn advance_crash_lifecycle(&mut self, ip: Ipv4Addr, now: SimTime) {
+        let Some(server) = self.servers.get_mut(&ip) else { return };
+        if !server.has_crash_schedule() {
+            return;
+        }
+        let host = server.hostname().to_owned();
+        let fired = server.poll_crash(now);
+        for transition in fired {
+            match transition {
+                CrashTransition::Crashed { entries_in_memory } => {
+                    let what = format!("crashed; {entries_in_memory} greylist entries in memory");
+                    self.trace.record(now, TRACE_FAULT, format!("{host}: {what}"));
+                    if self.timeline.is_enabled() {
+                        let track = self.crash_track(&host);
+                        self.timeline.record_event(TL_MTA_CRASH, now, &track, what);
+                    }
+                }
+                CrashTransition::Restarted { restored, replayed, torn, lost } => {
+                    let what = format!(
+                        "restarted; restored {restored} from checkpoint, \
+                         replayed {replayed} wal records ({torn} torn), lost {lost}"
+                    );
+                    self.trace.record(now, TRACE_FAULT, format!("{host}: {what}"));
+                    if self.timeline.is_enabled() {
+                        let track = self.crash_track(&host);
+                        self.timeline.record_event(TL_MTA_RESTART, now, &track, what);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The timeline track crash-lifecycle events land on: the hostname,
+    /// under the world's scope when one is set.
+    fn crash_track(&self, host: &str) -> String {
+        if self.timeline_scope.is_empty() {
+            host.to_owned()
+        } else {
+            format!("{}/{host}", self.timeline_scope)
+        }
     }
 
     /// How many fault window boundaries have fired as engine events.
@@ -290,6 +355,32 @@ impl MailWorld {
     /// The store-maintenance sweep interval, if enabled.
     pub fn maintenance_interval(&self) -> Option<SimDuration> {
         self.maintenance_interval
+    }
+
+    /// Enables periodic durability checkpointing: every horizon-bounded
+    /// engine episode run against this world (see
+    /// [`crate::worldsim::WorldSim`]) gets a checkpoint actor that calls
+    /// [`MailWorld::checkpoint_stores`] every `interval` of virtual time —
+    /// the in-simulation analogue of Postgrey's periodic on-disk database
+    /// sync. Servers left at
+    /// [`spamward_greylist::DurabilityMode::Volatile`] ignore the ticks.
+    pub fn with_checkpointing(mut self, interval: SimDuration) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// The durability-checkpoint interval, if enabled.
+    pub fn checkpoint_interval(&self) -> Option<SimDuration> {
+        self.checkpoint_interval
+    }
+
+    /// Takes a durability checkpoint on every installed server
+    /// ([`ReceivingMta::checkpoint`] — snapshot the store, truncate the
+    /// WAL). The engine's checkpoint actor calls this on every tick.
+    pub fn checkpoint_stores(&mut self, now: SimTime) {
+        for server in self.servers.values_mut() {
+            server.checkpoint(now);
+        }
     }
 
     /// Sweeps expired triplets from every server's greylist store and
@@ -448,6 +539,33 @@ impl MailWorld {
                     continue;
                 }
                 Ok(conn) => {
+                    // Bring the destination's crash lifecycle up to date
+                    // before deciding anything — a delivery landing between
+                    // fault-actor wake-ups must still see the right
+                    // up/down state and the recovered store.
+                    self.advance_crash_lifecycle(ip, now);
+                    if self.servers.get(&ip).is_some_and(|s| s.is_crashed_at(now)) {
+                        // The machine answers TCP (the network layer is
+                        // up) but no MTA is listening: connection refused,
+                        // one round trip. This IS a connect failure — the
+                        // sender's circuit breaker counts it.
+                        time_spent += conn.rtt;
+                        if let Some(server) = self.servers.get_mut(&ip) {
+                            server.note_refused_connection();
+                        }
+                        self.trace.record(
+                            now,
+                            TRACE_FAULT,
+                            format!("{} ({ip}): connection refused (mta down)", cand.name),
+                        );
+                        trail.push(MxAttempt {
+                            mx: cand.name.clone(),
+                            preference_rank,
+                            ip: Some(ip),
+                            connect_error: Some("connection refused (mta down)".into()),
+                        });
+                        continue;
+                    }
                     trail.push(MxAttempt {
                         mx: cand.name.clone(),
                         preference_rank,
@@ -491,6 +609,33 @@ impl MailWorld {
                                 DeliveryOutcome::connect_failed(envelope.recipients(), true);
                             return AttemptReport { outcome, mx_trail: trail, time_spent };
                         }
+                    }
+                    // A crash instant landing inside the session's span
+                    // cuts the dialogue mid-DATA: the connection *was*
+                    // established (the trail entry above says so, which is
+                    // what keeps the circuit breaker from counting this),
+                    // the client pays a full session's round trips, and
+                    // nothing is stored — exactly the shape of an injected
+                    // `DropAfterData` abort.
+                    let session_span = conn.rtt * 6;
+                    let mid_session_crash =
+                        self.servers.get(&ip).and_then(|s| s.crash_during(now, now + session_span));
+                    if let Some(crash_at) = mid_session_crash {
+                        time_spent += session_span;
+                        if let Some(server) = self.servers.get_mut(&ip) {
+                            server.note_session_dropped();
+                        }
+                        let what = format!("session dropped by crash at {crash_at}");
+                        self.trace.record(
+                            now,
+                            TRACE_FAULT,
+                            format!("{} ({ip}): {what}", cand.name),
+                        );
+                        if let Some(track) = &timeline_track {
+                            self.timeline.record_event(TL_MTA_CRASH, now, track, what);
+                        }
+                        let outcome = DeliveryOutcome::connect_failed(envelope.recipients(), true);
+                        return AttemptReport { outcome, mx_trail: trail, time_spent };
                     }
                     let Some(server_mta) = self.servers.get_mut(&ip) else {
                         // Port open but nothing we manage behind it (e.g. a

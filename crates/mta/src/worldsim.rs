@@ -91,6 +91,15 @@ impl WorldSim {
             }
             _ => None,
         };
+        // And for the durability checkpointer: horizon-bounded episodes of
+        // a world that opted in via `with_checkpointing`, only.
+        let checkpointer = match (owned.checkpoint_interval(), horizon) {
+            (Some(interval), Some(h)) => {
+                let clock = SampleClock::new(interval, h);
+                clock.next_after(first).map(|tick| (CheckpointActor::new(clock), tick))
+            }
+            _ => None,
+        };
         let mut sim = ActorSim::new(owned);
         if let Some(h) = horizon {
             sim = sim.with_horizon(h);
@@ -107,6 +116,9 @@ impl WorldSim {
         if let Some((sweeper, first_tick)) = maintenance {
             sim.add_actor(EpisodeActor::Maintenance(sweeper), first_tick);
         }
+        if let Some((checkpointer, first_tick)) = checkpointer {
+            sim.add_actor(EpisodeActor::Checkpoint(checkpointer), first_tick);
+        }
         let outcome = sim.run();
         let end = sim.now();
         let stats = sim.stats();
@@ -117,7 +129,9 @@ impl WorldSim {
             .into_iter()
             .filter_map(|wrapped| match wrapped {
                 EpisodeActor::Main(actor) => Some(actor),
-                EpisodeActor::Sampler(_) | EpisodeActor::Maintenance(_) => None,
+                EpisodeActor::Sampler(_)
+                | EpisodeActor::Maintenance(_)
+                | EpisodeActor::Checkpoint(_) => None,
             })
             .collect();
         (actors, outcome, end)
@@ -187,13 +201,46 @@ impl Actor<MailWorld> for StoreMaintenanceActor {
     }
 }
 
+/// The durability checkpointer as an engine actor: every tick snapshots
+/// each server's greylist store and truncates its WAL
+/// ([`MailWorld::checkpoint_stores`]) — the in-simulation analogue of
+/// Postgrey's periodic on-disk database sync — then sleeps one interval.
+/// Ticks are ordinary engine events under the `greylist.checkpoint` actor
+/// category, so serial and sharded runs checkpoint at identical virtual
+/// instants.
+pub struct CheckpointActor {
+    clock: SampleClock,
+}
+
+impl CheckpointActor {
+    /// A checkpointer ticking on `clock`.
+    pub fn new(clock: SampleClock) -> Self {
+        CheckpointActor { clock }
+    }
+}
+
+impl Actor<MailWorld> for CheckpointActor {
+    fn name(&self) -> &str {
+        crate::metrics::ACTOR_CHECKPOINT
+    }
+
+    fn wake(&mut self, now: SimTime, world: &mut MailWorld) -> Wake {
+        world.checkpoint_stores(now);
+        match self.clock.next_after(now) {
+            Some(at) => Wake::At(at),
+            None => Wake::Idle,
+        }
+    }
+}
+
 /// Internal cast wrapper: [`ActorSim`] runs actors of one type, so the
-/// caller's homogeneous cast and the optional sampler/sweeper share the
-/// episode through this enum.
+/// caller's homogeneous cast and the optional sampler/sweeper/checkpointer
+/// share the episode through this enum.
 enum EpisodeActor<A> {
     Main(A),
     Sampler(SamplerActor),
     Maintenance(StoreMaintenanceActor),
+    Checkpoint(CheckpointActor),
 }
 
 impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
@@ -202,6 +249,7 @@ impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
             EpisodeActor::Main(actor) => actor.name(),
             EpisodeActor::Sampler(actor) => actor.name(),
             EpisodeActor::Maintenance(actor) => actor.name(),
+            EpisodeActor::Checkpoint(actor) => actor.name(),
         }
     }
 
@@ -210,6 +258,7 @@ impl<A: Actor<MailWorld>> Actor<MailWorld> for EpisodeActor<A> {
             EpisodeActor::Main(actor) => actor.wake(now, world),
             EpisodeActor::Sampler(actor) => actor.wake(now, world),
             EpisodeActor::Maintenance(actor) => actor.wake(now, world),
+            EpisodeActor::Checkpoint(actor) => actor.wake(now, world),
         }
     }
 }
@@ -507,6 +556,67 @@ mod tests {
         );
         assert!(world.samples.is_empty());
         assert!(!world.engine_stats.actor_events.contains_key("obs.sample"));
+    }
+
+    #[test]
+    fn crash_restart_fires_through_the_engine_and_recovers_per_durability() {
+        use spamward_greylist::{DurabilityMode, Greylist, GreylistConfig};
+        use spamward_sim::SimDuration;
+
+        let mut world = MailWorld::new(31);
+        let mx = Ipv4Addr::new(192, 0, 2, 10);
+        world.install_server(
+            ReceivingMta::new("mail.foo.net", mx)
+                .with_greylist(Greylist::new(
+                    GreylistConfig::with_delay(SimDuration::from_secs(300))
+                        .without_auto_whitelist(),
+                ))
+                .with_durability(DurabilityMode::SnapshotPlusWal),
+        );
+        world.dns.publish(Zone::single_mx("foo.net".parse().unwrap(), mx));
+        world = world.with_checkpointing(SimDuration::from_secs(60));
+        let plan = FaultPlan::compile(
+            &spamward_net::FaultProfile::crash_restart(
+                "mail.foo.net",
+                SimTime::from_secs(120),
+                SimDuration::from_secs(60),
+            ),
+            7,
+        );
+        world.install_faults(&plan);
+
+        let (mta, _outcome, _end) = WorldSim::drain_with_faults(
+            &mut world,
+            one_message_mta(),
+            &plan,
+            SimTime::ZERO,
+            Some(SimTime::from_secs(900)),
+        );
+        // t0: greylisted first contact. 60 s: checkpoint (1 entry).
+        // 120 s: crash. 180 s: restart, checkpoint restored. 300 s: the
+        // postfix retry passes the 300 s delay against the *recovered*
+        // triplet — durable state means the crash cost no extra delay.
+        assert_eq!(mta.queue()[0].status, crate::send::OutboundStatus::Delivered);
+        assert_eq!(world.server(mx).unwrap().mailbox().len(), 1);
+        let crash = world.server(mx).unwrap().crash_stats();
+        assert_eq!((crash.crashes, crash.restarts), (1, 1));
+        assert_eq!(crash.entries_restored, 1);
+        assert_eq!(crash.entries_lost, 0);
+        assert!(crash.checkpoints >= 2, "periodic ticks plus the restart re-baseline");
+        // Both crash edges fired as engine events, and the checkpointer
+        // ran as a real actor.
+        assert_eq!(world.fault_boundaries(), plan.boundaries().len() as u64);
+        assert!(world.engine_stats.actor_events.contains_key("greylist.checkpoint"));
+        assert!(world.engine_stats.actor_events.contains_key("net.fault"));
+        // Worlds that never opted in keep the exact prior event stream.
+        let (mut plain, _) = seeded_world();
+        let (_, _, _) = WorldSim::episode(
+            &mut plain,
+            SenderActor::new(one_message_mta()),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(300)),
+        );
+        assert!(!plain.engine_stats.actor_events.contains_key("greylist.checkpoint"));
     }
 
     #[test]

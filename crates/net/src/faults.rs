@@ -121,6 +121,18 @@ pub enum FaultSpec {
         /// When the store is down.
         window: FaultWindow,
     },
+    /// A named receiving MTA crashes at `at` and stays down for
+    /// `downtime`: in-flight sessions drop, new connections are refused,
+    /// and at the restart instant (`at + downtime`) greylist state is
+    /// rebuilt per the MTA's configured durability mode.
+    MtaCrashRestart {
+        /// The host's registered name.
+        host: String,
+        /// The crash instant.
+        at: SimTime,
+        /// How long the MTA is down before restarting.
+        downtime: SimDuration,
+    },
 }
 
 /// A named, declarative set of faults — the unit experiments sweep over.
@@ -217,6 +229,18 @@ impl FaultProfile {
         FaultProfile {
             name: "store_degraded",
             specs: vec![FaultSpec::GreylistStoreDown { window: window_mins(5, 15) }],
+        }
+    }
+
+    /// One crash–restart of a named receiving MTA. Like
+    /// [`FaultProfile::store_degraded`], deliberately *not* in
+    /// [`FaultProfile::catalog`]: the `recovery` experiment sweeps crash
+    /// timing and durability itself, and the `resilience` sweep's
+    /// byte-stable output stays pinned to the original five profiles.
+    pub fn crash_restart(host: &str, at: SimTime, downtime: SimDuration) -> Self {
+        FaultProfile {
+            name: "crash_restart",
+            specs: vec![FaultSpec::MtaCrashRestart { host: host.to_owned(), at, downtime }],
         }
     }
 
@@ -432,6 +456,9 @@ pub struct FaultPlan {
     pub smtp: SmtpFaults,
     /// Windows during which the greylist store is unavailable.
     pub greylist_down: Vec<FaultWindow>,
+    /// Crash windows per receiving MTA, `[at, at + downtime)` — the lower
+    /// edge is the crash instant, the upper edge the restart instant.
+    pub crashes: Vec<(String, FaultWindow)>,
 }
 
 impl FaultPlan {
@@ -452,6 +479,7 @@ impl FaultPlan {
             stats: SmtpFaultStats::default(),
         };
         let mut greylist_down = Vec::new();
+        let mut crashes = Vec::new();
         for spec in &profile.specs {
             match spec {
                 FaultSpec::HostOutage { host, window } => net.outages.push((host.clone(), *window)),
@@ -467,9 +495,12 @@ impl FaultPlan {
                     smtp.aborts.push((*kind, *prob, *window));
                 }
                 FaultSpec::GreylistStoreDown { window } => greylist_down.push(*window),
+                FaultSpec::MtaCrashRestart { host, at, downtime } => {
+                    crashes.push((host.clone(), FaultWindow::new(*at, *at + *downtime)));
+                }
             }
         }
-        FaultPlan { profile: profile.name, net, dns, smtp, greylist_down }
+        FaultPlan { profile: profile.name, net, dns, smtp, greylist_down, crashes }
     }
 
     /// Every window edge across every subsystem, sorted and deduplicated —
@@ -501,6 +532,9 @@ impl FaultPlan {
         for w in &self.greylist_down {
             push(w);
         }
+        for (_, w) in &self.crashes {
+            push(w);
+        }
         edges.sort_unstable();
         edges.dedup();
         edges
@@ -512,6 +546,12 @@ impl FaultPlan {
             && self.dns.is_empty()
             && self.smtp.is_empty()
             && self.greylist_down.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Crash windows scheduled for `host`, in declaration order.
+    pub fn crash_windows_for(&self, host: &str) -> Vec<FaultWindow> {
+        self.crashes.iter().filter(|(h, _)| h == host).map(|&(_, w)| w).collect()
     }
 }
 
@@ -631,6 +671,25 @@ mod tests {
         assert_eq!(plan.boundaries(), vec![mins(5), mins(15)]);
         // The resilience sweep's catalog is pinned to its original five.
         assert!(FaultProfile::catalog().iter().all(|p| p.name != "store_degraded"));
+    }
+
+    #[test]
+    fn crash_restart_compiles_to_a_crash_window() {
+        let profile =
+            FaultProfile::crash_restart("mail.victim.example", mins(10), SimDuration::from_mins(5));
+        let plan = FaultPlan::compile(&profile, 7);
+        assert!(plan.net.is_empty());
+        assert!(plan.dns.is_empty());
+        assert!(plan.smtp.is_empty());
+        assert!(plan.greylist_down.is_empty());
+        assert!(!plan.is_empty(), "a crash is a fault");
+        assert_eq!(plan.crashes, vec![("mail.victim.example".to_owned(), window_mins(10, 15))]);
+        assert_eq!(plan.crash_windows_for("mail.victim.example"), vec![window_mins(10, 15)]);
+        assert!(plan.crash_windows_for("other.example").is_empty());
+        // Both edges — the crash and the restart — fire as engine events.
+        assert_eq!(plan.boundaries(), vec![mins(10), mins(15)]);
+        // The resilience sweep's catalog stays pinned to its original five.
+        assert!(FaultProfile::catalog().iter().all(|p| p.name != "crash_restart"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn registry_ids_are_unique_and_stable() {
             "variance",
             "resilience",
             "policy_backend",
+            "recovery",
         ]
     );
 }
